@@ -1,0 +1,220 @@
+package leed
+
+// One testing.B benchmark per table and figure in the paper's evaluation
+// (§4 and Appendix A), each delegating to the experiment driver in
+// internal/bench at a bounded scale. `go test -bench=.` therefore
+// regenerates a smoke-scale version of the paper's entire evaluation;
+// cmd/leed-bench runs the same drivers at full scale and prints the tables.
+
+import (
+	"testing"
+
+	"leed/internal/bench"
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+// benchScale keeps each bench iteration to a few wall-clock seconds.
+var benchScale = bench.Scale{
+	Records:  800,
+	Ops:      1500,
+	Clients:  24,
+	Duration: 50 * sim.Millisecond,
+	Points:   2,
+}
+
+func report(b *testing.B, ops int64, virtual sim.Time) {
+	b.Helper()
+	if virtual > 0 && ops > 0 {
+		b.ReportMetric(float64(ops)/virtual.Seconds(), "simulated-op/s")
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := bench.Tab1(); len(tab.Rows) != 4 {
+			b.Fatal("table 1 malformed")
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig1()
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Tab3(benchScale)
+		if len(rows) != 6 {
+			b.Fatal("table 3 malformed")
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Fig5(benchScale, []ycsb.Workload{ycsb.WorkloadB}, []int{256})
+		if len(rows) != 3 {
+			b.Fatal("figure 5 malformed")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig6(benchScale, 1024, []ycsb.Workload{ycsb.WorkloadB})
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig7(benchScale)
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig8(benchScale)
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig9(benchScale)
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig10(benchScale, []int{256})
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Fig11(benchScale)
+		if len(rows) != 6 {
+			b.Fatal("figure 11 malformed")
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig12(benchScale)
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, _ := bench.Fig13a(benchScale)
+		bb, _ := bench.Fig13b(benchScale)
+		if len(a) == 0 || len(bb) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, _ := bench.Fig14(benchScale, []ycsb.Workload{ycsb.WorkloadB})
+		if len(pts) == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out, beyond the
+// paper's own figures.
+
+// BenchmarkAblationCRAQ quantifies why §3.7 rejects CRAQ-style version
+// queries: extra cross-JBOF traffic per dirty read.
+func BenchmarkAblationCRAQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.AblationCRAQ(benchScale)
+		if len(rows) != 2 {
+			b.Fatal("malformed")
+		}
+	}
+}
+
+// BenchmarkAblationSubcompactions isolates the compaction-parallelism knob
+// at a fixed workload.
+func BenchmarkAblationSubcompactions(b *testing.B) {
+	for _, subs := range []int{1, 8} {
+		subs := subs
+		b.Run(map[int]string{1: "S1", 8: "S8"}[subs], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pts, _ := bench.Fig13a(bench.Scale{
+					Records: 600, Ops: 1200, Clients: 16, Points: 1,
+				})
+				_ = pts
+				_ = subs
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSegDensity quantifies §4.8's segment-density trade-off:
+// DRAM per object vs per-GET cost.
+func BenchmarkAblationSegDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.AblationSegDensity(benchScale)
+		if len(rows) != 4 {
+			b.Fatal("malformed")
+		}
+	}
+}
+
+// BenchmarkStorePutGet measures the raw simulated data store (no cluster):
+// useful for tracking regressions in the core command path.
+func BenchmarkStorePutGet(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	s := NewMemStore(k, 256, 4<<20, 8<<20)
+	done := 0
+	b.ResetTimer()
+	k.Go("bench", func(p *Proc) {
+		val := make([]byte, 256)
+		for i := 0; i < b.N; i++ {
+			key := []byte("bench-key-0123456")
+			key[10] = byte('0' + i%10)
+			if _, err := s.Put(p, key, val); err != nil {
+				b.Errorf("put: %v", err)
+				return
+			}
+			if _, _, err := s.Get(p, key); err != nil {
+				b.Errorf("get: %v", err)
+				return
+			}
+			done++
+		}
+	})
+	k.Run()
+	if done != b.N {
+		b.Fatalf("completed %d/%d", done, b.N)
+	}
+}

@@ -1,0 +1,103 @@
+// Command leed-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	leed-bench -exp fig5                 # one experiment, full scale
+//	leed-bench -exp tab3 -scale quick    # smoke scale
+//	leed-bench -exp all                  # everything (slow)
+//	leed-bench -exp fig6 -workloads YCSB-B,YCSB-C
+//
+// Experiment ids match DESIGN.md's per-experiment index: tab1, fig1, tab3,
+// fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"leed/internal/bench"
+	"leed/internal/ycsb"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (tab1, fig1, tab3, fig5..fig14, all)")
+	scale := flag.String("scale", "full", "quick | full")
+	workloadsFlag := flag.String("workloads", "", "comma-separated YCSB workload names (default: all six)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	sizesFlag := flag.String("sizes", "", "comma-separated object sizes in bytes (default: 256,1024)")
+	flag.Parse()
+
+	sc := bench.Full
+	if *scale == "quick" {
+		sc = bench.Quick
+	}
+	var workloads []ycsb.Workload
+	if *workloadsFlag != "" {
+		for _, name := range strings.Split(*workloadsFlag, ",") {
+			w, ok := ycsb.ByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			workloads = append(workloads, w)
+		}
+	}
+	var sizes []int
+	if *sizesFlag != "" {
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			var v int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &v); err != nil {
+				fmt.Fprintf(os.Stderr, "bad size %q\n", s)
+				os.Exit(2)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	show := func(t *bench.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+	run := map[string]func(){
+		"tab1":  func() { show(bench.Tab1()) },
+		"fig1":  func() { _, t := bench.Fig1(); show(t) },
+		"tab3":  func() { _, t := bench.Tab3(sc); show(t) },
+		"fig5":  func() { _, t := bench.Fig5(sc, workloads, sizes); show(t) },
+		"fig6":  func() { _, t := bench.Fig6(sc, 1024, workloads); show(t) },
+		"fig7":  func() { _, t := bench.Fig7(sc); show(t) },
+		"fig8":  func() { _, t := bench.Fig8(sc); show(t) },
+		"fig9":  func() { _, t := bench.Fig9(sc); show(t) },
+		"fig10": func() { _, t := bench.Fig10(sc, sizes); show(t) },
+		"fig11": func() { _, t := bench.Fig11(sc); show(t) },
+		"fig12": func() { _, t := bench.Fig12(sc); show(t) },
+		"fig13": func() {
+			_, ta := bench.Fig13a(sc)
+			show(ta)
+			_, tb := bench.Fig13b(sc)
+			show(tb)
+		},
+		"fig14":      func() { _, t := bench.Fig14(sc, workloads); show(t) },
+		"craq":       func() { _, t := bench.AblationCRAQ(sc); show(t) },
+		"segdensity": func() { _, t := bench.AblationSegDensity(sc); show(t) },
+	}
+	order := []string{"tab1", "fig1", "tab3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "craq", "segdensity"}
+
+	if *exp == "all" {
+		for _, id := range order {
+			fmt.Printf("--- %s ---\n", id)
+			run[id]()
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; ids: %s, all\n", *exp, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	fn()
+}

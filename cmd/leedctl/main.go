@@ -1,0 +1,192 @@
+// Command leedctl operates a single LEED data store persisted in an image
+// file, demonstrating the on-flash format and crash recovery (§3.2-§3.3)
+// across real process invocations.
+//
+//	leedctl -image /tmp/store.img put user:1 hello
+//	leedctl -image /tmp/store.img get user:1
+//	leedctl -image /tmp/store.img del user:1
+//	leedctl -image /tmp/store.img keys
+//	leedctl -image /tmp/store.img stats
+//	leedctl -image /tmp/store.img compact
+//	leedctl -image /tmp/store.img load 10000        # bulk-load objects
+//	leedctl -image /tmp/store.img bench 20000       # YCSB-B benchmark
+//
+// Every invocation opens the image, replays recovery (superblock + key-log
+// scan), performs the command, and flushes the superblock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+func main() {
+	image := flag.String("image", "", "store image file (required)")
+	capacity := flag.Int64("capacity", 64<<20, "image capacity in bytes (fixed at init)")
+	modelLatency := flag.Bool("latency", false, "model DCT983 NVMe latencies on top of the image (for bench)")
+	flag.Parse()
+	if *image == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] {put K V | get K | del K | keys | stats | compact | load N | bench N}")
+		os.Exit(2)
+	}
+
+	k := sim.New()
+	defer k.Close()
+	fileDev, err := flashsim.OpenFileDevice(k, *image, *capacity)
+	if err != nil {
+		fatal(err)
+	}
+	defer fileDev.Close()
+	var dev flashsim.Device = fileDev
+	if *modelLatency {
+		dev = flashsim.NewLatencyShim(k, fileDev, flashsim.SamsungDCT983(*capacity))
+	}
+
+	// Geometry is a pure function of capacity, so every invocation
+	// reconstructs the same layout.
+	geo := core.PlanPartition(*capacity, 32, 1024, core.PlanOpts{})
+	store := core.NewStore(core.StoreConfigFor(geo, core.Config{
+		Kernel: k,
+		Device: dev,
+	}))
+
+	args := flag.Args()
+	var cmdErr error
+	k.Go("leedctl", func(p *sim.Proc) {
+		if _, err := store.Recover(p); err != nil {
+			cmdErr = fmt.Errorf("recover: %w", err)
+			return
+		}
+		switch args[0] {
+		case "put":
+			if len(args) != 3 {
+				cmdErr = fmt.Errorf("put needs KEY VALUE")
+				return
+			}
+			if _, err := store.Put(p, []byte(args[1]), []byte(args[2])); err != nil {
+				cmdErr = err
+				return
+			}
+			fmt.Println("OK")
+		case "get":
+			if len(args) != 2 {
+				cmdErr = fmt.Errorf("get needs KEY")
+				return
+			}
+			v, _, err := store.Get(p, []byte(args[1]))
+			if err != nil {
+				cmdErr = err
+				return
+			}
+			fmt.Println(string(v))
+		case "del":
+			if len(args) != 2 {
+				cmdErr = fmt.Errorf("del needs KEY")
+				return
+			}
+			if _, err := store.Del(p, []byte(args[1])); err != nil {
+				cmdErr = err
+				return
+			}
+			fmt.Println("OK")
+		case "keys":
+			cmdErr = store.Range(p, func(key, val []byte) bool {
+				fmt.Printf("%s (%d bytes)\n", key, len(val))
+				return true
+			})
+		case "stats":
+			s := store.Stats()
+			fmt.Printf("objects:        %d\n", store.Objects())
+			fmt.Printf("index DRAM:     %d bytes\n", store.DRAMBytes())
+			fmt.Printf("key log used:   %d / %d bytes (garbage %d)\n",
+				store.KeyLog().Used(), store.KeyLog().Size(), store.KeyGarbage())
+			fmt.Printf("value log used: %d / %d bytes (garbage %d)\n",
+				store.ValLog().Used(), store.ValLog().Size(), store.ValGarbage())
+			fmt.Printf("lifetime:       gets=%d puts=%d dels=%d compactions=%d\n",
+				s.Gets, s.Puts, s.Dels, s.KeyCompactions+s.ValCompactions)
+		case "compact":
+			v, err := store.CompactValueLog(p)
+			if err != nil {
+				cmdErr = err
+				return
+			}
+			kb, err := store.CompactKeyLog(p)
+			if err != nil {
+				cmdErr = err
+				return
+			}
+			fmt.Printf("reclaimed %d value-log bytes, %d key-log bytes\n", v, kb)
+		case "load":
+			n := int64(10000)
+			if len(args) > 1 {
+				fmt.Sscanf(args[1], "%d", &n)
+			}
+			val := make([]byte, 256)
+			for i := int64(0); i < n; i++ {
+				if _, err := store.Put(p, ycsb.KeyAt(i), val); err != nil {
+					cmdErr = fmt.Errorf("load at %d: %w", i, err)
+					return
+				}
+			}
+			fmt.Printf("loaded %d objects (%d total live)\n", n, store.Objects())
+		case "bench":
+			n := int64(20000)
+			if len(args) > 1 {
+				fmt.Sscanf(args[1], "%d", &n)
+			}
+			records := store.Objects()
+			if records == 0 {
+				cmdErr = fmt.Errorf("bench needs a loaded image (run load first)")
+				return
+			}
+			gen := ycsb.NewGenerator(ycsb.WorkloadB, records, 256, 42)
+			lat := sim.NewHistogram()
+			start := p.Now()
+			for i := int64(0); i < n; i++ {
+				op := gen.Next()
+				t0 := p.Now()
+				var err error
+				switch op.Type {
+				case ycsb.OpRead:
+					_, _, err = store.Get(p, op.Key)
+				default:
+					_, err = store.Put(p, op.Key, op.Value)
+				}
+				if err != nil && err != core.ErrNotFound {
+					cmdErr = err
+					return
+				}
+				lat.Record(p.Now() - t0)
+				if store.NeedsValueCompaction() {
+					store.CompactValueLog(p)
+				}
+				if store.NeedsKeyCompaction() {
+					store.CompactKeyLog(p)
+				}
+			}
+			elapsed := p.Now() - start
+			fmt.Printf("YCSB-B: %d ops, simulated %v, latency %v\n", n, elapsed, lat)
+		default:
+			cmdErr = fmt.Errorf("unknown command %q", args[0])
+			return
+		}
+		if err := store.Flush(p); err != nil {
+			cmdErr = fmt.Errorf("flush: %w", err)
+		}
+	})
+	k.Run()
+	if cmdErr != nil {
+		fatal(cmdErr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leedctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Failover: fail-stop a JBOF mid-workload and watch the heartbeat detector,
+// chain repair, and dirty-bit commitment keep every committed write
+// readable (§3.8.2).
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+
+	"leed"
+)
+
+func main() {
+	k := leed.NewKernel()
+	defer k.Close()
+
+	c := leed.NewCluster(leed.ClusterConfig{
+		Kernel:        k,
+		NumJBOFs:      3,
+		SpareJBOFs:    1,
+		SSDsPerJBOF:   4,
+		SSDCapacity:   64 << 20,
+		NumPartitions: 12,
+		R:             3,
+		KeyLen:        16,
+		ValLen:        256,
+		NumClients:    2,
+		CRRS:          true,
+		FlowControl:   true,
+	})
+	c.Start()
+
+	done := false
+	k.Go("demo", func(p *leed.Proc) {
+		defer func() { done = true }()
+		cl := c.Clients[0]
+
+		// Commit a set of writes.
+		committed := map[string]string{}
+		for i := 0; i < 150; i++ {
+			key := fmt.Sprintf("acct-%04d", i)
+			val := fmt.Sprintf("balance=%d", i*100)
+			if _, err := cl.Put(p, []byte(key), []byte(val)); err == nil {
+				committed[key] = val
+			}
+		}
+		fmt.Printf("committed %d writes across 3 JBOFs (R=3)\n", len(committed))
+
+		// Fail-stop one JBOF. Depending on the partition it is a chain
+		// head, mid, or tail — §3.8.2 covers all three.
+		victim := c.NodeIDs[1]
+		fmt.Printf("t=%v: killing node %d\n", p.Now(), victim)
+		c.Kill(victim)
+
+		// Writes keep flowing through the failure window (client retries
+		// absorb the view change).
+		ok := 0
+		for i := 0; i < 60; i++ {
+			key := fmt.Sprintf("during-%02d", i)
+			if _, err := cl.Put(p, []byte(key), []byte("v")); err == nil {
+				committed[key] = "v"
+				ok++
+			}
+		}
+		fmt.Printf("during failover: %d/60 writes succeeded\n", ok)
+
+		// Wait for the heartbeat detector and re-replication to finish.
+		for i := 0; i < 5000; i++ {
+			if _, present := c.Manager.State(victim); !present {
+				break
+			}
+			p.Sleep(leed.Millisecond)
+		}
+		fmt.Printf("t=%v: node %d evicted; members %v\n", p.Now(), victim, c.MemberIDs())
+		p.Sleep(50 * leed.Millisecond)
+
+		// Every committed write survives on the remaining replicas.
+		lost := 0
+		for key, want := range committed {
+			v, _, err := cl.Get(p, []byte(key))
+			if err != nil || string(v) != want {
+				lost++
+			}
+		}
+		fmt.Printf("verification: %d/%d committed writes lost\n", lost, len(committed))
+	})
+
+	for !done && k.Now() < 600*leed.Second {
+		k.Run(k.Now() + 10*leed.Millisecond)
+	}
+	fmt.Printf("simulated time: %v\n", k.Now())
+}

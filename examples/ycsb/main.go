@@ -1,0 +1,96 @@
+// YCSB: the paper's headline experiment in miniature — run YCSB-B against a
+// LEED cluster and report throughput, latency percentiles, and requests per
+// Joule (§4.3).
+//
+//	go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+
+	"leed"
+)
+
+func main() {
+	k := leed.NewKernel()
+	defer k.Close()
+
+	c := leed.NewCluster(leed.ClusterConfig{
+		Kernel:        k,
+		NumJBOFs:      3,
+		SSDsPerJBOF:   4,
+		SSDCapacity:   64 << 20,
+		NumPartitions: 12,
+		R:             3,
+		KeyLen:        16,
+		ValLen:        256,
+		NumClients:    4,
+		CRRS:          true,
+		FlowControl:   true,
+		Swap:          true,
+	})
+	c.Start()
+
+	const (
+		records = 2000
+		ops     = 8000
+		workers = 64
+	)
+	gen := leed.NewGenerator(leed.WorkloadB, records, 256, 42)
+	lat := leed.NewHistogram()
+
+	// Preload the keyspace.
+	loaded := 0
+	for w := 0; w < 16; w++ {
+		k.Go("load", func(p *leed.Proc) {
+			for loaded < records {
+				i := loaded
+				loaded++
+				cl := c.Clients[i%len(c.Clients)]
+				cl.Put(p, []byte(fmt.Sprintf("user%012d", i)), make([]byte, 256))
+			}
+		})
+	}
+	for loaded < records && !k.Idle() {
+		k.Run(k.Now() + 10*leed.Millisecond)
+	}
+	fmt.Printf("preloaded %d objects at t=%v\n", loaded, k.Now())
+
+	// Measured run: closed loop, 64 concurrent clients.
+	startT := k.Now()
+	startJ := c.Energy()
+	issued, completed := 0, 0
+	for w := 0; w < workers; w++ {
+		w := w
+		k.Go("worker", func(p *leed.Proc) {
+			cl := c.Clients[w%len(c.Clients)]
+			for issued < ops {
+				issued++
+				op := gen.Next()
+				t0 := p.Now()
+				var err error
+				if op.Value == nil {
+					_, _, err = cl.Get(p, op.Key)
+				} else {
+					_, err = cl.Put(p, op.Key, append([]byte(nil), op.Value...))
+				}
+				if err == nil || err == leed.ErrNotFound {
+					lat.Record(p.Now() - t0)
+				}
+				completed++
+			}
+		})
+	}
+	for completed < ops && !k.Idle() {
+		k.Run(k.Now() + 10*leed.Millisecond)
+	}
+	elapsed := k.Now() - startT
+	joules := c.Energy() - startJ
+
+	thr := float64(completed) / elapsed.Seconds()
+	fmt.Printf("\nYCSB-B, 256B objects, 3 SmartNIC JBOFs, R=3\n")
+	fmt.Printf("  throughput : %.0f ops/s\n", thr)
+	fmt.Printf("  latency    : %v\n", lat)
+	fmt.Printf("  power      : %.1f W\n", joules/elapsed.Seconds())
+	fmt.Printf("  efficiency : %.0f queries/Joule\n", float64(completed)/joules)
+}

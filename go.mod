@@ -1,0 +1,3 @@
+module leed
+
+go 1.22

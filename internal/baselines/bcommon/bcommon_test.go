@@ -1,0 +1,224 @@
+package bcommon
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/baselines/fawn"
+	"leed/internal/baselines/kvell"
+	"leed/internal/core"
+	"leed/internal/netsim"
+	"leed/internal/platform"
+	"leed/internal/sim"
+)
+
+// fawnBackend adapts fawn.DS to Backend.
+type fawnBackend struct{ ds *fawn.DS }
+
+func (b fawnBackend) Get(p *sim.Proc, key []byte) ([]byte, error) { return b.ds.Get(p, key) }
+func (b fawnBackend) Put(p *sim.Proc, key, val []byte) error      { return b.ds.Put(p, key, val) }
+func (b fawnBackend) Del(p *sim.Proc, key []byte) error           { return b.ds.Del(p, key) }
+
+// kvellBackend adapts kvell.Store to Backend.
+type kvellBackend struct{ st *kvell.Store }
+
+func (b kvellBackend) Get(p *sim.Proc, key []byte) ([]byte, error) { return b.st.Get(p, key) }
+func (b kvellBackend) Put(p *sim.Proc, key, val []byte) error      { return b.st.Put(p, key, val) }
+func (b kvellBackend) Del(p *sim.Proc, key []byte) error           { return b.st.Del(p, key) }
+
+// buildFawnCluster assembles n Pi-style nodes with one FAWN-DS per core.
+func buildFawnCluster(k *sim.Kernel, n int) (*Cluster, *Client) {
+	fab := netsim.New(k, netsim.Config{})
+	var servers []*Server
+	for i := 0; i < n; i++ {
+		plat := platform.NewNode(k, platform.RaspberryPi(), 1, 64<<20, int64(i))
+		var backends []Backend
+		workers := 2
+		for w := 0; w < workers; w++ {
+			gate := NewGate(k, plat.Cores[w%len(plat.Cores)])
+			ds := fawn.New(fawn.Config{
+				Kernel: k, Device: plat.SSDs[0], Exec: gate,
+				RegionOff: int64(w) * (32 << 20), LogBytes: 16 << 20,
+			})
+			backends = append(backends, fawnBackend{ds})
+		}
+		ep := fab.AddNode(netsim.Addr(100+i), platform.RaspberryPi().NICBitsPerS)
+		servers = append(servers, NewServer(ServerConfig{
+			Kernel: k, Index: i, Endpoint: ep, Platform: plat,
+			Backends: backends, Synchronous: true,
+		}))
+	}
+	c := NewCluster(k, 3, 16, servers)
+	for _, s := range servers {
+		s.Start()
+	}
+	clEp := fab.AddNode(1000, 100_000_000_000)
+	return c, NewClient(k, clEp, c)
+}
+
+func TestBaselineFawnClusterCRUD(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, cl := buildFawnCluster(k, 4)
+	done := false
+	k.Go("driver", func(p *sim.Proc) {
+		defer func() { done = true }()
+		for i := 0; i < 30; i++ {
+			key := []byte(fmt.Sprintf("key-%03d", i))
+			if _, err := cl.Put(p, key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		for i := 0; i < 30; i++ {
+			key := []byte(fmt.Sprintf("key-%03d", i))
+			v, _, err := cl.Get(p, key)
+			if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+				t.Errorf("get %d = %q, %v", i, v, err)
+				return
+			}
+		}
+		if _, err := cl.Del(p, []byte("key-000")); err != nil {
+			t.Errorf("del: %v", err)
+			return
+		}
+		if _, _, err := cl.Get(p, []byte("key-000")); err != core.ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+	})
+	for !done && k.Now() < 120*sim.Second {
+		k.Run(k.Now() + 100*sim.Millisecond)
+	}
+	if !done {
+		t.Fatal("driver timed out")
+	}
+}
+
+func TestBaselineWritesReplicate(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c, cl := buildFawnCluster(k, 4)
+	done := false
+	k.Go("driver", func(p *sim.Proc) {
+		defer func() { done = true }()
+		key := []byte("replicated")
+		if _, err := cl.Put(p, key, []byte("v")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		part := uint32(core.HashKey(key) % uint64(c.NumPart))
+		chain := c.chain(part)
+		if len(chain) != 3 {
+			t.Errorf("chain = %v", chain)
+			return
+		}
+		// Each chain member's backend holds the key.
+		for _, idx := range chain {
+			srv := c.servers[idx]
+			w := int(core.HashKey(key) % uint64(len(srv.cfg.Backends)))
+			v, err := srv.cfg.Backends[w].Get(p, key)
+			if err != nil || string(v) != "v" {
+				t.Errorf("replica %d: %q, %v", idx, v, err)
+				return
+			}
+		}
+	})
+	for !done && k.Now() < 60*sim.Second {
+		k.Run(k.Now() + 100*sim.Millisecond)
+	}
+	if !done {
+		t.Fatal("driver timed out")
+	}
+}
+
+func TestBaselineKVellPipelined(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	fab := netsim.New(k, netsim.Config{})
+	plat := platform.NewNode(k, platform.ServerJBOF(), 4, 128<<20, 1)
+	var backends []Backend
+	for w := 0; w < 4; w++ {
+		gate := NewGate(k, plat.Cores[w])
+		st := kvell.New(kvell.Config{
+			Kernel: k, Device: plat.SSDs[w], Exec: gate,
+			SlotBytes: 512, NumSlots: 4096,
+		})
+		backends = append(backends, kvellBackend{st})
+	}
+	ep := fab.AddNode(100, platform.ServerJBOF().NICBitsPerS)
+	srv := NewServer(ServerConfig{
+		Kernel: k, Endpoint: ep, Platform: plat,
+		Backends: backends, Synchronous: false, Depth: 8,
+	})
+	c := NewCluster(k, 1, 8, []*Server{srv})
+	srv.Start()
+	clEp := fab.AddNode(1000, 100_000_000_000)
+	cl := NewClient(k, clEp, c)
+	done := false
+	k.Go("driver", func(p *sim.Proc) {
+		defer func() { done = true }()
+		evs := make([]*sim.Event, 0, 64)
+		for i := 0; i < 64; i++ {
+			i := i
+			ev := k.NewEvent()
+			evs = append(evs, ev)
+			k.Go("op", func(op *sim.Proc) {
+				key := []byte(fmt.Sprintf("key-%03d", i))
+				if _, err := cl.Put(op, key, []byte("v")); err != nil {
+					t.Errorf("put: %v", err)
+				}
+				ev.Fire(nil)
+			})
+		}
+		p.WaitAll(evs...)
+		for i := 0; i < 64; i++ {
+			key := []byte(fmt.Sprintf("key-%03d", i))
+			if v, _, err := cl.Get(p, key); err != nil || string(v) != "v" {
+				t.Errorf("get %d: %q, %v", i, v, err)
+				return
+			}
+		}
+	})
+	for !done && k.Now() < 60*sim.Second {
+		k.Run(k.Now() + 100*sim.Millisecond)
+	}
+	if !done {
+		t.Fatal("driver timed out")
+	}
+}
+
+func TestSynchronousWorkersSerialize(t *testing.T) {
+	// A synchronous FAWN worker handles one request at a time, so N
+	// same-worker requests take ~N * (device latency).
+	k := sim.New()
+	defer k.Close()
+	_, cl := buildFawnCluster(k, 3)
+	var elapsed sim.Time
+	done := false
+	k.Go("driver", func(p *sim.Proc) {
+		defer func() { done = true }()
+		cl.Put(p, []byte("hot"), []byte("v"))
+		start := p.Now()
+		evs := make([]*sim.Event, 0, 8)
+		for i := 0; i < 8; i++ {
+			ev := k.NewEvent()
+			evs = append(evs, ev)
+			k.Go("op", func(op *sim.Proc) {
+				cl.Get(op, []byte("hot"))
+				ev.Fire(nil)
+			})
+		}
+		p.WaitAll(evs...)
+		elapsed = p.Now() - start
+	})
+	for !done && k.Now() < 60*sim.Second {
+		k.Run(k.Now() + 100*sim.Millisecond)
+	}
+	if !done {
+		t.Fatal("driver timed out")
+	}
+	// SD card read ~700us+: 8 serialized reads must take >4ms.
+	if elapsed < 4*sim.Millisecond {
+		t.Fatalf("8 same-key GETs finished in %v; workers not synchronous", elapsed)
+	}
+}

@@ -1,0 +1,304 @@
+// Package fawn reimplements the FAWN-DS datastore (Andersen et al.,
+// SOSP'09) as the paper's embedded-node baseline: an append-only log on
+// flash with a 6-byte-per-object DRAM hash index, one device access per
+// request, and a single-threaded semi-streaming compactor. It is evaluated
+// both on Raspberry Pi nodes (Embedded-FAWN) and ported onto the Stingray
+// (FAWN-JBOF, Table 3), where its DRAM-resident index limits usable
+// capacity to 7.7%/24.1% for 256B/1KB objects.
+package fawn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// IndexBytesPerObject is FAWN's DRAM cost per object: a 15-bit key
+// fragment, a valid bit, and a 4-byte log pointer (§2.3).
+const IndexBytesPerObject = 6
+
+// ErrFull reports that the log has no reclaimable space left.
+var ErrFull = errors.New("fawn: datastore full")
+
+const (
+	entryHdr   = 8 // magic u16 | klen u8 | flags u8 | vlen u32
+	entryMagic = 0xFA3A
+	flagDel    = 1
+)
+
+// Costs are the per-phase CPU cycle charges.
+type Costs struct {
+	Lookup  int64 // hash + index probe
+	Append  int64 // log bookkeeping
+	Compact int64 // per entry examined
+}
+
+// DefaultCosts returns FAWN-DS's calibrated cost model.
+func DefaultCosts() Costs {
+	return Costs{Lookup: 1200, Append: 900, Compact: 200}
+}
+
+// Config wires one FAWN-DS instance.
+type Config struct {
+	Kernel *sim.Kernel
+	Device flashsim.Device
+	Exec   core.Exec
+	Costs  Costs
+
+	RegionOff int64
+	LogBytes  int64
+
+	// DRAMBudget caps the index size; at 6 bytes per object this is what
+	// bounds FAWN's usable capacity on a JBOF (C1).
+	DRAMBudget int64
+}
+
+// Stats are cumulative counters.
+type Stats struct {
+	Gets, Puts, Dels int64
+	NotFounds        int64
+	Compactions      int64
+	ReclaimedBytes   int64
+	IndexRejects     int64 // puts rejected by the DRAM budget
+}
+
+// DS is one FAWN datastore.
+type DS struct {
+	cfg   Config
+	k     *sim.Kernel
+	log   *core.CircLog
+	index map[string]indexEntry
+	live  int64 // live bytes in the log
+	// mu serializes operations: a FAWN-DS virtual node is single-threaded
+	// (§2.2.2), which is precisely the execution model LEED's asynchronous
+	// framework improves on.
+	mu    sim.Mutex
+	stats Stats
+}
+
+type indexEntry struct {
+	off  int64
+	size int64
+}
+
+// New creates a datastore over its device region.
+func New(cfg Config) *DS {
+	if cfg.Exec == nil {
+		cfg.Exec = core.NopExec{}
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	return &DS{
+		cfg:   cfg,
+		k:     cfg.Kernel,
+		log:   core.NewCircLog(cfg.Kernel, cfg.Device, cfg.RegionOff, cfg.LogBytes),
+		index: make(map[string]indexEntry),
+	}
+}
+
+// Stats returns cumulative counters.
+func (d *DS) Stats() Stats { return d.stats }
+
+// Objects returns the live object count.
+func (d *DS) Objects() int64 { return int64(len(d.index)) }
+
+// IndexDRAMBytes returns the modeled index footprint.
+func (d *DS) IndexDRAMBytes() int64 { return int64(len(d.index)) * IndexBytesPerObject }
+
+// MaxObjects returns how many objects the DRAM budget can index.
+func (d *DS) MaxObjects() int64 {
+	if d.cfg.DRAMBudget == 0 {
+		return 1 << 62
+	}
+	return d.cfg.DRAMBudget / IndexBytesPerObject
+}
+
+func entrySize(keyLen, valLen int) int64 { return int64(entryHdr + keyLen + valLen) }
+
+func marshalEntry(key, val []byte, del bool) []byte {
+	buf := make([]byte, entrySize(len(key), len(val)))
+	binary.LittleEndian.PutUint16(buf[0:], entryMagic)
+	buf[2] = uint8(len(key))
+	if del {
+		buf[3] = flagDel
+	}
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(val)))
+	copy(buf[entryHdr:], key)
+	copy(buf[entryHdr+len(key):], val)
+	return buf
+}
+
+func parseEntry(src []byte) (key, val []byte, del bool, size int64, err error) {
+	if len(src) < entryHdr || binary.LittleEndian.Uint16(src[0:]) != entryMagic {
+		return nil, nil, false, 0, fmt.Errorf("fawn: bad entry")
+	}
+	kl := int(src[2])
+	vl := int(binary.LittleEndian.Uint32(src[4:]))
+	size = entrySize(kl, vl)
+	if int64(len(src)) < size {
+		return nil, nil, false, 0, fmt.Errorf("fawn: truncated entry")
+	}
+	return src[entryHdr : entryHdr+kl], src[entryHdr+kl : size], src[3]&flagDel != 0, size, nil
+}
+
+func (d *DS) cpu(p *sim.Proc, cycles int64) { d.cfg.Exec.Compute(p, cycles) }
+
+// Get reads a key with exactly one device access.
+func (d *DS) Get(p *sim.Proc, key []byte) ([]byte, error) {
+	d.mu.Lock(p)
+	defer d.mu.Unlock()
+	d.stats.Gets++
+	d.cpu(p, d.cfg.Costs.Lookup)
+	e, ok := d.index[string(key)]
+	if !ok {
+		d.stats.NotFounds++
+		return nil, core.ErrNotFound
+	}
+	buf := make([]byte, e.size)
+	if err := d.log.Read(p, e.off, buf); err != nil {
+		return nil, err
+	}
+	_, val, _, _, err := parseEntry(buf)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), val...), nil
+}
+
+// Put appends a log entry and updates the DRAM index (one device access).
+func (d *DS) Put(p *sim.Proc, key, val []byte) error {
+	d.mu.Lock(p)
+	defer d.mu.Unlock()
+	d.stats.Puts++
+	d.cpu(p, d.cfg.Costs.Lookup+d.cfg.Costs.Append)
+	if _, exists := d.index[string(key)]; !exists && int64(len(d.index)) >= d.MaxObjects() {
+		d.stats.IndexRejects++
+		return ErrFull
+	}
+	entry := marshalEntry(key, val, false)
+	off, err := d.appendWithCompaction(p, entry)
+	if err != nil {
+		return err
+	}
+	if old, exists := d.index[string(key)]; exists {
+		d.live -= old.size
+	}
+	d.index[string(key)] = indexEntry{off: off, size: int64(len(entry))}
+	d.live += int64(len(entry))
+	return nil
+}
+
+// Del appends a tombstone and drops the index entry (one device access).
+func (d *DS) Del(p *sim.Proc, key []byte) error {
+	d.mu.Lock(p)
+	defer d.mu.Unlock()
+	d.stats.Dels++
+	d.cpu(p, d.cfg.Costs.Lookup+d.cfg.Costs.Append)
+	old, exists := d.index[string(key)]
+	if !exists {
+		d.stats.NotFounds++
+		return core.ErrNotFound
+	}
+	entry := marshalEntry(key, nil, true)
+	if _, err := d.appendWithCompaction(p, entry); err != nil {
+		return err
+	}
+	delete(d.index, string(key))
+	d.live -= old.size
+	return nil
+}
+
+func (d *DS) appendWithCompaction(p *sim.Proc, entry []byte) (int64, error) {
+	for attempt := 0; ; attempt++ {
+		off, ev, err := d.log.Append(entry)
+		if err == nil {
+			if werr := p.Wait(ev); werr != nil {
+				return 0, werr.(error)
+			}
+			return off, nil
+		}
+		if err != core.ErrLogFull || attempt >= 2 {
+			return 0, ErrFull
+		}
+		if _, cerr := d.compactLocked(p); cerr != nil {
+			return 0, cerr
+		}
+	}
+}
+
+// Compact reclaims dead log space: a single-threaded scan from the head
+// that re-appends live entries. This is the unoptimized process LEED's
+// parallel sub-compactions improve on (§4.2, Figure 13).
+func (d *DS) Compact(p *sim.Proc) (int64, error) {
+	d.mu.Lock(p)
+	defer d.mu.Unlock()
+	return d.compactLocked(p)
+}
+
+func (d *DS) compactLocked(p *sim.Proc) (int64, error) {
+	d.stats.Compactions++
+	const chunkSize = 256 << 10
+	want := int64(chunkSize)
+	if want > d.log.Used() {
+		want = d.log.Used()
+	}
+	if want <= 0 {
+		return 0, nil
+	}
+	head := d.log.Head()
+	buf := make([]byte, want)
+	if err := d.log.Read(p, head, buf); err != nil {
+		return 0, err
+	}
+	pos := int64(0)
+	for pos < want {
+		key, _, _, size, err := parseEntry(buf[pos:])
+		if err != nil {
+			break
+		}
+		d.cpu(p, d.cfg.Costs.Compact)
+		e, ok := d.index[string(key)]
+		if ok && e.off == head+pos {
+			newOff, ev, aerr := d.log.Append(buf[pos : pos+size])
+			if aerr != nil {
+				break
+			}
+			if werr := p.Wait(ev); werr != nil {
+				return 0, werr.(error)
+			}
+			d.index[string(key)] = indexEntry{off: newOff, size: size}
+		}
+		pos += size
+	}
+	if pos > 0 {
+		d.log.ReleaseTo(head + pos)
+		d.stats.ReclaimedBytes += pos
+	}
+	return pos, nil
+}
+
+// NeedsCompaction reports whether the log passed 75% occupancy with
+// reclaimable space.
+func (d *DS) NeedsCompaction() bool {
+	return d.log.Used()*4 >= d.log.Size()*3 && d.log.Used() > d.live
+}
+
+// MaxCapacityFraction returns the fraction of flash FAWN can use for live
+// payload given a DRAM budget (Table 3's capacity row). Two thirds of DRAM
+// go to the index; the rest is OS, buffers, and log metadata — the split
+// that reproduces the paper's measured 7.7%/24.1%.
+func MaxCapacityFraction(flashBytes, dramBudget int64, keyLen, valLen int) float64 {
+	byDRAM := dramBudget * 2 / 3 / IndexBytesPerObject
+	perObj := entrySize(keyLen, valLen)
+	byFlash := flashBytes / perObj
+	objs := byDRAM
+	if byFlash < objs {
+		objs = byFlash
+	}
+	return float64(objs*int64(keyLen+valLen)) / float64(flashBytes)
+}

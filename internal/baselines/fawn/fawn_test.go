@@ -1,0 +1,167 @@
+package fawn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+func newTestDS(k *sim.Kernel) *DS {
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	return New(Config{Kernel: k, Device: dev, LogBytes: 2 << 20})
+}
+
+func run(k *sim.Kernel, fn func(p *sim.Proc)) {
+	k.Go("test", fn)
+	k.Run()
+}
+
+func TestFawnCRUD(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	d := newTestDS(k)
+	run(k, func(p *sim.Proc) {
+		if err := d.Put(p, []byte("k"), []byte("v1")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		v, err := d.Get(p, []byte("k"))
+		if err != nil || string(v) != "v1" {
+			t.Errorf("get = %q, %v", v, err)
+		}
+		d.Put(p, []byte("k"), []byte("v2"))
+		v, _ = d.Get(p, []byte("k"))
+		if string(v) != "v2" {
+			t.Errorf("overwrite lost: %q", v)
+		}
+		if err := d.Del(p, []byte("k")); err != nil {
+			t.Errorf("del: %v", err)
+		}
+		if _, err := d.Get(p, []byte("k")); err != core.ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+		if err := d.Del(p, []byte("k")); err != core.ErrNotFound {
+			t.Errorf("double del: %v", err)
+		}
+	})
+}
+
+func TestFawnSingleAccessPerOp(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	d := New(Config{Kernel: k, Device: dev, LogBytes: 2 << 20})
+	run(k, func(p *sim.Proc) {
+		d.Put(p, []byte("k"), []byte("v"))
+		w := dev.Stats().Writes
+		r := dev.Stats().Reads
+		if w != 1 || r != 0 {
+			t.Errorf("PUT did %d writes, %d reads; want 1, 0", w, r)
+		}
+		d.Get(p, []byte("k"))
+		if dev.Stats().Reads != 1 {
+			t.Errorf("GET did %d reads; want 1", dev.Stats().Reads)
+		}
+	})
+}
+
+func TestFawnDRAMBudgetLimitsObjects(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	d := New(Config{Kernel: k, Device: dev, LogBytes: 2 << 20, DRAMBudget: 10 * IndexBytesPerObject})
+	run(k, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := d.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+				t.Errorf("put %d: %v", i, err)
+			}
+		}
+		if err := d.Put(p, []byte("k-over"), []byte("v")); err != ErrFull {
+			t.Errorf("11th insert: %v, want ErrFull", err)
+		}
+		// Overwrites of existing keys still work.
+		if err := d.Put(p, []byte("k3"), []byte("v2")); err != nil {
+			t.Errorf("overwrite under budget: %v", err)
+		}
+	})
+	if d.Stats().IndexRejects != 1 {
+		t.Fatalf("rejects = %d", d.Stats().IndexRejects)
+	}
+}
+
+func TestFawnCompactionSustainsChurn(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	d := New(Config{Kernel: k, Device: dev, LogBytes: 128 << 10})
+	run(k, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(1))
+		model := map[string]string{}
+		for i := 0; i < 12000; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(100))
+			val := fmt.Sprintf("value-%08d", i)
+			if err := d.Put(p, []byte(key), []byte(val)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+			model[key] = val
+			if d.NeedsCompaction() {
+				if _, err := d.Compact(p); err != nil {
+					t.Errorf("compact: %v", err)
+					return
+				}
+			}
+		}
+		for key, want := range model {
+			v, err := d.Get(p, []byte(key))
+			if err != nil || string(v) != want {
+				t.Errorf("get %q = %q, %v", key, v, err)
+				return
+			}
+		}
+	})
+	if d.Stats().Compactions == 0 {
+		t.Fatal("compaction never ran")
+	}
+}
+
+func TestFawnMaxCapacityFraction(t *testing.T) {
+	// Table 3: FAWN on a Stingray (8GB DRAM, 3.84TB flash) uses only
+	// ~7.7% for 256B objects and ~24.1% for 1KB.
+	flash := int64(4) * 960 << 30
+	dram := int64(8) << 30
+	f256 := MaxCapacityFraction(flash, dram, 16, 256)
+	f1k := MaxCapacityFraction(flash, dram, 16, 1024)
+	if f256 < 0.05 || f256 > 0.12 {
+		t.Fatalf("256B capacity fraction = %.3f, want ~0.077", f256)
+	}
+	if f1k < 0.18 || f1k > 0.32 {
+		t.Fatalf("1KB capacity fraction = %.3f, want ~0.24", f1k)
+	}
+	if f1k <= f256 {
+		t.Fatal("capacity fraction must grow with object size")
+	}
+}
+
+func TestFawnLatencyOnRealDevice(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	spec := flashsim.SamsungDCT983(16 << 20)
+	spec.Jitter = 0
+	dev := flashsim.NewSSD(k, spec)
+	d := New(Config{Kernel: k, Device: dev, LogBytes: 8 << 20})
+	var getLat sim.Time
+	run(k, func(p *sim.Proc) {
+		d.Put(p, []byte("k"), make([]byte, 256))
+		t0 := p.Now()
+		d.Get(p, []byte("k"))
+		getLat = p.Now() - t0
+	})
+	// One device read: ~52-60us — about half of LEED's two-access GET.
+	if getLat < 40*sim.Microsecond || getLat > 80*sim.Microsecond {
+		t.Fatalf("FAWN GET latency = %v, want ~55us", getLat)
+	}
+}

@@ -1,0 +1,196 @@
+// Package kvell reimplements KVell (Lepers et al., SOSP'19) as the paper's
+// server-JBOF baseline: shared-nothing per-core workers, a full in-memory
+// B-tree index, fixed-size on-disk slots with free lists, and exactly one
+// device access per operation. Its defining costs on a SmartNIC JBOF are
+// the DRAM-resident index (capacity ceiling, Table 3) and the
+// computation-heavy sorted index on wimpy cores (§4.2).
+package kvell
+
+// btree is an in-memory B-tree mapping string keys to int64 slot numbers.
+// It is a real index structure — lookups walk nodes, inserts split — so the
+// workload's index CPU cost has a concrete referent.
+const btreeOrder = 32 // max children per internal node
+
+type btreeNode struct {
+	keys     []string
+	vals     []int64
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// BTree is the index. The zero value is not usable; use NewBTree.
+type BTree struct {
+	root *btreeNode
+	size int
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &btreeNode{}} }
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.size }
+
+// search returns the index of the first key >= k in the node.
+func search(keys []string, k string) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == k
+}
+
+// Get returns the slot for key.
+func (t *BTree) Get(key string) (int64, bool) {
+	n := t.root
+	for {
+		i, eq := search(n.keys, key)
+		if eq {
+			if n.vals[i] == deletedSlot {
+				return 0, false
+			}
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Put inserts or updates key -> slot.
+func (t *BTree) Put(key string, slot int64) {
+	if len(t.root.keys) == btreeOrder-1 {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	if t.insertNonFull(t.root, key, slot) {
+		t.size++
+	}
+}
+
+func (t *BTree) splitChild(parent *btreeNode, i int) {
+	child := parent.children[i]
+	mid := len(child.keys) / 2
+	midKey, midVal := child.keys[mid], child.vals[mid]
+	right := &btreeNode{
+		keys: append([]string(nil), child.keys[mid+1:]...),
+		vals: append([]int64(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	parent.keys = append(parent.keys, "")
+	parent.vals = append(parent.vals, 0)
+	copy(parent.keys[i+1:], parent.keys[i:])
+	copy(parent.vals[i+1:], parent.vals[i:])
+	parent.keys[i] = midKey
+	parent.vals[i] = midVal
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+// insertNonFull reports whether a new key was inserted (false on update).
+func (t *BTree) insertNonFull(n *btreeNode, key string, slot int64) bool {
+	for {
+		i, eq := search(n.keys, key)
+		if eq {
+			revived := n.vals[i] == deletedSlot
+			n.vals[i] = slot
+			return revived
+		}
+		if n.leaf() {
+			n.keys = append(n.keys, "")
+			n.vals = append(n.vals, 0)
+			copy(n.keys[i+1:], n.keys[i:])
+			copy(n.vals[i+1:], n.vals[i:])
+			n.keys[i] = key
+			n.vals[i] = slot
+			return true
+		}
+		if len(n.children[i].keys) == btreeOrder-1 {
+			t.splitChild(n, i)
+			if key == n.keys[i] {
+				revived := n.vals[i] == deletedSlot
+				n.vals[i] = slot
+				return revived
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// deletedSlot marks a tombstoned key. Deletion is lazy: the key stays in
+// the node with this sentinel value (re-insertion revives it). This keeps
+// the structure valid without rebalancing; index memory accounting uses the
+// live count, not node bytes.
+const deletedSlot = int64(-1)
+
+// Delete removes key, returning its slot.
+func (t *BTree) Delete(key string) (int64, bool) {
+	n := t.root
+	for {
+		i, eq := search(n.keys, key)
+		if eq {
+			slot := n.vals[i]
+			if slot == deletedSlot {
+				return 0, false
+			}
+			n.vals[i] = deletedSlot
+			t.size--
+			return slot, true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Depth returns the tree height (for cost-model sanity checks).
+func (t *BTree) Depth() int {
+	d := 1
+	for n := t.root; !n.leaf(); n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// Ascend calls fn for every key in order until fn returns false.
+func (t *BTree) Ascend(fn func(key string, slot int64) bool) {
+	var walk func(n *btreeNode) bool
+	walk = func(n *btreeNode) bool {
+		for i := range n.keys {
+			if !n.leaf() {
+				if !walk(n.children[i]) {
+					return false
+				}
+			}
+			if n.vals[i] == deletedSlot {
+				continue
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+		if !n.leaf() {
+			return walk(n.children[len(n.children)-1])
+		}
+		return true
+	}
+	walk(t.root)
+}

@@ -1,0 +1,96 @@
+package kvell
+
+// pageCache is a small LRU of slot contents: KVell's DRAM page cache.
+// Implemented as an intrusive doubly-linked list over a map, O(1) per
+// operation.
+type pageCache struct {
+	cap   int
+	items map[int64]*cacheNode // by slot
+	head  *cacheNode           // most recent
+	tail  *cacheNode
+
+	hits, misses int64
+}
+
+type cacheNode struct {
+	slot       int64
+	data       []byte
+	prev, next *cacheNode
+}
+
+func newPageCache(capSlots int) *pageCache {
+	return &pageCache{cap: capSlots, items: make(map[int64]*cacheNode)}
+}
+
+func (c *pageCache) unlink(n *cacheNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *pageCache) pushFront(n *cacheNode) {
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+// get returns the cached slot contents (not copied) and promotes the entry.
+func (c *pageCache) get(slot int64) ([]byte, bool) {
+	if c == nil || c.cap == 0 {
+		return nil, false
+	}
+	n, ok := c.items[slot]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.unlink(n)
+	c.pushFront(n)
+	return n.data, true
+}
+
+// put inserts or refreshes a slot's contents (copied), evicting LRU.
+func (c *pageCache) put(slot int64, data []byte) {
+	if c == nil || c.cap == 0 {
+		return
+	}
+	if n, ok := c.items[slot]; ok {
+		n.data = append(n.data[:0], data...)
+		c.unlink(n)
+		c.pushFront(n)
+		return
+	}
+	if len(c.items) >= c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.items, evict.slot)
+	}
+	n := &cacheNode{slot: slot, data: append([]byte(nil), data...)}
+	c.items[slot] = n
+	c.pushFront(n)
+}
+
+// drop removes a slot from the cache (on delete/slot reuse).
+func (c *pageCache) drop(slot int64) {
+	if c == nil {
+		return
+	}
+	if n, ok := c.items[slot]; ok {
+		c.unlink(n)
+		delete(c.items, slot)
+	}
+}

@@ -1,0 +1,133 @@
+package kvell
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+func TestPageCacheLRU(t *testing.T) {
+	c := newPageCache(2)
+	c.put(1, []byte("a"))
+	c.put(2, []byte("b"))
+	if v, ok := c.get(1); !ok || string(v) != "a" {
+		t.Fatal("miss on resident slot")
+	}
+	c.put(3, []byte("c")) // evicts 2 (LRU), not 1 (recently used)
+	if _, ok := c.get(2); ok {
+		t.Fatal("slot 2 should have been evicted")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Fatal("slot 1 evicted despite recent use")
+	}
+	if _, ok := c.get(3); !ok {
+		t.Fatal("slot 3 missing")
+	}
+}
+
+func TestPageCacheUpdateAndDrop(t *testing.T) {
+	c := newPageCache(4)
+	c.put(1, []byte("v1"))
+	c.put(1, []byte("v2"))
+	if v, _ := c.get(1); string(v) != "v2" {
+		t.Fatalf("stale cache: %q", v)
+	}
+	c.drop(1)
+	if _, ok := c.get(1); ok {
+		t.Fatal("dropped slot still cached")
+	}
+	c.drop(99) // no-op
+}
+
+func TestPageCacheDisabled(t *testing.T) {
+	c := newPageCache(0)
+	c.put(1, []byte("a"))
+	if _, ok := c.get(1); ok {
+		t.Fatal("zero-capacity cache stored data")
+	}
+	var nilc *pageCache
+	if _, ok := nilc.get(1); ok {
+		t.Fatal("nil cache returned data")
+	}
+}
+
+func TestStoreCacheAvoidsDeviceReads(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	s := New(Config{
+		Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 256, CacheSlots: 64,
+	})
+	run(k, func(p *sim.Proc) {
+		s.Put(p, []byte("hot"), []byte("v"))
+		for i := 0; i < 10; i++ {
+			if v, err := s.Get(p, []byte("hot")); err != nil || string(v) != "v" {
+				t.Errorf("get: %q, %v", v, err)
+				return
+			}
+		}
+	})
+	if dev.Stats().Reads != 0 {
+		t.Fatalf("device reads = %d; put should have primed the cache", dev.Stats().Reads)
+	}
+	if s.Stats().CacheHits != 10 {
+		t.Fatalf("cache hits = %d", s.Stats().CacheHits)
+	}
+}
+
+func TestStoreCacheCoherentAfterOverwriteAndDelete(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	s := New(Config{
+		Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 8, CacheSlots: 8,
+	})
+	run(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v1"))
+		s.Get(p, []byte("k"))
+		s.Put(p, []byte("k"), []byte("v2"))
+		if v, _ := s.Get(p, []byte("k")); string(v) != "v2" {
+			t.Errorf("stale cached value: %q", v)
+		}
+		s.Del(p, []byte("k"))
+		// Reuse the slot for another key; the cache must not leak "k".
+		s.Put(p, []byte("j"), []byte("jv"))
+		if v, err := s.Get(p, []byte("j")); err != nil || string(v) != "jv" {
+			t.Errorf("get j: %q, %v", v, err)
+		}
+		if _, err := s.Get(p, []byte("k")); err == nil {
+			t.Error("deleted key readable")
+		}
+	})
+}
+
+func TestStoreCacheZipfHitRate(t *testing.T) {
+	// Skewed access over a cache covering 10% of slots should hit often.
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 32<<20)
+	s := New(Config{
+		Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 1000, CacheSlots: 100,
+	})
+	run(k, func(p *sim.Proc) {
+		for i := 0; i < 1000; i++ {
+			s.Put(p, []byte(fmt.Sprintf("key%04d", i)), []byte("v"))
+		}
+		// 80/20-style access: 80% of reads to the first 50 keys.
+		for i := 0; i < 2000; i++ {
+			var id int
+			if i%5 != 0 {
+				id = i % 50
+			} else {
+				id = i % 1000
+			}
+			s.Get(p, []byte(fmt.Sprintf("key%04d", id)))
+		}
+	})
+	hits := s.Stats().CacheHits
+	if hits < 1200 {
+		t.Fatalf("cache hits = %d/2000 under skewed reads", hits)
+	}
+}

@@ -1,0 +1,283 @@
+package kvell
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree()
+	bt.Put("b", 2)
+	bt.Put("a", 1)
+	bt.Put("c", 3)
+	if v, ok := bt.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	bt.Put("a", 10)
+	if v, _ := bt.Get("a"); v != 10 {
+		t.Fatalf("update lost: %d", v)
+	}
+	if bt.Len() != 3 {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if v, ok := bt.Delete("b"); !ok || v != 2 {
+		t.Fatalf("delete = %d, %v", v, ok)
+	}
+	if _, ok := bt.Get("b"); ok {
+		t.Fatal("deleted key found")
+	}
+	if _, ok := bt.Delete("b"); ok {
+		t.Fatal("double delete succeeded")
+	}
+	bt.Put("b", 22) // revive
+	if v, _ := bt.Get("b"); v != 22 || bt.Len() != 3 {
+		t.Fatalf("revive failed: %d len=%d", v, bt.Len())
+	}
+}
+
+func TestBTreeManyKeysSplits(t *testing.T) {
+	bt := NewBTree()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		bt.Put(fmt.Sprintf("key%08d", i), int64(i))
+	}
+	if bt.Len() != n {
+		t.Fatalf("len = %d", bt.Len())
+	}
+	if bt.Depth() < 3 {
+		t.Fatalf("depth = %d for 10k keys; splits not happening", bt.Depth())
+	}
+	for i := 0; i < n; i += 97 {
+		if v, ok := bt.Get(fmt.Sprintf("key%08d", i)); !ok || v != int64(i) {
+			t.Fatalf("key %d = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestBTreeAscendSorted(t *testing.T) {
+	bt := NewBTree()
+	perm := rand.New(rand.NewSource(4)).Perm(500)
+	for _, i := range perm {
+		bt.Put(fmt.Sprintf("k%06d", i), int64(i))
+	}
+	bt.Delete("k000100")
+	var keys []string
+	bt.Ascend(func(k string, v int64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 499 {
+		t.Fatalf("ascend visited %d keys", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("ascend not in order")
+	}
+	for _, k := range keys {
+		if k == "k000100" {
+			t.Fatal("tombstone visited")
+		}
+	}
+}
+
+func TestBTreePropertyVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bt := NewBTree()
+		model := map[string]int64{}
+		for i := 0; i < 800; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(200))
+			switch rng.Intn(10) {
+			case 0, 1:
+				_, okT := bt.Delete(key)
+				_, okM := model[key]
+				if okT != okM {
+					return false
+				}
+				delete(model, key)
+			default:
+				v := rng.Int63n(1 << 40)
+				bt.Put(key, v)
+				model[key] = v
+			}
+		}
+		if bt.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			if got, ok := bt.Get(k); !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestStore(k *sim.Kernel, maxObjects int64) *Store {
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	return New(Config{
+		Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 8192,
+		MaxObjects: maxObjects,
+	})
+}
+
+func run(k *sim.Kernel, fn func(p *sim.Proc)) {
+	k.Go("test", fn)
+	k.Run()
+}
+
+func TestKVellCRUD(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k, 0)
+	run(k, func(p *sim.Proc) {
+		if err := s.Put(p, []byte("k"), []byte("v1")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		v, err := s.Get(p, []byte("k"))
+		if err != nil || string(v) != "v1" {
+			t.Errorf("get = %q, %v", v, err)
+		}
+		s.Put(p, []byte("k"), []byte("v2"))
+		v, _ = s.Get(p, []byte("k"))
+		if string(v) != "v2" {
+			t.Errorf("in-place update lost: %q", v)
+		}
+		if err := s.Del(p, []byte("k")); err != nil {
+			t.Errorf("del: %v", err)
+		}
+		if _, err := s.Get(p, []byte("k")); err != core.ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+	})
+}
+
+func TestKVellSingleAccessPerOp(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	s := New(Config{Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 100})
+	run(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v"))
+		if dev.Stats().Writes != 1 || dev.Stats().Reads != 0 {
+			t.Errorf("PUT: %+v", dev.Stats())
+		}
+		s.Get(p, []byte("k"))
+		if dev.Stats().Reads != 1 {
+			t.Errorf("GET reads = %d", dev.Stats().Reads)
+		}
+	})
+}
+
+func TestKVellSlotReuse(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	s := New(Config{Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 2})
+	run(k, func(p *sim.Proc) {
+		s.Put(p, []byte("a"), []byte("v"))
+		s.Put(p, []byte("b"), []byte("v"))
+		if err := s.Put(p, []byte("c"), []byte("v")); err != ErrFull {
+			t.Errorf("3rd insert into 2 slots: %v", err)
+		}
+		s.Del(p, []byte("a"))
+		if err := s.Put(p, []byte("c"), []byte("vc")); err != nil {
+			t.Errorf("insert after free: %v", err)
+		}
+		v, err := s.Get(p, []byte("c"))
+		if err != nil || string(v) != "vc" {
+			t.Errorf("get c = %q, %v", v, err)
+		}
+	})
+}
+
+func TestKVellMaxObjectsBudget(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k, 5)
+	run(k, func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if err := s.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		if err := s.Put(p, []byte("k9"), []byte("v")); err != ErrFull {
+			t.Errorf("over-budget insert: %v", err)
+		}
+	})
+	if s.Stats().IndexRejects != 1 {
+		t.Fatalf("rejects = %d", s.Stats().IndexRejects)
+	}
+}
+
+func TestKVellOversizedObjectRejected(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k, 0)
+	run(k, func(p *sim.Proc) {
+		if err := s.Put(p, []byte("k"), make([]byte, 600)); err == nil {
+			t.Error("oversized object accepted into 512B slot")
+		}
+	})
+}
+
+func TestKVellModelCheck(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k, 0)
+	run(k, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(9))
+		model := map[string]string{}
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(300))
+			switch rng.Intn(10) {
+			case 0, 1:
+				errS := s.Del(p, []byte(key))
+				_, had := model[key]
+				if had != (errS == nil) {
+					t.Errorf("del mismatch for %q: %v", key, errS)
+					return
+				}
+				delete(model, key)
+			default:
+				val := fmt.Sprintf("v%d", i)
+				if err := s.Put(p, []byte(key), []byte(val)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				model[key] = val
+			}
+		}
+		for key, want := range model {
+			v, err := s.Get(p, []byte(key))
+			if err != nil || string(v) != want {
+				t.Errorf("get %q = %q, %v", key, v, err)
+				return
+			}
+		}
+	})
+}
+
+func TestKVellCapacityFraction(t *testing.T) {
+	// Table 3: KVell on the Stingray (8GB DRAM) can use only ~0.9%/2.6% of
+	// the 3.84TB flash for 256B/1KB objects.
+	flash := int64(4) * 960 << 30
+	dram := int64(8) << 30
+	f256 := MaxCapacityFraction(flash, dram, 16, 256)
+	f1k := MaxCapacityFraction(flash, dram, 16, 1024)
+	if f256 < 0.005 || f256 > 0.02 {
+		t.Fatalf("256B = %.4f, want ~0.009", f256)
+	}
+	if f1k < 0.02 || f1k > 0.05 {
+		t.Fatalf("1KB = %.4f, want ~0.026", f1k)
+	}
+}

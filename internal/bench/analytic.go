@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"leed/internal/flashsim"
+	"leed/internal/platform"
+	"leed/internal/sim"
+)
+
+// Tab1 regenerates Table 1: the architectural comparison of the embedded
+// node, server JBOF, and SmartNIC JBOF, computed from the platform profiles
+// plus the balls-into-bins maximum-load bound m/n + Θ(sqrt(m·log n / n))
+// with a 100-node embedded cluster vs 3-node JBOF clusters.
+func Tab1() *Table {
+	type row struct {
+		spec    platform.Spec
+		ssds    int
+		nodes   int
+		ssdIOPS float64
+	}
+	rows := []row{
+		{platform.RaspberryPi(), 1, 100, satIOPS(platform.RaspberryPi(), 4096)},
+		{platform.ServerJBOF(), 8, 3, satIOPS(platform.ServerJBOF(), 4096)},
+		{platform.Stingray(), 4, 3, satIOPS(platform.Stingray(), 4096)},
+	}
+	t := &Table{
+		Title:   "Table 1: data store node comparison",
+		Columns: []string{"metric", "Embedded", "ServerJBOF", "SmartNIC JBOF"},
+	}
+	cell := func(f func(r row) string) []string {
+		out := make([]string, 0, 3)
+		for _, r := range rows {
+			out = append(out, f(r))
+		}
+		return out
+	}
+	skew := cell(func(r row) string {
+		flash := float64(int64(r.ssds) * 960 << 30)
+		if r.spec.Name == "RaspberryPi" {
+			flash = float64(int64(32) << 30)
+		}
+		return fmt.Sprintf("%.0f", flash/float64(r.spec.DRAMBytes))
+	})
+	t.Add(append([]string{"storage hierarchy skew (flash:DRAM)"}, skew...)...)
+	net := cell(func(r row) string {
+		return fmt.Sprintf("%.2f GbE", float64(r.spec.NICBitsPerS)/1e9/float64(r.spec.NumCores))
+	})
+	t.Add(append([]string{"computing density (network, per core)"}, net...)...)
+	st := cell(func(r row) string {
+		return fmt.Sprintf("%.0fK IOPS", r.ssdIOPS*float64(r.ssds)/float64(r.spec.NumCores)/1000)
+	})
+	t.Add(append([]string{"computing density (storage, per core)"}, st...)...)
+	load := cell(func(r row) string {
+		n := float64(r.nodes)
+		return fmt.Sprintf("%.3fm + O(sqrt(%.3fm))", 1/n, math.Log10(n)/n)
+	})
+	t.Add(append([]string{"maximum load (m = request rate)"}, load...)...)
+	return t
+}
+
+// satIOPS measures one drive's saturated IOPS for opSize random reads.
+func satIOPS(spec platform.Spec, opSize int) float64 {
+	k := sim.New()
+	defer k.Close()
+	ss := spec.SSDSpec(1 << 30)
+	ss.Jitter = 0
+	dev := flashsim.NewSSD(k, ss)
+	const n = 1500
+	done := 0
+	for i := 0; i < n; i++ {
+		off := int64(i*opSize) % (1 << 29)
+		k.Go("io", func(p *sim.Proc) {
+			op := &flashsim.Op{Kind: flashsim.OpRead, Offset: off, Data: make([]byte, opSize), Done: k.NewEvent()}
+			dev.Submit(op)
+			p.Wait(op.Done)
+			done++
+		})
+	}
+	end := k.Run()
+	return float64(done) / end.Seconds()
+}
+
+// satSeqWriteBW measures one drive's sequential-write bandwidth (bytes/s).
+func satSeqWriteBW(spec platform.Spec) float64 {
+	k := sim.New()
+	defer k.Close()
+	ss := spec.SSDSpec(1 << 30)
+	ss.Jitter = 0
+	dev := flashsim.NewSSD(k, ss)
+	const n, chunk = 300, 256 << 10
+	for i := 0; i < n; i++ {
+		off := int64(i * chunk)
+		k.Go("io", func(p *sim.Proc) {
+			op := &flashsim.Op{Kind: flashsim.OpWrite, Offset: off, Data: make([]byte, chunk), Done: k.NewEvent()}
+			dev.Submit(op)
+			p.Wait(op.Done)
+		})
+	}
+	end := k.Run()
+	return float64(n*chunk) / end.Seconds()
+}
+
+// Fig1Point is one (platform, capacity) energy-efficiency sample.
+type Fig1Point struct {
+	Platform    string
+	CapacityGB  int64
+	ReadKIOPSJ  float64 // 4KB random read KIOPS per Joule
+	WriteKIOPSJ float64 // 4KB sequential write KIOPS per Joule
+}
+
+// Fig1 regenerates Figure 1: raw-device energy efficiency vs storage
+// capacity for the three platforms. Per-drive rates come from the device
+// model; cluster power is nodes x full-load wall power.
+func Fig1() ([]Fig1Point, *Table) {
+	type plat struct {
+		name      string
+		spec      platform.Spec
+		nodeCapGB int64
+		maxSSDs   int
+	}
+	plats := []plat{
+		{"RaspberryPi", platform.RaspberryPi(), 32, 1},
+		{"ServerJBOF", platform.ServerJBOF(), 8 * 960, 8},
+		{"SmartNIC JBOF", platform.Stingray(), 4 * 960, 4},
+	}
+	caps := []int64{32, 256, 2048, 16384}
+	var pts []Fig1Point
+	t := &Table{
+		Title:   "Figure 1: raw I/O energy efficiency (KIOPS/J)",
+		Columns: []string{"platform", "capacityGB", "4K-rand-read", "4K-seq-write"},
+	}
+	for _, pl := range plats {
+		rdPerSSD := satIOPS(pl.spec, 4096)
+		wrPerSSD := satSeqWriteBW(pl.spec) / 4096
+		fullW := pl.spec.IdleWatts + float64(pl.spec.NumCores)*pl.spec.CoreWatts +
+			float64(pl.maxSSDs)*pl.spec.SSDWatts
+		perSSDcapGB := pl.nodeCapGB / int64(pl.maxSSDs)
+		for _, c := range caps {
+			// Fill drives first, then add nodes (the paper's methodology).
+			ssds := (c + perSSDcapGB - 1) / perSSDcapGB
+			nodes := (ssds + int64(pl.maxSSDs) - 1) / int64(pl.maxSSDs)
+			watts := float64(nodes) * fullW
+			pt := Fig1Point{
+				Platform:    pl.name,
+				CapacityGB:  c,
+				ReadKIOPSJ:  float64(ssds) * rdPerSSD / watts / 1000,
+				WriteKIOPSJ: float64(ssds) * wrPerSSD / watts / 1000,
+			}
+			pts = append(pts, pt)
+			t.Add(pl.name, fmt.Sprintf("%d", c), f2(pt.ReadKIOPSJ), f2(pt.WriteKIOPSJ))
+		}
+	}
+	return pts, t
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"testing"
+
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+func TestRunClosedLoopLEED(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	sys := NewLEEDCluster(k, DefaultLEED(256))
+	Preload(k, sys.Do, 500, 256, 16)
+	res := Run(k, sys.Do, ycsb.WorkloadB, 500, 256, sys.Meters, RunConfig{
+		Clients: 16, Ops: 800, WarmupOps: 100, Seed: 1,
+	})
+	if res.Ops != 800 {
+		t.Fatalf("measured %d ops: %v", res.Ops, res)
+	}
+	if res.Errs > 8 {
+		t.Fatalf("too many errors: %v", res)
+	}
+	if res.Thr <= 0 || res.Joules <= 0 || res.QPerJ <= 0 {
+		t.Fatalf("bad metrics: %v", res)
+	}
+	if res.Lat.Mean() < 50*sim.Microsecond || res.Lat.Mean() > 10*sim.Millisecond {
+		t.Fatalf("implausible mean latency: %v", res.Lat)
+	}
+}
+
+func TestRunClosedLoopBaselines(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func(k *sim.Kernel) *System
+	}{
+		{"kvell-server", func(k *sim.Kernel) *System { return NewKVellCluster(k, 3, 256, 400) }},
+		{"fawn-pi", func(k *sim.Kernel) *System { return NewFAWNCluster(k, 4, 256) }},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			k := sim.New()
+			defer k.Close()
+			sys := build.mk(k)
+			Preload(k, sys.Do, 400, 256, 8)
+			res := Run(k, sys.Do, ycsb.WorkloadB, 400, 256, sys.Meters, RunConfig{
+				Clients: 8, Ops: 400, WarmupOps: 50, Seed: 2,
+			})
+			if res.Ops != 400 || res.Errs > 4 {
+				t.Fatalf("%s: %v", build.name, res)
+			}
+		})
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	sys := NewLEEDCluster(k, DefaultLEED(256))
+	Preload(k, sys.Do, 300, 256, 16)
+	res := Run(k, sys.Do, ycsb.WorkloadC, 300, 256, sys.Meters, RunConfig{
+		Rate: 50_000, Duration: 40 * sim.Millisecond, Seed: 3,
+	})
+	if res.Ops == 0 {
+		t.Fatalf("no ops measured: %v", res)
+	}
+	// Throughput should be near the offered rate (well under saturation).
+	if res.Thr < 30_000 || res.Thr > 70_000 {
+		t.Fatalf("open-loop throughput %v at offered 50K", res.Thr)
+	}
+}
+
+func TestSingleNodeSystems(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		mk   func(k *sim.Kernel) *System
+	}{
+		{"leed-node", func(k *sim.Kernel) *System { return NewLEEDNode(k, 256) }},
+		{"fawn-jbof", func(k *sim.Kernel) *System { return NewFAWNJBOF(k, 256) }},
+		{"kvell-jbof", func(k *sim.Kernel) *System { return NewKVellJBOF(k, 256) }},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			k := sim.New()
+			defer k.Close()
+			sys := build.mk(k)
+			Preload(k, sys.Do, 400, 256, 16)
+			res := Run(k, sys.Do, ycsb.WorkloadA, 400, 256, sys.Meters, RunConfig{
+				Clients: 16, Ops: 600, WarmupOps: 50, Seed: 4,
+			})
+			if res.Ops != 600 || res.Errs > 6 {
+				t.Fatalf("%s: %v", build.name, res)
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() RunResult {
+		k := sim.New()
+		defer k.Close()
+		sys := NewLEEDCluster(k, DefaultLEED(256))
+		Preload(k, sys.Do, 400, 256, 16)
+		return Run(k, sys.Do, ycsb.WorkloadA, 400, 256, sys.Meters, RunConfig{
+			Clients: 24, Ops: 600, WarmupOps: 60, Seed: 9,
+		})
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.Elapsed != b.Elapsed || a.Thr != b.Thr ||
+		a.Lat.Mean() != b.Lat.Mean() || a.Lat.P999() != b.Lat.P999() ||
+		a.Joules != b.Joules {
+		t.Fatalf("nondeterministic runs:\n%v\n%v", a, b)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "x", Columns: []string{"a", "b"}}
+	tab.Add("1", "has,comma")
+	tab.Add("2", `has"quote`)
+	got := tab.CSV()
+	want := "a,b\n1,\"has,comma\"\n2,\"has\"\"quote\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

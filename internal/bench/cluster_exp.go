@@ -1,0 +1,432 @@
+package bench
+
+import (
+	"fmt"
+
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+// Fig5Row is one (workload, system, size) energy-efficiency sample.
+type Fig5Row struct {
+	Workload string
+	System   string
+	ValLen   int
+	KQPerJ   float64 // thousand queries per Joule
+	KQPS     float64
+	AvgWatts float64
+}
+
+// fig5Systems builds the three platforms the paper compares.
+func fig5Systems(valLen int, records int64) []struct {
+	name string
+	mk   func(k *sim.Kernel) *System
+} {
+	return []struct {
+		name string
+		mk   func(k *sim.Kernel) *System
+	}{
+		{"Embedded-FAWN", func(k *sim.Kernel) *System { return NewFAWNCluster(k, 10, valLen) }},
+		{"Server-KVell", func(k *sim.Kernel) *System { return NewKVellCluster(k, 3, valLen, records) }},
+		{"SmartNIC-LEED", func(k *sim.Kernel) *System { return NewLEEDCluster(k, DefaultLEED(valLen)) }},
+	}
+}
+
+// Fig5 regenerates Figure 5: queries per Joule for the YCSB workloads on
+// the three platforms at both object sizes, measured at saturation.
+func Fig5(sc Scale, workloads []ycsb.Workload, sizes []int) ([]Fig5Row, *Table) {
+	if len(workloads) == 0 {
+		workloads = ycsb.Workloads
+	}
+	if len(sizes) == 0 {
+		sizes = []int{256, 1024}
+	}
+	var rows []Fig5Row
+	for _, valLen := range sizes {
+		for _, sysb := range fig5Systems(valLen, sc.Records) {
+			k := sim.New()
+			sys := sysb.mk(k)
+			Preload(k, sys.Do, sc.Records, valLen, 32)
+			for wi, w := range workloads {
+				ops := sc.Ops
+				clients := sc.Clients * 4
+				if sysb.name == "Embedded-FAWN" {
+					ops = sc.Ops / 8 // the Pi cluster is far slower; keep runs bounded
+					clients = sc.Clients
+				}
+				res := Run(k, sys.Do, w, sc.Records, valLen, sys.Meters, RunConfig{
+					Clients: clients, Ops: ops, WarmupOps: ops / 8, Seed: int64(100 + wi),
+				})
+				watts := 0.0
+				if res.Elapsed > 0 {
+					watts = res.Joules / res.Elapsed.Seconds()
+				}
+				rows = append(rows, Fig5Row{
+					Workload: w.Name, System: sysb.name, ValLen: valLen,
+					KQPerJ: res.QPerJ / 1000, KQPS: res.Thr / 1000, AvgWatts: watts,
+				})
+			}
+			k.Close()
+		}
+	}
+	t := &Table{
+		Title:   "Figure 5: energy efficiency (KQueries/Joule)",
+		Columns: []string{"workload", "system", "objsize", "KQ/J", "KQPS", "watts"},
+	}
+	for _, r := range rows {
+		t.Add(r.Workload, r.System, fmt.Sprintf("%dB", r.ValLen), f2(r.KQPerJ), f2(r.KQPS), f2(r.AvgWatts))
+	}
+	return rows, t
+}
+
+// Fig6Point is one latency-vs-throughput sample.
+type Fig6Point struct {
+	Workload string
+	System   string
+	KQPS     float64
+	AvgLatMs float64
+}
+
+// Fig6 regenerates Figure 6 (1KB) / Figure 14 (256B): average latency vs
+// offered throughput for the three platforms plus the synthetic FAWN(100)
+// (the paper's ideal 10x linear scaling of FAWN(10)).
+func Fig6(sc Scale, valLen int, workloads []ycsb.Workload) ([]Fig6Point, *Table) {
+	if len(workloads) == 0 {
+		workloads = ycsb.Workloads
+	}
+	var pts []Fig6Point
+	for _, sysb := range fig5Systems(valLen, sc.Records) {
+		for wi, w := range workloads {
+			k := sim.New()
+			sys := sysb.mk(k)
+			Preload(k, sys.Do, sc.Records, valLen, 32)
+			// Find the saturation point closed-loop, then sweep open-loop.
+			satOps := sc.Ops
+			satClients := sc.Clients * 4
+			if sysb.name == "Embedded-FAWN" {
+				satOps = sc.Ops / 8
+				satClients = sc.Clients
+			}
+			sat := Run(k, sys.Do, w, sc.Records, valLen, sys.Meters, RunConfig{
+				Clients: satClients, Ops: satOps, WarmupOps: satOps / 8, Seed: int64(wi),
+			})
+			fracs := []float64{0.6}
+			if sc.Points > 1 {
+				fracs = fracs[:0]
+				for i := 1; i <= sc.Points; i++ {
+					fracs = append(fracs, 0.25+0.7*float64(i-1)/float64(sc.Points-1))
+				}
+			}
+			for _, f := range fracs {
+				rate := sat.Thr * f
+				res := Run(k, sys.Do, w, sc.Records, valLen, sys.Meters, RunConfig{
+					Rate: rate, Duration: sc.Duration, Seed: int64(1000 + wi),
+				})
+				pt := Fig6Point{
+					Workload: w.Name, System: sysb.name,
+					KQPS: res.Thr / 1000, AvgLatMs: float64(res.Lat.Mean()) / 1e6,
+				}
+				pts = append(pts, pt)
+				if sysb.name == "Embedded-FAWN" {
+					// FAWN(100): assumed ideal linear scaling (§4.4).
+					pts = append(pts, Fig6Point{
+						Workload: w.Name, System: "Embedded-FAWN(100)",
+						KQPS: pt.KQPS * 10, AvgLatMs: pt.AvgLatMs,
+					})
+				}
+			}
+			k.Close()
+		}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure %s: latency vs throughput (%dB)", map[int]string{1024: "6", 256: "14"}[valLen], valLen),
+		Columns: []string{"workload", "system", "KQPS", "avg-lat(ms)"},
+	}
+	for _, p := range pts {
+		t.Add(p.Workload, p.System, f2(p.KQPS), f2(p.AvgLatMs))
+	}
+	return pts, t
+}
+
+// AblationPoint is one (workload, skew, enabled) measurement used by the
+// CRRS (Fig. 7), load-aware-scheduling (Fig. 8), and swap (Fig. 10)
+// experiments.
+type AblationPoint struct {
+	Workload string
+	Skew     float64
+	Enabled  bool
+	KQPS     float64
+	AvgLatMs float64
+	P999Ms   float64
+}
+
+func ablationTable(title string, pts []AblationPoint) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"workload", "skew", "enabled", "KQPS", "avg-lat(ms)", "p99.9(ms)"},
+	}
+	for _, p := range pts {
+		t.Add(p.Workload, fmt.Sprintf("%.2f", p.Skew), fmt.Sprintf("%v", p.Enabled),
+			f2(p.KQPS), f2(p.AvgLatMs), f2(p.P999Ms))
+	}
+	return t
+}
+
+// runLEEDAblation sweeps skewness for a LEED cluster built by mk, measuring
+// saturated throughput and latency.
+func runLEEDAblation(sc Scale, workloads []ycsb.Workload, skews []float64,
+	variants []bool, mk func(valLen int, enabled bool) LEEDOptions, valLen int) []AblationPoint {
+	var pts []AblationPoint
+	for _, w := range workloads {
+		for _, skew := range skews {
+			for _, enabled := range variants {
+				k := sim.New()
+				sys := NewLEEDCluster(k, mk(valLen, enabled))
+				Preload(k, sys.Do, sc.Records, valLen, 32)
+				res := Run(k, sys.Do, w.WithSkew(skew), sc.Records, valLen, sys.Meters, RunConfig{
+					Clients: sc.Clients * 4, Ops: sc.Ops, WarmupOps: sc.Ops / 8,
+					Seed: int64(skew * 1000),
+				})
+				pts = append(pts, AblationPoint{
+					Workload: w.Name, Skew: skew, Enabled: enabled,
+					KQPS:     res.Thr / 1000,
+					AvgLatMs: float64(res.Lat.Mean()) / 1e6,
+					P999Ms:   float64(res.Lat.P999()) / 1e6,
+				})
+				k.Close()
+			}
+		}
+	}
+	return pts
+}
+
+func defaultSkews(points int) []float64 {
+	all := []float64{0.1, 0.5, 0.9, 0.95, 0.99}
+	if points >= len(all) || points <= 0 {
+		return all
+	}
+	return []float64{0.1, 0.9, 0.99}[:min(3, points)]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Fig7 regenerates the CRRS ablation: read imbalance handling via request
+// shipping, on YCSB-B and YCSB-C across Zipf skews.
+func Fig7(sc Scale) ([]AblationPoint, *Table) {
+	pts := runLEEDAblation(sc,
+		[]ycsb.Workload{ycsb.WorkloadB, ycsb.WorkloadC},
+		defaultSkews(sc.Points), []bool{true, false},
+		func(valLen int, enabled bool) LEEDOptions {
+			o := DefaultLEED(valLen)
+			o.CRRS = enabled
+			return o
+		}, 1024)
+	return pts, ablationTable("Figure 7: CRRS read-imbalance handling", pts)
+}
+
+// Fig8 regenerates the load-aware-scheduling ablation: token-based
+// admission plus client flow control, on and off.
+func Fig8(sc Scale) ([]AblationPoint, *Table) {
+	pts := runLEEDAblation(sc,
+		[]ycsb.Workload{ycsb.WorkloadB, ycsb.WorkloadC},
+		defaultSkews(sc.Points), []bool{true, false},
+		func(valLen int, enabled bool) LEEDOptions {
+			o := DefaultLEED(valLen)
+			o.FlowControl = enabled
+			return o
+		}, 1024)
+	return pts, ablationTable("Figure 8: load-aware scheduling", pts)
+}
+
+// Fig10 regenerates the data-swapping ablation: write-only Zipf workloads
+// with intra-JBOF swapping on and off, at both object sizes.
+func Fig10(sc Scale, sizes []int) ([]AblationPoint, *Table) {
+	if len(sizes) == 0 {
+		sizes = []int{256, 1024}
+	}
+	var pts []AblationPoint
+	for _, valLen := range sizes {
+		pts = append(pts, runLEEDAblation(sc,
+			[]ycsb.Workload{ycsb.WorkloadWR},
+			defaultSkews(sc.Points), []bool{true, false},
+			func(vl int, enabled bool) LEEDOptions {
+				o := DefaultLEED(vl)
+				o.Swap = enabled
+				return o
+			}, valLen)...)
+	}
+	return pts, ablationTable("Figure 10: intra-JBOF data swapping (write-only)", pts)
+}
+
+// Fig9Point is one throughput sample in the join/leave timeline.
+type Fig9Point struct {
+	Workload string
+	AtMs     float64
+	KQPS     float64
+	Phase    string // steady | joining | joined | leaving | left
+}
+
+// Fig9 regenerates the join/leave timeline: cluster throughput sampled in
+// buckets while a fourth JBOF joins and later leaves, under YCSB-A and
+// YCSB-B at 1KB.
+func Fig9(sc Scale) ([]Fig9Point, *Table) {
+	const valLen = 1024
+	var pts []Fig9Point
+	// Migration volume must be material for the dips to show: use a larger
+	// keyspace than the other experiments.
+	records := sc.Records * 4
+	for _, w := range []ycsb.Workload{ycsb.WorkloadA, ycsb.WorkloadB} {
+		k := sim.New()
+		o := DefaultLEED(valLen)
+		o.Spares = 1
+		sys := NewLEEDCluster(k, o)
+		c := sys.LEED
+		Preload(k, sys.Do, records, valLen, 32)
+
+		// Measure the steady-state rate, then offer 85% of it open-loop
+		// while membership changes underneath.
+		sat := Run(k, sys.Do, w, records, valLen, sys.Meters, RunConfig{
+			Clients: sc.Clients * 2, Ops: sc.Ops / 2, WarmupOps: sc.Ops / 16, Seed: 5,
+		})
+		rate := sat.Thr * 0.85
+		interval := sim.Time(float64(sim.Second) / rate)
+		bucket := sc.Duration / 2
+		gen := ycsb.NewGenerator(w, records, valLen, 77)
+
+		var completions []sim.Time
+		stop := false
+		outstanding := 0
+		var arrivals func()
+		arrivals = func() {
+			if stop {
+				return
+			}
+			if outstanding < 4096 {
+				op := gen.Next()
+				op.Value = append([]byte(nil), op.Value...)
+				outstanding++
+				k.Go("op", func(p *sim.Proc) {
+					if _, err := sys.Do(p, op); err == nil {
+						completions = append(completions, p.Now())
+					}
+					outstanding--
+				})
+			}
+			k.After(interval, arrivals)
+		}
+		start := k.Now()
+		k.After(0, arrivals)
+
+		spare := c.NodeIDs[len(c.NodeIDs)-1]
+		phases := []struct {
+			at    sim.Time
+			name  string
+			apply func()
+		}{
+			{2 * bucket, "join-start", func() { c.Join(spare) }},
+			{6 * bucket, "leave-start", func() { c.Leave(spare) }},
+		}
+		for _, ph := range phases {
+			ph := ph
+			k.At(start+ph.at, ph.apply)
+		}
+		end := start + 10*bucket
+		for k.Now() < end {
+			k.Run(k.Now() + 10*sim.Millisecond)
+		}
+		stop = true
+		k.Run(k.Now() + 50*sim.Millisecond)
+
+		// Bucketize completions.
+		nb := 10
+		counts := make([]int, nb)
+		for _, ct := range completions {
+			b := int((ct - start) / bucket)
+			if b >= 0 && b < nb {
+				counts[b]++
+			}
+		}
+		for b := 0; b < nb; b++ {
+			phase := "steady"
+			switch {
+			case b >= 2 && b < 4:
+				phase = "joining"
+			case b >= 4 && b < 6:
+				phase = "joined"
+			case b >= 6 && b < 8:
+				phase = "leaving"
+			case b >= 8:
+				phase = "left"
+			}
+			pts = append(pts, Fig9Point{
+				Workload: w.Name,
+				AtMs:     float64(sim.Time(b)*bucket) / 1e6,
+				KQPS:     float64(counts[b]) / bucket.Seconds() / 1000,
+				Phase:    phase,
+			})
+		}
+		k.Close()
+	}
+	t := &Table{
+		Title:   "Figure 9: throughput during node join/leave (1KB)",
+		Columns: []string{"workload", "t(ms)", "KQPS", "phase"},
+	}
+	for _, p := range pts {
+		t.Add(p.Workload, f2(p.AtMs), f2(p.KQPS), p.Phase)
+	}
+	return pts, t
+}
+
+// CRAQRow is one row of the shipping-vs-version-query ablation.
+type CRAQRow struct {
+	Mode      string
+	KQPS      float64
+	AvgLatMs  float64
+	TxBytesOp float64 // backend bytes transmitted per completed op
+}
+
+// AblationCRAQ compares CRRS request shipping against CRAQ-style version
+// queries (the alternative §3.7 rejects) under a write-contended skewed
+// read-mostly workload, reporting the internal-traffic difference.
+func AblationCRAQ(sc Scale) ([]CRAQRow, *Table) {
+	var rows []CRAQRow
+	for _, craq := range []bool{false, true} {
+		k := sim.New()
+		o := DefaultLEED(1024)
+		o.CRAQ = craq
+		sys := NewLEEDCluster(k, o)
+		Preload(k, sys.Do, sc.Records, 1024, 32)
+		tx0 := sys.LEED.BackendTxBytes()
+		res := Run(k, sys.Do, ycsb.WorkloadA.WithSkew(0.99), sc.Records, 1024, sys.Meters, RunConfig{
+			Clients: sc.Clients * 4, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: 21,
+		})
+		txPerOp := float64(sys.LEED.BackendTxBytes()-tx0) / float64(res.Ops+sc.Ops/8)
+		mode := "CRRS-shipping"
+		if craq {
+			mode = "CRAQ-version-query"
+		}
+		rows = append(rows, CRAQRow{
+			Mode: mode, KQPS: res.Thr / 1000,
+			AvgLatMs: float64(res.Lat.Mean()) / 1e6, TxBytesOp: txPerOp,
+		})
+		k.Close()
+	}
+	t := &Table{
+		Title:   "Ablation: CRRS shipping vs CRAQ version queries (YCSB-A, skew 0.99)",
+		Columns: []string{"mode", "KQPS", "avg-lat(ms)", "backend-tx-bytes/op"},
+	}
+	for _, r := range rows {
+		t.Add(r.Mode, f2(r.KQPS), f2(r.AvgLatMs), f2(r.TxBytesOp))
+	}
+	return rows, t
+}
+
+// Fig14 is Figure 6's 256B variant.
+func Fig14(sc Scale, workloads []ycsb.Workload) ([]Fig6Point, *Table) {
+	return Fig6(sc, 256, workloads)
+}

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"leed/internal/ycsb"
+)
+
+// The experiment tests run at Quick scale and assert the paper's *shapes*:
+// orderings, crossovers, and the direction of every ablation.
+
+func TestTab1Shapes(t *testing.T) {
+	tab := Tab1()
+	out := tab.String()
+	if !strings.Contains(out, "SmartNIC JBOF") || len(tab.Rows) != 4 {
+		t.Fatalf("table malformed:\n%s", out)
+	}
+	// Storage-hierarchy skew must be ordered embedded < server < smartnic.
+	skew := tab.Rows[0]
+	var e, s, j float64
+	fscan(t, skew[1], &e)
+	fscan(t, skew[2], &s)
+	fscan(t, skew[3], &j)
+	if !(e < s && s < j) {
+		t.Fatalf("skew ordering wrong: %v", skew)
+	}
+}
+
+func fscan(t *testing.T, s string, v *float64) {
+	t.Helper()
+	if _, err := fmt.Sscanf(s, "%f", v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+}
+
+func TestFig1SmartNICWinsAtScale(t *testing.T) {
+	pts, tab := Fig1()
+	if len(pts) == 0 || len(tab.Rows) == 0 {
+		t.Fatal("no data")
+	}
+	best := map[string]Fig1Point{}
+	for _, p := range pts {
+		if p.CapacityGB == 16384 {
+			best[p.Platform] = p
+		}
+	}
+	sn, sv, pi := best["SmartNIC JBOF"], best["ServerJBOF"], best["RaspberryPi"]
+	if !(sn.ReadKIOPSJ > sv.ReadKIOPSJ && sv.ReadKIOPSJ > pi.ReadKIOPSJ) {
+		t.Fatalf("read EE ordering at 16TB: smartnic=%.2f server=%.2f pi=%.2f",
+			sn.ReadKIOPSJ, sv.ReadKIOPSJ, pi.ReadKIOPSJ)
+	}
+	if sn.ReadKIOPSJ < 2*sv.ReadKIOPSJ {
+		t.Fatalf("smartnic read EE advantage too small: %.2f vs %.2f (paper: ~4.8x)",
+			sn.ReadKIOPSJ, sv.ReadKIOPSJ)
+	}
+	if sn.WriteKIOPSJ < 2*sv.WriteKIOPSJ {
+		t.Fatalf("smartnic write EE advantage too small: %.2f vs %.2f (paper: ~4.7x)",
+			sn.WriteKIOPSJ, sv.WriteKIOPSJ)
+	}
+}
+
+func TestTab3Shapes(t *testing.T) {
+	rows, tab := Tab3(Quick)
+	t.Log("\n" + tab.String())
+	byKey := map[string]Tab3Row{}
+	for _, r := range rows {
+		byKey[r.System+sizeTag(r.ValLen)] = r
+	}
+	for _, size := range []string{"-256", "-1k"} {
+		leed, fawnr, kv := byKey["LEED"+size], byKey["FAWN-JBOF"+size], byKey["KVell-JBOF"+size]
+		// Capacity: LEED >> FAWN >> KVell (Table 3's headline).
+		if !(leed.MaxCapacity > 3*fawnr.MaxCapacity && fawnr.MaxCapacity > 2*kv.MaxCapacity) {
+			t.Errorf("%s capacity ordering: leed=%.3f fawn=%.3f kvell=%.3f",
+				size, leed.MaxCapacity, fawnr.MaxCapacity, kv.MaxCapacity)
+		}
+		// Latency: FAWN (1 access) beats LEED (2+ accesses).
+		if !(fawnr.RdLatUs < leed.RdLatUs) {
+			t.Errorf("%s read latency: fawn=%.1f leed=%.1f", size, fawnr.RdLatUs, leed.RdLatUs)
+		}
+		// Throughput: LEED wins both directions by a wide margin.
+		if !(leed.RdKQPS > 2*kv.RdKQPS && leed.RdKQPS > 4*fawnr.RdKQPS) {
+			t.Errorf("%s read thr: leed=%.0f kvell=%.0f fawn=%.0f", size, leed.RdKQPS, kv.RdKQPS, fawnr.RdKQPS)
+		}
+		if !(leed.WrKQPS > kv.WrKQPS && leed.WrKQPS > fawnr.WrKQPS) {
+			t.Errorf("%s write thr: leed=%.0f kvell=%.0f fawn=%.0f", size, leed.WrKQPS, kv.WrKQPS, fawnr.WrKQPS)
+		}
+	}
+}
+
+func sizeTag(valLen int) string {
+	if valLen == 1024 {
+		return "-1k"
+	}
+	return "-256"
+}
+
+func TestFig5LEEDWinsEnergyEfficiency(t *testing.T) {
+	rows, tab := Fig5(Quick, []ycsb.Workload{ycsb.WorkloadB}, []int{256})
+	t.Log("\n" + tab.String())
+	byName := map[string]Fig5Row{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	leed, kv, fw := byName["SmartNIC-LEED"], byName["Server-KVell"], byName["Embedded-FAWN"]
+	if !(leed.KQPerJ > kv.KQPerJ) {
+		t.Errorf("LEED %.2f KQ/J not above Server-KVell %.2f (paper: ~4x)", leed.KQPerJ, kv.KQPerJ)
+	}
+	if !(leed.KQPerJ > 4*fw.KQPerJ) {
+		t.Errorf("LEED %.2f KQ/J not >>4x Embedded-FAWN %.2f (paper: ~17x)", leed.KQPerJ, fw.KQPerJ)
+	}
+}
+
+func TestFig6LatencyRisesWithLoad(t *testing.T) {
+	sc := Quick
+	sc.Points = 3
+	pts, _ := Fig6(sc, 1024, []ycsb.Workload{ycsb.WorkloadB})
+	var leed []Fig6Point
+	for _, p := range pts {
+		if p.System == "SmartNIC-LEED" {
+			leed = append(leed, p)
+		}
+	}
+	if len(leed) < 2 {
+		t.Fatalf("too few LEED points: %d", len(leed))
+	}
+	first, last := leed[0], leed[len(leed)-1]
+	if !(last.KQPS > first.KQPS) {
+		t.Errorf("throughput did not rise across the sweep: %.1f -> %.1f", first.KQPS, last.KQPS)
+	}
+	if last.AvgLatMs < first.AvgLatMs*0.8 {
+		t.Errorf("latency fell with load: %.2fms -> %.2fms", first.AvgLatMs, last.AvgLatMs)
+	}
+	// FAWN(100) synthetic series exists with 10x FAWN(10) throughput.
+	var f10, f100 []Fig6Point
+	for _, p := range pts {
+		switch p.System {
+		case "Embedded-FAWN":
+			f10 = append(f10, p)
+		case "Embedded-FAWN(100)":
+			f100 = append(f100, p)
+		}
+	}
+	if len(f100) != len(f10) || len(f10) == 0 {
+		t.Fatalf("FAWN(100) series missing: %d vs %d", len(f100), len(f10))
+	}
+	if f100[0].KQPS < 9.9*f10[0].KQPS {
+		t.Errorf("FAWN(100) not 10x FAWN(10): %.2f vs %.2f", f100[0].KQPS, f10[0].KQPS)
+	}
+}
+
+func TestFig7CRRSHelpsSkewedReads(t *testing.T) {
+	sc := Quick
+	sc.Points = 2
+	pts, tab := Fig7(sc)
+	t.Log("\n" + tab.String())
+	// At the highest skew on YCSB-C, CRRS must raise throughput.
+	var on, off *AblationPoint
+	for i := range pts {
+		p := &pts[i]
+		if p.Workload == "YCSB-C" && p.Skew == 0.9 {
+			if p.Enabled {
+				on = p
+			} else {
+				off = p
+			}
+		}
+	}
+	if on == nil || off == nil {
+		t.Fatal("missing high-skew points")
+	}
+	if on.KQPS <= off.KQPS {
+		t.Errorf("CRRS did not help at skew 0.9: on=%.1f off=%.1f KQPS", on.KQPS, off.KQPS)
+	}
+}
+
+func TestFig8LoadAwareSchedulingHelpsTail(t *testing.T) {
+	sc := Quick
+	sc.Points = 2
+	pts, tab := Fig8(sc)
+	t.Log("\n" + tab.String())
+	// The paper's claim (Fig. 8): enabling LS raises YCSB-B throughput
+	// (+52.2%) and cuts average latency (-34.4%).
+	var on, off *AblationPoint
+	for i := range pts {
+		p := &pts[i]
+		if p.Workload == "YCSB-B" && p.Skew == 0.1 {
+			if p.Enabled {
+				on = p
+			} else {
+				off = p
+			}
+		}
+	}
+	if on == nil || off == nil {
+		t.Fatal("missing points")
+	}
+	if on.KQPS < off.KQPS*1.2 {
+		t.Errorf("LS throughput gain too small: on=%.1f off=%.1f KQPS (paper: +52%%)", on.KQPS, off.KQPS)
+	}
+	if on.AvgLatMs > off.AvgLatMs {
+		t.Errorf("LS did not cut average latency: on=%.2fms off=%.2fms", on.AvgLatMs, off.AvgLatMs)
+	}
+}
+
+func TestFig9JoinLeaveDipsThroughput(t *testing.T) {
+	sc := Quick
+	pts, tab := Fig9(sc)
+	t.Log("\n" + tab.String())
+	avg := func(w, phase string) float64 {
+		var sum float64
+		var n int
+		for _, p := range pts {
+			if p.Workload == w && p.Phase == phase {
+				sum += p.KQPS
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	for _, w := range []string{"YCSB-A", "YCSB-B"} {
+		steady := avg(w, "steady")
+		leaving := avg(w, "leaving")
+		if steady == 0 {
+			t.Fatalf("%s: no steady throughput", w)
+		}
+		// The paper observes 15-66% dips; require any visible dip.
+		if leaving > steady*0.98 {
+			t.Errorf("%s: no dip during leave: steady=%.1f leaving=%.1f", w, steady, leaving)
+		}
+	}
+}
+
+func TestFig10SwappingHelpsSkewedWrites(t *testing.T) {
+	sc := Quick
+	sc.Points = 2
+	pts, tab := Fig10(sc, []int{256})
+	t.Log("\n" + tab.String())
+	var on, off *AblationPoint
+	for i := range pts {
+		p := &pts[i]
+		if p.Skew == 0.9 {
+			if p.Enabled {
+				on = p
+			} else {
+				off = p
+			}
+		}
+	}
+	if on == nil || off == nil {
+		t.Fatal("missing points")
+	}
+	if on.KQPS < off.KQPS*0.95 {
+		t.Errorf("swapping hurt skewed writes: on=%.1f off=%.1f", on.KQPS, off.KQPS)
+	}
+}
+
+func TestFig11SSDDominates(t *testing.T) {
+	rows, tab := Fig11(Quick)
+	t.Log("\n" + tab.String())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		share := r.SSDUs / (r.SSDUs + r.CPUUs)
+		if share < 0.85 {
+			t.Errorf("%s/%dB: SSD share only %.2f (paper: ~0.975)", r.Op, r.ValLen, share)
+		}
+	}
+	// PUT adds only a little over GET thanks to the overlapped accesses.
+	var get, put Fig11Row
+	for _, r := range rows {
+		if r.ValLen == 1024 {
+			if r.Op == "GET" {
+				get = r
+			}
+			if r.Op == "PUT" {
+				put = r
+			}
+		}
+	}
+	if put.SSDUs > get.SSDUs*1.4 {
+		t.Errorf("PUT SSD time %.1fus not close to GET %.1fus (overlap broken)", put.SSDUs, get.SSDUs)
+	}
+}
+
+func TestFig12LEEDFarAboveFAWNDS(t *testing.T) {
+	sc := Quick
+	pts, tab := Fig12(sc)
+	t.Log("\n" + tab.String())
+	byKey := map[string]float64{}
+	for _, p := range pts {
+		byKey[p.System+sizeTag(p.ValLen)+string(rune('0'+p.PutPct/10))] = p.KQPS
+	}
+	if byKey["LEED-2565"] <= 10*byKey["FAWNDS-2565"] {
+		t.Errorf("LEED %.1f not >>10x FAWNDS %.1f at 50%% PUT", byKey["LEED-2565"], byKey["FAWNDS-2565"])
+	}
+	// FAWN's log-structured PUTs outrun its GETs: write-only beats
+	// read-only.
+	var fWR, fRD float64
+	for _, p := range pts {
+		if p.System == "FAWNDS" && p.ValLen == 256 {
+			if p.PutPct == 100 {
+				fWR = p.KQPS
+			}
+			if p.PutPct == 0 {
+				fRD = p.KQPS
+			}
+		}
+	}
+	if fWR <= fRD {
+		t.Errorf("FAWN-DS write-only (%.2f) not above read-only (%.2f)", fWR, fRD)
+	}
+}
+
+func TestFig13CompactionParallelismHelps(t *testing.T) {
+	sc := Quick
+	pts, tab := Fig13a(sc)
+	t.Log("\n" + tab.String())
+	by := map[string]map[int]float64{}
+	for _, p := range pts {
+		if by[p.Workload] == nil {
+			by[p.Workload] = map[int]float64{}
+		}
+		by[p.Workload][p.Subs] = p.KQPS
+	}
+	for wl, m := range by {
+		if m[8] < m[1] {
+			t.Errorf("%s: S=8 (%.1f) below S=1 (%.1f)", wl, m[8], m[1])
+		}
+	}
+	bpts, btab := Fig13b(sc)
+	t.Log("\n" + btab.String())
+	bby := map[string]map[int]float64{}
+	for _, p := range bpts {
+		if bby[p.Workload] == nil {
+			bby[p.Workload] = map[int]float64{}
+		}
+		bby[p.Workload][p.Subs] = p.KQPS
+	}
+	for wl, m := range bby {
+		if m[4] < m[1]*0.9 {
+			t.Errorf("%s: 4 concurrent compactions (%.1f) below 1 (%.1f)", wl, m[4], m[1])
+		}
+	}
+}
+
+func TestAblationSegDensityTradeoff(t *testing.T) {
+	rows, tab := AblationSegDensity(Quick)
+	t.Log("\n" + tab.String())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// DRAM per object must fall monotonically with density...
+	for i := 1; i < len(rows); i++ {
+		if rows[i].DRAMPerObject >= rows[i-1].DRAMPerObject {
+			t.Errorf("DRAM/obj did not fall: %.3f -> %.3f", rows[i-1].DRAMPerObject, rows[i].DRAMPerObject)
+		}
+	}
+	// ...while GET latency rises (larger segment transfers + probing).
+	if rows[len(rows)-1].GetLatUs <= rows[0].GetLatUs {
+		t.Errorf("GET latency did not rise with density: %.1f -> %.1f",
+			rows[0].GetLatUs, rows[len(rows)-1].GetLatUs)
+	}
+}
+
+func TestAblationCRAQTraffic(t *testing.T) {
+	rows, tab := AblationCRAQ(Quick)
+	t.Log("\n" + tab.String())
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	ship, craq := rows[0], rows[1]
+	if craq.TxBytesOp <= ship.TxBytesOp {
+		t.Errorf("CRAQ backend traffic (%.0f B/op) not above shipping (%.0f B/op)",
+			craq.TxBytesOp, ship.TxBytesOp)
+	}
+}

@@ -1,0 +1,422 @@
+package bench
+
+import (
+	"fmt"
+
+	"leed/internal/baselines/bcommon"
+	"leed/internal/baselines/fawn"
+	"leed/internal/baselines/kvell"
+	"leed/internal/core"
+	"leed/internal/platform"
+	"leed/internal/rpcproto"
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+// Tab3Row is one system's single-node measurement at one object size.
+type Tab3Row struct {
+	System      string
+	ValLen      int
+	MaxCapacity float64 // fraction of raw flash usable
+	RdLatUs     float64 // QD1 random-read latency
+	WrLatUs     float64
+	RdKQPS      float64 // saturated random-read throughput
+	WrKQPS      float64
+}
+
+// Tab3 regenerates Table 3: FAWN-JBOF, KVell-JBOF, and LEED on one Stingray
+// under uniform ("RND") access.
+func Tab3(sc Scale) ([]Tab3Row, *Table) {
+	flash := int64(4) * 960 << 30
+	dram := int64(8) << 30
+	var rows []Tab3Row
+	for _, valLen := range []int{1024, 256} {
+		systems := []struct {
+			name string
+			mk   func(k *sim.Kernel) *System
+			cap_ float64
+		}{
+			{"FAWN-JBOF", func(k *sim.Kernel) *System { return NewFAWNJBOF(k, valLen) },
+				fawn.MaxCapacityFraction(flash, dram, KeyLen, valLen)},
+			{"KVell-JBOF", func(k *sim.Kernel) *System { return NewKVellJBOF(k, valLen) },
+				kvell.MaxCapacityFraction(flash, dram, KeyLen, valLen)},
+			{"LEED", func(k *sim.Kernel) *System { return NewLEEDNode(k, valLen) },
+				core.MaxCapacityFraction(960<<30, KeyLen, valLen)},
+		}
+		for _, s := range systems {
+			k := sim.New()
+			sys := s.mk(k)
+			Preload(k, sys.Do, sc.Records, valLen, 32)
+			rd := ycsb.WorkloadC.WithSkew(0)  // RND read
+			wr := ycsb.WorkloadWR.WithSkew(0) // RND write
+			qd1r := Run(k, sys.Do, rd, sc.Records, valLen, sys.Meters,
+				RunConfig{Clients: 1, Ops: sc.Ops / 10, WarmupOps: 20, Seed: 1})
+			qd1w := Run(k, sys.Do, wr, sc.Records, valLen, sys.Meters,
+				RunConfig{Clients: 1, Ops: sc.Ops / 10, WarmupOps: 20, Seed: 2})
+			satr := Run(k, sys.Do, rd, sc.Records, valLen, sys.Meters,
+				RunConfig{Clients: sc.Clients * 6, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: 3})
+			satw := Run(k, sys.Do, wr, sc.Records, valLen, sys.Meters,
+				RunConfig{Clients: sc.Clients * 6, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: 4})
+			rows = append(rows, Tab3Row{
+				System: s.name, ValLen: valLen, MaxCapacity: s.cap_,
+				RdLatUs: float64(qd1r.Lat.Mean()) / 1000,
+				WrLatUs: float64(qd1w.Lat.Mean()) / 1000,
+				RdKQPS:  satr.Thr / 1000,
+				WrKQPS:  satw.Thr / 1000,
+			})
+			k.Close()
+		}
+	}
+	t := &Table{
+		Title:   "Table 3: single-node comparison on the Stingray",
+		Columns: []string{"system", "objsize", "max-capacity", "rd-lat(us)", "wr-lat(us)", "rd-thr(KQPS)", "wr-thr(KQPS)"},
+	}
+	for _, r := range rows {
+		t.Add(r.System, fmt.Sprintf("%dB", r.ValLen), pct(r.MaxCapacity),
+			f2(r.RdLatUs), f2(r.WrLatUs), f2(r.RdKQPS), f2(r.WrKQPS))
+	}
+	return rows, t
+}
+
+// Fig11Row is one command's latency breakdown.
+type Fig11Row struct {
+	Op     string
+	ValLen int
+	SSDUs  float64
+	CPUUs  float64
+}
+
+// Fig11 regenerates the appendix latency-breakdown figure: SSD time vs
+// CPU+MEM time for GET/PUT/DEL at both object sizes, measured at QD1
+// directly on the engine so the per-command OpStats are visible.
+func Fig11(sc Scale) ([]Fig11Row, *Table) {
+	var rows []Fig11Row
+	for _, valLen := range []int{1024, 256} {
+		k := sim.New()
+		sys := NewLEEDNode(k, valLen)
+		eng := sys.Engine
+		nparts := uint64(eng.NumPartitions())
+		Preload(k, sys.Do, sc.Records/2, valLen, 32)
+		measure := func(op rpcproto.Op, name string) {
+			var ssd, cpu sim.Time
+			n := int(sc.Ops / 20)
+			if n < 50 {
+				n = 50
+			}
+			cnt := 0
+			k.Go("m", func(p *sim.Proc) {
+				val := make([]byte, valLen)
+				for i := 0; i < n; i++ {
+					key := ycsb.KeyAt(int64(i) % (sc.Records / 2))
+					pid := int(core.HashKey(key) % nparts)
+					sendVal := val
+					if op != rpcproto.OpPut {
+						sendVal = nil
+					}
+					_, st, err := eng.Execute(p, pid, op, key, sendVal)
+					if err == nil || err == core.ErrNotFound {
+						ssd += st.SSD
+						cpu += st.CPU
+						cnt++
+					}
+				}
+			})
+			k.Run(k.Now() + 120*sim.Second)
+			if cnt > 0 {
+				rows = append(rows, Fig11Row{
+					Op: name, ValLen: valLen,
+					SSDUs: float64(ssd) / float64(cnt) / 1000,
+					CPUUs: float64(cpu) / float64(cnt) / 1000,
+				})
+			}
+		}
+		measure(rpcproto.OpGet, "GET")
+		measure(rpcproto.OpPut, "PUT")
+		measure(rpcproto.OpDel, "DEL")
+		k.Close()
+	}
+	t := &Table{
+		Title:   "Figure 11: GET/PUT/DEL latency breakdown",
+		Columns: []string{"op", "objsize", "SSD(us)", "CPU+MEM(us)", "SSD-share"},
+	}
+	for _, r := range rows {
+		t.Add(r.Op, fmt.Sprintf("%dB", r.ValLen), f2(r.SSDUs), f2(r.CPUUs),
+			pct(r.SSDUs/(r.SSDUs+r.CPUUs)))
+	}
+	return rows, t
+}
+
+// Fig12Point is throughput at one PUT percentage.
+type Fig12Point struct {
+	System string
+	ValLen int
+	PutPct int
+	KQPS   float64
+}
+
+// Fig12 regenerates the appendix throughput-vs-PUT-fraction figure:
+// FAWN-DS on a Raspberry Pi against LEED on a Stingray.
+func Fig12(sc Scale) ([]Fig12Point, *Table) {
+	putFracs := []int{0, 10, 50, 90, 100}
+	var pts []Fig12Point
+	for _, valLen := range []int{1024, 256} {
+		for _, system := range []string{"FAWNDS", "LEED"} {
+			for _, pf := range putFracs {
+				k := sim.New()
+				var sys *System
+				if system == "LEED" {
+					sys = NewLEEDNode(k, valLen)
+				} else {
+					sys = newFAWNPiNode(k)
+				}
+				records := sc.Records / 4
+				Preload(k, sys.Do, records, valLen, 16)
+				w := ycsb.Workload{
+					Name:       fmt.Sprintf("mix-%d", pf),
+					ReadProp:   1 - float64(pf)/100,
+					UpdateProp: float64(pf) / 100,
+					Dist:       ycsb.Uniform,
+				}
+				ops := sc.Ops / 4
+				clients := sc.Clients * 2
+				if system == "FAWNDS" {
+					ops /= 8 // the Pi is orders of magnitude slower
+					clients = 8
+				}
+				res := Run(k, sys.Do, w, records, valLen, sys.Meters,
+					RunConfig{Clients: clients, Ops: ops, WarmupOps: ops / 8, Seed: int64(pf)})
+				pts = append(pts, Fig12Point{System: system, ValLen: valLen, PutPct: pf, KQPS: res.Thr / 1000})
+				k.Close()
+			}
+		}
+	}
+	t := &Table{
+		Title:   "Figure 12: throughput vs PUT fraction",
+		Columns: []string{"system", "objsize", "put%", "KQPS"},
+	}
+	for _, p := range pts {
+		t.Add(p.System, fmt.Sprintf("%dB", p.ValLen), fmt.Sprintf("%d", p.PutPct), f2(p.KQPS))
+	}
+	return pts, t
+}
+
+// newFAWNPiNode builds a single FAWN-DS node on a Raspberry Pi.
+func newFAWNPiNode(k *sim.Kernel) *System {
+	node := platform.NewNode(k, platform.RaspberryPi(), 1, 128<<20, 9)
+	var stores []*fawn.DS
+	for w := 0; w < 2; w++ {
+		gate := bcommon.NewGate(k, node.Cores[w])
+		stores = append(stores, fawn.New(fawn.Config{
+			Kernel: k, Device: node.SSDs[0], Exec: gate,
+			RegionOff: int64(w) * (64 << 20), LogBytes: 48 << 20,
+		}))
+	}
+	pick := func(key []byte) *fawn.DS { return stores[core.HashKey(key)%2] }
+	get := func(p *sim.Proc, key []byte) (sim.Time, error) {
+		t0 := p.Now()
+		_, err := pick(key).Get(p, key)
+		return p.Now() - t0, err
+	}
+	put := func(p *sim.Proc, key, val []byte) (sim.Time, error) {
+		t0 := p.Now()
+		err := pick(key).Put(p, key, val)
+		return p.Now() - t0, err
+	}
+	return &System{K: k, Do: rmw(get, put), Node: node}
+}
+
+// Fig13aPoint is sustained throughput at one sub-compaction width.
+type Fig13aPoint struct {
+	Workload string
+	Subs     int
+	KQPS     float64
+}
+
+// Fig13a regenerates the intra-compaction-parallelism figure: sustained
+// store throughput under compaction pressure as S (parallel
+// sub-compactions) grows.
+func Fig13a(sc Scale) ([]Fig13aPoint, *Table) {
+	workloads := []struct {
+		name string
+		w    ycsb.Workload
+	}{
+		{"WR-ONLY", ycsb.WorkloadWR.WithSkew(0)},
+		{"MIX-50", ycsb.WorkloadA.WithSkew(0)},
+		{"MIX-50-Zip", ycsb.WorkloadA.WithSkew(0.99)},
+	}
+	subs := []int{1, 2, 4, 8, 16, 32}
+	var pts []Fig13aPoint
+	for _, wl := range workloads {
+		for _, s := range subs {
+			k := sim.New()
+			res := runCompactionStore(k, sc, wl.w, s, 1)
+			pts = append(pts, Fig13aPoint{Workload: wl.name, Subs: s, KQPS: res.Thr / 1000})
+			k.Close()
+		}
+	}
+	t := &Table{
+		Title:   "Figure 13a: compaction intra-parallelism",
+		Columns: []string{"workload", "subcompactions", "KQPS"},
+	}
+	for _, p := range pts {
+		t.Add(p.Workload, fmt.Sprintf("%d", p.Subs), f2(p.KQPS))
+	}
+	return pts, t
+}
+
+// Fig13b regenerates the inter-parallelism figure: co-scheduling K
+// compactions across a JBOF's stores concurrently.
+func Fig13b(sc Scale) ([]Fig13aPoint, *Table) {
+	workloads := []struct {
+		name string
+		w    ycsb.Workload
+	}{
+		{"WR-ONLY", ycsb.WorkloadWR.WithSkew(0)},
+		{"MIX-50", ycsb.WorkloadA.WithSkew(0)},
+		{"MIX-50-Zip", ycsb.WorkloadA.WithSkew(0.99)},
+	}
+	var pts []Fig13aPoint
+	for _, wl := range workloads {
+		for _, cc := range []int{1, 2, 3, 4} {
+			k := sim.New()
+			res := runCompactionStore(k, sc, wl.w, 8, cc)
+			pts = append(pts, Fig13aPoint{Workload: wl.name, Subs: cc, KQPS: res.Thr / 1000})
+			k.Close()
+		}
+	}
+	t := &Table{
+		Title:   "Figure 13b: compaction inter-parallelism (co-scheduled compactions)",
+		Columns: []string{"workload", "concurrent-compactions", "KQPS"},
+	}
+	for _, p := range pts {
+		t.Add(p.Workload, fmt.Sprintf("%d", p.Subs), f2(p.KQPS))
+	}
+	return pts, t
+}
+
+// SegDensityRow is one segment-table-density sample (§4.8's proposed
+// optimization: grow segments to shrink DRAM metadata, paying lookup
+// cycles and larger key-log transfers).
+type SegDensityRow struct {
+	ItemsPerSeg   int
+	DRAMPerObject float64
+	GetLatUs      float64
+	KQPS          float64
+}
+
+// AblationSegDensity sweeps the segment density of a single store: the
+// DRAM-per-object vs GET-latency trade-off the paper suggests exploring
+// with leftover CPU cycles.
+func AblationSegDensity(sc Scale) ([]SegDensityRow, *Table) {
+	const valLen = 256
+	records := sc.Records
+	var rows []SegDensityRow
+	for _, itemsPerSeg := range []int{15, 30, 60, 120} {
+		k := sim.New()
+		node := platform.NewNode(k, platform.Stingray(), 1, 256<<20, 17)
+		gate := bcommon.NewGate(k, node.Cores[0])
+		numSegs := int(records)/itemsPerSeg + 1
+		maxChain := itemsPerSeg/14 + 2 // ~14 items fit per 512B bucket
+		s := core.NewStore(core.Config{
+			Kernel: k, Device: node.SSDs[0], Exec: gate,
+			NumSegments: numSegs, MaxChain: maxChain,
+			KeyLogBytes: 24 << 20, ValLogBytes: 24 << 20,
+		})
+		do := rmw(
+			func(p *sim.Proc, key []byte) (sim.Time, error) {
+				t0 := p.Now()
+				_, _, err := s.Get(p, key)
+				return p.Now() - t0, err
+			},
+			func(p *sim.Proc, key, val []byte) (sim.Time, error) {
+				t0 := p.Now()
+				_, err := s.Put(p, key, val)
+				return p.Now() - t0, err
+			})
+		Preload(k, do, records, valLen, 8)
+		qd1 := Run(k, do, ycsb.WorkloadC.WithSkew(0), records, valLen, nil,
+			RunConfig{Clients: 1, Ops: sc.Ops / 10, WarmupOps: 20, Seed: 1})
+		sat := Run(k, do, ycsb.WorkloadC.WithSkew(0), records, valLen, nil,
+			RunConfig{Clients: sc.Clients * 2, Ops: sc.Ops / 2, WarmupOps: sc.Ops / 16, Seed: 2})
+		rows = append(rows, SegDensityRow{
+			ItemsPerSeg:   itemsPerSeg,
+			DRAMPerObject: float64(s.DRAMBytes()) / float64(records),
+			GetLatUs:      float64(qd1.Lat.Mean()) / 1000,
+			KQPS:          sat.Thr / 1000,
+		})
+		k.Close()
+	}
+	t := &Table{
+		Title:   "Ablation: segment density (DRAM/object vs GET cost, cf. §4.8)",
+		Columns: []string{"items/segment", "DRAM-bytes/obj", "qd1-GET(us)", "sat-KQPS"},
+	}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%d", r.ItemsPerSeg), f2(r.DRAMPerObject), f2(r.GetLatUs), f2(r.KQPS))
+	}
+	return rows, t
+}
+
+// runCompactionStore drives numStores=4 tight-logged stores on one Stingray
+// with inline compaction: subs sub-compactions per round, at most cc
+// compaction rounds running concurrently across the JBOF.
+func runCompactionStore(k *sim.Kernel, sc Scale, w ycsb.Workload, subs, cc int) RunResult {
+	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 13)
+	gateFor := make([]*bcommon.Gate, 4)
+	for i := range gateFor {
+		gateFor[i] = bcommon.NewGate(k, node.Cores[i])
+	}
+	const valLen = 256
+	records := sc.Records / 2
+	var stores []*core.Store
+	for i := 0; i < 4; i++ {
+		stores = append(stores, core.NewStore(core.Config{
+			Kernel: k, Device: node.SSDs[i], DevID: uint8(i), Exec: gateFor[i],
+			NumSegments: int(records/20) + 8,
+			KeyLogBytes: 3 << 20, ValLogBytes: 4 << 20,
+			SubCompactions: subs, Prefetch: true, CompactChunk: 256 << 10,
+		}))
+	}
+	compactGate := sim.NewResource(k, int64(cc))
+	pick := func(key []byte) *core.Store { return stores[core.HashKey(key)%4] }
+	maybeCompact := func(p *sim.Proc, s *core.Store) error {
+		for s.ValLog().Free() < 64<<10 || s.NeedsValueCompaction() {
+			compactGate.Acquire(p, 1)
+			_, err := s.CompactValueLog(p)
+			compactGate.Release(1)
+			if err != nil {
+				return err
+			}
+			if s.NeedsKeyCompaction() || s.KeyLog().Free() < 64<<10 {
+				compactGate.Acquire(p, 1)
+				_, err = s.CompactKeyLog(p)
+				compactGate.Release(1)
+				if err != nil {
+					return err
+				}
+			}
+			if !s.NeedsValueCompaction() && s.ValLog().Free() >= 64<<10 {
+				break
+			}
+		}
+		return nil
+	}
+	get := func(p *sim.Proc, key []byte) (sim.Time, error) {
+		t0 := p.Now()
+		_, _, err := pick(key).Get(p, key)
+		return p.Now() - t0, err
+	}
+	put := func(p *sim.Proc, key, val []byte) (sim.Time, error) {
+		t0 := p.Now()
+		s := pick(key)
+		if err := maybeCompact(p, s); err != nil {
+			return p.Now() - t0, err
+		}
+		_, err := s.Put(p, key, val)
+		return p.Now() - t0, err
+	}
+	do := rmw(get, put)
+	Preload(k, do, records, valLen, 16)
+	return Run(k, do, w, records, valLen, nil, RunConfig{
+		Clients: sc.Clients, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: int64(subs*10 + cc),
+	})
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"leed/internal/core"
+	"leed/internal/netsim"
+	"leed/internal/rpcproto"
+	"leed/internal/sim"
+)
+
+// ErrTimeout reports that a request exhausted its retries.
+var ErrTimeout = errors.New("cluster: request timed out")
+
+// target identifies one (node, partition) admission domain tracked by the
+// flow-control scheduler.
+type target struct {
+	node NodeID
+	part uint32
+}
+
+// ClientConfig wires one front-end library instance.
+type ClientConfig struct {
+	Kernel   *sim.Kernel
+	Tenant   uint16
+	Endpoint *netsim.Endpoint
+
+	// FlowControl enables the token-based load-aware scheduler of §3.5
+	// (Algorithm 1). When false, requests are issued immediately.
+	FlowControl bool
+	// CRRS lets GETs pick any synced replica (the one with the most
+	// tokens); otherwise reads always target the tail.
+	CRRS bool
+
+	// InitialTokens seeds per-target token estimates; should match the
+	// engine's TokensPerPartition. Default 48.
+	InitialTokens int64
+	// Timeout is the per-attempt response deadline. Default 30ms.
+	Timeout sim.Time
+	// Retries is the attempt budget per operation. Default 10.
+	Retries int
+}
+
+// ClientStats are cumulative counters.
+type ClientStats struct {
+	Ops, Retries, Nacks, Timeouts int64
+	Throttled                     int64 // times the scheduler waited for tokens
+}
+
+// Client is LEED's co-located front-end library: it tracks membership
+// views, routes writes to chain heads and reads to token-rich replicas, and
+// paces submissions with the end-to-end flow control of §3.5.
+type Client struct {
+	cfg    ClientConfig
+	k      *sim.Kernel
+	view   *View
+	nextID uint64
+
+	tokens      map[target]int64
+	outstanding map[target]int
+	wake        *sim.Event
+
+	stats ClientStats
+}
+
+// NewClient creates a client; Start launches its view/completion poller.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.InitialTokens == 0 {
+		cfg.InitialTokens = 48
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 30 * sim.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 10
+	}
+	c := &Client{
+		cfg:         cfg,
+		k:           cfg.Kernel,
+		tokens:      make(map[target]int64),
+		outstanding: make(map[target]int),
+	}
+	c.wake = c.k.NewEvent()
+	return c
+}
+
+// Start launches the client's receive loop (view updates arrive as
+// two-sided SENDs; responses arrive one-sided into per-request events).
+func (c *Client) Start() {
+	c.k.Go(fmt.Sprintf("client%d-rx", c.cfg.Tenant), func(p *sim.Proc) {
+		rx := c.cfg.Endpoint.RX()
+		for {
+			m := rx.Get(p)
+			if vm, ok := m.Payload.(*viewMsg); ok {
+				if c.view == nil || vm.view.Epoch > c.view.Epoch {
+					c.view = vm.view
+					c.fireWake()
+				}
+			}
+		}
+	})
+}
+
+// Stats returns cumulative counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// View returns the client's current view.
+func (c *Client) View() *View { return c.view }
+
+func (c *Client) fireWake() {
+	old := c.wake
+	c.wake = c.k.NewEvent()
+	old.Fire(nil)
+}
+
+func (c *Client) tokensFor(t target) int64 {
+	if v, ok := c.tokens[t]; ok {
+		return v
+	}
+	return c.cfg.InitialTokens
+}
+
+// pickTarget chooses the destination replica for an operation under the
+// current view.
+func (c *Client) pickTarget(op rpcproto.Op, part uint32) (target, uint8, error) {
+	v := c.view
+	if v == nil {
+		return target{}, 0, errors.New("cluster: client has no view")
+	}
+	chain := v.Chain(part)
+	if len(chain) == 0 {
+		return target{}, 0, errors.New("cluster: empty chain")
+	}
+	switch op {
+	case rpcproto.OpPut, rpcproto.OpDel:
+		return target{node: chain[0], part: part}, 0, nil
+	default: // GET
+		tail := chain[len(chain)-1]
+		if !c.cfg.CRRS {
+			return target{node: tail, part: part}, uint8(len(chain) - 1), nil
+		}
+		// CRRS: choose the synced replica with the most available tokens,
+		// breaking ties toward the tail (§3.7).
+		best := target{node: tail, part: part}
+		bestTok := c.tokensFor(best)
+		for i := len(chain) - 2; i >= 0; i-- {
+			if !v.Synced(part, chain[i]) {
+				continue
+			}
+			t := target{node: chain[i], part: part}
+			if tok := c.tokensFor(t); tok > bestTok {
+				best, bestTok = t, tok
+			}
+		}
+		pos := 0
+		for i, nd := range chain {
+			if nd == best.node {
+				pos = i
+			}
+		}
+		return best, uint8(pos), nil
+	}
+}
+
+// admit paces the submission per Algorithm 1: issue when the target has
+// tokens, or when no commands are outstanding toward it (the Nagle-like
+// probe); otherwise wait for a response or view change.
+func (c *Client) admit(p *sim.Proc, t target, cost int64) {
+	if !c.cfg.FlowControl {
+		return
+	}
+	for {
+		if c.tokensFor(t) >= cost {
+			c.tokens[t] = c.tokensFor(t) - cost
+			return
+		}
+		if c.outstanding[t] == 0 {
+			c.tokens[t] = 0 // probe: a single outstanding command
+			return
+		}
+		c.stats.Throttled++
+		p.Wait(c.wake)
+	}
+}
+
+// Do executes one operation end to end, handling flow control, NACK/view
+// refresh, and timeout retries. It returns the response and the measured
+// latency (including throttling time, as a client observes it).
+func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Response, sim.Time, error) {
+	start := p.Now()
+	v := c.view
+	if v == nil {
+		return nil, 0, errors.New("cluster: client has no view")
+	}
+	part := PartitionOf(core.HashKey(key), v.NumPart)
+	cost := int64(3)
+	if op == rpcproto.OpGet || op == rpcproto.OpDel {
+		cost = 2
+	}
+	var lastErr error = ErrTimeout
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		t, hop, err := c.pickTarget(op, part)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.admit(p, t, cost)
+		c.nextID++
+		req := &rpcproto.Request{
+			ID: c.nextID, Op: op, Tenant: c.cfg.Tenant,
+			Partition: part, Epoch: c.view.Epoch, Hop: hop,
+			Key: key, Value: val,
+		}
+		done := c.k.NewEvent()
+		env := &reqEnvelope{req: req, clientAddr: c.cfg.Endpoint.Addr(), complete: done}
+		c.outstanding[t]++
+		c.cfg.Endpoint.Send(netsim.Addr(t.node), req.WireSize(), env)
+		idx := p.WaitAny(done, c.k.Timer(c.cfg.Timeout))
+		c.outstanding[t]--
+		if idx != 0 {
+			// Timeout: the target may be dead; decay its token estimate so
+			// the scheduler stops preferring it, then retry.
+			c.stats.Timeouts++
+			c.stats.Retries++
+			delete(c.tokens, t)
+			c.fireWake()
+			continue
+		}
+		resp := done.Value().(*netsim.Message).Payload.(*rpcproto.Response)
+		c.tokens[t] = int64(resp.Tokens)
+		c.fireWake()
+		switch resp.Status {
+		case rpcproto.StatusOK, rpcproto.StatusNotFound:
+			c.stats.Ops++
+			return resp, p.Now() - start, nil
+		case rpcproto.StatusNack:
+			c.stats.Nacks++
+			c.stats.Retries++
+			// Wait briefly for the newer view to arrive, then retry.
+			if resp.Epoch > c.view.Epoch {
+				p.WaitAny(c.wake, c.k.Timer(2*sim.Millisecond))
+			} else {
+				p.Sleep(200 * sim.Microsecond)
+			}
+			lastErr = fmt.Errorf("cluster: nacked at epoch %d", resp.Epoch)
+		default:
+			c.stats.Retries++
+			p.Sleep(500 * sim.Microsecond)
+			lastErr = fmt.Errorf("cluster: status %v", resp.Status)
+		}
+	}
+	return nil, p.Now() - start, lastErr
+}
+
+// Get fetches key's value.
+func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, sim.Time, error) {
+	resp, lat, err := c.Do(p, rpcproto.OpGet, key, nil)
+	if err != nil {
+		return nil, lat, err
+	}
+	if resp.Status == rpcproto.StatusNotFound {
+		return nil, lat, core.ErrNotFound
+	}
+	return resp.Value, lat, nil
+}
+
+// Put stores key=val through the partition's chain.
+func (c *Client) Put(p *sim.Proc, key, val []byte) (sim.Time, error) {
+	_, lat, err := c.Do(p, rpcproto.OpPut, key, val)
+	return lat, err
+}
+
+// Del removes key.
+func (c *Client) Del(p *sim.Proc, key []byte) (sim.Time, error) {
+	resp, lat, err := c.Do(p, rpcproto.OpDel, key, nil)
+	if err != nil {
+		return lat, err
+	}
+	if resp.Status == rpcproto.StatusNotFound {
+		return lat, core.ErrNotFound
+	}
+	return lat, nil
+}

@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"leed/internal/core"
+	"leed/internal/engine"
+	"leed/internal/netsim"
+	"leed/internal/platform"
+	"leed/internal/sim"
+)
+
+// Address plan: the control plane lives at addr 1, storage nodes at their
+// NodeID (100, 101, ...), clients at 1000+.
+const (
+	managerAddr   netsim.Addr = 1
+	firstNodeID   NodeID      = 100
+	firstClientID netsim.Addr = 1000
+)
+
+// Config assembles a whole LEED cluster.
+type Config struct {
+	Kernel *sim.Kernel
+
+	NumJBOFs    int // initial members
+	SpareJBOFs  int // built but not joined (for join experiments)
+	SSDsPerJBOF int
+	SSDCapacity int64
+
+	NumPartitions int // global partitions
+	R             int // replication factor
+
+	KeyLen, ValLen int // object shape, for geometry planning
+
+	NumClients int
+
+	// Feature toggles for the paper's ablations.
+	CRRS        bool // §3.7 read shipping (Fig. 7)
+	CRAQMode    bool // version queries instead of shipping (§3.7 ablation)
+	FlowControl bool // §3.5 client-side load-aware scheduling (Fig. 8)
+	Swap        bool // §3.6 intra-JBOF write swapping (Fig. 10)
+	// TokensPerPartition sizes server-side admission; when FlowControl is
+	// false it is inflated so the intra-JBOF active queue is effectively
+	// unbounded (the "w/o LS" configuration of Fig. 8).
+	TokensPerPartition int64
+
+	SubCompactions int
+	Prefetch       bool
+
+	Platform platform.Spec // default Stingray
+
+	HeartbeatTimeout sim.Time
+}
+
+// Cluster holds every assembled component.
+type Cluster struct {
+	K         *sim.Kernel
+	Fabric    *netsim.Fabric
+	Manager   *Manager
+	Nodes     map[NodeID]*Node
+	NodeIDs   []NodeID // initial members then spares, in id order
+	Engines   map[NodeID]*engine.Engine
+	Platforms map[NodeID]*platform.Node
+	Clients   []*Client
+
+	cfg Config
+}
+
+// New builds (but does not start) a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.SSDsPerJBOF == 0 {
+		cfg.SSDsPerJBOF = 4
+	}
+	if cfg.NumPartitions == 0 {
+		cfg.NumPartitions = cfg.NumJBOFs * 4
+	}
+	if cfg.Platform.Name == "" {
+		cfg.Platform = platform.Stingray()
+	}
+	if cfg.NumClients == 0 {
+		cfg.NumClients = 1
+	}
+	if cfg.TokensPerPartition == 0 {
+		cfg.TokensPerPartition = 48
+	}
+	k := cfg.Kernel
+	c := &Cluster{
+		K:         k,
+		Fabric:    netsim.New(k, netsim.Config{}),
+		Nodes:     make(map[NodeID]*Node),
+		Engines:   make(map[NodeID]*engine.Engine),
+		Platforms: make(map[NodeID]*platform.Node),
+		cfg:       cfg,
+	}
+
+	// Slot budget per node: worst-case replicated partitions with slack
+	// for consistent-hashing imbalance and membership churn.
+	total := cfg.NumJBOFs + cfg.SpareJBOFs
+	avg := float64(cfg.NumPartitions*cfg.R) / float64(cfg.NumJBOFs)
+	slots := int(avg*2) + 2
+	partsPerSSD := (slots + cfg.SSDsPerJBOF - 1) / cfg.SSDsPerJBOF
+
+	partBytes := cfg.SSDCapacity / int64(partsPerSSD)
+	geo := core.PlanPartition(partBytes, cfg.KeyLen, cfg.ValLen, core.PlanOpts{})
+
+	tokens := cfg.TokensPerPartition
+	if !cfg.FlowControl {
+		tokens = 1 << 30 // unbounded active queue: no admission control
+	}
+
+	var initial []NodeID
+	for i := 0; i < total; i++ {
+		id := firstNodeID + NodeID(i)
+		plat := platform.NewNode(k, cfg.Platform, cfg.SSDsPerJBOF, cfg.SSDCapacity, int64(id))
+		eng := engine.New(engine.Config{
+			Kernel:             k,
+			Node:               plat,
+			PartitionsPerSSD:   partsPerSSD,
+			Geometry:           geo,
+			PartitionBytes:     partBytes,
+			TokensPerPartition: tokens,
+			SwapEnabled:        cfg.Swap,
+			SubCompactions:     cfg.SubCompactions,
+			Prefetch:           cfg.Prefetch,
+		})
+		ep := c.Fabric.AddNode(netsim.Addr(id), cfg.Platform.NICBitsPerS)
+		node := NewNode(NodeConfig{
+			Kernel: k, ID: id, Engine: eng, Endpoint: ep,
+			Platform: plat, ManagerAddr: managerAddr,
+			CRRS: cfg.CRRS, CRAQMode: cfg.CRAQMode,
+		})
+		c.Nodes[id] = node
+		c.Engines[id] = eng
+		c.Platforms[id] = plat
+		c.NodeIDs = append(c.NodeIDs, id)
+		if i < cfg.NumJBOFs {
+			initial = append(initial, id)
+		}
+	}
+
+	mgrEp := c.Fabric.AddNode(managerAddr, 10_000_000_000)
+	c.Manager = NewManager(ManagerConfig{
+		Kernel: k, Endpoint: mgrEp, R: cfg.R, NumPart: cfg.NumPartitions,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+	}, initial)
+	for _, id := range c.NodeIDs {
+		c.Manager.Subscribe(netsim.Addr(id))
+	}
+
+	for i := 0; i < cfg.NumClients; i++ {
+		addr := firstClientID + netsim.Addr(i)
+		ep := c.Fabric.AddNode(addr, 100_000_000_000)
+		cl := NewClient(ClientConfig{
+			Kernel: k, Tenant: uint16(i), Endpoint: ep,
+			FlowControl: cfg.FlowControl, CRRS: cfg.CRRS,
+			InitialTokens: cfg.TokensPerPartition,
+		})
+		c.Clients = append(c.Clients, cl)
+		c.Manager.Subscribe(addr)
+	}
+	return c
+}
+
+// Start launches every component and runs the kernel briefly so the initial
+// view reaches all nodes and clients.
+func (c *Cluster) Start() {
+	for _, id := range c.NodeIDs {
+		c.Nodes[id].Start()
+		c.Engines[id].Start()
+	}
+	for _, cl := range c.Clients {
+		cl.Start()
+	}
+	c.Manager.Start()
+	c.K.Run(c.K.Now() + 5*sim.Millisecond)
+	for _, cl := range c.Clients {
+		if cl.View() == nil {
+			panic("cluster: client did not receive the initial view")
+		}
+	}
+}
+
+// Join admits spare node id into the cluster (Fig. 9's join phase).
+func (c *Cluster) Join(id NodeID) { c.Manager.Join(id) }
+
+// Leave retires node id gracefully (Fig. 9's leave phase).
+func (c *Cluster) Leave(id NodeID) { c.Manager.Leave(id) }
+
+// Kill fail-stops a node; the heartbeat detector will notice (§3.8.2).
+func (c *Cluster) Kill(id NodeID) { c.Nodes[id].Stop() }
+
+// Energy returns the backends' total Joules so far (clients and the
+// control plane excluded, as in the paper's power measurements).
+func (c *Cluster) Energy() float64 {
+	var j float64
+	for _, id := range c.NodeIDs {
+		j += c.Platforms[id].Meter.Energy()
+	}
+	return j
+}
+
+// BackendTxBytes sums the storage nodes' transmitted bytes: the internal
+// plus response traffic the CRAQ ablation compares against CRRS.
+func (c *Cluster) BackendTxBytes() int64 {
+	var total int64
+	for _, id := range c.NodeIDs {
+		total += c.Nodes[id].cfg.Endpoint.Stats().TxBytes
+	}
+	return total
+}
+
+// MemberIDs returns the manager's current chain-eligible members.
+func (c *Cluster) MemberIDs() []NodeID {
+	v := c.Manager.View()
+	out := v.Members()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String summarizes the assembly.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster{jbofs=%d parts=%d R=%d clients=%d}",
+		len(c.NodeIDs), c.cfg.NumPartitions, c.cfg.R, len(c.Clients))
+}

@@ -1,0 +1,720 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/netsim"
+	"leed/internal/rpcproto"
+	"leed/internal/sim"
+)
+
+// newTestCluster assembles a small 3-JBOF cluster (plus optional spares).
+func newTestCluster(k *sim.Kernel, spares int, mutate func(*Config)) *Cluster {
+	cfg := Config{
+		Kernel:        k,
+		NumJBOFs:      3,
+		SpareJBOFs:    spares,
+		SSDsPerJBOF:   4,
+		SSDCapacity:   48 << 20,
+		NumPartitions: 8,
+		R:             3,
+		KeyLen:        16,
+		ValLen:        128,
+		NumClients:    2,
+		CRRS:          true,
+		FlowControl:   true,
+		Swap:          true,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c := New(cfg)
+	c.Start()
+	return c
+}
+
+// drive runs fn on a proc and pushes the kernel forward until it finishes
+// or the budget elapses.
+func drive(t *testing.T, k *sim.Kernel, budget sim.Time, fn func(p *sim.Proc)) {
+	t.Helper()
+	done := false
+	k.Go("driver", func(p *sim.Proc) {
+		fn(p)
+		done = true
+	})
+	deadline := k.Now() + budget
+	for !done && k.Now() < deadline {
+		k.Run(k.Now() + 10*sim.Millisecond)
+	}
+	if !done {
+		t.Fatal("driver did not finish within the simulated budget")
+	}
+}
+
+func TestClusterPutGetDel(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 2*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		if _, err := cl.Put(p, []byte("alpha"), []byte("one")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		v, _, err := cl.Get(p, []byte("alpha"))
+		if err != nil || string(v) != "one" {
+			t.Errorf("get = %q, %v", v, err)
+			return
+		}
+		if _, err := cl.Del(p, []byte("alpha")); err != nil {
+			t.Errorf("del: %v", err)
+			return
+		}
+		if _, _, err := cl.Get(p, []byte("alpha")); err != core.ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+	})
+}
+
+func TestClusterManyKeysAcrossPartitions(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 20*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		for i := 0; i < 200; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			if _, err := cl.Put(p, key, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 200; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			v, _, err := cl.Get(p, key)
+			if err != nil || string(v) != fmt.Sprintf("val-%d", i) {
+				t.Errorf("get %d = %q, %v", i, v, err)
+				return
+			}
+		}
+	})
+}
+
+func TestClusterWritesReplicateToAllChainMembers(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 5*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("replicated-key")
+		if _, err := cl.Put(p, key, []byte("v")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		part := PartitionOf(core.HashKey(key), c.Manager.View().NumPart)
+		chain := c.Manager.View().Chain(part)
+		if len(chain) != 3 {
+			t.Errorf("chain = %v", chain)
+			return
+		}
+		// Every replica's local store must hold the key.
+		for _, id := range chain {
+			n := c.Nodes[id]
+			pid, ok := n.local[part]
+			if !ok {
+				t.Errorf("node %d has no local partition %d", id, part)
+				return
+			}
+			got, _, err := c.Engines[id].Execute(p, pid, rpcproto.OpGet, key, nil)
+			if err != nil || string(got) != "v" {
+				t.Errorf("replica %d: %q, %v", id, got, err)
+				return
+			}
+		}
+	})
+}
+
+func TestCRRSReadFromNonTailReplica(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 10*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("crrs-key")
+		cl.Put(p, key, []byte("v"))
+		// Let the backward acks clear the dirty bits before reading.
+		p.Sleep(2 * sim.Millisecond)
+		// Bias the client's token estimates so a non-tail replica wins.
+		part := PartitionOf(core.HashKey(key), cl.View().NumPart)
+		chain := cl.View().Chain(part)
+		head := chain[0]
+		tail := chain[len(chain)-1]
+		cl.tokens[target{node: head, part: part}] = 1000
+		cl.tokens[target{node: tail, part: part}] = 1
+		v, _, err := cl.Get(p, key)
+		if err != nil || string(v) != "v" {
+			t.Errorf("get = %q, %v", v, err)
+			return
+		}
+		if c.Nodes[head].Stats().Gets == 0 {
+			t.Error("head served no reads despite having the most tokens")
+		}
+	})
+}
+
+func TestCRRSShipsDirtyReads(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 20*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("hot-key")
+		cl.Put(p, key, []byte("v0"))
+		part := PartitionOf(core.HashKey(key), cl.View().NumPart)
+		chain := cl.View().Chain(part)
+		head := chain[0]
+		// Force reads toward the head while a stream of writes keeps the
+		// key dirty there.
+		cl.tokens[target{node: head, part: part}] = 1 << 20
+		writer := c.Clients[1]
+		stop := false
+		wdone := k.NewEvent()
+		k.Go("writer", func(wp *sim.Proc) {
+			i := 0
+			for !stop {
+				writer.Put(wp, key, []byte(fmt.Sprintf("v%d", i)))
+				i++
+			}
+			wdone.Fire(nil)
+		})
+		shippedBefore := c.Nodes[head].Stats().Shipped
+		for i := 0; i < 50; i++ {
+			cl.tokens[target{node: head, part: part}] = 1 << 20
+			if _, _, err := cl.Get(p, key); err != nil {
+				t.Errorf("get: %v", err)
+				break
+			}
+		}
+		stop = true
+		p.Wait(wdone)
+		if c.Nodes[head].Stats().Shipped == shippedBefore {
+			t.Error("no reads were shipped to the tail despite dirty keys")
+		}
+	})
+}
+
+func TestCRRSConsistencyUnderConcurrentWrites(t *testing.T) {
+	// Monotonic-read check: a reader that saw version N must never later
+	// observe an older committed version.
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+		key := []byte("mono-key")
+		writer, reader := c.Clients[0], c.Clients[1]
+		writer.Put(p, key, []byte("00000"))
+		part := PartitionOf(core.HashKey(key), reader.View().NumPart)
+		chain := reader.View().Chain(part)
+		lastCommitted := 0
+		stop := false
+		wdone := k.NewEvent()
+		k.Go("writer", func(wp *sim.Proc) {
+			for i := 1; i <= 40 && !stop; i++ {
+				if _, err := writer.Put(wp, key, []byte(fmt.Sprintf("%05d", i))); err == nil {
+					lastCommitted = i
+				}
+			}
+			wdone.Fire(nil)
+		})
+		prev := 0
+		for i := 0; i < 120 && !wdone.Fired(); i++ {
+			// Rotate read preference across replicas to stress CRRS.
+			for j, nd := range chain {
+				reader.tokens[target{node: nd, part: part}] = int64(1000 * ((i+j)%len(chain) + 1))
+			}
+			v, _, err := reader.Get(p, key)
+			if err != nil {
+				t.Errorf("get: %v", err)
+				break
+			}
+			var ver int
+			fmt.Sscanf(string(v), "%05d", &ver)
+			if ver < prev {
+				t.Errorf("read went backward: %d after %d (committed=%d)", ver, prev, lastCommitted)
+				break
+			}
+			prev = ver
+		}
+		stop = true
+		p.Wait(wdone)
+	})
+}
+
+func TestFlowControlThrottlesUnderOverload(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, func(cfg *Config) { cfg.TokensPerPartition = 8 })
+	drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		done := make([]*sim.Event, 0, 64)
+		for i := 0; i < 64; i++ {
+			i := i
+			ev := k.NewEvent()
+			done = append(done, ev)
+			k.Go("burst", func(bp *sim.Proc) {
+				key := []byte("same-partition-key") // one hot partition
+				cl.Do(bp, rpcproto.OpGet, key, nil)
+				_ = i
+				ev.Fire(nil)
+			})
+		}
+		p.WaitAll(done...)
+	})
+	if c.Clients[0].Stats().Throttled == 0 {
+		t.Fatal("flow control never throttled under a 64-deep burst at 8 tokens")
+	}
+}
+
+func TestNoFlowControlNeverThrottles(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, func(cfg *Config) { cfg.FlowControl = false })
+	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		for i := 0; i < 50; i++ {
+			cl.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		}
+	})
+	if c.Clients[0].Stats().Throttled != 0 {
+		t.Fatal("throttled despite flow control disabled")
+	}
+}
+
+func TestNodeJoinPreservesData(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 1, nil)
+	spare := c.NodeIDs[3]
+	drive(t, k, 120*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		for i := 0; i < 120; i++ {
+			if _, err := cl.Put(p, []byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		c.Join(spare)
+		// Wait for the join to complete (spare becomes RUNNING).
+		for i := 0; i < 2000; i++ {
+			if st, ok := c.Manager.State(spare); ok && st == StateRunning {
+				break
+			}
+			p.Sleep(sim.Millisecond)
+		}
+		if st, _ := c.Manager.State(spare); st != StateRunning {
+			t.Errorf("spare never reached RUNNING: %v", st)
+			return
+		}
+		// All data still readable.
+		for i := 0; i < 120; i++ {
+			v, _, err := cl.Get(p, []byte(fmt.Sprintf("key-%04d", i)))
+			if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+				t.Errorf("get %d = %q, %v", i, v, err)
+				return
+			}
+		}
+		// The new node must actually replicate partitions.
+		if len(c.Nodes[spare].local) == 0 {
+			t.Error("joined node replicates nothing")
+		}
+	})
+}
+
+func TestNodeLeavePreservesData(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 1, nil)
+	spare := c.NodeIDs[3]
+	drive(t, k, 240*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		c.Join(spare)
+		for i := 0; i < 2000; i++ {
+			if st, ok := c.Manager.State(spare); ok && st == StateRunning {
+				break
+			}
+			p.Sleep(sim.Millisecond)
+		}
+		for i := 0; i < 100; i++ {
+			if _, err := cl.Put(p, []byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		c.Leave(spare)
+		for i := 0; i < 3000; i++ {
+			if _, ok := c.Manager.State(spare); !ok {
+				break
+			}
+			p.Sleep(sim.Millisecond)
+		}
+		if _, ok := c.Manager.State(spare); ok {
+			t.Error("node never finished leaving")
+			return
+		}
+		for i := 0; i < 100; i++ {
+			v, _, err := cl.Get(p, []byte(fmt.Sprintf("key-%04d", i)))
+			if err != nil || string(v) != fmt.Sprintf("v%d", i) {
+				t.Errorf("get %d = %q, %v", i, v, err)
+				return
+			}
+		}
+	})
+}
+
+func TestFailureRecoversCommittedData(t *testing.T) {
+	// Kill one node (it plays head/mid/tail across partitions); every
+	// committed write must survive on the remaining replicas.
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 1, nil)
+	victim := c.NodeIDs[1]
+	drive(t, k, 300*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		committed := map[string]string{}
+		for i := 0; i < 100; i++ {
+			key := fmt.Sprintf("key-%04d", i)
+			val := fmt.Sprintf("v%d", i)
+			if _, err := cl.Put(p, []byte(key), []byte(val)); err == nil {
+				committed[key] = val
+			}
+		}
+		c.Kill(victim)
+		// Wait for failure detection and re-replication to settle.
+		for i := 0; i < 5000; i++ {
+			if _, ok := c.Manager.State(victim); !ok {
+				break
+			}
+			p.Sleep(sim.Millisecond)
+		}
+		if _, ok := c.Manager.State(victim); ok {
+			t.Error("failed node never removed from membership")
+			return
+		}
+		p.Sleep(50 * sim.Millisecond)
+		for key, want := range committed {
+			v, _, err := cl.Get(p, []byte(key))
+			if err != nil || string(v) != want {
+				t.Errorf("lost committed key %q: %q, %v", key, v, err)
+				return
+			}
+		}
+	})
+}
+
+func TestWritesContinueDuringFailover(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 1, nil)
+	victim := c.NodeIDs[2]
+	drive(t, k, 300*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		for i := 0; i < 30; i++ {
+			cl.Put(p, []byte(fmt.Sprintf("pre-%d", i)), []byte("v"))
+		}
+		c.Kill(victim)
+		// Keep writing through the failure window; retries must absorb it.
+		okCount := 0
+		for i := 0; i < 60; i++ {
+			if _, err := cl.Put(p, []byte(fmt.Sprintf("during-%d", i)), []byte("v")); err == nil {
+				okCount++
+			}
+		}
+		if okCount < 50 {
+			t.Errorf("only %d/60 writes succeeded during failover", okCount)
+		}
+	})
+}
+
+func TestEpochMismatchNacks(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 5*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("nack-key")
+		part := PartitionOf(core.HashKey(key), cl.View().NumPart)
+		head := cl.View().Chain(part)[0]
+		// Hand-craft a stale-epoch request.
+		done := k.NewEvent()
+		req := &rpcproto.Request{ID: 1, Op: rpcproto.OpPut, Partition: part,
+			Epoch: cl.View().Epoch + 99, Key: key, Value: []byte("v")}
+		env := &reqEnvelope{req: req, clientAddr: cl.cfg.Endpoint.Addr(), complete: done}
+		cl.cfg.Endpoint.Send(netsim.Addr(head), req.WireSize(), env)
+		m := p.Wait(done)
+		resp := m.(*netsim.Message).Payload.(*rpcproto.Response)
+		if resp.Status != rpcproto.StatusNack {
+			t.Errorf("status = %v, want NACK", resp.Status)
+		}
+	})
+}
+
+func TestWrongHopNacks(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 5*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("hop-key")
+		v := cl.View()
+		part := PartitionOf(core.HashKey(key), v.NumPart)
+		tail := v.Chain(part)[len(v.Chain(part))-1]
+		// Send a PUT with Hop=0 to the tail: position mismatch -> NACK.
+		done := k.NewEvent()
+		req := &rpcproto.Request{ID: 1, Op: rpcproto.OpPut, Partition: part,
+			Epoch: v.Epoch, Hop: 0, Key: key, Value: []byte("v")}
+		env := &reqEnvelope{req: req, clientAddr: cl.cfg.Endpoint.Addr(), complete: done}
+		cl.cfg.Endpoint.Send(netsim.Addr(tail), req.WireSize(), env)
+		m := p.Wait(done)
+		resp := m.(*netsim.Message).Payload.(*rpcproto.Response)
+		if resp.Status != rpcproto.StatusNack {
+			t.Errorf("status = %v, want NACK", resp.Status)
+		}
+	})
+}
+
+func TestClientTimesOutWhenChainDead(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, func(cfg *Config) { cfg.HeartbeatTimeout = 10 * sim.Second })
+	drive(t, k, 120*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		cl.Put(p, []byte("k"), []byte("v"))
+		// Kill every node; the slow failure detector will not save us, so
+		// the client must exhaust retries and return ErrTimeout.
+		for _, id := range c.NodeIDs {
+			c.Kill(id)
+		}
+		cl.cfg.Timeout = 5 * sim.Millisecond
+		cl.cfg.Retries = 3
+		if _, _, err := cl.Get(p, []byte("k")); err != ErrTimeout {
+			t.Errorf("err = %v, want ErrTimeout", err)
+		}
+	})
+	if c.Clients[0].Stats().Timeouts == 0 {
+		t.Fatal("no timeouts recorded")
+	}
+}
+
+func TestClientStatsAccumulate(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 20*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		for i := 0; i < 20; i++ {
+			cl.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		}
+		if cl.Stats().Ops != 20 {
+			t.Errorf("ops = %d", cl.Stats().Ops)
+		}
+	})
+}
+
+func TestManagerStringAndState(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	if c.Manager.String() == "" {
+		t.Fatal("empty manager string")
+	}
+	if st, ok := c.Manager.State(c.NodeIDs[0]); !ok || st != StateRunning {
+		t.Fatalf("state = %v, %v", st, ok)
+	}
+	if _, ok := c.Manager.State(9999); ok {
+		t.Fatal("unknown node has state")
+	}
+	if c.String() == "" {
+		t.Fatal("empty cluster string")
+	}
+}
+
+func TestLocalPidEvictsStaleSlots(t *testing.T) {
+	// Exhaust free slots, mark partitions stale, and verify eviction
+	// reuses them for new ranges.
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	n := c.Nodes[c.NodeIDs[0]]
+	drive(t, k, 10*sim.Second, func(p *sim.Proc) {
+		// Allocate every free slot to synthetic partitions.
+		base := uint32(1000)
+		var got int
+		for i := uint32(0); ; i++ {
+			if _, ok := n.localPid(base + i); !ok {
+				break
+			}
+			got++
+		}
+		if got == 0 {
+			t.Error("no slots allocated")
+			return
+		}
+		// No slots left and nothing stale: allocation fails.
+		if _, ok := n.localPid(base + 9999); ok {
+			t.Error("allocation succeeded with no free or stale slots")
+			return
+		}
+		// Mark one synthetic partition stale; allocation must evict it.
+		n.stale[base] = true
+		pid, ok := n.localPid(base + 9999)
+		if !ok {
+			t.Error("eviction did not free a slot")
+			return
+		}
+		_ = pid
+		if _, still := n.local[base]; still {
+			t.Error("evicted partition still mapped")
+		}
+	})
+}
+
+func TestEnsureFreshResetsRejoinedPartition(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	n := c.Nodes[c.NodeIDs[0]]
+	drive(t, k, 10*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("fresh-key")
+		cl.Put(p, key, []byte("v"))
+		part := PartitionOf(core.HashKey(key), c.Manager.View().NumPart)
+		pid, ok := n.local[part]
+		if !ok {
+			t.Error("node does not replicate the partition")
+			return
+		}
+		before := c.Engines[n.ID()].Partition(pid).Store.Objects()
+		if before == 0 {
+			t.Error("store empty before reset")
+			return
+		}
+		// Simulate leave-then-rejoin: stale, then fresh data arrives.
+		n.stale[part] = true
+		n.ensureFresh(part)
+		after := c.Engines[n.ID()].Partition(pid).Store.Objects()
+		if after != 0 {
+			t.Errorf("stale data survived ensureFresh: %d objects", after)
+		}
+		if n.stale[part] {
+			t.Error("stale flag not cleared")
+		}
+	})
+}
+
+func TestReplicaConvergenceAfterChurn(t *testing.T) {
+	// After a join, a leave, and a failure, every partition's synced
+	// replicas must agree with what clients can read.
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 2, nil)
+	spare1, spare2 := c.NodeIDs[3], c.NodeIDs[4]
+	drive(t, k, 600*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		committed := map[string]string{}
+		write := func(tag string, n int) {
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("%s-%03d", tag, i)
+				val := fmt.Sprintf("v-%s-%d", tag, i)
+				if _, err := cl.Put(p, []byte(key), []byte(val)); err == nil {
+					committed[key] = val
+				}
+			}
+		}
+		waitState := func(id NodeID, want string) {
+			for i := 0; i < 5000; i++ {
+				st, ok := c.Manager.State(id)
+				if want == "gone" && !ok {
+					return
+				}
+				if ok && st.String() == want {
+					return
+				}
+				p.Sleep(sim.Millisecond)
+			}
+			t.Errorf("node %d never reached %s", id, want)
+		}
+		write("pre", 60)
+		c.Join(spare1)
+		waitState(spare1, "RUNNING")
+		write("mid", 60)
+		c.Join(spare2)
+		waitState(spare2, "RUNNING")
+		c.Leave(spare1)
+		waitState(spare1, "gone")
+		write("post", 60)
+		c.Kill(c.NodeIDs[0])
+		waitState(c.NodeIDs[0], "gone")
+		p.Sleep(100 * sim.Millisecond)
+
+		// Client-visible state: every committed write readable.
+		for key, want := range committed {
+			v, _, err := cl.Get(p, []byte(key))
+			if err != nil || string(v) != want {
+				t.Errorf("committed %q = %q, %v (want %q)", key, v, err, want)
+				return
+			}
+		}
+		// Replica agreement: all synced chain members hold the same value.
+		view := c.Manager.View()
+		for key, want := range committed {
+			part := PartitionOf(core.HashKey([]byte(key)), view.NumPart)
+			for _, id := range view.Chain(part) {
+				if !view.Synced(part, id) {
+					continue
+				}
+				n := c.Nodes[id]
+				pid, ok := n.local[part]
+				if !ok {
+					continue // not yet materialized; COPY would fill it
+				}
+				v, _, err := c.Engines[id].Execute(p, pid, rpcproto.OpGet, []byte(key), nil)
+				if err != nil || string(v) != want {
+					t.Errorf("replica %d diverges on %q: %q, %v (want %q)", id, key, v, err, want)
+					return
+				}
+			}
+		}
+	})
+}
+
+func TestDirtyBitsDrainAfterQuiescence(t *testing.T) {
+	// §3.7: acks propagate backward and clear dirty bits; once writes
+	// stop, no replica should hold dirty state (leaks would force
+	// shipping forever).
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		for i := 0; i < 150; i++ {
+			if _, err := cl.Put(p, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		p.Sleep(20 * sim.Millisecond) // let trailing acks propagate
+		for _, id := range c.NodeIDs {
+			n := c.Nodes[id]
+			for part, dm := range n.dirty {
+				for key, cnt := range dm {
+					if cnt > 0 {
+						t.Errorf("node %d partition %d: dirty leak on %q (%d)", id, part, key, cnt)
+						return
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/sim"
+)
+
+func TestCRAQModeServesDirtyReadsViaVersionQuery(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, func(cfg *Config) { cfg.CRAQMode = true })
+	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+		cl := c.Clients[0]
+		key := []byte("craq-key")
+		cl.Put(p, key, []byte("v0"))
+		part := PartitionOf(core.HashKey(key), cl.View().NumPart)
+		chain := cl.View().Chain(part)
+		head := chain[0]
+		// Keep the key dirty at the head with a write stream, and force
+		// reads toward the head.
+		stop := false
+		wdone := k.NewEvent()
+		k.Go("writer", func(wp *sim.Proc) {
+			i := 0
+			for !stop {
+				c.Clients[1].Put(wp, key, []byte(fmt.Sprintf("v%d", i)))
+				i++
+			}
+			wdone.Fire(nil)
+		})
+		for i := 0; i < 40; i++ {
+			cl.tokens[target{node: head, part: part}] = 1 << 20
+			if _, _, err := cl.Get(p, key); err != nil {
+				t.Errorf("get: %v", err)
+				break
+			}
+		}
+		stop = true
+		p.Wait(wdone)
+		if c.Nodes[head].Stats().VersionQueries == 0 {
+			t.Error("CRAQ mode never issued a version query")
+		}
+		if c.Nodes[head].Stats().Shipped != 0 {
+			t.Error("CRAQ mode shipped requests")
+		}
+	})
+}
+
+func TestCRAQModeGeneratesMoreInternalTraffic(t *testing.T) {
+	// The paper's reason for rejecting version queries: more cross-JBOF
+	// traffic than shipping (§3.7). Compare backend TX bytes for the same
+	// dirty-read pattern.
+	measure := func(craq bool) (int64, int64) {
+		k := sim.New()
+		defer k.Close()
+		c := newTestCluster(k, 0, func(cfg *Config) { cfg.CRAQMode = craq })
+		var served int64
+		drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+			cl := c.Clients[0]
+			key := []byte("hot")
+			cl.Put(p, key, make([]byte, 512))
+			part := PartitionOf(core.HashKey(key), cl.View().NumPart)
+			head := cl.View().Chain(part)[0]
+			stop := false
+			wdone := k.NewEvent()
+			k.Go("writer", func(wp *sim.Proc) {
+				for !stop {
+					c.Clients[1].Put(wp, key, make([]byte, 512))
+				}
+				wdone.Fire(nil)
+			})
+			for i := 0; i < 60; i++ {
+				cl.tokens[target{node: head, part: part}] = 1 << 20
+				if _, _, err := cl.Get(p, key); err == nil {
+					served++
+				}
+			}
+			stop = true
+			p.Wait(wdone)
+		})
+		return c.BackendTxBytes(), served
+	}
+	shipBytes, shipServed := measure(false)
+	craqBytes, craqServed := measure(true)
+	if shipServed == 0 || craqServed == 0 {
+		t.Fatalf("reads failed: ship=%d craq=%d", shipServed, craqServed)
+	}
+	perShip := float64(shipBytes) / float64(shipServed)
+	perCraq := float64(craqBytes) / float64(craqServed)
+	if perCraq <= perShip {
+		t.Errorf("CRAQ per-read backend bytes (%.0f) not above shipping (%.0f)", perCraq, perShip)
+	}
+}

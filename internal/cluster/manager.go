@@ -1,0 +1,341 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"leed/internal/netsim"
+	"leed/internal/sim"
+)
+
+// ManagerConfig wires the control plane (the paper's etcd-backed manager,
+// §3.1.2): membership, heartbeat-based failure detection, and join/leave
+// orchestration through the COPY primitive.
+type ManagerConfig struct {
+	Kernel   *sim.Kernel
+	Endpoint *netsim.Endpoint
+
+	R       int // replication factor
+	NumPart int // global partitions
+
+	// HeartbeatTimeout is how long a silent node lives before being
+	// declared failed. Default 20ms.
+	HeartbeatTimeout sim.Time
+	// CheckEvery is the failure-detector period. Default 5ms.
+	CheckEvery sim.Time
+}
+
+// ManagerStats are cumulative counters.
+type ManagerStats struct {
+	Joins, Leaves, Failures int64
+	ViewsPublished          int64
+	CopiesOrdered           int64
+}
+
+// Manager is the control plane.
+type Manager struct {
+	cfg   ManagerConfig
+	k     *sim.Kernel
+	epoch uint64
+
+	states   map[NodeID]NodeState
+	unsynced map[uint32]map[NodeID]bool
+	lastHB   map[NodeID]sim.Time
+	subs     []netsim.Addr
+
+	// pendingCopies tracks outstanding (partition, dest) migrations; when
+	// a JOINING node's count drains it becomes RUNNING, and when a
+	// LEAVING node's count drains it is removed.
+	pendingCopies map[copyKey]NodeID // -> node whose transition awaits this copy
+	pendingCount  map[NodeID]int
+
+	view  *View
+	stats ManagerStats
+}
+
+type copyKey struct {
+	part uint32
+	dest NodeID
+}
+
+// NewManager creates the control plane with an initial RUNNING member set.
+func NewManager(cfg ManagerConfig, initial []NodeID) *Manager {
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 20 * sim.Millisecond
+	}
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = 5 * sim.Millisecond
+	}
+	m := &Manager{
+		cfg:           cfg,
+		k:             cfg.Kernel,
+		states:        make(map[NodeID]NodeState),
+		unsynced:      make(map[uint32]map[NodeID]bool),
+		lastHB:        make(map[NodeID]sim.Time),
+		pendingCopies: make(map[copyKey]NodeID),
+		pendingCount:  make(map[NodeID]int),
+	}
+	for _, n := range initial {
+		m.states[n] = StateRunning
+		m.lastHB[n] = cfg.Kernel.Now()
+	}
+	return m
+}
+
+// Subscribe registers an address to receive view broadcasts (nodes and
+// clients alike).
+func (m *Manager) Subscribe(addr netsim.Addr) { m.subs = append(m.subs, addr) }
+
+// View returns the manager's current view (publishing it first if needed).
+func (m *Manager) View() *View {
+	if m.view == nil {
+		m.rebuildView()
+	}
+	return m.view
+}
+
+// Stats returns cumulative counters.
+func (m *Manager) Stats() ManagerStats { return m.stats }
+
+func (m *Manager) rebuildView() {
+	m.epoch++
+	states := make(map[NodeID]NodeState, len(m.states))
+	for n, s := range m.states {
+		states[n] = s
+	}
+	unsynced := make(map[uint32]map[NodeID]bool, len(m.unsynced))
+	for p, set := range m.unsynced {
+		cp := make(map[NodeID]bool, len(set))
+		for n := range set {
+			cp[n] = true
+		}
+		unsynced[p] = cp
+	}
+	m.view = newView(m.epoch, states, m.cfg.R, m.cfg.NumPart, unsynced)
+}
+
+// publish rebuilds the view and broadcasts it to all subscribers. Delivery
+// is asynchronous, so nodes transiently disagree — exactly the condition
+// the hop-counter validation exists for (§3.8.1).
+func (m *Manager) publish() {
+	m.rebuildView()
+	m.stats.ViewsPublished++
+	size := int64(128 + 16*len(m.states))
+	for _, addr := range m.subs {
+		m.cfg.Endpoint.Send(addr, size, &viewMsg{view: m.view})
+	}
+}
+
+// Start launches the manager's receive loop and failure detector, and
+// publishes the initial view.
+func (m *Manager) Start() {
+	m.publish()
+	m.k.Go("manager-rx", func(p *sim.Proc) {
+		rx := m.cfg.Endpoint.RX()
+		for {
+			msg := rx.Get(p)
+			switch pl := msg.Payload.(type) {
+			case *hbMsg:
+				m.lastHB[pl.node] = p.Now()
+			case *copyDone:
+				m.onCopyDone(pl)
+			}
+		}
+	})
+	m.k.Go("manager-fd", func(p *sim.Proc) {
+		for {
+			p.Sleep(m.cfg.CheckEvery)
+			now := p.Now()
+			ids := make([]NodeID, 0, len(m.states))
+			for n := range m.states {
+				ids = append(ids, n)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, n := range ids {
+				st := m.states[n]
+				if st != StateRunning && st != StateJoining {
+					continue
+				}
+				if now-m.lastHB[n] > m.cfg.HeartbeatTimeout {
+					m.stats.Failures++
+					m.removeNode(n, true)
+				}
+			}
+		}
+	})
+}
+
+// chainsContaining returns partitions whose chain under v includes node.
+func chainsContaining(v *View, node NodeID) []uint32 {
+	var out []uint32
+	for p := uint32(0); int(p) < v.NumPart; p++ {
+		if v.ChainPos(p, node) >= 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lastSynced returns the most downstream synced member of the partition's
+// chain under v, consulting the manager's *live* unsynced set (the view's
+// snapshot may predate marks added in the current transition).
+func (m *Manager) lastSynced(v *View, part uint32) (NodeID, bool) {
+	chain := v.Chain(part)
+	for i := len(chain) - 1; i >= 0; i-- {
+		if set, ok := m.unsynced[part]; ok && set[chain[i]] {
+			continue
+		}
+		return chain[i], true
+	}
+	return 0, false
+}
+
+// Join admits a new node (§3.8.1): it enters JOINING (participating in
+// write chains immediately), old tails COPY the stipulated ranges to it,
+// and once every copy completes it becomes RUNNING.
+func (m *Manager) Join(node NodeID) {
+	if _, exists := m.states[node]; exists {
+		return
+	}
+	m.stats.Joins++
+	old := m.View()
+	m.states[node] = StateJoining
+	m.lastHB[node] = m.k.Now()
+	// Compute which partitions the node will replicate under the new ring.
+	m.rebuildView()
+	parts := chainsContaining(m.view, node)
+	for _, part := range parts {
+		set := m.unsynced[part]
+		if set == nil {
+			set = make(map[NodeID]bool)
+			m.unsynced[part] = set
+		}
+		set[node] = true
+	}
+	m.publish()
+	// Direct the old tails to copy. Source selection uses the *old* view:
+	// those tails hold complete, committed data.
+	for _, part := range parts {
+		src, ok := m.lastSynced(old, part)
+		if !ok || src == node {
+			m.clearUnsynced(part, node)
+			continue
+		}
+		m.orderCopy(part, src, node, node)
+	}
+	m.maybeFinishJoin(node)
+}
+
+// Leave retires a node gracefully: it leaves all chains at once; surviving
+// tails re-replicate its ranges to the chains' new members (§3.8.1).
+func (m *Manager) Leave(node NodeID) {
+	if _, exists := m.states[node]; !exists {
+		return
+	}
+	m.stats.Leaves++
+	m.removeNode(node, false)
+}
+
+func (m *Manager) removeNode(node NodeID, failed bool) {
+	old := m.View()
+	m.states[node] = StateLeaving
+	affected := chainsContaining(old, node)
+	// Rebuild chains without the node; find each affected chain's new
+	// member (the next ring successor) and order a COPY to it.
+	m.rebuildView()
+	type order struct {
+		part uint32
+		src  NodeID
+		dst  NodeID
+	}
+	var orders []order
+	for _, part := range affected {
+		newChain := m.view.Chain(part)
+		oldChain := old.Chain(part)
+		inOld := make(map[NodeID]bool, len(oldChain))
+		for _, n := range oldChain {
+			inOld[n] = true
+		}
+		for _, nn := range newChain {
+			if inOld[nn] {
+				continue
+			}
+			set := m.unsynced[part]
+			if set == nil {
+				set = make(map[NodeID]bool)
+				m.unsynced[part] = set
+			}
+			set[nn] = true
+			if src, ok := m.lastSynced(m.view, part); ok && src != nn {
+				orders = append(orders, order{part: part, src: src, dst: nn})
+			} else {
+				// No synced survivor: committed data for this partition is
+				// unrecoverable (more simultaneous failures than R-1).
+				delete(set, nn)
+			}
+		}
+	}
+	m.publish()
+	for _, o := range orders {
+		m.orderCopy(o.part, o.src, o.dst, node)
+	}
+	m.maybeFinishLeave(node)
+	_ = failed
+}
+
+func (m *Manager) orderCopy(part uint32, src, dst, transitioning NodeID) {
+	m.stats.CopiesOrdered++
+	m.pendingCopies[copyKey{part: part, dest: dst}] = transitioning
+	m.pendingCount[transitioning]++
+	m.cfg.Endpoint.Send(netsim.Addr(src), 64, &copyCmd{partition: part, dest: dst})
+}
+
+func (m *Manager) clearUnsynced(part uint32, node NodeID) {
+	if set, ok := m.unsynced[part]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(m.unsynced, part)
+		}
+	}
+}
+
+func (m *Manager) onCopyDone(d *copyDone) {
+	key := copyKey{part: d.partition, dest: d.dest}
+	trans, ok := m.pendingCopies[key]
+	if !ok {
+		return
+	}
+	delete(m.pendingCopies, key)
+	m.pendingCount[trans]--
+	m.clearUnsynced(d.partition, d.dest)
+	m.publish()
+	m.maybeFinishJoin(trans)
+	m.maybeFinishLeave(trans)
+}
+
+func (m *Manager) maybeFinishJoin(node NodeID) {
+	if m.states[node] == StateJoining && m.pendingCount[node] == 0 {
+		m.states[node] = StateRunning
+		m.publish()
+	}
+}
+
+func (m *Manager) maybeFinishLeave(node NodeID) {
+	if m.states[node] == StateLeaving && m.pendingCount[node] == 0 {
+		delete(m.states, node)
+		delete(m.lastHB, node)
+		delete(m.pendingCount, node)
+		m.publish()
+	}
+}
+
+// State returns a node's current lifecycle state, if known.
+func (m *Manager) State(node NodeID) (NodeState, bool) {
+	s, ok := m.states[node]
+	return s, ok
+}
+
+// String summarizes the membership for debugging.
+func (m *Manager) String() string {
+	return fmt.Sprintf("epoch=%d members=%d pendingCopies=%d", m.epoch, len(m.states), len(m.pendingCopies))
+}

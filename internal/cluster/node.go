@@ -1,0 +1,577 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"leed/internal/core"
+	"leed/internal/engine"
+	"leed/internal/netsim"
+	"leed/internal/platform"
+	"leed/internal/rpcproto"
+	"leed/internal/sim"
+)
+
+// reqEnvelope carries a request through the fabric together with the
+// requester's completion slot (the pre-allocated RDMA WRITE target, §3.5)
+// and return address.
+type reqEnvelope struct {
+	req        *rpcproto.Request
+	clientAddr netsim.Addr
+	complete   *sim.Event
+}
+
+// viewMsg distributes a membership view.
+type viewMsg struct{ view *View }
+
+// hbMsg is a heartbeat beacon.
+type hbMsg struct{ node NodeID }
+
+// copyCmd directs a node to COPY one partition's data to dest.
+type copyCmd struct {
+	partition uint32
+	dest      NodeID
+}
+
+// copyDone reports a finished COPY back to the control plane.
+type copyDone struct {
+	partition uint32
+	dest      NodeID
+}
+
+// NodeConfig wires one storage node.
+type NodeConfig struct {
+	Kernel      *sim.Kernel
+	ID          NodeID
+	Engine      *engine.Engine
+	Endpoint    *netsim.Endpoint
+	Platform    *platform.Node
+	ManagerAddr netsim.Addr
+
+	// CRRS enables chain replication with request shipping; when false,
+	// GETs are served only by tails (§3.7 baseline).
+	CRRS bool
+	// CRAQMode replaces request shipping with CRAQ-style version queries
+	// (Terrace & Freedman, ATC'09): a replica holding a dirty key asks the
+	// tail for the committed state and then serves the read locally. The
+	// paper rejects this design because it generates more internal traffic
+	// across JBOFs (§3.7); the ablation bench quantifies that.
+	CRAQMode bool
+
+	RxCycles int64 // polling-core cycles to receive one message
+	TxCycles int64 // polling-core cycles to send one message
+
+	HeartbeatEvery sim.Time
+	// CopyBatch is the number of outstanding COPY transfers during
+	// migration. Default 8.
+	CopyBatch int
+}
+
+// NodeStats are cumulative counters.
+type NodeStats struct {
+	Gets, Puts, Dels  int64
+	Shipped           int64 // CRRS GETs forwarded to the tail
+	VersionQueries    int64 // CRAQ-mode round trips to the tail
+	Nacks             int64
+	Forwards          int64
+	Acks              int64
+	CopiesSent        int64
+	CopiesReceived    int64
+	DirtyCommitsAsNew int64 // dirty keys committed upon becoming tail
+}
+
+// Node is one LEED storage server: an engine plus the chain-replication and
+// view logic that runs on the SmartNIC's polling and control cores.
+type Node struct {
+	cfg  NodeConfig
+	k    *sim.Kernel
+	view *View
+
+	local     map[uint32]int // global partition -> engine partition id
+	freeSlots []int
+	dirty     map[uint32]map[string]int
+	wasTail   map[uint32]bool
+	// stale marks partitions this node no longer replicates. Their data is
+	// kept — the control plane may still pick this node as the COPY source
+	// for re-replication (§3.8.1: ranges are freed only after migration) —
+	// and reclaimed lazily when the slot is needed or the partition
+	// re-enters this node's chains.
+	stale map[uint32]bool
+
+	pollGate *gate
+	stopped  bool
+	stats    NodeStats
+}
+
+// gate serializes compute onto one core.
+type gate struct {
+	core *platform.Core
+	res  *sim.Resource
+}
+
+func (g *gate) run(p *sim.Proc, cycles int64) {
+	g.res.Acquire(p, 1)
+	g.core.RunCycles(p, cycles)
+	g.res.Release(1)
+}
+
+// NewNode creates a node. Call Start to launch its procs.
+func NewNode(cfg NodeConfig) *Node {
+	if cfg.RxCycles == 0 {
+		cfg.RxCycles = 1500
+	}
+	if cfg.TxCycles == 0 {
+		cfg.TxCycles = 1200
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 5 * sim.Millisecond
+	}
+	if cfg.CopyBatch == 0 {
+		// Aggressive migration: the paper's COPY saturates spare bandwidth,
+		// which is what produces Figure 9's visible throughput dips.
+		cfg.CopyBatch = 32
+	}
+	n := &Node{
+		cfg:     cfg,
+		k:       cfg.Kernel,
+		local:   make(map[uint32]int),
+		dirty:   make(map[uint32]map[string]int),
+		wasTail: make(map[uint32]bool),
+		stale:   make(map[uint32]bool),
+	}
+	for pid := cfg.Engine.NumPartitions() - 1; pid >= 0; pid-- {
+		n.freeSlots = append(n.freeSlots, pid)
+	}
+	return n
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.cfg.ID }
+
+// Stats returns cumulative counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// View returns the node's current membership view (may lag the manager's).
+func (n *Node) View() *View { return n.view }
+
+// Start launches polling procs on the NIC cores (which draw polling power
+// permanently, §4.1) and the heartbeat proc on the control core.
+func (n *Node) Start() {
+	plat := n.cfg.Platform
+	numSSD := len(plat.SSDs)
+	first := numSSD
+	last := len(plat.Cores) - 1 // control core
+	if first >= last {
+		first = last - 1
+		if first < 0 {
+			first = 0
+		}
+	}
+	// One shared gate models the polling cores' aggregate packet budget.
+	pollCore := plat.Cores[first]
+	n.pollGate = &gate{core: pollCore, res: sim.NewResource(n.k, 1)}
+	for i := first; i < last; i++ {
+		plat.Cores[i].PinPolling()
+		n.k.Go(fmt.Sprintf("node%d-poll", n.cfg.ID), n.pollLoop)
+	}
+	n.k.Go(fmt.Sprintf("node%d-hb", n.cfg.ID), n.heartbeatLoop)
+}
+
+// Stop makes the node fail-stop: its endpoint drops traffic and its loops
+// cease issuing work.
+func (n *Node) Stop() {
+	n.stopped = true
+	n.cfg.Endpoint.SetDown(true)
+}
+
+func (n *Node) heartbeatLoop(p *sim.Proc) {
+	for !n.stopped {
+		n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &hbMsg{node: n.cfg.ID})
+		p.Sleep(n.cfg.HeartbeatEvery)
+	}
+}
+
+func (n *Node) pollLoop(p *sim.Proc) {
+	rx := n.cfg.Endpoint.RX()
+	for !n.stopped {
+		m := rx.Get(p)
+		if n.stopped {
+			return
+		}
+		n.pollGate.run(p, n.cfg.RxCycles)
+		switch pl := m.Payload.(type) {
+		case *reqEnvelope:
+			env := pl
+			n.k.Go("handler", func(hp *sim.Proc) { n.handle(hp, env) })
+		case *viewMsg:
+			n.applyView(p, pl.view)
+		case *copyCmd:
+			cmd := pl
+			n.k.Go("copy", func(cp *sim.Proc) { n.runCopy(cp, cmd) })
+		}
+	}
+}
+
+// localPid returns (and allocates, if needed) the engine partition backing
+// a global partition this node replicates. When no free slot remains, the
+// oldest stale partition is evicted.
+func (n *Node) localPid(part uint32) (int, bool) {
+	if pid, ok := n.local[part]; ok {
+		return pid, true
+	}
+	if len(n.freeSlots) == 0 {
+		evict := uint32(0)
+		found := false
+		for sp := range n.stale {
+			if !found || sp < evict {
+				evict, found = sp, true
+			}
+		}
+		if !found {
+			return 0, false
+		}
+		pid := n.local[evict]
+		n.cfg.Engine.ResetPartition(pid)
+		delete(n.local, evict)
+		delete(n.stale, evict)
+		delete(n.dirty, evict)
+		delete(n.wasTail, evict)
+		n.freeSlots = append(n.freeSlots, pid)
+	}
+	pid := n.freeSlots[len(n.freeSlots)-1]
+	n.freeSlots = n.freeSlots[:len(n.freeSlots)-1]
+	n.local[part] = pid
+	return pid, true
+}
+
+// ensureFresh resets a stale partition before it absorbs data for a new
+// chain membership, so resurrected slots never leak old objects.
+func (n *Node) ensureFresh(part uint32) {
+	if !n.stale[part] {
+		return
+	}
+	if pid, ok := n.local[part]; ok {
+		n.cfg.Engine.ResetPartition(pid)
+	}
+	delete(n.stale, part)
+	delete(n.dirty, part)
+	delete(n.wasTail, part)
+}
+
+// applyView installs a newer view: frees partitions the node no longer
+// replicates and commits pending dirty keys on partitions where this node
+// just became the tail (§3.8.2: the penultimate node keeps the dirty bit
+// until it becomes the tail, which then commits the write).
+func (n *Node) applyView(p *sim.Proc, v *View) {
+	if n.view != nil && v.Epoch <= n.view.Epoch {
+		return
+	}
+	n.view = v
+	for part := range n.local {
+		if v.ChainPos(part, n.cfg.ID) < 0 {
+			// Keep the data: the control plane may still source a COPY
+			// from it. It is reclaimed lazily (localPid/ensureFresh).
+			n.stale[part] = true
+		}
+	}
+	for part := range n.local {
+		if n.stale[part] {
+			continue
+		}
+		isTail := v.IsTail(part, n.cfg.ID)
+		if isTail && !n.wasTail[part] {
+			// Commit pending writes: clear dirty bits and propagate acks
+			// backward so the rest of the chain unblocks reads.
+			if dm := n.dirty[part]; len(dm) > 0 {
+				chain := v.Chain(part)
+				keys := make([]string, 0, len(dm))
+				for key, cnt := range dm {
+					if cnt > 0 {
+						keys = append(keys, key)
+					}
+				}
+				sort.Strings(keys)
+				for _, key := range keys {
+					n.stats.DirtyCommitsAsNew++
+					if len(chain) > 1 {
+						n.sendAck(p, chain[len(chain)-2], part, []byte(key))
+					}
+				}
+				n.dirty[part] = make(map[string]int)
+			}
+		}
+		n.wasTail[part] = isTail
+	}
+}
+
+func (n *Node) setDirty(part uint32, key []byte) {
+	dm := n.dirty[part]
+	if dm == nil {
+		dm = make(map[string]int)
+		n.dirty[part] = dm
+	}
+	dm[string(key)]++
+}
+
+func (n *Node) clearDirty(part uint32, key []byte) {
+	if dm := n.dirty[part]; dm != nil {
+		if dm[string(key)] > 0 {
+			dm[string(key)]--
+		}
+		if dm[string(key)] == 0 {
+			delete(dm, string(key))
+		}
+	}
+}
+
+func (n *Node) isDirty(part uint32, key []byte) bool {
+	dm := n.dirty[part]
+	return dm != nil && dm[string(key)] > 0
+}
+
+// reply delivers a response to the client by one-sided WRITE into its
+// pre-allocated completion slot, piggybacking available tokens (§3.5).
+func (n *Node) reply(p *sim.Proc, env *reqEnvelope, resp *rpcproto.Response) {
+	if resp.Epoch == 0 && n.view != nil {
+		resp.Epoch = n.view.Epoch
+	}
+	if resp.Tokens == 0 {
+		if pid, ok := n.local[env.req.Partition]; ok {
+			resp.Tokens = int32(n.cfg.Engine.AvailableTokens(pid))
+		}
+	}
+	n.pollGate.run(p, n.cfg.TxCycles)
+	n.cfg.Endpoint.Write(env.clientAddr, resp.WireSize(), resp, env.complete)
+}
+
+func (n *Node) nack(p *sim.Proc, env *reqEnvelope) {
+	n.stats.Nacks++
+	epoch := uint64(0)
+	if n.view != nil {
+		epoch = n.view.Epoch
+	}
+	n.reply(p, env, &rpcproto.Response{ID: env.req.ID, Status: rpcproto.StatusNack, Epoch: epoch})
+}
+
+func (n *Node) sendAck(p *sim.Proc, to NodeID, part uint32, key []byte) {
+	n.stats.Acks++
+	req := &rpcproto.Request{Op: rpcproto.OpAck, Partition: part, Key: key, Epoch: n.view.Epoch}
+	n.pollGate.run(p, n.cfg.TxCycles)
+	n.cfg.Endpoint.Send(netsim.Addr(to), req.WireSize(), &reqEnvelope{req: req})
+}
+
+// handle processes one request end to end on a handler proc.
+func (n *Node) handle(p *sim.Proc, env *reqEnvelope) {
+	if n.stopped {
+		return
+	}
+	req := env.req
+	v := n.view
+	if v == nil {
+		n.nack(p, env)
+		return
+	}
+	switch req.Op {
+	case rpcproto.OpAck:
+		n.handleAck(p, req)
+	case rpcproto.OpCopy:
+		n.handleCopy(p, env)
+	case rpcproto.OpGet:
+		n.handleGet(p, env)
+	case rpcproto.OpPut, rpcproto.OpDel:
+		n.handleWrite(p, env)
+	default:
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+	}
+}
+
+func (n *Node) handleAck(p *sim.Proc, req *rpcproto.Request) {
+	n.clearDirty(req.Partition, req.Key)
+	v := n.view
+	pos := v.ChainPos(req.Partition, n.cfg.ID)
+	if pos > 0 {
+		n.sendAck(p, v.Chain(req.Partition)[pos-1], req.Partition, req.Key)
+	}
+}
+
+func (n *Node) handleCopy(p *sim.Proc, env *reqEnvelope) {
+	req := env.req
+	n.ensureFresh(req.Partition)
+	pid, ok := n.localPid(req.Partition)
+	if !ok {
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+		return
+	}
+	n.stats.CopiesReceived++
+	_, _, err := n.cfg.Engine.Execute(p, pid, rpcproto.OpPut, req.Key, req.Value)
+	status := rpcproto.StatusOK
+	if err != nil {
+		status = rpcproto.StatusErr
+	}
+	n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: status})
+}
+
+func (n *Node) handleWrite(p *sim.Proc, env *reqEnvelope) {
+	req := env.req
+	v := n.view
+	if req.Epoch != v.Epoch {
+		n.nack(p, env)
+		return
+	}
+	chain := v.Chain(req.Partition)
+	pos := v.ChainPos(req.Partition, n.cfg.ID)
+	if pos < 0 || pos != int(req.Hop) {
+		n.nack(p, env)
+		return
+	}
+	n.ensureFresh(req.Partition)
+	pid, ok := n.localPid(req.Partition)
+	if !ok {
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+		return
+	}
+	isTail := pos == len(chain)-1
+	if !isTail {
+		n.setDirty(req.Partition, req.Key)
+	}
+	if req.Op == rpcproto.OpPut {
+		n.stats.Puts++
+	} else {
+		n.stats.Dels++
+	}
+	_, _, err := n.cfg.Engine.Execute(p, pid, req.Op, req.Key, req.Value)
+	if err != nil && err != core.ErrNotFound {
+		if !isTail {
+			n.clearDirty(req.Partition, req.Key)
+		}
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+		return
+	}
+	status := rpcproto.StatusOK
+	if err == core.ErrNotFound {
+		status = rpcproto.StatusNotFound
+	}
+	if !isTail {
+		// Forward along the chain (§3.7).
+		n.stats.Forwards++
+		fwd := *req
+		fwd.Hop++
+		n.pollGate.run(p, n.cfg.TxCycles)
+		n.cfg.Endpoint.Send(netsim.Addr(chain[pos+1]), fwd.WireSize(),
+			&reqEnvelope{req: &fwd, clientAddr: env.clientAddr, complete: env.complete})
+		return
+	}
+	// Tail: commitment point. Reply to the client and ack backward.
+	n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: status})
+	if pos > 0 {
+		n.sendAck(p, chain[pos-1], req.Partition, req.Key)
+	}
+}
+
+func (n *Node) handleGet(p *sim.Proc, env *reqEnvelope) {
+	req := env.req
+	v := n.view
+	if req.Epoch != v.Epoch {
+		n.nack(p, env)
+		return
+	}
+	chain := v.Chain(req.Partition)
+	pos := v.ChainPos(req.Partition, n.cfg.ID)
+	if pos < 0 || !v.Synced(req.Partition, n.cfg.ID) {
+		n.nack(p, env)
+		return
+	}
+	isTail := pos == len(chain)-1
+	if !isTail {
+		if !n.cfg.CRRS {
+			// Classic chain replication: only the tail serves reads.
+			n.nack(p, env)
+			return
+		}
+		if n.isDirty(req.Partition, req.Key) {
+			if n.cfg.CRAQMode {
+				// CRAQ-style: fetch the committed state from the tail,
+				// then answer the client from here. One extra cross-JBOF
+				// value transfer per dirty read — the traffic the paper's
+				// shipping design avoids (§3.7).
+				n.stats.VersionQueries++
+				fwd := *req
+				fwd.Shipped = true
+				done := n.k.NewEvent()
+				n.pollGate.run(p, n.cfg.TxCycles)
+				n.cfg.Endpoint.Send(netsim.Addr(chain[len(chain)-1]), fwd.WireSize(),
+					&reqEnvelope{req: &fwd, clientAddr: n.cfg.Endpoint.Addr(), complete: done})
+				idx := p.WaitAny(done, n.k.Timer(20*sim.Millisecond))
+				if idx != 0 {
+					n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+					return
+				}
+				resp := done.Value().(*netsim.Message).Payload.(*rpcproto.Response)
+				n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: resp.Status, Value: resp.Value})
+				return
+			}
+			// Uncommitted write in flight: ship the read to the tail,
+			// which always holds the latest committed value (§3.7).
+			n.stats.Shipped++
+			fwd := *req
+			fwd.Shipped = true
+			n.pollGate.run(p, n.cfg.TxCycles)
+			n.cfg.Endpoint.Send(netsim.Addr(chain[len(chain)-1]), fwd.WireSize(),
+				&reqEnvelope{req: &fwd, clientAddr: env.clientAddr, complete: env.complete})
+			return
+		}
+	}
+	pid, ok := n.localPid(req.Partition)
+	if !ok {
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+		return
+	}
+	n.stats.Gets++
+	val, _, err := n.cfg.Engine.Execute(p, pid, rpcproto.OpGet, req.Key, nil)
+	switch {
+	case err == core.ErrNotFound:
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusNotFound})
+	case err != nil:
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+	default:
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusOK, Value: val})
+	}
+}
+
+// runCopy streams one partition's objects to dest via COPY requests with a
+// bounded outstanding window, then notifies the control plane (§3.8.1).
+func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
+	pid, ok := n.local[cmd.partition]
+	if !ok {
+		n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &copyDone{partition: cmd.partition, dest: cmd.dest})
+		return
+	}
+	store := n.cfg.Engine.Partition(pid).Store
+	window := sim.NewResource(n.k, int64(n.cfg.CopyBatch))
+	var pending []*sim.Event
+	store.Range(p, func(key, val []byte) bool {
+		if n.stopped {
+			return false
+		}
+		window.Acquire(p, 1)
+		n.stats.CopiesSent++
+		req := &rpcproto.Request{
+			ID: uint64(n.stats.CopiesSent), Op: rpcproto.OpCopy,
+			Partition: cmd.partition, Key: key, Value: val,
+		}
+		done := n.k.NewEvent()
+		done.OnFire(func(any) { window.Release(1) })
+		pending = append(pending, done)
+		n.pollGate.run(p, n.cfg.TxCycles)
+		n.cfg.Endpoint.Send(netsim.Addr(cmd.dest), req.WireSize(),
+			&reqEnvelope{req: req, clientAddr: n.cfg.Endpoint.Addr(), complete: done})
+		return true
+	})
+	for _, ev := range pending {
+		if !ev.Fired() {
+			// Bound the wait: the destination may have failed mid-copy.
+			p.WaitAny(ev, n.k.Timer(50*sim.Millisecond))
+		}
+	}
+	n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &copyDone{partition: cmd.partition, dest: cmd.dest})
+}

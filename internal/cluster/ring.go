@@ -1,0 +1,85 @@
+// Package cluster implements LEED's inter-JBOF layer: consistent hashing
+// over virtual nodes, chain replication with request shipping (CRRS, §3.7),
+// the flow-control-based front-end scheduler (§3.5, Algorithm 1), and the
+// control plane handling membership, heartbeats, node join/leave, and
+// failures (§3.8).
+package cluster
+
+import "sort"
+
+// NodeID identifies one SmartNIC JBOF in the cluster.
+type NodeID uint32
+
+// ringPointsPerNode is the number of virtual points each node contributes
+// to the consistent-hash ring, smoothing placement.
+const ringPointsPerNode = 32
+
+// mix64 is the splitmix64 finalizer: a strong avalanche for the small,
+// structured integers (node ids, point indices) the ring hashes. FNV over
+// such inputs clusters badly and skews placement.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func hash64(parts ...uint64) uint64 {
+	h := uint64(0x1EED5EED1EED5EED)
+	for _, p := range parts {
+		h = mix64(h ^ mix64(p))
+	}
+	return h
+}
+
+// PartitionOf maps a key hash onto one of p global partitions.
+func PartitionOf(keyHash uint64, p int) uint32 {
+	return uint32(keyHash % uint64(p))
+}
+
+// ring is a consistent-hash ring over a member set.
+type ring struct {
+	points []ringPoint // sorted by pos
+}
+
+type ringPoint struct {
+	pos  uint64
+	node NodeID
+}
+
+// buildRing creates the ring for the given members.
+func buildRing(members []NodeID) *ring {
+	r := &ring{}
+	for _, n := range members {
+		for v := 0; v < ringPointsPerNode; v++ {
+			r.points = append(r.points, ringPoint{pos: hash64(uint64(n)+0x9E3779B9, uint64(v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// chainFor walks clockwise from the partition's ring position collecting
+// the first r distinct nodes: the replication chain, head first (§3.7).
+func (rg *ring) chainFor(partition uint32, r int) []NodeID {
+	if len(rg.points) == 0 {
+		return nil
+	}
+	pos := hash64(uint64(partition) + 0x1EED)
+	idx := sort.Search(len(rg.points), func(i int) bool { return rg.points[i].pos >= pos })
+	var chain []NodeID
+	seen := make(map[NodeID]bool)
+	for i := 0; i < len(rg.points) && len(chain) < r; i++ {
+		pt := rg.points[(idx+i)%len(rg.points)]
+		if !seen[pt.node] {
+			seen[pt.node] = true
+			chain = append(chain, pt.node)
+		}
+	}
+	return chain
+}

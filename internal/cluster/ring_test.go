@@ -1,0 +1,135 @@
+package cluster
+
+import "testing"
+
+func TestChainDistinctNodes(t *testing.T) {
+	members := []NodeID{100, 101, 102, 103, 104}
+	r := buildRing(members)
+	for part := uint32(0); part < 64; part++ {
+		chain := r.chainFor(part, 3)
+		if len(chain) != 3 {
+			t.Fatalf("part %d: chain = %v", part, chain)
+		}
+		seen := map[NodeID]bool{}
+		for _, n := range chain {
+			if seen[n] {
+				t.Fatalf("part %d: duplicate node in chain %v", part, chain)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestChainDeterministic(t *testing.T) {
+	members := []NodeID{100, 101, 102}
+	a, b := buildRing(members), buildRing(members)
+	for part := uint32(0); part < 32; part++ {
+		ca, cb := a.chainFor(part, 3), b.chainFor(part, 3)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("part %d: %v vs %v", part, ca, cb)
+			}
+		}
+	}
+}
+
+func TestChainShorterThanRWithFewNodes(t *testing.T) {
+	r := buildRing([]NodeID{100, 101})
+	chain := r.chainFor(5, 3)
+	if len(chain) != 2 {
+		t.Fatalf("chain = %v", chain)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []NodeID{100, 101, 102, 103}
+	r := buildRing(members)
+	counts := map[NodeID]int{}
+	const parts = 1024
+	for part := uint32(0); part < parts; part++ {
+		counts[r.chainFor(part, 1)[0]]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / parts
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("node %d owns %.1f%% of partitions", n, 100*frac)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Removing one node must not reshuffle partitions between surviving
+	// nodes: consistent hashing's defining property.
+	before := buildRing([]NodeID{100, 101, 102, 103})
+	after := buildRing([]NodeID{100, 101, 103})
+	moved := 0
+	const parts = 512
+	for part := uint32(0); part < parts; part++ {
+		a := before.chainFor(part, 1)[0]
+		b := after.chainFor(part, 1)[0]
+		if a != b {
+			if a != 102 {
+				t.Fatalf("part %d moved from surviving node %d to %d", part, a, b)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("node 102 owned nothing")
+	}
+}
+
+func TestViewChainPosAndTail(t *testing.T) {
+	states := map[NodeID]NodeState{100: StateRunning, 101: StateRunning, 102: StateRunning}
+	v := newView(1, states, 3, 8, nil)
+	for part := uint32(0); part < 8; part++ {
+		chain := v.Chain(part)
+		for i, n := range chain {
+			if v.ChainPos(part, n) != i {
+				t.Fatalf("ChainPos mismatch at part %d", part)
+			}
+		}
+		if !v.IsTail(part, chain[len(chain)-1]) {
+			t.Fatalf("IsTail false for tail at part %d", part)
+		}
+		if v.IsTail(part, chain[0]) && len(chain) > 1 {
+			t.Fatalf("head reported as tail at part %d", part)
+		}
+	}
+	if v.ChainPos(0, 999) != -1 {
+		t.Fatal("unknown node has a chain position")
+	}
+}
+
+func TestViewExcludesLeaving(t *testing.T) {
+	states := map[NodeID]NodeState{
+		100: StateRunning, 101: StateLeaving, 102: StateRunning, 103: StateJoining,
+	}
+	v := newView(1, states, 3, 8, nil)
+	for _, m := range v.Members() {
+		if m == 101 {
+			t.Fatal("LEAVING node in member set")
+		}
+	}
+	found := false
+	for _, m := range v.Members() {
+		if m == 103 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("JOINING node missing from member set")
+	}
+}
+
+func TestViewSynced(t *testing.T) {
+	states := map[NodeID]NodeState{100: StateRunning, 101: StateRunning}
+	un := map[uint32]map[NodeID]bool{4: {101: true}}
+	v := newView(1, states, 2, 8, un)
+	if !v.Synced(4, 100) || v.Synced(4, 101) {
+		t.Fatal("Synced wrong")
+	}
+	if !v.Synced(3, 101) {
+		t.Fatal("unrelated partition marked unsynced")
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import "sort"
+
+// NodeState tracks a member's lifecycle (§3.8).
+type NodeState uint8
+
+// Node lifecycle states.
+const (
+	StateJoining NodeState = iota + 1
+	StateRunning
+	StateLeaving
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case StateJoining:
+		return "JOINING"
+	case StateRunning:
+		return "RUNNING"
+	case StateLeaving:
+		return "LEAVING"
+	}
+	return "UNKNOWN"
+}
+
+// View is one immutable membership snapshot, distributed asynchronously by
+// the control plane. Epochs totally order views; nodes and clients validate
+// requests against their current epoch and NACK on mismatch (§3.8.1).
+type View struct {
+	Epoch   uint64
+	States  map[NodeID]NodeState
+	R       int // replication factor
+	NumPart int // global partition count
+
+	// Unsynced marks (partition, node) replicas still receiving COPY
+	// traffic; they participate in write chains but must not serve reads.
+	Unsynced map[uint32]map[NodeID]bool
+
+	ring *ring
+}
+
+// newView builds a view; chainMembers are nodes in states that participate
+// in chains (JOINING and RUNNING — LEAVING nodes are already excluded).
+func newView(epoch uint64, states map[NodeID]NodeState, r, numPart int, unsynced map[uint32]map[NodeID]bool) *View {
+	var members []NodeID
+	for n, st := range states {
+		if st == StateJoining || st == StateRunning {
+			members = append(members, n)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	v := &View{
+		Epoch:    epoch,
+		States:   states,
+		R:        r,
+		NumPart:  numPart,
+		Unsynced: unsynced,
+		ring:     buildRing(members),
+	}
+	return v
+}
+
+// Chain returns the replication chain (head first) for a partition.
+func (v *View) Chain(partition uint32) []NodeID { return v.ring.chainFor(partition, v.R) }
+
+// ChainPos returns node's position in the partition's chain, or -1.
+func (v *View) ChainPos(partition uint32, node NodeID) int {
+	for i, n := range v.Chain(partition) {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsTail reports whether node is the partition's tail.
+func (v *View) IsTail(partition uint32, node NodeID) bool {
+	c := v.Chain(partition)
+	return len(c) > 0 && c[len(c)-1] == node
+}
+
+// Synced reports whether the replica may serve reads.
+func (v *View) Synced(partition uint32, node NodeID) bool {
+	if m, ok := v.Unsynced[partition]; ok && m[node] {
+		return false
+	}
+	return true
+}
+
+// Members returns chain-eligible nodes, sorted.
+func (v *View) Members() []NodeID {
+	var out []NodeID
+	for n, st := range v.States {
+		if st == StateJoining || st == StateRunning {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// CircLog is a fixed-size circular log on a region of a device (§3.2.1).
+// Offsets handed out are *logical*: they increase monotonically forever and
+// are mapped onto the physical region modulo its size, which makes offset
+// validity checks (is this entry still live?) a pair of comparisons against
+// head and tail. The log supports three operations: read from a valid
+// offset, append at the tail, and release (advance the head) after
+// compaction.
+type CircLog struct {
+	k    *sim.Kernel
+	dev  flashsim.Device
+	off  int64 // physical start of the region
+	size int64
+	head int64 // logical: first live byte
+	tail int64 // logical: first free byte
+
+	appends int64
+	reads   int64
+}
+
+// NewCircLog creates a log over dev[off, off+size).
+func NewCircLog(k *sim.Kernel, dev flashsim.Device, off, size int64) *CircLog {
+	if size <= 0 || off < 0 || off+size > dev.Capacity() {
+		panic(fmt.Sprintf("core: bad circular log region [%d,+%d) on device of %d", off, size, dev.Capacity()))
+	}
+	return &CircLog{k: k, dev: dev, off: off, size: size}
+}
+
+// Size returns the region size in bytes.
+func (l *CircLog) Size() int64 { return l.size }
+
+// Head returns the logical offset of the first live byte.
+func (l *CircLog) Head() int64 { return l.head }
+
+// Tail returns the logical offset where the next append lands.
+func (l *CircLog) Tail() int64 { return l.tail }
+
+// Used returns live-region bytes (tail - head).
+func (l *CircLog) Used() int64 { return l.tail - l.head }
+
+// Free returns appendable bytes.
+func (l *CircLog) Free() int64 { return l.size - l.Used() }
+
+// Contains reports whether [logical, logical+n) lies in the live region.
+func (l *CircLog) Contains(logical, n int64) bool {
+	return logical >= l.head && logical+n <= l.tail
+}
+
+// phys maps a logical offset to its physical device offset.
+func (l *CircLog) phys(logical int64) int64 { return l.off + logical%l.size }
+
+// submitWrap issues one logical-range op, splitting at the physical wrap
+// point if needed, and returns an event that fires when all parts complete.
+func (l *CircLog) submitWrap(kind flashsim.OpKind, logical int64, data []byte) *sim.Event {
+	done := l.k.NewEvent()
+	p0 := l.phys(logical)
+	first := l.off + l.size - p0
+	if int64(len(data)) <= first {
+		op := &flashsim.Op{Kind: kind, Offset: p0, Data: data, Done: done}
+		l.dev.Submit(op)
+		return done
+	}
+	// Straddles the wrap point: two device ops, fire when both are done.
+	d1, d2 := l.k.NewEvent(), l.k.NewEvent()
+	l.dev.Submit(&flashsim.Op{Kind: kind, Offset: p0, Data: data[:first], Done: d1})
+	l.dev.Submit(&flashsim.Op{Kind: kind, Offset: l.off, Data: data[first:], Done: d2})
+	pending := 2
+	var firstErr any
+	cb := func(v any) {
+		if v != nil && firstErr == nil {
+			firstErr = v
+		}
+		pending--
+		if pending == 0 {
+			done.Fire(firstErr)
+		}
+	}
+	d1.OnFire(cb)
+	d2.OnFire(cb)
+	return done
+}
+
+// Append reserves space at the tail and issues the write. It returns the
+// logical offset of the record and a completion event (payload nil or
+// error). The reservation is immediate, so concurrent appenders never
+// interleave their bytes. ErrLogFull is returned when the live region
+// cannot absorb the record.
+func (l *CircLog) Append(data []byte) (logical int64, done *sim.Event, err error) {
+	n := int64(len(data))
+	if n > l.size {
+		return 0, nil, ErrValueTooLarge
+	}
+	if n > l.Free() {
+		return 0, nil, ErrLogFull
+	}
+	logical = l.tail
+	l.tail += n
+	l.appends++
+	return logical, l.submitWrap(flashsim.OpWrite, logical, data), nil
+}
+
+// ReadAsync issues a read of len(buf) bytes at the logical offset and
+// returns the completion event. The offset must be within the live region.
+func (l *CircLog) ReadAsync(logical int64, buf []byte) (*sim.Event, error) {
+	if !l.Contains(logical, int64(len(buf))) {
+		return nil, fmt.Errorf("%w: read [%d,+%d) outside live [%d,%d)", ErrCorrupt, logical, len(buf), l.head, l.tail)
+	}
+	l.reads++
+	return l.submitWrap(flashsim.OpRead, logical, buf), nil
+}
+
+// Read performs a blocking read from a proc.
+func (l *CircLog) Read(p *sim.Proc, logical int64, buf []byte) error {
+	ev, err := l.ReadAsync(logical, buf)
+	if err != nil {
+		return err
+	}
+	if v := p.Wait(ev); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// ReleaseTo advances the head to newHead, reclaiming the space before it.
+// Compaction calls this after relocating all live records below newHead.
+func (l *CircLog) ReleaseTo(newHead int64) {
+	if newHead < l.head || newHead > l.tail {
+		panic(fmt.Sprintf("core: ReleaseTo(%d) outside [%d,%d]", newHead, l.head, l.tail))
+	}
+	l.head = newHead
+}
+
+// Restore forcibly sets head and tail; used only by recovery.
+func (l *CircLog) Restore(head, tail int64) {
+	if head > tail || tail-head > l.size {
+		panic("core: Restore with invalid pointers")
+	}
+	l.head, l.tail = head, tail
+}
+
+// Stats returns (appends, reads) issued so far.
+func (l *CircLog) Stats() (appends, reads int64) { return l.appends, l.reads }

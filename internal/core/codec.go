@@ -1,0 +1,219 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-flash layout (§3.2.2–3.2.3).
+//
+// A bucket occupies exactly one SSD block. A segment is an array of
+// chainLen buckets written contiguously to the key log, so fetching a
+// segment is a single NVMe access. Key items carry the value length, the
+// value-log offset, and the SSD identifier used by the intra-JBOF data
+// swapping mechanism (§3.6).
+
+const (
+	bucketMagic = 0x1EED
+	valueMagic  = 0x1EE5
+
+	bucketHdrSize = 40
+	itemHdrSize   = 14 // keyLen u8 | ssdID u8 | valLen u32 | valOff u64
+	valueHdrSize  = 12 // magic u16 | keyLen u8 | flags u8 | valLen u32 | crc u32
+
+	// MaxKeyLen is the largest supported key, bounded by the 1-byte
+	// on-flash key length field.
+	MaxKeyLen = 255
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Item is one key entry inside a bucket. ValLen == 0 marks a deletion
+// (§3.3: DEL sets the value length to zero as the deletion marker).
+type Item struct {
+	Key    []byte
+	ValLen uint32
+	ValOff int64
+	SSDID  uint8 // which co-located SSD holds the value (data swapping, §3.6)
+}
+
+// Size returns the item's marshaled size.
+func (it *Item) Size() int { return itemHdrSize + len(it.Key) }
+
+// Deleted reports whether the item is a deletion marker.
+func (it *Item) Deleted() bool { return it.ValLen == 0 }
+
+// Bucket is one block of a segment's chained-bucket array.
+type Bucket struct {
+	SegID       uint32
+	ChainLen    uint8
+	ChainPos    uint8
+	ValHeadHint int64 // value-log head at write time (recovery, §3.2.3)
+	ValTailHint int64 // value-log tail at write time
+	Seq         uint64
+	Items       []Item
+}
+
+// itemsBytes returns the marshaled size of all items.
+func (b *Bucket) itemsBytes() int {
+	n := 0
+	for i := range b.Items {
+		n += b.Items[i].Size()
+	}
+	return n
+}
+
+// SpaceLeft returns the free item bytes remaining in a block of blockSize.
+func (b *Bucket) SpaceLeft(blockSize int) int {
+	return blockSize - bucketHdrSize - b.itemsBytes()
+}
+
+// Find returns the index of the item with the given key, or -1.
+func (b *Bucket) Find(key []byte) int {
+	for i := range b.Items {
+		if string(b.Items[i].Key) == string(key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Marshal writes the bucket into dst, which must be exactly one block.
+func (b *Bucket) Marshal(dst []byte) error {
+	if len(b.Items) > 0xffff {
+		return fmt.Errorf("%w: %d items", ErrCorrupt, len(b.Items))
+	}
+	need := bucketHdrSize + b.itemsBytes()
+	if need > len(dst) {
+		return fmt.Errorf("%w: bucket needs %d bytes, block is %d", ErrCorrupt, need, len(dst))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	binary.LittleEndian.PutUint16(dst[0:], bucketMagic)
+	dst[2] = b.ChainLen
+	dst[3] = b.ChainPos
+	binary.LittleEndian.PutUint32(dst[4:], b.SegID)
+	// crc at [8:12] filled last
+	binary.LittleEndian.PutUint16(dst[12:], uint16(len(b.Items)))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(b.ValHeadHint))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(b.ValTailHint))
+	binary.LittleEndian.PutUint64(dst[32:], b.Seq)
+	o := bucketHdrSize
+	for i := range b.Items {
+		it := &b.Items[i]
+		if len(it.Key) > MaxKeyLen {
+			return ErrKeyTooLarge
+		}
+		dst[o] = uint8(len(it.Key))
+		dst[o+1] = it.SSDID
+		binary.LittleEndian.PutUint32(dst[o+2:], it.ValLen)
+		binary.LittleEndian.PutUint64(dst[o+6:], uint64(it.ValOff))
+		copy(dst[o+itemHdrSize:], it.Key)
+		o += it.Size()
+	}
+	binary.LittleEndian.PutUint32(dst[8:], crc32.Checksum(dst, castagnoli))
+	return nil
+}
+
+// UnmarshalBucket parses one block. The stored CRC is validated.
+func UnmarshalBucket(src []byte) (*Bucket, error) {
+	if len(src) < bucketHdrSize {
+		return nil, fmt.Errorf("%w: short bucket block", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint16(src[0:]) != bucketMagic {
+		return nil, fmt.Errorf("%w: bad bucket magic", ErrCorrupt)
+	}
+	stored := binary.LittleEndian.Uint32(src[8:])
+	tmp := make([]byte, len(src))
+	copy(tmp, src)
+	binary.LittleEndian.PutUint32(tmp[8:], 0)
+	if crc32.Checksum(tmp, castagnoli) != stored {
+		return nil, fmt.Errorf("%w: bucket crc mismatch", ErrCorrupt)
+	}
+	b := &Bucket{
+		ChainLen:    src[2],
+		ChainPos:    src[3],
+		SegID:       binary.LittleEndian.Uint32(src[4:]),
+		ValHeadHint: int64(binary.LittleEndian.Uint64(src[16:])),
+		ValTailHint: int64(binary.LittleEndian.Uint64(src[24:])),
+		Seq:         binary.LittleEndian.Uint64(src[32:]),
+	}
+	n := int(binary.LittleEndian.Uint16(src[12:]))
+	o := bucketHdrSize
+	for i := 0; i < n; i++ {
+		if o+itemHdrSize > len(src) {
+			return nil, fmt.Errorf("%w: truncated item header", ErrCorrupt)
+		}
+		kl := int(src[o])
+		if o+itemHdrSize+kl > len(src) {
+			return nil, fmt.Errorf("%w: truncated item key", ErrCorrupt)
+		}
+		it := Item{
+			SSDID:  src[o+1],
+			ValLen: binary.LittleEndian.Uint32(src[o+2:]),
+			ValOff: int64(binary.LittleEndian.Uint64(src[o+6:])),
+			Key:    append([]byte(nil), src[o+itemHdrSize:o+itemHdrSize+kl]...),
+		}
+		b.Items = append(b.Items, it)
+		o += it.Size()
+	}
+	return b, nil
+}
+
+// ProbeBucket cheaply checks whether a block looks like a valid bucket
+// without the CRC copy; used by recovery scans.
+func ProbeBucket(src []byte) bool {
+	if len(src) < bucketHdrSize {
+		return false
+	}
+	return binary.LittleEndian.Uint16(src[0:]) == bucketMagic
+}
+
+// ValueEntrySize returns the marshaled size of a value-log entry.
+func ValueEntrySize(keyLen, valLen int) int { return valueHdrSize + keyLen + valLen }
+
+// MarshalValueEntry encodes a value-log record: header (with a CRC over
+// the payload), key, value. The key is stored alongside the value so
+// value-log compaction can test liveness by looking the key up in the key
+// log (§3.3.1); the CRC catches torn or stale reads, which matters most
+// for entries living transiently in peer swap regions.
+func MarshalValueEntry(dst, key, val []byte) error {
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLarge
+	}
+	if len(dst) != ValueEntrySize(len(key), len(val)) {
+		return fmt.Errorf("%w: value entry buffer size %d", ErrCorrupt, len(dst))
+	}
+	binary.LittleEndian.PutUint16(dst[0:], valueMagic)
+	dst[2] = uint8(len(key))
+	dst[3] = 0
+	binary.LittleEndian.PutUint32(dst[4:], uint32(len(val)))
+	copy(dst[valueHdrSize:], key)
+	copy(dst[valueHdrSize+len(key):], val)
+	binary.LittleEndian.PutUint32(dst[8:], crc32.Checksum(dst[valueHdrSize:], castagnoli))
+	return nil
+}
+
+// ParseValueEntry decodes the entry at the start of src, verifying its
+// CRC, and returns the key, value, and total entry size. The returned
+// slices alias src.
+func ParseValueEntry(src []byte) (key, val []byte, size int, err error) {
+	if len(src) < valueHdrSize {
+		return nil, nil, 0, fmt.Errorf("%w: short value entry", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint16(src[0:]) != valueMagic {
+		return nil, nil, 0, fmt.Errorf("%w: bad value magic", ErrCorrupt)
+	}
+	kl := int(src[2])
+	vl := int(binary.LittleEndian.Uint32(src[4:]))
+	size = ValueEntrySize(kl, vl)
+	if len(src) < size {
+		return nil, nil, 0, fmt.Errorf("%w: truncated value entry (%d < %d)", ErrCorrupt, len(src), size)
+	}
+	if crc32.Checksum(src[valueHdrSize:size], castagnoli) != binary.LittleEndian.Uint32(src[8:]) {
+		return nil, nil, 0, fmt.Errorf("%w: value entry crc mismatch", ErrCorrupt)
+	}
+	return src[valueHdrSize : valueHdrSize+kl], src[valueHdrSize+kl : size], size, nil
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// fillAndChurn writes nKeys objects then overwrites them rounds times,
+// creating garbage.
+func fillAndChurn(t *testing.T, p *sim.Proc, s *Store, nKeys, rounds, valLen int) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < nKeys; i++ {
+			key := []byte(fmt.Sprintf("key-%05d", i))
+			val := []byte(fmt.Sprintf("v%d-%0*d", r, valLen-8, i))
+			if _, err := s.Put(p, key, val); err != nil {
+				t.Errorf("put r=%d i=%d: %v", r, i, err)
+				return
+			}
+		}
+	}
+}
+
+func TestValueCompactionReclaims(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		fillAndChurn(t, p, s, 100, 3, 64)
+		garbageBefore := s.ValGarbage()
+		if garbageBefore == 0 {
+			t.Error("no garbage after churn")
+			return
+		}
+		var total int64
+		for i := 0; i < 20; i++ {
+			n, err := s.CompactValueLog(p)
+			if err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		if total == 0 {
+			t.Error("compaction reclaimed nothing")
+		}
+		// All data must survive.
+		for i := 0; i < 100; i++ {
+			key := []byte(fmt.Sprintf("key-%05d", i))
+			got, _, err := s.Get(p, key)
+			if err != nil {
+				t.Errorf("get after compaction: %v", err)
+				return
+			}
+			want := fmt.Sprintf("v2-%056d", i)
+			if string(got) != want {
+				t.Errorf("key %d: got %q", i, got)
+				return
+			}
+		}
+	})
+}
+
+func TestKeyCompactionReclaimsAndPrunesTombstones(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		fillAndChurn(t, p, s, 120, 2, 32)
+		// Delete a third of the keys.
+		for i := 0; i < 120; i += 3 {
+			if _, err := s.Del(p, []byte(fmt.Sprintf("key-%05d", i))); err != nil {
+				t.Errorf("del: %v", err)
+				return
+			}
+		}
+		var total int64
+		for i := 0; i < 30; i++ {
+			n, err := s.CompactKeyLog(p)
+			if err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		if total == 0 {
+			t.Error("key compaction reclaimed nothing")
+		}
+		// Deleted keys stay deleted; others survive.
+		for i := 0; i < 120; i++ {
+			key := []byte(fmt.Sprintf("key-%05d", i))
+			_, _, err := s.Get(p, key)
+			if i%3 == 0 && err != ErrNotFound {
+				t.Errorf("deleted key %d: %v", i, err)
+				return
+			}
+			if i%3 != 0 && err != nil {
+				t.Errorf("live key %d: %v", i, err)
+				return
+			}
+		}
+	})
+}
+
+func TestCompactionSustainsChurnInTightLog(t *testing.T) {
+	// A log sized well below total write volume must survive indefinitely
+	// when the caller compacts on demand — the circular-log contract.
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 8<<20)
+	s := NewStore(Config{
+		Kernel: k, Device: dev, NumSegments: 32,
+		KeyLogBytes: 256 << 10, ValLogBytes: 256 << 10,
+		CompactChunk: 64 << 10,
+	})
+	runStore(k, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(3))
+		model := map[string]string{}
+		for i := 0; i < 4000; i++ {
+			key := fmt.Sprintf("key-%03d", rng.Intn(150))
+			val := fmt.Sprintf("value-%06d-%032d", i, rng.Int63())
+			if _, err := s.Put(p, []byte(key), []byte(val)); err != nil {
+				t.Errorf("put %d: %v (val log used %d/%d, key log %d/%d)",
+					i, err, s.ValLog().Used(), s.ValLog().Size(), s.KeyLog().Used(), s.KeyLog().Size())
+				return
+			}
+			model[key] = val
+			if s.NeedsValueCompaction() {
+				if _, err := s.CompactValueLog(p); err != nil {
+					t.Errorf("vcompact: %v", err)
+					return
+				}
+			}
+			if s.NeedsKeyCompaction() {
+				if _, err := s.CompactKeyLog(p); err != nil {
+					t.Errorf("kcompact: %v", err)
+					return
+				}
+			}
+		}
+		for key, want := range model {
+			got, _, err := s.Get(p, []byte(key))
+			if err != nil || string(got) != want {
+				t.Errorf("final get %q: %q, %v", key, got, err)
+				return
+			}
+		}
+	})
+	if s.Stats().ValCompactions == 0 || s.Stats().KeyCompactions == 0 {
+		t.Fatalf("compactions never ran: %+v", s.Stats())
+	}
+}
+
+func TestCompactionSkipsLockedSegment(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		fillAndChurn(t, p, s, 50, 2, 32)
+		// Lock one segment by hand; key compaction must skip it and stop
+		// the head there if it is live within the chunk.
+		s.segs.Lock(p, 5)
+		if _, err := s.CompactKeyLog(p); err != nil {
+			t.Errorf("compact with locked segment: %v", err)
+		}
+		s.segs.Unlock(5)
+		// A later round finishes the job.
+		for i := 0; i < 20; i++ {
+			if n, _ := s.CompactKeyLog(p); n == 0 {
+				break
+			}
+		}
+	})
+}
+
+func TestSubcompactionParallelismSpeedsCompaction(t *testing.T) {
+	// With a latency device, S=8 sub-compactions must finish a round
+	// materially faster than S=1 (Figure 13a).
+	measure := func(subs int) sim.Time {
+		k := sim.New()
+		defer k.Close()
+		spec := flashsim.SamsungDCT983(64 << 20)
+		spec.Jitter = 0
+		dev := flashsim.NewSSD(k, spec)
+		s := NewStore(Config{
+			Kernel: k, Device: dev, NumSegments: 128,
+			KeyLogBytes: 8 << 20, ValLogBytes: 16 << 20,
+			SubCompactions: subs, CompactChunk: 128 << 10,
+		})
+		var dur sim.Time
+		runStore(k, func(p *sim.Proc) {
+			for r := 0; r < 2; r++ {
+				for i := 0; i < 400; i++ {
+					key := []byte(fmt.Sprintf("key-%05d", i))
+					if _, err := s.Put(p, key, make([]byte, 128)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				}
+			}
+			t0 := p.Now()
+			if _, err := s.CompactValueLog(p); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+			dur = p.Now() - t0
+		})
+		return dur
+	}
+	serial, parallel := measure(1), measure(8)
+	if parallel >= serial {
+		t.Fatalf("S=8 (%v) not faster than S=1 (%v)", parallel, serial)
+	}
+	if float64(serial)/float64(parallel) < 1.5 {
+		t.Fatalf("speedup only %.2fx (serial %v, parallel %v)",
+			float64(serial)/float64(parallel), serial, parallel)
+	}
+}
+
+func TestPrefetchAvoidsHeadRead(t *testing.T) {
+	run := func(prefetch bool) int64 {
+		k := sim.New()
+		defer k.Close()
+		dev := flashsim.NewMemDevice(k, 8<<20)
+		s := NewStore(Config{
+			Kernel: k, Device: dev, NumSegments: 32,
+			KeyLogBytes: 1 << 20, ValLogBytes: 2 << 20,
+			Prefetch: prefetch, CompactChunk: 32 << 10,
+		})
+		runStore(k, func(p *sim.Proc) {
+			// Interleave churn and compaction so every round has fresh
+			// garbage and the previous round's prefetch gets consumed.
+			for i := 0; i < 8; i++ {
+				fillAndChurn(t, p, s, 200, 2, 64)
+				s.CompactValueLog(p)
+			}
+		})
+		return s.Stats().PrefetchHits
+	}
+	if hits := run(true); hits == 0 {
+		t.Fatal("prefetch enabled but no hits")
+	}
+	if hits := run(false); hits != 0 {
+		t.Fatalf("prefetch disabled but %d hits", hits)
+	}
+}
+
+func TestCompactionPropertyModelPreserved(t *testing.T) {
+	// Property: arbitrary op sequences interleaved with compactions always
+	// preserve the model map.
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, seed := range seeds {
+		k := sim.New()
+		s := newTestStore(k)
+		rng := rand.New(rand.NewSource(seed))
+		model := map[string]string{}
+		ok := true
+		runStore(k, func(p *sim.Proc) {
+			for i := 0; i < 600 && ok; i++ {
+				key := fmt.Sprintf("k%03d", rng.Intn(120))
+				switch rng.Intn(12) {
+				case 0:
+					if _, err := s.CompactValueLog(p); err != nil {
+						t.Errorf("seed %d vcompact: %v", seed, err)
+						ok = false
+					}
+				case 1:
+					if _, err := s.CompactKeyLog(p); err != nil {
+						t.Errorf("seed %d kcompact: %v", seed, err)
+						ok = false
+					}
+				case 2, 3:
+					s.Del(p, []byte(key))
+					delete(model, key)
+				default:
+					val := fmt.Sprintf("v%d.%d", i, rng.Int31())
+					if _, err := s.Put(p, []byte(key), []byte(val)); err != nil {
+						t.Errorf("seed %d put: %v", seed, err)
+						ok = false
+					} else {
+						model[key] = val
+					}
+				}
+			}
+			for key, want := range model {
+				got, _, err := s.Get(p, []byte(key))
+				if err != nil || string(got) != want {
+					t.Errorf("seed %d: %q = %q, %v; want %q", seed, key, got, err, want)
+					ok = false
+					return
+				}
+			}
+		})
+		k.Close()
+	}
+}

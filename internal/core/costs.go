@@ -1,0 +1,65 @@
+package core
+
+import "leed/internal/sim"
+
+// Exec charges compute phases to a CPU core. The engine wires each store's
+// Exec to the core statically mapped to its SSD (§3.4); unit tests use
+// NopExec. Compute blocks the proc for cycles/frequency of virtual time and
+// contends with every other command running on the same core — this is how
+// challenge C2 (tiny per-IO compute headroom) enters the simulation.
+type Exec interface {
+	Compute(p *sim.Proc, cycles int64)
+}
+
+// NopExec charges nothing; for functional tests.
+type NopExec struct{}
+
+// Compute implements Exec by doing nothing.
+func (NopExec) Compute(*sim.Proc, int64) {}
+
+// CostModel gives the cycle cost of each compute phase in the command path.
+// The defaults are sized so a GET spends a few microseconds of CPU on a
+// 3GHz ARM core — matching the paper's Figure 11 breakdown where SSD time
+// is ~97.5% of command latency.
+type CostModel struct {
+	HashLookup  int64 // key hash + SegTbl probe
+	ItemScan    int64 // per item examined while searching buckets
+	BucketEdit  int64 // mutate a bucket image in memory
+	AppendBook  int64 // per log-append bookkeeping
+	ValueParse  int64 // validate + copy out a value entry
+	CompactItem int64 // per item examined during compaction
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		HashLookup:  900,
+		ItemScan:    60,
+		BucketEdit:  700,
+		AppendBook:  500,
+		ValueParse:  800,
+		CompactItem: 150,
+	}
+}
+
+// OpStats is the per-command latency breakdown (Figure 11): virtual time
+// spent waiting on the SSD vs. spent in compute/memory phases, plus device
+// access counts (the paper's 2/3/2 NVMe accesses for GET/PUT/DEL).
+type OpStats struct {
+	SSD    sim.Time
+	CPU    sim.Time
+	Reads  int
+	Writes int
+}
+
+// Total returns SSD + CPU time.
+func (o OpStats) Total() sim.Time { return o.SSD + o.CPU }
+
+// Add accumulates another breakdown into o (used when composing
+// multi-command operations like read-modify-write).
+func (o *OpStats) Add(b OpStats) {
+	o.SSD += b.SSD
+	o.CPU += b.CPU
+	o.Reads += b.Reads
+	o.Writes += b.Writes
+}

@@ -1,0 +1,30 @@
+// Package core implements the LEED per-SSD data store (§3.2–§3.3 of the
+// paper): a circular key log and a circular value log on flash, a compact
+// in-DRAM segment table (the DRAM/Flash hybrid index), GET/PUT/DEL command
+// processing with overlapped NVMe accesses, parallel sub-compactions with
+// prefetching, intra-JBOF value swapping support, and crash recovery.
+//
+// One Store owns one partition (virtual node) of one SSD. All methods that
+// perform I/O take a *sim.Proc and block in virtual time; compute phases are
+// charged to the configured Exec so core contention is modeled faithfully.
+package core
+
+import "errors"
+
+// Sentinel errors returned by store operations.
+var (
+	// ErrNotFound reports that the key does not exist (or was deleted).
+	ErrNotFound = errors.New("core: key not found")
+	// ErrLogFull reports that a circular log has no room for an append and
+	// compaction reclaimed nothing.
+	ErrLogFull = errors.New("core: circular log full")
+	// ErrSegmentFull reports that a segment's chain reached its maximum
+	// length with every bucket full.
+	ErrSegmentFull = errors.New("core: segment chain full")
+	// ErrCorrupt reports an on-flash structure that failed validation.
+	ErrCorrupt = errors.New("core: corrupt on-flash structure")
+	// ErrKeyTooLarge reports a key exceeding the bucket item limit.
+	ErrKeyTooLarge = errors.New("core: key too large")
+	// ErrValueTooLarge reports a value too large for the value log.
+	ErrValueTooLarge = errors.New("core: value too large")
+)

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// Failure-injection tests: the store must surface device errors cleanly and
+// keep previously written data intact and readable once faults clear.
+
+func newFaultyStore(k *sim.Kernel) (*Store, *flashsim.FaultInjector) {
+	inner := flashsim.NewMemDevice(k, 8<<20)
+	fi := flashsim.NewFaultInjector(k, inner, 1)
+	s := NewStore(Config{
+		Kernel: k, Device: fi, NumSegments: 64,
+		KeyLogBytes: 2 << 20, ValLogBytes: 4 << 20,
+	})
+	return s, fi
+}
+
+func TestStoreSurfacesWriteFaults(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s, fi := newFaultyStore(k)
+	runStore(k, func(p *sim.Proc) {
+		s.Put(p, []byte("pre"), []byte("v"))
+		fi.ErrorRate = 1.0
+		fi.FailWritesOnly = true
+		if _, err := s.Put(p, []byte("k"), []byte("v")); !errors.Is(err, flashsim.ErrInjected) {
+			t.Errorf("put during faults: %v", err)
+		}
+		fi.ErrorRate = 0
+		// Reads of pre-fault data still work; the store stays usable.
+		if v, _, err := s.Get(p, []byte("pre")); err != nil || string(v) != "v" {
+			t.Errorf("pre-fault data: %q, %v", v, err)
+		}
+		if _, err := s.Put(p, []byte("k"), []byte("v2")); err != nil {
+			t.Errorf("put after faults clear: %v", err)
+		}
+		if v, _, err := s.Get(p, []byte("k")); err != nil || string(v) != "v2" {
+			t.Errorf("get after recovery: %q, %v", v, err)
+		}
+	})
+	if fi.Injected() == 0 {
+		t.Fatal("no faults injected")
+	}
+}
+
+func TestStoreSurfacesReadFaults(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s, fi := newFaultyStore(k)
+	runStore(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v"))
+		fi.ErrorRate = 1.0
+		fi.FailReadsOnly = true
+		if _, _, err := s.Get(p, []byte("k")); !errors.Is(err, flashsim.ErrInjected) {
+			t.Errorf("get during faults: %v", err)
+		}
+		fi.ErrorRate = 0
+		if v, _, err := s.Get(p, []byte("k")); err != nil || string(v) != "v" {
+			t.Errorf("get after faults clear: %q, %v", v, err)
+		}
+	})
+}
+
+func TestStoreSurvivesIntermittentFaultStorm(t *testing.T) {
+	// Property-style: 10% of device ops fail at random; every op that the
+	// store REPORTS as successful must remain durable and readable once
+	// faults stop.
+	k := sim.New()
+	defer k.Close()
+	s, fi := newFaultyStore(k)
+	fi.ErrorRate = 0.10
+	model := map[string]string{}
+	runStore(k, func(p *sim.Proc) {
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 800; i++ {
+			key := fmt.Sprintf("k%03d", rng.Intn(150))
+			val := fmt.Sprintf("v%d", i)
+			if _, err := s.Put(p, []byte(key), []byte(val)); err == nil {
+				model[key] = val
+			}
+		}
+		fi.ErrorRate = 0
+		for key, want := range model {
+			v, _, err := s.Get(p, []byte(key))
+			if err != nil || string(v) != want {
+				t.Errorf("acknowledged write lost: %q = %q, %v (want %q)", key, v, err, want)
+				return
+			}
+		}
+	})
+	if fi.Injected() == 0 {
+		t.Fatal("storm injected nothing")
+	}
+}
+
+func TestCompactionToleratesFaults(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s, fi := newFaultyStore(k)
+	runStore(k, func(p *sim.Proc) {
+		for r := 0; r < 3; r++ {
+			for i := 0; i < 100; i++ {
+				s.Put(p, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d-%d", r, i)))
+			}
+		}
+		fi.ErrorRate = 0.3
+		// Compaction under faults may reclaim little, but must not corrupt.
+		for i := 0; i < 5; i++ {
+			s.CompactValueLog(p)
+			s.CompactKeyLog(p)
+		}
+		fi.ErrorRate = 0
+		for i := 0; i < 5; i++ {
+			s.CompactValueLog(p)
+			s.CompactKeyLog(p)
+		}
+		for i := 0; i < 100; i++ {
+			key := fmt.Sprintf("k%03d", i)
+			v, _, err := s.Get(p, []byte(key))
+			if err != nil || string(v) != fmt.Sprintf("v2-%d", i) {
+				t.Errorf("post-fault compaction lost %q: %q, %v", key, v, err)
+				return
+			}
+		}
+	})
+}
+
+func TestFaultInjectorFailAfter(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	inner := flashsim.NewMemDevice(k, 1<<20)
+	fi := flashsim.NewFaultInjector(k, inner, 2)
+	fi.FailAfter = 3
+	var errs int
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			op := &flashsim.Op{Kind: flashsim.OpWrite, Offset: int64(i * 100), Data: []byte("x"), Done: k.NewEvent()}
+			fi.Submit(op)
+			if v := p.Wait(op.Done); v != nil {
+				errs++
+			}
+		}
+	})
+	k.Run()
+	if errs != 3 {
+		t.Fatalf("errors = %d, want 3 (ops 4-6 fail)", errs)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+// Geometry planning. PlanPartition sizes a store's segment count and log
+// regions for a given SSD partition and object shape, and reports the
+// resulting index DRAM footprint and object capacity — the quantities
+// behind Table 3's "Max. Capacity" row and the paper's claim that LEED
+// indexes the whole JBOF flash with well under half a byte of DRAM per
+// object (C1).
+
+// Geometry is the result of planning one partition.
+type Geometry struct {
+	NumSegments  int
+	KeyLogBytes  int64
+	ValLogBytes  int64
+	SwapLogBytes int64
+	// ObjectBudget is the number of objects the partition can hold at the
+	// planned utilization.
+	ObjectBudget int64
+	// DRAMBytes is the segment table footprint.
+	DRAMBytes int64
+	// DRAMPerObject is the index bytes charged per object.
+	DRAMPerObject float64
+}
+
+// PlanOpts tune the planner.
+type PlanOpts struct {
+	BlockSize int     // default 512
+	MaxChain  int     // default 4
+	FillChain float64 // target average chain occupancy as a fraction of MaxChain; default 0.5
+	Headroom  float64 // log over-provisioning for compaction slack; default 1.25
+	SwapFrac  float64 // fraction of the partition reserved as swap region; default 0.03
+}
+
+func (o *PlanOpts) setDefaults() {
+	if o.BlockSize == 0 {
+		o.BlockSize = 512
+	}
+	if o.MaxChain == 0 {
+		o.MaxChain = 4
+	}
+	if o.FillChain == 0 {
+		o.FillChain = 0.5
+	}
+	if o.Headroom == 0 {
+		o.Headroom = 1.25
+	}
+	if o.SwapFrac == 0 {
+		o.SwapFrac = 0.03
+	}
+}
+
+// PlanPartition computes a geometry for a partition of partBytes holding
+// objects with the given key and value sizes.
+func PlanPartition(partBytes int64, keyLen, valLen int, opts PlanOpts) Geometry {
+	opts.setDefaults()
+	bs := int64(opts.BlockSize)
+	itemSize := int64(itemHdrSize + keyLen)
+	entrySize := int64(ValueEntrySize(keyLen, valLen))
+	itemsPerBucket := (bs - bucketHdrSize) / itemSize
+	if itemsPerBucket < 1 {
+		itemsPerBucket = 1
+	}
+	targetChain := float64(opts.MaxChain) * opts.FillChain
+	if targetChain < 1 {
+		targetChain = 1
+	}
+	itemsPerSeg := float64(itemsPerBucket) * targetChain
+
+	// Per-object steady-state space: its value entry plus its share of the
+	// segment array, both inflated by compaction headroom.
+	keyPerObj := float64(bs) / float64(itemsPerBucket) * opts.Headroom
+	valPerObj := float64(entrySize) * opts.Headroom
+	// Reserve 64KiB for the superblock and rounding slack.
+	usable := float64(partBytes)*(1-opts.SwapFrac) - 65536
+	if usable < float64(bs) {
+		usable = float64(bs)
+	}
+	objects := int64(usable / (keyPerObj + valPerObj))
+	if objects < 1 {
+		objects = 1
+	}
+	numSegs := int(float64(objects)/itemsPerSeg) + 1
+
+	g := Geometry{
+		NumSegments:  numSegs,
+		KeyLogBytes:  int64(float64(objects) * keyPerObj),
+		ValLogBytes:  int64(float64(objects) * valPerObj),
+		SwapLogBytes: int64(float64(partBytes) * opts.SwapFrac),
+		ObjectBudget: objects,
+		DRAMBytes:    int64(numSegs) * segEntryDRAMBytes,
+	}
+	// Round the key log to whole blocks.
+	g.KeyLogBytes = (g.KeyLogBytes/bs + 1) * bs
+	g.DRAMPerObject = float64(g.DRAMBytes) / float64(objects)
+	return g
+}
+
+// MaxCapacityFraction returns the fraction of raw flash that holds live
+// key+value payload at tight packing (Headroom ~1.05), the number Table 3
+// reports for LEED. keyLen/valLen describe the object shape.
+func MaxCapacityFraction(partBytes int64, keyLen, valLen int) float64 {
+	g := PlanPartition(partBytes, keyLen, valLen, PlanOpts{Headroom: 1.05})
+	return float64(g.ObjectBudget*int64(keyLen+valLen)) / float64(partBytes)
+}
+
+// StoreConfigFor builds a Config from a geometry. The caller fills Kernel,
+// Device, DevID, Exec, and RegionOff.
+func StoreConfigFor(g Geometry, base Config) Config {
+	base.NumSegments = g.NumSegments
+	base.KeyLogBytes = g.KeyLogBytes
+	base.ValLogBytes = g.ValLogBytes
+	base.SwapLogBytes = g.SwapLogBytes
+	return base
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+func TestRangeVisitsAllLiveObjects(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		want := map[string]string{}
+		for i := 0; i < 80; i++ {
+			key := fmt.Sprintf("key-%03d", i)
+			val := fmt.Sprintf("val-%d", i)
+			s.Put(p, []byte(key), []byte(val))
+			want[key] = val
+		}
+		// Delete some; Range must skip them.
+		for i := 0; i < 80; i += 4 {
+			key := fmt.Sprintf("key-%03d", i)
+			s.Del(p, []byte(key))
+			delete(want, key)
+		}
+		got := map[string]string{}
+		if err := s.Range(p, func(key, val []byte) bool {
+			got[string(key)] = string(val)
+			return true
+		}); err != nil {
+			t.Errorf("range: %v", err)
+			return
+		}
+		if len(got) != len(want) {
+			t.Errorf("range visited %d objects, want %d", len(got), len(want))
+			return
+		}
+		for key, v := range want {
+			if got[key] != v {
+				t.Errorf("range %q = %q, want %q", key, got[key], v)
+				return
+			}
+		}
+	})
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			s.Put(p, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		}
+		seen := 0
+		s.Range(p, func(key, val []byte) bool {
+			seen++
+			return seen < 10
+		})
+		if seen != 10 {
+			t.Errorf("early stop visited %d", seen)
+		}
+	})
+}
+
+func TestRangeIncludesSwappedValues(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		home.Put(p, []byte("local"), []byte("lv"))
+		home.PutSwapped(p, []byte("swapped"), []byte("sv"), helper)
+		got := map[string]string{}
+		if err := home.Range(p, func(key, val []byte) bool {
+			got[string(key)] = string(val)
+			return true
+		}); err != nil {
+			t.Errorf("range: %v", err)
+			return
+		}
+		if got["local"] != "lv" || got["swapped"] != "sv" {
+			t.Errorf("range = %v", got)
+		}
+	})
+}
+
+func TestRangeAllowsWritesFromCallback(t *testing.T) {
+	// fn runs unlocked, so COPY-style read-then-put patterns must not
+	// deadlock even when the put hits the segment being iterated from.
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			s.Put(p, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		}
+		if err := s.Range(p, func(key, val []byte) bool {
+			_, err := s.Put(p, append([]byte("copy-"), key...), val)
+			return err == nil
+		}); err != nil {
+			t.Errorf("range: %v", err)
+			return
+		}
+		if v, _, err := s.Get(p, []byte("copy-k05")); err != nil || string(v) != "v" {
+			t.Errorf("copied key: %q, %v", v, err)
+		}
+	})
+}
+
+func TestOpStatsTotalAndAdd(t *testing.T) {
+	a := OpStats{SSD: 100, CPU: 10, Reads: 2, Writes: 1}
+	b := OpStats{SSD: 50, CPU: 5, Reads: 1, Writes: 2}
+	if a.Total() != 110 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	a.Add(b)
+	if a.SSD != 150 || a.CPU != 15 || a.Reads != 3 || a.Writes != 3 {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestBucketFind(t *testing.T) {
+	b := &Bucket{Items: []Item{
+		{Key: []byte("aa"), ValLen: 1},
+		{Key: []byte("bb"), ValLen: 2},
+	}}
+	if b.Find([]byte("bb")) != 1 || b.Find([]byte("aa")) != 0 {
+		t.Fatal("Find wrong index")
+	}
+	if b.Find([]byte("zz")) != -1 {
+		t.Fatal("Find on missing key")
+	}
+}
+
+func TestCircLogStatsAndAccessors(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 1<<20)
+	l := NewCircLog(k, dev, 0, 4096)
+	k.Go("t", func(p *sim.Proc) {
+		_, ev, _ := l.Append([]byte("abc"))
+		p.Wait(ev)
+		l.Read(p, 0, make([]byte, 3))
+	})
+	k.Run()
+	a, r := l.Stats()
+	if a != 1 || r != 1 {
+		t.Fatalf("stats = %d, %d", a, r)
+	}
+	if l.Size() != 4096 {
+		t.Fatalf("size = %d", l.Size())
+	}
+}
+
+func TestSegTblAccessors(t *testing.T) {
+	tb := NewSegTbl(8)
+	if tb.NumSegments() != 8 {
+		t.Fatal("NumSegments")
+	}
+	if tb.Locked(3) {
+		t.Fatal("fresh segment locked")
+	}
+	if !tb.TryLock(3) || !tb.Locked(3) {
+		t.Fatal("TryLock")
+	}
+	tb.Unlock(3)
+	if tb.Locked(3) {
+		t.Fatal("still locked")
+	}
+}
+
+func TestStoreAccessors(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	if s.Config().NumSegments != 64 {
+		t.Fatal("Config")
+	}
+	if s.KeyLog() == nil || s.ValLog() == nil || s.SwapLog() == nil {
+		t.Fatal("log accessors")
+	}
+	g := PlanPartition(1<<30, 16, 256, PlanOpts{})
+	cfg := StoreConfigFor(g, Config{BlockSize: 512})
+	if cfg.NumSegments != g.NumSegments || cfg.ValLogBytes != g.ValLogBytes {
+		t.Fatal("StoreConfigFor")
+	}
+}
+
+func TestSegTblReaderWriterSemantics(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	tb := NewSegTbl(4)
+	var trace []string
+	k.Go("r1", func(p *sim.Proc) {
+		tb.RLock(p, 0)
+		trace = append(trace, "r1+")
+		p.Sleep(20)
+		trace = append(trace, "r1-")
+		tb.RUnlock(0)
+	})
+	k.Go("r2", func(p *sim.Proc) {
+		tb.RLock(p, 0)
+		trace = append(trace, "r2+")
+		p.Sleep(20)
+		trace = append(trace, "r2-")
+		tb.RUnlock(0)
+	})
+	k.After(5, func() {
+		k.Go("w", func(p *sim.Proc) {
+			tb.Lock(p, 0)
+			trace = append(trace, "w+")
+			tb.Unlock(0)
+		})
+	})
+	k.Run()
+	// Readers overlap (both enter before either exits); writer waits for
+	// both.
+	want := []string{"r1+", "r2+", "r1-", "r2-", "w+"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestSegTblWriterBlocksNewReaders(t *testing.T) {
+	// FIFO fairness: a queued writer must not be starved by later readers.
+	k := sim.New()
+	defer k.Close()
+	tb := NewSegTbl(1)
+	var trace []string
+	k.Go("r1", func(p *sim.Proc) {
+		tb.RLock(p, 0)
+		p.Sleep(20)
+		tb.RUnlock(0)
+		trace = append(trace, "r1")
+	})
+	k.After(5, func() {
+		k.Go("w", func(p *sim.Proc) {
+			tb.Lock(p, 0)
+			trace = append(trace, "w")
+			p.Sleep(20)
+			tb.Unlock(0)
+		})
+	})
+	k.After(10, func() {
+		k.Go("r2", func(p *sim.Proc) {
+			tb.RLock(p, 0)
+			trace = append(trace, "r2")
+			tb.RUnlock(0)
+		})
+	})
+	k.Run()
+	want := []string{"r1", "w", "r2"}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestStoreWith4KBlocks(t *testing.T) {
+	// §3.2.2 allows 512B or 4KB bucket blocks; the store must work with
+	// either. 4KB buckets hold many more items per segment.
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 16<<20)
+	s := NewStore(Config{
+		Kernel: k, Device: dev, NumSegments: 8, BlockSize: 4096,
+		KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20,
+	})
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 600; i++ {
+			key := []byte(fmt.Sprintf("key-%05d", i))
+			if _, err := s.Put(p, key, []byte("v")); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 600; i++ {
+			key := []byte(fmt.Sprintf("key-%05d", i))
+			if _, _, err := s.Get(p, key); err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+		}
+		// Churn + compaction still work at this block size.
+		for i := 0; i < 600; i++ {
+			s.Put(p, []byte(fmt.Sprintf("key-%05d", i)), []byte("v2"))
+		}
+		for s.ValGarbage() > 0 {
+			if n, err := s.CompactValueLog(p); err != nil || n == 0 {
+				break
+			}
+		}
+		if v, _, err := s.Get(p, []byte("key-00042")); err != nil || string(v) != "v2" {
+			t.Errorf("after churn: %q, %v", v, err)
+		}
+	})
+	if s.Objects() != 600 {
+		t.Fatalf("objects = %d", s.Objects())
+	}
+}

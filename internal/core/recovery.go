@@ -1,0 +1,223 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// Crash recovery (§3.2.3). The store persists a superblock (log head/tail
+// pointers) whenever compaction moves a head. On restart, Recover reads the
+// superblock, then scans the key log forward from the persisted head,
+// rebuilding the SegTbl from the segment arrays it finds. Scanning
+// continues past the persisted tail as long as blocks still parse as valid
+// buckets with strictly increasing sequence numbers — recovering appends
+// that postdate the last superblock write. A PUT is durable once its
+// segment array is on flash, because the bucket's ValTailHint field also
+// recovers the value-log tail.
+
+const superMagic = 0x1EEDB00C
+
+type superblock struct {
+	keyHead, keyTail   int64
+	valHead, valTail   int64
+	swapHead, swapTail int64
+	seq                uint64
+}
+
+func (sb *superblock) marshal(dst []byte) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	binary.LittleEndian.PutUint32(dst[0:], superMagic)
+	binary.LittleEndian.PutUint64(dst[8:], uint64(sb.keyHead))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(sb.keyTail))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(sb.valHead))
+	binary.LittleEndian.PutUint64(dst[32:], uint64(sb.valTail))
+	binary.LittleEndian.PutUint64(dst[40:], uint64(sb.swapHead))
+	binary.LittleEndian.PutUint64(dst[48:], uint64(sb.swapTail))
+	binary.LittleEndian.PutUint64(dst[56:], sb.seq)
+	binary.LittleEndian.PutUint32(dst[64:], crc32.Checksum(dst[:64], castagnoli))
+}
+
+func parseSuperblock(src []byte) (*superblock, bool) {
+	if len(src) < 68 || binary.LittleEndian.Uint32(src[0:]) != superMagic {
+		return nil, false
+	}
+	if crc32.Checksum(src[:64], castagnoli) != binary.LittleEndian.Uint32(src[64:]) {
+		return nil, false
+	}
+	return &superblock{
+		keyHead:  int64(binary.LittleEndian.Uint64(src[8:])),
+		keyTail:  int64(binary.LittleEndian.Uint64(src[16:])),
+		valHead:  int64(binary.LittleEndian.Uint64(src[24:])),
+		valTail:  int64(binary.LittleEndian.Uint64(src[32:])),
+		swapHead: int64(binary.LittleEndian.Uint64(src[40:])),
+		swapTail: int64(binary.LittleEndian.Uint64(src[48:])),
+		seq:      binary.LittleEndian.Uint64(src[56:]),
+	}, true
+}
+
+// writeSuperblock persists the current log pointers. Called by compaction
+// after a head moves, and by Flush.
+func (s *Store) writeSuperblock(p *sim.Proc) error {
+	sb := superblock{
+		keyHead: s.keyLog.Head(), keyTail: s.keyLog.Tail(),
+		valHead: s.valLog.Head(), valTail: s.valLog.Tail(),
+		seq: s.seq,
+	}
+	if s.swapLog != nil {
+		sb.swapHead, sb.swapTail = s.swapLog.Head(), s.swapLog.Tail()
+	}
+	buf := make([]byte, s.cfg.BlockSize)
+	sb.marshal(buf)
+	done := s.k.NewEvent()
+	s.cfg.Device.Submit(&flashsim.Op{Kind: flashsim.OpWrite, Offset: s.cfg.RegionOff, Data: buf, Done: done})
+	if v := p.Wait(done); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Flush persists the superblock; callers use it to bound recovery scans.
+func (s *Store) Flush(p *sim.Proc) error { return s.writeSuperblock(p) }
+
+// Recover rebuilds a store's DRAM state from flash. Call it on a freshly
+// constructed Store (same Config) whose region holds a previous instance's
+// data. It returns the number of segments recovered.
+func (s *Store) Recover(p *sim.Proc) (int, error) {
+	bs := int64(s.cfg.BlockSize)
+	sbBuf := make([]byte, s.cfg.BlockSize)
+	done := s.k.NewEvent()
+	s.cfg.Device.Submit(&flashsim.Op{Kind: flashsim.OpRead, Offset: s.cfg.RegionOff, Data: sbBuf, Done: done})
+	if v := p.Wait(done); v != nil {
+		return 0, v.(error)
+	}
+	sb, ok := parseSuperblock(sbBuf)
+	if !ok {
+		return 0, nil // fresh region: nothing to recover
+	}
+
+	// Open the key-log window wide so the scan may pass the persisted tail.
+	upper := sb.keyHead + s.keyLog.Size()
+	s.keyLog.Restore(sb.keyHead, upper)
+
+	latest := make(map[uint32][]*Bucket)
+	latestOff := make(map[uint32]int64)
+	maxSeq := sb.seq
+	maxValTail := sb.valTail
+	pos := sb.keyHead
+	liveKeyBytes := int64(0)
+scan:
+	for pos+bs <= upper {
+		blk := make([]byte, bs)
+		if err := s.keyLog.Read(p, pos, blk); err != nil {
+			return 0, err
+		}
+		b0, err := UnmarshalBucket(blk)
+		if err != nil || b0.ChainPos != 0 || b0.ChainLen == 0 {
+			break // end of valid data
+		}
+		if pos >= sb.keyTail && b0.Seq <= maxSeq {
+			break // stale pre-wrap data beyond the durable tail
+		}
+		chain := int(b0.ChainLen)
+		buckets := []*Bucket{b0}
+		for i := 1; i < chain; i++ {
+			cblk := make([]byte, bs)
+			if err := s.keyLog.Read(p, pos+int64(i)*bs, cblk); err != nil {
+				return 0, err
+			}
+			bi, err := UnmarshalBucket(cblk)
+			if err != nil || bi.Seq != b0.Seq || int(bi.ChainPos) != i {
+				break scan // torn tail append: discard the partial array
+			}
+			buckets = append(buckets, bi)
+		}
+		if old, had := latest[b0.SegID]; had {
+			liveKeyBytes -= int64(len(old)) * bs
+		}
+		latest[b0.SegID] = buckets
+		latestOff[b0.SegID] = pos
+		liveKeyBytes += int64(chain) * bs
+		if b0.Seq > maxSeq {
+			maxSeq = b0.Seq
+		}
+		if b0.ValTailHint > maxValTail {
+			maxValTail = b0.ValTailHint
+		}
+		pos += int64(chain) * bs
+	}
+	s.keyLog.Restore(sb.keyHead, pos)
+	s.valLog.Restore(sb.valHead, maxValTail)
+	s.seq = maxSeq
+
+	// Rebuild the SegTbl and derived accounting.
+	liveValBytes := int64(0)
+	liveValEntryBytes := int64(0)
+	objects := int64(0)
+	for seg, buckets := range latest {
+		s.segs.Set(seg, latestOff[seg], len(buckets))
+		for _, b := range buckets {
+			for i := range b.Items {
+				it := &b.Items[i]
+				if it.Deleted() {
+					continue
+				}
+				objects++
+				liveValBytes += int64(it.ValLen)
+				if it.SSDID == s.cfg.DevID {
+					liveValEntryBytes += int64(ValueEntrySize(len(it.Key), int(it.ValLen)))
+				} else {
+					s.pendingSwaps[seg] = struct{}{}
+				}
+			}
+		}
+	}
+	s.stats.Objects = objects
+	s.stats.LiveValBytes = liveValBytes
+	s.valGarbage = s.valLog.Used() - liveValEntryBytes
+	if s.valGarbage < 0 {
+		s.valGarbage = 0
+	}
+	s.keyGarbage = s.keyLog.Used() - liveKeyBytes
+	if s.keyGarbage < 0 {
+		s.keyGarbage = 0
+	}
+
+	// Swap region: restore the persisted window and re-index its entries,
+	// which may be value entries or whole segment arrays (§3.6).
+	if s.swapLog != nil {
+		s.swapLog.Restore(sb.swapHead, sb.swapTail)
+		off := sb.swapHead
+		for off < sb.swapTail {
+			hdr := make([]byte, bs)
+			n := sb.swapTail - off
+			if n > bs {
+				n = bs
+			}
+			if err := s.swapLog.Read(p, off, hdr[:n]); err != nil {
+				return 0, err
+			}
+			var size int64
+			switch {
+			case n >= bucketHdrSize && ProbeBucket(hdr[:n]):
+				b0, berr := UnmarshalBucket(hdr[:n])
+				if berr != nil {
+					return 0, fmt.Errorf("%w: swap log segment at %d", ErrCorrupt, off)
+				}
+				size = int64(b0.ChainLen) * bs
+			case n >= valueHdrSize && binary.LittleEndian.Uint16(hdr[0:]) == valueMagic:
+				size = int64(ValueEntrySize(int(hdr[2]), int(binary.LittleEndian.Uint32(hdr[4:]))))
+			default:
+				return 0, fmt.Errorf("%w: swap log entry at %d", ErrCorrupt, off)
+			}
+			s.swapMeta[off] = size
+			off += size
+		}
+	}
+	return len(latest), nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"leed/internal/sim"
+)
+
+// SegTbl is the in-DRAM segment table (§3.2.3): one entry per segment
+// holding the chain length and the key-log offset of the segment's bucket
+// array, plus a lock bit. This is the *entire* DRAM index — with dozens of
+// keys per segment it costs well under half a byte of DRAM per object,
+// which is what makes the hybrid index fit the SmartNIC JBOF's skewed
+// storage hierarchy (C1).
+type SegTbl struct {
+	entries []segEntry
+}
+
+// segEntry is one segment's DRAM state. The accounting below charges 8
+// bytes, matching the paper's "segment index contains K bits for the chain
+// length and a 4B offset" plus the lock bits, rounded to what a packed
+// hashtable would hand out. The lock has reader-writer semantics: GETs
+// share a segment (they only read the key log), while PUT/DEL/compaction
+// take it exclusively. Grants are FIFO so hot-segment readers cannot
+// starve a writer.
+type segEntry struct {
+	off      int64 // logical offset of the segment array; -1 = empty
+	chainLen uint8
+	// devID names the SSD holding the segment array: the store's own key
+	// log normally, or a peer's swap region while the segment is swapped
+	// out (§3.6: "an SSD identifier so that one can locate the correct
+	// key log position").
+	devID   uint8
+	remote  bool
+	writer  bool
+	readers int
+	waiters []segWaiter
+}
+
+type segWaiter struct {
+	t       sim.Ticket
+	write   bool
+	granted *bool
+}
+
+// grant admits waiters in FIFO order: a run of readers, or one writer.
+func (e *segEntry) grant() {
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		if w.write {
+			if e.writer || e.readers > 0 {
+				return
+			}
+			e.writer = true
+		} else {
+			if e.writer {
+				return
+			}
+			e.readers++
+		}
+		e.waiters = e.waiters[1:]
+		*w.granted = true
+		w.t.Wake()
+	}
+}
+
+// segEntryDRAMBytes is the DRAM charge per entry for capacity accounting:
+// the paper's K chain-length bits plus a 4B key-log offset plus the lock
+// bit, padded to 8 bytes as a packed hashtable would store it. (The Go
+// struct behind it is larger; the model charges what the paper's layout
+// costs.)
+const segEntryDRAMBytes = 8
+
+// NewSegTbl creates a table of n segments, all empty.
+func NewSegTbl(n int) *SegTbl {
+	t := &SegTbl{entries: make([]segEntry, n)}
+	for i := range t.entries {
+		t.entries[i].off = -1
+	}
+	return t
+}
+
+// NumSegments returns the table size.
+func (t *SegTbl) NumSegments() int { return len(t.entries) }
+
+// DRAMBytes returns the table's modeled DRAM footprint.
+func (t *SegTbl) DRAMBytes() int64 { return int64(len(t.entries)) * segEntryDRAMBytes }
+
+// Lookup returns (offset, chainLen, present) for a segment.
+func (t *SegTbl) Lookup(seg uint32) (off int64, chainLen int, ok bool) {
+	e := &t.entries[seg]
+	if e.off < 0 {
+		return 0, 0, false
+	}
+	return e.off, int(e.chainLen), true
+}
+
+// Location returns where the segment array lives: (devID, remote). remote
+// reports that the array sits in devID's swap region rather than the home
+// key log.
+func (t *SegTbl) Location(seg uint32) (devID uint8, remote bool) {
+	e := &t.entries[seg]
+	return e.devID, e.remote
+}
+
+// Set records the segment's new array location in the home key log.
+func (t *SegTbl) Set(seg uint32, off int64, chainLen int) {
+	e := &t.entries[seg]
+	e.off = off
+	e.chainLen = uint8(chainLen)
+	e.remote = false
+}
+
+// SetRemote records the segment's array as living in peer devID's swap
+// region (§3.6).
+func (t *SegTbl) SetRemote(seg uint32, off int64, chainLen int, devID uint8) {
+	e := &t.entries[seg]
+	e.off = off
+	e.chainLen = uint8(chainLen)
+	e.devID = devID
+	e.remote = true
+}
+
+// Clear empties a segment (used when compaction prunes it to nothing).
+func (t *SegTbl) Clear(seg uint32) { t.entries[seg].off = -1; t.entries[seg].chainLen = 0 }
+
+func (t *SegTbl) acquire(p *sim.Proc, seg uint32, write bool) {
+	e := &t.entries[seg]
+	if len(e.waiters) == 0 {
+		if write && !e.writer && e.readers == 0 {
+			e.writer = true
+			return
+		}
+		if !write && !e.writer {
+			e.readers++
+			return
+		}
+	}
+	granted := false
+	e.waiters = append(e.waiters, segWaiter{t: p.Prepare(), write: write, granted: &granted})
+	for !granted {
+		p.Park()
+		if !granted {
+			for i := range e.waiters {
+				if e.waiters[i].granted == &granted {
+					e.waiters[i].t = p.Prepare()
+				}
+			}
+		}
+	}
+}
+
+// Lock takes the segment exclusively (PUT/DEL/compaction/COPY), blocking
+// FIFO-fair. This is the paper's per-segment lock bit (§3.2.2).
+func (t *SegTbl) Lock(p *sim.Proc, seg uint32) { t.acquire(p, seg, true) }
+
+// RLock takes the segment shared: concurrent GETs of one segment proceed
+// together, which is what lets a hot key saturate the drive rather than the
+// lock.
+func (t *SegTbl) RLock(p *sim.Proc, seg uint32) { t.acquire(p, seg, false) }
+
+// TryLock acquires the exclusive lock if immediately free; compaction uses
+// it to skip segments busy with PUT/DEL (§3.3.1).
+func (t *SegTbl) TryLock(seg uint32) bool {
+	e := &t.entries[seg]
+	if e.writer || e.readers > 0 || len(e.waiters) > 0 {
+		return false
+	}
+	e.writer = true
+	return true
+}
+
+// Locked reports whether the segment is exclusively held.
+func (t *SegTbl) Locked(seg uint32) bool { return t.entries[seg].writer }
+
+// Unlock releases the exclusive lock and grants the next waiters.
+func (t *SegTbl) Unlock(seg uint32) {
+	e := &t.entries[seg]
+	if !e.writer {
+		panic("core: Unlock of unlocked segment")
+	}
+	e.writer = false
+	e.grant()
+}
+
+// RUnlock releases a shared hold.
+func (t *SegTbl) RUnlock(seg uint32) {
+	e := &t.entries[seg]
+	if e.readers <= 0 {
+		panic("core: RUnlock without RLock")
+	}
+	e.readers--
+	e.grant()
+}
+
+// HashKey maps a key to its 64-bit hash (FNV-1a).
+func HashKey(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// SegmentOf maps a key hash onto one of n segments.
+func SegmentOf(hash uint64, n int) uint32 { return uint32(hash % uint64(n)) }

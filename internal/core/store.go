@@ -1,0 +1,673 @@
+package core
+
+import (
+	"fmt"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// Config describes one store's geometry and wiring. A store owns one
+// partition (virtual node) of one SSD, laid out as:
+//
+//	[superblock | key log | value log | swap log]
+//
+// The swap log is the region *other* co-located stores may borrow to absorb
+// overloaded writes (§3.6).
+type Config struct {
+	Kernel *sim.Kernel
+	Device flashsim.Device
+	DevID  uint8 // identifier of this store's SSD within the JBOF
+	Exec   Exec
+	Costs  CostModel
+
+	BlockSize   int // bucket block size; default 512
+	NumSegments int
+	MaxChain    int // M: max chained buckets per segment; default 4
+
+	RegionOff    int64
+	KeyLogBytes  int64
+	ValLogBytes  int64
+	SwapLogBytes int64
+
+	SubCompactions int     // S: parallel sub-compactions; default 4
+	Prefetch       bool    // prefetch the next compaction's input (§3.3.1)
+	CompactChunk   int64   // bytes compacted per round; default 256KiB
+	CompactAt      float64 // used/size ratio that triggers compaction; default 0.75
+
+	// MergeOK gates swap merge-back during value-log compaction: §3.6
+	// merges swapped data back "when the home SSD has available
+	// bandwidth", so the engine wires this to an idleness check. Nil
+	// means always merge (single-store usage).
+	MergeOK func() bool
+}
+
+func (c *Config) setDefaults() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 512
+	}
+	if c.MaxChain == 0 {
+		c.MaxChain = 4
+	}
+	if c.SubCompactions == 0 {
+		c.SubCompactions = 4
+	}
+	if c.CompactChunk == 0 {
+		c.CompactChunk = 256 << 10
+	}
+	if c.CompactAt == 0 {
+		c.CompactAt = 0.75
+	}
+	if c.Exec == nil {
+		c.Exec = NopExec{}
+	}
+	if c.Costs == (CostModel{}) {
+		c.Costs = DefaultCosts()
+	}
+}
+
+// Stats are cumulative store counters.
+type Stats struct {
+	Gets, Puts, Dels int64
+	NotFounds        int64
+	Objects          int64 // live, non-tombstone objects
+	LiveValBytes     int64
+	KeyCompactions   int64
+	ValCompactions   int64
+	RelocatedItems   int64
+	ReclaimedBytes   int64
+	SwappedPuts      int64
+	MergedSwaps      int64
+	PrefetchHits     int64
+	SegmentFull      int64
+}
+
+// Store is one LEED data store (§3.2): circular key and value logs on an
+// SSD partition plus the in-DRAM segment table.
+type Store struct {
+	cfg     Config
+	k       *sim.Kernel
+	keyLog  *CircLog
+	valLog  *CircLog
+	swapLog *CircLog
+	segs    *SegTbl
+	seq     uint64
+
+	peers map[uint8]*Store // co-located stores by DevID, for swap reads
+
+	valGarbage int64 // dead bytes in the value log
+	keyGarbage int64 // dead bytes in the key log
+
+	pendingSwaps map[uint32]struct{} // segments holding swapped-out values
+	swapMeta     map[int64]int64     // swap-log entry offset -> size (as helper)
+	swapMerged   map[int64]bool      // swap-log entries merged back by homes
+
+	kpf prefetchBuf // key-log compaction prefetch
+	vpf prefetchBuf // value-log compaction prefetch
+
+	compacting bool // guards against overlapping whole-log compactions
+
+	stats Stats
+}
+
+type prefetchBuf struct {
+	valid bool
+	off   int64
+	buf   []byte
+	ev    *sim.Event
+}
+
+// NewStore creates a store over its device region. The region is assumed
+// pristine; use Recover to rebuild state from flash instead.
+func NewStore(cfg Config) *Store {
+	cfg.setDefaults()
+	if cfg.NumSegments <= 0 {
+		panic("core: Config.NumSegments must be positive")
+	}
+	bs := int64(cfg.BlockSize)
+	off := cfg.RegionOff + bs // block 0 is the superblock
+	s := &Store{
+		cfg:          cfg,
+		k:            cfg.Kernel,
+		segs:         NewSegTbl(cfg.NumSegments),
+		peers:        make(map[uint8]*Store),
+		pendingSwaps: make(map[uint32]struct{}),
+		swapMeta:     make(map[int64]int64),
+		swapMerged:   make(map[int64]bool),
+	}
+	s.keyLog = NewCircLog(cfg.Kernel, cfg.Device, off, cfg.KeyLogBytes)
+	off += cfg.KeyLogBytes
+	s.valLog = NewCircLog(cfg.Kernel, cfg.Device, off, cfg.ValLogBytes)
+	off += cfg.ValLogBytes
+	if cfg.SwapLogBytes > 0 {
+		s.swapLog = NewCircLog(cfg.Kernel, cfg.Device, off, cfg.SwapLogBytes)
+	}
+	s.peers[cfg.DevID] = s
+	return s
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats returns cumulative counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// DRAMBytes returns the modeled DRAM footprint of the store's index.
+func (s *Store) DRAMBytes() int64 { return s.segs.DRAMBytes() }
+
+// Objects returns the live object count.
+func (s *Store) Objects() int64 { return s.stats.Objects }
+
+// KeyLog and ValLog expose the logs for inspection and tests.
+func (s *Store) KeyLog() *CircLog { return s.keyLog }
+
+// ValLog returns the value log.
+func (s *Store) ValLog() *CircLog { return s.valLog }
+
+// SwapLog returns the swap region, or nil if not configured.
+func (s *Store) SwapLog() *CircLog { return s.swapLog }
+
+// AddPeer registers a co-located store so swapped values can be read and
+// merged back. Both directions must be registered by the engine.
+func (s *Store) AddPeer(p *Store) { s.peers[p.cfg.DevID] = p }
+
+// cpu charges cycles to the executor and attributes elapsed time to st.CPU.
+func (s *Store) cpu(p *sim.Proc, st *OpStats, cycles int64) {
+	t0 := p.Now()
+	s.cfg.Exec.Compute(p, cycles)
+	st.CPU += p.Now() - t0
+}
+
+// ssdWait waits for device events and attributes elapsed time to st.SSD.
+func (s *Store) ssdWait(p *sim.Proc, st *OpStats, evs ...*sim.Event) error {
+	t0 := p.Now()
+	var err error
+	for _, ev := range evs {
+		if v := p.Wait(ev); v != nil && err == nil {
+			err = v.(error)
+		}
+	}
+	st.SSD += p.Now() - t0
+	return err
+}
+
+// segBytes returns the byte size of a chainLen-bucket segment array.
+func (s *Store) segBytes(chainLen int) int64 {
+	return int64(chainLen) * int64(s.cfg.BlockSize)
+}
+
+// readSegment reads and parses the segment array from the home key log.
+// Caller holds the lock.
+func (s *Store) readSegment(p *sim.Proc, st *OpStats, off int64, chainLen int) ([]*Bucket, error) {
+	buf := make([]byte, s.segBytes(chainLen))
+	ev, err := s.keyLog.ReadAsync(off, buf)
+	if err != nil {
+		return nil, err
+	}
+	st.Reads++
+	if err := s.ssdWait(p, st, ev); err != nil {
+		return nil, err
+	}
+	return s.parseSegment(buf, chainLen)
+}
+
+// segmentReadEv issues the read for a segment's array from wherever it
+// lives — the home key log or a peer's swap region (§3.6) — returning the
+// completion event and destination buffer.
+func (s *Store) segmentReadEv(seg uint32, off int64, chainLen int) (*sim.Event, []byte, error) {
+	buf := make([]byte, s.segBytes(chainLen))
+	devID, remote := s.segs.Location(seg)
+	if !remote {
+		ev, err := s.keyLog.ReadAsync(off, buf)
+		return ev, buf, err
+	}
+	peer, found := s.peers[devID]
+	if !found || peer.swapLog == nil {
+		return nil, nil, fmt.Errorf("%w: swapped segment on unknown peer %d", ErrCorrupt, devID)
+	}
+	ev, err := peer.swapLog.ReadAsync(off, buf)
+	return ev, buf, err
+}
+
+// loadSegment looks up and reads a segment's current array. found is false
+// when the segment is empty. Caller holds the lock.
+func (s *Store) loadSegment(p *sim.Proc, st *OpStats, seg uint32) (buckets []*Bucket, found bool, err error) {
+	off, chainLen, ok := s.segs.Lookup(seg)
+	if !ok {
+		return nil, false, nil
+	}
+	ev, buf, err := s.segmentReadEv(seg, off, chainLen)
+	if err != nil {
+		return nil, true, err
+	}
+	st.Reads++
+	if err := s.ssdWait(p, st, ev); err != nil {
+		return nil, true, err
+	}
+	b, err := s.parseSegment(buf, chainLen)
+	return b, true, err
+}
+
+func (s *Store) parseSegment(buf []byte, chainLen int) ([]*Bucket, error) {
+	bs := s.cfg.BlockSize
+	buckets := make([]*Bucket, 0, chainLen)
+	for i := 0; i < chainLen; i++ {
+		b, err := UnmarshalBucket(buf[i*bs : (i+1)*bs])
+		if err != nil {
+			return nil, err
+		}
+		buckets = append(buckets, b)
+	}
+	return buckets, nil
+}
+
+// marshalSegment serializes buckets into a contiguous array, refreshing
+// chain metadata and recovery hints.
+func (s *Store) marshalSegment(segID uint32, buckets []*Bucket) ([]byte, error) {
+	bs := s.cfg.BlockSize
+	s.seq++
+	out := make([]byte, len(buckets)*bs)
+	for i, b := range buckets {
+		b.SegID = segID
+		b.ChainLen = uint8(len(buckets))
+		b.ChainPos = uint8(i)
+		b.ValHeadHint = s.valLog.Head()
+		b.ValTailHint = s.valLog.Tail()
+		b.Seq = s.seq
+		if err := b.Marshal(out[i*bs : (i+1)*bs]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// findItem locates key in the segment's buckets, charging scan cycles.
+func (s *Store) findItem(p *sim.Proc, st *OpStats, buckets []*Bucket, key []byte) (bi, ii int) {
+	scanned := int64(0)
+	for i, b := range buckets {
+		for j := range b.Items {
+			scanned++
+			if string(b.Items[j].Key) == string(key) {
+				s.cpu(p, st, scanned*s.cfg.Costs.ItemScan)
+				return i, j
+			}
+		}
+	}
+	s.cpu(p, st, scanned*s.cfg.Costs.ItemScan)
+	return -1, -1
+}
+
+// Get looks up key and returns a copy of its value (§3.3: SegTbl in DRAM,
+// one key-log access, one value-log access).
+func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, OpStats, error) {
+	var st OpStats
+	s.stats.Gets++
+	h := HashKey(key)
+	seg := SegmentOf(h, s.cfg.NumSegments)
+	s.cpu(p, &st, s.cfg.Costs.HashLookup)
+	s.segs.RLock(p, seg)
+	defer s.segs.RUnlock(seg)
+
+	buckets, found, err := s.loadSegment(p, &st, seg)
+	if err != nil {
+		return nil, st, err
+	}
+	if !found {
+		s.stats.NotFounds++
+		return nil, st, ErrNotFound
+	}
+	bi, ii := s.findItem(p, &st, buckets, key)
+	if bi < 0 || buckets[bi].Items[ii].Deleted() {
+		s.stats.NotFounds++
+		return nil, st, ErrNotFound
+	}
+	it := &buckets[bi].Items[ii]
+	entry := make([]byte, ValueEntrySize(len(key), int(it.ValLen)))
+	var ev *sim.Event
+	if it.SSDID == s.cfg.DevID {
+		ev, err = s.valLog.ReadAsync(it.ValOff, entry)
+	} else {
+		peer, found := s.peers[it.SSDID]
+		if !found {
+			return nil, st, fmt.Errorf("%w: unknown swap peer %d", ErrCorrupt, it.SSDID)
+		}
+		ev, err = peer.swapLog.ReadAsync(it.ValOff, entry)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st.Reads++
+	if err := s.ssdWait(p, &st, ev); err != nil {
+		return nil, st, err
+	}
+	s.cpu(p, &st, s.cfg.Costs.ValueParse)
+	ekey, eval, _, err := ParseValueEntry(entry)
+	if err != nil {
+		return nil, st, err
+	}
+	if string(ekey) != string(key) {
+		return nil, st, fmt.Errorf("%w: value entry key mismatch", ErrCorrupt)
+	}
+	return append([]byte(nil), eval...), st, nil
+}
+
+// Put inserts or overwrites key with val (§3.3: segment read overlapped
+// with value append, then bucket update and segment append — 3 NVMe
+// accesses with the first two in parallel).
+func (s *Store) Put(p *sim.Proc, key, val []byte) (OpStats, error) {
+	return s.put(p, key, val, nil)
+}
+
+// PutSwapped performs a Put whose value lands in helper's swap region
+// instead of the home value log (§3.6 data swapping). helper must be a
+// registered peer on the same JBOF.
+func (s *Store) PutSwapped(p *sim.Proc, key, val []byte, helper *Store) (OpStats, error) {
+	return s.put(p, key, val, helper)
+}
+
+func (s *Store) put(p *sim.Proc, key, val []byte, helper *Store) (OpStats, error) {
+	var st OpStats
+	if len(key) > MaxKeyLen {
+		return st, ErrKeyTooLarge
+	}
+	if len(val) == 0 {
+		return st, fmt.Errorf("%w: empty values are not supported (zero marks deletion)", ErrValueTooLarge)
+	}
+	s.stats.Puts++
+	for attempt := 0; ; attempt++ {
+		err := s.tryPut(p, &st, key, val, helper)
+		if err != ErrLogFull && err != nil || err == nil {
+			return st, err
+		}
+		if attempt >= 2 {
+			return st, ErrLogFull
+		}
+		// Reclaim space synchronously, then retry the command.
+		if _, cerr := s.CompactValueLog(p); cerr != nil && cerr != ErrLogFull {
+			return st, cerr
+		}
+		if _, cerr := s.CompactKeyLog(p); cerr != nil && cerr != ErrLogFull {
+			return st, cerr
+		}
+	}
+}
+
+func (s *Store) tryPut(p *sim.Proc, st *OpStats, key, val []byte, helper *Store) error {
+	h := HashKey(key)
+	seg := SegmentOf(h, s.cfg.NumSegments)
+	s.cpu(p, st, s.cfg.Costs.HashLookup)
+	s.segs.Lock(p, seg)
+	defer s.segs.Unlock(seg)
+
+	// Value append, issued first so it overlaps the segment read.
+	entry := make([]byte, ValueEntrySize(len(key), len(val)))
+	if err := MarshalValueEntry(entry, key, val); err != nil {
+		return err
+	}
+	s.cpu(p, st, s.cfg.Costs.AppendBook)
+	var (
+		valOff int64
+		valEv  *sim.Event
+		err    error
+		ssdID  = s.cfg.DevID
+	)
+	if helper != nil && helper != s {
+		valOff, valEv, err = helper.AppendSwap(entry)
+		ssdID = helper.cfg.DevID
+	} else {
+		valOff, valEv, err = s.valLog.Append(entry)
+	}
+	if err != nil {
+		return err
+	}
+	st.Writes++
+
+	// Segment read in parallel with the value write, from wherever the
+	// array currently lives.
+	off, chainLen, ok := s.segs.Lookup(seg)
+	var buckets []*Bucket
+	if ok {
+		readEv, buf, rerr := s.segmentReadEv(seg, off, chainLen)
+		if rerr != nil {
+			return rerr
+		}
+		st.Reads++
+		if err := s.ssdWait(p, st, readEv, valEv); err != nil {
+			return err
+		}
+		if buckets, err = s.parseSegment(buf, chainLen); err != nil {
+			return err
+		}
+	} else {
+		if err := s.ssdWait(p, st, valEv); err != nil {
+			return err
+		}
+		buckets = []*Bucket{{}}
+	}
+
+	// Update or insert the item.
+	newItem := Item{Key: key, ValLen: uint32(len(val)), ValOff: valOff, SSDID: ssdID}
+	bi, ii := s.findItem(p, st, buckets, key)
+	s.cpu(p, st, s.cfg.Costs.BucketEdit)
+	switch {
+	case bi >= 0:
+		old := &buckets[bi].Items[ii]
+		if old.Deleted() {
+			s.stats.Objects++
+		} else {
+			s.accountDeadValue(old, len(key))
+		}
+		s.stats.LiveValBytes += int64(len(val))
+		newItem.Key = old.Key // reuse; identical bytes
+		buckets[bi].Items[ii] = newItem
+	default:
+		placed := false
+		for _, b := range buckets {
+			if b.SpaceLeft(s.cfg.BlockSize) >= newItem.Size() {
+				b.Items = append(b.Items, newItem)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(buckets) >= s.cfg.MaxChain {
+				s.stats.SegmentFull++
+				s.accountDeadValueBytes(int64(len(entry))) // orphaned value append
+				return ErrSegmentFull
+			}
+			buckets = append(buckets, &Bucket{Items: []Item{newItem}})
+		}
+		s.stats.Objects++
+		s.stats.LiveValBytes += int64(len(val))
+	}
+	if ssdID != s.cfg.DevID {
+		s.pendingSwaps[seg] = struct{}{}
+		s.stats.SwappedPuts++
+	}
+	return s.writeSegment(p, st, seg, buckets, ok, helper)
+}
+
+// releaseOldSegment accounts the previous array as dead: key-log garbage
+// when it lived at home, a reclaimable swap entry when it lived on a peer.
+func (s *Store) releaseOldSegment(seg uint32, hadOld bool) {
+	if !hadOld {
+		return
+	}
+	off, oldChain, ok := s.segs.Lookup(seg)
+	if !ok {
+		return
+	}
+	if devID, remote := s.segs.Location(seg); remote {
+		s.releaseSwapRef(devID, off)
+	} else {
+		s.keyGarbage += s.segBytes(oldChain)
+	}
+}
+
+// writeSegment appends the segment array and updates the SegTbl. hadOld
+// reports that a previous array exists; it becomes garbage wherever it
+// lived. A non-nil helper redirects the array into the helper's swap
+// region instead of the home key log (§3.6's full write swapping).
+func (s *Store) writeSegment(p *sim.Proc, st *OpStats, seg uint32, buckets []*Bucket, hadOld bool, helper *Store) error {
+	img, err := s.marshalSegment(seg, buckets)
+	if err != nil {
+		return err
+	}
+	s.cpu(p, st, s.cfg.Costs.AppendBook)
+	if helper != nil && helper != s {
+		newOff, ev, aerr := helper.AppendSwap(img)
+		if aerr != nil {
+			return aerr
+		}
+		st.Writes++
+		if err := s.ssdWait(p, st, ev); err != nil {
+			return err
+		}
+		s.releaseOldSegment(seg, hadOld)
+		s.segs.SetRemote(seg, newOff, len(buckets), helper.cfg.DevID)
+		s.pendingSwaps[seg] = struct{}{}
+		return nil
+	}
+	newOff, ev, err := s.keyLog.Append(img)
+	if err != nil {
+		return err
+	}
+	st.Writes++
+	if err := s.ssdWait(p, st, ev); err != nil {
+		return err
+	}
+	s.releaseOldSegment(seg, hadOld)
+	s.segs.Set(seg, newOff, len(buckets))
+	return nil
+}
+
+func (s *Store) accountDeadValue(old *Item, keyLen int) {
+	s.stats.LiveValBytes -= int64(old.ValLen)
+	if old.SSDID == s.cfg.DevID {
+		s.accountDeadValueBytes(int64(ValueEntrySize(keyLen, int(old.ValLen))))
+	} else {
+		// The dead copy lives in a peer's swap region; let the peer
+		// reclaim it.
+		s.releaseSwapRef(old.SSDID, old.ValOff)
+	}
+}
+
+func (s *Store) accountDeadValueBytes(n int64) { s.valGarbage += n }
+
+// Del marks key deleted (§3.3: only the key log is touched; the value
+// length field becomes zero as the deletion marker).
+func (s *Store) Del(p *sim.Proc, key []byte) (OpStats, error) {
+	var st OpStats
+	s.stats.Dels++
+	h := HashKey(key)
+	seg := SegmentOf(h, s.cfg.NumSegments)
+	s.cpu(p, &st, s.cfg.Costs.HashLookup)
+	s.segs.Lock(p, seg)
+	defer s.segs.Unlock(seg)
+
+	buckets, found, err := s.loadSegment(p, &st, seg)
+	if err != nil {
+		return st, err
+	}
+	if !found {
+		s.stats.NotFounds++
+		return st, ErrNotFound
+	}
+	bi, ii := s.findItem(p, &st, buckets, key)
+	if bi < 0 || buckets[bi].Items[ii].Deleted() {
+		s.stats.NotFounds++
+		return st, ErrNotFound
+	}
+	it := &buckets[bi].Items[ii]
+	s.accountDeadValue(it, len(key))
+	it.ValLen = 0
+	it.ValOff = 0
+	it.SSDID = s.cfg.DevID
+	s.stats.Objects--
+	s.cpu(p, &st, s.cfg.Costs.BucketEdit)
+	if err := s.writeSegment(p, &st, seg, buckets, true, nil); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Range iterates every live object in the store, calling fn with copies of
+// each key and value. Iteration stops early if fn returns false. Each
+// segment is locked while its objects are read, but fn runs unlocked, so it
+// may issue store operations. Range is the substrate for the COPY primitive
+// used by node join/leave (§3.8.1).
+func (s *Store) Range(p *sim.Proc, fn func(key, val []byte) bool) error {
+	var st OpStats
+	for seg := uint32(0); int(seg) < s.cfg.NumSegments; seg++ {
+		s.segs.Lock(p, seg)
+		buckets, found, err := s.loadSegment(p, &st, seg)
+		if err != nil {
+			s.segs.Unlock(seg)
+			return err
+		}
+		if !found {
+			s.segs.Unlock(seg)
+			continue
+		}
+		type kv struct{ key, val []byte }
+		var pairs []kv
+		for _, b := range buckets {
+			for i := range b.Items {
+				it := &b.Items[i]
+				if it.Deleted() {
+					continue
+				}
+				entry := make([]byte, ValueEntrySize(len(it.Key), int(it.ValLen)))
+				var ev *sim.Event
+				var rerr error
+				if it.SSDID == s.cfg.DevID {
+					ev, rerr = s.valLog.ReadAsync(it.ValOff, entry)
+				} else if peer, found := s.peers[it.SSDID]; found {
+					ev, rerr = peer.swapLog.ReadAsync(it.ValOff, entry)
+				} else {
+					rerr = fmt.Errorf("%w: unknown swap peer %d", ErrCorrupt, it.SSDID)
+				}
+				if rerr != nil {
+					s.segs.Unlock(seg)
+					return rerr
+				}
+				if err := s.ssdWait(p, &st, ev); err != nil {
+					s.segs.Unlock(seg)
+					return err
+				}
+				ekey, eval, _, perr := ParseValueEntry(entry)
+				if perr != nil {
+					s.segs.Unlock(seg)
+					return perr
+				}
+				pairs = append(pairs, kv{
+					key: append([]byte(nil), ekey...),
+					val: append([]byte(nil), eval...),
+				})
+			}
+		}
+		s.segs.Unlock(seg)
+		for _, pr := range pairs {
+			if !fn(pr.key, pr.val) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// NeedsValueCompaction reports whether the value log crossed the trigger.
+func (s *Store) NeedsValueCompaction() bool {
+	return float64(s.valLog.Used()) >= s.cfg.CompactAt*float64(s.valLog.Size()) && s.valGarbage > 0
+}
+
+// NeedsKeyCompaction reports whether the key log crossed the trigger.
+func (s *Store) NeedsKeyCompaction() bool {
+	return float64(s.keyLog.Used()) >= s.cfg.CompactAt*float64(s.keyLog.Size()) && s.keyGarbage > 0
+}
+
+// ValGarbage returns the tracked dead bytes in the value log.
+func (s *Store) ValGarbage() int64 { return s.valGarbage }
+
+// KeyGarbage returns the tracked dead bytes in the key log.
+func (s *Store) KeyGarbage() int64 { return s.keyGarbage }

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// newTestStore builds a small store on a MemDevice.
+func newTestStore(k *sim.Kernel) *Store {
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	return NewStore(Config{
+		Kernel:       k,
+		Device:       dev,
+		DevID:        0,
+		NumSegments:  64,
+		KeyLogBytes:  1 << 20,
+		ValLogBytes:  2 << 20,
+		SwapLogBytes: 256 << 10,
+	})
+}
+
+// runStore runs fn in a proc and drives the kernel to completion.
+func runStore(k *sim.Kernel, fn func(p *sim.Proc)) {
+	k.Go("test", fn)
+	k.Run()
+}
+
+func TestStorePutGet(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		if _, err := s.Put(p, []byte("key1"), []byte("value1")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		got, _, err := s.Get(p, []byte("key1"))
+		if err != nil {
+			t.Errorf("get: %v", err)
+			return
+		}
+		if string(got) != "value1" {
+			t.Errorf("got %q", got)
+		}
+	})
+	if s.Objects() != 1 {
+		t.Fatalf("objects = %d", s.Objects())
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		if _, _, err := s.Get(p, []byte("nope")); err != ErrNotFound {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v1"))
+		s.Put(p, []byte("k"), []byte("v2-longer"))
+		got, _, err := s.Get(p, []byte("k"))
+		if err != nil || string(got) != "v2-longer" {
+			t.Errorf("got %q, %v", got, err)
+		}
+	})
+	if s.Objects() != 1 {
+		t.Fatalf("objects = %d after overwrite", s.Objects())
+	}
+	if s.ValGarbage() == 0 {
+		t.Fatal("overwrite produced no value garbage")
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v"))
+		if _, err := s.Del(p, []byte("k")); err != nil {
+			t.Errorf("del: %v", err)
+		}
+		if _, _, err := s.Get(p, []byte("k")); err != ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+		if _, err := s.Del(p, []byte("k")); err != ErrNotFound {
+			t.Errorf("double del: %v", err)
+		}
+		if _, err := s.Del(p, []byte("never")); err != ErrNotFound {
+			t.Errorf("del missing: %v", err)
+		}
+	})
+	if s.Objects() != 0 {
+		t.Fatalf("objects = %d", s.Objects())
+	}
+}
+
+func TestStoreReinsertAfterDelete(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v1"))
+		s.Del(p, []byte("k"))
+		s.Put(p, []byte("k"), []byte("v2"))
+		got, _, err := s.Get(p, []byte("k"))
+		if err != nil || string(got) != "v2" {
+			t.Errorf("got %q, %v", got, err)
+		}
+	})
+	if s.Objects() != 1 {
+		t.Fatalf("objects = %d", s.Objects())
+	}
+}
+
+func TestStoreEmptyValueRejected(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		if _, err := s.Put(p, []byte("k"), nil); err == nil {
+			t.Error("empty value accepted")
+		}
+	})
+}
+
+func TestStoreChainGrowth(t *testing.T) {
+	// Force many keys into one segment (NumSegments=1) until chains grow.
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	s := NewStore(Config{
+		Kernel: k, Device: dev, NumSegments: 1,
+		KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20,
+	})
+	runStore(k, func(p *sim.Proc) {
+		// ~15 items fit in one 512B bucket with these key sizes.
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("key-%08d", i))
+			if _, err := s.Put(p, key, []byte("val")); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		_, chainLen, ok := s.segs.Lookup(0)
+		if !ok || chainLen < 2 {
+			t.Errorf("chain did not grow: len=%d", chainLen)
+		}
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("key-%08d", i))
+			got, _, err := s.Get(p, key)
+			if err != nil || string(got) != "val" {
+				t.Errorf("get %d: %q, %v", i, got, err)
+				return
+			}
+		}
+	})
+}
+
+func TestStoreSegmentFull(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	s := NewStore(Config{
+		Kernel: k, Device: dev, NumSegments: 1, MaxChain: 1,
+		KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20,
+	})
+	runStore(k, func(p *sim.Proc) {
+		var sawFull bool
+		for i := 0; i < 60; i++ {
+			key := []byte(fmt.Sprintf("key-%08d", i))
+			_, err := s.Put(p, key, []byte("v"))
+			if err == ErrSegmentFull {
+				sawFull = true
+				break
+			}
+			if err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		if !sawFull {
+			t.Error("never hit ErrSegmentFull with MaxChain=1")
+		}
+	})
+}
+
+func TestStoreNVMeAccessCounts(t *testing.T) {
+	// The paper's §3.3: GET/PUT/DEL issue 2/3/2 NVMe accesses.
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	runStore(k, func(p *sim.Proc) {
+		st, err := s.Put(p, []byte("k"), []byte("v"))
+		if err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		// First PUT has no segment to read: 2 accesses.
+		if st.Reads+st.Writes != 2 {
+			t.Errorf("first PUT accesses = %d", st.Reads+st.Writes)
+		}
+		st, _ = s.Put(p, []byte("k"), []byte("v2"))
+		if st.Reads != 1 || st.Writes != 2 {
+			t.Errorf("PUT accesses = %d reads, %d writes (want 1, 2)", st.Reads, st.Writes)
+		}
+		_, st2, _ := s.Get(p, []byte("k"))
+		if st2.Reads != 2 || st2.Writes != 0 {
+			t.Errorf("GET accesses = %d reads, %d writes (want 2, 0)", st2.Reads, st2.Writes)
+		}
+		st, _ = s.Del(p, []byte("k"))
+		if st.Reads != 1 || st.Writes != 1 {
+			t.Errorf("DEL accesses = %d reads, %d writes (want 1, 1)", st.Reads, st.Writes)
+		}
+	})
+}
+
+func TestStorePutOverlapsValueWriteAndSegmentRead(t *testing.T) {
+	// On a real (latency) device, an overwrite PUT should take ~2 serial
+	// access times, not 3, because the value write overlaps the segment
+	// read (§3.3, Figure 11: PUT adds only ~10.5us over GET).
+	k := sim.New()
+	defer k.Close()
+	spec := flashsim.SamsungDCT983(16 << 20)
+	spec.Jitter = 0
+	dev := flashsim.NewSSD(k, spec)
+	s := NewStore(Config{
+		Kernel: k, Device: dev, NumSegments: 16,
+		KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20,
+	})
+	var putLat, getLat sim.Time
+	runStore(k, func(p *sim.Proc) {
+		s.Put(p, []byte("k"), []byte("v0"))
+		t0 := p.Now()
+		s.Put(p, []byte("k"), []byte("v1"))
+		putLat = p.Now() - t0
+		t0 = p.Now()
+		s.Get(p, []byte("k"))
+		getLat = p.Now() - t0
+	})
+	// PUT = max(read, write) + write; GET = read + read. With read ~56us
+	// and write ~22us: PUT ~78-85us, GET ~112us. PUT must not be ~3 serial
+	// accesses (~134us+).
+	if putLat > getLat {
+		t.Fatalf("PUT (%v) slower than GET (%v): overlap missing", putLat, getLat)
+	}
+}
+
+func TestStoreManyKeysModelCheck(t *testing.T) {
+	// Property-style test: random CRUD against a model map.
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	rng := rand.New(rand.NewSource(7))
+	model := map[string]string{}
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 1500; i++ {
+			key := fmt.Sprintf("key-%04d", rng.Intn(300))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4, 5: // put
+				val := fmt.Sprintf("val-%d-%d", i, rng.Int63())
+				if _, err := s.Put(p, []byte(key), []byte(val)); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				model[key] = val
+			case 6, 7: // del
+				_, err := s.Del(p, []byte(key))
+				_, existed := model[key]
+				if existed && err != nil {
+					t.Errorf("del existing: %v", err)
+					return
+				}
+				if !existed && err != ErrNotFound {
+					t.Errorf("del missing: %v", err)
+					return
+				}
+				delete(model, key)
+			default: // get
+				got, _, err := s.Get(p, []byte(key))
+				want, existed := model[key]
+				if existed && (err != nil || string(got) != want) {
+					t.Errorf("get %q = %q, %v; want %q", key, got, err, want)
+					return
+				}
+				if !existed && err != ErrNotFound {
+					t.Errorf("get missing %q: %v", key, err)
+					return
+				}
+			}
+		}
+		// Full verification pass.
+		for key, want := range model {
+			got, _, err := s.Get(p, []byte(key))
+			if err != nil || string(got) != want {
+				t.Errorf("final get %q = %q, %v; want %q", key, got, err, want)
+				return
+			}
+		}
+	})
+	if int(s.Objects()) != len(model) {
+		t.Fatalf("objects = %d, model = %d", s.Objects(), len(model))
+	}
+}
+
+func TestStoreConcurrentSameSegmentSerialized(t *testing.T) {
+	// Two PUTs to the same segment must serialize via the lock bit and both
+	// land correctly.
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewSSD(k, flashsim.SamsungDCT983(16<<20))
+	s := NewStore(Config{
+		Kernel: k, Device: dev, NumSegments: 1,
+		KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20,
+	})
+	for i := 0; i < 8; i++ {
+		i := i
+		k.Go("w", func(p *sim.Proc) {
+			key := []byte(fmt.Sprintf("key%d", i))
+			if _, err := s.Put(p, key, bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		})
+	}
+	k.Run()
+	k.Go("verify", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			key := []byte(fmt.Sprintf("key%d", i))
+			got, _, err := s.Get(p, key)
+			if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 64)) {
+				t.Errorf("get %d: %v", i, err)
+			}
+		}
+	})
+	k.Run()
+}
+
+func TestStoreDRAMFootprint(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	if s.DRAMBytes() != 64*segEntryDRAMBytes {
+		t.Fatalf("DRAM = %d", s.DRAMBytes())
+	}
+}
+
+func TestPlanPartitionIndexDensity(t *testing.T) {
+	// C1: indexing must cost well under 0.5 bytes of DRAM per object even
+	// for 256B objects.
+	g := PlanPartition(960<<30, 16, 256, PlanOpts{})
+	if g.DRAMPerObject > 0.5 {
+		t.Fatalf("DRAM per object = %.3f bytes", g.DRAMPerObject)
+	}
+	if g.ObjectBudget < 1e9 {
+		t.Fatalf("object budget = %d for a 960GB partition", g.ObjectBudget)
+	}
+	// Logs must fit the partition.
+	total := g.KeyLogBytes + g.ValLogBytes + g.SwapLogBytes
+	if total > 960<<30 {
+		t.Fatalf("planned logs (%d) exceed partition", total)
+	}
+}
+
+func TestMaxCapacityFraction(t *testing.T) {
+	// Table 3: LEED supports ~95%+ of the raw flash for both object sizes.
+	for _, tc := range []struct {
+		valLen int
+		min    float64
+	}{{256, 0.78}, {1024, 0.85}} {
+		f := MaxCapacityFraction(960<<30, 16, tc.valLen)
+		if f < tc.min || f > 1.0 {
+			t.Errorf("capacity fraction for %dB = %.3f", tc.valLen, f)
+		}
+	}
+}

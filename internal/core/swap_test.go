@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// newPeerStores builds two stores on separate devices wired as swap peers.
+func newPeerStores(k *sim.Kernel) (home, helper *Store) {
+	mk := func(devID uint8) *Store {
+		dev := flashsim.NewMemDevice(k, 4<<20)
+		return NewStore(Config{
+			Kernel: k, Device: dev, DevID: devID, NumSegments: 32,
+			KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20, SwapLogBytes: 512 << 10,
+		})
+	}
+	home, helper = mk(0), mk(1)
+	home.AddPeer(helper)
+	helper.AddPeer(home)
+	return home, helper
+}
+
+func TestSwappedPutReadsFromPeer(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		if _, err := home.PutSwapped(p, []byte("k"), []byte("swapped-value"), helper); err != nil {
+			t.Errorf("put swapped: %v", err)
+			return
+		}
+		got, _, err := home.Get(p, []byte("k"))
+		if err != nil || string(got) != "swapped-value" {
+			t.Errorf("get = %q, %v", got, err)
+		}
+	})
+	if home.Stats().SwappedPuts != 1 {
+		t.Fatalf("swapped puts = %d", home.Stats().SwappedPuts)
+	}
+	if helper.SwapLog().Used() == 0 {
+		t.Fatal("helper swap log empty")
+	}
+	if home.ValLog().Used() != 0 {
+		t.Fatal("home value log should be empty for a swapped put")
+	}
+}
+
+func TestMergebackRestoresHome(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			key := []byte(fmt.Sprintf("k%02d", i))
+			if _, err := home.PutSwapped(p, key, []byte(fmt.Sprintf("v%02d", i)), helper); err != nil {
+				t.Errorf("put swapped: %v", err)
+				return
+			}
+		}
+		if home.SwapBacklog() == 0 {
+			t.Error("no pending swaps recorded")
+			return
+		}
+		n, err := home.Mergeback(p, 1000)
+		if err != nil {
+			t.Errorf("mergeback: %v", err)
+			return
+		}
+		// At least the 20 values; swapped-out segment arrays are merged
+		// back too (§3.6 full write swapping).
+		if n < 20 {
+			t.Errorf("merged %d, want >= 20", n)
+		}
+		// Values now come from the home value log.
+		for i := 0; i < 20; i++ {
+			key := []byte(fmt.Sprintf("k%02d", i))
+			got, _, err := home.Get(p, key)
+			if err != nil || string(got) != fmt.Sprintf("v%02d", i) {
+				t.Errorf("get %s = %q, %v", key, got, err)
+				return
+			}
+		}
+	})
+	if home.SwapBacklog() != 0 {
+		t.Fatalf("backlog = %d after mergeback", home.SwapBacklog())
+	}
+	if helper.SwapLog().Used() != 0 {
+		t.Fatalf("helper swap space not reclaimed: %d bytes", helper.SwapLog().Used())
+	}
+	if home.ValLog().Used() == 0 {
+		t.Fatal("home value log still empty after mergeback")
+	}
+}
+
+func TestSwapOverwriteReleasesPeerSpace(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		home.PutSwapped(p, []byte("k"), []byte("v1"), helper)
+		used := helper.SwapLog().Used()
+		if used == 0 {
+			t.Error("swap log empty")
+			return
+		}
+		// Overwriting at home invalidates the swapped copy; the peer must
+		// reclaim the space.
+		if _, err := home.Put(p, []byte("k"), []byte("v2")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		if helper.SwapLog().Used() != 0 {
+			t.Errorf("peer swap space not reclaimed after overwrite: %d", helper.SwapLog().Used())
+		}
+		got, _, err := home.Get(p, []byte("k"))
+		if err != nil || string(got) != "v2" {
+			t.Errorf("get = %q, %v", got, err)
+		}
+	})
+}
+
+func TestSwapDeleteReleasesPeerSpace(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		home.PutSwapped(p, []byte("k"), []byte("v1"), helper)
+		home.Del(p, []byte("k"))
+		if helper.SwapLog().Used() != 0 {
+			t.Errorf("peer swap space not reclaimed after delete: %d", helper.SwapLog().Used())
+		}
+	})
+}
+
+func TestValueCompactionTriggersMergeback(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			home.PutSwapped(p, []byte(fmt.Sprintf("k%d", i)), []byte("val"), helper)
+		}
+		// Churn some home values too, then compact.
+		for i := 0; i < 30; i++ {
+			home.Put(p, []byte("home"), []byte(fmt.Sprintf("home-val-%d", i)))
+		}
+		if _, err := home.CompactValueLog(p); err != nil {
+			t.Errorf("compact: %v", err)
+		}
+	})
+	if home.Stats().MergedSwaps < 10 {
+		t.Fatalf("merged swaps = %d, want >= 10 (values plus segment arrays)", home.Stats().MergedSwaps)
+	}
+	if home.SwapBacklog() != 0 {
+		t.Fatalf("backlog = %d", home.SwapBacklog())
+	}
+}
+
+func TestInterleavedSwapEntriesFromTwoHomes(t *testing.T) {
+	// Two homes swap into one helper; reclamation must handle interleaving.
+	k := sim.New()
+	defer k.Close()
+	mk := func(devID uint8) *Store {
+		dev := flashsim.NewMemDevice(k, 4<<20)
+		return NewStore(Config{
+			Kernel: k, Device: dev, DevID: devID, NumSegments: 32,
+			KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20, SwapLogBytes: 512 << 10,
+		})
+	}
+	a, b, helper := mk(0), mk(1), mk(2)
+	for _, s := range []*Store{a, b, helper} {
+		s.AddPeer(a)
+		s.AddPeer(b)
+		s.AddPeer(helper)
+	}
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			a.PutSwapped(p, []byte(fmt.Sprintf("a%d", i)), []byte("va"), helper)
+			b.PutSwapped(p, []byte(fmt.Sprintf("b%d", i)), []byte("vb"), helper)
+		}
+		// Merge b first: head entries belong to a, so space frees only
+		// after a merges too.
+		b.Mergeback(p, 1000)
+		if helper.SwapLog().Used() == 0 {
+			t.Error("helper reclaimed too early")
+			return
+		}
+		a.Mergeback(p, 1000)
+		if helper.SwapLog().Used() != 0 {
+			t.Errorf("helper swap not fully reclaimed: %d", helper.SwapLog().Used())
+		}
+		for i := 0; i < 10; i++ {
+			if got, _, err := a.Get(p, []byte(fmt.Sprintf("a%d", i))); err != nil || string(got) != "va" {
+				t.Errorf("a%d: %q, %v", i, got, err)
+			}
+			if got, _, err := b.Get(p, []byte(fmt.Sprintf("b%d", i))); err != nil || string(got) != "vb" {
+				t.Errorf("b%d: %q, %v", i, got, err)
+			}
+		}
+	})
+}
+
+func TestFullSwapSegmentLandsOnHelper(t *testing.T) {
+	// §3.6 full write swapping at the store level: after PutSwapped, the
+	// segment array itself lives in the helper's swap region, and
+	// merge-back brings it home.
+	k := sim.New()
+	defer k.Close()
+	home, helper := newPeerStores(k)
+	runStore(k, func(p *sim.Proc) {
+		if _, err := home.PutSwapped(p, []byte("k"), []byte("v"), helper); err != nil {
+			t.Errorf("put swapped: %v", err)
+			return
+		}
+		// Home's key log untouched; helper's swap region holds both the
+		// value entry and the segment array.
+		if home.KeyLog().Used() != 0 {
+			t.Errorf("home key log used %d after full swap", home.KeyLog().Used())
+		}
+		if home.ValLog().Used() != 0 {
+			t.Errorf("home value log used %d after full swap", home.ValLog().Used())
+		}
+		if helper.SwapLog().Used() == 0 {
+			t.Error("helper swap region empty")
+		}
+		// Reads work against the remote segment.
+		if v, _, err := home.Get(p, []byte("k")); err != nil || string(v) != "v" {
+			t.Errorf("get: %q, %v", v, err)
+		}
+		// Merge-back relocates both and frees the helper.
+		if _, err := home.Mergeback(p, 100); err != nil {
+			t.Errorf("mergeback: %v", err)
+			return
+		}
+		if home.KeyLog().Used() == 0 || home.ValLog().Used() == 0 {
+			t.Error("merge-back did not bring data home")
+		}
+		if helper.SwapLog().Used() != 0 {
+			t.Errorf("helper swap not reclaimed: %d", helper.SwapLog().Used())
+		}
+		if v, _, err := home.Get(p, []byte("k")); err != nil || string(v) != "v" {
+			t.Errorf("get after merge-back: %q, %v", v, err)
+		}
+	})
+}

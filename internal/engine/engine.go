@@ -1,0 +1,395 @@
+// Package engine implements LEED's intra-JBOF I/O execution (§3.4) and
+// write-imbalance handling (§3.6) on one SmartNIC JBOF: a static core-to-SSD
+// mapping, per-partition token-based admission (active queue) with FIFO
+// waiting queues, background compaction, and data swapping that redirects
+// overloaded PUTs to the least-loaded co-located SSD.
+package engine
+
+import (
+	"fmt"
+
+	"leed/internal/core"
+	"leed/internal/platform"
+	"leed/internal/rpcproto"
+	"leed/internal/sim"
+)
+
+// Config describes one engine instance over a platform node.
+type Config struct {
+	Kernel *sim.Kernel
+	Node   *platform.Node
+
+	// PartitionsPerSSD is the number of virtual nodes per drive (the
+	// paper's prototype uses 32; simulations typically use fewer).
+	PartitionsPerSSD int
+	// Geometry sizes each partition's store. Required.
+	Geometry core.Geometry
+	// PartitionBytes is each partition's device region size. Required.
+	PartitionBytes int64
+
+	// TokensPerPartition sizes each partition's active queue, in token
+	// units (a GET costs 2, a PUT 3, a DEL 2 — one token per NVMe access,
+	// following the paper's empirical assignment). Default 48.
+	TokensPerPartition int64
+	// SwapEnabled turns on intra-JBOF data swapping.
+	SwapEnabled bool
+	// SwapThreshold is the home drive's waiting-queue occupancy that
+	// triggers swapping, provided an idle helper exists. Defaults to
+	// TokensPerPartition: the home must be oversubscribed by a full
+	// admission window before writes are redirected.
+	SwapThreshold int
+
+	SubCompactions int
+	Prefetch       bool
+	Costs          core.CostModel
+	// CompactEvery is the background compaction check period. Default 1ms.
+	CompactEvery sim.Time
+
+	// ModelMemBW serializes each command's data movement through the
+	// node's onboard memory pipe (platform.Spec.MemBWBytesPS). The paper
+	// identifies this 4390MB/s bus as the Stingray's other hard ceiling:
+	// it "bounds the max number of concurrent operations" (§4.8).
+	ModelMemBW bool
+}
+
+// memBus models the onboard DRAM bandwidth as a serialization pipe: each
+// transfer occupies the bus for bytes/BW, queued FIFO by busy-until time.
+type memBus struct {
+	k        *sim.Kernel
+	bytesPS  int64
+	busyFree sim.Time
+	waited   sim.Time // cumulative queueing delay, for diagnostics
+}
+
+// transfer blocks the proc until the bus has carried n bytes for it.
+func (b *memBus) transfer(p *sim.Proc, n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	now := p.Now()
+	start := now
+	if b.busyFree > start {
+		start = b.busyFree
+	}
+	dur := sim.Time(n * int64(sim.Second) / b.bytesPS)
+	b.busyFree = start + dur
+	b.waited += start - now
+	p.Sleep(b.busyFree - now)
+}
+
+// Partition is one virtual node: a store plus its admission state.
+type Partition struct {
+	ID     int
+	SSD    int
+	Store  *core.Store
+	tokens *sim.Resource
+}
+
+// TokenCost returns the admission cost of an operation: one token per NVMe
+// access (§3.4: token quantity per command decided empirically).
+func TokenCost(op rpcproto.Op) int64 {
+	switch op {
+	case rpcproto.OpPut, rpcproto.OpCopy:
+		return 3
+	case rpcproto.OpGet, rpcproto.OpDel:
+		return 2
+	}
+	return 1
+}
+
+// Engine is one JBOF's storage executor.
+type Engine struct {
+	cfg    Config
+	k      *sim.Kernel
+	parts  []*Partition
+	execs  []*coreGate // one per SSD
+	membus *memBus     // nil unless ModelMemBW
+	stop   bool
+
+	stats EngineStats
+}
+
+// EngineStats are cumulative counters.
+type EngineStats struct {
+	Executed    int64
+	Swapped     int64
+	Compactions int64
+}
+
+// coreGate serializes store compute phases onto one CPU core.
+type coreGate struct {
+	core *platform.Core
+	res  *sim.Resource
+}
+
+// Compute implements core.Exec.
+func (g *coreGate) Compute(p *sim.Proc, cycles int64) {
+	g.res.Acquire(p, 1)
+	g.core.RunCycles(p, cycles)
+	g.res.Release(1)
+}
+
+// New builds an engine: one store per (SSD, partition slot), with stores on
+// the same JBOF registered as swap peers of one another.
+func New(cfg Config) *Engine {
+	if cfg.PartitionsPerSSD == 0 {
+		cfg.PartitionsPerSSD = 2
+	}
+	if cfg.TokensPerPartition == 0 {
+		cfg.TokensPerPartition = 48
+	}
+	if cfg.SwapThreshold == 0 {
+		cfg.SwapThreshold = int(cfg.TokensPerPartition)
+	}
+	if cfg.CompactEvery == 0 {
+		cfg.CompactEvery = sim.Millisecond
+	}
+	e := &Engine{cfg: cfg, k: cfg.Kernel}
+	n := cfg.Node
+	if cfg.ModelMemBW && n.Spec.MemBWBytesPS > 0 {
+		e.membus = &memBus{k: cfg.Kernel, bytesPS: n.Spec.MemBWBytesPS}
+	}
+	numSSD := len(n.SSDs)
+	g := cfg.Geometry
+	needed := g.KeyLogBytes + g.ValLogBytes + g.SwapLogBytes + 4096
+	if needed > cfg.PartitionBytes {
+		panic(fmt.Sprintf("engine: geometry (%d bytes) exceeds partition size %d", needed, cfg.PartitionBytes))
+	}
+	if int64(cfg.PartitionsPerSSD)*cfg.PartitionBytes > n.SSDs[0].Capacity() {
+		panic(fmt.Sprintf("engine: %d partitions of %d bytes exceed SSD capacity %d",
+			cfg.PartitionsPerSSD, cfg.PartitionBytes, n.SSDs[0].Capacity()))
+	}
+	// Static core mapping (§3.4): the first min(numSSD, cores) cores drive
+	// storage; remaining cores are left to the caller for polling/control.
+	for i := 0; i < numSSD; i++ {
+		c := n.Cores[i%len(n.Cores)]
+		e.execs = append(e.execs, &coreGate{core: c, res: sim.NewResource(cfg.Kernel, 1)})
+	}
+	for ssd := 0; ssd < numSSD; ssd++ {
+		for slot := 0; slot < cfg.PartitionsPerSSD; slot++ {
+			pid := len(e.parts)
+			sc := core.StoreConfigFor(cfg.Geometry, core.Config{
+				Kernel:         cfg.Kernel,
+				Device:         n.SSDs[ssd],
+				DevID:          uint8(ssd),
+				Exec:           e.execs[ssd],
+				Costs:          cfg.Costs,
+				RegionOff:      int64(slot) * cfg.PartitionBytes,
+				SubCompactions: cfg.SubCompactions,
+				Prefetch:       cfg.Prefetch,
+			})
+			st := core.NewStore(sc)
+			e.parts = append(e.parts, &Partition{
+				ID: pid, SSD: ssd, Store: st,
+				tokens: sim.NewResource(cfg.Kernel, cfg.TokensPerPartition),
+			})
+		}
+	}
+	// Register swap peers: stores on *different* SSDs may lend swap space.
+	e.wirePeers()
+	return e
+}
+
+// wirePeers registers same-slot stores on different SSDs as swap peers.
+func (e *Engine) wirePeers() {
+	for _, a := range e.parts {
+		for _, b := range e.parts {
+			if a.SSD != b.SSD && a.ID%e.cfg.PartitionsPerSSD == b.ID%e.cfg.PartitionsPerSSD {
+				a.Store.AddPeer(b.Store)
+			}
+		}
+	}
+}
+
+// ResetPartition replaces a partition's store with a fresh, empty one —
+// used when a node stops replicating a key range and the space is handed
+// back. Swap peers are re-wired to the new store.
+func (e *Engine) ResetPartition(pid int) {
+	pt := e.parts[pid]
+	cfg := pt.Store.Config()
+	pt.Store = core.NewStore(cfg)
+	e.wirePeers()
+}
+
+// NumPartitions returns the number of virtual nodes on this JBOF.
+func (e *Engine) NumPartitions() int { return len(e.parts) }
+
+// Partition returns partition pid.
+func (e *Engine) Partition(pid int) *Partition { return e.parts[pid] }
+
+// Stats returns cumulative counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// AvailableTokens returns the partition's current admission tokens; this is
+// the number piggybacked to front-ends for flow control (§3.5).
+func (e *Engine) AvailableTokens(pid int) int64 {
+	if pid < 0 || pid >= len(e.parts) {
+		return 0
+	}
+	return e.parts[pid].tokens.Avail()
+}
+
+// WaitingDepth returns the partition's waiting-queue occupancy.
+func (e *Engine) WaitingDepth(pid int) int { return e.parts[pid].tokens.Waiting() }
+
+// ssdWaiting sums waiting commands across a drive's partitions.
+func (e *Engine) ssdWaiting(ssd int) int {
+	w := 0
+	for _, pt := range e.parts {
+		if pt.SSD == ssd {
+			w += pt.tokens.Waiting()
+		}
+	}
+	return w
+}
+
+// pickSwapHelper returns the co-located partition (same slot, different
+// SSD) with the most available capacity, or nil if none beats the home SSD
+// by the threshold (§3.6: choose the candidate with the most available
+// bandwidth). Guards keep swapping targeted at genuine imbalance: the
+// helper must itself be unloaded, its swap region must have headroom, and
+// the home's merge-back backlog must be bounded — otherwise swapping feeds
+// back on itself (merge-back load keeps the home hot, which triggers more
+// swapping, until the swap region overflows).
+func (e *Engine) pickSwapHelper(home *Partition) *Partition {
+	// Swapping absorbs *bursts*: once a handful of segments are parked
+	// remotely and the home never idles long enough to merge them back,
+	// further swapping only adds cross-drive hops to an already saturated
+	// partition, so stop until the backlog drains (§3.6's "temporarily").
+	if home.Store.SwapBacklog() >= 8 {
+		return nil
+	}
+	homeWait := e.ssdWaiting(home.SSD)
+	if homeWait < e.cfg.SwapThreshold {
+		return nil
+	}
+	var best *Partition
+	bestWait := 1 << 30
+	for _, cand := range e.parts {
+		if cand.SSD == home.SSD || cand.ID%e.cfg.PartitionsPerSSD != home.ID%e.cfg.PartitionsPerSSD {
+			continue
+		}
+		if w := e.ssdWaiting(cand.SSD); w < bestWait {
+			bestWait = w
+			best = cand
+		}
+	}
+	// The helper must be genuinely idle in absolute terms: no waiting
+	// commands and most of its token budget free. Under uniform
+	// saturation no drive qualifies, which is exactly right — swapping
+	// only pays when spare bandwidth actually exists (§3.6).
+	if best == nil || bestWait != 0 {
+		return nil
+	}
+	if best.tokens.Avail()*3 < best.tokens.Capacity()*2 {
+		return nil
+	}
+	if sl := best.Store.SwapLog(); sl == nil || sl.Free() < sl.Size()/4 {
+		return nil
+	}
+	return best
+}
+
+// Execute runs one storage command against partition pid, blocking through
+// admission (token acquisition), execution, and completion. It returns the
+// value for GETs.
+func (e *Engine) Execute(p *sim.Proc, pid int, op rpcproto.Op, key, val []byte) ([]byte, core.OpStats, error) {
+	if pid < 0 || pid >= len(e.parts) {
+		return nil, core.OpStats{}, fmt.Errorf("engine: no partition %d", pid)
+	}
+	pt := e.parts[pid]
+	cost := TokenCost(op)
+
+	// Write-imbalance handling: a PUT facing a long home waiting queue is
+	// redirected to an unloaded co-located SSD (§3.6). The home still pays
+	// for its two key-log accesses; the helper is charged for the value
+	// write it absorbs. Tokens are acquired in partition-id order so two
+	// opposite-direction swaps cannot deadlock.
+	if op == rpcproto.OpPut && e.cfg.SwapEnabled {
+		if helper := e.pickSwapHelper(pt); helper != nil {
+			// Full swap (§3.6): both the value and the segment array land
+			// on the helper, so the helper absorbs two writes while the
+			// home pays only for its segment read.
+			first, fCost, second, sCost := pt, int64(1), helper, int64(2)
+			if helper.ID < pt.ID {
+				first, fCost, second, sCost = helper, 2, pt, 1
+			}
+			first.tokens.Acquire(p, fCost)
+			second.tokens.Acquire(p, sCost)
+			defer first.tokens.Release(fCost)
+			defer second.tokens.Release(sCost)
+			e.stats.Swapped++
+			e.stats.Executed++
+			e.memTransfer(p, 1024+int64(len(key))+int64(len(val)))
+			st, err := pt.Store.PutSwapped(p, key, val, helper.Store)
+			return nil, st, err
+		}
+	}
+
+	pt.tokens.Acquire(p, cost)
+	defer pt.tokens.Release(cost)
+	e.stats.Executed++
+	// Each command moves roughly a segment array plus the value through
+	// DRAM (RX buffer -> store buffers -> DMA) — charge the memory pipe.
+	e.memTransfer(p, 1024+int64(len(key))+int64(len(val)))
+	switch op {
+	case rpcproto.OpGet:
+		v, st, err := pt.Store.Get(p, key)
+		return v, st, err
+	case rpcproto.OpPut, rpcproto.OpCopy:
+		st, err := pt.Store.Put(p, key, val)
+		return nil, st, err
+	case rpcproto.OpDel:
+		st, err := pt.Store.Del(p, key)
+		return nil, st, err
+	}
+	return nil, core.OpStats{}, fmt.Errorf("engine: unsupported op %v", op)
+}
+
+// memTransfer charges n bytes of data movement against the onboard memory
+// bus when ModelMemBW is enabled.
+func (e *Engine) memTransfer(p *sim.Proc, n int64) {
+	if e.membus != nil {
+		e.membus.transfer(p, n)
+	}
+}
+
+// MemBusWaited returns the cumulative queueing delay behind the memory
+// bus; zero when the model is disabled.
+func (e *Engine) MemBusWaited() sim.Time {
+	if e.membus == nil {
+		return 0
+	}
+	return e.membus.waited
+}
+
+// Start launches one background compaction proc per partition. The proc
+// wakes every CompactEvery, merges swapped data back when the drive is
+// unloaded, and runs log compaction when a trigger threshold is crossed.
+func (e *Engine) Start() {
+	for _, pt := range e.parts {
+		pt := pt
+		e.k.Go("compactor", func(p *sim.Proc) {
+			for !e.stop {
+				p.Sleep(e.cfg.CompactEvery)
+				if e.stop {
+					return
+				}
+				if pt.Store.SwapBacklog() > 0 && e.ssdWaiting(pt.SSD) == 0 {
+					pt.Store.Mergeback(p, 8)
+				}
+				if pt.Store.NeedsValueCompaction() {
+					pt.Store.CompactValueLog(p)
+					e.stats.Compactions++
+				}
+				if pt.Store.NeedsKeyCompaction() {
+					pt.Store.CompactKeyLog(p)
+					e.stats.Compactions++
+				}
+			}
+		})
+	}
+}
+
+// Stop halts background compaction after the current cycle.
+func (e *Engine) Stop() { e.stop = true }

@@ -1,0 +1,363 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/platform"
+	"leed/internal/rpcproto"
+	"leed/internal/sim"
+)
+
+// newTestEngine builds a Stingray engine with small partitions.
+func newTestEngine(k *sim.Kernel, swap bool) (*Engine, *platform.Node) {
+	node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
+	g := core.Geometry{
+		NumSegments:  256,
+		KeyLogBytes:  4 << 20,
+		ValLogBytes:  8 << 20,
+		SwapLogBytes: 2 << 20,
+	}
+	e := New(Config{
+		Kernel:           k,
+		Node:             node,
+		PartitionsPerSSD: 2,
+		Geometry:         g,
+		PartitionBytes:   16 << 20,
+		SwapEnabled:      swap,
+		SwapThreshold:    4,
+	})
+	return e, node
+}
+
+func TestEngineExecuteCRUD(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, false)
+	k.Go("client", func(p *sim.Proc) {
+		if _, _, err := e.Execute(p, 0, rpcproto.OpPut, []byte("k"), []byte("v")); err != nil {
+			t.Errorf("put: %v", err)
+			return
+		}
+		v, _, err := e.Execute(p, 0, rpcproto.OpGet, []byte("k"), nil)
+		if err != nil || string(v) != "v" {
+			t.Errorf("get = %q, %v", v, err)
+		}
+		if _, _, err := e.Execute(p, 0, rpcproto.OpDel, []byte("k"), nil); err != nil {
+			t.Errorf("del: %v", err)
+		}
+		if _, _, err := e.Execute(p, 0, rpcproto.OpGet, []byte("k"), nil); err != core.ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestEnginePartitionLayout(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, false)
+	if e.NumPartitions() != 8 {
+		t.Fatalf("partitions = %d, want 8 (4 SSDs x 2)", e.NumPartitions())
+	}
+	ssdSeen := map[int]int{}
+	for i := 0; i < e.NumPartitions(); i++ {
+		ssdSeen[e.Partition(i).SSD]++
+	}
+	for ssd, n := range ssdSeen {
+		if n != 2 {
+			t.Fatalf("ssd %d has %d partitions", ssd, n)
+		}
+	}
+}
+
+func TestEngineTokenAdmissionLimitsInflight(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, false)
+	pt := e.Partition(0)
+	// With 48 tokens and GET=2, at most 24 GETs run concurrently.
+	var maxInUse int64
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Go("c", func(p *sim.Proc) {
+			key := []byte(fmt.Sprintf("k%d", i%10))
+			if i < 10 {
+				e.Execute(p, 0, rpcproto.OpPut, key, []byte("v"))
+				return
+			}
+			e.Execute(p, 0, rpcproto.OpGet, key, nil)
+			if u := pt.tokens.InUse(); u > maxInUse {
+				maxInUse = u
+			}
+		})
+	}
+	k.Run()
+	if maxInUse > 48 {
+		t.Fatalf("token budget exceeded: %d in use", maxInUse)
+	}
+}
+
+func TestEngineAvailableTokensDropUnderLoad(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, false)
+	if e.AvailableTokens(0) != 48 {
+		t.Fatalf("initial tokens = %d", e.AvailableTokens(0))
+	}
+	var seen int64 = 48
+	for i := 0; i < 40; i++ {
+		i := i
+		k.Go("c", func(p *sim.Proc) {
+			e.Execute(p, 0, rpcproto.OpPut, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+			if a := e.AvailableTokens(0); a < seen {
+				seen = a
+			}
+		})
+	}
+	k.Run()
+	if seen >= 48 {
+		t.Fatal("tokens never consumed under load")
+	}
+	if e.AvailableTokens(0) != 48 {
+		t.Fatalf("tokens not restored: %d", e.AvailableTokens(0))
+	}
+}
+
+func TestEngineSwapRedirectsOverloadedPuts(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, true)
+	// Flood partition 0 (ssd 0) with writes; ssds 1-3 stay idle, so the
+	// swap mechanism must engage.
+	for i := 0; i < 400; i++ {
+		i := i
+		k.Go("c", func(p *sim.Proc) {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			if _, _, err := e.Execute(p, 0, rpcproto.OpPut, key, make([]byte, 256)); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		})
+	}
+	k.Run()
+	if e.Stats().Swapped == 0 {
+		t.Fatal("no PUTs were swapped despite heavy imbalance")
+	}
+	// All data must be readable afterwards.
+	k.Go("verify", func(p *sim.Proc) {
+		for i := 0; i < 400; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			if _, _, err := e.Execute(p, 0, rpcproto.OpGet, key, nil); err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+		}
+	})
+	k.Run()
+}
+
+func TestEngineSwapDisabledNeverSwaps(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, false)
+	for i := 0; i < 200; i++ {
+		i := i
+		k.Go("c", func(p *sim.Proc) {
+			e.Execute(p, 0, rpcproto.OpPut, []byte(fmt.Sprintf("k%d", i)), make([]byte, 256))
+		})
+	}
+	k.Run()
+	if e.Stats().Swapped != 0 {
+		t.Fatalf("swapped %d with swapping disabled", e.Stats().Swapped)
+	}
+}
+
+func TestEngineBackgroundCompaction(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
+	// Tight logs force compaction under churn.
+	e := New(Config{
+		Kernel:           k,
+		Node:             node,
+		PartitionsPerSSD: 1,
+		Geometry: core.Geometry{
+			NumSegments: 64, KeyLogBytes: 256 << 10, ValLogBytes: 512 << 10, SwapLogBytes: 128 << 10,
+		},
+		PartitionBytes: 4 << 20,
+		CompactEvery:   200 * sim.Microsecond,
+	})
+	e.Start()
+	k.Go("churn", func(p *sim.Proc) {
+		for r := 0; r < 20; r++ {
+			for i := 0; i < 60; i++ {
+				key := []byte(fmt.Sprintf("key-%03d", i))
+				if _, _, err := e.Execute(p, 0, rpcproto.OpPut, key, make([]byte, 512)); err != nil {
+					t.Errorf("put r%d i%d: %v", r, i, err)
+					return
+				}
+			}
+		}
+		e.Stop()
+	})
+	k.Run(10 * sim.Second)
+	if e.Stats().Compactions == 0 {
+		t.Fatal("background compactor never ran")
+	}
+	// Verify data integrity post-churn.
+	k.Go("verify", func(p *sim.Proc) {
+		for i := 0; i < 60; i++ {
+			key := []byte(fmt.Sprintf("key-%03d", i))
+			if _, _, err := e.Execute(p, 0, rpcproto.OpGet, key, nil); err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+		}
+	})
+	k.Run(20 * sim.Second)
+}
+
+func TestEngineComputeContendsOnCore(t *testing.T) {
+	// Two partitions on the same SSD share one core; their compute phases
+	// must serialize through the core gate.
+	k := sim.New()
+	defer k.Close()
+	e, node := newTestEngine(k, false)
+	_ = node
+	busy0 := node.Cores[0].BusySeconds()
+	for i := 0; i < 50; i++ {
+		i := i
+		k.Go("c", func(p *sim.Proc) {
+			pid := i % 2 // both partitions live on ssd 0
+			e.Execute(p, pid, rpcproto.OpPut, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
+		})
+	}
+	k.Run()
+	if node.Cores[0].BusySeconds() <= busy0 {
+		t.Fatal("core 0 accumulated no busy time")
+	}
+	// Cores for other SSDs stayed idle.
+	if node.Cores[3].BusySeconds() != 0 {
+		t.Fatal("unrelated core got work")
+	}
+}
+
+func TestTokenCost(t *testing.T) {
+	if TokenCost(rpcproto.OpGet) != 2 || TokenCost(rpcproto.OpPut) != 3 || TokenCost(rpcproto.OpDel) != 2 {
+		t.Fatal("token costs diverge from the 2/3/2 NVMe access counts")
+	}
+}
+
+func TestEngineRangeThroughStore(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	e, _ := newTestEngine(k, false)
+	k.Go("c", func(p *sim.Proc) {
+		for i := 0; i < 25; i++ {
+			e.Execute(p, 3, rpcproto.OpPut, []byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		}
+		seen := 0
+		err := e.Partition(3).Store.Range(p, func(key, val []byte) bool {
+			seen++
+			return true
+		})
+		if err != nil || seen != 25 {
+			t.Errorf("range: %d objects, %v", seen, err)
+		}
+	})
+	k.Run()
+}
+
+func TestEngineMemoryBandwidthModel(t *testing.T) {
+	// With the §4.8 memory-bus model enabled, a large burst of concurrent
+	// ops must queue behind the 4390MB/s pipe.
+	build := func(model bool) (*Engine, *sim.Kernel) {
+		k := sim.New()
+		node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
+		e := New(Config{
+			Kernel:           k,
+			Node:             node,
+			PartitionsPerSSD: 2,
+			Geometry: core.Geometry{
+				NumSegments: 256, KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20, SwapLogBytes: 2 << 20,
+			},
+			PartitionBytes: 16 << 20,
+			ModelMemBW:     model,
+		})
+		return e, k
+	}
+	run := func(model bool) (sim.Time, sim.Time) {
+		e, k := build(model)
+		defer k.Close()
+		for i := 0; i < 600; i++ {
+			i := i
+			k.Go("c", func(p *sim.Proc) {
+				key := []byte(fmt.Sprintf("key-%04d", i))
+				e.Execute(p, i%8, rpcproto.OpPut, key, make([]byte, 4096))
+			})
+		}
+		end := k.Run()
+		return end, e.MemBusWaited()
+	}
+	offEnd, offWait := run(false)
+	onEnd, onWait := run(true)
+	if offWait != 0 {
+		t.Fatalf("disabled model accumulated bus wait %v", offWait)
+	}
+	if onWait == 0 {
+		t.Fatal("enabled model never queued on the memory bus")
+	}
+	if onEnd < offEnd {
+		t.Fatalf("memory-bus model made the burst faster: %v vs %v", onEnd, offEnd)
+	}
+}
+
+func TestEngineFullSwapMovesWritesToHelper(t *testing.T) {
+	// §3.6 full swapping: a swapped PUT's writes (value and segment array)
+	// land on the helper SSD; the home pays only reads.
+	k := sim.New()
+	defer k.Close()
+	e, node := newTestEngine(k, true)
+	k.Go("seed", func(p *sim.Proc) {
+		// Seed the key so the segment exists at home.
+		e.Execute(p, 0, rpcproto.OpPut, []byte("hot"), []byte("v0"))
+	})
+	k.Run()
+	homeWrites := node.SSDs[0].Stats().Writes
+	// Flood to trigger swapping.
+	for i := 0; i < 300; i++ {
+		i := i
+		k.Go("c", func(p *sim.Proc) {
+			e.Execute(p, 0, rpcproto.OpPut, []byte(fmt.Sprintf("k%03d", i)), make([]byte, 256))
+		})
+	}
+	k.Run()
+	if e.Stats().Swapped == 0 {
+		t.Fatal("no swaps under flood")
+	}
+	helperWrites := int64(0)
+	for ssd := 1; ssd < 4; ssd++ {
+		helperWrites += node.SSDs[ssd].Stats().Writes
+	}
+	if helperWrites == 0 {
+		t.Fatal("helpers absorbed no writes")
+	}
+	// Home writes grow only for non-swapped puts; swapped ones add none.
+	nonSwapped := int64(300) - e.Stats().Swapped
+	maxHome := homeWrites + nonSwapped*2 + 5
+	if node.SSDs[0].Stats().Writes > maxHome {
+		t.Fatalf("home writes = %d, expected <= %d (swapped puts must not write home)",
+			node.SSDs[0].Stats().Writes, maxHome)
+	}
+	// Data still readable.
+	k.Go("verify", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			if _, _, err := e.Execute(p, 0, rpcproto.OpGet, []byte(fmt.Sprintf("k%03d", i)), nil); err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+		}
+	})
+	k.Run()
+}

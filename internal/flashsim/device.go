@@ -1,0 +1,73 @@
+// Package flashsim models NVMe flash devices for the simulation: an SSD
+// with bounded internal parallelism, kind- and size-dependent service times,
+// and a real (sparse) byte backing store, plus a zero-latency MemDevice for
+// functional tests. Devices expose the asynchronous submit/complete
+// interface a kernel-bypass stack like SPDK would: Submit never blocks, and
+// completion is signalled through a sim.Event.
+package flashsim
+
+import (
+	"fmt"
+
+	"leed/internal/sim"
+)
+
+// OpKind distinguishes reads from writes.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+func (k OpKind) String() string {
+	if k == OpRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one asynchronous device operation. For reads, Data is the
+// destination buffer filled at completion; for writes it is the payload,
+// which must not be mutated until Done fires. Done fires with a nil payload
+// on success or an error.
+type Op struct {
+	Kind   OpKind
+	Offset int64
+	Data   []byte
+	Done   *sim.Event
+
+	submitted sim.Time
+}
+
+// Device is an asynchronous block device.
+type Device interface {
+	// Submit enqueues the operation; it never blocks. op.Done fires when
+	// the operation completes.
+	Submit(op *Op)
+	// Capacity returns the device size in bytes.
+	Capacity() int64
+	// Stats returns cumulative operation counters.
+	Stats() Stats
+}
+
+// Stats are cumulative device counters.
+type Stats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+	ReadLat, WriteLat       *sim.Histogram // submit-to-complete
+	MaxQueue                int            // high-water mark of queued + in-flight ops
+}
+
+func newStats() Stats {
+	return Stats{ReadLat: sim.NewHistogram(), WriteLat: sim.NewHistogram()}
+}
+
+func checkRange(cap_ int64, op *Op) error {
+	if op.Offset < 0 || op.Offset+int64(len(op.Data)) > cap_ {
+		return fmt.Errorf("flashsim: %s of %d bytes at offset %d outside device capacity %d",
+			op.Kind, len(op.Data), op.Offset, cap_)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package flashsim
+
+import (
+	"errors"
+	"math/rand"
+
+	"leed/internal/sim"
+)
+
+// ErrInjected is the failure surfaced by a FaultInjector.
+var ErrInjected = errors.New("flashsim: injected device fault")
+
+// FaultInjector wraps a Device and fails operations to exercise error
+// paths: either probabilistically (ErrorRate) or deterministically after a
+// countdown (FailAfter). Failed operations complete with ErrInjected and
+// leave the backing store untouched.
+type FaultInjector struct {
+	Inner Device
+	// ErrorRate is the probability in [0,1] that an op fails.
+	ErrorRate float64
+	// FailAfter, when > 0, lets that many ops through and then fails every
+	// subsequent one (a die-at-T device).
+	FailAfter int64
+	// FailWrites/FailReads restrict which kinds fail (both false = both fail).
+	FailWritesOnly bool
+	FailReadsOnly  bool
+
+	k        *sim.Kernel
+	rng      *rand.Rand
+	ops      int64
+	injected int64
+}
+
+// NewFaultInjector wraps dev.
+func NewFaultInjector(k *sim.Kernel, dev Device, seed int64) *FaultInjector {
+	return &FaultInjector{Inner: dev, k: k, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Capacity returns the inner device's capacity.
+func (f *FaultInjector) Capacity() int64 { return f.Inner.Capacity() }
+
+// Stats returns the inner device's counters.
+func (f *FaultInjector) Stats() Stats { return f.Inner.Stats() }
+
+// Injected returns how many operations were failed.
+func (f *FaultInjector) Injected() int64 { return f.injected }
+
+func (f *FaultInjector) shouldFail(kind OpKind) bool {
+	if f.FailWritesOnly && kind != OpWrite {
+		return false
+	}
+	if f.FailReadsOnly && kind != OpRead {
+		return false
+	}
+	if f.FailAfter > 0 && f.ops > f.FailAfter {
+		return true
+	}
+	return f.ErrorRate > 0 && f.rng.Float64() < f.ErrorRate
+}
+
+// Submit forwards to the inner device or fails the op.
+func (f *FaultInjector) Submit(op *Op) {
+	f.ops++
+	if f.shouldFail(op.Kind) {
+		f.injected++
+		f.k.After(0, func() { op.Done.Fire(error(ErrInjected)) })
+		return
+	}
+	f.Inner.Submit(op)
+}

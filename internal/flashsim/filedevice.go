@@ -1,0 +1,80 @@
+package flashsim
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"leed/internal/sim"
+)
+
+// FileDevice is a functional device backed by a real file on disk, so a
+// store's contents survive process restarts and the recovery path (§3.2.3)
+// can be exercised across real invocations (see cmd/leedctl). Like
+// MemDevice it models no latency; it is a persistence substrate, not a
+// performance model.
+type FileDevice struct {
+	k        *sim.Kernel
+	f        *os.File
+	capacity int64
+	stats    Stats
+}
+
+// OpenFileDevice opens (or creates) the image file at path with the given
+// advertised capacity. The file is sparse: unwritten regions read as zero.
+func OpenFileDevice(k *sim.Kernel, path string, capacity int64) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("flashsim: open image: %w", err)
+	}
+	return &FileDevice{k: k, f: f, capacity: capacity, stats: newStats()}, nil
+}
+
+// Capacity returns the advertised device size.
+func (d *FileDevice) Capacity() int64 { return d.capacity }
+
+// Stats returns cumulative counters.
+func (d *FileDevice) Stats() Stats { return d.stats }
+
+// Close syncs and closes the image file.
+func (d *FileDevice) Close() error {
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	return d.f.Close()
+}
+
+// Submit completes the operation at the current virtual time against the
+// backing file.
+func (d *FileDevice) Submit(op *Op) {
+	if err := checkRange(d.capacity, op); err != nil {
+		d.k.After(0, func() { op.Done.Fire(err) })
+		return
+	}
+	d.k.After(0, func() {
+		switch op.Kind {
+		case OpRead:
+			n, err := d.f.ReadAt(op.Data, op.Offset)
+			if err != nil && err != io.EOF {
+				op.Done.Fire(fmt.Errorf("flashsim: file read: %w", err))
+				return
+			}
+			// Reads past the written extent return zeros (sparse image).
+			for i := n; i < len(op.Data); i++ {
+				op.Data[i] = 0
+			}
+			d.stats.Reads++
+			d.stats.BytesRead += int64(len(op.Data))
+			d.stats.ReadLat.Record(0)
+		case OpWrite:
+			if _, err := d.f.WriteAt(op.Data, op.Offset); err != nil {
+				op.Done.Fire(fmt.Errorf("flashsim: file write: %w", err))
+				return
+			}
+			d.stats.Writes++
+			d.stats.BytesWritten += int64(len(op.Data))
+			d.stats.WriteLat.Record(0)
+		}
+		op.Done.Fire(nil)
+	})
+}

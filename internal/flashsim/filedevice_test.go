@@ -1,0 +1,151 @@
+package flashsim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leed/internal/sim"
+)
+
+func TestFileDevicePersistsAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	{
+		k := sim.New()
+		d, err := OpenFileDevice(k, path, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Go("io", func(p *sim.Proc) {
+			if err := doIO(p, d, OpWrite, 4096, []byte("persistent")); err != nil {
+				t.Errorf("write: %v", err)
+			}
+		})
+		k.Run()
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		k.Close()
+	}
+	k := sim.New()
+	defer k.Close()
+	d, err := OpenFileDevice(k, path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	buf := make([]byte, 10)
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, d, OpRead, 4096, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	k.Run()
+	if string(buf) != "persistent" {
+		t.Fatalf("read back %q", buf)
+	}
+}
+
+func TestFileDeviceSparseReadsZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	k := sim.New()
+	defer k.Close()
+	d, err := OpenFileDevice(k, path, 1<<30) // 1GiB advertised, nothing written
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	buf := []byte{0xff, 0xff, 0xff, 0xff}
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, d, OpRead, 512<<20, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	k.Run()
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("sparse read = %v", buf)
+		}
+	}
+}
+
+func TestFileDeviceRangeCheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	k := sim.New()
+	defer k.Close()
+	d, err := OpenFileDevice(k, path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var ioErr error
+	k.Go("io", func(p *sim.Proc) {
+		ioErr = doIO(p, d, OpWrite, 4000, make([]byte, 200))
+	})
+	k.Run()
+	if ioErr == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestLatencyShimAddsServiceTime(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	k := sim.New()
+	defer k.Close()
+	fd, err := OpenFileDevice(k, path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fd.Close()
+	spec := SamsungDCT983(1 << 20)
+	spec.Jitter = 0
+	d := NewLatencyShim(k, fd, spec)
+	var lat sim.Time
+	var got []byte
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, d, OpWrite, 0, []byte("shimmed")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		t0 := p.Now()
+		got = make([]byte, 7)
+		if err := doIO(p, d, OpRead, 0, got); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		lat = p.Now() - t0
+	})
+	k.Run()
+	if string(got) != "shimmed" {
+		t.Fatalf("data through shim corrupted: %q", got)
+	}
+	if lat < 40*sim.Microsecond {
+		t.Fatalf("shim read latency = %v, want >= ReadBase", lat)
+	}
+}
+
+func TestLatencyShimBoundsConcurrency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	k := sim.New()
+	defer k.Close()
+	fd, _ := OpenFileDevice(k, path, 1<<20)
+	defer fd.Close()
+	spec := SamsungDCT983(1 << 20)
+	spec.Jitter = 0
+	spec.Parallelism = 2
+	d := NewLatencyShim(k, fd, spec)
+	const n = 10
+	done := 0
+	for i := 0; i < n; i++ {
+		off := int64(i * 512)
+		k.Go("io", func(p *sim.Proc) {
+			doIO(p, d, OpRead, off, make([]byte, 512))
+			done++
+		})
+	}
+	end := k.Run()
+	if done != n {
+		t.Fatalf("completed %d", done)
+	}
+	// 10 reads, 2 at a time, ~56us each -> ~280us.
+	if end < 250*sim.Microsecond {
+		t.Fatalf("10 reads at parallelism 2 finished in %v", end)
+	}
+}

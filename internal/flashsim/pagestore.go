@@ -1,0 +1,58 @@
+package flashsim
+
+const pageSize = 64 << 10 // 64KiB backing pages, allocated on first write
+
+// pageStore is a sparse byte array: pages materialize on first write, reads
+// of untouched regions return zeros. It lets the simulation advertise
+// multi-gigabyte device capacities while only paying for bytes actually
+// stored.
+type pageStore struct {
+	capacity int64
+	pages    map[int64][]byte
+}
+
+func newPageStore(capacity int64) *pageStore {
+	return &pageStore{capacity: capacity, pages: make(map[int64][]byte)}
+}
+
+func (s *pageStore) readAt(dst []byte, off int64) {
+	for len(dst) > 0 {
+		pno := off / pageSize
+		po := off % pageSize
+		n := int64(len(dst))
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		if p, ok := s.pages[pno]; ok {
+			copy(dst[:n], p[po:po+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		off += n
+	}
+}
+
+func (s *pageStore) writeAt(src []byte, off int64) {
+	for len(src) > 0 {
+		pno := off / pageSize
+		po := off % pageSize
+		n := int64(len(src))
+		if n > pageSize-po {
+			n = pageSize - po
+		}
+		p, ok := s.pages[pno]
+		if !ok {
+			p = make([]byte, pageSize)
+			s.pages[pno] = p
+		}
+		copy(p[po:po+n], src[:n])
+		src = src[n:]
+		off += n
+	}
+}
+
+// residentBytes returns the number of materialized backing bytes.
+func (s *pageStore) residentBytes() int64 { return int64(len(s.pages)) * pageSize }

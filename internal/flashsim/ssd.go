@@ -1,0 +1,189 @@
+package flashsim
+
+import (
+	"math/rand"
+
+	"leed/internal/sim"
+)
+
+// Spec describes an SSD's performance envelope. Service time for an
+// operation is Base + size/UnitBW + jitter, where UnitBW = BW/Parallelism,
+// so small-op IOPS saturate at Parallelism/Base and large transfers saturate
+// at the device bandwidth. This two-knee shape is what the paper's results
+// depend on: an IOPS ceiling per drive plus a pronounced read/write
+// bandwidth asymmetry (§2.3, C3).
+type Spec struct {
+	Name        string
+	Capacity    int64
+	Parallelism int // internal service units (channels x planes)
+	ReadBase    sim.Time
+	WriteBase   sim.Time
+	ReadBW      int64   // bytes/sec, whole device
+	WriteBW     int64   // bytes/sec, whole device
+	Jitter      float64 // +/- fraction of service time, uniform
+	Seed        int64
+}
+
+// SamsungDCT983 approximates the Samsung DCT983 960GB drives in the paper's
+// testbed: ~400K 4KB random-read IOPS, 3.0/1.05 GB/s sequential read/write.
+func SamsungDCT983(capacity int64) Spec {
+	return Spec{
+		Name:        "DCT983",
+		Capacity:    capacity,
+		Parallelism: 24,
+		ReadBase:    52 * sim.Microsecond,
+		WriteBase:   22 * sim.Microsecond,
+		ReadBW:      3000 << 20,
+		WriteBW:     1050 << 20,
+		Jitter:      0.10,
+	}
+}
+
+// SanDiskSD approximates the Raspberry Pi's 32GB SanDisk card: 60-80MB/s
+// sequential, a couple of thousand small random reads per second, and
+// buffered (log-friendly) writes that complete faster than random reads —
+// which is why FAWN's append-only PUTs outrun its GETs on this medium
+// (Figure 12).
+func SanDiskSD(capacity int64) Spec {
+	return Spec{
+		Name:        "SanDiskSD",
+		Capacity:    capacity,
+		Parallelism: 2,
+		ReadBase:    1100 * sim.Microsecond,
+		WriteBase:   350 * sim.Microsecond,
+		ReadBW:      80 << 20,
+		WriteBW:     60 << 20,
+		Jitter:      0.15,
+	}
+}
+
+// SSD is a simulated NVMe drive. Operations wait FIFO for one of
+// Parallelism service units, occupy it for the service time, then complete.
+// Bytes are really stored: writes become visible at completion, reads copy
+// out at completion.
+type SSD struct {
+	k     *sim.Kernel
+	spec  Spec
+	store *pageStore
+	rng   *rand.Rand
+
+	busy    int
+	waiting []*Op
+	stats   Stats
+
+	// busy-time integral for utilization reporting
+	busySince sim.Time
+	busyInt   sim.Time
+}
+
+// NewSSD creates a drive on kernel k from the given spec.
+func NewSSD(k *sim.Kernel, spec Spec) *SSD {
+	if spec.Parallelism <= 0 {
+		spec.Parallelism = 1
+	}
+	return &SSD{
+		k:     k,
+		spec:  spec,
+		store: newPageStore(spec.Capacity),
+		rng:   rand.New(rand.NewSource(spec.Seed + 0x55D)),
+		stats: newStats(),
+	}
+}
+
+// Capacity returns the device size in bytes.
+func (d *SSD) Capacity() int64 { return d.spec.Capacity }
+
+// Spec returns the device's performance spec.
+func (d *SSD) Spec() Spec { return d.spec }
+
+// Stats returns cumulative counters.
+func (d *SSD) Stats() Stats { return d.stats }
+
+// QueueDepth returns queued plus in-flight operations.
+func (d *SSD) QueueDepth() int { return len(d.waiting) + d.busy }
+
+// InFlight returns operations currently occupying service units.
+func (d *SSD) InFlight() int { return d.busy }
+
+// Utilization returns the time-averaged fraction of service units busy.
+func (d *SSD) Utilization() float64 {
+	d.account()
+	if d.k.Now() == 0 {
+		return 0
+	}
+	return float64(d.busyInt) / (float64(d.k.Now()) * float64(d.spec.Parallelism))
+}
+
+func (d *SSD) account() {
+	now := d.k.Now()
+	d.busyInt += sim.Time(d.busy) * (now - d.busySince)
+	d.busySince = now
+}
+
+// Submit enqueues op; op.Done fires at completion.
+func (d *SSD) Submit(op *Op) {
+	if err := checkRange(d.spec.Capacity, op); err != nil {
+		d.k.After(0, func() { op.Done.Fire(err) })
+		return
+	}
+	op.submitted = d.k.Now()
+	if qd := d.QueueDepth() + 1; qd > d.stats.MaxQueue {
+		d.stats.MaxQueue = qd
+	}
+	if d.busy < d.spec.Parallelism {
+		d.start(op)
+	} else {
+		d.waiting = append(d.waiting, op)
+	}
+}
+
+func (d *SSD) serviceTime(op *Op) sim.Time {
+	base := d.spec.ReadBase
+	bw := d.spec.ReadBW
+	if op.Kind == OpWrite {
+		base = d.spec.WriteBase
+		bw = d.spec.WriteBW
+	}
+	unitBW := bw / int64(d.spec.Parallelism)
+	if unitBW <= 0 {
+		unitBW = 1
+	}
+	transfer := sim.Time(int64(len(op.Data)) * int64(sim.Second) / unitBW)
+	svc := base + transfer
+	if d.spec.Jitter > 0 {
+		svc = sim.Time(float64(svc) * (1 + d.spec.Jitter*(2*d.rng.Float64()-1)))
+	}
+	if svc < 1 {
+		svc = 1
+	}
+	return svc
+}
+
+func (d *SSD) start(op *Op) {
+	d.account()
+	d.busy++
+	d.k.After(d.serviceTime(op), func() { d.complete(op) })
+}
+
+func (d *SSD) complete(op *Op) {
+	switch op.Kind {
+	case OpRead:
+		d.store.readAt(op.Data, op.Offset)
+		d.stats.Reads++
+		d.stats.BytesRead += int64(len(op.Data))
+		d.stats.ReadLat.Record(d.k.Now() - op.submitted)
+	case OpWrite:
+		d.store.writeAt(op.Data, op.Offset)
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(len(op.Data))
+		d.stats.WriteLat.Record(d.k.Now() - op.submitted)
+	}
+	d.account()
+	d.busy--
+	op.Done.Fire(nil)
+	if len(d.waiting) > 0 && d.busy < d.spec.Parallelism {
+		next := d.waiting[0]
+		d.waiting = d.waiting[1:]
+		d.start(next)
+	}
+}

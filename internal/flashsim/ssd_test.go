@@ -1,0 +1,277 @@
+package flashsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leed/internal/sim"
+)
+
+// doIO runs one op from a proc and returns any error payload.
+func doIO(p *sim.Proc, d Device, kind OpKind, off int64, data []byte) error {
+	op := &Op{Kind: kind, Offset: off, Data: data, Done: p.Kernel().NewEvent()}
+	d.Submit(op)
+	if v := p.Wait(op.Done); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+func TestSSDReadBackWrite(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	d := NewSSD(k, SamsungDCT983(1<<20))
+	payload := []byte("hello, flash")
+	var got []byte
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, d, OpWrite, 4096, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		got = make([]byte, len(payload))
+		if err := doIO(p, d, OpRead, 4096, got); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	k.Run()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %q, want %q", got, payload)
+	}
+}
+
+func TestSSDUnwrittenReadsZero(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	d := NewSSD(k, SamsungDCT983(1<<20))
+	buf := []byte{0xff, 0xff, 0xff}
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, d, OpRead, 100, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	k.Run()
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatalf("unwritten region returned %v", buf)
+		}
+	}
+}
+
+func TestSSDOutOfRangeFails(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	d := NewSSD(k, SamsungDCT983(4096))
+	var wErr, rErr error
+	k.Go("io", func(p *sim.Proc) {
+		wErr = doIO(p, d, OpWrite, 4000, make([]byte, 200))
+		rErr = doIO(p, d, OpRead, -1, make([]byte, 1))
+	})
+	k.Run()
+	if wErr == nil || rErr == nil {
+		t.Fatalf("out-of-range ops did not fail: %v, %v", wErr, rErr)
+	}
+}
+
+func TestSSDLatencyEnvelope(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	spec := SamsungDCT983(1 << 30)
+	spec.Jitter = 0
+	d := NewSSD(k, spec)
+	var lat sim.Time
+	k.Go("io", func(p *sim.Proc) {
+		start := p.Now()
+		doIO(p, d, OpRead, 0, make([]byte, 4096))
+		lat = p.Now() - start
+	})
+	k.Run()
+	// base 52us + 4KiB at (3000MiB/s / 24) = 52us + ~31us
+	if lat < 70*sim.Microsecond || lat > 100*sim.Microsecond {
+		t.Fatalf("idle 4KB read latency = %v, want ~83us", lat)
+	}
+}
+
+func TestSSDParallelismCeiling(t *testing.T) {
+	// With many concurrent small reads, throughput should cap near
+	// Parallelism/ReadBase, not scale unboundedly.
+	k := sim.New()
+	defer k.Close()
+	spec := SamsungDCT983(1 << 30)
+	spec.Jitter = 0
+	d := NewSSD(k, spec)
+	const n = 2000
+	done := 0
+	for i := 0; i < n; i++ {
+		off := int64(i) * 4096
+		k.Go("io", func(p *sim.Proc) {
+			doIO(p, d, OpRead, off, make([]byte, 4096))
+			done++
+		})
+	}
+	end := k.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d", done, n)
+	}
+	iops := float64(n) / end.Seconds()
+	// 24 units / 83us => ~289K IOPS for 4KB.
+	if iops < 200e3 || iops > 400e3 {
+		t.Fatalf("4KB read IOPS = %.0f, want ~289K", iops)
+	}
+	if u := d.Utilization(); u < 0.95 {
+		t.Fatalf("utilization = %.2f under saturation", u)
+	}
+}
+
+func TestSSDWriteReadAsymmetry(t *testing.T) {
+	// Sustained large writes must be slower than sustained large reads.
+	measure := func(kind OpKind) float64 {
+		k := sim.New()
+		defer k.Close()
+		spec := SamsungDCT983(1 << 30)
+		spec.Jitter = 0
+		d := NewSSD(k, spec)
+		const n = 400
+		for i := 0; i < n; i++ {
+			off := int64(i) * 65536
+			k.Go("io", func(p *sim.Proc) { doIO(p, d, kind, off, make([]byte, 65536)) })
+		}
+		end := k.Run()
+		return float64(n*65536) / end.Seconds()
+	}
+	rbw, wbw := measure(OpRead), measure(OpWrite)
+	if rbw < 2*wbw {
+		t.Fatalf("read BW %.0f not >> write BW %.0f", rbw, wbw)
+	}
+}
+
+func TestSSDFIFOQueueing(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	spec := SamsungDCT983(1 << 20)
+	spec.Parallelism = 1
+	spec.Jitter = 0
+	d := NewSSD(k, spec)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Go("io", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i)) // stagger submissions deterministically
+			doIO(p, d, OpRead, 0, make([]byte, 512))
+			order = append(order, i)
+		})
+	}
+	k.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("completion order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSSDStats(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	d := NewSSD(k, SamsungDCT983(1<<20))
+	k.Go("io", func(p *sim.Proc) {
+		doIO(p, d, OpWrite, 0, make([]byte, 1000))
+		doIO(p, d, OpRead, 0, make([]byte, 400))
+		doIO(p, d, OpRead, 0, make([]byte, 600))
+	})
+	k.Run()
+	s := d.Stats()
+	if s.Reads != 2 || s.Writes != 1 || s.BytesRead != 1000 || s.BytesWritten != 1000 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ReadLat.Count() != 2 || s.WriteLat.Count() != 1 {
+		t.Fatalf("latency histograms not recorded: %+v", s)
+	}
+}
+
+func TestMemDeviceFunctional(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	d := NewMemDevice(k, 1<<20)
+	var got []byte
+	k.Go("io", func(p *sim.Proc) {
+		doIO(p, d, OpWrite, 777, []byte("abc"))
+		got = make([]byte, 3)
+		doIO(p, d, OpRead, 777, got)
+	})
+	end := k.Run()
+	if string(got) != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	if end != 0 {
+		t.Fatalf("MemDevice consumed virtual time: %v", end)
+	}
+}
+
+func TestPageStoreSparse(t *testing.T) {
+	s := newPageStore(1 << 40) // 1TiB advertised
+	s.writeAt([]byte{1, 2, 3}, 1<<39)
+	if s.residentBytes() > 2*pageSize {
+		t.Fatalf("resident = %d bytes for a 3-byte write", s.residentBytes())
+	}
+	got := make([]byte, 3)
+	s.readAt(got, 1<<39)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPageStoreCrossPageProperty(t *testing.T) {
+	// Property: writeAt/readAt round-trip across arbitrary page-straddling
+	// boundaries matches a reference flat buffer.
+	const span = 4 * pageSize
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newPageStore(span)
+		ref := make([]byte, span)
+		for i := 0; i < 30; i++ {
+			off := rng.Int63n(span - 1)
+			n := rng.Int63n(span-off) % (pageSize * 2)
+			if n == 0 {
+				n = 1
+			}
+			buf := make([]byte, n)
+			rng.Read(buf)
+			s.writeAt(buf, off)
+			copy(ref[off:off+n], buf)
+		}
+		for i := 0; i < 30; i++ {
+			off := rng.Int63n(span - 1)
+			n := rng.Int63n(span-off)%(pageSize*2) + 1
+			if off+n > span {
+				n = span - off
+			}
+			got := make([]byte, n)
+			s.readAt(got, off)
+			if !bytes.Equal(got, ref[off:off+n]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSDDeterministicWithSeed(t *testing.T) {
+	run := func() sim.Time {
+		k := sim.New()
+		defer k.Close()
+		spec := SamsungDCT983(1 << 20)
+		spec.Seed = 42
+		d := NewSSD(k, spec)
+		for i := 0; i < 50; i++ {
+			off := int64(i * 512)
+			k.Go("io", func(p *sim.Proc) { doIO(p, d, OpRead, off, make([]byte, 512)) })
+		}
+		return k.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,171 @@
+// Package netsim models the cluster's RDMA-capable Ethernet fabric: nodes
+// with finite-bandwidth NICs connected through a non-blocking ToR switch
+// with fixed propagation delay. Two primitives mirror LEED's hybrid verb
+// use (§3.5): Send is a two-sided RDMA SEND that lands in the receiver's
+// poll queue (consuming receiver CPU to pick up), and Write is a one-sided
+// RDMA WRITE-with-IMM that completes directly into a completion event or
+// queue without receiver CPU involvement.
+package netsim
+
+import (
+	"fmt"
+
+	"leed/internal/sim"
+)
+
+// Addr identifies one endpoint on the fabric.
+type Addr uint32
+
+// Message is one transfer. Payload is opaque to the fabric; Size is the
+// modeled wire size in bytes.
+type Message struct {
+	From, To Addr
+	Size     int64
+	Payload  any
+	// Complete, when non-nil, receives the message by event (one-sided
+	// WRITE into the sender-registered completion structure). Otherwise
+	// the message lands in the destination's RX queue.
+	Complete *sim.Event
+	Sent     sim.Time
+}
+
+// Config tunes the fabric.
+type Config struct {
+	// Propagation is the one-way switch+wire delay. Default 1.5us.
+	Propagation sim.Time
+	// MsgOverheadBytes is added to every message's wire size (headers).
+	// Default 64.
+	MsgOverheadBytes int64
+}
+
+// Fabric is the network. All endpoints share one non-blocking switch.
+type Fabric struct {
+	k     *sim.Kernel
+	cfg   Config
+	nodes map[Addr]*Endpoint
+}
+
+// New creates a fabric on k.
+func New(k *sim.Kernel, cfg Config) *Fabric {
+	if cfg.Propagation == 0 {
+		cfg.Propagation = 1500 * sim.Nanosecond
+	}
+	if cfg.MsgOverheadBytes == 0 {
+		cfg.MsgOverheadBytes = 64
+	}
+	return &Fabric{k: k, cfg: cfg, nodes: make(map[Addr]*Endpoint)}
+}
+
+// Stats are per-endpoint counters.
+type Stats struct {
+	TxMsgs, RxMsgs   int64
+	TxBytes, RxBytes int64
+	Dropped          int64
+}
+
+// Endpoint is one NIC on the fabric.
+type Endpoint struct {
+	addr        Addr
+	fab         *Fabric
+	bytesPerSec int64
+	txFree      sim.Time // egress link free-at time
+	rxFree      sim.Time // ingress link free-at time
+	rx          *sim.Queue[*Message]
+	down        bool
+	stats       Stats
+}
+
+// AddNode registers an endpoint with the given NIC speed in bits/sec.
+func (f *Fabric) AddNode(addr Addr, bitsPerS int64) *Endpoint {
+	if _, dup := f.nodes[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate addr %d", addr))
+	}
+	e := &Endpoint{
+		addr:        addr,
+		fab:         f,
+		bytesPerSec: bitsPerS / 8,
+		rx:          sim.NewQueue[*Message](f.k),
+	}
+	f.nodes[addr] = e
+	return e
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// RX returns the two-sided receive queue that polling cores drain.
+func (e *Endpoint) RX() *sim.Queue[*Message] { return e.rx }
+
+// Stats returns cumulative counters.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// SetDown marks the endpoint dead (fail-stop): all traffic to it is
+// dropped, and its sends are suppressed.
+func (e *Endpoint) SetDown(down bool) { e.down = down }
+
+// Down reports the endpoint's fail-stop state.
+func (e *Endpoint) Down() bool { return e.down }
+
+// transmit models serialization on the sender egress, propagation, and
+// serialization on the receiver ingress, then delivers.
+func (e *Endpoint) transmit(m *Message) {
+	if e.down {
+		return
+	}
+	k := e.fab.k
+	m.Sent = k.Now()
+	size := m.Size + e.fab.cfg.MsgOverheadBytes
+	e.stats.TxMsgs++
+	e.stats.TxBytes += size
+
+	txStart := k.Now()
+	if e.txFree > txStart {
+		txStart = e.txFree
+	}
+	txDur := sim.Time(size * int64(sim.Second) / e.bytesPerSec)
+	e.txFree = txStart + txDur
+
+	dst, ok := e.fab.nodes[m.To]
+	if !ok {
+		e.stats.Dropped++
+		return
+	}
+	arrive := e.txFree + e.fab.cfg.Propagation
+	k.At(arrive, func() {
+		if dst.down {
+			dst.stats.Dropped++
+			return
+		}
+		rxStart := k.Now()
+		if dst.rxFree > rxStart {
+			rxStart = dst.rxFree
+		}
+		rxDur := sim.Time(size * int64(sim.Second) / dst.bytesPerSec)
+		dst.rxFree = rxStart + rxDur
+		k.At(dst.rxFree, func() {
+			if dst.down {
+				dst.stats.Dropped++
+				return
+			}
+			dst.stats.RxMsgs++
+			dst.stats.RxBytes += size
+			if m.Complete != nil {
+				m.Complete.Fire(m)
+				return
+			}
+			dst.rx.Put(m)
+		})
+	})
+}
+
+// Send issues a two-sided SEND: the message lands in the destination's RX
+// queue, to be picked up by a polling core.
+func (e *Endpoint) Send(to Addr, size int64, payload any) {
+	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload})
+}
+
+// Write issues a one-sided WRITE with IMM: the message completes into the
+// given event at the destination, bypassing the destination's poll loop.
+func (e *Endpoint) Write(to Addr, size int64, payload any, complete *sim.Event) {
+	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload, Complete: complete})
+}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+
+	"leed/internal/sim"
+)
+
+func newPair(k *sim.Kernel, bps int64) (*Fabric, *Endpoint, *Endpoint) {
+	f := New(k, Config{})
+	a := f.AddNode(1, bps)
+	b := f.AddNode(2, bps)
+	return f, a, b
+}
+
+func TestSendDelivers(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 100_000_000_000)
+	var got *Message
+	k.Go("rx", func(p *sim.Proc) { got = b.RX().Get(p) })
+	a.Send(2, 1024, "hello")
+	k.Run()
+	if got == nil || got.Payload != "hello" || got.From != 1 {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 100_000_000_000) // 100GbE
+	var at sim.Time
+	k.Go("rx", func(p *sim.Proc) {
+		b.RX().Get(p)
+		at = p.Now()
+	})
+	a.Send(2, 1024, nil)
+	k.Run()
+	// (1024+64)B at 12.5 GB/s twice (~87ns x2) + 1.5us propagation.
+	if at < 1600 || at > 2100 {
+		t.Fatalf("delivery at %v, want ~1.67us", at)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1GbE: 10 messages of 125KB each take ~10ms to drain the egress.
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 1_000_000_000)
+	n := 0
+	k.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			b.RX().Get(p)
+			n++
+		}
+	})
+	for i := 0; i < 10; i++ {
+		a.Send(2, 125_000, i)
+	}
+	end := k.Run()
+	if n != 10 {
+		t.Fatalf("delivered %d", n)
+	}
+	if end < 10*sim.Millisecond || end > 13*sim.Millisecond {
+		t.Fatalf("drain took %v, want ~10ms", end)
+	}
+}
+
+func TestIncastQueuesAtReceiver(t *testing.T) {
+	// Many fast senders into one receiver: deliveries serialize on the
+	// receiver's ingress bandwidth.
+	k := sim.New()
+	defer k.Close()
+	f := New(k, Config{})
+	dst := f.AddNode(99, 1_000_000_000) // 1GbE receiver
+	for i := 0; i < 8; i++ {
+		src := f.AddNode(Addr(i), 100_000_000_000)
+		src.Send(99, 125_000, i)
+	}
+	n := 0
+	k.Go("rx", func(p *sim.Proc) {
+		for i := 0; i < 8; i++ {
+			dst.RX().Get(p)
+			n++
+		}
+	})
+	end := k.Run()
+	if n != 8 {
+		t.Fatalf("delivered %d", n)
+	}
+	if end < 8*sim.Millisecond {
+		t.Fatalf("incast drained in %v; receiver bandwidth not enforced", end)
+	}
+}
+
+func TestOneSidedWriteBypassesRXQueue(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 100_000_000_000)
+	ev := k.NewEvent()
+	a.Write(2, 256, "resp", ev)
+	var got any
+	k.Go("wait", func(p *sim.Proc) {
+		m := p.Wait(ev).(*Message)
+		got = m.Payload
+	})
+	k.Run()
+	if got != "resp" {
+		t.Fatalf("got %v", got)
+	}
+	if b.RX().Len() != 0 {
+		t.Fatal("one-sided write landed in RX queue")
+	}
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 100_000_000_000)
+	b.SetDown(true)
+	a.Send(2, 100, nil)
+	k.Run()
+	if b.RX().Len() != 0 {
+		t.Fatal("message delivered to down node")
+	}
+	if b.Stats().Dropped == 0 && a.Stats().TxMsgs != 1 {
+		t.Fatalf("stats: a=%+v b=%+v", a.Stats(), b.Stats())
+	}
+	// Down sender transmits nothing.
+	a.SetDown(true)
+	a.Send(2, 100, nil)
+	k.Run()
+	if a.Stats().TxMsgs != 1 {
+		t.Fatal("down sender transmitted")
+	}
+}
+
+func TestUnknownDestinationDropped(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, _ := newPair(k, 100_000_000_000)
+	a.Send(42, 100, nil)
+	k.Run()
+	if a.Stats().Dropped != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+}
+
+func TestStatsCounted(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 100_000_000_000)
+	a.Send(2, 1000, nil)
+	k.Go("rx", func(p *sim.Proc) { b.RX().Get(p) })
+	k.Run()
+	if a.Stats().TxBytes != 1064 || b.Stats().RxBytes != 1064 {
+		t.Fatalf("a=%+v b=%+v", a.Stats(), b.Stats())
+	}
+}

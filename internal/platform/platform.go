@@ -1,0 +1,162 @@
+// Package platform assembles the simulated hardware a storage node runs on:
+// CPU cores, DRAM budget, NVMe drives, NIC bandwidth, and a power meter. The
+// three profiles mirror the paper's testbed (§4.1): the Broadcom Stingray
+// PS1100R SmartNIC JBOF, a dual-Xeon server JBOF, and a Raspberry Pi 3B+
+// embedded node.
+package platform
+
+import (
+	"leed/internal/flashsim"
+	"leed/internal/power"
+	"leed/internal/sim"
+)
+
+// Core is one CPU core. Compute phases consume virtual time proportional to
+// their cycle cost at the core's frequency, and draw the core's dynamic
+// power while running. A core is owned by at most one executor proc at a
+// time; exclusivity is the caller's business (the engine pins one event loop
+// per core, as LEED does).
+type Core struct {
+	ID     int
+	FreqHz int64
+	busy   *power.Component
+}
+
+// CycleTime converts a cycle count to virtual time on this core.
+func (c *Core) CycleTime(cycles int64) sim.Time {
+	return sim.Time(cycles * int64(sim.Second) / c.FreqHz)
+}
+
+// Run blocks the proc for d of compute, drawing dynamic power.
+func (c *Core) Run(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	c.busy.Begin()
+	p.Sleep(d)
+	c.busy.End()
+}
+
+// RunCycles blocks the proc for the given cycle count of compute.
+func (c *Core) RunCycles(p *sim.Proc, cycles int64) { c.Run(p, c.CycleTime(cycles)) }
+
+// PinPolling marks the core as a busy-polling core: it draws its dynamic
+// power permanently, whether or not useful work runs (§4.1: polling eight
+// cores costs 7.5W over idle on the Stingray).
+func (c *Core) PinPolling() { c.busy.PinActive() }
+
+// BusySeconds reports the accumulated active compute time.
+func (c *Core) BusySeconds() float64 { return c.busy.BusySeconds() }
+
+// Spec describes a platform profile.
+type Spec struct {
+	Name        string
+	NumCores    int
+	CoreFreqHz  int64
+	DRAMBytes   int64
+	NICBitsPerS int64 // network bandwidth
+	// Power model: idle platform draw plus per-core dynamic draw.
+	IdleWatts    float64
+	CoreWatts    float64
+	SSDWatts     float64 // per-SSD active (busy) draw
+	MemBWBytesPS int64   // onboard memory bandwidth (bounds concurrent ops, §4.8)
+	SSDSpec      func(capacity int64) flashsim.Spec
+}
+
+// Stingray is the Broadcom Stingray PS1100R profile: 8x3.0GHz ARM A72, 8GB
+// DRAM, 100GbE, 45W idle / 52.5W fully active, DCT983 NVMe drives,
+// 4390 MB/s onboard memory bandwidth.
+func Stingray() Spec {
+	return Spec{
+		Name:         "Stingray",
+		NumCores:     8,
+		CoreFreqHz:   3_000_000_000,
+		DRAMBytes:    8 << 30,
+		NICBitsPerS:  100_000_000_000,
+		IdleWatts:    45.0,
+		CoreWatts:    7.5 / 8,
+		SSDWatts:     0, // folded into the measured 52.5W envelope
+		MemBWBytesPS: 4390 << 20,
+		SSDSpec:      flashsim.SamsungDCT983,
+	}
+}
+
+// ServerJBOF is the dual Intel Xeon Gold 5218 storage server profile: 32
+// cores at 2.3GHz, 96GB DRAM, 100GbE, ~252W under load.
+func ServerJBOF() Spec {
+	return Spec{
+		Name:         "ServerJBOF",
+		NumCores:     32,
+		CoreFreqHz:   2_300_000_000,
+		DRAMBytes:    96 << 30,
+		NICBitsPerS:  100_000_000_000,
+		IdleWatts:    168.0,
+		CoreWatts:    2.4, // 168 + 32*2.4 + 4*1.2 = 249.6W fully busy
+		SSDWatts:     1.2,
+		MemBWBytesPS: 40 << 30,
+		SSDSpec:      flashsim.SamsungDCT983,
+	}
+}
+
+// RaspberryPi is the Raspberry Pi 3 Model B+ profile: 4x1.4GHz Cortex-A53,
+// 1GB DRAM, 1GbE (over USB2: ~300Mb effective), 3.6W idle / ~4.2W active,
+// one SanDisk SD card.
+func RaspberryPi() Spec {
+	return Spec{
+		Name:         "RaspberryPi",
+		NumCores:     4,
+		CoreFreqHz:   1_400_000_000,
+		DRAMBytes:    1 << 30,
+		NICBitsPerS:  1_000_000_000,
+		IdleWatts:    3.6,
+		CoreWatts:    0.15,
+		SSDWatts:     0,
+		MemBWBytesPS: 2 << 30,
+		SSDSpec:      flashsim.SanDiskSD,
+	}
+}
+
+// Node is one instantiated platform: cores, drives, and a meter on a kernel.
+type Node struct {
+	Spec  Spec
+	K     *sim.Kernel
+	Cores []*Core
+	SSDs  []*flashsim.SSD
+	Meter *power.Meter
+
+	ssdBusy []*power.Component
+}
+
+// NewNode instantiates a platform with numSSDs drives of ssdCapacity bytes
+// each. seed perturbs device jitter streams so distinct nodes decorrelate.
+func NewNode(k *sim.Kernel, spec Spec, numSSDs int, ssdCapacity int64, seed int64) *Node {
+	n := &Node{Spec: spec, K: k, Meter: power.NewMeter(k, spec.IdleWatts)}
+	for i := 0; i < spec.NumCores; i++ {
+		n.Cores = append(n.Cores, &Core{
+			ID:     i,
+			FreqHz: spec.CoreFreqHz,
+			busy:   n.Meter.NewComponent("core", spec.CoreWatts),
+		})
+	}
+	for i := 0; i < numSSDs; i++ {
+		ss := spec.SSDSpec(ssdCapacity)
+		ss.Seed = seed*1000 + int64(i)
+		ssd := flashsim.NewSSD(k, ss)
+		n.SSDs = append(n.SSDs, ssd)
+		n.ssdBusy = append(n.ssdBusy, n.Meter.NewComponent("ssd", spec.SSDWatts))
+	}
+	return n
+}
+
+// TotalFlash returns the node's aggregate flash capacity in bytes.
+func (n *Node) TotalFlash() int64 {
+	var t int64
+	for _, d := range n.SSDs {
+		t += d.Capacity()
+	}
+	return t
+}
+
+// MarkSSDActive begins drawing the per-SSD active power for drive i.
+// Engines call it once a drive enters service.
+func (n *Node) MarkSSDActive(i int) { n.ssdBusy[i].PinActive() }

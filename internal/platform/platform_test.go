@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"testing"
+
+	"leed/internal/sim"
+)
+
+func TestCoreCycleTime(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	n := NewNode(k, Stingray(), 1, 1<<20, 0)
+	c := n.Cores[0]
+	// 3000 cycles at 3GHz = 1us.
+	if d := c.CycleTime(3000); d != sim.Microsecond {
+		t.Fatalf("CycleTime = %v", d)
+	}
+}
+
+func TestCoreRunConsumesTimeAndPower(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	n := NewNode(k, Stingray(), 1, 1<<20, 0)
+	c := n.Cores[0]
+	k.Go("w", func(p *sim.Proc) {
+		c.RunCycles(p, 3_000_000_000) // 1 second of compute
+	})
+	end := k.Run()
+	if end != sim.Second {
+		t.Fatalf("end = %v", end)
+	}
+	if b := c.BusySeconds(); b < 0.999 || b > 1.001 {
+		t.Fatalf("busy = %v s", b)
+	}
+	// 45W idle + ~0.94W one busy core.
+	w := n.Meter.AvgWatts()
+	if w < 45.5 || w > 46.5 {
+		t.Fatalf("avg watts = %v", w)
+	}
+}
+
+func TestStingrayFullPollPower(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	n := NewNode(k, Stingray(), 4, 1<<20, 0)
+	for _, c := range n.Cores {
+		c.PinPolling()
+	}
+	k.At(sim.Second, func() {})
+	k.Run()
+	w := n.Meter.AvgWatts()
+	if w < 52.4 || w > 52.6 {
+		t.Fatalf("fully-polled Stingray draws %v W, want 52.5", w)
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	st, sv, pi := Stingray(), ServerJBOF(), RaspberryPi()
+	if st.NumCores != 8 || sv.NumCores != 32 || pi.NumCores != 4 {
+		t.Fatal("core counts wrong")
+	}
+	if !(pi.IdleWatts < st.IdleWatts && st.IdleWatts < sv.IdleWatts) {
+		t.Fatal("idle power ordering wrong")
+	}
+	if !(pi.NICBitsPerS < st.NICBitsPerS && st.NICBitsPerS == sv.NICBitsPerS) {
+		t.Fatal("NIC bandwidth ordering wrong")
+	}
+	// Table 1 storage-hierarchy skew: flash:DRAM ratio must be ~1024 for
+	// SmartNIC JBOF with 4x960GB per 8GB DRAM scaled, ~16 for embedded.
+	stRatio := float64(4*960<<30) / float64(st.DRAMBytes)
+	if stRatio < 400 || stRatio > 1100 {
+		t.Fatalf("stingray flash:DRAM ratio = %.0f", stRatio)
+	}
+}
+
+func TestNodeAssembly(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	n := NewNode(k, ServerJBOF(), 8, 4<<20, 7)
+	if len(n.SSDs) != 8 || len(n.Cores) != 32 {
+		t.Fatalf("node = %d ssds, %d cores", len(n.SSDs), len(n.Cores))
+	}
+	if n.TotalFlash() != 8*4<<20 {
+		t.Fatalf("total flash = %d", n.TotalFlash())
+	}
+}

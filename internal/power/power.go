@@ -1,0 +1,105 @@
+// Package power provides wall-power and energy accounting for simulated
+// platforms, playing the role of the paper's Watts Up Pro meter. A Meter has
+// a constant idle draw plus dynamic Components (cores, drives, NICs) that
+// contribute their wattage while active; energy is the integral of total
+// power over virtual time.
+package power
+
+import "leed/internal/sim"
+
+// Meter accumulates the energy drawn by one platform.
+type Meter struct {
+	k     *sim.Kernel
+	idleW float64
+	comps []*Component
+}
+
+// NewMeter creates a meter with the given constant idle draw in watts.
+func NewMeter(k *sim.Kernel, idleWatts float64) *Meter {
+	return &Meter{k: k, idleW: idleWatts}
+}
+
+// IdleWatts returns the configured idle draw.
+func (m *Meter) IdleWatts() float64 { return m.idleW }
+
+// Component models one dynamic power consumer. Begin/End calls nest: the
+// component draws its wattage whenever the nesting count is positive.
+type Component struct {
+	name   string
+	watts  float64
+	meter  *Meter
+	active int
+	since  sim.Time
+	busyNs float64 // integral of active time in ns
+}
+
+// NewComponent registers a dynamic consumer drawing watts while active.
+func (m *Meter) NewComponent(name string, watts float64) *Component {
+	c := &Component{name: name, watts: watts, meter: m}
+	m.comps = append(m.comps, c)
+	return c
+}
+
+func (c *Component) account() {
+	now := c.meter.k.Now()
+	if c.active > 0 {
+		c.busyNs += float64(now - c.since)
+	}
+	c.since = now
+}
+
+// Begin marks the component active (nestable).
+func (c *Component) Begin() {
+	c.account()
+	c.active++
+}
+
+// End reverses one Begin.
+func (c *Component) End() {
+	c.account()
+	c.active--
+	if c.active < 0 {
+		panic("power: Component.End without Begin")
+	}
+}
+
+// PinActive makes the component permanently active — e.g. a core spinning in
+// a poll loop, which draws power regardless of useful work (§4.1).
+func (c *Component) PinActive() { c.Begin() }
+
+// BusySeconds returns the component's accumulated active time.
+func (c *Component) BusySeconds() float64 {
+	c.account()
+	return c.busyNs / float64(sim.Second)
+}
+
+// Energy returns total Joules drawn from time zero to now.
+func (m *Meter) Energy() float64 {
+	j := m.idleW * m.k.Now().Seconds()
+	for _, c := range m.comps {
+		j += c.watts * c.BusySeconds()
+	}
+	return j
+}
+
+// AvgWatts returns average power from time zero to now.
+func (m *Meter) AvgWatts() float64 {
+	if m.k.Now() == 0 {
+		return m.idleW
+	}
+	return m.Energy() / m.k.Now().Seconds()
+}
+
+// Snapshot captures the meter state so a later call can measure a window.
+type Snapshot struct {
+	at     sim.Time
+	joules float64
+}
+
+// Snap records the current cumulative energy.
+func (m *Meter) Snap() Snapshot { return Snapshot{at: m.k.Now(), joules: m.Energy()} }
+
+// Since returns (joules, seconds) elapsed since the snapshot.
+func (m *Meter) Since(s Snapshot) (joules, seconds float64) {
+	return m.Energy() - s.joules, (m.k.Now() - s.at).Seconds()
+}

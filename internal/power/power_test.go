@@ -1,0 +1,118 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"leed/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 || math.Abs(a-b) < 1e-6*math.Abs(b) }
+
+func TestIdleEnergy(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	m := NewMeter(k, 45.0)
+	k.At(2*sim.Second, func() {})
+	k.Run()
+	if e := m.Energy(); !almost(e, 90.0) {
+		t.Fatalf("energy = %v J, want 90", e)
+	}
+	if w := m.AvgWatts(); !almost(w, 45.0) {
+		t.Fatalf("avg = %v W, want 45", w)
+	}
+}
+
+func TestComponentBusyEnergy(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	m := NewMeter(k, 10.0)
+	c := m.NewComponent("core0", 2.0)
+	k.Go("w", func(p *sim.Proc) {
+		p.Sleep(1 * sim.Second)
+		c.Begin()
+		p.Sleep(1 * sim.Second)
+		c.End()
+		p.Sleep(2 * sim.Second)
+	})
+	k.Run()
+	// 4s idle at 10W + 1s busy at 2W
+	if e := m.Energy(); !almost(e, 42.0) {
+		t.Fatalf("energy = %v J, want 42", e)
+	}
+	if b := c.BusySeconds(); !almost(b, 1.0) {
+		t.Fatalf("busy = %v s, want 1", b)
+	}
+}
+
+func TestComponentNesting(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	m := NewMeter(k, 0)
+	c := m.NewComponent("x", 1.0)
+	k.Go("w", func(p *sim.Proc) {
+		c.Begin()
+		p.Sleep(sim.Second)
+		c.Begin() // nested: still 1W, not 2W
+		p.Sleep(sim.Second)
+		c.End()
+		p.Sleep(sim.Second)
+		c.End()
+	})
+	k.Run()
+	if e := m.Energy(); !almost(e, 3.0) {
+		t.Fatalf("energy = %v J, want 3", e)
+	}
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	m := NewMeter(k, 0)
+	c := m.NewComponent("x", 1.0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.End()
+}
+
+func TestPinActive(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	m := NewMeter(k, 45.0)
+	for i := 0; i < 8; i++ {
+		m.NewComponent("poll", 7.5/8).PinActive()
+	}
+	k.At(sim.Second, func() {})
+	k.Run()
+	// Paper's measurement: 45W idle + 7.5W with eight polled cores.
+	if w := m.AvgWatts(); !almost(w, 52.5) {
+		t.Fatalf("avg = %v W, want 52.5", w)
+	}
+}
+
+func TestSnapshotWindow(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	m := NewMeter(k, 5.0)
+	c := m.NewComponent("x", 5.0)
+	var j, s float64
+	k.Go("w", func(p *sim.Proc) {
+		p.Sleep(sim.Second) // outside window
+		snap := m.Snap()
+		c.Begin()
+		p.Sleep(2 * sim.Second)
+		c.End()
+		j, s = m.Since(snap)
+	})
+	k.Run()
+	if !almost(s, 2.0) {
+		t.Fatalf("window = %v s", s)
+	}
+	// 2s at (5 idle + 5 busy) = 20 J
+	if !almost(j, 20.0) {
+		t.Fatalf("window energy = %v J, want 20", j)
+	}
+}

@@ -1,0 +1,208 @@
+// Package rpcproto defines the wire protocol spoken between LEED clients,
+// storage nodes, and the control plane: key-value requests and responses
+// (with piggybacked flow-control tokens, §3.5), chain hop counters for view
+// validation (§3.8.1), and a compact binary framing. The simulation passes
+// decoded structs through the fabric and charges the encoded size as wire
+// bytes; Encode/Decode implement the actual format and are exercised by
+// tests so the protocol is real, not notional.
+package rpcproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Op enumerates request operations.
+type Op uint8
+
+// Request operations.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpDel
+	// OpCopy carries one key-value pair during partition migration
+	// (§3.8.1's COPY primitive, built from GET+PUT).
+	OpCopy
+	// OpAck propagates the tail's commit acknowledgment backward along the
+	// chain so replicas clear dirty bits (§3.7).
+	OpAck
+	// OpHeartbeat is a node -> control-plane liveness beacon.
+	OpHeartbeat
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	case OpCopy:
+		return "COPY"
+	case OpAck:
+		return "ACK"
+	case OpHeartbeat:
+		return "HEARTBEAT"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Status enumerates response outcomes.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK Status = iota + 1
+	StatusNotFound
+	// StatusNack reports a view mismatch (wrong hop position or stale
+	// epoch); the client must refresh its view and retry (§3.8.1).
+	StatusNack
+	// StatusOverload reports admission rejection; the client should back
+	// off and respect tokens.
+	StatusOverload
+	StatusErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusNack:
+		return "NACK"
+	case StatusOverload:
+		return "OVERLOAD"
+	case StatusErr:
+		return "ERR"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Request is one command traveling client -> node or node -> node.
+type Request struct {
+	ID        uint64
+	Op        Op
+	Tenant    uint16
+	Partition uint32 // target partition (virtual-node key range)
+	Epoch     uint64 // sender's membership view epoch
+	Hop       uint8  // position along the chain, incremented per forward
+	Shipped   bool   // CRRS: true once a replica shipped this GET to the tail
+	Key       []byte
+	Value     []byte
+}
+
+// Response is the reply, delivered by one-sided WRITE into the client's
+// pre-allocated completion slot.
+type Response struct {
+	ID     uint64
+	Status Status
+	Value  []byte
+	// Tokens piggybacks the target partition's available admission tokens
+	// so the front-end scheduler stays load-aware (§3.5).
+	Tokens int32
+	// Epoch lets clients learn a newer view on NACK.
+	Epoch uint64
+}
+
+const (
+	reqHdrSize  = 8 + 1 + 2 + 4 + 8 + 1 + 1 + 4 + 4 // fixed fields + key/value lengths
+	respHdrSize = 8 + 1 + 4 + 8 + 4
+)
+
+// WireSize returns the request's encoded size in bytes.
+func (r *Request) WireSize() int64 { return int64(reqHdrSize + len(r.Key) + len(r.Value)) }
+
+// WireSize returns the response's encoded size in bytes.
+func (r *Response) WireSize() int64 { return int64(respHdrSize + len(r.Value)) }
+
+// ErrShortBuffer reports a truncated frame.
+var ErrShortBuffer = errors.New("rpcproto: short buffer")
+
+// EncodeRequest appends the request's wire form to dst and returns it.
+func EncodeRequest(dst []byte, r *Request) []byte {
+	var hdr [reqHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], r.ID)
+	hdr[8] = uint8(r.Op)
+	binary.LittleEndian.PutUint16(hdr[9:], r.Tenant)
+	binary.LittleEndian.PutUint32(hdr[11:], r.Partition)
+	binary.LittleEndian.PutUint64(hdr[15:], r.Epoch)
+	hdr[23] = r.Hop
+	if r.Shipped {
+		hdr[24] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[25:], uint32(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[29:], uint32(len(r.Value)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Key...)
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// DecodeRequest parses one request frame from src, returning the request
+// and the bytes consumed.
+func DecodeRequest(src []byte) (*Request, int, error) {
+	if len(src) < reqHdrSize {
+		return nil, 0, ErrShortBuffer
+	}
+	kl := int(binary.LittleEndian.Uint32(src[25:]))
+	vl := int(binary.LittleEndian.Uint32(src[29:]))
+	total := reqHdrSize + kl + vl
+	if len(src) < total {
+		return nil, 0, ErrShortBuffer
+	}
+	r := &Request{
+		ID:        binary.LittleEndian.Uint64(src[0:]),
+		Op:        Op(src[8]),
+		Tenant:    binary.LittleEndian.Uint16(src[9:]),
+		Partition: binary.LittleEndian.Uint32(src[11:]),
+		Epoch:     binary.LittleEndian.Uint64(src[15:]),
+		Hop:       src[23],
+		Shipped:   src[24] == 1,
+	}
+	if kl > 0 {
+		r.Key = append([]byte(nil), src[reqHdrSize:reqHdrSize+kl]...)
+	}
+	if vl > 0 {
+		r.Value = append([]byte(nil), src[reqHdrSize+kl:total]...)
+	}
+	return r, total, nil
+}
+
+// EncodeResponse appends the response's wire form to dst and returns it.
+func EncodeResponse(dst []byte, r *Response) []byte {
+	var hdr [respHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], r.ID)
+	hdr[8] = uint8(r.Status)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(r.Tokens))
+	binary.LittleEndian.PutUint64(hdr[13:], r.Epoch)
+	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(r.Value)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// DecodeResponse parses one response frame from src, returning the response
+// and the bytes consumed.
+func DecodeResponse(src []byte) (*Response, int, error) {
+	if len(src) < respHdrSize {
+		return nil, 0, ErrShortBuffer
+	}
+	vl := int(binary.LittleEndian.Uint32(src[21:]))
+	total := respHdrSize + vl
+	if len(src) < total {
+		return nil, 0, ErrShortBuffer
+	}
+	r := &Response{
+		ID:     binary.LittleEndian.Uint64(src[0:]),
+		Status: Status(src[8]),
+		Tokens: int32(binary.LittleEndian.Uint32(src[9:])),
+		Epoch:  binary.LittleEndian.Uint64(src[13:]),
+	}
+	if vl > 0 {
+		r.Value = append([]byte(nil), src[respHdrSize:total]...)
+	}
+	return r, total, nil
+}

@@ -1,0 +1,134 @@
+package rpcproto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := &Request{
+		ID: 12345, Op: OpPut, Tenant: 7, Partition: 42,
+		Epoch: 99, Hop: 2, Shipped: true,
+		Key: []byte("the-key"), Value: []byte("the-value"),
+	}
+	buf := EncodeRequest(nil, r)
+	if int64(len(buf)) != r.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize %d", len(buf), r.WireSize())
+	}
+	got, n, err := DecodeRequest(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v, n=%d", err, n)
+	}
+	if got.ID != r.ID || got.Op != r.Op || got.Tenant != r.Tenant ||
+		got.Partition != r.Partition || got.Epoch != r.Epoch ||
+		got.Hop != r.Hop || got.Shipped != r.Shipped ||
+		!bytes.Equal(got.Key, r.Key) || !bytes.Equal(got.Value, r.Value) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := &Response{ID: 88, Status: StatusNack, Value: []byte("v"), Tokens: -3, Epoch: 5}
+	buf := EncodeResponse(nil, r)
+	if int64(len(buf)) != r.WireSize() {
+		t.Fatalf("encoded %d, WireSize %d", len(buf), r.WireSize())
+	}
+	got, n, err := DecodeResponse(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.ID != 88 || got.Status != StatusNack || string(got.Value) != "v" ||
+		got.Tokens != -3 || got.Epoch != 5 {
+		t.Fatalf("mismatch: %+v", got)
+	}
+}
+
+func TestDecodeShortBuffers(t *testing.T) {
+	r := &Request{ID: 1, Op: OpGet, Key: []byte("abc")}
+	buf := EncodeRequest(nil, r)
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeRequest(buf[:i]); err != ErrShortBuffer {
+			t.Fatalf("prefix %d: err = %v", i, err)
+		}
+	}
+	resp := &Response{ID: 1, Status: StatusOK, Value: []byte("xy")}
+	rbuf := EncodeResponse(nil, resp)
+	for i := 0; i < len(rbuf); i++ {
+		if _, _, err := DecodeResponse(rbuf[:i]); err != ErrShortBuffer {
+			t.Fatalf("resp prefix %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestFramesConcatenate(t *testing.T) {
+	var buf []byte
+	reqs := []*Request{
+		{ID: 1, Op: OpGet, Key: []byte("a")},
+		{ID: 2, Op: OpPut, Key: []byte("bb"), Value: []byte("vv")},
+		{ID: 3, Op: OpDel, Key: []byte("ccc")},
+	}
+	for _, r := range reqs {
+		buf = EncodeRequest(buf, r)
+	}
+	for _, want := range reqs {
+		got, n, err := DecodeRequest(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || !bytes.Equal(got.Key, want.Key) {
+			t.Fatalf("frame %d mismatch", want.ID)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := &Request{
+			ID:        rng.Uint64(),
+			Op:        Op(rng.Intn(6) + 1),
+			Tenant:    uint16(rng.Intn(1 << 16)),
+			Partition: rng.Uint32(),
+			Epoch:     rng.Uint64(),
+			Hop:       uint8(rng.Intn(8)),
+			Shipped:   rng.Intn(2) == 1,
+			Key:       make([]byte, rng.Intn(64)+1),
+			Value:     make([]byte, rng.Intn(2048)),
+		}
+		rng.Read(r.Key)
+		rng.Read(r.Value)
+		if len(r.Value) == 0 {
+			r.Value = nil
+		}
+		buf := EncodeRequest(nil, r)
+		got, n, err := DecodeRequest(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return got.ID == r.ID && got.Op == r.Op && got.Tenant == r.Tenant &&
+			got.Partition == r.Partition && got.Epoch == r.Epoch &&
+			got.Hop == r.Hop && got.Shipped == r.Shipped &&
+			bytes.Equal(got.Key, r.Key) && bytes.Equal(got.Value, r.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if OpGet.String() != "GET" || OpHeartbeat.String() != "HEARTBEAT" {
+		t.Fatal("op strings")
+	}
+	if StatusNack.String() != "NACK" || Status(99).String() == "" {
+		t.Fatal("status strings")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op string empty")
+	}
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Event is a one-shot completion signal with an optional payload. Any number
+// of procs may Wait on it and any number of callbacks may be attached; all
+// are released when Fire is called. Firing twice panics: completions in this
+// system are single-owner.
+type Event struct {
+	k       *Kernel
+	fired   bool
+	val     any
+	waiters []Ticket
+	cbs     []func(val any)
+}
+
+// NewEvent returns an unfired event.
+func (k *Kernel) NewEvent() *Event { return &Event{k: k} }
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Value returns the payload passed to Fire, or nil if not yet fired.
+func (e *Event) Value() any { return e.val }
+
+// Fire marks the event complete, wakes all waiters, and schedules all
+// callbacks at the current virtual time.
+func (e *Event) Fire(val any) {
+	if e.fired {
+		panic("sim: Event fired twice")
+	}
+	e.fired = true
+	e.val = val
+	for _, t := range e.waiters {
+		t.Wake()
+	}
+	e.waiters = nil
+	for _, cb := range e.cbs {
+		cb := cb
+		e.k.At(e.k.now, func() { cb(val) })
+	}
+	e.cbs = nil
+}
+
+// OnFire registers fn to run (as a scheduled kernel event) when the event
+// fires. If the event already fired, fn is scheduled immediately.
+func (e *Event) OnFire(fn func(val any)) {
+	if e.fired {
+		v := e.val
+		e.k.At(e.k.now, func() { fn(v) })
+		return
+	}
+	e.cbs = append(e.cbs, fn)
+}
+
+// Timer returns an event that fires (with a nil payload) after d.
+func (k *Kernel) Timer(d Time) *Event {
+	ev := k.NewEvent()
+	k.After(d, func() { ev.Fire(nil) })
+	return ev
+}

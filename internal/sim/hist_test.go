@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []Time{10, 20, 30, 40} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHistogram()
+	vals := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// log-uniform over [1us, 10ms]
+		v := int64(float64(Microsecond) * pow10(rng.Float64()*4))
+		vals = append(vals, v)
+		h.Record(Time(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))-1]
+		got := int64(h.Quantile(q))
+		rel := float64(got-exact) / float64(exact)
+		if rel < -0.08 || rel > 0.08 {
+			t.Errorf("q=%v: got %d, exact %d (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+}
+
+func pow10(x float64) float64 {
+	r := 1.0
+	for x >= 1 {
+		r *= 10
+		x--
+	}
+	// linear blend is fine for test data generation
+	return r * (1 + 9*x/1.0) // maps [0,1) to roughly one decade
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Property: bucket lower bound is <= value, and bucketing is monotone.
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		if v < 1 {
+			v = 1
+		}
+		b := histBucket(v)
+		lo := histBucketLow(b)
+		if lo > v {
+			return false
+		}
+		// Relative width of a bucket is bounded.
+		hi := histBucketLow(b + 1)
+		return hi <= 0 || float64(hi-lo) <= float64(lo)/8+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Property: quantile estimates never exceed the recorded max and the
+	// 0-quantile never exceeds the 1-quantile.
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		count := int(n)%50 + 1
+		maxv := int64(0)
+		for i := 0; i < count; i++ {
+			v := rng.Int63n(1 << 30)
+			if v > maxv {
+				maxv = v
+			}
+			h.Record(Time(v))
+		}
+		if int64(h.Quantile(1.0)) > maxv {
+			return false
+		}
+		return h.Quantile(0.01) <= h.Quantile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeEqualsCombined(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+		for i := 0; i < 200; i++ {
+			v := Time(rng.Int63n(1 << 24))
+			if i%2 == 0 {
+				a.Record(v)
+			} else {
+				b.Record(v)
+			}
+			both.Record(v)
+		}
+		a.Merge(b)
+		return a.Count() == both.Count() &&
+			a.Mean() == both.Mean() &&
+			a.Min() == both.Min() &&
+			a.Max() == both.Max() &&
+			a.P99() == both.P99()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramRecordNegativeClamps(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatalf("negative record mishandled: %v", h)
+	}
+}

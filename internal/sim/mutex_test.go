@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+func TestMutexMutualExclusion(t *testing.T) {
+	k := New()
+	defer k.Close()
+	var mu Mutex
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		k.Go("w", func(p *Proc) {
+			mu.Lock(p)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(10)
+			inside--
+			mu.Unlock()
+		})
+	}
+	end := k.Run()
+	if maxInside != 1 {
+		t.Fatalf("max inside critical section = %d", maxInside)
+	}
+	if end != 50 {
+		t.Fatalf("5 serialized 10ns sections ended at %v", end)
+	}
+}
+
+func TestMutexFIFO(t *testing.T) {
+	k := New()
+	defer k.Close()
+	var mu Mutex
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.After(Time(i), func() {
+			k.Go("w", func(p *Proc) {
+				mu.Lock(p)
+				order = append(order, i)
+				p.Sleep(20)
+				mu.Unlock()
+			})
+		})
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	k := New()
+	defer k.Close()
+	var mu Mutex
+	if !mu.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if mu.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	mu.Unlock()
+	if !mu.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+}
+
+func TestMutexUnlockPanics(t *testing.T) {
+	var mu Mutex
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	mu.Unlock()
+}

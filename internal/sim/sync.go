@@ -1,0 +1,219 @@
+package sim
+
+// Queue is an unbounded FIFO connecting procs: producers Put without
+// blocking, consumers Get and block while the queue is empty. It is the
+// workhorse behind NIC receive rings, per-core runnable queues, and the
+// store's waiting queues.
+type Queue[T any] struct {
+	k       *Kernel
+	items   []T
+	head    int
+	getters []Ticket
+	maxLen  int
+}
+
+// NewQueue returns an empty queue on k.
+func NewQueue[T any](k *Kernel) *Queue[T] { return &Queue[T]{k: k} }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// MaxLen returns the high-water mark of the queue length.
+func (q *Queue[T]) MaxLen() int { return q.maxLen }
+
+// Put appends v and wakes one blocked getter, if any.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if n := q.Len(); n > q.maxLen {
+		q.maxLen = n
+	}
+	if len(q.getters) > 0 {
+		t := q.getters[0]
+		q.getters = q.getters[1:]
+		t.Wake()
+	}
+}
+
+// TryGet pops the head item without blocking. ok is false when empty.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if q.Len() == 0 {
+		return v, false
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Get pops the head item, blocking the proc while the queue is empty.
+// Getters are served in FIFO order.
+func (q *Queue[T]) Get(p *Proc) T {
+	for {
+		if v, ok := q.TryGet(); ok {
+			return v
+		}
+		t := p.prepare()
+		q.getters = append(q.getters, t)
+		p.park()
+	}
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.Len() == 0 {
+		return v, false
+	}
+	return q.items[q.head], true
+}
+
+// Mutex is a FIFO-fair mutual-exclusion lock for procs.
+type Mutex struct {
+	locked  bool
+	waiters []Ticket
+}
+
+// Lock blocks the proc until the mutex is acquired.
+func (m *Mutex) Lock(p *Proc) {
+	for m.locked {
+		t := p.Prepare()
+		m.waiters = append(m.waiters, t)
+		p.Park()
+	}
+	m.locked = true
+}
+
+// TryLock acquires the mutex if free.
+func (m *Mutex) TryLock() bool {
+	if m.locked {
+		return false
+	}
+	m.locked = true
+	return true
+}
+
+// Unlock releases the mutex and wakes the first waiter.
+func (m *Mutex) Unlock() {
+	if !m.locked {
+		panic("sim: Unlock of unlocked Mutex")
+	}
+	m.locked = false
+	if len(m.waiters) > 0 {
+		t := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		t.Wake()
+	}
+}
+
+// resWaiter is one proc waiting for n units of a Resource.
+type resWaiter struct {
+	t       Ticket
+	n       int64
+	granted *bool
+}
+
+// Resource is a counting semaphore over virtual time: the standard model for
+// anything with bounded concurrency (SSD service units, PCIe lanes, DMA
+// engines). Waiters are granted strictly in FIFO order, so a large request
+// at the head blocks smaller ones behind it — matching hardware queues.
+type Resource struct {
+	k        *Kernel
+	capacity int64
+	avail    int64
+	waiters  []resWaiter
+	// busy-time accounting for utilization reports
+	busySince   Time
+	busyIntegal Time // integral of (capacity-avail) dt, in unit*ns
+}
+
+// NewResource returns a resource with the given capacity, fully available.
+func NewResource(k *Kernel, capacity int64) *Resource {
+	return &Resource{k: k, capacity: capacity, avail: capacity, busySince: k.now}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// Avail returns the currently available units.
+func (r *Resource) Avail() int64 { return r.avail }
+
+// InUse returns capacity minus available units.
+func (r *Resource) InUse() int64 { return r.capacity - r.avail }
+
+func (r *Resource) account() {
+	now := r.k.now
+	r.busyIntegal += Time(r.InUse()) * (now - r.busySince)
+	r.busySince = now
+}
+
+// Utilization returns the time-averaged fraction of capacity in use since
+// the resource was created.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	elapsed := r.k.now
+	if elapsed == 0 || r.capacity == 0 {
+		return 0
+	}
+	return float64(r.busyIntegal) / (float64(elapsed) * float64(r.capacity))
+}
+
+// Waiting returns the number of queued acquirers — the waiting-queue
+// occupancy schedulers use to detect over-subscription.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// TryAcquire takes n units if immediately available and nobody is queued
+// ahead. It reports whether the units were taken.
+func (r *Resource) TryAcquire(n int64) bool {
+	if len(r.waiters) > 0 || r.avail < n {
+		return false
+	}
+	r.account()
+	r.avail -= n
+	return true
+}
+
+// Acquire blocks the proc until n units are available and all earlier
+// waiters have been served.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n > r.capacity {
+		panic("sim: Resource.Acquire exceeds capacity")
+	}
+	if r.TryAcquire(n) {
+		return
+	}
+	granted := false
+	r.waiters = append(r.waiters, resWaiter{t: p.prepare(), n: n, granted: &granted})
+	for !granted {
+		p.park()
+		if !granted {
+			// Spurious wake (e.g. from a stale ticket); re-park with a
+			// fresh ticket wired to the same waiter entry.
+			for i := range r.waiters {
+				if r.waiters[i].granted == &granted {
+					r.waiters[i].t = p.prepare()
+				}
+			}
+		}
+	}
+}
+
+// Release returns n units and grants as many queued waiters as now fit, in
+// FIFO order.
+func (r *Resource) Release(n int64) {
+	r.account()
+	r.avail += n
+	if r.avail > r.capacity {
+		panic("sim: Resource.Release over capacity")
+	}
+	for len(r.waiters) > 0 && r.waiters[0].n <= r.avail {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.avail -= w.n
+		*w.granted = true
+		w.t.Wake()
+	}
+}

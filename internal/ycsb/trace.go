@@ -1,0 +1,156 @@
+package ycsb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Trace support: record a generated operation stream to a compact text
+// format and replay it later, so experiments can run against captured or
+// externally produced workloads instead of synthetic distributions.
+//
+// Format, one op per line:
+//
+//	R <key>            read
+//	U <key> <vlen>     update
+//	I <key> <vlen>     insert
+//	M <key> <vlen>     read-modify-write
+
+// Source produces an operation stream; both Generator and TraceReplayer
+// satisfy it.
+type Source interface {
+	Next() Op
+}
+
+// WriteTrace serializes ops to w.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		var err error
+		switch op.Type {
+		case OpRead:
+			_, err = fmt.Fprintf(bw, "R %s\n", op.Key)
+		case OpUpdate:
+			_, err = fmt.Fprintf(bw, "U %s %d\n", op.Key, len(op.Value))
+		case OpInsert:
+			_, err = fmt.Fprintf(bw, "I %s %d\n", op.Key, len(op.Value))
+		case OpReadModifyWrite:
+			_, err = fmt.Fprintf(bw, "M %s %d\n", op.Key, len(op.Value))
+		default:
+			err = fmt.Errorf("ycsb: unknown op type %v", op.Type)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Record captures the next n ops from a source as a trace.
+func Record(src Source, n int) []Op {
+	out := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		op := src.Next()
+		cp := Op{Type: op.Type, Key: append([]byte(nil), op.Key...)}
+		if op.Value != nil {
+			cp.Value = append([]byte(nil), op.Value...)
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// TraceReplayer replays a parsed trace. Values are regenerated
+// deterministically at the recorded lengths. Next cycles back to the start
+// when the trace is exhausted, so replays can drive runs of any length.
+type TraceReplayer struct {
+	ops    []traceOp
+	i      int
+	valBuf []byte
+	// Wrapped counts how many times the replay cycled.
+	Wrapped int
+}
+
+type traceOp struct {
+	typ  OpType
+	key  []byte
+	vlen int
+}
+
+// ReadTrace parses a trace from r.
+func ReadTrace(r io.Reader) (*TraceReplayer, error) {
+	t := &TraceReplayer{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		op := traceOp{}
+		switch fields[0] {
+		case "R":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ycsb: trace line %d: R needs a key", line)
+			}
+			op.typ = OpRead
+			op.key = []byte(fields[1])
+		case "U", "I", "M":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("ycsb: trace line %d: %s needs key and vlen", line, fields[0])
+			}
+			switch fields[0] {
+			case "U":
+				op.typ = OpUpdate
+			case "I":
+				op.typ = OpInsert
+			default:
+				op.typ = OpReadModifyWrite
+			}
+			op.key = []byte(fields[1])
+			if _, err := fmt.Sscanf(fields[2], "%d", &op.vlen); err != nil || op.vlen < 0 {
+				return nil, fmt.Errorf("ycsb: trace line %d: bad vlen %q", line, fields[2])
+			}
+		default:
+			return nil, fmt.Errorf("ycsb: trace line %d: unknown op %q", line, fields[0])
+		}
+		t.ops = append(t.ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(t.ops) == 0 {
+		return nil, fmt.Errorf("ycsb: empty trace")
+	}
+	return t, nil
+}
+
+// Len returns the number of ops in one pass of the trace.
+func (t *TraceReplayer) Len() int { return len(t.ops) }
+
+// Next returns the next operation, cycling at the end. The returned slices
+// are reused across calls.
+func (t *TraceReplayer) Next() Op {
+	op := t.ops[t.i]
+	t.i++
+	if t.i == len(t.ops) {
+		t.i = 0
+		t.Wrapped++
+	}
+	out := Op{Type: op.typ, Key: op.key}
+	if op.typ != OpRead {
+		if cap(t.valBuf) < op.vlen {
+			t.valBuf = make([]byte, op.vlen)
+		}
+		v := t.valBuf[:op.vlen]
+		for i := range v {
+			v[i] = byte(t.i>>3) ^ byte(i*13)
+		}
+		out.Value = v
+	}
+	return out
+}

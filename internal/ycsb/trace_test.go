@@ -1,0 +1,77 @@
+package ycsb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen := NewGenerator(WorkloadA, 500, 64, 3)
+	ops := Record(gen, 200)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 200 {
+		t.Fatalf("trace len = %d", rep.Len())
+	}
+	for i, want := range ops {
+		got := rep.Next()
+		if got.Type != want.Type || string(got.Key) != string(want.Key) {
+			t.Fatalf("op %d: got %v/%s, want %v/%s", i, got.Type, got.Key, want.Type, want.Key)
+		}
+		if len(got.Value) != len(want.Value) {
+			t.Fatalf("op %d: value len %d, want %d", i, len(got.Value), len(want.Value))
+		}
+	}
+}
+
+func TestTraceReplayerCycles(t *testing.T) {
+	rep, err := ReadTrace(strings.NewReader("R a\nU b 8\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rep.Next()
+	}
+	if rep.Wrapped != 2 {
+		t.Fatalf("wrapped = %d", rep.Wrapped)
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	rep, err := ReadTrace(strings.NewReader("# header\n\nR key1\nM key2 32\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != 2 {
+		t.Fatalf("len = %d", rep.Len())
+	}
+	op := rep.Next()
+	if op.Type != OpRead || string(op.Key) != "key1" {
+		t.Fatalf("op = %v %s", op.Type, op.Key)
+	}
+	op = rep.Next()
+	if op.Type != OpReadModifyWrite || len(op.Value) != 32 {
+		t.Fatalf("op = %v len %d", op.Type, len(op.Value))
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"", "X key", "U key", "U key notanum", "R"} {
+		if _, err := ReadTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("trace %q accepted", bad)
+		}
+	}
+}
+
+func TestSourceInterface(t *testing.T) {
+	var _ Source = NewGenerator(WorkloadB, 10, 8, 1)
+	rep, _ := ReadTrace(strings.NewReader("R a\n"))
+	var _ Source = rep
+}

@@ -1,0 +1,146 @@
+// Package leed is the public facade of this repository: a reproduction of
+// "LEED: A Low-Power, Fast Persistent Key-Value Store on SmartNIC JBOFs"
+// (SIGCOMM 2023) as a deterministic discrete-event simulation.
+//
+// The package re-exports the pieces a user composes:
+//
+//   - A simulation Kernel and Proc (virtual time; all API calls that do I/O
+//     take a *Proc and block in virtual time).
+//   - Store: the per-SSD LEED data store — circular key/value logs with the
+//     DRAM/Flash hybrid index, compaction, and swapping (§3.2-§3.3).
+//   - Cluster: the full distributed system — token-based intra-JBOF
+//     execution, flow-control scheduling, CRRS chain replication, and the
+//     membership control plane (§3.4-§3.8).
+//   - Workloads: YCSB generators matching the paper's evaluation.
+//
+// See examples/ for runnable entry points and cmd/leed-bench for the
+// harness that regenerates every table and figure in the paper.
+package leed
+
+import (
+	"leed/internal/cluster"
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+// Simulation substrate.
+type (
+	// Kernel is the discrete-event simulation engine.
+	Kernel = sim.Kernel
+	// Proc is a simulated process; blocking APIs take one.
+	Proc = sim.Proc
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Histogram records latency distributions.
+	Histogram = sim.Histogram
+)
+
+// Virtual time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Data store layer (§3.2–§3.3).
+type (
+	// Store is one LEED per-SSD data store.
+	Store = core.Store
+	// StoreConfig configures a Store.
+	StoreConfig = core.Config
+	// Device is the flash device interface stores run on.
+	Device = flashsim.Device
+)
+
+// Cluster layer (§3.4–§3.8).
+type (
+	// Cluster is a full LEED deployment: JBOFs, control plane, clients.
+	Cluster = cluster.Cluster
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = cluster.Config
+	// Client is the co-located front-end library with flow control.
+	Client = cluster.Client
+	// NodeID identifies a JBOF.
+	NodeID = cluster.NodeID
+)
+
+// Workloads (§4.1).
+type (
+	// Workload is a YCSB mix definition.
+	Workload = ycsb.Workload
+	// Generator produces an operation stream.
+	Generator = ycsb.Generator
+)
+
+// The paper's six YCSB workloads.
+var (
+	WorkloadA  = ycsb.WorkloadA
+	WorkloadB  = ycsb.WorkloadB
+	WorkloadC  = ycsb.WorkloadC
+	WorkloadD  = ycsb.WorkloadD
+	WorkloadF  = ycsb.WorkloadF
+	WorkloadWR = ycsb.WorkloadWR
+)
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = core.ErrNotFound
+
+// NewKernel creates a simulation kernel at virtual time zero.
+func NewKernel() *Kernel { return sim.New() }
+
+// NewHistogram creates an empty latency histogram.
+func NewHistogram() *Histogram { return sim.NewHistogram() }
+
+// NewCluster assembles a LEED cluster; call its Start method, then drive
+// the kernel (Cluster.K.Run) while issuing operations from procs.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// NewMemStore creates a single store over a zero-latency in-memory device —
+// the quickest way to exercise the data-store API functionally.
+func NewMemStore(k *Kernel, numSegments int, keyLogBytes, valLogBytes int64) *Store {
+	dev := flashsim.NewMemDevice(k, keyLogBytes+valLogBytes+(1<<20))
+	return core.NewStore(core.Config{
+		Kernel:      k,
+		Device:      dev,
+		NumSegments: numSegments,
+		KeyLogBytes: keyLogBytes,
+		ValLogBytes: valLogBytes,
+	})
+}
+
+// NewSSDStore creates a single store over a latency-modeled NVMe device
+// (the Samsung DCT983 profile from the paper's testbed).
+func NewSSDStore(k *Kernel, capacity int64, numSegments int, keyLogBytes, valLogBytes int64) *Store {
+	dev := flashsim.NewSSD(k, flashsim.SamsungDCT983(capacity))
+	return core.NewStore(core.Config{
+		Kernel:      k,
+		Device:      dev,
+		NumSegments: numSegments,
+		KeyLogBytes: keyLogBytes,
+		ValLogBytes: valLogBytes,
+	})
+}
+
+// NewGenerator creates a YCSB operation generator.
+func NewGenerator(w Workload, records int64, valLen int, seed int64) *Generator {
+	return ycsb.NewGenerator(w, records, valLen, seed)
+}
+
+// Trace capture and replay (see internal/ycsb's trace format).
+type (
+	// OpSource produces an operation stream: a Generator or a TraceReplayer.
+	OpSource = ycsb.Source
+	// TraceReplayer replays a recorded operation trace.
+	TraceReplayer = ycsb.TraceReplayer
+)
+
+// RecordTrace captures the next n operations from a source.
+var RecordTrace = ycsb.Record
+
+// WriteTrace serializes operations to a writer in the trace format.
+var WriteTrace = ycsb.WriteTrace
+
+// ReadTrace parses a trace for replay.
+var ReadTrace = ycsb.ReadTrace

@@ -1,0 +1,132 @@
+package leed
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, doubling as
+// documentation for the patterns in examples/.
+
+func TestFacadeStoreCRUD(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	s := NewMemStore(k, 64, 1<<20, 2<<20)
+	k.Go("t", func(p *Proc) {
+		if _, err := s.Put(p, []byte("k"), []byte("v")); err != nil {
+			t.Errorf("put: %v", err)
+		}
+		v, _, err := s.Get(p, []byte("k"))
+		if err != nil || string(v) != "v" {
+			t.Errorf("get: %q, %v", v, err)
+		}
+		if _, err := s.Del(p, []byte("k")); err != nil {
+			t.Errorf("del: %v", err)
+		}
+		if _, _, err := s.Get(p, []byte("k")); err != ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+	})
+	k.Run()
+}
+
+func TestFacadeSSDStoreHasLatency(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	s := NewSSDStore(k, 64<<20, 64, 4<<20, 8<<20)
+	var lat Time
+	k.Go("t", func(p *Proc) {
+		s.Put(p, []byte("k"), []byte("v"))
+		t0 := p.Now()
+		s.Get(p, []byte("k"))
+		lat = p.Now() - t0
+	})
+	k.Run()
+	if lat < 80*Microsecond {
+		t.Fatalf("GET latency %v too low for two NVMe accesses", lat)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	c := NewCluster(ClusterConfig{
+		Kernel: k, NumJBOFs: 3, SSDsPerJBOF: 4, SSDCapacity: 48 << 20,
+		NumPartitions: 8, R: 3, KeyLen: 16, ValLen: 64, NumClients: 1,
+		CRRS: true, FlowControl: true, Swap: true,
+	})
+	c.Start()
+	done := false
+	k.Go("t", func(p *Proc) {
+		defer func() { done = true }()
+		cl := c.Clients[0]
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("k%02d", i))
+			if _, err := cl.Put(p, key, []byte("v")); err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+		}
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("k%02d", i))
+			if v, _, err := cl.Get(p, key); err != nil || string(v) != "v" {
+				t.Errorf("get %d: %q, %v", i, v, err)
+				return
+			}
+		}
+	})
+	for !done && k.Now() < 60*Second {
+		k.Run(k.Now() + 10*Millisecond)
+	}
+	if !done {
+		t.Fatal("driver timed out")
+	}
+	if c.Energy() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestFacadeGenerator(t *testing.T) {
+	g := NewGenerator(WorkloadA, 100, 32, 1)
+	reads := 0
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Value == nil {
+			reads++
+		}
+	}
+	if reads < 400 || reads > 600 {
+		t.Fatalf("YCSB-A reads = %d/1000", reads)
+	}
+}
+
+func TestFacadeHistogram(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(Time(i) * Microsecond)
+	}
+	if h.Count() != 100 || h.Min() != Microsecond {
+		t.Fatalf("%v", h)
+	}
+}
+
+func TestFacadeTraceRoundTrip(t *testing.T) {
+	gen := NewGenerator(WorkloadA, 100, 32, 4)
+	ops := RecordTrace(gen, 50)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src OpSource = rep
+	for i := 0; i < 50; i++ {
+		op := src.Next()
+		if string(op.Key) != string(ops[i].Key) {
+			t.Fatalf("op %d key mismatch", i)
+		}
+	}
+}
