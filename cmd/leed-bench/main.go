@@ -26,6 +26,7 @@ func main() {
 	scale := flag.String("scale", "full", "quick | full")
 	workloadsFlag := flag.String("workloads", "", "comma-separated YCSB workload names (default: all six)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit JSON (one object per experiment) instead of aligned tables")
 	sizesFlag := flag.String("sizes", "", "comma-separated object sizes in bytes (default: 256,1024)")
 	flag.Parse()
 
@@ -57,11 +58,14 @@ func main() {
 	}
 
 	show := func(t *bench.Table) {
-		if *csv {
+		switch {
+		case *jsonOut:
+			fmt.Print(t.JSON())
+		case *csv:
 			fmt.Print(t.CSV())
-			return
+		default:
+			fmt.Println(t)
 		}
-		fmt.Println(t)
 	}
 	run := map[string]func(){
 		"tab1":  func() { show(bench.Tab1()) },

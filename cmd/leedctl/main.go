@@ -10,9 +10,15 @@
 //	leedctl -image /tmp/store.img compact
 //	leedctl -image /tmp/store.img load 10000        # bulk-load objects
 //	leedctl -image /tmp/store.img bench 20000       # YCSB-B benchmark
+//	leedctl -image /tmp/store.img serve 20000       # wall-clock concurrent serving
 //
 // Every invocation opens the image, replays recovery (superblock + key-log
 // scan), performs the command, and flushes the superblock.
+//
+// All commands except serve run on the deterministic sim kernel (virtual
+// time). serve runs the same store on the wall-clock runtime backend: real
+// goroutine clients issue concurrent PUT/GET/DEL against the image and the
+// reported latencies are real elapsed time.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
 	"leed/internal/ycsb"
 )
@@ -30,10 +38,18 @@ func main() {
 	image := flag.String("image", "", "store image file (required)")
 	capacity := flag.Int64("capacity", 64<<20, "image capacity in bytes (fixed at init)")
 	modelLatency := flag.Bool("latency", false, "model DCT983 NVMe latencies on top of the image (for bench)")
+	clients := flag.Int("clients", 8, "concurrent client goroutines for serve")
 	flag.Parse()
 	if *image == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] {put K V | get K | del K | keys | stats | compact | load N | bench N}")
+		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] [-clients N] {put K V | get K | del K | keys | stats | compact | load N | bench N | serve N}")
 		os.Exit(2)
+	}
+
+	if flag.Arg(0) == "serve" {
+		if err := serve(*image, *capacity, *clients, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	k := sim.New()
@@ -52,7 +68,7 @@ func main() {
 	// reconstructs the same layout.
 	geo := core.PlanPartition(*capacity, 32, 1024, core.PlanOpts{})
 	store := core.NewStore(core.StoreConfigFor(geo, core.Config{
-		Kernel: k,
+		Env:    k,
 		Device: dev,
 	}))
 
@@ -184,6 +200,102 @@ func main() {
 	if cmdErr != nil {
 		fatal(cmdErr)
 	}
+}
+
+// serve runs the store on the wall-clock backend: N client goroutines issue
+// a mixed PUT/GET/DEL stream against the image concurrently, then the store
+// is flushed so a later invocation (any command) recovers the result.
+func serve(image string, capacity int64, clients int, args []string) error {
+	totalOps := int64(20000)
+	if len(args) > 1 {
+		fmt.Sscanf(args[1], "%d", &totalOps)
+	}
+	if clients < 1 {
+		return fmt.Errorf("serve needs -clients >= 1")
+	}
+
+	env := wallclock.New()
+	fileDev, err := flashsim.OpenFileDevice(env, image, capacity)
+	if err != nil {
+		return err
+	}
+	defer fileDev.Close()
+
+	geo := core.PlanPartition(capacity, 32, 1024, core.PlanOpts{})
+	store := core.NewStore(core.StoreConfigFor(geo, core.Config{
+		Env:    env,
+		Device: fileDev,
+	}))
+
+	var recoverErr error
+	env.Spawn("recover", func(p runtime.Task) {
+		_, recoverErr = store.Recover(p)
+	})
+	env.Wait()
+	if recoverErr != nil {
+		return fmt.Errorf("recover: %w", recoverErr)
+	}
+
+	// Latency histogram and error slot are shared without locks: the Env
+	// execution contract (one running task at a time) protects them.
+	lat := sim.NewHistogram()
+	var opErr error
+	perClient := totalOps / int64(clients)
+	start := env.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		env.Spawn("client", func(p runtime.Task) {
+			// Disjoint keyspace per client keeps the run verifiable while
+			// the interleaving stays scheduler-dependent.
+			gen := ycsb.NewGenerator(ycsb.WorkloadA, perClient/2+1, 256, int64(c))
+			for i := int64(0); i < perClient && opErr == nil; i++ {
+				op := gen.Next()
+				key := append([]byte(fmt.Sprintf("s%d-", c)), op.Key...)
+				t0 := p.Now()
+				var err error
+				switch {
+				case op.Type == ycsb.OpRead:
+					_, _, err = store.Get(p, key)
+				case i%31 == 30:
+					_, err = store.Del(p, key)
+				default:
+					_, err = store.Put(p, key, op.Value)
+				}
+				if err != nil && err != core.ErrNotFound {
+					opErr = fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				lat.Record(p.Now() - t0)
+				if store.NeedsValueCompaction() {
+					store.CompactValueLog(p)
+				}
+				if store.NeedsKeyCompaction() {
+					store.CompactKeyLog(p)
+				}
+			}
+		})
+	}
+	env.Wait()
+	if opErr != nil {
+		return opErr
+	}
+
+	var flushErr error
+	env.Spawn("flush", func(p runtime.Task) {
+		flushErr = store.Flush(p)
+	})
+	env.Wait()
+	if flushErr != nil {
+		return fmt.Errorf("flush: %w", flushErr)
+	}
+
+	elapsed := env.Now() - start
+	done := perClient * int64(clients)
+	fmt.Printf("served %d ops from %d concurrent clients in %v (wall clock)\n", done, clients, elapsed)
+	fmt.Printf("throughput: %.0f ops/s\n", float64(done)/elapsed.Seconds())
+	fmt.Printf("latency:    %v\n", lat)
+	fmt.Printf("live objects: %d\n", store.Objects())
+	return nil
 }
 
 func fatal(err error) {

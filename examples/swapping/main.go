@@ -22,7 +22,7 @@ func main() {
 	defer k.Close()
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 1)
 	eng := engine.New(engine.Config{
-		Kernel:           k,
+		Env:              k,
 		Node:             node,
 		PartitionsPerSSD: 1,
 		Geometry: core.Geometry{

@@ -13,6 +13,7 @@ import (
 	"leed/internal/netsim"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
+	"leed/internal/runtime"
 	"leed/internal/sim"
 )
 
@@ -38,9 +39,9 @@ func NewGate(k *sim.Kernel, c *platform.Core) *Gate {
 }
 
 // Compute implements core.Exec.
-func (g *Gate) Compute(p *sim.Proc, cycles int64) {
-	g.res.Acquire(p, 1)
-	g.Core.RunCycles(p, cycles)
+func (g *Gate) Compute(t runtime.Task, cycles int64) {
+	g.res.Acquire(t, 1)
+	g.Core.RunCycles(t, cycles)
 	g.res.Release(1)
 }
 

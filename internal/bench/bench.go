@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -296,6 +297,27 @@ func kqps(thr float64) string { return fmt.Sprintf("%.1f", thr/1000) }
 func us(t sim.Time) string    { return fmt.Sprintf("%.1f", float64(t)/float64(sim.Microsecond)) }
 func f2(v float64) string     { return fmt.Sprintf("%.2f", v) }
 func pct(v float64) string    { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// JSON renders the table as one JSON object per experiment — title, column
+// names, and the same cells as the text rendering (throughput, p50/p99
+// latency, requests per Joule — whatever the experiment reports) — for
+// machine consumption.
+func (t *Table) JSON() string {
+	type doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	b, err := json.MarshalIndent(doc{t.Title, t.Columns, rows}, "", "  ")
+	if err != nil {
+		panic(err) // tables of strings always marshal
+	}
+	return string(b) + "\n"
+}
 
 // CSV renders the table as comma-separated values (header row first) for
 // external plotting.

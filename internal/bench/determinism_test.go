@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// TestExperimentDeterministicOutput runs one full experiment twice at the
+// same scale and requires byte-identical formatted output in every
+// rendering. TestRunDeterministic checks the Run level; this is the
+// experiment-level regression for the sim backend's determinism guarantee —
+// preload, workload generation, scheduling, power metering, and formatting
+// must all be free of map-iteration order, timers, and real randomness.
+func TestExperimentDeterministicOutput(t *testing.T) {
+	render := func() (text, csv, js string) {
+		_, tab := Tab3(Quick)
+		return tab.String(), tab.CSV(), tab.JSON()
+	}
+	text1, csv1, js1 := render()
+	text2, csv2, js2 := render()
+	if text1 != text2 {
+		t.Errorf("table text differs between identical runs:\n--- run 1\n%s--- run 2\n%s", text1, text2)
+	}
+	if csv1 != csv2 {
+		t.Errorf("CSV differs between identical runs:\n--- run 1\n%s--- run 2\n%s", csv1, csv2)
+	}
+	if js1 != js2 {
+		t.Errorf("JSON differs between identical runs:\n--- run 1\n%s--- run 2\n%s", js1, js2)
+	}
+}

@@ -318,7 +318,7 @@ func AblationSegDensity(sc Scale) ([]SegDensityRow, *Table) {
 		numSegs := int(records)/itemsPerSeg + 1
 		maxChain := itemsPerSeg/14 + 2 // ~14 items fit per 512B bucket
 		s := core.NewStore(core.Config{
-			Kernel: k, Device: node.SSDs[0], Exec: gate,
+			Env: k, Device: node.SSDs[0], Exec: gate,
 			NumSegments: numSegs, MaxChain: maxChain,
 			KeyLogBytes: 24 << 20, ValLogBytes: 24 << 20,
 		})
@@ -370,7 +370,7 @@ func runCompactionStore(k *sim.Kernel, sc Scale, w ycsb.Workload, subs, cc int) 
 	var stores []*core.Store
 	for i := 0; i < 4; i++ {
 		stores = append(stores, core.NewStore(core.Config{
-			Kernel: k, Device: node.SSDs[i], DevID: uint8(i), Exec: gateFor[i],
+			Env: k, Device: node.SSDs[i], DevID: uint8(i), Exec: gateFor[i],
 			NumSegments: int(records/20) + 8,
 			KeyLogBytes: 3 << 20, ValLogBytes: 4 << 20,
 			SubCompactions: subs, Prefetch: true, CompactChunk: 256 << 10,

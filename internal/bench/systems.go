@@ -236,7 +236,7 @@ func NewLEEDNode(k *sim.Kernel, valLen int, opts ...func(*engine.Config)) *Syste
 	partBytes := int64(128 << 20)
 	geo := core.PlanPartition(partBytes, KeyLen, valLen, core.PlanOpts{})
 	cfg := engine.Config{
-		Kernel:           k,
+		Env:              k,
 		Node:             node,
 		PartitionsPerSSD: 2,
 		Geometry:         geo,

@@ -117,7 +117,7 @@ func New(cfg Config) *Cluster {
 		id := firstNodeID + NodeID(i)
 		plat := platform.NewNode(k, cfg.Platform, cfg.SSDsPerJBOF, cfg.SSDCapacity, int64(id))
 		eng := engine.New(engine.Config{
-			Kernel:             k,
+			Env:                k,
 			Node:               plat,
 			PartitionsPerSSD:   partsPerSSD,
 			Geometry:           geo,

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"leed/internal/flashsim"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // CircLog is a fixed-size circular log on a region of a device (§3.2.1).
@@ -15,7 +15,7 @@ import (
 // offset, append at the tail, and release (advance the head) after
 // compaction.
 type CircLog struct {
-	k    *sim.Kernel
+	env  runtime.Env
 	dev  flashsim.Device
 	off  int64 // physical start of the region
 	size int64
@@ -27,11 +27,11 @@ type CircLog struct {
 }
 
 // NewCircLog creates a log over dev[off, off+size).
-func NewCircLog(k *sim.Kernel, dev flashsim.Device, off, size int64) *CircLog {
+func NewCircLog(env runtime.Env, dev flashsim.Device, off, size int64) *CircLog {
 	if size <= 0 || off < 0 || off+size > dev.Capacity() {
 		panic(fmt.Sprintf("core: bad circular log region [%d,+%d) on device of %d", off, size, dev.Capacity()))
 	}
-	return &CircLog{k: k, dev: dev, off: off, size: size}
+	return &CircLog{env: env, dev: dev, off: off, size: size}
 }
 
 // Size returns the region size in bytes.
@@ -59,8 +59,8 @@ func (l *CircLog) phys(logical int64) int64 { return l.off + logical%l.size }
 
 // submitWrap issues one logical-range op, splitting at the physical wrap
 // point if needed, and returns an event that fires when all parts complete.
-func (l *CircLog) submitWrap(kind flashsim.OpKind, logical int64, data []byte) *sim.Event {
-	done := l.k.NewEvent()
+func (l *CircLog) submitWrap(kind flashsim.OpKind, logical int64, data []byte) runtime.Event {
+	done := l.env.MakeEvent()
 	p0 := l.phys(logical)
 	first := l.off + l.size - p0
 	if int64(len(data)) <= first {
@@ -69,7 +69,7 @@ func (l *CircLog) submitWrap(kind flashsim.OpKind, logical int64, data []byte) *
 		return done
 	}
 	// Straddles the wrap point: two device ops, fire when both are done.
-	d1, d2 := l.k.NewEvent(), l.k.NewEvent()
+	d1, d2 := l.env.MakeEvent(), l.env.MakeEvent()
 	l.dev.Submit(&flashsim.Op{Kind: kind, Offset: p0, Data: data[:first], Done: d1})
 	l.dev.Submit(&flashsim.Op{Kind: kind, Offset: l.off, Data: data[first:], Done: d2})
 	pending := 2
@@ -93,7 +93,7 @@ func (l *CircLog) submitWrap(kind flashsim.OpKind, logical int64, data []byte) *
 // error). The reservation is immediate, so concurrent appenders never
 // interleave their bytes. ErrLogFull is returned when the live region
 // cannot absorb the record.
-func (l *CircLog) Append(data []byte) (logical int64, done *sim.Event, err error) {
+func (l *CircLog) Append(data []byte) (logical int64, done runtime.Event, err error) {
 	n := int64(len(data))
 	if n > l.size {
 		return 0, nil, ErrValueTooLarge
@@ -109,7 +109,7 @@ func (l *CircLog) Append(data []byte) (logical int64, done *sim.Event, err error
 
 // ReadAsync issues a read of len(buf) bytes at the logical offset and
 // returns the completion event. The offset must be within the live region.
-func (l *CircLog) ReadAsync(logical int64, buf []byte) (*sim.Event, error) {
+func (l *CircLog) ReadAsync(logical int64, buf []byte) (runtime.Event, error) {
 	if !l.Contains(logical, int64(len(buf))) {
 		return nil, fmt.Errorf("%w: read [%d,+%d) outside live [%d,%d)", ErrCorrupt, logical, len(buf), l.head, l.tail)
 	}
@@ -118,7 +118,7 @@ func (l *CircLog) ReadAsync(logical int64, buf []byte) (*sim.Event, error) {
 }
 
 // Read performs a blocking read from a proc.
-func (l *CircLog) Read(p *sim.Proc, logical int64, buf []byte) error {
+func (l *CircLog) Read(p runtime.Task, logical int64, buf []byte) error {
 	ev, err := l.ReadAsync(logical, buf)
 	if err != nil {
 		return err

@@ -24,7 +24,8 @@ func TestCircLogAppendRead(t *testing.T) {
 			return
 		}
 		off2, ev2, _ := l.Append([]byte("world"))
-		p.WaitAll(ev1, ev2)
+		p.Wait(ev1)
+		p.Wait(ev2)
 		if off1 != 0 || off2 != 5 {
 			t.Errorf("offsets = %d, %d", off1, off2)
 		}

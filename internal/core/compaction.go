@@ -3,7 +3,7 @@ package core
 import (
 	"sort"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Compaction (§3.3.1). Both logs are reclaimed in bounded rounds: read a
@@ -26,7 +26,7 @@ type valEntryRef struct {
 
 // fetchChunk returns a chunk of up to want bytes from the log head, using
 // the prefetch buffer when it matches, and arranges the next prefetch.
-func (s *Store) fetchChunk(p *sim.Proc, st *OpStats, log *CircLog, pf *prefetchBuf, want int64) ([]byte, error) {
+func (s *Store) fetchChunk(p runtime.Task, st *OpStats, log *CircLog, pf *prefetchBuf, want int64) ([]byte, error) {
 	if want > log.Used() {
 		want = log.Used()
 	}
@@ -81,7 +81,7 @@ func (s *Store) prefetchNext(log *CircLog, pf *prefetchBuf) {
 // CompactValueLog runs one value-log compaction round and returns the bytes
 // reclaimed. Pending swapped values are merged back first (§3.6: the swap
 // region is merged back during future compactions).
-func (s *Store) CompactValueLog(p *sim.Proc) (int64, error) {
+func (s *Store) CompactValueLog(p runtime.Task) (int64, error) {
 	if s.compacting {
 		return 0, nil
 	}
@@ -142,7 +142,7 @@ func (s *Store) CompactValueLog(p *sim.Proc) (int64, error) {
 		groups[gi] = append(groups[gi], e)
 	}
 
-	s.runSubcompactions(p, len(groups), func(w *sim.Proc, gi int) {
+	s.runSubcompactions(p, len(groups), func(w runtime.Task, gi int) {
 		s.compactValGroup(w, groups[gi])
 	})
 
@@ -171,7 +171,7 @@ func (s *Store) CompactValueLog(p *sim.Proc) (int64, error) {
 }
 
 // compactValGroup processes all chunk entries belonging to one segment.
-func (s *Store) compactValGroup(p *sim.Proc, group []*valEntryRef) {
+func (s *Store) compactValGroup(p runtime.Task, group []*valEntryRef) {
 	seg := group[0].seg
 	var st OpStats
 	s.segs.Lock(p, seg)
@@ -237,7 +237,7 @@ type keyArrayRef struct {
 // CompactKeyLog runs one key-log compaction round: dead segment arrays are
 // skipped, live ones are pruned of deletion markers and re-appended.
 // Segments locked by in-flight PUT/DEL are skipped for this round (§3.3.1).
-func (s *Store) CompactKeyLog(p *sim.Proc) (int64, error) {
+func (s *Store) CompactKeyLog(p runtime.Task) (int64, error) {
 	if s.compacting {
 		return 0, nil
 	}
@@ -280,7 +280,7 @@ func (s *Store) CompactKeyLog(p *sim.Proc) (int64, error) {
 		return 0, nil
 	}
 
-	s.runSubcompactions(p, len(arrays), func(w *sim.Proc, ai int) {
+	s.runSubcompactions(p, len(arrays), func(w runtime.Task, ai int) {
 		s.compactKeyArray(w, arrays[ai])
 	})
 
@@ -309,7 +309,7 @@ func (s *Store) CompactKeyLog(p *sim.Proc) (int64, error) {
 
 // compactKeyArray decides one array's fate: dead, skipped (locked), or
 // pruned and relocated.
-func (s *Store) compactKeyArray(p *sim.Proc, a *keyArrayRef) {
+func (s *Store) compactKeyArray(p runtime.Task, a *keyArrayRef) {
 	var st OpStats
 	off, _, ok := s.segs.Lookup(a.seg)
 	_, remote := s.segs.Location(a.seg)
@@ -360,7 +360,7 @@ func (s *Store) compactKeyArray(p *sim.Proc, a *keyArrayRef) {
 
 // runSubcompactions fans n work units out over up to SubCompactions
 // parallel procs (round-robin assignment) and waits for all of them.
-func (s *Store) runSubcompactions(p *sim.Proc, n int, work func(w *sim.Proc, i int)) {
+func (s *Store) runSubcompactions(p runtime.Task, n int, work func(w runtime.Task, i int)) {
 	workers := s.cfg.SubCompactions
 	if workers > n {
 		workers = n
@@ -371,19 +371,21 @@ func (s *Store) runSubcompactions(p *sim.Proc, n int, work func(w *sim.Proc, i i
 		}
 		return
 	}
-	done := make([]*sim.Event, workers)
+	done := make([]runtime.Event, workers)
 	for w := 0; w < workers; w++ {
 		w := w
-		ev := s.k.NewEvent()
+		ev := s.env.MakeEvent()
 		done[w] = ev
-		s.k.Go("subcompact", func(wp *sim.Proc) {
+		s.env.Spawn("subcompact", func(wp runtime.Task) {
 			for i := w; i < n; i += workers {
 				work(wp, i)
 			}
 			ev.Fire(nil)
 		})
 	}
-	p.WaitAll(done...)
+	for _, ev := range done {
+		p.Wait(ev)
+	}
 }
 
 // PendingSwapSegments returns the segments with swapped-out values, sorted.

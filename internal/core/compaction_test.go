@@ -119,7 +119,7 @@ func TestCompactionSustainsChurnInTightLog(t *testing.T) {
 	defer k.Close()
 	dev := flashsim.NewMemDevice(k, 8<<20)
 	s := NewStore(Config{
-		Kernel: k, Device: dev, NumSegments: 32,
+		Env: k, Device: dev, NumSegments: 32,
 		KeyLogBytes: 256 << 10, ValLogBytes: 256 << 10,
 		CompactChunk: 64 << 10,
 	})
@@ -193,7 +193,7 @@ func TestSubcompactionParallelismSpeedsCompaction(t *testing.T) {
 		spec.Jitter = 0
 		dev := flashsim.NewSSD(k, spec)
 		s := NewStore(Config{
-			Kernel: k, Device: dev, NumSegments: 128,
+			Env: k, Device: dev, NumSegments: 128,
 			KeyLogBytes: 8 << 20, ValLogBytes: 16 << 20,
 			SubCompactions: subs, CompactChunk: 128 << 10,
 		})
@@ -233,7 +233,7 @@ func TestPrefetchAvoidsHeadRead(t *testing.T) {
 		defer k.Close()
 		dev := flashsim.NewMemDevice(k, 8<<20)
 		s := NewStore(Config{
-			Kernel: k, Device: dev, NumSegments: 32,
+			Env: k, Device: dev, NumSegments: 32,
 			KeyLogBytes: 1 << 20, ValLogBytes: 2 << 20,
 			Prefetch: prefetch, CompactChunk: 32 << 10,
 		})

@@ -1,6 +1,6 @@
 package core
 
-import "leed/internal/sim"
+import "leed/internal/runtime"
 
 // Exec charges compute phases to a CPU core. The engine wires each store's
 // Exec to the core statically mapped to its SSD (§3.4); unit tests use
@@ -8,14 +8,14 @@ import "leed/internal/sim"
 // contends with every other command running on the same core — this is how
 // challenge C2 (tiny per-IO compute headroom) enters the simulation.
 type Exec interface {
-	Compute(p *sim.Proc, cycles int64)
+	Compute(p runtime.Task, cycles int64)
 }
 
 // NopExec charges nothing; for functional tests.
 type NopExec struct{}
 
 // Compute implements Exec by doing nothing.
-func (NopExec) Compute(*sim.Proc, int64) {}
+func (NopExec) Compute(runtime.Task, int64) {}
 
 // CostModel gives the cycle cost of each compute phase in the command path.
 // The defaults are sized so a GET spends a few microseconds of CPU on a
@@ -46,14 +46,14 @@ func DefaultCosts() CostModel {
 // spent waiting on the SSD vs. spent in compute/memory phases, plus device
 // access counts (the paper's 2/3/2 NVMe accesses for GET/PUT/DEL).
 type OpStats struct {
-	SSD    sim.Time
-	CPU    sim.Time
+	SSD    runtime.Time
+	CPU    runtime.Time
 	Reads  int
 	Writes int
 }
 
 // Total returns SSD + CPU time.
-func (o OpStats) Total() sim.Time { return o.SSD + o.CPU }
+func (o OpStats) Total() runtime.Time { return o.SSD + o.CPU }
 
 // Add accumulates another breakdown into o (used when composing
 // multi-command operations like read-modify-write).

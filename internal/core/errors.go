@@ -5,7 +5,7 @@
 // prefetching, intra-JBOF value swapping support, and crash recovery.
 //
 // One Store owns one partition (virtual node) of one SSD. All methods that
-// perform I/O take a *sim.Proc and block in virtual time; compute phases are
+// perform I/O take a runtime.Task and block in virtual time; compute phases are
 // charged to the configured Exec so core contention is modeled faithfully.
 package core
 

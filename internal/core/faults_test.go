@@ -17,7 +17,7 @@ func newFaultyStore(k *sim.Kernel) (*Store, *flashsim.FaultInjector) {
 	inner := flashsim.NewMemDevice(k, 8<<20)
 	fi := flashsim.NewFaultInjector(k, inner, 1)
 	s := NewStore(Config{
-		Kernel: k, Device: fi, NumSegments: 64,
+		Env: k, Device: fi, NumSegments: 64,
 		KeyLogBytes: 2 << 20, ValLogBytes: 4 << 20,
 	})
 	return s, fi

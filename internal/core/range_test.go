@@ -272,7 +272,7 @@ func TestStoreWith4KBlocks(t *testing.T) {
 	defer k.Close()
 	dev := flashsim.NewMemDevice(k, 16<<20)
 	s := NewStore(Config{
-		Kernel: k, Device: dev, NumSegments: 8, BlockSize: 4096,
+		Env: k, Device: dev, NumSegments: 8, BlockSize: 4096,
 		KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20,
 	})
 	runStore(k, func(p *sim.Proc) {

@@ -6,7 +6,7 @@ import (
 	"hash/crc32"
 
 	"leed/internal/flashsim"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Crash recovery (§3.2.3). The store persists a superblock (log head/tail
@@ -63,7 +63,7 @@ func parseSuperblock(src []byte) (*superblock, bool) {
 
 // writeSuperblock persists the current log pointers. Called by compaction
 // after a head moves, and by Flush.
-func (s *Store) writeSuperblock(p *sim.Proc) error {
+func (s *Store) writeSuperblock(p runtime.Task) error {
 	sb := superblock{
 		keyHead: s.keyLog.Head(), keyTail: s.keyLog.Tail(),
 		valHead: s.valLog.Head(), valTail: s.valLog.Tail(),
@@ -74,7 +74,7 @@ func (s *Store) writeSuperblock(p *sim.Proc) error {
 	}
 	buf := make([]byte, s.cfg.BlockSize)
 	sb.marshal(buf)
-	done := s.k.NewEvent()
+	done := s.env.MakeEvent()
 	s.cfg.Device.Submit(&flashsim.Op{Kind: flashsim.OpWrite, Offset: s.cfg.RegionOff, Data: buf, Done: done})
 	if v := p.Wait(done); v != nil {
 		return v.(error)
@@ -83,15 +83,15 @@ func (s *Store) writeSuperblock(p *sim.Proc) error {
 }
 
 // Flush persists the superblock; callers use it to bound recovery scans.
-func (s *Store) Flush(p *sim.Proc) error { return s.writeSuperblock(p) }
+func (s *Store) Flush(p runtime.Task) error { return s.writeSuperblock(p) }
 
 // Recover rebuilds a store's DRAM state from flash. Call it on a freshly
 // constructed Store (same Config) whose region holds a previous instance's
 // data. It returns the number of segments recovered.
-func (s *Store) Recover(p *sim.Proc) (int, error) {
+func (s *Store) Recover(p runtime.Task) (int, error) {
 	bs := int64(s.cfg.BlockSize)
 	sbBuf := make([]byte, s.cfg.BlockSize)
-	done := s.k.NewEvent()
+	done := s.env.MakeEvent()
 	s.cfg.Device.Submit(&flashsim.Op{Kind: flashsim.OpRead, Offset: s.cfg.RegionOff, Data: sbBuf, Done: done})
 	if v := p.Wait(done); v != nil {
 		return 0, v.(error)

@@ -13,7 +13,7 @@ import (
 // second instance can be pointed at the same bytes for recovery.
 func storeOn(k *sim.Kernel, dev flashsim.Device) *Store {
 	return NewStore(Config{
-		Kernel: k, Device: dev, DevID: 0, NumSegments: 32,
+		Env: k, Device: dev, DevID: 0, NumSegments: 32,
 		KeyLogBytes: 512 << 10, ValLogBytes: 1 << 20, SwapLogBytes: 128 << 10,
 	})
 }

@@ -3,7 +3,7 @@ package core
 import (
 	"hash/fnv"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // SegTbl is the in-DRAM segment table (§3.2.3): one entry per segment
@@ -38,7 +38,7 @@ type segEntry struct {
 }
 
 type segWaiter struct {
-	t       sim.Ticket
+	t       runtime.Ticket
 	write   bool
 	granted *bool
 }
@@ -124,7 +124,7 @@ func (t *SegTbl) SetRemote(seg uint32, off int64, chainLen int, devID uint8) {
 // Clear empties a segment (used when compaction prunes it to nothing).
 func (t *SegTbl) Clear(seg uint32) { t.entries[seg].off = -1; t.entries[seg].chainLen = 0 }
 
-func (t *SegTbl) acquire(p *sim.Proc, seg uint32, write bool) {
+func (t *SegTbl) acquire(p runtime.Task, seg uint32, write bool) {
 	e := &t.entries[seg]
 	if len(e.waiters) == 0 {
 		if write && !e.writer && e.readers == 0 {
@@ -152,12 +152,12 @@ func (t *SegTbl) acquire(p *sim.Proc, seg uint32, write bool) {
 
 // Lock takes the segment exclusively (PUT/DEL/compaction/COPY), blocking
 // FIFO-fair. This is the paper's per-segment lock bit (§3.2.2).
-func (t *SegTbl) Lock(p *sim.Proc, seg uint32) { t.acquire(p, seg, true) }
+func (t *SegTbl) Lock(p runtime.Task, seg uint32) { t.acquire(p, seg, true) }
 
 // RLock takes the segment shared: concurrent GETs of one segment proceed
 // together, which is what lets a hot key saturate the drive rather than the
 // lock.
-func (t *SegTbl) RLock(p *sim.Proc, seg uint32) { t.acquire(p, seg, false) }
+func (t *SegTbl) RLock(p runtime.Task, seg uint32) { t.acquire(p, seg, false) }
 
 // TryLock acquires the exclusive lock if immediately free; compaction uses
 // it to skip segments busy with PUT/DEL (§3.3.1).

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"leed/internal/flashsim"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Config describes one store's geometry and wiring. A store owns one
@@ -15,7 +15,7 @@ import (
 // The swap log is the region *other* co-located stores may borrow to absorb
 // overloaded writes (§3.6).
 type Config struct {
-	Kernel *sim.Kernel
+	Env    runtime.Env
 	Device flashsim.Device
 	DevID  uint8 // identifier of this store's SSD within the JBOF
 	Exec   Exec
@@ -86,7 +86,7 @@ type Stats struct {
 // SSD partition plus the in-DRAM segment table.
 type Store struct {
 	cfg     Config
-	k       *sim.Kernel
+	env     runtime.Env
 	keyLog  *CircLog
 	valLog  *CircLog
 	swapLog *CircLog
@@ -114,7 +114,7 @@ type prefetchBuf struct {
 	valid bool
 	off   int64
 	buf   []byte
-	ev    *sim.Event
+	ev    runtime.Event
 }
 
 // NewStore creates a store over its device region. The region is assumed
@@ -128,19 +128,19 @@ func NewStore(cfg Config) *Store {
 	off := cfg.RegionOff + bs // block 0 is the superblock
 	s := &Store{
 		cfg:          cfg,
-		k:            cfg.Kernel,
+		env:          cfg.Env,
 		segs:         NewSegTbl(cfg.NumSegments),
 		peers:        make(map[uint8]*Store),
 		pendingSwaps: make(map[uint32]struct{}),
 		swapMeta:     make(map[int64]int64),
 		swapMerged:   make(map[int64]bool),
 	}
-	s.keyLog = NewCircLog(cfg.Kernel, cfg.Device, off, cfg.KeyLogBytes)
+	s.keyLog = NewCircLog(cfg.Env, cfg.Device, off, cfg.KeyLogBytes)
 	off += cfg.KeyLogBytes
-	s.valLog = NewCircLog(cfg.Kernel, cfg.Device, off, cfg.ValLogBytes)
+	s.valLog = NewCircLog(cfg.Env, cfg.Device, off, cfg.ValLogBytes)
 	off += cfg.ValLogBytes
 	if cfg.SwapLogBytes > 0 {
-		s.swapLog = NewCircLog(cfg.Kernel, cfg.Device, off, cfg.SwapLogBytes)
+		s.swapLog = NewCircLog(cfg.Env, cfg.Device, off, cfg.SwapLogBytes)
 	}
 	s.peers[cfg.DevID] = s
 	return s
@@ -172,14 +172,14 @@ func (s *Store) SwapLog() *CircLog { return s.swapLog }
 func (s *Store) AddPeer(p *Store) { s.peers[p.cfg.DevID] = p }
 
 // cpu charges cycles to the executor and attributes elapsed time to st.CPU.
-func (s *Store) cpu(p *sim.Proc, st *OpStats, cycles int64) {
+func (s *Store) cpu(p runtime.Task, st *OpStats, cycles int64) {
 	t0 := p.Now()
 	s.cfg.Exec.Compute(p, cycles)
 	st.CPU += p.Now() - t0
 }
 
 // ssdWait waits for device events and attributes elapsed time to st.SSD.
-func (s *Store) ssdWait(p *sim.Proc, st *OpStats, evs ...*sim.Event) error {
+func (s *Store) ssdWait(p runtime.Task, st *OpStats, evs ...runtime.Event) error {
 	t0 := p.Now()
 	var err error
 	for _, ev := range evs {
@@ -198,7 +198,7 @@ func (s *Store) segBytes(chainLen int) int64 {
 
 // readSegment reads and parses the segment array from the home key log.
 // Caller holds the lock.
-func (s *Store) readSegment(p *sim.Proc, st *OpStats, off int64, chainLen int) ([]*Bucket, error) {
+func (s *Store) readSegment(p runtime.Task, st *OpStats, off int64, chainLen int) ([]*Bucket, error) {
 	buf := make([]byte, s.segBytes(chainLen))
 	ev, err := s.keyLog.ReadAsync(off, buf)
 	if err != nil {
@@ -214,7 +214,7 @@ func (s *Store) readSegment(p *sim.Proc, st *OpStats, off int64, chainLen int) (
 // segmentReadEv issues the read for a segment's array from wherever it
 // lives — the home key log or a peer's swap region (§3.6) — returning the
 // completion event and destination buffer.
-func (s *Store) segmentReadEv(seg uint32, off int64, chainLen int) (*sim.Event, []byte, error) {
+func (s *Store) segmentReadEv(seg uint32, off int64, chainLen int) (runtime.Event, []byte, error) {
 	buf := make([]byte, s.segBytes(chainLen))
 	devID, remote := s.segs.Location(seg)
 	if !remote {
@@ -231,7 +231,7 @@ func (s *Store) segmentReadEv(seg uint32, off int64, chainLen int) (*sim.Event, 
 
 // loadSegment looks up and reads a segment's current array. found is false
 // when the segment is empty. Caller holds the lock.
-func (s *Store) loadSegment(p *sim.Proc, st *OpStats, seg uint32) (buckets []*Bucket, found bool, err error) {
+func (s *Store) loadSegment(p runtime.Task, st *OpStats, seg uint32) (buckets []*Bucket, found bool, err error) {
 	off, chainLen, ok := s.segs.Lookup(seg)
 	if !ok {
 		return nil, false, nil
@@ -282,7 +282,7 @@ func (s *Store) marshalSegment(segID uint32, buckets []*Bucket) ([]byte, error) 
 }
 
 // findItem locates key in the segment's buckets, charging scan cycles.
-func (s *Store) findItem(p *sim.Proc, st *OpStats, buckets []*Bucket, key []byte) (bi, ii int) {
+func (s *Store) findItem(p runtime.Task, st *OpStats, buckets []*Bucket, key []byte) (bi, ii int) {
 	scanned := int64(0)
 	for i, b := range buckets {
 		for j := range b.Items {
@@ -299,7 +299,7 @@ func (s *Store) findItem(p *sim.Proc, st *OpStats, buckets []*Bucket, key []byte
 
 // Get looks up key and returns a copy of its value (§3.3: SegTbl in DRAM,
 // one key-log access, one value-log access).
-func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, OpStats, error) {
+func (s *Store) Get(p runtime.Task, key []byte) ([]byte, OpStats, error) {
 	var st OpStats
 	s.stats.Gets++
 	h := HashKey(key)
@@ -323,7 +323,7 @@ func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, OpStats, error) {
 	}
 	it := &buckets[bi].Items[ii]
 	entry := make([]byte, ValueEntrySize(len(key), int(it.ValLen)))
-	var ev *sim.Event
+	var ev runtime.Event
 	if it.SSDID == s.cfg.DevID {
 		ev, err = s.valLog.ReadAsync(it.ValOff, entry)
 	} else {
@@ -354,18 +354,18 @@ func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, OpStats, error) {
 // Put inserts or overwrites key with val (§3.3: segment read overlapped
 // with value append, then bucket update and segment append — 3 NVMe
 // accesses with the first two in parallel).
-func (s *Store) Put(p *sim.Proc, key, val []byte) (OpStats, error) {
+func (s *Store) Put(p runtime.Task, key, val []byte) (OpStats, error) {
 	return s.put(p, key, val, nil)
 }
 
 // PutSwapped performs a Put whose value lands in helper's swap region
 // instead of the home value log (§3.6 data swapping). helper must be a
 // registered peer on the same JBOF.
-func (s *Store) PutSwapped(p *sim.Proc, key, val []byte, helper *Store) (OpStats, error) {
+func (s *Store) PutSwapped(p runtime.Task, key, val []byte, helper *Store) (OpStats, error) {
 	return s.put(p, key, val, helper)
 }
 
-func (s *Store) put(p *sim.Proc, key, val []byte, helper *Store) (OpStats, error) {
+func (s *Store) put(p runtime.Task, key, val []byte, helper *Store) (OpStats, error) {
 	var st OpStats
 	if len(key) > MaxKeyLen {
 		return st, ErrKeyTooLarge
@@ -392,7 +392,7 @@ func (s *Store) put(p *sim.Proc, key, val []byte, helper *Store) (OpStats, error
 	}
 }
 
-func (s *Store) tryPut(p *sim.Proc, st *OpStats, key, val []byte, helper *Store) error {
+func (s *Store) tryPut(p runtime.Task, st *OpStats, key, val []byte, helper *Store) error {
 	h := HashKey(key)
 	seg := SegmentOf(h, s.cfg.NumSegments)
 	s.cpu(p, st, s.cfg.Costs.HashLookup)
@@ -407,7 +407,7 @@ func (s *Store) tryPut(p *sim.Proc, st *OpStats, key, val []byte, helper *Store)
 	s.cpu(p, st, s.cfg.Costs.AppendBook)
 	var (
 		valOff int64
-		valEv  *sim.Event
+		valEv  runtime.Event
 		err    error
 		ssdID  = s.cfg.DevID
 	)
@@ -508,7 +508,7 @@ func (s *Store) releaseOldSegment(seg uint32, hadOld bool) {
 // reports that a previous array exists; it becomes garbage wherever it
 // lived. A non-nil helper redirects the array into the helper's swap
 // region instead of the home key log (§3.6's full write swapping).
-func (s *Store) writeSegment(p *sim.Proc, st *OpStats, seg uint32, buckets []*Bucket, hadOld bool, helper *Store) error {
+func (s *Store) writeSegment(p runtime.Task, st *OpStats, seg uint32, buckets []*Bucket, hadOld bool, helper *Store) error {
 	img, err := s.marshalSegment(seg, buckets)
 	if err != nil {
 		return err
@@ -556,7 +556,7 @@ func (s *Store) accountDeadValueBytes(n int64) { s.valGarbage += n }
 
 // Del marks key deleted (§3.3: only the key log is touched; the value
 // length field becomes zero as the deletion marker).
-func (s *Store) Del(p *sim.Proc, key []byte) (OpStats, error) {
+func (s *Store) Del(p runtime.Task, key []byte) (OpStats, error) {
 	var st OpStats
 	s.stats.Dels++
 	h := HashKey(key)
@@ -596,7 +596,7 @@ func (s *Store) Del(p *sim.Proc, key []byte) (OpStats, error) {
 // segment is locked while its objects are read, but fn runs unlocked, so it
 // may issue store operations. Range is the substrate for the COPY primitive
 // used by node join/leave (§3.8.1).
-func (s *Store) Range(p *sim.Proc, fn func(key, val []byte) bool) error {
+func (s *Store) Range(p runtime.Task, fn func(key, val []byte) bool) error {
 	var st OpStats
 	for seg := uint32(0); int(seg) < s.cfg.NumSegments; seg++ {
 		s.segs.Lock(p, seg)
@@ -618,7 +618,7 @@ func (s *Store) Range(p *sim.Proc, fn func(key, val []byte) bool) error {
 					continue
 				}
 				entry := make([]byte, ValueEntrySize(len(it.Key), int(it.ValLen)))
-				var ev *sim.Event
+				var ev runtime.Event
 				var rerr error
 				if it.SSDID == s.cfg.DevID {
 					ev, rerr = s.valLog.ReadAsync(it.ValOff, entry)

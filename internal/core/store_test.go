@@ -14,7 +14,7 @@ import (
 func newTestStore(k *sim.Kernel) *Store {
 	dev := flashsim.NewMemDevice(k, 4<<20)
 	return NewStore(Config{
-		Kernel:       k,
+		Env:          k,
 		Device:       dev,
 		DevID:        0,
 		NumSegments:  64,
@@ -143,7 +143,7 @@ func TestStoreChainGrowth(t *testing.T) {
 	defer k.Close()
 	dev := flashsim.NewMemDevice(k, 4<<20)
 	s := NewStore(Config{
-		Kernel: k, Device: dev, NumSegments: 1,
+		Env: k, Device: dev, NumSegments: 1,
 		KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20,
 	})
 	runStore(k, func(p *sim.Proc) {
@@ -175,7 +175,7 @@ func TestStoreSegmentFull(t *testing.T) {
 	defer k.Close()
 	dev := flashsim.NewMemDevice(k, 4<<20)
 	s := NewStore(Config{
-		Kernel: k, Device: dev, NumSegments: 1, MaxChain: 1,
+		Env: k, Device: dev, NumSegments: 1, MaxChain: 1,
 		KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20,
 	})
 	runStore(k, func(p *sim.Proc) {
@@ -238,7 +238,7 @@ func TestStorePutOverlapsValueWriteAndSegmentRead(t *testing.T) {
 	spec.Jitter = 0
 	dev := flashsim.NewSSD(k, spec)
 	s := NewStore(Config{
-		Kernel: k, Device: dev, NumSegments: 16,
+		Env: k, Device: dev, NumSegments: 16,
 		KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20,
 	})
 	var putLat, getLat sim.Time
@@ -323,7 +323,7 @@ func TestStoreConcurrentSameSegmentSerialized(t *testing.T) {
 	defer k.Close()
 	dev := flashsim.NewSSD(k, flashsim.SamsungDCT983(16<<20))
 	s := NewStore(Config{
-		Kernel: k, Device: dev, NumSegments: 1,
+		Env: k, Device: dev, NumSegments: 1,
 		KeyLogBytes: 4 << 20, ValLogBytes: 8 << 20,
 	})
 	for i := 0; i < 8; i++ {

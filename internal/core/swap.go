@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Intra-JBOF data swapping (§3.6). When this store's home SSD is
@@ -16,7 +16,7 @@ import (
 // AppendSwap appends a foreign value entry to this store's swap region on
 // behalf of an overloaded co-located store. It returns the entry's logical
 // offset in the swap log and the write-completion event.
-func (s *Store) AppendSwap(entry []byte) (int64, *sim.Event, error) {
+func (s *Store) AppendSwap(entry []byte) (int64, runtime.Event, error) {
 	if s.swapLog == nil {
 		return 0, nil, fmt.Errorf("core: store %d has no swap region", s.cfg.DevID)
 	}
@@ -57,7 +57,7 @@ func (s *Store) releaseSwapRef(ssdID uint8, off int64) {
 
 // Mergeback relocates swapped-out values back into the home value log, up
 // to maxSegs segments per call. It returns the number of values merged.
-func (s *Store) Mergeback(p *sim.Proc, maxSegs int) (int, error) {
+func (s *Store) Mergeback(p runtime.Task, maxSegs int) (int, error) {
 	if len(s.pendingSwaps) == 0 {
 		return 0, nil
 	}
@@ -76,7 +76,7 @@ func (s *Store) Mergeback(p *sim.Proc, maxSegs int) (int, error) {
 	return merged, nil
 }
 
-func (s *Store) mergebackSegment(p *sim.Proc, seg uint32) (int, error) {
+func (s *Store) mergebackSegment(p runtime.Task, seg uint32) (int, error) {
 	var st OpStats
 	s.segs.Lock(p, seg)
 	defer s.segs.Unlock(seg)

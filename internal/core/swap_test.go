@@ -13,7 +13,7 @@ func newPeerStores(k *sim.Kernel) (home, helper *Store) {
 	mk := func(devID uint8) *Store {
 		dev := flashsim.NewMemDevice(k, 4<<20)
 		return NewStore(Config{
-			Kernel: k, Device: dev, DevID: devID, NumSegments: 32,
+			Env: k, Device: dev, DevID: devID, NumSegments: 32,
 			KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20, SwapLogBytes: 512 << 10,
 		})
 	}
@@ -166,7 +166,7 @@ func TestInterleavedSwapEntriesFromTwoHomes(t *testing.T) {
 	mk := func(devID uint8) *Store {
 		dev := flashsim.NewMemDevice(k, 4<<20)
 		return NewStore(Config{
-			Kernel: k, Device: dev, DevID: devID, NumSegments: 32,
+			Env: k, Device: dev, DevID: devID, NumSegments: 32,
 			KeyLogBytes: 1 << 20, ValLogBytes: 1 << 20, SwapLogBytes: 512 << 10,
 		})
 	}

@@ -7,17 +7,18 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"leed/internal/core"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Config describes one engine instance over a platform node.
 type Config struct {
-	Kernel *sim.Kernel
-	Node   *platform.Node
+	Env  runtime.Env
+	Node *platform.Node
 
 	// PartitionsPerSSD is the number of virtual nodes per drive (the
 	// paper's prototype uses 32; simulations typically use fewer).
@@ -43,7 +44,7 @@ type Config struct {
 	Prefetch       bool
 	Costs          core.CostModel
 	// CompactEvery is the background compaction check period. Default 1ms.
-	CompactEvery sim.Time
+	CompactEvery runtime.Time
 
 	// ModelMemBW serializes each command's data movement through the
 	// node's onboard memory pipe (platform.Spec.MemBWBytesPS). The paper
@@ -55,14 +56,13 @@ type Config struct {
 // memBus models the onboard DRAM bandwidth as a serialization pipe: each
 // transfer occupies the bus for bytes/BW, queued FIFO by busy-until time.
 type memBus struct {
-	k        *sim.Kernel
 	bytesPS  int64
-	busyFree sim.Time
-	waited   sim.Time // cumulative queueing delay, for diagnostics
+	busyFree runtime.Time
+	waited   runtime.Time // cumulative queueing delay, for diagnostics
 }
 
 // transfer blocks the proc until the bus has carried n bytes for it.
-func (b *memBus) transfer(p *sim.Proc, n int64) {
+func (b *memBus) transfer(p runtime.Task, n int64) {
 	if b == nil || n <= 0 {
 		return
 	}
@@ -71,7 +71,7 @@ func (b *memBus) transfer(p *sim.Proc, n int64) {
 	if b.busyFree > start {
 		start = b.busyFree
 	}
-	dur := sim.Time(n * int64(sim.Second) / b.bytesPS)
+	dur := runtime.Time(n * int64(runtime.Second) / b.bytesPS)
 	b.busyFree = start + dur
 	b.waited += start - now
 	p.Sleep(b.busyFree - now)
@@ -82,7 +82,7 @@ type Partition struct {
 	ID     int
 	SSD    int
 	Store  *core.Store
-	tokens *sim.Resource
+	tokens runtime.Resource
 }
 
 // TokenCost returns the admission cost of an operation: one token per NVMe
@@ -100,11 +100,13 @@ func TokenCost(op rpcproto.Op) int64 {
 // Engine is one JBOF's storage executor.
 type Engine struct {
 	cfg    Config
-	k      *sim.Kernel
+	env    runtime.Env
 	parts  []*Partition
 	execs  []*coreGate // one per SSD
 	membus *memBus     // nil unless ModelMemBW
-	stop   bool
+	// stop is atomic because on the wallclock backend Stop may be called
+	// from outside any task (e.g. the goroutine that owns the Env).
+	stop atomic.Bool
 
 	stats EngineStats
 }
@@ -119,13 +121,13 @@ type EngineStats struct {
 // coreGate serializes store compute phases onto one CPU core.
 type coreGate struct {
 	core *platform.Core
-	res  *sim.Resource
+	res  runtime.Resource
 }
 
 // Compute implements core.Exec.
-func (g *coreGate) Compute(p *sim.Proc, cycles int64) {
-	g.res.Acquire(p, 1)
-	g.core.RunCycles(p, cycles)
+func (g *coreGate) Compute(t runtime.Task, cycles int64) {
+	g.res.Acquire(t, 1)
+	g.core.RunCycles(t, cycles)
 	g.res.Release(1)
 }
 
@@ -142,12 +144,12 @@ func New(cfg Config) *Engine {
 		cfg.SwapThreshold = int(cfg.TokensPerPartition)
 	}
 	if cfg.CompactEvery == 0 {
-		cfg.CompactEvery = sim.Millisecond
+		cfg.CompactEvery = runtime.Millisecond
 	}
-	e := &Engine{cfg: cfg, k: cfg.Kernel}
+	e := &Engine{cfg: cfg, env: cfg.Env}
 	n := cfg.Node
 	if cfg.ModelMemBW && n.Spec.MemBWBytesPS > 0 {
-		e.membus = &memBus{k: cfg.Kernel, bytesPS: n.Spec.MemBWBytesPS}
+		e.membus = &memBus{bytesPS: n.Spec.MemBWBytesPS}
 	}
 	numSSD := len(n.SSDs)
 	g := cfg.Geometry
@@ -163,13 +165,13 @@ func New(cfg Config) *Engine {
 	// storage; remaining cores are left to the caller for polling/control.
 	for i := 0; i < numSSD; i++ {
 		c := n.Cores[i%len(n.Cores)]
-		e.execs = append(e.execs, &coreGate{core: c, res: sim.NewResource(cfg.Kernel, 1)})
+		e.execs = append(e.execs, &coreGate{core: c, res: cfg.Env.MakeResource(1)})
 	}
 	for ssd := 0; ssd < numSSD; ssd++ {
 		for slot := 0; slot < cfg.PartitionsPerSSD; slot++ {
 			pid := len(e.parts)
 			sc := core.StoreConfigFor(cfg.Geometry, core.Config{
-				Kernel:         cfg.Kernel,
+				Env:            cfg.Env,
 				Device:         n.SSDs[ssd],
 				DevID:          uint8(ssd),
 				Exec:           e.execs[ssd],
@@ -181,7 +183,7 @@ func New(cfg Config) *Engine {
 			st := core.NewStore(sc)
 			e.parts = append(e.parts, &Partition{
 				ID: pid, SSD: ssd, Store: st,
-				tokens: sim.NewResource(cfg.Kernel, cfg.TokensPerPartition),
+				tokens: cfg.Env.MakeResource(cfg.TokensPerPartition),
 			})
 		}
 	}
@@ -293,7 +295,7 @@ func (e *Engine) pickSwapHelper(home *Partition) *Partition {
 // Execute runs one storage command against partition pid, blocking through
 // admission (token acquisition), execution, and completion. It returns the
 // value for GETs.
-func (e *Engine) Execute(p *sim.Proc, pid int, op rpcproto.Op, key, val []byte) ([]byte, core.OpStats, error) {
+func (e *Engine) Execute(p runtime.Task, pid int, op rpcproto.Op, key, val []byte) ([]byte, core.OpStats, error) {
 	if pid < 0 || pid >= len(e.parts) {
 		return nil, core.OpStats{}, fmt.Errorf("engine: no partition %d", pid)
 	}
@@ -348,7 +350,7 @@ func (e *Engine) Execute(p *sim.Proc, pid int, op rpcproto.Op, key, val []byte) 
 
 // memTransfer charges n bytes of data movement against the onboard memory
 // bus when ModelMemBW is enabled.
-func (e *Engine) memTransfer(p *sim.Proc, n int64) {
+func (e *Engine) memTransfer(p runtime.Task, n int64) {
 	if e.membus != nil {
 		e.membus.transfer(p, n)
 	}
@@ -356,7 +358,7 @@ func (e *Engine) memTransfer(p *sim.Proc, n int64) {
 
 // MemBusWaited returns the cumulative queueing delay behind the memory
 // bus; zero when the model is disabled.
-func (e *Engine) MemBusWaited() sim.Time {
+func (e *Engine) MemBusWaited() runtime.Time {
 	if e.membus == nil {
 		return 0
 	}
@@ -369,10 +371,10 @@ func (e *Engine) MemBusWaited() sim.Time {
 func (e *Engine) Start() {
 	for _, pt := range e.parts {
 		pt := pt
-		e.k.Go("compactor", func(p *sim.Proc) {
-			for !e.stop {
+		e.env.Spawn("compactor", func(p runtime.Task) {
+			for !e.stop.Load() {
 				p.Sleep(e.cfg.CompactEvery)
-				if e.stop {
+				if e.stop.Load() {
 					return
 				}
 				if pt.Store.SwapBacklog() > 0 && e.ssdWaiting(pt.SSD) == 0 {
@@ -391,5 +393,6 @@ func (e *Engine) Start() {
 	}
 }
 
-// Stop halts background compaction after the current cycle.
-func (e *Engine) Stop() { e.stop = true }
+// Stop halts background compaction after the current cycle. Safe to call
+// from outside task context (e.g. before wallclock.Env.Wait).
+func (e *Engine) Stop() { e.stop.Store(true) }

@@ -20,7 +20,7 @@ func newTestEngine(k *sim.Kernel, swap bool) (*Engine, *platform.Node) {
 		SwapLogBytes: 2 << 20,
 	}
 	e := New(Config{
-		Kernel:           k,
+		Env:              k,
 		Node:             node,
 		PartitionsPerSSD: 2,
 		Geometry:         g,
@@ -179,7 +179,7 @@ func TestEngineBackgroundCompaction(t *testing.T) {
 	node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
 	// Tight logs force compaction under churn.
 	e := New(Config{
-		Kernel:           k,
+		Env:              k,
 		Node:             node,
 		PartitionsPerSSD: 1,
 		Geometry: core.Geometry{
@@ -276,7 +276,7 @@ func TestEngineMemoryBandwidthModel(t *testing.T) {
 		k := sim.New()
 		node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
 		e := New(Config{
-			Kernel:           k,
+			Env:              k,
 			Node:             node,
 			PartitionsPerSSD: 2,
 			Geometry: core.Geometry{

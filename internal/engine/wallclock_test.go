@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/platform"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/sim"
+)
+
+// newEnvEngine builds the test engine on an arbitrary runtime backend; it is
+// newTestEngine generalized over the seam.
+func newEnvEngine(env runtime.Env) *Engine {
+	node := platform.NewNode(env, platform.Stingray(), 2, 64<<20, 1)
+	g := core.Geometry{
+		NumSegments:  256,
+		KeyLogBytes:  4 << 20,
+		ValLogBytes:  8 << 20,
+		SwapLogBytes: 2 << 20,
+	}
+	return New(Config{
+		Env:              env,
+		Node:             node,
+		PartitionsPerSSD: 2,
+		Geometry:         g,
+		PartitionBytes:   16 << 20,
+	})
+}
+
+// engineClientOps is one client's deterministic sequence against one
+// partition: puts, overwrites, and deletes over a small key range.
+func engineClientOps(e *Engine, p runtime.Task, t *testing.T, client, pid, ops int) {
+	t.Helper()
+	for i := 0; i < ops; i++ {
+		key := []byte(fmt.Sprintf("c%d-key-%02d", client, i%20))
+		switch i % 5 {
+		case 0, 1, 2:
+			val := []byte(fmt.Sprintf("c%d-val-%d", client, i))
+			if _, _, err := e.Execute(p, pid, rpcproto.OpPut, key, val); err != nil {
+				t.Errorf("client %d put: %v", client, err)
+			}
+		case 3:
+			if _, _, err := e.Execute(p, pid, rpcproto.OpGet, key, nil); err != nil && err != core.ErrNotFound {
+				t.Errorf("client %d get: %v", client, err)
+			}
+		case 4:
+			if _, _, err := e.Execute(p, pid, rpcproto.OpDel, key, nil); err != nil && err != core.ErrNotFound {
+				t.Errorf("client %d del: %v", client, err)
+			}
+		}
+	}
+}
+
+// engineContents dumps every partition's KV contents, sorted.
+func engineContents(e *Engine, p runtime.Task, t *testing.T) []string {
+	t.Helper()
+	var kv []string
+	for pid := 0; pid < e.NumPartitions(); pid++ {
+		if err := e.Partition(pid).Store.Range(p, func(key, val []byte) bool {
+			kv = append(kv, fmt.Sprintf("p%d/%s=%s", pid, key, val))
+			return true
+		}); err != nil {
+			t.Errorf("range partition %d: %v", pid, err)
+		}
+	}
+	sort.Strings(kv)
+	return kv
+}
+
+// TestEngineEquivalenceSimVsWallclock drives the full engine path (admission
+// tokens, core gates, SSD model, background compaction) with the same
+// per-client sequences on both backends; clients use disjoint keys, so the
+// final contents must match exactly even though wallclock interleaving is
+// scheduler-dependent.
+func TestEngineEquivalenceSimVsWallclock(t *testing.T) {
+	const clients = 8
+	const opsPer = 60
+
+	// Sim run: 8 procs through the engine on the kernel.
+	k := sim.New()
+	se := newEnvEngine(k)
+	se.Start()
+	for c := 0; c < clients; c++ {
+		c := c
+		k.Go("client", func(p *sim.Proc) {
+			engineClientOps(se, p, t, c, c%se.NumPartitions(), opsPer)
+		})
+	}
+	k.Run(10 * sim.Second)
+	se.Stop()
+	var simKV []string
+	k.Go("dump", func(p *sim.Proc) { simKV = engineContents(se, p, t) })
+	k.Run()
+	k.Close()
+
+	// Wall-clock run: 8 goroutine tasks through the identical engine. This
+	// is the ≥8-concurrent-client -race acceptance path.
+	env := wallclock.New()
+	we := newEnvEngine(env)
+	we.Start()
+	for c := 0; c < clients; c++ {
+		c := c
+		env.Spawn("client", func(p runtime.Task) {
+			engineClientOps(we, p, t, c, c%we.NumPartitions(), opsPer)
+		})
+	}
+	we.Stop() // compactors exit at their next wakeup; clients keep running
+	env.Wait()
+	var wcKV []string
+	env.Spawn("dump", func(p runtime.Task) { wcKV = engineContents(we, p, t) })
+	env.Wait()
+
+	if len(simKV) == 0 {
+		t.Fatal("sim engine run left no data")
+	}
+	if fmt.Sprint(simKV) != fmt.Sprint(wcKV) {
+		t.Errorf("engine contents diverge between backends:\nsim (%d): %v\nwc  (%d): %v",
+			len(simKV), simKV, len(wcKV), wcKV)
+	}
+}

@@ -1,15 +1,18 @@
-// Package flashsim models NVMe flash devices for the simulation: an SSD
-// with bounded internal parallelism, kind- and size-dependent service times,
-// and a real (sparse) byte backing store, plus a zero-latency MemDevice for
-// functional tests. Devices expose the asynchronous submit/complete
-// interface a kernel-bypass stack like SPDK would: Submit never blocks, and
-// completion is signalled through a sim.Event.
+// Package flashsim models NVMe flash devices: an SSD with bounded internal
+// parallelism, kind- and size-dependent service times, and a real (sparse)
+// byte backing store, plus a zero-latency MemDevice for functional tests and
+// a file-backed FileDevice for persistence. Devices expose the asynchronous
+// submit/complete interface a kernel-bypass stack like SPDK would: Submit
+// never blocks, and completion is signalled through a runtime.Event.
+//
+// Devices are written against runtime.Env, so the same models run under the
+// deterministic sim kernel or the wall-clock backend.
 package flashsim
 
 import (
 	"fmt"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // OpKind distinguishes reads from writes.
@@ -36,9 +39,9 @@ type Op struct {
 	Kind   OpKind
 	Offset int64
 	Data   []byte
-	Done   *sim.Event
+	Done   runtime.Event
 
-	submitted sim.Time
+	submitted runtime.Time
 }
 
 // Device is an asynchronous block device.
@@ -56,12 +59,12 @@ type Device interface {
 type Stats struct {
 	Reads, Writes           int64
 	BytesRead, BytesWritten int64
-	ReadLat, WriteLat       *sim.Histogram // submit-to-complete
-	MaxQueue                int            // high-water mark of queued + in-flight ops
+	ReadLat, WriteLat       *runtime.Histogram // submit-to-complete
+	MaxQueue                int                // high-water mark of queued + in-flight ops
 }
 
 func newStats() Stats {
-	return Stats{ReadLat: sim.NewHistogram(), WriteLat: sim.NewHistogram()}
+	return Stats{ReadLat: runtime.NewHistogram(), WriteLat: runtime.NewHistogram()}
 }
 
 func checkRange(cap_ int64, op *Op) error {

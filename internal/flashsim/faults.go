@@ -4,7 +4,7 @@ import (
 	"errors"
 	"math/rand"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // ErrInjected is the failure surfaced by a FaultInjector.
@@ -25,15 +25,15 @@ type FaultInjector struct {
 	FailWritesOnly bool
 	FailReadsOnly  bool
 
-	k        *sim.Kernel
+	env      runtime.Env
 	rng      *rand.Rand
 	ops      int64
 	injected int64
 }
 
 // NewFaultInjector wraps dev.
-func NewFaultInjector(k *sim.Kernel, dev Device, seed int64) *FaultInjector {
-	return &FaultInjector{Inner: dev, k: k, rng: rand.New(rand.NewSource(seed))}
+func NewFaultInjector(env runtime.Env, dev Device, seed int64) *FaultInjector {
+	return &FaultInjector{Inner: dev, env: env, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Capacity returns the inner device's capacity.
@@ -63,7 +63,7 @@ func (f *FaultInjector) Submit(op *Op) {
 	f.ops++
 	if f.shouldFail(op.Kind) {
 		f.injected++
-		f.k.After(0, func() { op.Done.Fire(error(ErrInjected)) })
+		f.env.After(0, func() { op.Done.Fire(error(ErrInjected)) })
 		return
 	}
 	f.Inner.Submit(op)

@@ -1,0 +1,135 @@
+package flashsim
+
+import (
+	"testing"
+
+	"leed/internal/sim"
+)
+
+// faultEnv wires a FaultInjector over a MemDevice on a fresh kernel.
+func faultEnv(seed int64) (*sim.Kernel, *FaultInjector) {
+	k := sim.New()
+	f := NewFaultInjector(k, NewMemDevice(k, 1<<20), seed)
+	return k, f
+}
+
+func TestFaultInjectorPassthrough(t *testing.T) {
+	k, f := faultEnv(1)
+	defer k.Close()
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, f, OpWrite, 0, []byte("safe")); err != nil {
+			t.Errorf("write through clean injector: %v", err)
+		}
+		buf := make([]byte, 4)
+		if err := doIO(p, f, OpRead, 0, buf); err != nil {
+			t.Errorf("read through clean injector: %v", err)
+		}
+		if string(buf) != "safe" {
+			t.Errorf("read back %q", buf)
+		}
+	})
+	k.Run()
+	if f.Injected() != 0 {
+		t.Fatalf("clean injector reported %d injections", f.Injected())
+	}
+	if f.Capacity() != 1<<20 {
+		t.Fatalf("capacity %d not forwarded", f.Capacity())
+	}
+	if f.Stats().Writes != 1 || f.Stats().Reads != 1 {
+		t.Fatalf("inner stats not forwarded: %+v", f.Stats())
+	}
+}
+
+// TestFaultInjectorErrorRate exercises the probabilistic path: at a fixed
+// seed and rate, the observed failures must match the injector's own count,
+// every failure must surface ErrInjected, and failed writes must not reach
+// the backing store.
+func TestFaultInjectorErrorRate(t *testing.T) {
+	k, f := faultEnv(42)
+	defer k.Close()
+	f.ErrorRate = 0.3
+	const ops = 500
+	var failed int64
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < ops; i++ {
+			err := doIO(p, f, OpWrite, int64(i), []byte{0xab})
+			if err == ErrInjected {
+				failed++
+			} else if err != nil {
+				t.Errorf("op %d: unexpected error %v", i, err)
+			}
+		}
+	})
+	k.Run()
+	if failed != f.Injected() {
+		t.Fatalf("observed %d failures, injector counted %d", failed, f.Injected())
+	}
+	if failed == 0 || failed == ops {
+		t.Fatalf("rate 0.3 over %d ops injected %d failures; probabilistic path not exercised", ops, failed)
+	}
+	// The injector must drop failed ops, not forward them.
+	if got := f.Stats().Writes; got != ops-failed {
+		t.Fatalf("inner device saw %d writes, want %d", got, ops-failed)
+	}
+}
+
+// TestFaultInjectorFailAfter exercises the die-at-T path: the first FailAfter
+// ops succeed, every later one fails.
+func TestFaultInjectorFailAfter(t *testing.T) {
+	k, f := faultEnv(1)
+	defer k.Close()
+	f.FailAfter = 10
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			if err := doIO(p, f, OpWrite, int64(i), []byte{1}); err != nil {
+				t.Errorf("op %d before death: %v", i, err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if err := doIO(p, f, OpWrite, 0, []byte{1}); err != ErrInjected {
+				t.Errorf("op %d after death: got %v, want ErrInjected", i, err)
+			}
+			if err := doIO(p, f, OpRead, 0, []byte{0}); err != ErrInjected {
+				t.Errorf("read %d after death: got %v, want ErrInjected", i, err)
+			}
+		}
+	})
+	k.Run()
+	if f.Injected() != 10 {
+		t.Fatalf("injected %d, want 10", f.Injected())
+	}
+}
+
+// TestFaultInjectorKindFilters checks FailWritesOnly / FailReadsOnly gating
+// on both failure modes.
+func TestFaultInjectorKindFilters(t *testing.T) {
+	k, f := faultEnv(7)
+	defer k.Close()
+	f.ErrorRate = 1.0
+	f.FailWritesOnly = true
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, f, OpWrite, 0, []byte{1}); err != ErrInjected {
+			t.Errorf("write with FailWritesOnly: got %v, want ErrInjected", err)
+		}
+		if err := doIO(p, f, OpRead, 0, []byte{0}); err != nil {
+			t.Errorf("read with FailWritesOnly: %v", err)
+		}
+	})
+	k.Run()
+
+	k2, f2 := faultEnv(7)
+	defer k2.Close()
+	f2.FailAfter = 1
+	f2.FailReadsOnly = true
+	k2.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ { // burn past the countdown
+			if err := doIO(p, f2, OpWrite, 0, []byte{1}); err != nil {
+				t.Errorf("write %d with FailReadsOnly: %v", i, err)
+			}
+		}
+		if err := doIO(p, f2, OpRead, 0, []byte{0}); err != ErrInjected {
+			t.Errorf("read after death with FailReadsOnly: got %v, want ErrInjected", err)
+		}
+	})
+	k2.Run()
+}

@@ -5,7 +5,7 @@ import (
 	"io"
 	"os"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // FileDevice is a functional device backed by a real file on disk, so a
@@ -14,7 +14,7 @@ import (
 // MemDevice it models no latency; it is a persistence substrate, not a
 // performance model.
 type FileDevice struct {
-	k        *sim.Kernel
+	env      runtime.Env
 	f        *os.File
 	capacity int64
 	stats    Stats
@@ -22,12 +22,12 @@ type FileDevice struct {
 
 // OpenFileDevice opens (or creates) the image file at path with the given
 // advertised capacity. The file is sparse: unwritten regions read as zero.
-func OpenFileDevice(k *sim.Kernel, path string, capacity int64) (*FileDevice, error) {
+func OpenFileDevice(env runtime.Env, path string, capacity int64) (*FileDevice, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("flashsim: open image: %w", err)
 	}
-	return &FileDevice{k: k, f: f, capacity: capacity, stats: newStats()}, nil
+	return &FileDevice{env: env, f: f, capacity: capacity, stats: newStats()}, nil
 }
 
 // Capacity returns the advertised device size.
@@ -44,14 +44,14 @@ func (d *FileDevice) Close() error {
 	return d.f.Close()
 }
 
-// Submit completes the operation at the current virtual time against the
+// Submit completes the operation at the current time against the
 // backing file.
 func (d *FileDevice) Submit(op *Op) {
 	if err := checkRange(d.capacity, op); err != nil {
-		d.k.After(0, func() { op.Done.Fire(err) })
+		d.env.After(0, func() { op.Done.Fire(err) })
 		return
 	}
-	d.k.After(0, func() {
+	d.env.After(0, func() {
 		switch op.Kind {
 		case OpRead:
 			n, err := d.f.ReadAt(op.Data, op.Offset)

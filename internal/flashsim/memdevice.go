@@ -1,21 +1,21 @@
 package flashsim
 
-import "leed/internal/sim"
+import "leed/internal/runtime"
 
 // MemDevice is a functional device with no modeled latency: operations
-// complete at the current virtual time (asynchronously, so completion
-// ordering relative to other same-time events is still deterministic). It is
-// the substrate for unit and property tests of the data store, where only
-// correctness matters.
+// complete at the current time (asynchronously, so under the sim backend
+// completion ordering relative to other same-time events is still
+// deterministic). It is the substrate for unit and property tests of the
+// data store, where only correctness matters.
 type MemDevice struct {
-	k     *sim.Kernel
+	env   runtime.Env
 	store *pageStore
 	stats Stats
 }
 
 // NewMemDevice creates a zero-latency device of the given capacity.
-func NewMemDevice(k *sim.Kernel, capacity int64) *MemDevice {
-	return &MemDevice{k: k, store: newPageStore(capacity), stats: newStats()}
+func NewMemDevice(env runtime.Env, capacity int64) *MemDevice {
+	return &MemDevice{env: env, store: newPageStore(capacity), stats: newStats()}
 }
 
 // Capacity returns the device size in bytes.
@@ -24,13 +24,13 @@ func (d *MemDevice) Capacity() int64 { return d.store.capacity }
 // Stats returns cumulative counters.
 func (d *MemDevice) Stats() Stats { return d.stats }
 
-// Submit completes op at the current virtual time.
+// Submit completes op at the current time.
 func (d *MemDevice) Submit(op *Op) {
 	if err := checkRange(d.store.capacity, op); err != nil {
-		d.k.After(0, func() { op.Done.Fire(err) })
+		d.env.After(0, func() { op.Done.Fire(err) })
 		return
 	}
-	d.k.After(0, func() {
+	d.env.After(0, func() {
 		switch op.Kind {
 		case OpRead:
 			d.store.readAt(op.Data, op.Offset)

@@ -3,7 +3,7 @@ package flashsim
 import (
 	"math/rand"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // LatencyShim adds an SSD performance model (service units, kind- and
@@ -12,7 +12,7 @@ import (
 // Spec. This lets cmd/leedctl benchmark a persistent image with DCT983-like
 // latencies.
 type LatencyShim struct {
-	k     *sim.Kernel
+	env   runtime.Env
 	inner Device
 	spec  Spec
 	rng   *rand.Rand
@@ -22,11 +22,11 @@ type LatencyShim struct {
 }
 
 // NewLatencyShim wraps inner with spec's timing model.
-func NewLatencyShim(k *sim.Kernel, inner Device, spec Spec) *LatencyShim {
+func NewLatencyShim(env runtime.Env, inner Device, spec Spec) *LatencyShim {
 	if spec.Parallelism <= 0 {
 		spec.Parallelism = 1
 	}
-	return &LatencyShim{k: k, inner: inner, spec: spec, rng: rand.New(rand.NewSource(spec.Seed + 0x5141))}
+	return &LatencyShim{env: env, inner: inner, spec: spec, rng: rand.New(rand.NewSource(spec.Seed + 0x5141))}
 }
 
 // Capacity returns the inner device's capacity.
@@ -35,7 +35,7 @@ func (d *LatencyShim) Capacity() int64 { return d.inner.Capacity() }
 // Stats returns the inner device's counters.
 func (d *LatencyShim) Stats() Stats { return d.inner.Stats() }
 
-func (d *LatencyShim) serviceTime(op *Op) sim.Time {
+func (d *LatencyShim) serviceTime(op *Op) runtime.Time {
 	base := d.spec.ReadBase
 	bw := d.spec.ReadBW
 	if op.Kind == OpWrite {
@@ -46,9 +46,9 @@ func (d *LatencyShim) serviceTime(op *Op) sim.Time {
 	if unitBW <= 0 {
 		unitBW = 1
 	}
-	svc := base + sim.Time(int64(len(op.Data))*int64(sim.Second)/unitBW)
+	svc := base + runtime.Time(int64(len(op.Data))*int64(runtime.Second)/unitBW)
 	if d.spec.Jitter > 0 {
-		svc = sim.Time(float64(svc) * (1 + d.spec.Jitter*(2*d.rng.Float64()-1)))
+		svc = runtime.Time(float64(svc) * (1 + d.spec.Jitter*(2*d.rng.Float64()-1)))
 	}
 	if svc < 1 {
 		svc = 1
@@ -68,9 +68,9 @@ func (d *LatencyShim) Submit(op *Op) {
 
 func (d *LatencyShim) start(op *Op) {
 	d.busy++
-	d.k.After(d.serviceTime(op), func() {
+	d.env.After(d.serviceTime(op), func() {
 		// Chain the inner (instant) completion into the caller's event.
-		innerDone := d.k.NewEvent()
+		innerDone := d.env.MakeEvent()
 		fwd := &Op{Kind: op.Kind, Offset: op.Offset, Data: op.Data, Done: innerDone}
 		d.inner.Submit(fwd)
 		innerDone.OnFire(func(v any) {

@@ -3,7 +3,7 @@ package flashsim
 import (
 	"math/rand"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Spec describes an SSD's performance envelope. Service time for an
@@ -16,8 +16,8 @@ type Spec struct {
 	Name        string
 	Capacity    int64
 	Parallelism int // internal service units (channels x planes)
-	ReadBase    sim.Time
-	WriteBase   sim.Time
+	ReadBase    runtime.Time
+	WriteBase   runtime.Time
 	ReadBW      int64   // bytes/sec, whole device
 	WriteBW     int64   // bytes/sec, whole device
 	Jitter      float64 // +/- fraction of service time, uniform
@@ -31,8 +31,8 @@ func SamsungDCT983(capacity int64) Spec {
 		Name:        "DCT983",
 		Capacity:    capacity,
 		Parallelism: 24,
-		ReadBase:    52 * sim.Microsecond,
-		WriteBase:   22 * sim.Microsecond,
+		ReadBase:    52 * runtime.Microsecond,
+		WriteBase:   22 * runtime.Microsecond,
 		ReadBW:      3000 << 20,
 		WriteBW:     1050 << 20,
 		Jitter:      0.10,
@@ -49,8 +49,8 @@ func SanDiskSD(capacity int64) Spec {
 		Name:        "SanDiskSD",
 		Capacity:    capacity,
 		Parallelism: 2,
-		ReadBase:    1100 * sim.Microsecond,
-		WriteBase:   350 * sim.Microsecond,
+		ReadBase:    1100 * runtime.Microsecond,
+		WriteBase:   350 * runtime.Microsecond,
 		ReadBW:      80 << 20,
 		WriteBW:     60 << 20,
 		Jitter:      0.15,
@@ -62,7 +62,7 @@ func SanDiskSD(capacity int64) Spec {
 // Bytes are really stored: writes become visible at completion, reads copy
 // out at completion.
 type SSD struct {
-	k     *sim.Kernel
+	env   runtime.Env
 	spec  Spec
 	store *pageStore
 	rng   *rand.Rand
@@ -72,17 +72,17 @@ type SSD struct {
 	stats   Stats
 
 	// busy-time integral for utilization reporting
-	busySince sim.Time
-	busyInt   sim.Time
+	busySince runtime.Time
+	busyInt   runtime.Time
 }
 
-// NewSSD creates a drive on kernel k from the given spec.
-func NewSSD(k *sim.Kernel, spec Spec) *SSD {
+// NewSSD creates a drive on env from the given spec.
+func NewSSD(env runtime.Env, spec Spec) *SSD {
 	if spec.Parallelism <= 0 {
 		spec.Parallelism = 1
 	}
 	return &SSD{
-		k:     k,
+		env:   env,
 		spec:  spec,
 		store: newPageStore(spec.Capacity),
 		rng:   rand.New(rand.NewSource(spec.Seed + 0x55D)),
@@ -108,25 +108,25 @@ func (d *SSD) InFlight() int { return d.busy }
 // Utilization returns the time-averaged fraction of service units busy.
 func (d *SSD) Utilization() float64 {
 	d.account()
-	if d.k.Now() == 0 {
+	if d.env.Now() == 0 {
 		return 0
 	}
-	return float64(d.busyInt) / (float64(d.k.Now()) * float64(d.spec.Parallelism))
+	return float64(d.busyInt) / (float64(d.env.Now()) * float64(d.spec.Parallelism))
 }
 
 func (d *SSD) account() {
-	now := d.k.Now()
-	d.busyInt += sim.Time(d.busy) * (now - d.busySince)
+	now := d.env.Now()
+	d.busyInt += runtime.Time(d.busy) * (now - d.busySince)
 	d.busySince = now
 }
 
 // Submit enqueues op; op.Done fires at completion.
 func (d *SSD) Submit(op *Op) {
 	if err := checkRange(d.spec.Capacity, op); err != nil {
-		d.k.After(0, func() { op.Done.Fire(err) })
+		d.env.After(0, func() { op.Done.Fire(err) })
 		return
 	}
-	op.submitted = d.k.Now()
+	op.submitted = d.env.Now()
 	if qd := d.QueueDepth() + 1; qd > d.stats.MaxQueue {
 		d.stats.MaxQueue = qd
 	}
@@ -137,7 +137,7 @@ func (d *SSD) Submit(op *Op) {
 	}
 }
 
-func (d *SSD) serviceTime(op *Op) sim.Time {
+func (d *SSD) serviceTime(op *Op) runtime.Time {
 	base := d.spec.ReadBase
 	bw := d.spec.ReadBW
 	if op.Kind == OpWrite {
@@ -148,10 +148,10 @@ func (d *SSD) serviceTime(op *Op) sim.Time {
 	if unitBW <= 0 {
 		unitBW = 1
 	}
-	transfer := sim.Time(int64(len(op.Data)) * int64(sim.Second) / unitBW)
+	transfer := runtime.Time(int64(len(op.Data)) * int64(runtime.Second) / unitBW)
 	svc := base + transfer
 	if d.spec.Jitter > 0 {
-		svc = sim.Time(float64(svc) * (1 + d.spec.Jitter*(2*d.rng.Float64()-1)))
+		svc = runtime.Time(float64(svc) * (1 + d.spec.Jitter*(2*d.rng.Float64()-1)))
 	}
 	if svc < 1 {
 		svc = 1
@@ -162,7 +162,7 @@ func (d *SSD) serviceTime(op *Op) sim.Time {
 func (d *SSD) start(op *Op) {
 	d.account()
 	d.busy++
-	d.k.After(d.serviceTime(op), func() { d.complete(op) })
+	d.env.After(d.serviceTime(op), func() { d.complete(op) })
 }
 
 func (d *SSD) complete(op *Op) {
@@ -171,12 +171,12 @@ func (d *SSD) complete(op *Op) {
 		d.store.readAt(op.Data, op.Offset)
 		d.stats.Reads++
 		d.stats.BytesRead += int64(len(op.Data))
-		d.stats.ReadLat.Record(d.k.Now() - op.submitted)
+		d.stats.ReadLat.Record(d.env.Now() - op.submitted)
 	case OpWrite:
 		d.store.writeAt(op.Data, op.Offset)
 		d.stats.Writes++
 		d.stats.BytesWritten += int64(len(op.Data))
-		d.stats.WriteLat.Record(d.k.Now() - op.submitted)
+		d.stats.WriteLat.Record(d.env.Now() - op.submitted)
 	}
 	d.account()
 	d.busy--

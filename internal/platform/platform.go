@@ -8,7 +8,7 @@ package platform
 import (
 	"leed/internal/flashsim"
 	"leed/internal/power"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Core is one CPU core. Compute phases consume virtual time proportional to
@@ -23,12 +23,12 @@ type Core struct {
 }
 
 // CycleTime converts a cycle count to virtual time on this core.
-func (c *Core) CycleTime(cycles int64) sim.Time {
-	return sim.Time(cycles * int64(sim.Second) / c.FreqHz)
+func (c *Core) CycleTime(cycles int64) runtime.Time {
+	return runtime.Time(cycles * int64(runtime.Second) / c.FreqHz)
 }
 
 // Run blocks the proc for d of compute, drawing dynamic power.
-func (c *Core) Run(p *sim.Proc, d sim.Time) {
+func (c *Core) Run(p runtime.Task, d runtime.Time) {
 	if d <= 0 {
 		return
 	}
@@ -38,7 +38,7 @@ func (c *Core) Run(p *sim.Proc, d sim.Time) {
 }
 
 // RunCycles blocks the proc for the given cycle count of compute.
-func (c *Core) RunCycles(p *sim.Proc, cycles int64) { c.Run(p, c.CycleTime(cycles)) }
+func (c *Core) RunCycles(p runtime.Task, cycles int64) { c.Run(p, c.CycleTime(cycles)) }
 
 // PinPolling marks the core as a busy-polling core: it draws its dynamic
 // power permanently, whether or not useful work runs (§4.1: polling eight
@@ -119,7 +119,7 @@ func RaspberryPi() Spec {
 // Node is one instantiated platform: cores, drives, and a meter on a kernel.
 type Node struct {
 	Spec  Spec
-	K     *sim.Kernel
+	Env   runtime.Env
 	Cores []*Core
 	SSDs  []*flashsim.SSD
 	Meter *power.Meter
@@ -129,8 +129,8 @@ type Node struct {
 
 // NewNode instantiates a platform with numSSDs drives of ssdCapacity bytes
 // each. seed perturbs device jitter streams so distinct nodes decorrelate.
-func NewNode(k *sim.Kernel, spec Spec, numSSDs int, ssdCapacity int64, seed int64) *Node {
-	n := &Node{Spec: spec, K: k, Meter: power.NewMeter(k, spec.IdleWatts)}
+func NewNode(env runtime.Env, spec Spec, numSSDs int, ssdCapacity int64, seed int64) *Node {
+	n := &Node{Spec: spec, Env: env, Meter: power.NewMeter(env, spec.IdleWatts)}
 	for i := 0; i < spec.NumCores; i++ {
 		n.Cores = append(n.Cores, &Core{
 			ID:     i,
@@ -141,7 +141,7 @@ func NewNode(k *sim.Kernel, spec Spec, numSSDs int, ssdCapacity int64, seed int6
 	for i := 0; i < numSSDs; i++ {
 		ss := spec.SSDSpec(ssdCapacity)
 		ss.Seed = seed*1000 + int64(i)
-		ssd := flashsim.NewSSD(k, ss)
+		ssd := flashsim.NewSSD(env, ss)
 		n.SSDs = append(n.SSDs, ssd)
 		n.ssdBusy = append(n.ssdBusy, n.Meter.NewComponent("ssd", spec.SSDWatts))
 	}

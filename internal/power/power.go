@@ -5,18 +5,18 @@
 // power over virtual time.
 package power
 
-import "leed/internal/sim"
+import "leed/internal/runtime"
 
 // Meter accumulates the energy drawn by one platform.
 type Meter struct {
-	k     *sim.Kernel
+	env   runtime.Env
 	idleW float64
 	comps []*Component
 }
 
 // NewMeter creates a meter with the given constant idle draw in watts.
-func NewMeter(k *sim.Kernel, idleWatts float64) *Meter {
-	return &Meter{k: k, idleW: idleWatts}
+func NewMeter(env runtime.Env, idleWatts float64) *Meter {
+	return &Meter{env: env, idleW: idleWatts}
 }
 
 // IdleWatts returns the configured idle draw.
@@ -29,7 +29,7 @@ type Component struct {
 	watts  float64
 	meter  *Meter
 	active int
-	since  sim.Time
+	since  runtime.Time
 	busyNs float64 // integral of active time in ns
 }
 
@@ -41,7 +41,7 @@ func (m *Meter) NewComponent(name string, watts float64) *Component {
 }
 
 func (c *Component) account() {
-	now := c.meter.k.Now()
+	now := c.meter.env.Now()
 	if c.active > 0 {
 		c.busyNs += float64(now - c.since)
 	}
@@ -70,12 +70,12 @@ func (c *Component) PinActive() { c.Begin() }
 // BusySeconds returns the component's accumulated active time.
 func (c *Component) BusySeconds() float64 {
 	c.account()
-	return c.busyNs / float64(sim.Second)
+	return c.busyNs / float64(runtime.Second)
 }
 
 // Energy returns total Joules drawn from time zero to now.
 func (m *Meter) Energy() float64 {
-	j := m.idleW * m.k.Now().Seconds()
+	j := m.idleW * m.env.Now().Seconds()
 	for _, c := range m.comps {
 		j += c.watts * c.BusySeconds()
 	}
@@ -84,22 +84,22 @@ func (m *Meter) Energy() float64 {
 
 // AvgWatts returns average power from time zero to now.
 func (m *Meter) AvgWatts() float64 {
-	if m.k.Now() == 0 {
+	if m.env.Now() == 0 {
 		return m.idleW
 	}
-	return m.Energy() / m.k.Now().Seconds()
+	return m.Energy() / m.env.Now().Seconds()
 }
 
 // Snapshot captures the meter state so a later call can measure a window.
 type Snapshot struct {
-	at     sim.Time
+	at     runtime.Time
 	joules float64
 }
 
 // Snap records the current cumulative energy.
-func (m *Meter) Snap() Snapshot { return Snapshot{at: m.k.Now(), joules: m.Energy()} }
+func (m *Meter) Snap() Snapshot { return Snapshot{at: m.env.Now(), joules: m.Energy()} }
 
 // Since returns (joules, seconds) elapsed since the snapshot.
 func (m *Meter) Since(s Snapshot) (joules, seconds float64) {
-	return m.Energy() - s.joules, (m.k.Now() - s.at).Seconds()
+	return m.Energy() - s.joules, (m.env.Now() - s.at).Seconds()
 }

@@ -1,4 +1,4 @@
-package sim
+package runtime
 
 import (
 	"math/rand"

@@ -1,0 +1,34 @@
+package runtime
+
+import "fmt"
+
+// Time is a point in time, in nanoseconds: virtual nanoseconds since the
+// start of the simulation on the sim backend, nanoseconds since Env creation
+// on the wallclock backend. It doubles as a duration; arithmetic on Time
+// values is plain integer arithmetic.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit, e.g. "12.5us" or "3.2ms".
+func (t Time) String() string {
+	switch {
+	case t < 2*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 2*Millisecond:
+		return fmt.Sprintf("%.1fus", float64(t)/float64(Microsecond))
+	case t < 2*Second:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }

@@ -1,0 +1,393 @@
+// Package wallclock implements runtime.Env on real time: tasks are plain
+// goroutines, Sleep is time.Sleep, and timers are time.AfterFunc.
+//
+// The backend keeps the execution contract the store code was written for —
+// at most one task runs at any instant — with a single environment-wide
+// mutex (a "big runtime lock", like an early OS kernel): a task holds the
+// lock from the moment it is scheduled until it blocks in a primitive, which
+// releases the lock for the duration of the wait. Device I/O, timers, and
+// sleeping tasks therefore overlap in real time while all store state is
+// still accessed one task at a time, so the unlocked data structures in
+// core/engine/flashsim are race-free here too (and `go test -race` agrees).
+//
+// What wallclock does NOT provide is determinism: goroutine wakeup order
+// under contention is up to the Go scheduler and the OS clock. Use the sim
+// backend for reproducible experiments.
+package wallclock
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leed/internal/runtime"
+)
+
+// Env is the wall-clock runtime environment. Construct with New.
+type Env struct {
+	mu    sync.Mutex // the big runtime lock; see the package comment
+	start time.Time
+	wg    sync.WaitGroup // tracks spawned tasks and pending timers
+	ntask atomic.Int64   // task name counter
+}
+
+// Compile-time interface checks.
+var (
+	_ runtime.Env      = (*Env)(nil)
+	_ runtime.Task     = (*task)(nil)
+	_ runtime.Ticket   = (*ticket)(nil)
+	_ runtime.Event    = (*event)(nil)
+	_ runtime.Queue    = (*queue)(nil)
+	_ runtime.Resource = (*resource)(nil)
+)
+
+// New returns a wall-clock environment whose clock starts at zero now.
+func New() *Env {
+	return &Env{start: time.Now()}
+}
+
+// Now returns the time elapsed since New, in nanoseconds.
+func (e *Env) Now() runtime.Time { return runtime.Time(time.Since(e.start)) }
+
+// After schedules fn to run d from now in scheduler context (holding the
+// runtime lock). Wait blocks until all pending timers have run.
+func (e *Env) After(d runtime.Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.wg.Add(1)
+	time.AfterFunc(time.Duration(d), func() {
+		defer e.wg.Done()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		fn()
+	})
+}
+
+// Spawn starts fn as a new task goroutine. The task body runs holding the
+// runtime lock except while blocked in a primitive.
+func (e *Env) Spawn(name string, fn func(t runtime.Task)) {
+	t := &task{
+		env:  e,
+		name: fmt.Sprintf("%s#%d", name, e.ntask.Add(1)),
+		park: make(chan struct{}, 1),
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		fn(t)
+	}()
+}
+
+// Wait blocks until every spawned task has returned and every pending timer
+// has run. Call it from the owning goroutine (not from a task) after the
+// last Spawn; it is the wall-clock analogue of Kernel.Run draining the heap.
+func (e *Env) Wait() { e.wg.Wait() }
+
+// MakeEvent implements runtime.Env.
+func (e *Env) MakeEvent() runtime.Event { return &event{env: e} }
+
+// MakeQueue implements runtime.Env.
+func (e *Env) MakeQueue() runtime.Queue { return &queue{} }
+
+// MakeResource implements runtime.Env.
+func (e *Env) MakeResource(capacity int64) runtime.Resource {
+	return &resource{env: e, capacity: capacity, avail: capacity, busySince: e.Now()}
+}
+
+// MakeHistogram implements runtime.Env.
+func (e *Env) MakeHistogram() *runtime.Histogram { return runtime.NewHistogram() }
+
+// task is one running goroutine. parked/seq are guarded by env.mu; the park
+// channel (capacity 1) carries the wakeup token so a Wake landing between
+// lock release and channel receive is never lost.
+type task struct {
+	env    *Env
+	name   string
+	park   chan struct{}
+	seq    uint64
+	parked bool
+}
+
+// Name returns the task's debug name.
+func (t *task) Name() string { return t.name }
+
+// Now returns the environment's current time.
+func (t *task) Now() runtime.Time { return t.env.Now() }
+
+// Sleep blocks the task for d, releasing the runtime lock while asleep.
+func (t *task) Sleep(d runtime.Time) {
+	if d < 0 {
+		d = 0
+	}
+	t.env.mu.Unlock()
+	time.Sleep(time.Duration(d))
+	t.env.mu.Lock()
+}
+
+// Prepare issues a one-shot wakeup ticket for the task's next Park.
+func (t *task) Prepare() runtime.Ticket {
+	t.seq++
+	return &ticket{t: t, seq: t.seq}
+}
+
+// Park blocks until the current ticket is woken, releasing the runtime lock
+// while parked. Wakeups may be spurious (a second Wake on a still-valid
+// ticket leaves a token for the next Park); primitives loop on their
+// condition, as the runtime.Task contract requires.
+func (t *task) Park() {
+	t.parked = true
+	t.env.mu.Unlock()
+	<-t.park
+	t.env.mu.Lock()
+	t.parked = false
+}
+
+// Wait blocks until ev fires and returns its payload.
+func (t *task) Wait(ev runtime.Event) any {
+	e := ev.(*event)
+	for !e.fired {
+		tk := t.Prepare().(*ticket)
+		e.waiters = append(e.waiters, tk)
+		t.Park()
+	}
+	return e.val
+}
+
+// ticket is a one-shot wakeup permit. Wake must run with env.mu held, which
+// is true for every caller: primitives wake tickets from task context, and
+// WakeAfter goes through After.
+type ticket struct {
+	t   *task
+	seq uint64
+}
+
+// Wake resumes the ticket's task if it is still parked on this ticket.
+func (tk *ticket) Wake() {
+	t := tk.t
+	if !t.parked || t.seq != tk.seq {
+		return
+	}
+	select {
+	case t.park <- struct{}{}:
+	default: // token already pending; one is enough
+	}
+}
+
+// WakeAfter schedules the wakeup d into the future.
+func (tk *ticket) WakeAfter(d runtime.Time) {
+	tk.t.env.After(d, tk.Wake)
+}
+
+// event is the wall-clock runtime.Event. All fields are guarded by env.mu.
+type event struct {
+	env     *Env
+	fired   bool
+	val     any
+	waiters []*ticket
+	cbs     []func(val any)
+}
+
+// Fire marks the event complete, wakes all waiters, and schedules all
+// callbacks.
+func (e *event) Fire(val any) {
+	if e.fired {
+		panic("wallclock: Event fired twice")
+	}
+	e.fired = true
+	e.val = val
+	for _, tk := range e.waiters {
+		tk.Wake()
+	}
+	e.waiters = nil
+	cbs := e.cbs
+	e.cbs = nil
+	for _, cb := range cbs {
+		cb := cb
+		e.env.After(0, func() { cb(val) })
+	}
+}
+
+// Fired reports whether the event has fired.
+func (e *event) Fired() bool { return e.fired }
+
+// Value returns the payload passed to Fire, or nil if not yet fired.
+func (e *event) Value() any { return e.val }
+
+// OnFire registers fn to run when the event fires; if it already fired, fn
+// is scheduled immediately.
+func (e *event) OnFire(fn func(val any)) {
+	if e.fired {
+		v := e.val
+		e.env.After(0, func() { fn(v) })
+		return
+	}
+	e.cbs = append(e.cbs, fn)
+}
+
+// queue is the wall-clock runtime.Queue, guarded by env.mu like sim's is by
+// the kernel baton.
+type queue struct {
+	items   []any
+	head    int
+	getters []*ticket
+	maxLen  int
+}
+
+// Put appends v and wakes one blocked getter, if any.
+func (q *queue) Put(v any) {
+	q.items = append(q.items, v)
+	if n := q.Len(); n > q.maxLen {
+		q.maxLen = n
+	}
+	if len(q.getters) > 0 {
+		tk := q.getters[0]
+		q.getters = q.getters[1:]
+		tk.Wake()
+	}
+}
+
+// TryGet pops the head item without blocking.
+func (q *queue) TryGet() (any, bool) {
+	if q.Len() == 0 {
+		return nil, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Get pops the head item, blocking the task while the queue is empty.
+func (q *queue) Get(t runtime.Task) any {
+	tt := t.(*task)
+	for {
+		if v, ok := q.TryGet(); ok {
+			return v
+		}
+		tk := tt.Prepare().(*ticket)
+		q.getters = append(q.getters, tk)
+		tt.Park()
+	}
+}
+
+// Peek returns the head item without removing it.
+func (q *queue) Peek() (any, bool) {
+	if q.Len() == 0 {
+		return nil, false
+	}
+	return q.items[q.head], true
+}
+
+// Len returns the number of queued items.
+func (q *queue) Len() int { return len(q.items) - q.head }
+
+// MaxLen returns the high-water mark of the queue length.
+func (q *queue) MaxLen() int { return q.maxLen }
+
+// resWaiter is one task waiting for n units of a resource.
+type resWaiter struct {
+	tk      *ticket
+	n       int64
+	granted *bool
+}
+
+// resource is the wall-clock runtime.Resource: a FIFO counting semaphore
+// with the same grant algorithm and busy-time accounting as sim's.
+type resource struct {
+	env         *Env
+	capacity    int64
+	avail       int64
+	waiters     []resWaiter
+	busySince   runtime.Time
+	busyIntegal runtime.Time
+}
+
+// Capacity returns the configured capacity.
+func (r *resource) Capacity() int64 { return r.capacity }
+
+// Avail returns the currently available units.
+func (r *resource) Avail() int64 { return r.avail }
+
+// InUse returns capacity minus available units.
+func (r *resource) InUse() int64 { return r.capacity - r.avail }
+
+func (r *resource) account() {
+	now := r.env.Now()
+	r.busyIntegal += runtime.Time(r.InUse()) * (now - r.busySince)
+	r.busySince = now
+}
+
+// Utilization returns the time-averaged fraction of capacity in use.
+func (r *resource) Utilization() float64 {
+	r.account()
+	elapsed := r.env.Now()
+	if elapsed == 0 || r.capacity == 0 {
+		return 0
+	}
+	return float64(r.busyIntegal) / (float64(elapsed) * float64(r.capacity))
+}
+
+// Waiting returns the number of queued acquirers.
+func (r *resource) Waiting() int { return len(r.waiters) }
+
+// TryAcquire takes n units if immediately available and nobody is queued
+// ahead.
+func (r *resource) TryAcquire(n int64) bool {
+	if len(r.waiters) > 0 || r.avail < n {
+		return false
+	}
+	r.account()
+	r.avail -= n
+	return true
+}
+
+// Acquire blocks the task until n units are available and all earlier
+// waiters have been served.
+func (r *resource) Acquire(t runtime.Task, n int64) {
+	tt := t.(*task)
+	if n > r.capacity {
+		panic("wallclock: Resource.Acquire exceeds capacity")
+	}
+	if r.TryAcquire(n) {
+		return
+	}
+	granted := false
+	r.waiters = append(r.waiters, resWaiter{tk: tt.Prepare().(*ticket), n: n, granted: &granted})
+	for !granted {
+		tt.Park()
+		if !granted {
+			// Spurious wake; re-park with a fresh ticket wired to the same
+			// waiter entry.
+			for i := range r.waiters {
+				if r.waiters[i].granted == &granted {
+					r.waiters[i].tk = tt.Prepare().(*ticket)
+				}
+			}
+		}
+	}
+}
+
+// Release returns n units and grants as many queued waiters as now fit, in
+// FIFO order.
+func (r *resource) Release(n int64) {
+	r.account()
+	r.avail += n
+	if r.avail > r.capacity {
+		panic("wallclock: Resource.Release over capacity")
+	}
+	for len(r.waiters) > 0 && r.waiters[0].n <= r.avail {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.avail -= w.n
+		*w.granted = true
+		w.tk.Wake()
+	}
+}

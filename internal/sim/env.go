@@ -1,0 +1,34 @@
+package sim
+
+import "leed/internal/runtime"
+
+// The DES kernel is the deterministic implementation of the runtime seam:
+// Kernel is an Env, Proc is a Task, and the sim sync primitives are the
+// backend's events, queues, and resources.
+var (
+	_ runtime.Env      = (*Kernel)(nil)
+	_ runtime.Task     = (*Proc)(nil)
+	_ runtime.Ticket   = Ticket{}
+	_ runtime.Event    = (*Event)(nil)
+	_ runtime.Queue    = (*Queue[any])(nil)
+	_ runtime.Resource = (*Resource)(nil)
+)
+
+// Spawn implements runtime.Env by starting fn as a new proc.
+func (k *Kernel) Spawn(name string, fn func(t runtime.Task)) {
+	k.Go(name, func(p *Proc) { fn(p) })
+}
+
+// MakeEvent implements runtime.Env.
+func (k *Kernel) MakeEvent() runtime.Event { return k.NewEvent() }
+
+// MakeQueue implements runtime.Env.
+func (k *Kernel) MakeQueue() runtime.Queue { return NewQueue[any](k) }
+
+// MakeResource implements runtime.Env.
+func (k *Kernel) MakeResource(capacity int64) runtime.Resource {
+	return NewResource(k, capacity)
+}
+
+// MakeHistogram implements runtime.Env.
+func (k *Kernel) MakeHistogram() *runtime.Histogram { return NewHistogram() }

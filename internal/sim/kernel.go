@@ -13,38 +13,23 @@ package sim
 
 import (
 	"container/heap"
-	"fmt"
+
+	"leed/internal/runtime"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
-// simulation. It doubles as a duration; arithmetic on Time values is plain
-// integer arithmetic.
-type Time int64
+// simulation. It is the shared runtime.Time, aliased so sim-side code keeps
+// its historical spelling; arithmetic on Time values is plain integer
+// arithmetic.
+type Time = runtime.Time
 
 // Convenient duration units of virtual time.
 const (
-	Nanosecond  Time = 1
-	Microsecond Time = 1000 * Nanosecond
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Nanosecond  = runtime.Nanosecond
+	Microsecond = runtime.Microsecond
+	Millisecond = runtime.Millisecond
+	Second      = runtime.Second
 )
-
-// String formats the time with an adaptive unit, e.g. "12.5us" or "3.2ms".
-func (t Time) String() string {
-	switch {
-	case t < 2*Microsecond:
-		return fmt.Sprintf("%dns", int64(t))
-	case t < 2*Millisecond:
-		return fmt.Sprintf("%.1fus", float64(t)/float64(Microsecond))
-	case t < 2*Second:
-		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
-	default:
-		return fmt.Sprintf("%.2fs", float64(t)/float64(Second))
-	}
-}
-
-// Seconds returns the time as a floating-point number of seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // schedEntry is one pending event on the kernel heap.
 type schedEntry struct {

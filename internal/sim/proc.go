@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
+	stdruntime "runtime"
+
+	"leed/internal/runtime"
 )
 
 // Proc is a simulated process: a goroutine whose execution is interleaved
@@ -32,7 +34,7 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				buf := make([]byte, 16<<10)
-				n := runtime.Stack(buf, false)
+				n := stdruntime.Stack(buf, false)
 				p.k.fault = fmt.Errorf("sim: proc %s panicked: %v\n%s", p.name, r, buf[:n])
 			}
 			p.done = true
@@ -105,8 +107,9 @@ func (t Ticket) WakeAfter(d Time) {
 // Prepare issues a wakeup ticket for the proc's next Park. Custom blocking
 // primitives outside this package use Prepare/Park the same way Queue and
 // Resource do: issue a ticket, register it with whoever will wake you, then
-// Park.
-func (p *Proc) Prepare() Ticket { return p.prepare() }
+// Park. The ticket is returned as a runtime.Ticket so such primitives work
+// on any runtime backend.
+func (p *Proc) Prepare() runtime.Ticket { return p.prepare() }
 
 // Park blocks the proc until a ticket from the most recent Prepare is
 // woken. Callers must loop on their condition: wakeups may be spurious.
@@ -117,7 +120,7 @@ func (p *Proc) park() {
 	p.parked = true
 	p.k.yield <- struct{}{}
 	if ok := <-p.resume; !ok {
-		runtime.Goexit()
+		stdruntime.Goexit()
 	}
 	p.parked = false
 }
@@ -134,15 +137,18 @@ func (p *Proc) Sleep(d Time) {
 }
 
 // Wait blocks until ev fires and returns its payload. If ev has already
-// fired it returns immediately without yielding.
-func (p *Proc) Wait(ev *Event) any {
-	if ev.fired {
-		return ev.val
+// fired it returns immediately without yielding. ev must be a sim Event
+// created on the same kernel; the runtime.Event parameter type lets code
+// written against runtime.Task run unchanged here.
+func (p *Proc) Wait(ev runtime.Event) any {
+	e := ev.(*Event)
+	if e.fired {
+		return e.val
 	}
 	t := p.prepare()
-	ev.waiters = append(ev.waiters, t)
+	e.waiters = append(e.waiters, t)
 	p.park()
-	return ev.val
+	return e.val
 }
 
 // WaitAll blocks until every event has fired.

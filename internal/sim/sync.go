@@ -1,5 +1,7 @@
 package sim
 
+import "leed/internal/runtime"
+
 // Queue is an unbounded FIFO connecting procs: producers Put without
 // blocking, consumers Get and block while the queue is empty. It is the
 // workhorse behind NIC receive rings, per-core runnable queues, and the
@@ -50,15 +52,17 @@ func (q *Queue[T]) TryGet() (v T, ok bool) {
 	return v, true
 }
 
-// Get pops the head item, blocking the proc while the queue is empty.
-// Getters are served in FIFO order.
-func (q *Queue[T]) Get(p *Proc) T {
+// Get pops the head item, blocking the task while the queue is empty.
+// Getters are served in FIFO order. t must be a Proc on the same kernel; the
+// runtime.Task parameter type lets backend-neutral code call it.
+func (q *Queue[T]) Get(t runtime.Task) T {
+	p := t.(*Proc)
 	for {
 		if v, ok := q.TryGet(); ok {
 			return v
 		}
-		t := p.prepare()
-		q.getters = append(q.getters, t)
+		tk := p.prepare()
+		q.getters = append(q.getters, tk)
 		p.park()
 	}
 }
@@ -80,7 +84,7 @@ type Mutex struct {
 // Lock blocks the proc until the mutex is acquired.
 func (m *Mutex) Lock(p *Proc) {
 	for m.locked {
-		t := p.Prepare()
+		t := p.prepare()
 		m.waiters = append(m.waiters, t)
 		p.Park()
 	}
@@ -176,9 +180,10 @@ func (r *Resource) TryAcquire(n int64) bool {
 	return true
 }
 
-// Acquire blocks the proc until n units are available and all earlier
-// waiters have been served.
-func (r *Resource) Acquire(p *Proc, n int64) {
+// Acquire blocks the task until n units are available and all earlier
+// waiters have been served. t must be a Proc on the same kernel.
+func (r *Resource) Acquire(t runtime.Task, n int64) {
+	p := t.(*Proc)
 	if n > r.capacity {
 		panic("sim: Resource.Acquire exceeds capacity")
 	}

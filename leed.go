@@ -1,47 +1,64 @@
 // Package leed is the public facade of this repository: a reproduction of
 // "LEED: A Low-Power, Fast Persistent Key-Value Store on SmartNIC JBOFs"
-// (SIGCOMM 2023) as a deterministic discrete-event simulation.
+// (SIGCOMM 2023) — a KV store that runs on a pluggable runtime substrate.
 //
 // The package re-exports the pieces a user composes:
 //
-//   - A simulation Kernel and Proc (virtual time; all API calls that do I/O
-//     take a *Proc and block in virtual time).
+//   - A runtime Env and Task: the execution substrate. Two backends exist —
+//     the deterministic discrete-event Kernel (virtual time, bit-identical
+//     replays) and the wall-clock Env (real goroutines and time.Sleep, for
+//     serving real traffic). All API calls that do I/O take a Task and
+//     block on its backend's clock.
 //   - Store: the per-SSD LEED data store — circular key/value logs with the
-//     DRAM/Flash hybrid index, compaction, and swapping (§3.2-§3.3).
+//     DRAM/Flash hybrid index, compaction, and swapping (§3.2-§3.3). A
+//     Store runs unchanged on either backend.
 //   - Cluster: the full distributed system — token-based intra-JBOF
 //     execution, flow-control scheduling, CRRS chain replication, and the
-//     membership control plane (§3.4-§3.8).
+//     membership control plane (§3.4-§3.8). Sim-only for now.
 //   - Workloads: YCSB generators matching the paper's evaluation.
 //
-// See examples/ for runnable entry points and cmd/leed-bench for the
-// harness that regenerates every table and figure in the paper.
+// See examples/ for runnable entry points, cmd/leed-bench for the harness
+// that regenerates every table and figure in the paper, and cmd/leedctl
+// serve for a wall-clock store over a persistent image.
 package leed
 
 import (
 	"leed/internal/cluster"
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
 	"leed/internal/ycsb"
 )
 
-// Simulation substrate.
+// Runtime substrate.
 type (
-	// Kernel is the discrete-event simulation engine.
+	// Env is a runtime environment: clock, timers, task spawning, and sync
+	// primitive constructors. *Kernel and *WallClock both implement it.
+	Env = runtime.Env
+	// Task is one running task; blocking APIs take one. A sim *Proc and a
+	// wallclock task both implement it.
+	Task = runtime.Task
+	// Kernel is the deterministic discrete-event simulation engine.
 	Kernel = sim.Kernel
-	// Proc is a simulated process; blocking APIs take one.
+	// Proc is a simulated process: the sim backend's Task.
 	Proc = sim.Proc
-	// Time is virtual time in nanoseconds.
-	Time = sim.Time
+	// WallClock is the real-time backend: tasks are goroutines and the
+	// clock is the wall clock.
+	WallClock = wallclock.Env
+	// Time is a point in time in nanoseconds (virtual or wall-clock,
+	// depending on the backend).
+	Time = runtime.Time
 	// Histogram records latency distributions.
-	Histogram = sim.Histogram
+	Histogram = runtime.Histogram
 )
 
-// Virtual time units.
+// Time units.
 const (
-	Microsecond = sim.Microsecond
-	Millisecond = sim.Millisecond
-	Second      = sim.Second
+	Microsecond = runtime.Microsecond
+	Millisecond = runtime.Millisecond
+	Second      = runtime.Second
 )
 
 // Data store layer (§3.2–§3.3).
@@ -90,6 +107,11 @@ var ErrNotFound = core.ErrNotFound
 // NewKernel creates a simulation kernel at virtual time zero.
 func NewKernel() *Kernel { return sim.New() }
 
+// NewWallClock creates a wall-clock runtime environment whose clock starts
+// at zero now. Spawn tasks with env.Spawn and call env.Wait after the last
+// one; unlike the sim kernel there is no Run loop to drive.
+func NewWallClock() *WallClock { return wallclock.New() }
+
 // NewHistogram creates an empty latency histogram.
 func NewHistogram() *Histogram { return sim.NewHistogram() }
 
@@ -98,11 +120,12 @@ func NewHistogram() *Histogram { return sim.NewHistogram() }
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
 
 // NewMemStore creates a single store over a zero-latency in-memory device —
-// the quickest way to exercise the data-store API functionally.
-func NewMemStore(k *Kernel, numSegments int, keyLogBytes, valLogBytes int64) *Store {
-	dev := flashsim.NewMemDevice(k, keyLogBytes+valLogBytes+(1<<20))
+// the quickest way to exercise the data-store API functionally. env may be
+// a sim *Kernel or a *WallClock.
+func NewMemStore(env Env, numSegments int, keyLogBytes, valLogBytes int64) *Store {
+	dev := flashsim.NewMemDevice(env, keyLogBytes+valLogBytes+(1<<20))
 	return core.NewStore(core.Config{
-		Kernel:      k,
+		Env:         env,
 		Device:      dev,
 		NumSegments: numSegments,
 		KeyLogBytes: keyLogBytes,
@@ -111,11 +134,13 @@ func NewMemStore(k *Kernel, numSegments int, keyLogBytes, valLogBytes int64) *St
 }
 
 // NewSSDStore creates a single store over a latency-modeled NVMe device
-// (the Samsung DCT983 profile from the paper's testbed).
-func NewSSDStore(k *Kernel, capacity int64, numSegments int, keyLogBytes, valLogBytes int64) *Store {
-	dev := flashsim.NewSSD(k, flashsim.SamsungDCT983(capacity))
+// (the Samsung DCT983 profile from the paper's testbed). env may be a sim
+// *Kernel or a *WallClock; on the latter, modeled service times elapse in
+// real time.
+func NewSSDStore(env Env, capacity int64, numSegments int, keyLogBytes, valLogBytes int64) *Store {
+	dev := flashsim.NewSSD(env, flashsim.SamsungDCT983(capacity))
 	return core.NewStore(core.Config{
-		Kernel:      k,
+		Env:         env,
 		Device:      dev,
 		NumSegments: numSegments,
 		KeyLogBytes: keyLogBytes,
