@@ -11,14 +11,18 @@
 //	leedctl -image /tmp/store.img load 10000        # bulk-load objects
 //	leedctl -image /tmp/store.img bench 20000       # YCSB-B benchmark
 //	leedctl -image /tmp/store.img serve 20000       # wall-clock concurrent serving
+//	leedctl -image /tmp/store.img soak 5            # wall-clock fault/crash soak
 //
 // Every invocation opens the image, replays recovery (superblock + key-log
 // scan), performs the command, and flushes the superblock.
 //
-// All commands except serve run on the deterministic sim kernel (virtual
-// time). serve runs the same store on the wall-clock runtime backend: real
-// goroutine clients issue concurrent PUT/GET/DEL against the image and the
-// reported latencies are real elapsed time.
+// All commands except serve and soak run on the deterministic sim kernel
+// (virtual time). serve runs the same store on the wall-clock runtime
+// backend: real goroutine clients issue concurrent PUT/GET/DEL against the
+// image and the reported latencies are real elapsed time. soak REFORMATS
+// the image and drives N crash-recovery cycles with injected device faults
+// against it, checking that no acknowledged write is ever lost (§3.2.3);
+// it exits non-zero on any durability violation.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"os"
 
+	"leed/internal/chaos"
 	"leed/internal/core"
 	"leed/internal/flashsim"
 	"leed/internal/runtime"
@@ -39,14 +44,21 @@ func main() {
 	capacity := flag.Int64("capacity", 64<<20, "image capacity in bytes (fixed at init)")
 	modelLatency := flag.Bool("latency", false, "model DCT983 NVMe latencies on top of the image (for bench)")
 	clients := flag.Int("clients", 8, "concurrent client goroutines for serve")
+	seed := flag.Int64("seed", 1, "rng seed for soak fault schedules")
 	flag.Parse()
 	if *image == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] [-clients N] {put K V | get K | del K | keys | stats | compact | load N | bench N | serve N}")
+		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] [-clients N] [-seed N] {put K V | get K | del K | keys | stats | compact | load N | bench N | serve N | soak N}")
 		os.Exit(2)
 	}
 
 	if flag.Arg(0) == "serve" {
 		if err := serve(*image, *capacity, *clients, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if flag.Arg(0) == "soak" {
+		if err := soak(*image, *capacity, *seed, flag.Args()); err != nil {
 			fatal(err)
 		}
 		return
@@ -295,6 +307,45 @@ func serve(image string, capacity int64, clients int, args []string) error {
 	fmt.Printf("throughput: %.0f ops/s\n", float64(done)/elapsed.Seconds())
 	fmt.Printf("latency:    %v\n", lat)
 	fmt.Printf("live objects: %d\n", store.Objects())
+	return nil
+}
+
+// soak reformats the image and runs the chaos durability soak on the
+// wall-clock backend: N crash-recovery cycles of seeded writes with a
+// device-fault window in each, verifying after every recovery that all
+// acknowledged writes survive. A stale image cannot be reused — its old
+// high-sequence buckets would confuse the recovery scan — so the file is
+// recreated from scratch.
+func soak(image string, capacity int64, seed int64, args []string) error {
+	cycles := 0 // 0 = chaos default
+	if len(args) > 1 {
+		fmt.Sscanf(args[1], "%d", &cycles)
+	}
+	if err := os.Remove(image); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("reformat %s: %w", image, err)
+	}
+
+	env := wallclock.New()
+	fileDev, err := flashsim.OpenFileDevice(env, image, capacity)
+	if err != nil {
+		return err
+	}
+	defer fileDev.Close()
+
+	var rep *chaos.SoakReport
+	env.Spawn("soak", func(p runtime.Task) {
+		rep = chaos.RunSoak(p, chaos.SoakConfig{
+			Env:    env,
+			Seed:   seed,
+			Cycles: cycles,
+			Device: fileDev,
+		})
+	})
+	env.Wait()
+	fmt.Print(rep)
+	if !rep.Pass {
+		return fmt.Errorf("soak failed with %d violation(s)", len(rep.Violations))
+	}
 	return nil
 }
 

@@ -1,0 +1,538 @@
+// Package chaos is LEED's deterministic fault-drill harness. A drill builds
+// a simulated cluster, runs a seeded fault schedule against it — link loss,
+// partitions, node crash-restarts, device faults — while a driver issues
+// versioned operations, then waits for quiescence and checks the paper's
+// §3.8 claims as machine-verified invariants:
+//
+//   - no acknowledged write is lost while overlapping failures stay ≤ R-1;
+//   - reads from synced replicas never return a stale committed value;
+//   - the view/COPY machinery converges (pendingCopies drains, epochs
+//     stabilize) once faults heal.
+//
+// Everything — fault schedule, client jitter, device errors — draws from
+// seeded streams over the deterministic sim kernel, so one seed yields a
+// byte-identical Report on every run.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"leed/internal/cluster"
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/netsim"
+	"leed/internal/sim"
+)
+
+// Scenario names one fault schedule shape.
+type Scenario string
+
+const (
+	// MessageLoss drops a fraction of messages on one storage-to-storage
+	// link in both directions (chain forwards, backward acks).
+	MessageLoss Scenario = "message-loss"
+	// PartitionHeal severs one node from its storage peers — heartbeats to
+	// the manager still flow, a gray failure the detector cannot see — then
+	// heals the link.
+	PartitionHeal Scenario = "partition-heal"
+	// CrashRestart power-fails one JBOF, waits for failure detection, then
+	// restarts it through flash recovery and re-join.
+	CrashRestart Scenario = "crash-restart"
+	// DeviceFaults makes one node's SSDs fail operations probabilistically.
+	DeviceFaults Scenario = "device-faults"
+	// Mixed overlaps a crash with link loss between the survivors, staying
+	// within the R-1 failure budget.
+	Mixed Scenario = "mixed"
+)
+
+// Scenarios lists every drill scenario in a fixed order.
+func Scenarios() []Scenario {
+	return []Scenario{MessageLoss, PartitionHeal, CrashRestart, DeviceFaults, Mixed}
+}
+
+// Config shapes one drill.
+type Config struct {
+	Seed     int64
+	Scenario Scenario
+
+	// Cluster shape; zero values pick small-but-real defaults.
+	JBOFs       int
+	SSDs        int
+	SSDCapacity int64
+	Partitions  int
+	R           int
+
+	// Keys is the tracked working-set size; Rounds is how many times the
+	// driver sweeps it during the fault window and again after healing.
+	Keys   int
+	Rounds int
+
+	// Budget bounds the whole drill in virtual time. Default 120s.
+	Budget sim.Time
+}
+
+func (cfg *Config) setDefaults() {
+	if cfg.Scenario == "" {
+		cfg.Scenario = MessageLoss
+	}
+	if cfg.JBOFs == 0 {
+		cfg.JBOFs = 3
+	}
+	if cfg.SSDs == 0 {
+		cfg.SSDs = 4
+	}
+	if cfg.SSDCapacity == 0 {
+		cfg.SSDCapacity = 48 << 20
+	}
+	if cfg.Partitions == 0 {
+		cfg.Partitions = 8
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 48
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 2
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 120 * sim.Second
+	}
+}
+
+// keyState tracks one key's version history as the driver sees it.
+type keyState struct {
+	maxIssued int  // highest version ever sent
+	lastAcked int  // highest version acknowledged
+	poisoned  bool // a write exhausted retries: final version ambiguous
+	dupRisk   bool // an acked write was retried: a duplicate may trail it
+}
+
+// drill carries one run's moving parts.
+type drill struct {
+	cfg    Config
+	rng    *rand.Rand
+	c      *cluster.Cluster
+	faults *netsim.Faults
+	// injectors by node in NodeIDs order, one per SSD.
+	injectors map[cluster.NodeID][]*flashsim.FaultInjector
+	keys      []keyState
+	rep       *Report
+}
+
+func keyName(i int) []byte { return []byte(fmt.Sprintf("drill-%04d", i)) }
+
+func valFor(i, ver int) []byte {
+	return []byte(fmt.Sprintf("%d|drill-%04d", ver, i))
+}
+
+func parseVer(val []byte) (int, bool) {
+	s := string(val)
+	num, _, ok := strings.Cut(s, "|")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.Atoi(num)
+	return v, err == nil
+}
+
+// RunDrill executes one scenario end to end and returns its report. The
+// report's Pass field is the drill verdict; err is reserved for harness
+// failures (the drill not completing within its virtual budget).
+func RunDrill(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	k := sim.New()
+	defer k.Close()
+
+	d := &drill{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		injectors: make(map[cluster.NodeID][]*flashsim.FaultInjector),
+		keys:      make([]keyState, cfg.Keys),
+		rep:       &Report{Scenario: cfg.Scenario, Seed: cfg.Seed, Keys: cfg.Keys},
+	}
+	d.c = cluster.New(cluster.Config{
+		Kernel:        k,
+		NumJBOFs:      cfg.JBOFs,
+		SSDsPerJBOF:   cfg.SSDs,
+		SSDCapacity:   cfg.SSDCapacity,
+		NumPartitions: cfg.Partitions,
+		R:             cfg.R,
+		KeyLen:        16,
+		ValLen:        64,
+		NumClients:    1,
+		CRRS:          true,
+		FlowControl:   true,
+		Swap:          true,
+		FlushEvery:    2 * sim.Millisecond,
+		WrapDevice: func(id cluster.NodeID, ssd int, dev flashsim.Device) flashsim.Device {
+			fi := flashsim.NewFaultInjector(k, dev, cfg.Seed^(int64(id)*131+int64(ssd)))
+			d.injectors[id] = append(d.injectors[id], fi)
+			return fi
+		},
+	})
+	d.faults = d.c.Fabric.InstallFaults(cfg.Seed + 1)
+	d.c.Start()
+
+	finished := false
+	k.Go("drill", func(p *sim.Proc) {
+		d.run(p)
+		finished = true
+	})
+	deadline := k.Now() + cfg.Budget
+	for !finished && k.Now() < deadline {
+		k.Run(k.Now() + 10*sim.Millisecond)
+	}
+	if !finished {
+		return d.rep, errors.New("chaos: drill did not finish within its virtual budget")
+	}
+	d.finishReport()
+	return d.rep, nil
+}
+
+// run is the drill driver: load, scenario, heal, quiesce, verify.
+func (d *drill) run(p *sim.Proc) {
+	// Load phase: version 1 of every key, fault-free.
+	d.sweep(p, false)
+
+	switch d.cfg.Scenario {
+	case MessageLoss:
+		d.runMessageLoss(p)
+	case PartitionHeal:
+		d.runPartitionHeal(p)
+	case CrashRestart:
+		d.runCrashRestart(p)
+	case DeviceFaults:
+		d.runDeviceFaults(p)
+	case Mixed:
+		d.runMixed(p)
+	default:
+		d.rep.violate("unknown scenario %q", d.cfg.Scenario)
+		return
+	}
+
+	// All faults healed by the scenario; wait for convergence, then verify.
+	if !d.quiesce(p) {
+		d.rep.violate("no convergence: %s after heal", d.c.Manager)
+		return
+	}
+	d.verify(p)
+}
+
+// pickNodes draws n distinct member node ids from the seeded stream.
+func (d *drill) pickNodes(n int) []cluster.NodeID {
+	ids := append([]cluster.NodeID(nil), d.c.NodeIDs...)
+	d.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	return ids[:n]
+}
+
+func (d *drill) runMessageLoss(p *sim.Proc) {
+	pair := d.pickNodes(2)
+	d.faults.SetDropBoth(netsim.Addr(pair[0]), netsim.Addr(pair[1]), 0.25)
+	for r := 0; r < d.cfg.Rounds; r++ {
+		d.sweep(p, true)
+	}
+	d.faults.HealAll()
+	d.sweep(p, true)
+}
+
+func (d *drill) runPartitionHeal(p *sim.Proc) {
+	victim := d.pickNodes(1)[0]
+	for _, id := range d.c.NodeIDs {
+		if id != victim {
+			d.faults.Partition(netsim.Addr(victim), netsim.Addr(id))
+		}
+	}
+	d.sweep(p, true) // the window: chains through the victim stall
+	d.faults.HealAll()
+	for r := 0; r < d.cfg.Rounds; r++ {
+		d.sweep(p, true)
+	}
+}
+
+func (d *drill) runCrashRestart(p *sim.Proc) {
+	victim := d.pickNodes(1)[0]
+	d.c.Crash(victim)
+	d.sweep(p, true) // ops ride out detection and chain repair
+	if !d.waitFor(p, 5*sim.Second, func() bool {
+		_, still := d.c.Manager.State(victim)
+		return !still
+	}) {
+		d.rep.violate("failure detection never removed crashed node %d", victim)
+		return
+	}
+	done, err := d.c.Restart(victim)
+	if err != nil {
+		d.rep.violate("restart refused: %v", err)
+		return
+	}
+	if !done.Fired() {
+		p.Wait(done)
+	}
+	if !d.waitFor(p, 20*sim.Second, func() bool {
+		s, ok := d.c.Manager.State(victim)
+		return ok && s == cluster.StateRunning && d.c.Manager.PendingCopies() == 0
+	}) {
+		d.rep.violate("restarted node %d never re-synced: %s", victim, d.c.Manager)
+		return
+	}
+	for r := 0; r < d.cfg.Rounds; r++ {
+		d.sweep(p, true)
+	}
+}
+
+func (d *drill) runDeviceFaults(p *sim.Proc) {
+	victim := d.pickNodes(1)[0]
+	for _, fi := range d.injectors[victim] {
+		fi.ErrorRate = 0.15
+	}
+	for r := 0; r < d.cfg.Rounds; r++ {
+		d.sweep(p, true)
+	}
+	for _, fi := range d.injectors[victim] {
+		fi.ErrorRate = 0
+	}
+	d.sweep(p, true)
+}
+
+func (d *drill) runMixed(p *sim.Proc) {
+	picks := d.pickNodes(3)
+	crashed, a, b := picks[0], picks[1], picks[2]
+	d.c.Crash(crashed)
+	d.faults.SetDropBoth(netsim.Addr(a), netsim.Addr(b), 0.15)
+	d.sweep(p, true)
+	d.faults.HealAll()
+	if !d.waitFor(p, 5*sim.Second, func() bool {
+		_, still := d.c.Manager.State(crashed)
+		return !still
+	}) {
+		d.rep.violate("failure detection never removed crashed node %d", crashed)
+		return
+	}
+	done, err := d.c.Restart(crashed)
+	if err != nil {
+		d.rep.violate("restart refused: %v", err)
+		return
+	}
+	if !done.Fired() {
+		p.Wait(done)
+	}
+	if !d.waitFor(p, 20*sim.Second, func() bool {
+		s, ok := d.c.Manager.State(crashed)
+		return ok && s == cluster.StateRunning && d.c.Manager.PendingCopies() == 0
+	}) {
+		d.rep.violate("restarted node %d never re-synced: %s", crashed, d.c.Manager)
+		return
+	}
+	d.sweep(p, true)
+}
+
+// sweep writes the next version of every key and interleaves invariant-
+// checked reads of the previously written keys. Writes and reads are
+// sequential, so per-key version history is totally ordered at the driver.
+func (d *drill) sweep(p *sim.Proc, faulty bool) {
+	cl := d.c.Clients[0]
+	for i := range d.keys {
+		ks := &d.keys[i]
+		if !ks.poisoned {
+			ver := ks.maxIssued + 1
+			ks.maxIssued = ver
+			retriesBefore := cl.Stats().Retries
+			_, err := cl.Put(p, keyName(i), valFor(i, ver))
+			if err != nil {
+				// Exhausted retries: the write may or may not have landed.
+				// Quarantine the key — later reads can legitimately see
+				// either side of the ambiguity.
+				ks.poisoned = true
+				d.rep.WritesFailed++
+			} else {
+				ks.lastAcked = ver
+				d.rep.WritesAcked++
+				if cl.Stats().Retries > retriesBefore {
+					// Acked on a retry: a duplicate of this version may still
+					// be in flight with no dedup to stop it re-applying.
+					ks.dupRisk = true
+				}
+			}
+		}
+		// Read a key from the other end of the working set.
+		j := (i + len(d.keys)/2) % len(d.keys)
+		d.checkRead(p, j, faulty)
+	}
+}
+
+// checkRead fetches key j and applies the read invariants. During a fault
+// window (faulty=true) unavailability (errors other than NotFound) is
+// tolerated; value-level violations never are.
+func (d *drill) checkRead(p *sim.Proc, j int, faulty bool) {
+	cl := d.c.Clients[0]
+	ks := &d.keys[j]
+	d.rep.Reads++
+	val, _, err := cl.Get(p, keyName(j))
+	switch {
+	case err == core.ErrNotFound:
+		if ks.lastAcked > 0 {
+			d.rep.violate("lost acked write: key %04d read NotFound with lastAcked=%d", j, ks.lastAcked)
+		}
+	case err != nil:
+		d.rep.ReadErrors++
+		if !faulty {
+			d.rep.violate("read of key %04d failed outside any fault window: %v", j, err)
+		}
+	default:
+		ver, ok := parseVer(val)
+		if !ok {
+			d.rep.violate("unparseable value for key %04d: %q", j, val)
+			return
+		}
+		if ver > ks.maxIssued {
+			d.rep.violate("phantom version: key %04d read v%d, max issued v%d", j, ver, ks.maxIssued)
+		}
+		if ver < ks.lastAcked && !ks.poisoned && !ks.dupRisk {
+			d.rep.violate("stale read: key %04d read v%d, lastAcked v%d", j, ver, ks.lastAcked)
+		}
+	}
+}
+
+// waitFor polls cond once per virtual millisecond up to budget.
+func (d *drill) waitFor(p *sim.Proc, budget sim.Time, cond func() bool) bool {
+	deadline := p.Now() + budget
+	for p.Now() < deadline {
+		if cond() {
+			return true
+		}
+		p.Sleep(sim.Millisecond)
+	}
+	return cond()
+}
+
+// quiesce waits until the view/copy machinery converges: no pending copies
+// and a manager epoch that stays put for 50 consecutive milliseconds.
+func (d *drill) quiesce(p *sim.Proc) bool {
+	ok := d.waitFor(p, 30*sim.Second, func() bool {
+		if d.c.Manager.PendingCopies() != 0 {
+			return false
+		}
+		epoch := d.c.Manager.Epoch()
+		p.Sleep(50 * sim.Millisecond)
+		return d.c.Manager.PendingCopies() == 0 && d.c.Manager.Epoch() == epoch
+	})
+	if ok {
+		d.rep.QuiescedAt = p.Now()
+	}
+	return ok
+}
+
+// verify runs the post-quiescence checks: every key re-read through the
+// protocol, and clean keys additionally checked for replica agreement
+// across their chain.
+func (d *drill) verify(p *sim.Proc) {
+	cl := d.c.Clients[0]
+	view := d.c.Manager.View()
+	for i := range d.keys {
+		ks := &d.keys[i]
+		key := keyName(i)
+		d.rep.Reads++
+		val, _, err := cl.Get(p, key)
+		switch {
+		case err == core.ErrNotFound:
+			if ks.lastAcked > 0 {
+				d.rep.violate("lost acked write: key %04d NotFound after quiescence, lastAcked=%d", i, ks.lastAcked)
+			}
+			continue
+		case err != nil:
+			d.rep.ReadErrors++
+			d.rep.violate("key %04d unreadable after quiescence: %v", i, err)
+			continue
+		}
+		ver, ok := parseVer(val)
+		if !ok {
+			d.rep.violate("unparseable value for key %04d after quiescence: %q", i, val)
+			continue
+		}
+		switch {
+		case ver > ks.maxIssued:
+			d.rep.violate("phantom version after quiescence: key %04d v%d > issued v%d", i, ver, ks.maxIssued)
+		case ks.poisoned || ks.dupRisk:
+			// Ambiguous history: any issued version is acceptable, but an
+			// acked write must never have vanished (checked above).
+		case ver != ks.lastAcked:
+			d.rep.violate("final value mismatch: key %04d v%d, want acked v%d", i, ver, ks.lastAcked)
+		default:
+			d.checkReplicas(p, i, view, val)
+		}
+	}
+}
+
+// checkReplicas asserts every synced, non-dirty chain member holds the
+// committed value for a clean key.
+func (d *drill) checkReplicas(p *sim.Proc, i int, view *cluster.View, want []byte) {
+	key := keyName(i)
+	part := cluster.PartitionOf(core.HashKey(key), view.NumPart)
+	for _, id := range view.Chain(part) {
+		if !view.Synced(part, id) {
+			continue
+		}
+		if d.c.Nodes[id].Dirty(part, key) {
+			continue // unacked residue; the tail is authoritative
+		}
+		got, have, err := d.c.ReplicaGet(p, id, part, key)
+		if !have {
+			d.rep.violate("replica hole: node %d in chain of part %d has no slot for it", id, part)
+			continue
+		}
+		if err != nil {
+			d.rep.violate("replica divergence: node %d part %d key %04d: %v", id, part, i, err)
+			continue
+		}
+		if string(got) != string(want) {
+			d.rep.violate("replica divergence: node %d part %d key %04d has %q, committed %q", id, part, i, got, want)
+		}
+	}
+}
+
+// finishReport folds cluster counters into the report and sets the verdict.
+func (d *drill) finishReport() {
+	rep, c := d.rep, d.c
+	for i := range d.keys {
+		if d.keys[i].poisoned {
+			rep.Poisoned++
+		}
+		if d.keys[i].dupRisk {
+			rep.DupRisk++
+		}
+	}
+	for _, cl := range c.Clients {
+		st := cl.Stats()
+		rep.Backoffs += st.Backoffs
+		rep.Retries += st.Retries
+		rep.Nacks += st.Nacks
+		rep.Timeouts += st.Timeouts
+	}
+	fs := d.faults.Stats()
+	rep.DroppedByLoss = fs.DroppedByLoss
+	rep.DroppedByPartition = fs.DroppedByPartition
+	rep.Delayed = fs.Delayed
+	ids := append([]cluster.NodeID(nil), c.NodeIDs...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		st := c.Nodes[id].Stats()
+		rep.CopyRetries += st.CopyRetries
+		rep.ShieldedCopies += st.ShieldedCopies
+		rep.Restarts += st.Restarts
+		rep.RecoveredParts += st.RecoveredParts
+		rep.DirtyResidue += int64(c.Nodes[id].DirtyKeys())
+		for _, fi := range d.injectors[id] {
+			rep.DeviceInjected += fi.Injected()
+		}
+	}
+	rep.PartitionsLost = c.Manager.Stats().PartitionsLost
+	rep.FinalEpoch = c.Manager.Epoch()
+	rep.Pass = len(rep.Violations) == 0
+}

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"leed/internal/sim"
+)
+
+// Report is a drill's outcome. Every field is filled from deterministic
+// state (seeded rngs, virtual clocks, sorted iteration), so the same seed
+// renders a byte-identical report — the property CI leans on to catch any
+// nondeterminism that creeps into the protocol stack.
+type Report struct {
+	Scenario Scenario
+	Seed     int64
+	Pass     bool
+	// Violations are invariant breaches, in detection order.
+	Violations []string
+
+	// Working-set accounting.
+	Keys     int
+	Poisoned int // keys whose write exhausted retries (version ambiguous)
+	DupRisk  int // keys whose acked write needed retries (duplicate may trail)
+
+	// Client-observed traffic.
+	WritesAcked, WritesFailed int64
+	Reads, ReadErrors         int64
+	Backoffs, Retries         int64
+	Nacks, Timeouts           int64
+
+	// Fault-layer accounting.
+	DroppedByLoss, DroppedByPartition int64
+	Delayed                           int64
+	DeviceInjected                    int64
+
+	// Recovery machinery.
+	CopyRetries, ShieldedCopies int64
+	Restarts, RecoveredParts    int64
+	PartitionsLost              int64
+	DirtyResidue                int64 // leaked dirty marks after quiescence (metric, not invariant)
+
+	FinalEpoch uint64
+	QuiescedAt sim.Time // virtual time at which the cluster converged
+}
+
+// String renders the report with a fixed field order; drills compare these
+// strings byte-for-byte across runs of the same seed.
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "drill scenario=%s seed=%d verdict=%s\n", r.Scenario, r.Seed, verdict)
+	fmt.Fprintf(&b, "  keys=%d poisoned=%d dupRisk=%d\n", r.Keys, r.Poisoned, r.DupRisk)
+	fmt.Fprintf(&b, "  writesAcked=%d writesFailed=%d reads=%d readErrors=%d\n",
+		r.WritesAcked, r.WritesFailed, r.Reads, r.ReadErrors)
+	fmt.Fprintf(&b, "  backoffs=%d retries=%d nacks=%d timeouts=%d\n",
+		r.Backoffs, r.Retries, r.Nacks, r.Timeouts)
+	fmt.Fprintf(&b, "  droppedByLoss=%d droppedByPartition=%d delayed=%d deviceInjected=%d\n",
+		r.DroppedByLoss, r.DroppedByPartition, r.Delayed, r.DeviceInjected)
+	fmt.Fprintf(&b, "  copyRetries=%d shieldedCopies=%d restarts=%d recoveredParts=%d\n",
+		r.CopyRetries, r.ShieldedCopies, r.Restarts, r.RecoveredParts)
+	fmt.Fprintf(&b, "  partitionsLost=%d dirtyResidue=%d finalEpoch=%d quiescedAt=%v\n",
+		r.PartitionsLost, r.DirtyResidue, r.FinalEpoch, r.QuiescedAt)
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  violation: %s\n", v)
+	}
+	return b.String()
+}
+
+func (r *Report) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"leed/internal/core"
 	"leed/internal/netsim"
@@ -40,12 +41,23 @@ type ClientConfig struct {
 	Timeout sim.Time
 	// Retries is the attempt budget per operation. Default 10.
 	Retries int
+
+	// BackoffBase is the first retry's backoff delay; it doubles each
+	// attempt up to BackoffMax, jittered in [d/2, d] from a seeded stream
+	// so retries never re-issue immediately (hammering a partitioned chain)
+	// yet replay deterministically. Defaults 200µs / 10ms.
+	BackoffBase sim.Time
+	BackoffMax  sim.Time
+	// BackoffSeed seeds the jitter stream. Default Tenant+1, so co-tenant
+	// clients desynchronize without any configuration.
+	BackoffSeed int64
 }
 
 // ClientStats are cumulative counters.
 type ClientStats struct {
 	Ops, Retries, Nacks, Timeouts int64
 	Throttled                     int64 // times the scheduler waited for tokens
+	Backoffs                      int64 // retry attempts that waited a backoff delay
 }
 
 // Client is LEED's co-located front-end library: it tracks membership
@@ -60,6 +72,7 @@ type Client struct {
 	tokens      map[target]int64
 	outstanding map[target]int
 	wake        *sim.Event
+	rng         *rand.Rand // backoff jitter
 
 	stats ClientStats
 }
@@ -75,14 +88,35 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Retries == 0 {
 		cfg.Retries = 10
 	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 200 * sim.Microsecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 10 * sim.Millisecond
+	}
+	if cfg.BackoffSeed == 0 {
+		cfg.BackoffSeed = int64(cfg.Tenant) + 1
+	}
 	c := &Client{
 		cfg:         cfg,
 		k:           cfg.Kernel,
 		tokens:      make(map[target]int64),
 		outstanding: make(map[target]int),
+		rng:         rand.New(rand.NewSource(cfg.BackoffSeed)),
 	}
 	c.wake = c.k.NewEvent()
 	return c
+}
+
+// backoffDur returns the jittered exponential delay before retry `attempt`
+// (0-based): base<<attempt capped at max, drawn uniformly from [d/2, d].
+func (c *Client) backoffDur(attempt int) sim.Time {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + sim.Time(c.rng.Int63n(int64(half)+1))
 }
 
 // Start launches the client's receive loop (view updates arrive as
@@ -219,11 +253,13 @@ func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Res
 		c.outstanding[t]--
 		if idx != 0 {
 			// Timeout: the target may be dead; decay its token estimate so
-			// the scheduler stops preferring it, then retry.
+			// the scheduler stops preferring it, then back off and retry.
 			c.stats.Timeouts++
 			c.stats.Retries++
 			delete(c.tokens, t)
 			c.fireWake()
+			c.stats.Backoffs++
+			p.Sleep(c.backoffDur(attempt))
 			continue
 		}
 		resp := done.Value().(*netsim.Message).Payload.(*rpcproto.Response)
@@ -236,16 +272,20 @@ func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Res
 		case rpcproto.StatusNack:
 			c.stats.Nacks++
 			c.stats.Retries++
-			// Wait briefly for the newer view to arrive, then retry.
+			c.stats.Backoffs++
+			// Back off before retrying; when the NACK advertises a newer
+			// epoch, the wait doubles as "view should arrive soon" and is
+			// cut short by the wake event the view update fires.
 			if resp.Epoch > c.view.Epoch {
-				p.WaitAny(c.wake, c.k.Timer(2*sim.Millisecond))
+				p.WaitAny(c.wake, c.k.Timer(c.backoffDur(attempt)))
 			} else {
-				p.Sleep(200 * sim.Microsecond)
+				p.Sleep(c.backoffDur(attempt))
 			}
 			lastErr = fmt.Errorf("cluster: nacked at epoch %d", resp.Epoch)
 		default:
 			c.stats.Retries++
-			p.Sleep(500 * sim.Microsecond)
+			c.stats.Backoffs++
+			p.Sleep(c.backoffDur(attempt))
 			lastErr = fmt.Errorf("cluster: status %v", resp.Status)
 		}
 	}

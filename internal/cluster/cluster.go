@@ -6,8 +6,10 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/engine"
+	"leed/internal/flashsim"
 	"leed/internal/netsim"
 	"leed/internal/platform"
+	"leed/internal/rpcproto"
 	"leed/internal/sim"
 )
 
@@ -51,6 +53,18 @@ type Config struct {
 	Platform platform.Spec // default Stingray
 
 	HeartbeatTimeout sim.Time
+
+	// WrapDevice, when set, interposes on each node's SSDs (e.g. with a
+	// flashsim.FaultInjector) — args are node id, drive index, and the raw
+	// device; the returned device backs that drive's stores.
+	WrapDevice func(NodeID, int, flashsim.Device) flashsim.Device
+	// FlushEvery makes engines persist store superblocks periodically so a
+	// crashed node has something to recover (0 = only on compaction).
+	FlushEvery sim.Time
+	// ClientTimeout / ClientRetries override the clients' per-attempt
+	// deadline and attempt budget (0 = client defaults).
+	ClientTimeout sim.Time
+	ClientRetries int
 }
 
 // Cluster holds every assembled component.
@@ -116,9 +130,17 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < total; i++ {
 		id := firstNodeID + NodeID(i)
 		plat := platform.NewNode(k, cfg.Platform, cfg.SSDsPerJBOF, cfg.SSDCapacity, int64(id))
+		var devs []flashsim.Device
+		if cfg.WrapDevice != nil {
+			for si, ssd := range plat.SSDs {
+				devs = append(devs, cfg.WrapDevice(id, si, ssd))
+			}
+		}
 		eng := engine.New(engine.Config{
 			Env:                k,
 			Node:               plat,
+			Devices:            devs,
+			FlushEvery:         cfg.FlushEvery,
 			PartitionsPerSSD:   partsPerSSD,
 			Geometry:           geo,
 			PartitionBytes:     partBytes,
@@ -158,6 +180,8 @@ func New(cfg Config) *Cluster {
 			Kernel: k, Tenant: uint16(i), Endpoint: ep,
 			FlowControl: cfg.FlowControl, CRRS: cfg.CRRS,
 			InitialTokens: cfg.TokensPerPartition,
+			Timeout:       cfg.ClientTimeout,
+			Retries:       cfg.ClientRetries,
 		})
 		c.Clients = append(c.Clients, cl)
 		c.Manager.Subscribe(addr)
@@ -192,6 +216,51 @@ func (c *Cluster) Leave(id NodeID) { c.Manager.Leave(id) }
 
 // Kill fail-stops a node; the heartbeat detector will notice (§3.8.2).
 func (c *Cluster) Kill(id NodeID) { c.Nodes[id].Stop() }
+
+// Crash fail-stops a node AND its engine's background procs, modeling a
+// whole-JBOF power loss. DRAM state is gone; flash survives. Bring the node
+// back with Restart once the manager has removed it.
+func (c *Cluster) Crash(id NodeID) {
+	c.Nodes[id].Stop()
+	c.Engines[id].Stop()
+}
+
+// Restart revives a crashed node: each partition store is rebuilt from
+// flash, and once recovery completes the engine's background procs resume
+// and the node re-enters the membership via Manager.Join (§3.8.1 — it
+// rejoins as a fresh member; COPY re-syncs it from surviving replicas). The
+// returned event fires when recovery is done and the Join has been issued.
+//
+// It is an error to restart a node the manager still considers a member:
+// failure detection hasn't fired yet, and chains would trust an amnesiac
+// replica. Wait for removal first.
+func (c *Cluster) Restart(id NodeID) (*sim.Event, error) {
+	if st, still := c.Manager.State(id); still {
+		return nil, fmt.Errorf("cluster: node %d still %v at the manager; wait for failure detection", id, st)
+	}
+	done := c.Nodes[id].Restart()
+	done.OnFire(func(any) {
+		// The engine restarts only after recovery: its compactors must not
+		// flush pre-crash DRAM state over the region being recovered.
+		c.Engines[id].Start()
+		c.Manager.Join(id)
+	})
+	return done, nil
+}
+
+// ReplicaGet reads key directly out of node id's replica of a partition,
+// bypassing the protocol. Drills use it to check replica agreement after
+// quiescence; it returns core.ErrNotFound when the node has no such key and
+// a false ok when it doesn't replicate the partition at all.
+func (c *Cluster) ReplicaGet(p *sim.Proc, id NodeID, part uint32, key []byte) ([]byte, bool, error) {
+	n := c.Nodes[id]
+	pid, ok := n.local[part]
+	if !ok {
+		return nil, false, nil
+	}
+	v, _, err := c.Engines[id].Execute(p, pid, rpcproto.OpGet, key, nil)
+	return v, true, err
+}
 
 // Energy returns the backends' total Joules so far (clients and the
 // control plane excluded, as in the paper's power measurements).

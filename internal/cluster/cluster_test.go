@@ -602,10 +602,14 @@ func TestEnsureFreshResetsRejoinedPartition(t *testing.T) {
 		}
 		// Simulate leave-then-rejoin: stale, then fresh data arrives.
 		n.stale[part] = true
-		n.ensureFresh(part)
+		n.ensureFresh(p, part)
+		// The only survivor is the freshly rewritten partition tag.
 		after := c.Engines[n.ID()].Partition(pid).Store.Objects()
-		if after != 0 {
+		if after != 1 {
 			t.Errorf("stale data survived ensureFresh: %d objects", after)
+		}
+		if _, _, err := c.Engines[n.ID()].Execute(p, pid, rpcproto.OpGet, key, nil); err == nil {
+			t.Error("stale key readable after ensureFresh")
 		}
 		if n.stale[part] {
 			t.Error("stale flag not cleared")

@@ -30,6 +30,11 @@ type ManagerStats struct {
 	Joins, Leaves, Failures int64
 	ViewsPublished          int64
 	CopiesOrdered           int64
+	// PartitionsLost counts (partition, replacement) repairs abandoned
+	// because no synced survivor remained to source the COPY — i.e. more
+	// than R-1 overlapping failures ate every committed replica. Drills
+	// assert this stays zero within the paper's fault budget (§3.8.1).
+	PartitionsLost int64
 }
 
 // Manager is the control plane.
@@ -271,6 +276,7 @@ func (m *Manager) removeNode(node NodeID, failed bool) {
 			} else {
 				// No synced survivor: committed data for this partition is
 				// unrecoverable (more simultaneous failures than R-1).
+				m.stats.PartitionsLost++
 				delete(set, nn)
 			}
 		}
@@ -335,7 +341,15 @@ func (m *Manager) State(node NodeID) (NodeState, bool) {
 	return s, ok
 }
 
+// Epoch returns the manager's current view epoch.
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// PendingCopies returns the number of outstanding migrations; drills treat
+// zero as one of the quiescence conditions.
+func (m *Manager) PendingCopies() int { return len(m.pendingCopies) }
+
 // String summarizes the membership for debugging.
 func (m *Manager) String() string {
-	return fmt.Sprintf("epoch=%d members=%d pendingCopies=%d", m.epoch, len(m.states), len(m.pendingCopies))
+	return fmt.Sprintf("epoch=%d members=%d pendingCopies=%d partitionsLost=%d",
+		m.epoch, len(m.states), len(m.pendingCopies), m.stats.PartitionsLost)
 }

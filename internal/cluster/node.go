@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -78,6 +79,11 @@ type NodeStats struct {
 	CopiesSent        int64
 	CopiesReceived    int64
 	DirtyCommitsAsNew int64 // dirty keys committed upon becoming tail
+	CopyRetries       int64 // COPY items resent after a lost request/ack
+	ShieldedCopies    int64 // COPY items dropped: a newer chain write was present
+	Restarts          int64
+	RecoveredParts    int64 // partitions rebuilt from flash on restart
+	RecoveredSegments int64 // live segments replayed across those partitions
 }
 
 // Node is one LEED storage server: an engine plus the chain-replication and
@@ -97,11 +103,26 @@ type Node struct {
 	// and reclaimed lazily when the slot is needed or the partition
 	// re-enters this node's chains.
 	stale map[uint32]bool
+	// fresh is the copy shield: keys this (still-unsynced) node absorbed
+	// from live chain writes while a COPY into it is in flight. A COPY item
+	// for such a key carries the migration snapshot — older than what the
+	// chain already delivered — and must not overwrite it.
+	fresh map[uint32]map[string]bool
 
 	pollGate *gate
 	stopped  bool
-	stats    NodeStats
+	// gen is bumped on Stop so procs from a dead incarnation (pollers,
+	// heartbeats, copiers) drain instead of resuming after a Restart.
+	gen     int
+	numPoll int
+	stats   NodeStats
 }
+
+// partTagKey is a reserved per-partition key holding the global partition
+// number, written when a slot is allocated. It is what lets a restarted node
+// identify which global partition each recovered store belonged to — slot
+// assignment lives in DRAM and dies with the crash.
+const partTagKey = "\x00leed:partition"
 
 // gate serializes compute onto one core.
 type gate struct {
@@ -138,6 +159,7 @@ func NewNode(cfg NodeConfig) *Node {
 		dirty:   make(map[uint32]map[string]int),
 		wasTail: make(map[uint32]bool),
 		stale:   make(map[uint32]bool),
+		fresh:   make(map[uint32]map[string]bool),
 	}
 	for pid := cfg.Engine.NumPartitions() - 1; pid >= 0; pid-- {
 		n.freeSlots = append(n.freeSlots, pid)
@@ -170,32 +192,111 @@ func (n *Node) Start() {
 	// One shared gate models the polling cores' aggregate packet budget.
 	pollCore := plat.Cores[first]
 	n.pollGate = &gate{core: pollCore, res: sim.NewResource(n.k, 1)}
+	n.numPoll = 0
 	for i := first; i < last; i++ {
 		plat.Cores[i].PinPolling()
-		n.k.Go(fmt.Sprintf("node%d-poll", n.cfg.ID), n.pollLoop)
+		n.numPoll++
 	}
-	n.k.Go(fmt.Sprintf("node%d-hb", n.cfg.ID), n.heartbeatLoop)
+	n.launch()
+}
+
+// launch spawns the polling and heartbeat procs for the current incarnation.
+func (n *Node) launch() {
+	gen := n.gen
+	for i := 0; i < n.numPoll; i++ {
+		n.k.Go(fmt.Sprintf("node%d-poll", n.cfg.ID), func(p *sim.Proc) { n.pollLoop(p, gen) })
+	}
+	n.k.Go(fmt.Sprintf("node%d-hb", n.cfg.ID), func(p *sim.Proc) { n.heartbeatLoop(p, gen) })
 }
 
 // Stop makes the node fail-stop: its endpoint drops traffic and its loops
-// cease issuing work.
+// cease issuing work. The node can come back later via Restart.
 func (n *Node) Stop() {
 	n.stopped = true
+	n.gen++
 	n.cfg.Endpoint.SetDown(true)
 }
 
-func (n *Node) heartbeatLoop(p *sim.Proc) {
-	for !n.stopped {
+// Restart revives a crashed node. DRAM state is gone — the RX queue is
+// replaced, and the partition map, dirty bits, and view are rebuilt from
+// scratch — while each engine partition replays its persistent log through
+// core recovery (§3.8.1). Recovered partitions are identified by their
+// on-flash partition tag and re-enter the map as *stale*: a COPY from a
+// synced survivor is the sync authority when one exists, and recovery is
+// what saves the data when none does. The returned event fires once
+// recovery completes and the node's procs are running again; callers then
+// re-introduce it to the control plane via Manager.Join.
+//
+// Restart must not be called before the manager has detected the failure
+// and removed the node: a faster-than-detection restart would leave chains
+// pointing at an amnesiac replica the view machinery believes is current.
+func (n *Node) Restart() *sim.Event {
+	if !n.stopped {
+		panic(fmt.Sprintf("cluster: Restart of running node %d", n.cfg.ID))
+	}
+	n.stopped = false
+	n.cfg.Endpoint.ResetRX()
+	n.cfg.Endpoint.SetDown(false)
+	n.view = nil
+	n.local = make(map[uint32]int)
+	n.dirty = make(map[uint32]map[string]int)
+	n.wasTail = make(map[uint32]bool)
+	n.stale = make(map[uint32]bool)
+	n.fresh = make(map[uint32]map[string]bool)
+	n.freeSlots = nil
+	n.stats.Restarts++
+	done := n.k.NewEvent()
+	n.k.Go(fmt.Sprintf("node%d-recover", n.cfg.ID), func(p *sim.Proc) {
+		eng := n.cfg.Engine
+		var free []int
+		for pid := 0; pid < eng.NumPartitions(); pid++ {
+			segs, err := eng.RecoverPartition(p, pid)
+			if err != nil || segs == 0 {
+				free = append(free, pid)
+				continue
+			}
+			tag, _, gerr := eng.Execute(p, pid, rpcproto.OpGet, []byte(partTagKey), nil)
+			if gerr != nil || len(tag) != 4 {
+				// Data without a tag (or a duplicate below) is unidentifiable
+				// residue — e.g. a slot reset in DRAM whose flash region was
+				// never rewritten. Hand the slot back empty.
+				eng.ResetPartition(pid)
+				free = append(free, pid)
+				continue
+			}
+			part := binary.LittleEndian.Uint32(tag)
+			if _, dup := n.local[part]; dup {
+				eng.ResetPartition(pid)
+				free = append(free, pid)
+				continue
+			}
+			n.local[part] = pid
+			n.stale[part] = true
+			n.stats.RecoveredParts++
+			n.stats.RecoveredSegments += int64(segs)
+		}
+		// Descending order so pops allocate the lowest pid first, matching a
+		// fresh node's behavior.
+		sort.Sort(sort.Reverse(sort.IntSlice(free)))
+		n.freeSlots = free
+		n.launch()
+		done.Fire(nil)
+	})
+	return done
+}
+
+func (n *Node) heartbeatLoop(p *sim.Proc, gen int) {
+	for !n.stopped && n.gen == gen {
 		n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &hbMsg{node: n.cfg.ID})
 		p.Sleep(n.cfg.HeartbeatEvery)
 	}
 }
 
-func (n *Node) pollLoop(p *sim.Proc) {
+func (n *Node) pollLoop(p *sim.Proc, gen int) {
 	rx := n.cfg.Endpoint.RX()
-	for !n.stopped {
+	for !n.stopped && n.gen == gen {
 		m := rx.Get(p)
-		if n.stopped {
+		if n.stopped || n.gen != gen {
 			return
 		}
 		n.pollGate.run(p, n.cfg.RxCycles)
@@ -244,18 +345,42 @@ func (n *Node) localPid(part uint32) (int, bool) {
 	return pid, true
 }
 
+// tagPartition persists the global partition number into the store so a
+// restarted node can re-map recovered data (see partTagKey).
+func (n *Node) tagPartition(p *sim.Proc, part uint32, pid int) {
+	tag := make([]byte, 4)
+	binary.LittleEndian.PutUint32(tag, part)
+	n.cfg.Engine.Execute(p, pid, rpcproto.OpPut, []byte(partTagKey), tag)
+}
+
+// materializePid is localPid plus the durable partition tag: freshly
+// allocated slots are tagged before they absorb any data.
+func (n *Node) materializePid(p *sim.Proc, part uint32) (int, bool) {
+	if pid, ok := n.local[part]; ok {
+		return pid, true
+	}
+	pid, ok := n.localPid(part)
+	if !ok {
+		return 0, false
+	}
+	n.tagPartition(p, part, pid)
+	return pid, true
+}
+
 // ensureFresh resets a stale partition before it absorbs data for a new
 // chain membership, so resurrected slots never leak old objects.
-func (n *Node) ensureFresh(part uint32) {
+func (n *Node) ensureFresh(p *sim.Proc, part uint32) {
 	if !n.stale[part] {
 		return
 	}
 	if pid, ok := n.local[part]; ok {
 		n.cfg.Engine.ResetPartition(pid)
+		n.tagPartition(p, part, pid)
 	}
 	delete(n.stale, part)
 	delete(n.dirty, part)
 	delete(n.wasTail, part)
+	delete(n.fresh, part)
 }
 
 // applyView installs a newer view: frees partitions the node no longer
@@ -267,16 +392,28 @@ func (n *Node) applyView(p *sim.Proc, v *View) {
 		return
 	}
 	n.view = v
+	// Iterate in sorted partition order: the ack sends below must happen in
+	// a reproducible order for drills to replay bit-identically.
+	parts := make([]uint32, 0, len(n.local))
 	for part := range n.local {
+		parts = append(parts, part)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	for _, part := range parts {
 		if v.ChainPos(part, n.cfg.ID) < 0 {
 			// Keep the data: the control plane may still source a COPY
 			// from it. It is reclaimed lazily (localPid/ensureFresh).
 			n.stale[part] = true
 		}
 	}
-	for part := range n.local {
+	for _, part := range parts {
 		if n.stale[part] {
 			continue
+		}
+		if v.Synced(part, n.cfg.ID) {
+			// Synced means the migration COPY has fully landed; the copy
+			// shield has nothing left to protect.
+			delete(n.fresh, part)
 		}
 		isTail := v.IsTail(part, n.cfg.ID)
 		if isTail && !n.wasTail[part] {
@@ -329,9 +466,32 @@ func (n *Node) isDirty(part uint32, key []byte) bool {
 	return dm != nil && dm[string(key)] > 0
 }
 
+// Dirty reports whether the key has an uncommitted write at this replica.
+// Chaos drills use it to exclude in-flight keys from replica-agreement
+// checks.
+func (n *Node) Dirty(part uint32, key []byte) bool { return n.isDirty(part, key) }
+
+// DirtyKeys counts keys currently marked dirty across the replica's
+// partitions. After quiescence this is residue — marks whose backward ack
+// was lost — which drills report as a metric.
+func (n *Node) DirtyKeys() int {
+	total := 0
+	for _, dm := range n.dirty {
+		for _, cnt := range dm {
+			if cnt > 0 {
+				total++
+			}
+		}
+	}
+	return total
+}
+
 // reply delivers a response to the client by one-sided WRITE into its
 // pre-allocated completion slot, piggybacking available tokens (§3.5).
 func (n *Node) reply(p *sim.Proc, env *reqEnvelope, resp *rpcproto.Response) {
+	if n.stopped {
+		return
+	}
 	if resp.Epoch == 0 && n.view != nil {
 		resp.Epoch = n.view.Epoch
 	}
@@ -354,6 +514,9 @@ func (n *Node) nack(p *sim.Proc, env *reqEnvelope) {
 }
 
 func (n *Node) sendAck(p *sim.Proc, to NodeID, part uint32, key []byte) {
+	if n.stopped {
+		return
+	}
 	n.stats.Acks++
 	req := &rpcproto.Request{Op: rpcproto.OpAck, Partition: part, Key: key, Epoch: n.view.Epoch}
 	n.pollGate.run(p, n.cfg.TxCycles)
@@ -396,10 +559,18 @@ func (n *Node) handleAck(p *sim.Proc, req *rpcproto.Request) {
 
 func (n *Node) handleCopy(p *sim.Proc, env *reqEnvelope) {
 	req := env.req
-	n.ensureFresh(req.Partition)
-	pid, ok := n.localPid(req.Partition)
+	n.ensureFresh(p, req.Partition)
+	pid, ok := n.materializePid(p, req.Partition)
 	if !ok {
 		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
+		return
+	}
+	if n.fresh[req.Partition][string(req.Key)] {
+		// The chain already wrote a newer version of this key directly into
+		// the joining replica; the COPY carries the older migration snapshot.
+		// Ack without writing (§3.8.1's repair must not travel back in time).
+		n.stats.ShieldedCopies++
+		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusOK})
 		return
 	}
 	n.stats.CopiesReceived++
@@ -424,11 +595,21 @@ func (n *Node) handleWrite(p *sim.Proc, env *reqEnvelope) {
 		n.nack(p, env)
 		return
 	}
-	n.ensureFresh(req.Partition)
-	pid, ok := n.localPid(req.Partition)
+	n.ensureFresh(p, req.Partition)
+	pid, ok := n.materializePid(p, req.Partition)
 	if !ok {
 		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
 		return
+	}
+	if !v.Synced(req.Partition, n.cfg.ID) {
+		// Raise the copy shield: this direct chain write is newer than any
+		// in-flight COPY item for the same key.
+		fm := n.fresh[req.Partition]
+		if fm == nil {
+			fm = make(map[string]bool)
+			n.fresh[req.Partition] = fm
+		}
+		fm[string(req.Key)] = true
 	}
 	isTail := pos == len(chain)-1
 	if !isTail {
@@ -521,7 +702,7 @@ func (n *Node) handleGet(p *sim.Proc, env *reqEnvelope) {
 			return
 		}
 	}
-	pid, ok := n.localPid(req.Partition)
+	pid, ok := n.materializePid(p, req.Partition)
 	if !ok {
 		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
 		return
@@ -538,40 +719,98 @@ func (n *Node) handleGet(p *sim.Proc, env *reqEnvelope) {
 	}
 }
 
+// copyAckTimeout bounds how long a COPY sender waits for any one item's
+// acknowledgment before retrying or giving up on it for the round.
+const copyAckTimeout = 25 * sim.Millisecond
+
+// copyRounds bounds COPY retry rounds; the final copyDone is sent even if
+// items remain unacked (e.g. the destination died), so the control plane is
+// never stuck waiting on a migration that cannot finish.
+const copyRounds = 5
+
 // runCopy streams one partition's objects to dest via COPY requests with a
 // bounded outstanding window, then notifies the control plane (§3.8.1).
+// COPY rides the same fabric as everything else, so requests and acks can be
+// lost; unacked items are resent in bounded retry rounds — a silently
+// dropped item would leave a permanent hole in the repaired replica.
 func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
+	gen := n.gen
 	pid, ok := n.local[cmd.partition]
 	if !ok {
 		n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &copyDone{partition: cmd.partition, dest: cmd.dest})
 		return
 	}
 	store := n.cfg.Engine.Partition(pid).Store
-	window := sim.NewResource(n.k, int64(n.cfg.CopyBatch))
-	var pending []*sim.Event
+	type copyItem struct{ key, val []byte }
+	var items []copyItem
 	store.Range(p, func(key, val []byte) bool {
-		if n.stopped {
+		if n.stopped || n.gen != gen {
 			return false
 		}
-		window.Acquire(p, 1)
-		n.stats.CopiesSent++
-		req := &rpcproto.Request{
-			ID: uint64(n.stats.CopiesSent), Op: rpcproto.OpCopy,
-			Partition: cmd.partition, Key: key, Value: val,
-		}
-		done := n.k.NewEvent()
-		done.OnFire(func(any) { window.Release(1) })
-		pending = append(pending, done)
-		n.pollGate.run(p, n.cfg.TxCycles)
-		n.cfg.Endpoint.Send(netsim.Addr(cmd.dest), req.WireSize(),
-			&reqEnvelope{req: req, clientAddr: n.cfg.Endpoint.Addr(), complete: done})
+		items = append(items, copyItem{
+			key: append([]byte(nil), key...),
+			val: append([]byte(nil), val...),
+		})
 		return true
 	})
-	for _, ev := range pending {
-		if !ev.Fired() {
-			// Bound the wait: the destination may have failed mid-copy.
-			p.WaitAny(ev, n.k.Timer(50*sim.Millisecond))
+	for round := 0; round < copyRounds && len(items) > 0; round++ {
+		if n.stopped || n.gen != gen {
+			return
 		}
+		if round > 0 {
+			n.stats.CopyRetries += int64(len(items))
+		}
+		window := sim.NewResource(n.k, int64(n.cfg.CopyBatch))
+		acked := make([]bool, len(items))
+		var pending []*sim.Event
+		for i, it := range items {
+			if n.stopped || n.gen != gen {
+				return
+			}
+			window.Acquire(p, 1)
+			n.stats.CopiesSent++
+			req := &rpcproto.Request{
+				ID: uint64(n.stats.CopiesSent), Op: rpcproto.OpCopy,
+				Partition: cmd.partition, Key: it.key, Value: it.val,
+			}
+			done := n.k.NewEvent()
+			i := i
+			released := false
+			releaseOnce := func() {
+				if !released {
+					released = true
+					window.Release(1)
+				}
+			}
+			// The window slot frees on ack OR timeout — a lost response must
+			// not wedge the window and deadlock the whole migration.
+			done.OnFire(func(v any) {
+				if m, ok := v.(*netsim.Message); ok {
+					if r, ok := m.Payload.(*rpcproto.Response); ok && r.Status == rpcproto.StatusOK {
+						acked[i] = true
+					}
+				}
+				releaseOnce()
+			})
+			n.k.After(copyAckTimeout, releaseOnce)
+			pending = append(pending, done)
+			n.pollGate.run(p, n.cfg.TxCycles)
+			n.cfg.Endpoint.Send(netsim.Addr(cmd.dest), req.WireSize(),
+				&reqEnvelope{req: req, clientAddr: n.cfg.Endpoint.Addr(), complete: done})
+		}
+		for _, ev := range pending {
+			if !ev.Fired() {
+				// Bound the wait: the destination may have failed mid-copy.
+				p.WaitAny(ev, n.k.Timer(copyAckTimeout))
+			}
+		}
+		left := items[:0]
+		for i, it := range items {
+			if !acked[i] {
+				left = append(left, it)
+			}
+		}
+		items = left
 	}
 	n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &copyDone{partition: cmd.partition, dest: cmd.dest})
 }

@@ -107,6 +107,19 @@ func (l *CircLog) Append(data []byte) (logical int64, done runtime.Event, err er
 	return logical, l.submitWrap(flashsim.OpWrite, logical, data), nil
 }
 
+// Unappend gives back a failed append's reservation. It succeeds only while
+// the record is still the last one appended — once another append has
+// advanced the tail the bytes cannot be reclaimed and the record stays in
+// the log as garbage for compaction. Callers use this after a device write
+// error so the log does not keep a torn record at its tail.
+func (l *CircLog) Unappend(logical, n int64) bool {
+	if l.tail != logical+n {
+		return false
+	}
+	l.tail = logical
+	return true
+}
+
 // ReadAsync issues a read of len(buf) bytes at the logical offset and
 // returns the completion event. The offset must be within the live region.
 func (l *CircLog) ReadAsync(logical int64, buf []byte) (runtime.Event, error) {

@@ -119,6 +119,14 @@ scan:
 		}
 		b0, err := UnmarshalBucket(blk)
 		if err != nil || b0.ChainPos != 0 || b0.ChainLen == 0 {
+			// Inside the superblock-durable region an unparseable block is a
+			// failed-append hole (the write errored but a racing append kept
+			// the tail advanced): step over it — the arrays behind it are
+			// live. Past the durable tail, garbage means end of log.
+			if pos+bs <= sb.keyTail {
+				pos += bs
+				continue
+			}
 			break // end of valid data
 		}
 		if pos >= sb.keyTail && b0.Seq <= maxSeq {
@@ -133,11 +141,21 @@ scan:
 			}
 			bi, err := UnmarshalBucket(cblk)
 			if err != nil || bi.Seq != b0.Seq || int(bi.ChainPos) != i {
+				if pos+bs <= sb.keyTail {
+					pos += bs // torn chain inside the durable region: a hole
+					continue scan
+				}
 				break scan // torn tail append: discard the partial array
 			}
 			buckets = append(buckets, bi)
 		}
 		if old, had := latest[b0.SegID]; had {
+			if b0.Seq < old[0].Seq {
+				// A hole whose previous-lap content still parses: it predates
+				// the array already recovered for this segment. Step past it.
+				pos += int64(chain) * bs
+				continue
+			}
 			liveKeyBytes -= int64(len(old)) * bs
 		}
 		latest[b0.SegID] = buckets

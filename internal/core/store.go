@@ -534,6 +534,12 @@ func (s *Store) writeSegment(p runtime.Task, st *OpStats, seg uint32, buckets []
 	}
 	st.Writes++
 	if err := s.ssdWait(p, st, ev); err != nil {
+		// The blocks at newOff are torn. Reclaim the reservation so the next
+		// append reuses the offset; if another append already raced past, the
+		// hole stays in the log — recovery skips it and compaction reclaims it.
+		if !s.keyLog.Unappend(newOff, int64(len(img))) {
+			s.keyGarbage += int64(len(img))
+		}
 		return err
 	}
 	s.releaseOldSegment(seg, hadOld)

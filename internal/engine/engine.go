@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"leed/internal/core"
+	"leed/internal/flashsim"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
@@ -19,6 +20,12 @@ import (
 type Config struct {
 	Env  runtime.Env
 	Node *platform.Node
+
+	// Devices, when non-nil, overrides Node.SSDs as the backing device per
+	// drive index (len must equal len(Node.SSDs)). Chaos harnesses use it to
+	// interpose flashsim.FaultInjector wrappers; the SSDs still provide the
+	// timing/capacity model that sizes the engine.
+	Devices []flashsim.Device
 
 	// PartitionsPerSSD is the number of virtual nodes per drive (the
 	// paper's prototype uses 32; simulations typically use fewer).
@@ -45,6 +52,11 @@ type Config struct {
 	Costs          core.CostModel
 	// CompactEvery is the background compaction check period. Default 1ms.
 	CompactEvery runtime.Time
+	// FlushEvery, when non-zero, makes each partition's compactor proc
+	// persist the store superblock periodically. Without it a superblock is
+	// written only when compaction moves a log head, so a crash early in a
+	// partition's life recovers nothing (§3.8.1's replay needs a root).
+	FlushEvery runtime.Time
 
 	// ModelMemBW serializes each command's data movement through the
 	// node's onboard memory pipe (platform.Spec.MemBWBytesPS). The paper
@@ -104,9 +116,11 @@ type Engine struct {
 	parts  []*Partition
 	execs  []*coreGate // one per SSD
 	membus *memBus     // nil unless ModelMemBW
-	// stop is atomic because on the wallclock backend Stop may be called
-	// from outside any task (e.g. the goroutine that owns the Env).
-	stop atomic.Bool
+	// gen is bumped by Stop so compactors from an old incarnation drain even
+	// if the engine restarts before they wake; atomic because on the
+	// wallclock backend Stop may be called from outside any task (e.g. the
+	// goroutine that owns the Env).
+	gen atomic.Int64
 
 	stats EngineStats
 }
@@ -168,11 +182,15 @@ func New(cfg Config) *Engine {
 		e.execs = append(e.execs, &coreGate{core: c, res: cfg.Env.MakeResource(1)})
 	}
 	for ssd := 0; ssd < numSSD; ssd++ {
+		var dev flashsim.Device = n.SSDs[ssd]
+		if cfg.Devices != nil {
+			dev = cfg.Devices[ssd]
+		}
 		for slot := 0; slot < cfg.PartitionsPerSSD; slot++ {
 			pid := len(e.parts)
 			sc := core.StoreConfigFor(cfg.Geometry, core.Config{
 				Env:            cfg.Env,
-				Device:         n.SSDs[ssd],
+				Device:         dev,
 				DevID:          uint8(ssd),
 				Exec:           e.execs[ssd],
 				Costs:          cfg.Costs,
@@ -211,6 +229,19 @@ func (e *Engine) ResetPartition(pid int) {
 	cfg := pt.Store.Config()
 	pt.Store = core.NewStore(cfg)
 	e.wirePeers()
+}
+
+// RecoverPartition rebuilds partition pid's store from flash after a crash:
+// a fresh store over the same device region replays the superblock and the
+// key log past its persisted tail (core recovery, §3.8.1). It returns the
+// number of live segments recovered; 0 with nil error means no superblock
+// was ever persisted and the partition is treated as empty.
+func (e *Engine) RecoverPartition(p runtime.Task, pid int) (int, error) {
+	pt := e.parts[pid]
+	cfg := pt.Store.Config()
+	pt.Store = core.NewStore(cfg)
+	e.wirePeers()
+	return pt.Store.Recover(p)
 }
 
 // NumPartitions returns the number of virtual nodes on this JBOF.
@@ -369,12 +400,14 @@ func (e *Engine) MemBusWaited() runtime.Time {
 // wakes every CompactEvery, merges swapped data back when the drive is
 // unloaded, and runs log compaction when a trigger threshold is crossed.
 func (e *Engine) Start() {
+	gen := e.gen.Load()
 	for _, pt := range e.parts {
 		pt := pt
 		e.env.Spawn("compactor", func(p runtime.Task) {
-			for !e.stop.Load() {
+			var lastFlush runtime.Time
+			for e.gen.Load() == gen {
 				p.Sleep(e.cfg.CompactEvery)
-				if e.stop.Load() {
+				if e.gen.Load() != gen {
 					return
 				}
 				if pt.Store.SwapBacklog() > 0 && e.ssdWaiting(pt.SSD) == 0 {
@@ -388,11 +421,16 @@ func (e *Engine) Start() {
 					pt.Store.CompactKeyLog(p)
 					e.stats.Compactions++
 				}
+				if fe := e.cfg.FlushEvery; fe > 0 && p.Now()-lastFlush >= fe {
+					lastFlush = p.Now()
+					pt.Store.Flush(p)
+				}
 			}
 		})
 	}
 }
 
 // Stop halts background compaction after the current cycle. Safe to call
-// from outside task context (e.g. before wallclock.Env.Wait).
-func (e *Engine) Stop() { e.stop.Store(true) }
+// from outside task context (e.g. before wallclock.Env.Wait). A later
+// Start spawns a fresh set of compactors; the old generation drains.
+func (e *Engine) Stop() { e.gen.Add(1) }

@@ -133,3 +133,71 @@ func TestFaultInjectorKindFilters(t *testing.T) {
 	})
 	k2.Run()
 }
+
+// TestFaultInjectorCombinedModes sets ErrorRate and FailAfter together: a
+// flaky device that later dies outright. Before the countdown expires
+// failures are probabilistic; after it, every op fails regardless of rate.
+func TestFaultInjectorCombinedModes(t *testing.T) {
+	k, f := faultEnv(9)
+	defer k.Close()
+	f.ErrorRate = 0.3
+	f.FailAfter = 100
+	var flaky, dead int64
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			if doIO(p, f, OpWrite, int64(i), []byte{1}) == ErrInjected {
+				flaky++
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if err := doIO(p, f, OpWrite, 0, []byte{1}); err != ErrInjected {
+				t.Errorf("op %d past the countdown: got %v, want ErrInjected", i, err)
+				return
+			}
+			dead++
+		}
+	})
+	k.Run()
+	if flaky == 0 || flaky == 100 {
+		t.Errorf("flaky phase injected %d/100; the probabilistic mode was masked", flaky)
+	}
+	if dead != 50 {
+		t.Errorf("dead phase injected %d/50", dead)
+	}
+	if f.Injected() != flaky+dead {
+		t.Errorf("Injected() = %d, want %d", f.Injected(), flaky+dead)
+	}
+}
+
+// TestFaultInjectorZeroRateDrawsNoRandomness pins the property the chaos
+// drills lean on to stay deterministic while wrapping every device: an
+// injector with ErrorRate 0 must not consume rng state, so enabling the
+// rate later yields the same failure pattern as a fresh same-seed injector.
+func TestFaultInjectorZeroRateDrawsNoRandomness(t *testing.T) {
+	run := func(warmup int) []bool {
+		k, f := faultEnv(77)
+		defer k.Close()
+		var pattern []bool
+		k.Go("io", func(p *sim.Proc) {
+			for i := 0; i < warmup; i++ {
+				if err := doIO(p, f, OpWrite, 0, []byte{1}); err != nil {
+					t.Errorf("warmup op %d with rate 0: %v", i, err)
+					return
+				}
+			}
+			f.ErrorRate = 0.5
+			for i := 0; i < 64; i++ {
+				pattern = append(pattern, doIO(p, f, OpWrite, 0, []byte{1}) == ErrInjected)
+			}
+		})
+		k.Run()
+		return pattern
+	}
+	cold, warmed := run(0), run(200)
+	for i := range cold {
+		if cold[i] != warmed[i] {
+			t.Fatalf("op %d: failure pattern diverged after a zero-rate warmup; "+
+				"ErrorRate 0 consumed rng state", i)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"leed/internal/sim"
+)
+
+// Faults is the fabric's fault-injection layer: per-directed-link message
+// loss and extra delay, and two-way partitions that can heal. All decisions
+// draw from one seeded stream, so a fault schedule replays bit-identically
+// on the sim kernel — the substrate the chaos drills' determinism rests on.
+//
+// The layer also enforces per-link FIFO delivery. The base fabric is FIFO
+// already (egress and ingress serialization are monotone), but a delay fault
+// that shrinks mid-flight could reorder messages on a link; RDMA reliable
+// connections deliver in order per QP, so the clamp keeps the model honest
+// and spares the chain protocol from reorderings real NICs never produce.
+type Faults struct {
+	rng *rand.Rand
+
+	drop        map[link]float64
+	delay       map[link]sim.Time
+	partitioned map[pair]bool
+	lastArrive  map[link]sim.Time
+
+	stats FaultStats
+}
+
+// FaultStats count fault-layer decisions.
+type FaultStats struct {
+	DroppedByLoss      int64 // messages dropped by a probabilistic link fault
+	DroppedByPartition int64 // messages dropped by an active partition
+	Delayed            int64 // messages that received extra link delay
+}
+
+// link is one directed edge of the fabric.
+type link struct{ from, to Addr }
+
+// pair is an unordered node pair (two-way partitions).
+type pair struct{ a, b Addr }
+
+func pairOf(a, b Addr) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a: a, b: b}
+}
+
+// InstallFaults attaches a seeded fault layer to the fabric and returns it.
+// Installing twice replaces the previous layer.
+func (f *Fabric) InstallFaults(seed int64) *Faults {
+	f.faults = &Faults{
+		rng:         rand.New(rand.NewSource(seed)),
+		drop:        make(map[link]float64),
+		delay:       make(map[link]sim.Time),
+		partitioned: make(map[pair]bool),
+		lastArrive:  make(map[link]sim.Time),
+	}
+	return f.faults
+}
+
+// Faults returns the installed fault layer, or nil.
+func (f *Fabric) Faults() *Faults { return f.faults }
+
+// Stats returns cumulative fault counters.
+func (fl *Faults) Stats() FaultStats { return fl.stats }
+
+// SetDrop sets the loss probability for the directed link from -> to.
+// p = 0 clears the fault.
+func (fl *Faults) SetDrop(from, to Addr, p float64) {
+	if p <= 0 {
+		delete(fl.drop, link{from, to})
+		return
+	}
+	fl.drop[link{from, to}] = p
+}
+
+// SetDropBoth sets the loss probability in both directions between a and b.
+func (fl *Faults) SetDropBoth(a, b Addr, p float64) {
+	fl.SetDrop(a, b, p)
+	fl.SetDrop(b, a, p)
+}
+
+// SetDelay adds d of extra one-way delay on the directed link from -> to.
+// d = 0 clears the fault.
+func (fl *Faults) SetDelay(from, to Addr, d sim.Time) {
+	if d <= 0 {
+		delete(fl.delay, link{from, to})
+		return
+	}
+	fl.delay[link{from, to}] = d
+}
+
+// Partition severs the a<->b link in both directions until Heal.
+func (fl *Faults) Partition(a, b Addr) { fl.partitioned[pairOf(a, b)] = true }
+
+// Heal restores the a<->b link. Messages dropped while partitioned are
+// gone — the fabric does not queue across a partition.
+func (fl *Faults) Heal(a, b Addr) { delete(fl.partitioned, pairOf(a, b)) }
+
+// Partitioned reports whether a<->b is currently severed.
+func (fl *Faults) Partitioned(a, b Addr) bool { return fl.partitioned[pairOf(a, b)] }
+
+// Isolate partitions a from every peer in peers.
+func (fl *Faults) Isolate(a Addr, peers ...Addr) {
+	for _, p := range peers {
+		if p != a {
+			fl.Partition(a, p)
+		}
+	}
+}
+
+// HealAll clears every active fault: partitions, loss rates, and delays.
+// The FIFO clamp state is kept so healing never reorders in-flight traffic.
+func (fl *Faults) HealAll() {
+	fl.partitioned = make(map[pair]bool)
+	fl.drop = make(map[link]float64)
+	fl.delay = make(map[link]sim.Time)
+}
+
+// apply runs one message through the fault layer: it returns the (possibly
+// delayed, FIFO-clamped) arrival time, or drop=true if the message is lost.
+// The rng advances only for links with an active loss fault, so adding a
+// fault on one link never perturbs the schedule of the others.
+func (fl *Faults) apply(from, to Addr, arrive sim.Time) (sim.Time, bool) {
+	if fl.partitioned[pairOf(from, to)] {
+		fl.stats.DroppedByPartition++
+		return 0, true
+	}
+	l := link{from, to}
+	if p, ok := fl.drop[l]; ok {
+		if fl.rng.Float64() < p {
+			fl.stats.DroppedByLoss++
+			return 0, true
+		}
+	}
+	if d, ok := fl.delay[l]; ok {
+		arrive += d
+		fl.stats.Delayed++
+	}
+	if last := fl.lastArrive[l]; arrive < last {
+		arrive = last
+	}
+	fl.lastArrive[l] = arrive
+	return arrive, false
+}

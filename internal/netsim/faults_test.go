@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"testing"
+
+	"leed/internal/sim"
+)
+
+// drainInto keeps a proc pulling b's RX queue into got.
+func drainInto(k *sim.Kernel, b *Endpoint, got *[]any) {
+	k.Go("rx", func(p *sim.Proc) {
+		for {
+			m := b.RX().Get(p)
+			*got = append(*got, m.Payload)
+		}
+	})
+}
+
+func TestPartitionDropsBothDirections(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	f, a, b := newPair(k, 100_000_000_000)
+	fl := f.InstallFaults(1)
+	fl.Partition(1, 2)
+
+	var gotA, gotB []any
+	drainInto(k, a, &gotA)
+	drainInto(k, b, &gotB)
+	a.Send(2, 100, "a->b")
+	b.Send(1, 100, "b->a")
+	k.Run(sim.Millisecond)
+	if len(gotA) != 0 || len(gotB) != 0 {
+		t.Fatalf("partitioned link delivered: a=%v b=%v", gotA, gotB)
+	}
+	if fl.Stats().DroppedByPartition != 2 {
+		t.Fatalf("stats = %+v", fl.Stats())
+	}
+	if !fl.Partitioned(2, 1) {
+		t.Fatal("partition not symmetric")
+	}
+}
+
+func TestPartitionThenHealDeliverySemantics(t *testing.T) {
+	// Messages sent while partitioned are lost for good — healing must not
+	// resurrect them — and messages sent after the heal flow normally.
+	k := sim.New()
+	defer k.Close()
+	f, a, b := newPair(k, 100_000_000_000)
+	fl := f.InstallFaults(1)
+
+	var got []any
+	drainInto(k, b, &got)
+
+	a.Send(2, 100, "before")
+	k.Run(k.Now() + sim.Millisecond)
+	fl.Partition(1, 2)
+	a.Send(2, 100, "during-1")
+	a.Send(2, 100, "during-2")
+	k.Run(k.Now() + sim.Millisecond)
+	fl.Heal(1, 2)
+	a.Send(2, 100, "after")
+	k.Run(k.Now() + sim.Millisecond)
+
+	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("delivered %v, want [before after]", got)
+	}
+	if fl.Stats().DroppedByPartition != 2 {
+		t.Fatalf("stats = %+v", fl.Stats())
+	}
+}
+
+func TestDropProbabilityIsSeededAndDirected(t *testing.T) {
+	run := func(seed int64) (delivered int, dropped int64) {
+		k := sim.New()
+		defer k.Close()
+		f, a, b := newPair(k, 100_000_000_000)
+		fl := f.InstallFaults(seed)
+		fl.SetDrop(1, 2, 0.5)
+		var got []any
+		drainInto(k, b, &got)
+		for i := 0; i < 200; i++ {
+			a.Send(2, 100, i)
+		}
+		k.Run(k.Now() + sim.Second)
+		return len(got), fl.Stats().DroppedByLoss
+	}
+	d1, l1 := run(7)
+	d2, l2 := run(7)
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", d1, l1, d2, l2)
+	}
+	if l1 == 0 || d1 == 0 {
+		t.Fatalf("rate 0.5 over 200 msgs: delivered=%d dropped=%d", d1, l1)
+	}
+	if d1+int(l1) != 200 {
+		t.Fatalf("delivered %d + dropped %d != 200", d1, l1)
+	}
+
+	// The reverse direction is unaffected.
+	k := sim.New()
+	defer k.Close()
+	f, a, b := newPair(k, 100_000_000_000)
+	f.InstallFaults(7).SetDrop(1, 2, 1.0)
+	var got []any
+	drainInto(k, a, &got)
+	for i := 0; i < 20; i++ {
+		b.Send(1, 100, i)
+	}
+	k.Run(k.Now() + sim.Second)
+	if len(got) != 20 {
+		t.Fatalf("reverse direction lost messages: %d/20", len(got))
+	}
+	_ = a
+}
+
+func TestExtraDelaySlowsButPreservesOrder(t *testing.T) {
+	// A delay fault that is cleared mid-stream must not let later messages
+	// overtake earlier ones: links deliver FIFO, like an RDMA RC QP.
+	k := sim.New()
+	defer k.Close()
+	f, a, b := newPair(k, 100_000_000_000)
+	fl := f.InstallFaults(1)
+
+	var got []any
+	var times []sim.Time
+	k.Go("rx", func(p *sim.Proc) {
+		for {
+			m := b.RX().Get(p)
+			got = append(got, m.Payload)
+			times = append(times, p.Now())
+		}
+	})
+
+	fl.SetDelay(1, 2, 5*sim.Millisecond)
+	a.Send(2, 100, "slow")
+	k.Run(k.Now() + 10*sim.Microsecond) // schedule, then clear the fault
+	fl.SetDelay(1, 2, 0)
+	a.Send(2, 100, "fast")
+	k.Run(k.Now() + 20*sim.Millisecond)
+
+	if len(got) != 2 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	if got[0] != "slow" || got[1] != "fast" {
+		t.Fatalf("reordered delivery: %v", got)
+	}
+	if times[0] < 5*sim.Millisecond {
+		t.Fatalf("delay fault not applied: first delivery at %v", times[0])
+	}
+	if fl.Stats().Delayed != 1 {
+		t.Fatalf("stats = %+v", fl.Stats())
+	}
+}
+
+func TestHealAllClearsEveryFault(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	f, a, b := newPair(k, 100_000_000_000)
+	fl := f.InstallFaults(3)
+	fl.Partition(1, 2)
+	fl.SetDropBoth(1, 2, 1.0)
+	fl.SetDelay(1, 2, sim.Millisecond)
+	fl.HealAll()
+
+	var got []any
+	drainInto(k, b, &got)
+	a.Send(2, 100, "ok")
+	k.Run(k.Now() + sim.Millisecond)
+	if len(got) != 1 {
+		t.Fatal("HealAll did not restore the link")
+	}
+}
+
+func TestIsolateSeversAllListedPeers(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	f := New(k, Config{})
+	a := f.AddNode(1, 100_000_000_000)
+	f.AddNode(2, 100_000_000_000)
+	f.AddNode(3, 100_000_000_000)
+	fl := f.InstallFaults(1)
+	fl.Isolate(1, 2, 3, 1) // own addr is skipped
+	if !fl.Partitioned(1, 2) || !fl.Partitioned(3, 1) {
+		t.Fatal("isolate missed a peer")
+	}
+	if fl.Partitioned(2, 3) {
+		t.Fatal("isolate severed an unrelated pair")
+	}
+	_ = a
+}
+
+func TestResetRXDiscardsQueuedMessages(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	_, a, b := newPair(k, 100_000_000_000)
+	a.Send(2, 100, "lost-with-dram")
+	k.Run(k.Now() + sim.Millisecond)
+	if b.RX().Len() != 1 {
+		t.Fatalf("queued %d", b.RX().Len())
+	}
+	b.ResetRX()
+	if b.RX().Len() != 0 {
+		t.Fatal("queue survived reset")
+	}
+	// New traffic lands in the fresh queue.
+	a.Send(2, 100, "post-restart")
+	k.Run(k.Now() + sim.Millisecond)
+	if b.RX().Len() != 1 {
+		t.Fatal("fresh queue not receiving")
+	}
+}

@@ -40,9 +40,10 @@ type Config struct {
 
 // Fabric is the network. All endpoints share one non-blocking switch.
 type Fabric struct {
-	k     *sim.Kernel
-	cfg   Config
-	nodes map[Addr]*Endpoint
+	k      *sim.Kernel
+	cfg    Config
+	nodes  map[Addr]*Endpoint
+	faults *Faults // nil unless InstallFaults was called
 }
 
 // New creates a fabric on k.
@@ -96,6 +97,11 @@ func (e *Endpoint) Addr() Addr { return e.addr }
 // RX returns the two-sided receive queue that polling cores drain.
 func (e *Endpoint) RX() *sim.Queue[*Message] { return e.rx }
 
+// ResetRX abandons the receive queue and installs a fresh empty one,
+// modeling DRAM loss on a crash: packets queued but not yet polled vanish,
+// and pollers parked on the old queue are orphaned with it.
+func (e *Endpoint) ResetRX() { e.rx = sim.NewQueue[*Message](e.fab.k) }
+
 // Stats returns cumulative counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
 
@@ -131,6 +137,14 @@ func (e *Endpoint) transmit(m *Message) {
 		return
 	}
 	arrive := e.txFree + e.fab.cfg.Propagation
+	if fl := e.fab.faults; fl != nil {
+		var lost bool
+		arrive, lost = fl.apply(e.addr, m.To, arrive)
+		if lost {
+			e.stats.Dropped++
+			return
+		}
+	}
 	k.At(arrive, func() {
 		if dst.down {
 			dst.stats.Dropped++
