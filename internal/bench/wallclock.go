@@ -1,0 +1,232 @@
+// Wall-clock benchmarking: the twin of Run for the wallclock backend. The
+// sim benchmarks answer "what would the paper's testbed do"; these answer
+// "what does this process actually sustain on this machine" — which is the
+// measurement that can tell a synchronous device path apart from the async
+// submission-queue path, because only real syscall overlap shows up here.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+// DoOpT executes one YCSB operation against a system from a runtime.Task.
+// It is DoOp generalized over the runtime seam so the same closure drives
+// both backends.
+type DoOpT func(p runtime.Task, op ycsb.Op) error
+
+// RunWallclock measures a workload on the wall-clock backend and returns
+// the same RunResult shape as Run (Joules stays zero: there are no modeled
+// power meters on real hardware). RunConfig means what it does for Run:
+// Rate == 0 is a closed loop over Clients tasks issuing Ops operations
+// after WarmupOps; Rate > 0 is an open loop of rate-paced arrivals over
+// Duration with a warmup of Duration/4, shedding arrivals beyond
+// MaxOutstanding. Times in the result are real nanoseconds.
+//
+// The function spawns tasks and blocks in env.Wait, so call it from the
+// goroutine that owns the environment, not from a task.
+func RunWallclock(env *wallclock.Env, do DoOpT, w ycsb.Workload, records int64, valLen int, rc RunConfig) RunResult {
+	if rc.MaxOutstanding == 0 {
+		rc.MaxOutstanding = 4096
+	}
+	if rc.Clients == 0 {
+		rc.Clients = 32
+	}
+	gen := ycsb.NewGenerator(w, records, valLen, rc.Seed+1)
+	res := RunResult{Lat: sim.NewHistogram()}
+
+	// All of this state is mutated only from task context (holding the big
+	// runtime lock), except after env.Wait has drained everything.
+	var (
+		issued       int64
+		completed    int64
+		measuring    bool
+		finished     bool
+		startT, endT runtime.Time
+	)
+
+	oneOp := func(p runtime.Task, op ycsb.Op) {
+		t0 := p.Now()
+		err := do(p, op)
+		lat := p.Now() - t0
+		completed++
+		if measuring && !finished {
+			res.Ops++
+			res.Lat.Record(lat)
+			if err != nil {
+				res.Errs++
+			}
+		}
+	}
+
+	if rc.Rate == 0 {
+		// Closed loop: Clients tasks share the generator; measurement covers
+		// the window from the WarmupOps-th completion to the last one.
+		total := rc.Ops + rc.WarmupOps
+		for c := 0; c < rc.Clients; c++ {
+			env.Spawn("load", func(p runtime.Task) {
+				for issued < total {
+					issued++
+					op := gen.Next()
+					op.Value = append([]byte(nil), op.Value...)
+					oneOp(p, op)
+					if !measuring && completed >= rc.WarmupOps {
+						measuring = true
+						startT = p.Now()
+					}
+					if completed >= total && !finished {
+						finished = true
+						endT = p.Now()
+					}
+				}
+			})
+		}
+		env.Wait()
+		if !finished { // total <= WarmupOps corner: measure nothing
+			endT = startT
+		}
+	} else {
+		// Open loop: one pacer task schedules arrival k at start+k*interval
+		// (catch-up pacing: a late wakeup does not shift later arrivals), and
+		// each arrival runs as its own task so service time never gates the
+		// arrival process — the open-loop property.
+		interval := float64(runtime.Second) / rc.Rate
+		warmup := rc.Duration / 4
+		outstanding := 0
+		env.Spawn("pacer", func(p runtime.Task) {
+			start := p.Now()
+			measureAt := start + warmup
+			stopAt := start + warmup + rc.Duration
+			for k := int64(0); ; k++ {
+				next := start + runtime.Time(float64(k)*interval)
+				if next >= stopAt {
+					break
+				}
+				if d := next - p.Now(); d > 0 {
+					p.Sleep(d)
+				}
+				if !measuring && p.Now() >= measureAt {
+					measuring = true
+					startT = p.Now()
+				}
+				if outstanding >= rc.MaxOutstanding {
+					res.Dropped++
+					continue
+				}
+				op := gen.Next()
+				op.Value = append([]byte(nil), op.Value...)
+				outstanding++
+				env.Spawn("op", func(q runtime.Task) {
+					oneOp(q, op)
+					outstanding--
+				})
+			}
+			if d := stopAt - p.Now(); d > 0 {
+				p.Sleep(d)
+			}
+			if !measuring { // degenerate: rate so low nothing arrived in warmup
+				measuring = true
+				startT = p.Now()
+			}
+			finished = true
+			endT = p.Now()
+		})
+		env.Wait() // in-flight ops past stopAt drain here, uncounted
+	}
+
+	res.Elapsed = endT - startT
+	if res.Elapsed > 0 {
+		res.Thr = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	return res
+}
+
+// PreloadWallclock inserts records objects with bounded parallelism and
+// waits for the environment to drain, mirroring Preload.
+func PreloadWallclock(env *wallclock.Env, do DoOpT, records int64, valLen int, parallel int) {
+	if parallel <= 0 {
+		parallel = 16
+	}
+	var next int64
+	val := make([]byte, valLen)
+	for i := range val {
+		val[i] = byte(i * 7)
+	}
+	for c := 0; c < parallel; c++ {
+		env.Spawn("preload", func(p runtime.Task) {
+			for next < records {
+				i := next
+				next++
+				do(p, ycsb.Op{Type: ycsb.OpInsert, Key: ycsb.KeyAt(i), Value: val})
+			}
+		})
+	}
+	env.Wait()
+}
+
+// WallclockRes is one device mode's measurement in a WallclockDoc.
+type WallclockRes struct {
+	Device    string  `json:"device"`
+	Ops       int64   `json:"ops"`
+	Errs      int64   `json:"errs"`
+	Dropped   int64   `json:"dropped"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Thr       float64 `json:"throughput_ops_per_sec"`
+	P50US     float64 `json:"p50_us"`
+	P99US     float64 `json:"p99_us"`
+}
+
+// NewWallclockRes flattens a RunResult for the JSON doc.
+func NewWallclockRes(device string, r RunResult) WallclockRes {
+	return WallclockRes{
+		Device:    device,
+		Ops:       r.Ops,
+		Errs:      r.Errs,
+		Dropped:   r.Dropped,
+		ElapsedNS: int64(r.Elapsed),
+		Thr:       r.Thr,
+		P50US:     float64(r.Lat.P50()) / float64(runtime.Microsecond),
+		P99US:     float64(r.Lat.P99()) / float64(runtime.Microsecond),
+	}
+}
+
+// WallclockDoc is the recorded output of a sync-vs-async wall-clock bench
+// run (leedctl bench -wallclock): the same workload against the synchronous
+// FileDevice and the AsyncFileDevice, and the throughput ratio.
+type WallclockDoc struct {
+	Workload string       `json:"workload"`
+	Clients  int          `json:"clients"`
+	Rate     float64      `json:"rate_ops_per_sec"`
+	Records  int64        `json:"records"`
+	ValLen   int          `json:"val_len"`
+	Sync     WallclockRes `json:"sync"`
+	Async    WallclockRes `json:"async"`
+	Speedup  float64      `json:"speedup"`
+}
+
+// JSON renders the doc, indented, with a trailing newline.
+func (d *WallclockDoc) JSON() string {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		panic(err) // plain struct of scalars always marshals
+	}
+	return string(b) + "\n"
+}
+
+// String renders a two-row comparison table.
+func (d *WallclockDoc) String() string {
+	t := &Table{
+		Title:   fmt.Sprintf("wallclock %s: sync vs async device", d.Workload),
+		Columns: []string{"device", "kqps", "p50us", "p99us", "ops", "errs", "dropped"},
+	}
+	for _, r := range []WallclockRes{d.Sync, d.Async} {
+		t.Add(r.Device, kqps(r.Thr), fmt.Sprintf("%.1f", r.P50US), fmt.Sprintf("%.1f", r.P99US),
+			fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.Errs), fmt.Sprintf("%d", r.Dropped))
+	}
+	return t.String() + fmt.Sprintf("async/sync speedup: %.2fx\n", d.Speedup)
+}

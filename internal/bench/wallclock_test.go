@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/flashsim"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/ycsb"
+)
+
+// wcStore assembles a store over the given device factory on a fresh
+// wallclock env and returns the env plus the bench op closure.
+func wcStore(t *testing.T, mkdev func(env runtime.Env) flashsim.Device) (*wallclock.Env, DoOpT) {
+	t.Helper()
+	env := wallclock.New()
+	s := core.NewStore(core.Config{
+		Env:         env,
+		Device:      mkdev(env),
+		NumSegments: 64,
+		KeyLogBytes: 4 << 20,
+		ValLogBytes: 8 << 20,
+	})
+	do := func(p runtime.Task, op ycsb.Op) error {
+		switch op.Type {
+		case ycsb.OpRead:
+			_, _, err := s.Get(p, op.Key)
+			if err == core.ErrNotFound {
+				return nil
+			}
+			return err
+		default:
+			_, err := s.Put(p, op.Key, op.Value)
+			return err
+		}
+	}
+	return env, do
+}
+
+func TestRunWallclockClosedLoop(t *testing.T) {
+	env, do := wcStore(t, func(env runtime.Env) flashsim.Device {
+		return flashsim.NewMemDevice(env, 16<<20)
+	})
+	PreloadWallclock(env, do, 300, 64, 8)
+	res := RunWallclock(env, do, ycsb.WorkloadA, 300, 64, RunConfig{
+		Clients: 8, Ops: 1000, WarmupOps: 100, Seed: 4,
+	})
+	if res.Ops != 1000 {
+		t.Fatalf("measured %d ops, want 1000", res.Ops)
+	}
+	if res.Errs != 0 {
+		t.Fatalf("%d errors", res.Errs)
+	}
+	if res.Thr <= 0 || res.Elapsed <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+	if res.Lat.Count() != res.Ops {
+		t.Fatalf("latency samples %d != ops %d", res.Lat.Count(), res.Ops)
+	}
+}
+
+func TestRunWallclockOpenLoop(t *testing.T) {
+	img := t.TempDir() + "/bench.img"
+	env, do := wcStore(t, func(env runtime.Env) flashsim.Device {
+		d, err := flashsim.OpenAsyncFileDevice(env, img, 16<<20, flashsim.AsyncOptions{})
+		if err != nil {
+			t.Fatalf("open async device: %v", err)
+		}
+		return d
+	})
+	PreloadWallclock(env, do, 300, 64, 8)
+	res := RunWallclock(env, do, ycsb.WorkloadA, 300, 64, RunConfig{
+		Rate: 20000, Duration: 100 * runtime.Millisecond, Seed: 4,
+	})
+	if res.Ops == 0 {
+		t.Fatal("open loop measured no ops")
+	}
+	if res.Errs != 0 {
+		t.Fatalf("%d errors", res.Errs)
+	}
+	// 100ms at 20k/s is ~2000 arrivals; allow wide slop for machine load,
+	// but the measured window must be near the configured duration.
+	if res.Elapsed < 80*runtime.Millisecond || res.Elapsed > 200*runtime.Millisecond {
+		t.Fatalf("measured window %v, want ~100ms", res.Elapsed)
+	}
+}

@@ -31,6 +31,13 @@ type SoakConfig struct {
 	// window. Default 0.05; set negative for a fault-free soak.
 	ErrorRate float64
 
+	// TornRate is the probability that a failing write is torn — its first
+	// half reaches the medium before the error — instead of dropped whole.
+	// Torn writes exercise the recovery scan's torn-chain and hole-probe
+	// paths, the failure shape a crashed submission-queue device leaves
+	// behind. Default 0.5 during fault windows; set negative to disable.
+	TornRate float64
+
 	// Device overrides the backing device (default: a fresh in-memory
 	// device of Capacity bytes). The soak formats it from scratch —
 	// existing contents are overwritten.
@@ -55,6 +62,12 @@ func (cfg *SoakConfig) setDefaults() {
 	}
 	if cfg.ErrorRate < 0 {
 		cfg.ErrorRate = 0
+	}
+	if cfg.TornRate == 0 {
+		cfg.TornRate = 0.5
+	}
+	if cfg.TornRate < 0 {
+		cfg.TornRate = 0
 	}
 }
 
@@ -121,6 +134,7 @@ func RunSoak(p runtime.Task, cfg SoakConfig) *SoakReport {
 		dev = flashsim.NewMemDevice(cfg.Env, cfg.Capacity)
 	}
 	fi := flashsim.NewFaultInjector(cfg.Env, dev, cfg.Seed+17)
+	fi.TornWriteRate = cfg.TornRate // only failing writes tear, so windows gate it
 	geo := core.PlanPartition(cfg.Capacity, 24, cfg.ValLen, core.PlanOpts{})
 	store := core.NewStore(core.StoreConfigFor(geo, core.Config{
 		Env:    cfg.Env,

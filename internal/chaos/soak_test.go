@@ -3,6 +3,7 @@ package chaos
 import (
 	"testing"
 
+	"leed/internal/flashsim"
 	"leed/internal/sim"
 )
 
@@ -60,5 +61,39 @@ func TestSoakFaultFree(t *testing.T) {
 	if rep.WritesFailed != 0 || rep.DeviceInjected != 0 {
 		t.Errorf("fault-free soak injected faults: failed=%d injected=%d",
 			rep.WritesFailed, rep.DeviceInjected)
+	}
+}
+
+// TestSoakAsyncFileDevice runs the durability soak against the
+// submission-queue device over a real image file, with torn writes enabled:
+// fault windows kill batches mid-write (half the payload lands), and every
+// crash-recovery cycle must still hold every acknowledged write. This is the
+// crash-consistency acceptance test for the async device path.
+func TestSoakAsyncFileDevice(t *testing.T) {
+	img := t.TempDir() + "/soak.img"
+	k := sim.New()
+	defer k.Close()
+	dev, err := flashsim.OpenAsyncFileDevice(k, img, 24<<20, flashsim.AsyncOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	var rep *SoakReport
+	k.Go("soak", func(p *sim.Proc) {
+		rep = RunSoak(p, SoakConfig{Env: k, Seed: 23, Device: dev, TornRate: 1.0})
+	})
+	k.Run()
+	if rep == nil {
+		t.Fatal("soak driver never finished")
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Pass {
+		t.Errorf("async-device soak failed:\n%s", rep)
+	}
+	if rep.DeviceInjected == 0 {
+		t.Error("the fault window never engaged; torn batches untested")
+	}
+	if dev.Stats().Batches == 0 {
+		t.Error("the soak never exercised the submission queue")
 	}
 }

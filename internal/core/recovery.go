@@ -21,6 +21,12 @@ import (
 
 const superMagic = 0x1EEDB00C
 
+// recoveryHoleProbe is how many consecutive garbage blocks the key-log scan
+// will step over beyond the superblock-durable tail before concluding it has
+// reached the end of the log. It bounds the size of recoverable holes left
+// by failed group commits that a racing append kept the tail advanced past.
+const recoveryHoleProbe = 128
+
 type superblock struct {
 	keyHead, keyTail   int64
 	valHead, valTail   int64
@@ -82,8 +88,19 @@ func (s *Store) writeSuperblock(p runtime.Task) error {
 	return nil
 }
 
-// Flush persists the superblock; callers use it to bound recovery scans.
-func (s *Store) Flush(p runtime.Task) error { return s.writeSuperblock(p) }
+// Flush persists the superblock; callers use it to bound recovery scans. It
+// first issues an OpFlush barrier: on a submission-queue device
+// (flashsim.AsyncFileDevice) that drains every queued write and syncs the
+// backing file, so the superblock never describes state the device hasn't
+// committed. On purely modeled devices the barrier is an ordering no-op.
+func (s *Store) Flush(p runtime.Task) error {
+	done := s.env.MakeEvent()
+	s.cfg.Device.Submit(&flashsim.Op{Kind: flashsim.OpFlush, Done: done})
+	if v := p.Wait(done); v != nil {
+		return v.(error)
+	}
+	return s.writeSuperblock(p)
+}
 
 // Recover rebuilds a store's DRAM state from flash. Call it on a freshly
 // constructed Store (same Config) whose region holds a previous instance's
@@ -110,7 +127,30 @@ func (s *Store) Recover(p runtime.Task) (int, error) {
 	maxSeq := sb.seq
 	maxValTail := sb.valTail
 	pos := sb.keyHead
+	end := pos // recovered tail: past accepted arrays and durable holes, never past probe skips
 	liveKeyBytes := int64(0)
+
+	// skipHole steps over one garbage block. Inside the superblock-durable
+	// region a hole is a failed append the tail already passed; the budget is
+	// unlimited because the durable tail bounds the walk. Beyond the durable
+	// tail a hole can still precede live data — a group commit that failed
+	// while a racing append landed behind it — so the scan probes ahead a
+	// bounded number of blocks instead of declaring end-of-log; on genuine
+	// end-of-log it gives up after recoveryHoleProbe blocks of garbage.
+	probeBudget := recoveryHoleProbe
+	skipHole := func() bool {
+		if pos+bs <= sb.keyTail {
+			pos += bs
+			end = pos
+			return true
+		}
+		if probeBudget > 0 {
+			probeBudget--
+			pos += bs
+			return true
+		}
+		return false
+	}
 scan:
 	for pos+bs <= upper {
 		blk := make([]byte, bs)
@@ -118,19 +158,14 @@ scan:
 			return 0, err
 		}
 		b0, err := UnmarshalBucket(blk)
-		if err != nil || b0.ChainPos != 0 || b0.ChainLen == 0 {
-			// Inside the superblock-durable region an unparseable block is a
-			// failed-append hole (the write errored but a racing append kept
-			// the tail advanced): step over it — the arrays behind it are
-			// live. Past the durable tail, garbage means end of log.
-			if pos+bs <= sb.keyTail {
-				pos += bs
+		if err != nil || b0.ChainPos != 0 || b0.ChainLen == 0 ||
+			(pos >= sb.keyTail && b0.Seq <= maxSeq) {
+			// Unparseable garbage, or stale pre-wrap data beyond the durable
+			// tail: a hole or the end of the log — probe to find out.
+			if skipHole() {
 				continue
 			}
-			break // end of valid data
-		}
-		if pos >= sb.keyTail && b0.Seq <= maxSeq {
-			break // stale pre-wrap data beyond the durable tail
+			break
 		}
 		chain := int(b0.ChainLen)
 		buckets := []*Bucket{b0}
@@ -141,11 +176,11 @@ scan:
 			}
 			bi, err := UnmarshalBucket(cblk)
 			if err != nil || bi.Seq != b0.Seq || int(bi.ChainPos) != i {
-				if pos+bs <= sb.keyTail {
-					pos += bs // torn chain inside the durable region: a hole
+				// Torn chain: the head block landed but the rest didn't.
+				if skipHole() {
 					continue scan
 				}
-				break scan // torn tail append: discard the partial array
+				break scan
 			}
 			buckets = append(buckets, bi)
 		}
@@ -168,8 +203,13 @@ scan:
 			maxValTail = b0.ValTailHint
 		}
 		pos += int64(chain) * bs
+		end = pos
+		probeBudget = recoveryHoleProbe
 	}
-	s.keyLog.Restore(sb.keyHead, pos)
+	if end < sb.keyTail {
+		end = sb.keyTail // reservations persisted in the superblock stay reserved
+	}
+	s.keyLog.Restore(sb.keyHead, end)
 	s.valLog.Restore(sb.valHead, maxValTail)
 	s.seq = maxSeq
 

@@ -22,13 +22,22 @@ type OpKind uint8
 const (
 	OpRead OpKind = iota
 	OpWrite
+	// OpFlush is a barrier: it completes only after every operation
+	// submitted before it has completed, and on file-backed devices it also
+	// syncs the backing file. Offset and Data are ignored (leave them zero).
+	// Purely modeled devices treat it as an ordering no-op.
+	OpFlush
 )
 
 func (k OpKind) String() string {
-	if k == OpRead {
+	switch k {
+	case OpRead:
 		return "read"
+	case OpWrite:
+		return "write"
+	default:
+		return "flush"
 	}
-	return "write"
 }
 
 // Op is one asynchronous device operation. For reads, Data is the
@@ -42,6 +51,7 @@ type Op struct {
 	Done   runtime.Event
 
 	submitted runtime.Time
+	seq       int64 // submit order, stamped by queueing devices
 }
 
 // Device is an asynchronous block device.
@@ -61,10 +71,38 @@ type Stats struct {
 	BytesRead, BytesWritten int64
 	ReadLat, WriteLat       *runtime.Histogram // submit-to-complete
 	MaxQueue                int                // high-water mark of queued + in-flight ops
+	Flushes                 int64              // completed OpFlush barriers
+	Batches                 int64              // doorbell batches dispatched (submission-queue devices)
+	Coalesced               int64              // writes merged into a preceding write's syscall
 }
 
 func newStats() Stats {
 	return Stats{ReadLat: runtime.NewHistogram(), WriteLat: runtime.NewHistogram()}
+}
+
+// record counts one successfully completed operation with its
+// submit-to-complete latency. Shared by every device implementation so they
+// all report the same way.
+func (s *Stats) record(kind OpKind, bytes int, lat runtime.Time) {
+	switch kind {
+	case OpRead:
+		s.Reads++
+		s.BytesRead += int64(bytes)
+		s.ReadLat.Record(lat)
+	case OpWrite:
+		s.Writes++
+		s.BytesWritten += int64(bytes)
+		s.WriteLat.Record(lat)
+	case OpFlush:
+		s.Flushes++
+	}
+}
+
+// noteQueued bumps the queue-depth high-water mark.
+func (s *Stats) noteQueued(depth int) {
+	if depth > s.MaxQueue {
+		s.MaxQueue = depth
+	}
 }
 
 func checkRange(cap_ int64, op *Op) error {

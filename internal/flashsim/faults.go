@@ -24,6 +24,13 @@ type FaultInjector struct {
 	// FailWrites/FailReads restrict which kinds fail (both false = both fail).
 	FailWritesOnly bool
 	FailReadsOnly  bool
+	// TornWriteRate is the probability in [0,1] that a failing write is torn
+	// instead of dropped: the first half of its payload reaches the inner
+	// device before the op completes with ErrInjected. This models a crash
+	// mid-batch on a submission-queue device — some sectors of an
+	// acknowledged-to-the-device write land, the rest never do — and is what
+	// the recovery scan's torn-append handling is exercised against.
+	TornWriteRate float64
 
 	env      runtime.Env
 	rng      *rand.Rand
@@ -63,8 +70,23 @@ func (f *FaultInjector) Submit(op *Op) {
 	f.ops++
 	if f.shouldFail(op.Kind) {
 		f.injected++
+		if op.Kind == OpWrite && len(op.Data) > 1 &&
+			f.TornWriteRate > 0 && f.rng.Float64() < f.TornWriteRate {
+			f.tornWrite(op)
+			return
+		}
 		f.env.After(0, func() { op.Done.Fire(error(ErrInjected)) })
 		return
 	}
 	f.Inner.Submit(op)
+}
+
+// tornWrite persists the first half of op's payload on the inner device and
+// then fails the op, so the caller observes an error while the medium holds
+// a torn prefix.
+func (f *FaultInjector) tornWrite(op *Op) {
+	half := len(op.Data) / 2
+	prefixDone := f.env.MakeEvent()
+	f.Inner.Submit(&Op{Kind: OpWrite, Offset: op.Offset, Data: op.Data[:half], Done: prefixDone})
+	prefixDone.OnFire(func(any) { op.Done.Fire(error(ErrInjected)) })
 }

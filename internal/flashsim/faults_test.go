@@ -201,3 +201,43 @@ func TestFaultInjectorZeroRateDrawsNoRandomness(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultInjectorTornWrite exercises the crash-mid-batch model: a failing
+// write with TornWriteRate set persists its first half on the inner device
+// before surfacing ErrInjected.
+func TestFaultInjectorTornWrite(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	mem := NewMemDevice(k, 1<<20)
+	f := NewFaultInjector(k, mem, 3)
+	f.ErrorRate = 1.0
+	f.TornWriteRate = 1.0
+	f.FailWritesOnly = true
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = 0xcd
+	}
+	k.Go("io", func(p *sim.Proc) {
+		if err := doIO(p, f, OpWrite, 0, payload); err != ErrInjected {
+			t.Errorf("torn write: got %v, want ErrInjected", err)
+		}
+	})
+	k.Run()
+
+	got := make([]byte, 1024)
+	mem.SyncRead(got, 0)
+	for i := 0; i < 512; i++ {
+		if got[i] != 0xcd {
+			t.Fatalf("byte %d of the torn prefix did not land", i)
+		}
+	}
+	for i := 512; i < 1024; i++ {
+		if got[i] != 0 {
+			t.Fatalf("byte %d past the tear landed; write was not torn", i)
+		}
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", f.Injected())
+	}
+}

@@ -4,30 +4,92 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"syscall"
+	"time"
 
 	"leed/internal/runtime"
 )
 
+// serviceSleep blocks for a modeled service time (no-op when zero). Devices
+// use it to put an NVMe-class latency floor under page-cache syscalls that
+// would otherwise complete in microseconds; where the sleep happens — on an
+// offload worker for AsyncFileDevice, in scheduler context holding the
+// runtime lock for FileDevice — is exactly the architectural difference the
+// wall-clock benchmark measures.
+func serviceSleep(t runtime.Time) {
+	if t > 0 {
+		time.Sleep(time.Duration(t))
+	}
+}
+
+// openImage opens (or creates) a sparse image file. With durable set the
+// file is opened O_DSYNC, so every write syscall returns only after the data
+// reaches the medium — the latency profile of a real flash device with
+// forced unit access, rather than of the page cache. Durable mode is what
+// makes the sync-vs-async device comparison meaningful: page-cache writes
+// complete in microseconds and hide the cost of doing I/O inside the
+// runtime lock.
+func openImage(path string, durable bool) (*os.File, error) {
+	flags := os.O_RDWR | os.O_CREATE
+	if durable {
+		flags |= syscall.O_DSYNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("flashsim: open image: %w", err)
+	}
+	return f, nil
+}
+
+// FileOptions shape a FileDevice. The zero value is the plain persistence
+// substrate: no modeled latency, page-cache durability.
+type FileOptions struct {
+	// Durable opens the image O_DSYNC (see openImage).
+	Durable bool
+	// ReadTime and WriteTime, when nonzero, add a modeled per-op service
+	// floor, slept in scheduler context — i.e. holding the runtime lock on
+	// the wallclock backend. That is not a bug: a synchronous in-context
+	// device stalls the world for its service time, which is exactly what
+	// AsyncFileDevice's submission queue exists to avoid. Wall-clock
+	// benchmarking only; leave zero under the sim backend.
+	ReadTime  runtime.Time
+	WriteTime runtime.Time
+}
+
 // FileDevice is a functional device backed by a real file on disk, so a
 // store's contents survive process restarts and the recovery path (§3.2.3)
-// can be exercised across real invocations (see cmd/leedctl). Like
-// MemDevice it models no latency; it is a persistence substrate, not a
-// performance model.
+// can be exercised across real invocations (see cmd/leedctl). By default it
+// models no latency and is purely a persistence substrate; FileOptions can
+// put an NVMe-class service-time floor under each op for wall-clock
+// benchmarking.
 type FileDevice struct {
 	env      runtime.Env
 	f        *os.File
 	capacity int64
+	opt      FileOptions
 	stats    Stats
+	queued   int // ops submitted but not yet completed
 }
 
 // OpenFileDevice opens (or creates) the image file at path with the given
 // advertised capacity. The file is sparse: unwritten regions read as zero.
 func OpenFileDevice(env runtime.Env, path string, capacity int64) (*FileDevice, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFileDeviceOpts(env, path, capacity, FileOptions{})
+}
+
+// OpenFileDeviceDurable is OpenFileDevice with the image opened O_DSYNC:
+// every write completes at device latency (see openImage).
+func OpenFileDeviceDurable(env runtime.Env, path string, capacity int64) (*FileDevice, error) {
+	return OpenFileDeviceOpts(env, path, capacity, FileOptions{Durable: true})
+}
+
+// OpenFileDeviceOpts is OpenFileDevice with explicit options.
+func OpenFileDeviceOpts(env runtime.Env, path string, capacity int64, opt FileOptions) (*FileDevice, error) {
+	f, err := openImage(path, opt.Durable)
 	if err != nil {
-		return nil, fmt.Errorf("flashsim: open image: %w", err)
+		return nil, err
 	}
-	return &FileDevice{env: env, f: f, capacity: capacity, stats: newStats()}, nil
+	return &FileDevice{env: env, f: f, capacity: capacity, opt: opt, stats: newStats()}, nil
 }
 
 // Capacity returns the advertised device size.
@@ -44,14 +106,22 @@ func (d *FileDevice) Close() error {
 	return d.f.Close()
 }
 
-// Submit completes the operation at the current time against the
-// backing file.
+// Submit completes the operation at the current time against the backing
+// file. The syscall runs in scheduler context — on the wallclock backend
+// that means inside the runtime lock, serializing all I/O behind one core
+// (the submission-queue path in AsyncFileDevice exists to avoid exactly
+// this). Latency recorded is real submit-to-complete time, which on the
+// wallclock backend includes the wait behind other ops' syscalls.
 func (d *FileDevice) Submit(op *Op) {
 	if err := checkRange(d.capacity, op); err != nil {
 		d.env.After(0, func() { op.Done.Fire(err) })
 		return
 	}
+	op.submitted = d.env.Now()
+	d.queued++
+	d.stats.noteQueued(d.queued)
 	d.env.After(0, func() {
+		d.queued--
 		switch op.Kind {
 		case OpRead:
 			n, err := d.f.ReadAt(op.Data, op.Offset)
@@ -63,18 +133,20 @@ func (d *FileDevice) Submit(op *Op) {
 			for i := n; i < len(op.Data); i++ {
 				op.Data[i] = 0
 			}
-			d.stats.Reads++
-			d.stats.BytesRead += int64(len(op.Data))
-			d.stats.ReadLat.Record(0)
+			serviceSleep(d.opt.ReadTime)
 		case OpWrite:
 			if _, err := d.f.WriteAt(op.Data, op.Offset); err != nil {
 				op.Done.Fire(fmt.Errorf("flashsim: file write: %w", err))
 				return
 			}
-			d.stats.Writes++
-			d.stats.BytesWritten += int64(len(op.Data))
-			d.stats.WriteLat.Record(0)
+			serviceSleep(d.opt.WriteTime)
+		case OpFlush:
+			if err := d.f.Sync(); err != nil {
+				op.Done.Fire(fmt.Errorf("flashsim: file sync: %w", err))
+				return
+			}
 		}
+		d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted)
 		op.Done.Fire(nil)
 	})
 }

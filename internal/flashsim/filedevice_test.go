@@ -149,3 +149,41 @@ func TestLatencyShimBoundsConcurrency(t *testing.T) {
 		t.Fatalf("10 reads at parallelism 2 finished in %v", end)
 	}
 }
+
+// TestFileDeviceLatencyMeasuredFromSubmit pins the stats fix: latency is
+// submit-to-complete, not absolute completion time. On the sim backend a
+// FileDevice op completes in the same instant it was submitted, so after
+// letting virtual time advance first, a recorded latency other than zero
+// means the op's submit time was never captured.
+func TestFileDeviceLatencyMeasuredFromSubmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	k := sim.New()
+	defer k.Close()
+	d, err := OpenFileDevice(k, path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	k.Go("io", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond) // move the clock away from zero
+		if err := doIO(p, d, OpWrite, 0, []byte("timed")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		buf := make([]byte, 5)
+		if err := doIO(p, d, OpRead, 0, buf); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	k.Run()
+	st := d.Stats()
+	if st.WriteLat.Max() != 0 || st.ReadLat.Max() != 0 {
+		t.Fatalf("latency includes absolute time: writeMax=%v readMax=%v",
+			st.WriteLat.Max(), st.ReadLat.Max())
+	}
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Fatalf("ops not recorded: %+v", st)
+	}
+	if st.MaxQueue == 0 {
+		t.Fatal("MaxQueue never tracked")
+	}
+}

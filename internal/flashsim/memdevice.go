@@ -30,19 +30,15 @@ func (d *MemDevice) Submit(op *Op) {
 		d.env.After(0, func() { op.Done.Fire(err) })
 		return
 	}
+	op.submitted = d.env.Now()
 	d.env.After(0, func() {
 		switch op.Kind {
 		case OpRead:
 			d.store.readAt(op.Data, op.Offset)
-			d.stats.Reads++
-			d.stats.BytesRead += int64(len(op.Data))
-			d.stats.ReadLat.Record(0)
 		case OpWrite:
 			d.store.writeAt(op.Data, op.Offset)
-			d.stats.Writes++
-			d.stats.BytesWritten += int64(len(op.Data))
-			d.stats.WriteLat.Record(0)
 		}
+		d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted)
 		op.Done.Fire(nil)
 	})
 }

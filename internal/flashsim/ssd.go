@@ -127,9 +127,7 @@ func (d *SSD) Submit(op *Op) {
 		return
 	}
 	op.submitted = d.env.Now()
-	if qd := d.QueueDepth() + 1; qd > d.stats.MaxQueue {
-		d.stats.MaxQueue = qd
-	}
+	d.stats.noteQueued(d.QueueDepth() + 1)
 	if d.busy < d.spec.Parallelism {
 		d.start(op)
 	} else {
@@ -169,15 +167,10 @@ func (d *SSD) complete(op *Op) {
 	switch op.Kind {
 	case OpRead:
 		d.store.readAt(op.Data, op.Offset)
-		d.stats.Reads++
-		d.stats.BytesRead += int64(len(op.Data))
-		d.stats.ReadLat.Record(d.env.Now() - op.submitted)
 	case OpWrite:
 		d.store.writeAt(op.Data, op.Offset)
-		d.stats.Writes++
-		d.stats.BytesWritten += int64(len(op.Data))
-		d.stats.WriteLat.Record(d.env.Now() - op.submitted)
 	}
+	d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted)
 	d.account()
 	d.busy--
 	op.Done.Fire(nil)

@@ -29,6 +29,16 @@ type Env interface {
 	After(d Time, fn func())
 	// Spawn starts fn as a new task. name is used for debugging.
 	Spawn(name string, fn func(t Task))
+	// Offload runs fn outside the execution contract and then runs done with
+	// fn's result back in scheduler context. It is the seam for real blocking
+	// work (file I/O syscalls) that must not stall every other task: the
+	// wallclock backend executes fn on a worker-pool goroutine without the
+	// runtime lock, so submissions keep flowing while the syscall runs; the
+	// sim backend executes fn inline at the current virtual time, preserving
+	// determinism. fn must not touch Env state or any structure protected by
+	// the execution contract — it gets its inputs up front and communicates
+	// results only through its return value.
+	Offload(fn func() any, done func(v any))
 	// MakeEvent returns an unfired one-shot completion event.
 	MakeEvent() Event
 	// MakeQueue returns an empty unbounded FIFO queue.

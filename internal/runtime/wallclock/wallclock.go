@@ -28,8 +28,29 @@ import (
 type Env struct {
 	mu    sync.Mutex // the big runtime lock; see the package comment
 	start time.Time
-	wg    sync.WaitGroup // tracks spawned tasks and pending timers
+	wg    sync.WaitGroup // tracks spawned tasks, pending timers, and offloads
 	ntask atomic.Int64   // task name counter
+
+	// The offload pool. offmu is a leaf lock ordered after mu: Offload is
+	// called with mu held, workers take mu only while not holding offmu.
+	// Workers are started lazily, then parked on offcond between jobs; they
+	// live as long as the process (an Env has no teardown), which keeps the
+	// per-job cost at one condvar signal instead of a goroutine spawn.
+	offmu      sync.Mutex
+	offcond    *sync.Cond // lazily initialized under offmu
+	offjobs    []offloadJob
+	offworkers int // started workers (parked or running)
+	offidle    int // workers parked in offcond.Wait
+}
+
+// maxOffloadWorkers bounds the I/O worker pool. Offloaded jobs are short
+// (one batch of syscalls); a small pool keeps real parallelism without
+// letting a submission burst spawn a goroutine per job.
+const maxOffloadWorkers = 8
+
+type offloadJob struct {
+	fn   func() any
+	done func(v any)
 }
 
 // Compile-time interface checks.
@@ -82,10 +103,52 @@ func (e *Env) Spawn(name string, fn func(t runtime.Task)) {
 	}()
 }
 
-// Wait blocks until every spawned task has returned and every pending timer
-// has run. Call it from the owning goroutine (not from a task) after the
-// last Spawn; it is the wall-clock analogue of Kernel.Run draining the heap.
+// Wait blocks until every spawned task has returned, every pending timer
+// has run, and every offloaded job has completed. Call it from the owning
+// goroutine (not from a task) after the last Spawn; it is the wall-clock
+// analogue of Kernel.Run draining the heap.
 func (e *Env) Wait() { e.wg.Wait() }
+
+// Offload implements runtime.Env: fn runs on a pool goroutine WITHOUT the
+// runtime lock — this is the only place in the backend where user-supplied
+// code executes outside the execution contract — and done(v) then runs
+// holding the lock, like a timer callback. Jobs are served FIFO.
+func (e *Env) Offload(fn func() any, done func(v any)) {
+	e.wg.Add(1)
+	e.offmu.Lock()
+	if e.offcond == nil {
+		e.offcond = sync.NewCond(&e.offmu)
+	}
+	e.offjobs = append(e.offjobs, offloadJob{fn: fn, done: done})
+	switch {
+	case e.offidle > 0:
+		e.offcond.Signal()
+	case e.offworkers < maxOffloadWorkers:
+		e.offworkers++
+		go e.offloadWorker()
+	}
+	e.offmu.Unlock()
+}
+
+func (e *Env) offloadWorker() {
+	for {
+		e.offmu.Lock()
+		for len(e.offjobs) == 0 {
+			e.offidle++
+			e.offcond.Wait()
+			e.offidle--
+		}
+		job := e.offjobs[0]
+		e.offjobs = e.offjobs[1:]
+		e.offmu.Unlock()
+
+		v := job.fn()
+		e.mu.Lock()
+		job.done(v)
+		e.mu.Unlock()
+		e.wg.Done()
+	}
+}
 
 // MakeEvent implements runtime.Env.
 func (e *Env) MakeEvent() runtime.Event { return &event{env: e} }

@@ -19,6 +19,15 @@ func (k *Kernel) Spawn(name string, fn func(t runtime.Task)) {
 	k.Go(name, func(p *Proc) { fn(p) })
 }
 
+// Offload implements runtime.Env: fn runs inline in scheduler context at the
+// current virtual time, immediately followed by done. The kernel is
+// single-threaded, so "outside the execution contract" degenerates to "as a
+// zero-delay event" — offloaded work costs no virtual time and stays
+// bit-identical across replays.
+func (k *Kernel) Offload(fn func() any, done func(v any)) {
+	k.After(0, func() { done(fn()) })
+}
+
 // MakeEvent implements runtime.Env.
 func (k *Kernel) MakeEvent() runtime.Event { return k.NewEvent() }
 

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"container/heap"
+	"sync"
 
 	"leed/internal/runtime"
 )
@@ -61,6 +62,7 @@ type Kernel struct {
 	seq   uint64
 	heap  eventHeap
 	yield chan struct{} // proc -> kernel baton
+	pmu   sync.Mutex    // guards procs and Proc.done during Close teardown
 	procs map[*Proc]struct{}
 	fault any // captured proc panic, re-raised by Run
 	nproc int // name counter
@@ -120,8 +122,11 @@ func (k *Kernel) Run(until ...Time) Time {
 func (k *Kernel) Idle() bool { return len(k.heap) == 0 }
 
 // Close releases every parked proc goroutine. Call it once after the last
-// Run; the kernel must not be used afterwards.
+// Run; the kernel must not be used afterwards. Released procs unwind via
+// runtime.Goexit on their own goroutines; pmu keeps their self-removal from
+// the proc table ordered against this sweep.
 func (k *Kernel) Close() {
+	k.pmu.Lock()
 	for p := range k.procs {
 		if !p.done {
 			p.done = true
@@ -129,4 +134,5 @@ func (k *Kernel) Close() {
 		}
 		delete(k.procs, p)
 	}
+	k.pmu.Unlock()
 }

@@ -37,8 +37,13 @@ func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 				n := stdruntime.Stack(buf, false)
 				p.k.fault = fmt.Errorf("sim: proc %s panicked: %v\n%s", p.name, r, buf[:n])
 			}
+			// Normally this runs while the kernel is blocked in kick, but a
+			// proc released by Close unwinds concurrently with Close's sweep
+			// of the proc table — hence pmu.
+			p.k.pmu.Lock()
 			p.done = true
 			delete(p.k.procs, p)
+			p.k.pmu.Unlock()
 			p.k.yield <- struct{}{}
 		}()
 		fn(p)
