@@ -12,6 +12,8 @@
 //	leedctl -image /tmp/store.img bench 20000       # YCSB-B benchmark
 //	leedctl -image /tmp/store.img serve 20000       # wall-clock concurrent serving
 //	leedctl -image /tmp/store.img soak 5            # wall-clock fault/crash soak
+//	leedctl -cluster soak 2                         # wall-clock cluster fault drills
+//	leedctl -cluster bench 20000                    # wall-clock cluster YCSB-B bench
 //
 // Every invocation opens the image, replays recovery (superblock + key-log
 // scan), performs the command, and flushes the superblock.
@@ -23,15 +25,27 @@
 // the image and drives N crash-recovery cycles with injected device faults
 // against it, checking that no acknowledged write is ever lost (§3.2.3);
 // it exits non-zero on any durability violation.
+//
+// With -cluster, soak and bench target a full multi-JBOF deployment on the
+// wall-clock backend instead of a single image store (no -image needed; the
+// JBOFs run on in-memory simulated SSDs). soak -cluster executes the chaos
+// drill scenarios — seeded message loss, partition-and-heal, crash-restart
+// with re-sync, device faults, and the mixed schedule — on real goroutines,
+// exiting non-zero if any acked write is lost or a chain fails to converge
+// (§3.8.1). bench -cluster drives a closed-loop YCSB-B mix from concurrent
+// client tasks through CRRS chains and reports real-time throughput and
+// client-observed latency.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"leed/internal/bench"
 	"leed/internal/chaos"
+	"leed/internal/cluster"
 	"leed/internal/core"
 	"leed/internal/flashsim"
 	"leed/internal/runtime"
@@ -51,10 +65,30 @@ func main() {
 	wcBench := flag.Bool("wallclock", false, "bench only: run the wall-clock sync-vs-async device comparison instead of the sim benchmark")
 	rate := flag.Float64("rate", 0, "wallclock bench open-loop arrivals/sec (0 = closed loop over -clients)")
 	benchout := flag.String("benchout", "BENCH_wallclock.json", "wallclock bench: JSON output path")
+	clusterMode := flag.Bool("cluster", false, "soak/bench: drive a multi-JBOF cluster on the wall-clock backend instead of an image store")
+	scenario := flag.String("scenario", "all", "cluster soak: drill scenario (message-loss, partition-heal, crash-restart, device-faults, mixed, all)")
 	flag.Parse()
-	if *image == "" || flag.NArg() == 0 {
+	if flag.NArg() == 0 || (*image == "" && !*clusterMode) {
 		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] [-clients N] [-seed N] [-device sync|async] {put K V | get K | del K | keys | stats | compact | load N | bench [-wallclock] N | serve N | soak N}")
+		fmt.Fprintln(os.Stderr, "       leedctl -cluster [-seed N] [-scenario S] soak [ROUNDS]")
+		fmt.Fprintln(os.Stderr, "       leedctl -cluster [-clients N] [-seed N] bench [OPS]")
 		os.Exit(2)
+	}
+
+	if *clusterMode {
+		switch flag.Arg(0) {
+		case "soak":
+			if err := clusterSoak(*seed, *scenario, flag.Args()); err != nil {
+				fatal(err)
+			}
+		case "bench":
+			if err := clusterBench(*clients, *seed, flag.Args()); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("-cluster supports only soak and bench, not %q", flag.Arg(0)))
+		}
+		return
 	}
 
 	if flag.Arg(0) == "serve" {
@@ -516,6 +550,172 @@ func benchWallclock(image string, capacity int64, clients int, rate float64, out
 		return fmt.Errorf("write %s: %w", outPath, err)
 	}
 	fmt.Printf("recorded %s\n", outPath)
+	return nil
+}
+
+// clusterSoak runs the chaos drill scenarios against a multi-JBOF cluster
+// on the wall-clock backend: the same seeded fault schedules the sim drills
+// replay deterministically, executed on real goroutines with real sleeps.
+// ROUNDS scales each scenario's fault/recovery cycles (0 = drill default).
+func clusterSoak(seed int64, scenario string, args []string) error {
+	rounds := 0
+	if len(args) > 1 {
+		fmt.Sscanf(args[1], "%d", &rounds)
+	}
+	scs := chaos.Scenarios()
+	if scenario != "all" {
+		found := false
+		for _, sc := range scs {
+			if string(sc) == scenario {
+				scs = []chaos.Scenario{sc}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown -scenario %q (want one of %v or all)", scenario, chaos.Scenarios())
+		}
+	}
+	failed := 0
+	for _, sc := range scs {
+		rep, err := chaos.RunDrill(chaos.Config{
+			Seed:     seed,
+			Scenario: sc,
+			Backend:  chaos.BackendWallclock,
+			Rounds:   rounds,
+		})
+		if err != nil {
+			return fmt.Errorf("drill %s: %w", sc, err)
+		}
+		fmt.Print(rep)
+		if !rep.Pass {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d cluster drill(s) failed", failed, len(scs))
+	}
+	return nil
+}
+
+// clusterBench drives a closed-loop YCSB-B mix against a 3-JBOF CRRS
+// deployment on the wall-clock backend: -clients concurrent client tasks,
+// each with its own flow-controlled front-end, share OPS operations over a
+// preloaded keyspace. Throughput is real elapsed time; latencies are
+// client-observed (admission + chain + storage).
+func clusterBench(clients int, seed int64, args []string) error {
+	ops := int64(20000)
+	if len(args) > 1 {
+		fmt.Sscanf(args[1], "%d", &ops)
+	}
+	if clients < 1 {
+		return fmt.Errorf("bench -cluster needs -clients >= 1")
+	}
+	const (
+		records = int64(1024)
+		valLen  = 256
+	)
+
+	env := wallclock.New()
+	c := cluster.New(cluster.Config{
+		Env:           env,
+		NumJBOFs:      3,
+		SSDsPerJBOF:   2,
+		SSDCapacity:   64 << 20,
+		NumPartitions: 8,
+		R:             3,
+		KeyLen:        16,
+		ValLen:        valLen,
+		NumClients:    clients,
+		CRRS:          true,
+		FlowControl:   true,
+		Swap:          true,
+		// Real scheduler jitter would trip the sim-scale 20ms default and
+		// evict healthy nodes mid-run; detection latency is not under test.
+		HeartbeatTimeout: 250 * runtime.Millisecond,
+	})
+	c.Start()
+
+	lat := sim.NewHistogram()
+	var benchErr error
+	var elapsed runtime.Time
+	perClient := ops / int64(clients)
+	done := make(chan struct{})
+	env.Spawn("cluster-bench", func(p runtime.Task) {
+		defer func() {
+			c.Shutdown()
+			close(done)
+		}()
+		if err := c.AwaitReady(p, 10*runtime.Second); err != nil {
+			benchErr = fmt.Errorf("cluster never became ready: %v", err)
+			return
+		}
+		val := make([]byte, valLen)
+		for i := range val {
+			val[i] = byte(i * 7)
+		}
+		for i := int64(0); i < records; i++ {
+			if _, err := c.Clients[0].Put(p, ycsb.KeyAt(i), val); err != nil {
+				benchErr = fmt.Errorf("preload at %d: %w", i, err)
+				return
+			}
+		}
+		start := p.Now()
+		evs := make([]runtime.Event, 0, clients)
+		for ci := 0; ci < clients; ci++ {
+			ci := ci
+			ev := env.MakeEvent()
+			evs = append(evs, ev)
+			env.Spawn("bench-client", func(q runtime.Task) {
+				defer ev.Fire(nil)
+				cl := c.Clients[ci]
+				gen := ycsb.NewGenerator(ycsb.WorkloadB, records, valLen, seed+int64(ci))
+				for i := int64(0); i < perClient && benchErr == nil; i++ {
+					op := gen.Next()
+					var (
+						l   runtime.Time
+						err error
+					)
+					if op.Type == ycsb.OpRead {
+						_, l, err = cl.Get(q, op.Key)
+						if err == core.ErrNotFound {
+							err = nil
+						}
+					} else {
+						l, err = cl.Put(q, op.Key, op.Value)
+					}
+					if err != nil {
+						benchErr = fmt.Errorf("client %d: %w", ci, err)
+						return
+					}
+					lat.Record(l)
+				}
+			})
+		}
+		runtime.WaitAll(p, evs...)
+		elapsed = p.Now() - start
+	})
+	select {
+	case <-done:
+	case <-time.After(10 * time.Minute):
+		return fmt.Errorf("cluster bench did not finish within 10m")
+	}
+	drained := make(chan struct{})
+	go func() { env.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(15 * time.Second):
+	}
+	if benchErr != nil {
+		return benchErr
+	}
+
+	total := perClient * int64(clients)
+	fmt.Printf("cluster YCSB-B: %d ops from %d clients over a 3-JBOF R=3 CRRS chain in %v (wall clock)\n",
+		total, clients, elapsed)
+	fmt.Printf("throughput: %.0f ops/s\n", float64(total)/elapsed.Seconds())
+	fmt.Printf("latency:    %v\n", lat)
+	fmt.Printf("control plane: %s\n", c.Manager)
 	return nil
 }
 

@@ -16,7 +16,7 @@ func main() {
 	defer k.Close()
 
 	c := leed.NewCluster(leed.ClusterConfig{
-		Kernel:        k,
+		Env:           k,
 		NumJBOFs:      3,
 		SpareJBOFs:    1, // built but not joined yet
 		SSDsPerJBOF:   4,
@@ -31,6 +31,7 @@ func main() {
 		Swap:          true,
 	})
 	c.Start()
+	k.Run(k.Now() + 5*leed.Millisecond) // settle: nodes up, views delivered
 	fmt.Printf("cluster up: %v, members %v\n", c, c.MemberIDs())
 
 	done := false

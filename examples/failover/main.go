@@ -16,7 +16,7 @@ func main() {
 	defer k.Close()
 
 	c := leed.NewCluster(leed.ClusterConfig{
-		Kernel:        k,
+		Env:           k,
 		NumJBOFs:      3,
 		SpareJBOFs:    1,
 		SSDsPerJBOF:   4,
@@ -30,6 +30,7 @@ func main() {
 		FlowControl:   true,
 	})
 	c.Start()
+	k.Run(k.Now() + 5*leed.Millisecond) // settle: nodes up, views delivered
 
 	done := false
 	k.Go("demo", func(p *leed.Proc) {

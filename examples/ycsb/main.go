@@ -16,7 +16,7 @@ func main() {
 	defer k.Close()
 
 	c := leed.NewCluster(leed.ClusterConfig{
-		Kernel:        k,
+		Env:           k,
 		NumJBOFs:      3,
 		SSDsPerJBOF:   4,
 		SSDCapacity:   64 << 20,
@@ -30,6 +30,7 @@ func main() {
 		Swap:          true,
 	})
 	c.Start()
+	k.Run(k.Now() + 5*leed.Millisecond) // settle: nodes up, views delivered
 
 	const (
 		records = 2000

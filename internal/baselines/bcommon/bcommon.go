@@ -30,12 +30,12 @@ type Backend interface {
 // Gate serializes compute onto a core; backends use it as their core.Exec.
 type Gate struct {
 	Core *platform.Core
-	res  *sim.Resource
+	res  runtime.Resource
 }
 
 // NewGate wraps a core.
-func NewGate(k *sim.Kernel, c *platform.Core) *Gate {
-	return &Gate{Core: c, res: sim.NewResource(k, 1)}
+func NewGate(env runtime.Env, c *platform.Core) *Gate {
+	return &Gate{Core: c, res: env.MakeResource(1)}
 }
 
 // Compute implements core.Exec.
@@ -53,7 +53,7 @@ type envelope struct {
 
 // ServerConfig wires one baseline storage server.
 type ServerConfig struct {
-	Kernel   *sim.Kernel
+	Kernel   sim.Runner
 	Index    int // position in the cluster's node list
 	Endpoint *netsim.Endpoint
 	Platform *platform.Node
@@ -82,8 +82,8 @@ type ServerStats struct {
 // Server is one baseline node.
 type Server struct {
 	cfg    ServerConfig
-	k      *sim.Kernel
-	queues []*sim.Queue[*envelope]
+	k      sim.Runner
+	queues []runtime.Queue
 	stats  ServerStats
 }
 
@@ -97,7 +97,7 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	s := &Server{cfg: cfg, k: cfg.Kernel}
 	for range cfg.Backends {
-		s.queues = append(s.queues, sim.NewQueue[*envelope](cfg.Kernel))
+		s.queues = append(s.queues, cfg.Kernel.MakeQueue())
 	}
 	return s
 }
@@ -110,7 +110,7 @@ func (s *Server) Start() {
 	s.k.Go("bl-poll", func(p *sim.Proc) {
 		rx := s.cfg.Endpoint.RX()
 		for {
-			m := rx.Get(p)
+			m := rx.Get(p).(*netsim.Message)
 			env, ok := m.Payload.(*envelope)
 			if !ok {
 				continue
@@ -135,7 +135,7 @@ func (s *Server) Start() {
 func (s *Server) workerLoop(p *sim.Proc, w int) {
 	be := s.cfg.Backends[w]
 	for {
-		env := s.queues[w].Get(p)
+		env := s.queues[w].Get(p).(*envelope)
 		req := env.req
 		var (
 			val []byte
@@ -186,14 +186,14 @@ func (s *Server) reply(env *envelope, resp *rpcproto.Response) {
 
 // Cluster is a static-membership baseline cluster.
 type Cluster struct {
-	K       *sim.Kernel
+	K       sim.Runner
 	R       int
 	NumPart int
 	servers []*Server
 }
 
 // NewCluster assembles servers (already constructed) into a chain ring.
-func NewCluster(k *sim.Kernel, r, numPart int, servers []*Server) *Cluster {
+func NewCluster(k sim.Runner, r, numPart int, servers []*Server) *Cluster {
 	c := &Cluster{K: k, R: r, NumPart: numPart, servers: servers}
 	for _, s := range servers {
 		s.cfg.cluster = c
@@ -218,7 +218,7 @@ func (c *Cluster) chain(part uint32) []int {
 // Client is the baseline front-end: consistent key->partition mapping,
 // writes to the chain head, reads at the tail, timeout retries.
 type Client struct {
-	k       *sim.Kernel
+	k       sim.Runner
 	ep      *netsim.Endpoint
 	c       *Cluster
 	nextID  uint64
@@ -227,7 +227,7 @@ type Client struct {
 }
 
 // NewClient creates a client endpoint for the cluster.
-func NewClient(k *sim.Kernel, ep *netsim.Endpoint, c *Cluster) *Client {
+func NewClient(k sim.Runner, ep *netsim.Endpoint, c *Cluster) *Client {
 	return &Client{k: k, ep: ep, c: c, Timeout: 50 * sim.Millisecond, Retries: 5}
 }
 

@@ -27,7 +27,7 @@ func (b kvellBackend) Put(p *sim.Proc, key, val []byte) error      { return b.st
 func (b kvellBackend) Del(p *sim.Proc, key []byte) error           { return b.st.Del(p, key) }
 
 // buildFawnCluster assembles n Pi-style nodes with one FAWN-DS per core.
-func buildFawnCluster(k *sim.Kernel, n int) (*Cluster, *Client) {
+func buildFawnCluster(k sim.Runner, n int) (*Cluster, *Client) {
 	fab := netsim.New(k, netsim.Config{})
 	var servers []*Server
 	for i := 0; i < n; i++ {

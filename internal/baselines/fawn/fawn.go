@@ -44,7 +44,7 @@ func DefaultCosts() Costs {
 
 // Config wires one FAWN-DS instance.
 type Config struct {
-	Kernel *sim.Kernel
+	Kernel sim.Runner
 	Device flashsim.Device
 	Exec   core.Exec
 	Costs  Costs
@@ -69,7 +69,7 @@ type Stats struct {
 // DS is one FAWN datastore.
 type DS struct {
 	cfg   Config
-	k     *sim.Kernel
+	k     sim.Runner
 	log   *core.CircLog
 	index map[string]indexEntry
 	live  int64 // live bytes in the log

@@ -10,12 +10,12 @@ import (
 	"leed/internal/sim"
 )
 
-func newTestDS(k *sim.Kernel) *DS {
+func newTestDS(k sim.Runner) *DS {
 	dev := flashsim.NewMemDevice(k, 4<<20)
 	return New(Config{Kernel: k, Device: dev, LogBytes: 2 << 20})
 }
 
-func run(k *sim.Kernel, fn func(p *sim.Proc)) {
+func run(k sim.Runner, fn func(p *sim.Proc)) {
 	k.Go("test", fn)
 	k.Run()
 }

@@ -122,7 +122,7 @@ func TestBTreePropertyVsMap(t *testing.T) {
 	}
 }
 
-func newTestStore(k *sim.Kernel, maxObjects int64) *Store {
+func newTestStore(k sim.Runner, maxObjects int64) *Store {
 	dev := flashsim.NewMemDevice(k, 8<<20)
 	return New(Config{
 		Kernel: k, Device: dev, SlotBytes: 512, NumSlots: 8192,
@@ -130,7 +130,7 @@ func newTestStore(k *sim.Kernel, maxObjects int64) *Store {
 	})
 }
 
-func run(k *sim.Kernel, fn func(p *sim.Proc)) {
+func run(k sim.Runner, fn func(p *sim.Proc)) {
 	k.Go("test", fn)
 	k.Run()
 }

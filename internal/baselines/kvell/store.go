@@ -35,7 +35,7 @@ func DefaultCosts() Costs {
 
 // Config wires one shared-nothing KVell worker's store.
 type Config struct {
-	Kernel *sim.Kernel
+	Kernel sim.Runner
 	Device flashsim.Device
 	Exec   core.Exec
 	Costs  Costs
@@ -66,7 +66,7 @@ type Stats struct {
 // writes in place (no compaction) and keeps free slots on a free list.
 type Store struct {
 	cfg   Config
-	k     *sim.Kernel
+	k     sim.Runner
 	index *BTree
 	free  []int64
 	cache *pageCache

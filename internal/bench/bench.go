@@ -118,7 +118,7 @@ func (r RunResult) String() string {
 
 // Run drives a workload against a system and measures it. Preload the
 // keyspace first (Preload); Run issues the op mix only.
-func Run(k *sim.Kernel, do DoOp, w ycsb.Workload, records int64, valLen int, meters []*power.Meter, rc RunConfig) RunResult {
+func Run(k sim.Runner, do DoOp, w ycsb.Workload, records int64, valLen int, meters []*power.Meter, rc RunConfig) RunResult {
 	if rc.MaxSimTime == 0 {
 		rc.MaxSimTime = 600 * sim.Second
 	}
@@ -266,7 +266,7 @@ func Run(k *sim.Kernel, do DoOp, w ycsb.Workload, records int64, valLen int, met
 
 // Preload inserts records objects through the system with bounded
 // parallelism, then lets background activity settle.
-func Preload(k *sim.Kernel, do DoOp, records int64, valLen int, parallel int) {
+func Preload(k sim.Runner, do DoOp, records int64, valLen int, parallel int) {
 	if parallel <= 0 {
 		parallel = 16
 	}

@@ -32,10 +32,10 @@ func TestRunClosedLoopLEED(t *testing.T) {
 func TestRunClosedLoopBaselines(t *testing.T) {
 	for _, build := range []struct {
 		name string
-		mk   func(k *sim.Kernel) *System
+		mk   func(k sim.Runner) *System
 	}{
-		{"kvell-server", func(k *sim.Kernel) *System { return NewKVellCluster(k, 3, 256, 400) }},
-		{"fawn-pi", func(k *sim.Kernel) *System { return NewFAWNCluster(k, 4, 256) }},
+		{"kvell-server", func(k sim.Runner) *System { return NewKVellCluster(k, 3, 256, 400) }},
+		{"fawn-pi", func(k sim.Runner) *System { return NewFAWNCluster(k, 4, 256) }},
 	} {
 		t.Run(build.name, func(t *testing.T) {
 			k := sim.New()
@@ -72,11 +72,11 @@ func TestRunOpenLoop(t *testing.T) {
 func TestSingleNodeSystems(t *testing.T) {
 	for _, build := range []struct {
 		name string
-		mk   func(k *sim.Kernel) *System
+		mk   func(k sim.Runner) *System
 	}{
-		{"leed-node", func(k *sim.Kernel) *System { return NewLEEDNode(k, 256) }},
-		{"fawn-jbof", func(k *sim.Kernel) *System { return NewFAWNJBOF(k, 256) }},
-		{"kvell-jbof", func(k *sim.Kernel) *System { return NewKVellJBOF(k, 256) }},
+		{"leed-node", func(k sim.Runner) *System { return NewLEEDNode(k, 256) }},
+		{"fawn-jbof", func(k sim.Runner) *System { return NewFAWNJBOF(k, 256) }},
+		{"kvell-jbof", func(k sim.Runner) *System { return NewKVellJBOF(k, 256) }},
 	} {
 		t.Run(build.name, func(t *testing.T) {
 			k := sim.New()

@@ -20,15 +20,15 @@ type Fig5Row struct {
 // fig5Systems builds the three platforms the paper compares.
 func fig5Systems(valLen int, records int64) []struct {
 	name string
-	mk   func(k *sim.Kernel) *System
+	mk   func(k sim.Runner) *System
 } {
 	return []struct {
 		name string
-		mk   func(k *sim.Kernel) *System
+		mk   func(k sim.Runner) *System
 	}{
-		{"Embedded-FAWN", func(k *sim.Kernel) *System { return NewFAWNCluster(k, 10, valLen) }},
-		{"Server-KVell", func(k *sim.Kernel) *System { return NewKVellCluster(k, 3, valLen, records) }},
-		{"SmartNIC-LEED", func(k *sim.Kernel) *System { return NewLEEDCluster(k, DefaultLEED(valLen)) }},
+		{"Embedded-FAWN", func(k sim.Runner) *System { return NewFAWNCluster(k, 10, valLen) }},
+		{"Server-KVell", func(k sim.Runner) *System { return NewKVellCluster(k, 3, valLen, records) }},
+		{"SmartNIC-LEED", func(k sim.Runner) *System { return NewLEEDCluster(k, DefaultLEED(valLen)) }},
 	}
 }
 

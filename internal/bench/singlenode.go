@@ -33,14 +33,14 @@ func Tab3(sc Scale) ([]Tab3Row, *Table) {
 	for _, valLen := range []int{1024, 256} {
 		systems := []struct {
 			name string
-			mk   func(k *sim.Kernel) *System
+			mk   func(k sim.Runner) *System
 			cap_ float64
 		}{
-			{"FAWN-JBOF", func(k *sim.Kernel) *System { return NewFAWNJBOF(k, valLen) },
+			{"FAWN-JBOF", func(k sim.Runner) *System { return NewFAWNJBOF(k, valLen) },
 				fawn.MaxCapacityFraction(flash, dram, KeyLen, valLen)},
-			{"KVell-JBOF", func(k *sim.Kernel) *System { return NewKVellJBOF(k, valLen) },
+			{"KVell-JBOF", func(k sim.Runner) *System { return NewKVellJBOF(k, valLen) },
 				kvell.MaxCapacityFraction(flash, dram, KeyLen, valLen)},
-			{"LEED", func(k *sim.Kernel) *System { return NewLEEDNode(k, valLen) },
+			{"LEED", func(k sim.Runner) *System { return NewLEEDNode(k, valLen) },
 				core.MaxCapacityFraction(960<<30, KeyLen, valLen)},
 		}
 		for _, s := range systems {
@@ -201,7 +201,7 @@ func Fig12(sc Scale) ([]Fig12Point, *Table) {
 }
 
 // newFAWNPiNode builds a single FAWN-DS node on a Raspberry Pi.
-func newFAWNPiNode(k *sim.Kernel) *System {
+func newFAWNPiNode(k sim.Runner) *System {
 	node := platform.NewNode(k, platform.RaspberryPi(), 1, 128<<20, 9)
 	var stores []*fawn.DS
 	for w := 0; w < 2; w++ {
@@ -359,7 +359,7 @@ func AblationSegDensity(sc Scale) ([]SegDensityRow, *Table) {
 // runCompactionStore drives numStores=4 tight-logged stores on one Stingray
 // with inline compaction: subs sub-compactions per round, at most cc
 // compaction rounds running concurrently across the JBOF.
-func runCompactionStore(k *sim.Kernel, sc Scale, w ycsb.Workload, subs, cc int) RunResult {
+func runCompactionStore(k sim.Runner, sc Scale, w ycsb.Workload, subs, cc int) RunResult {
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 13)
 	gateFor := make([]*bcommon.Gate, 4)
 	for i := range gateFor {
@@ -376,7 +376,7 @@ func runCompactionStore(k *sim.Kernel, sc Scale, w ycsb.Workload, subs, cc int) 
 			SubCompactions: subs, Prefetch: true, CompactChunk: 256 << 10,
 		}))
 	}
-	compactGate := sim.NewResource(k, int64(cc))
+	compactGate := k.MakeResource(int64(cc))
 	pick := func(key []byte) *core.Store { return stores[core.HashKey(key)%4] }
 	maybeCompact := func(p *sim.Proc, s *core.Store) error {
 		for s.ValLog().Free() < 64<<10 || s.NeedsValueCompaction() {

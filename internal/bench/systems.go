@@ -27,7 +27,7 @@ const armIndexPenalty = 10.0
 
 // System is one runnable system under test.
 type System struct {
-	K      *sim.Kernel
+	K      sim.Runner
 	Do     DoOp
 	Meters []*power.Meter
 
@@ -86,9 +86,9 @@ func DefaultLEED(valLen int) LEEDOptions {
 }
 
 // NewLEEDCluster assembles and starts a LEED cluster system.
-func NewLEEDCluster(k *sim.Kernel, o LEEDOptions) *System {
+func NewLEEDCluster(k sim.Runner, o LEEDOptions) *System {
 	c := cluster.New(cluster.Config{
-		Kernel:             k,
+		Env:                k,
 		NumJBOFs:           o.JBOFs,
 		SpareJBOFs:         o.Spares,
 		SSDsPerJBOF:        4,
@@ -107,6 +107,7 @@ func NewLEEDCluster(k *sim.Kernel, o LEEDOptions) *System {
 		TokensPerPartition: o.Tokens,
 	})
 	c.Start()
+	k.Run(k.Now() + 5*sim.Millisecond) // settle: launch, view broadcast, client views
 	var rr int
 	get := func(p *sim.Proc, key []byte) (sim.Time, error) {
 		cl := c.Clients[rr%len(c.Clients)]
@@ -133,7 +134,7 @@ func slotFor(valLen int) int64 {
 
 // NewKVellCluster assembles Server-KVell: KVell on server JBOFs with chain
 // replication R=3 and every core pinned polling (SPDK).
-func NewKVellCluster(k *sim.Kernel, nodes, valLen int, records int64) *System {
+func NewKVellCluster(k sim.Runner, nodes, valLen int, records int64) *System {
 	fab := netsim.New(k, netsim.Config{})
 	spec := platform.ServerJBOF()
 	var servers []*bcommon.Server
@@ -179,7 +180,7 @@ func NewKVellCluster(k *sim.Kernel, nodes, valLen int, records int64) *System {
 
 // NewFAWNCluster assembles Embedded-FAWN: FAWN-DS on Raspberry Pi nodes
 // with chain replication R=3.
-func NewFAWNCluster(k *sim.Kernel, nodes, valLen int) *System {
+func NewFAWNCluster(k sim.Runner, nodes, valLen int) *System {
 	fab := netsim.New(k, netsim.Config{})
 	spec := platform.RaspberryPi()
 	var servers []*bcommon.Server
@@ -228,7 +229,7 @@ func (b kvStoreBackend) Del(p *sim.Proc, key []byte) error           { return b.
 
 // NewLEEDNode builds one LEED JBOF accessed locally (no network): the
 // configuration Table 3 measures.
-func NewLEEDNode(k *sim.Kernel, valLen int, opts ...func(*engine.Config)) *System {
+func NewLEEDNode(k sim.Runner, valLen int, opts ...func(*engine.Config)) *System {
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 1)
 	for _, c := range node.Cores {
 		c.PinPolling()
@@ -266,7 +267,7 @@ func NewLEEDNode(k *sim.Kernel, valLen int, opts ...func(*engine.Config)) *Syste
 
 // NewFAWNJBOF builds FAWN-DS ported onto the Stingray: 8 single-threaded
 // virtual-node stores (2 per SSD), one device access per op.
-func NewFAWNJBOF(k *sim.Kernel, valLen int) *System {
+func NewFAWNJBOF(k sim.Runner, valLen int) *System {
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 2)
 	for _, c := range node.Cores {
 		c.PinPolling()
@@ -295,7 +296,7 @@ func NewFAWNJBOF(k *sim.Kernel, valLen int) *System {
 
 // NewKVellJBOF builds KVell ported onto the Stingray: shared-nothing
 // workers whose B-tree walks pay the ARM penalty.
-func NewKVellJBOF(k *sim.Kernel, valLen int) *System {
+func NewKVellJBOF(k sim.Runner, valLen int) *System {
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 3)
 	for _, c := range node.Cores {
 		c.PinPolling()

@@ -1,5 +1,5 @@
 // Package chaos is LEED's deterministic fault-drill harness. A drill builds
-// a simulated cluster, runs a seeded fault schedule against it — link loss,
+// a cluster, runs a seeded fault schedule against it — link loss,
 // partitions, node crash-restarts, device faults — while a driver issues
 // versioned operations, then waits for quiescence and checks the paper's
 // §3.8 claims as machine-verified invariants:
@@ -9,9 +9,12 @@
 //   - the view/COPY machinery converges (pendingCopies drains, epochs
 //     stabilize) once faults heal.
 //
-// Everything — fault schedule, client jitter, device errors — draws from
-// seeded streams over the deterministic sim kernel, so one seed yields a
-// byte-identical Report on every run.
+// Drills run on either runtime backend. On the sim kernel everything —
+// fault schedule, client jitter, device errors — draws from seeded streams
+// over deterministic virtual time, so one seed yields a byte-identical
+// Report on every run. On the wallclock backend the same scenarios execute
+// on real goroutines: timing (and therefore counters) varies run to run,
+// but every invariant above must still hold.
 package chaos
 
 import (
@@ -21,11 +24,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"leed/internal/cluster"
 	"leed/internal/core"
 	"leed/internal/flashsim"
 	"leed/internal/netsim"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
 )
 
@@ -55,10 +61,26 @@ func Scenarios() []Scenario {
 	return []Scenario{MessageLoss, PartitionHeal, CrashRestart, DeviceFaults, Mixed}
 }
 
+// Backend selects the runtime a drill executes on.
+type Backend int
+
+const (
+	// BackendSim runs the drill on the deterministic DES kernel (virtual
+	// time, byte-identical reports per seed).
+	BackendSim Backend = iota
+	// BackendWallclock runs the same drill on real goroutines: the fault
+	// schedule still draws from the seeded stream, but timing is real, so
+	// only the invariants — not the counters — are reproducible.
+	BackendWallclock
+)
+
 // Config shapes one drill.
 type Config struct {
 	Seed     int64
 	Scenario Scenario
+
+	// Backend picks the runtime substrate. Default BackendSim.
+	Backend Backend
 
 	// Cluster shape; zero values pick small-but-real defaults.
 	JBOFs       int
@@ -72,8 +94,9 @@ type Config struct {
 	Keys   int
 	Rounds int
 
-	// Budget bounds the whole drill in virtual time. Default 120s.
-	Budget sim.Time
+	// Budget bounds the whole drill: virtual time on the sim backend, real
+	// time on wallclock. Default 120s.
+	Budget runtime.Time
 }
 
 func (cfg *Config) setDefaults() {
@@ -102,7 +125,7 @@ func (cfg *Config) setDefaults() {
 		cfg.Rounds = 2
 	}
 	if cfg.Budget == 0 {
-		cfg.Budget = 120 * sim.Second
+		cfg.Budget = 120 * runtime.Second
 	}
 }
 
@@ -142,14 +165,9 @@ func parseVer(val []byte) (int, bool) {
 	return v, err == nil
 }
 
-// RunDrill executes one scenario end to end and returns its report. The
-// report's Pass field is the drill verdict; err is reserved for harness
-// failures (the drill not completing within its virtual budget).
-func RunDrill(cfg Config) (*Report, error) {
-	cfg.setDefaults()
-	k := sim.New()
-	defer k.Close()
-
+// newDrill assembles the cluster and fault layer on the given env. The
+// construction is backend-neutral: only the driving loop differs.
+func newDrill(cfg Config, env runtime.Env) *drill {
 	d := &drill{
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -157,37 +175,66 @@ func RunDrill(cfg Config) (*Report, error) {
 		keys:      make([]keyState, cfg.Keys),
 		rep:       &Report{Scenario: cfg.Scenario, Seed: cfg.Seed, Keys: cfg.Keys},
 	}
+	// On the wallclock backend the 20ms default detection window is within
+	// real scheduler jitter (worse under -race): a healthy node whose
+	// heartbeat task is preempted would be spuriously removed, turning a
+	// bounded-failure drill into an unbounded one. Widen it; detection
+	// latency is not what these drills measure.
+	var hbTimeout runtime.Time
+	if cfg.Backend == BackendWallclock {
+		hbTimeout = 250 * runtime.Millisecond
+	}
 	d.c = cluster.New(cluster.Config{
-		Kernel:        k,
-		NumJBOFs:      cfg.JBOFs,
-		SSDsPerJBOF:   cfg.SSDs,
-		SSDCapacity:   cfg.SSDCapacity,
-		NumPartitions: cfg.Partitions,
-		R:             cfg.R,
-		KeyLen:        16,
-		ValLen:        64,
-		NumClients:    1,
-		CRRS:          true,
-		FlowControl:   true,
-		Swap:          true,
-		FlushEvery:    2 * sim.Millisecond,
+		Env:              env,
+		HeartbeatTimeout: hbTimeout,
+		NumJBOFs:         cfg.JBOFs,
+		SSDsPerJBOF:      cfg.SSDs,
+		SSDCapacity:      cfg.SSDCapacity,
+		NumPartitions:    cfg.Partitions,
+		R:                cfg.R,
+		KeyLen:           16,
+		ValLen:           64,
+		NumClients:       1,
+		CRRS:             true,
+		FlowControl:      true,
+		Swap:             true,
+		FlushEvery:       2 * runtime.Millisecond,
 		WrapDevice: func(id cluster.NodeID, ssd int, dev flashsim.Device) flashsim.Device {
-			fi := flashsim.NewFaultInjector(k, dev, cfg.Seed^(int64(id)*131+int64(ssd)))
+			fi := flashsim.NewFaultInjector(env, dev, cfg.Seed^(int64(id)*131+int64(ssd)))
 			d.injectors[id] = append(d.injectors[id], fi)
 			return fi
 		},
 	})
 	d.faults = d.c.Fabric.InstallFaults(cfg.Seed + 1)
+	return d
+}
+
+// RunDrill executes one scenario end to end and returns its report. The
+// report's Pass field is the drill verdict; err is reserved for harness
+// failures (the drill not completing within its budget).
+func RunDrill(cfg Config) (*Report, error) {
+	cfg.setDefaults()
+	if cfg.Backend == BackendWallclock {
+		return runDrillWallclock(cfg)
+	}
+	return runDrillSim(cfg)
+}
+
+func runDrillSim(cfg Config) (*Report, error) {
+	k := sim.New()
+	defer k.Close()
+
+	d := newDrill(cfg, k)
 	d.c.Start()
 
 	finished := false
-	k.Go("drill", func(p *sim.Proc) {
-		d.run(p)
+	k.Spawn("drill", func(t runtime.Task) {
+		d.run(t)
 		finished = true
 	})
 	deadline := k.Now() + cfg.Budget
 	for !finished && k.Now() < deadline {
-		k.Run(k.Now() + 10*sim.Millisecond)
+		k.Run(k.Now() + 10*runtime.Millisecond)
 	}
 	if !finished {
 		return d.rep, errors.New("chaos: drill did not finish within its virtual budget")
@@ -196,8 +243,45 @@ func RunDrill(cfg Config) (*Report, error) {
 	return d.rep, nil
 }
 
+func runDrillWallclock(cfg Config) (*Report, error) {
+	env := wallclock.New()
+	d := newDrill(cfg, env)
+	d.c.Start()
+
+	// The driver runs entirely in one task, so every protocol-side counter
+	// it reads (in run and finishReport) is accessed under the execution
+	// contract; the report is handed to this goroutine through the channel.
+	done := make(chan struct{})
+	env.Spawn("drill", func(t runtime.Task) {
+		d.run(t)
+		d.finishReport()
+		d.c.Shutdown()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Duration(cfg.Budget)):
+		return d.rep, errors.New("chaos: drill did not finish within its real-time budget")
+	}
+	// Drain: Shutdown poisoned every poller, so the env empties once
+	// in-flight timers (client timeouts, copy-ack timers) expire. Bound the
+	// wait — a leaked task must not hang the harness.
+	drained := make(chan struct{})
+	go func() { env.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(15 * time.Second):
+	}
+	return d.rep, nil
+}
+
 // run is the drill driver: load, scenario, heal, quiesce, verify.
-func (d *drill) run(p *sim.Proc) {
+func (d *drill) run(p runtime.Task) {
+	// Wait for launch to settle — views delivered to every client.
+	if err := d.c.AwaitReady(p, 5*runtime.Second); err != nil {
+		d.rep.violate("cluster never became ready: %v", err)
+		return
+	}
 	// Load phase: version 1 of every key, fault-free.
 	d.sweep(p, false)
 
@@ -232,7 +316,7 @@ func (d *drill) pickNodes(n int) []cluster.NodeID {
 	return ids[:n]
 }
 
-func (d *drill) runMessageLoss(p *sim.Proc) {
+func (d *drill) runMessageLoss(p runtime.Task) {
 	pair := d.pickNodes(2)
 	d.faults.SetDropBoth(netsim.Addr(pair[0]), netsim.Addr(pair[1]), 0.25)
 	for r := 0; r < d.cfg.Rounds; r++ {
@@ -242,7 +326,7 @@ func (d *drill) runMessageLoss(p *sim.Proc) {
 	d.sweep(p, true)
 }
 
-func (d *drill) runPartitionHeal(p *sim.Proc) {
+func (d *drill) runPartitionHeal(p runtime.Task) {
 	victim := d.pickNodes(1)[0]
 	for _, id := range d.c.NodeIDs {
 		if id != victim {
@@ -256,11 +340,11 @@ func (d *drill) runPartitionHeal(p *sim.Proc) {
 	}
 }
 
-func (d *drill) runCrashRestart(p *sim.Proc) {
+func (d *drill) runCrashRestart(p runtime.Task) {
 	victim := d.pickNodes(1)[0]
 	d.c.Crash(victim)
 	d.sweep(p, true) // ops ride out detection and chain repair
-	if !d.waitFor(p, 5*sim.Second, func() bool {
+	if !d.waitFor(p, 5*runtime.Second, func() bool {
 		_, still := d.c.Manager.State(victim)
 		return !still
 	}) {
@@ -275,7 +359,7 @@ func (d *drill) runCrashRestart(p *sim.Proc) {
 	if !done.Fired() {
 		p.Wait(done)
 	}
-	if !d.waitFor(p, 20*sim.Second, func() bool {
+	if !d.waitFor(p, 20*runtime.Second, func() bool {
 		s, ok := d.c.Manager.State(victim)
 		return ok && s == cluster.StateRunning && d.c.Manager.PendingCopies() == 0
 	}) {
@@ -287,7 +371,7 @@ func (d *drill) runCrashRestart(p *sim.Proc) {
 	}
 }
 
-func (d *drill) runDeviceFaults(p *sim.Proc) {
+func (d *drill) runDeviceFaults(p runtime.Task) {
 	victim := d.pickNodes(1)[0]
 	for _, fi := range d.injectors[victim] {
 		fi.ErrorRate = 0.15
@@ -301,14 +385,14 @@ func (d *drill) runDeviceFaults(p *sim.Proc) {
 	d.sweep(p, true)
 }
 
-func (d *drill) runMixed(p *sim.Proc) {
+func (d *drill) runMixed(p runtime.Task) {
 	picks := d.pickNodes(3)
 	crashed, a, b := picks[0], picks[1], picks[2]
 	d.c.Crash(crashed)
 	d.faults.SetDropBoth(netsim.Addr(a), netsim.Addr(b), 0.15)
 	d.sweep(p, true)
 	d.faults.HealAll()
-	if !d.waitFor(p, 5*sim.Second, func() bool {
+	if !d.waitFor(p, 5*runtime.Second, func() bool {
 		_, still := d.c.Manager.State(crashed)
 		return !still
 	}) {
@@ -323,7 +407,7 @@ func (d *drill) runMixed(p *sim.Proc) {
 	if !done.Fired() {
 		p.Wait(done)
 	}
-	if !d.waitFor(p, 20*sim.Second, func() bool {
+	if !d.waitFor(p, 20*runtime.Second, func() bool {
 		s, ok := d.c.Manager.State(crashed)
 		return ok && s == cluster.StateRunning && d.c.Manager.PendingCopies() == 0
 	}) {
@@ -336,7 +420,7 @@ func (d *drill) runMixed(p *sim.Proc) {
 // sweep writes the next version of every key and interleaves invariant-
 // checked reads of the previously written keys. Writes and reads are
 // sequential, so per-key version history is totally ordered at the driver.
-func (d *drill) sweep(p *sim.Proc, faulty bool) {
+func (d *drill) sweep(p runtime.Task, faulty bool) {
 	cl := d.c.Clients[0]
 	for i := range d.keys {
 		ks := &d.keys[i]
@@ -370,7 +454,7 @@ func (d *drill) sweep(p *sim.Proc, faulty bool) {
 // checkRead fetches key j and applies the read invariants. During a fault
 // window (faulty=true) unavailability (errors other than NotFound) is
 // tolerated; value-level violations never are.
-func (d *drill) checkRead(p *sim.Proc, j int, faulty bool) {
+func (d *drill) checkRead(p runtime.Task, j int, faulty bool) {
 	cl := d.c.Clients[0]
 	ks := &d.keys[j]
 	d.rep.Reads++
@@ -400,27 +484,27 @@ func (d *drill) checkRead(p *sim.Proc, j int, faulty bool) {
 	}
 }
 
-// waitFor polls cond once per virtual millisecond up to budget.
-func (d *drill) waitFor(p *sim.Proc, budget sim.Time, cond func() bool) bool {
+// waitFor polls cond once per millisecond up to budget.
+func (d *drill) waitFor(p runtime.Task, budget runtime.Time, cond func() bool) bool {
 	deadline := p.Now() + budget
 	for p.Now() < deadline {
 		if cond() {
 			return true
 		}
-		p.Sleep(sim.Millisecond)
+		p.Sleep(runtime.Millisecond)
 	}
 	return cond()
 }
 
 // quiesce waits until the view/copy machinery converges: no pending copies
 // and a manager epoch that stays put for 50 consecutive milliseconds.
-func (d *drill) quiesce(p *sim.Proc) bool {
-	ok := d.waitFor(p, 30*sim.Second, func() bool {
+func (d *drill) quiesce(p runtime.Task) bool {
+	ok := d.waitFor(p, 30*runtime.Second, func() bool {
 		if d.c.Manager.PendingCopies() != 0 {
 			return false
 		}
 		epoch := d.c.Manager.Epoch()
-		p.Sleep(50 * sim.Millisecond)
+		p.Sleep(50 * runtime.Millisecond)
 		return d.c.Manager.PendingCopies() == 0 && d.c.Manager.Epoch() == epoch
 	})
 	if ok {
@@ -432,7 +516,7 @@ func (d *drill) quiesce(p *sim.Proc) bool {
 // verify runs the post-quiescence checks: every key re-read through the
 // protocol, and clean keys additionally checked for replica agreement
 // across their chain.
-func (d *drill) verify(p *sim.Proc) {
+func (d *drill) verify(p runtime.Task) {
 	cl := d.c.Clients[0]
 	view := d.c.Manager.View()
 	for i := range d.keys {
@@ -472,7 +556,7 @@ func (d *drill) verify(p *sim.Proc) {
 
 // checkReplicas asserts every synced, non-dirty chain member holds the
 // committed value for a clean key.
-func (d *drill) checkReplicas(p *sim.Proc, i int, view *cluster.View, want []byte) {
+func (d *drill) checkReplicas(p runtime.Task, i int, view *cluster.View, want []byte) {
 	key := keyName(i)
 	part := cluster.PartitionOf(core.HashKey(key), view.NumPart)
 	for _, id := range view.Chain(part) {
@@ -532,7 +616,7 @@ func (d *drill) finishReport() {
 			rep.DeviceInjected += fi.Injected()
 		}
 	}
-	rep.PartitionsLost = c.Manager.Stats().PartitionsLost
+	rep.PartitionsLost = c.Manager.PartitionsLost()
 	rep.FinalEpoch = c.Manager.Epoch()
 	rep.Pass = len(rep.Violations) == 0
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Report is a drill's outcome. Every field is filled from deterministic
@@ -41,7 +41,7 @@ type Report struct {
 	DirtyResidue                int64 // leaked dirty marks after quiescence (metric, not invariant)
 
 	FinalEpoch uint64
-	QuiescedAt sim.Time // virtual time at which the cluster converged
+	QuiescedAt runtime.Time // backend time at which the cluster converged
 }
 
 // String renders the report with a fixed field order; drills compare these

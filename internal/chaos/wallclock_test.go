@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"testing"
+
+	"leed/internal/runtime"
+)
+
+// wallclockConfig shrinks a drill to a wall-clock-friendly size: the
+// invariants are identical, but real sleeps (heartbeats, detection windows,
+// quiesce stability) dominate, so fewer keys and rounds keep the suite
+// fast — especially under -race.
+func wallclockConfig(sc Scenario, seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Scenario: sc,
+		Backend:  BackendWallclock,
+		Keys:     24,
+		Rounds:   1,
+		Budget:   60 * runtime.Second,
+	}
+}
+
+// runWallclockScenario executes one drill on real goroutines and fails the
+// test on any invariant violation. Counters are timing-dependent on this
+// backend, so tests only assert invariants and fault engagement, never
+// exact values.
+func runWallclockScenario(t *testing.T, sc Scenario, seed int64) *Report {
+	t.Helper()
+	rep, err := RunDrill(wallclockConfig(sc, seed))
+	if err != nil {
+		t.Fatalf("%s wallclock drill: %v", sc, err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Pass {
+		t.Errorf("%s wallclock drill failed:\n%s", sc, rep)
+	}
+	return rep
+}
+
+func TestWallclockDrillMessageLoss(t *testing.T) {
+	rep := runWallclockScenario(t, MessageLoss, 1)
+	if rep.DroppedByLoss == 0 {
+		t.Error("message-loss drill dropped nothing; the fault never engaged")
+	}
+	if rep.WritesAcked == 0 {
+		t.Error("no writes were acknowledged under message loss")
+	}
+}
+
+func TestWallclockDrillPartitionHeal(t *testing.T) {
+	cfg := wallclockConfig(PartitionHeal, 1)
+	cfg.JBOFs = 4 // some chains avoid the victim and keep acking
+	rep, err := RunDrill(cfg)
+	if err != nil {
+		t.Fatalf("partition-heal wallclock drill: %v", err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Pass {
+		t.Errorf("partition-heal wallclock drill failed:\n%s", rep)
+	}
+	if rep.DroppedByPartition == 0 {
+		t.Error("partition-heal drill dropped nothing; the partition never engaged")
+	}
+}
+
+func TestWallclockDrillCrashRestart(t *testing.T) {
+	rep := runWallclockScenario(t, CrashRestart, 1)
+	if rep.Restarts != 1 {
+		t.Errorf("Restarts = %d, want 1", rep.Restarts)
+	}
+	if rep.RecoveredParts == 0 {
+		t.Error("the restarted node recovered no partitions from flash")
+	}
+	if rep.PartitionsLost != 0 {
+		t.Errorf("PartitionsLost = %d on a single-failure drill", rep.PartitionsLost)
+	}
+}
+
+func TestWallclockDrillDeviceFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode runs the three core scenarios only")
+	}
+	rep := runWallclockScenario(t, DeviceFaults, 1)
+	if rep.DeviceInjected == 0 {
+		t.Error("device-faults drill injected nothing")
+	}
+}
+
+func TestWallclockDrillMixed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode runs the three core scenarios only")
+	}
+	rep := runWallclockScenario(t, Mixed, 1)
+	if rep.Restarts != 1 {
+		t.Errorf("mixed drill restarted %d nodes, want 1", rep.Restarts)
+	}
+	if rep.DroppedByLoss == 0 {
+		t.Error("mixed drill dropped nothing; the loss fault never engaged")
+	}
+}

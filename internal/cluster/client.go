@@ -8,7 +8,7 @@ import (
 	"leed/internal/core"
 	"leed/internal/netsim"
 	"leed/internal/rpcproto"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // ErrTimeout reports that a request exhausted its retries.
@@ -23,7 +23,7 @@ type target struct {
 
 // ClientConfig wires one front-end library instance.
 type ClientConfig struct {
-	Kernel   *sim.Kernel
+	Env      runtime.Env
 	Tenant   uint16
 	Endpoint *netsim.Endpoint
 
@@ -38,7 +38,7 @@ type ClientConfig struct {
 	// engine's TokensPerPartition. Default 48.
 	InitialTokens int64
 	// Timeout is the per-attempt response deadline. Default 30ms.
-	Timeout sim.Time
+	Timeout runtime.Time
 	// Retries is the attempt budget per operation. Default 10.
 	Retries int
 
@@ -46,8 +46,8 @@ type ClientConfig struct {
 	// attempt up to BackoffMax, jittered in [d/2, d] from a seeded stream
 	// so retries never re-issue immediately (hammering a partitioned chain)
 	// yet replay deterministically. Defaults 200µs / 10ms.
-	BackoffBase sim.Time
-	BackoffMax  sim.Time
+	BackoffBase runtime.Time
+	BackoffMax  runtime.Time
 	// BackoffSeed seeds the jitter stream. Default Tenant+1, so co-tenant
 	// clients desynchronize without any configuration.
 	BackoffSeed int64
@@ -65,16 +65,17 @@ type ClientStats struct {
 // paces submissions with the end-to-end flow control of §3.5.
 type Client struct {
 	cfg    ClientConfig
-	k      *sim.Kernel
+	env    runtime.Env
 	view   *View
 	nextID uint64
 
 	tokens      map[target]int64
 	outstanding map[target]int
-	wake        *sim.Event
+	wake        runtime.Event
 	rng         *rand.Rand // backoff jitter
 
-	stats ClientStats
+	stopped bool
+	stats   ClientStats
 }
 
 // NewClient creates a client; Start launches its view/completion poller.
@@ -83,49 +84,56 @@ func NewClient(cfg ClientConfig) *Client {
 		cfg.InitialTokens = 48
 	}
 	if cfg.Timeout == 0 {
-		cfg.Timeout = 30 * sim.Millisecond
+		cfg.Timeout = 30 * runtime.Millisecond
 	}
 	if cfg.Retries == 0 {
 		cfg.Retries = 10
 	}
 	if cfg.BackoffBase == 0 {
-		cfg.BackoffBase = 200 * sim.Microsecond
+		cfg.BackoffBase = 200 * runtime.Microsecond
 	}
 	if cfg.BackoffMax == 0 {
-		cfg.BackoffMax = 10 * sim.Millisecond
+		cfg.BackoffMax = 10 * runtime.Millisecond
 	}
 	if cfg.BackoffSeed == 0 {
 		cfg.BackoffSeed = int64(cfg.Tenant) + 1
 	}
 	c := &Client{
 		cfg:         cfg,
-		k:           cfg.Kernel,
+		env:         cfg.Env,
 		tokens:      make(map[target]int64),
 		outstanding: make(map[target]int),
 		rng:         rand.New(rand.NewSource(cfg.BackoffSeed)),
 	}
-	c.wake = c.k.NewEvent()
+	c.wake = c.env.MakeEvent()
 	return c
 }
 
 // backoffDur returns the jittered exponential delay before retry `attempt`
 // (0-based): base<<attempt capped at max, drawn uniformly from [d/2, d].
-func (c *Client) backoffDur(attempt int) sim.Time {
+func (c *Client) backoffDur(attempt int) runtime.Time {
 	d := c.cfg.BackoffBase << uint(attempt)
 	if d <= 0 || d > c.cfg.BackoffMax {
 		d = c.cfg.BackoffMax
 	}
 	half := d / 2
-	return half + sim.Time(c.rng.Int63n(int64(half)+1))
+	return half + runtime.Time(c.rng.Int63n(int64(half)+1))
 }
 
 // Start launches the client's receive loop (view updates arrive as
 // two-sided SENDs; responses arrive one-sided into per-request events).
 func (c *Client) Start() {
-	c.k.Go(fmt.Sprintf("client%d-rx", c.cfg.Tenant), func(p *sim.Proc) {
+	c.env.Spawn(fmt.Sprintf("client%d-rx", c.cfg.Tenant), func(p runtime.Task) {
 		rx := c.cfg.Endpoint.RX()
 		for {
-			m := rx.Get(p)
+			m := rx.Get(p).(*netsim.Message)
+			if _, stop := m.Payload.(stopMsg); stop {
+				rx.Put(m)
+				return
+			}
+			if c.stopped {
+				return
+			}
 			if vm, ok := m.Payload.(*viewMsg); ok {
 				if c.view == nil || vm.view.Epoch > c.view.Epoch {
 					c.view = vm.view
@@ -136,6 +144,10 @@ func (c *Client) Start() {
 	})
 }
 
+// Stop makes the client cease processing; its receive loop exits on the
+// shutdown pill. Part of Cluster.Shutdown.
+func (c *Client) Stop() { c.stopped = true }
+
 // Stats returns cumulative counters.
 func (c *Client) Stats() ClientStats { return c.stats }
 
@@ -144,7 +156,7 @@ func (c *Client) View() *View { return c.view }
 
 func (c *Client) fireWake() {
 	old := c.wake
-	c.wake = c.k.NewEvent()
+	c.wake = c.env.MakeEvent()
 	old.Fire(nil)
 }
 
@@ -200,7 +212,7 @@ func (c *Client) pickTarget(op rpcproto.Op, part uint32) (target, uint8, error) 
 // admit paces the submission per Algorithm 1: issue when the target has
 // tokens, or when no commands are outstanding toward it (the Nagle-like
 // probe); otherwise wait for a response or view change.
-func (c *Client) admit(p *sim.Proc, t target, cost int64) {
+func (c *Client) admit(p runtime.Task, t target, cost int64) {
 	if !c.cfg.FlowControl {
 		return
 	}
@@ -221,7 +233,7 @@ func (c *Client) admit(p *sim.Proc, t target, cost int64) {
 // Do executes one operation end to end, handling flow control, NACK/view
 // refresh, and timeout retries. It returns the response and the measured
 // latency (including throttling time, as a client observes it).
-func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Response, sim.Time, error) {
+func (c *Client) Do(p runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.Response, runtime.Time, error) {
 	start := p.Now()
 	v := c.view
 	if v == nil {
@@ -245,11 +257,13 @@ func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Res
 			Partition: part, Epoch: c.view.Epoch, Hop: hop,
 			Key: key, Value: val,
 		}
-		done := c.k.NewEvent()
+		done := c.env.MakeEvent()
 		env := &reqEnvelope{req: req, clientAddr: c.cfg.Endpoint.Addr(), complete: done}
 		c.outstanding[t]++
 		c.cfg.Endpoint.Send(netsim.Addr(t.node), req.WireSize(), env)
-		idx := p.WaitAny(done, c.k.Timer(c.cfg.Timeout))
+		deadline, cancel := runtime.CancelableTimer(c.env, c.cfg.Timeout)
+		idx := runtime.WaitAny(p, done, deadline)
+		cancel()
 		c.outstanding[t]--
 		if idx != 0 {
 			// Timeout: the target may be dead; decay its token estimate so
@@ -277,7 +291,9 @@ func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Res
 			// epoch, the wait doubles as "view should arrive soon" and is
 			// cut short by the wake event the view update fires.
 			if resp.Epoch > c.view.Epoch {
-				p.WaitAny(c.wake, c.k.Timer(c.backoffDur(attempt)))
+				bo, boCancel := runtime.CancelableTimer(c.env, c.backoffDur(attempt))
+				runtime.WaitAny(p, c.wake, bo)
+				boCancel()
 			} else {
 				p.Sleep(c.backoffDur(attempt))
 			}
@@ -293,7 +309,7 @@ func (c *Client) Do(p *sim.Proc, op rpcproto.Op, key, val []byte) (*rpcproto.Res
 }
 
 // Get fetches key's value.
-func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, sim.Time, error) {
+func (c *Client) Get(p runtime.Task, key []byte) ([]byte, runtime.Time, error) {
 	resp, lat, err := c.Do(p, rpcproto.OpGet, key, nil)
 	if err != nil {
 		return nil, lat, err
@@ -305,13 +321,13 @@ func (c *Client) Get(p *sim.Proc, key []byte) ([]byte, sim.Time, error) {
 }
 
 // Put stores key=val through the partition's chain.
-func (c *Client) Put(p *sim.Proc, key, val []byte) (sim.Time, error) {
+func (c *Client) Put(p runtime.Task, key, val []byte) (runtime.Time, error) {
 	_, lat, err := c.Do(p, rpcproto.OpPut, key, val)
 	return lat, err
 }
 
 // Del removes key.
-func (c *Client) Del(p *sim.Proc, key []byte) (sim.Time, error) {
+func (c *Client) Del(p runtime.Task, key []byte) (runtime.Time, error) {
 	resp, lat, err := c.Do(p, rpcproto.OpDel, key, nil)
 	if err != nil {
 		return lat, err

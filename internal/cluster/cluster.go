@@ -10,7 +10,7 @@ import (
 	"leed/internal/netsim"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Address plan: the control plane lives at addr 1, storage nodes at their
@@ -23,7 +23,9 @@ const (
 
 // Config assembles a whole LEED cluster.
 type Config struct {
-	Kernel *sim.Kernel
+	// Env is the runtime the cluster executes on: the sim kernel for
+	// deterministic experiments, a wallclock Env for real goroutines.
+	Env runtime.Env
 
 	NumJBOFs    int // initial members
 	SpareJBOFs  int // built but not joined (for join experiments)
@@ -52,7 +54,7 @@ type Config struct {
 
 	Platform platform.Spec // default Stingray
 
-	HeartbeatTimeout sim.Time
+	HeartbeatTimeout runtime.Time
 
 	// WrapDevice, when set, interposes on each node's SSDs (e.g. with a
 	// flashsim.FaultInjector) — args are node id, drive index, and the raw
@@ -60,16 +62,16 @@ type Config struct {
 	WrapDevice func(NodeID, int, flashsim.Device) flashsim.Device
 	// FlushEvery makes engines persist store superblocks periodically so a
 	// crashed node has something to recover (0 = only on compaction).
-	FlushEvery sim.Time
+	FlushEvery runtime.Time
 	// ClientTimeout / ClientRetries override the clients' per-attempt
 	// deadline and attempt budget (0 = client defaults).
-	ClientTimeout sim.Time
+	ClientTimeout runtime.Time
 	ClientRetries int
 }
 
 // Cluster holds every assembled component.
 type Cluster struct {
-	K         *sim.Kernel
+	Env       runtime.Env
 	Fabric    *netsim.Fabric
 	Manager   *Manager
 	Nodes     map[NodeID]*Node
@@ -101,10 +103,10 @@ func New(cfg Config) *Cluster {
 	if cfg.TokensPerPartition == 0 {
 		cfg.TokensPerPartition = 48
 	}
-	k := cfg.Kernel
+	env := cfg.Env
 	c := &Cluster{
-		K:         k,
-		Fabric:    netsim.New(k, netsim.Config{}),
+		Env:       env,
+		Fabric:    netsim.New(env, netsim.Config{}),
 		Nodes:     make(map[NodeID]*Node),
 		Engines:   make(map[NodeID]*engine.Engine),
 		Platforms: make(map[NodeID]*platform.Node),
@@ -129,7 +131,7 @@ func New(cfg Config) *Cluster {
 	var initial []NodeID
 	for i := 0; i < total; i++ {
 		id := firstNodeID + NodeID(i)
-		plat := platform.NewNode(k, cfg.Platform, cfg.SSDsPerJBOF, cfg.SSDCapacity, int64(id))
+		plat := platform.NewNode(env, cfg.Platform, cfg.SSDsPerJBOF, cfg.SSDCapacity, int64(id))
 		var devs []flashsim.Device
 		if cfg.WrapDevice != nil {
 			for si, ssd := range plat.SSDs {
@@ -137,7 +139,7 @@ func New(cfg Config) *Cluster {
 			}
 		}
 		eng := engine.New(engine.Config{
-			Env:                k,
+			Env:                env,
 			Node:               plat,
 			Devices:            devs,
 			FlushEvery:         cfg.FlushEvery,
@@ -151,7 +153,7 @@ func New(cfg Config) *Cluster {
 		})
 		ep := c.Fabric.AddNode(netsim.Addr(id), cfg.Platform.NICBitsPerS)
 		node := NewNode(NodeConfig{
-			Kernel: k, ID: id, Engine: eng, Endpoint: ep,
+			Env: env, ID: id, Engine: eng, Endpoint: ep,
 			Platform: plat, ManagerAddr: managerAddr,
 			CRRS: cfg.CRRS, CRAQMode: cfg.CRAQMode,
 		})
@@ -166,7 +168,7 @@ func New(cfg Config) *Cluster {
 
 	mgrEp := c.Fabric.AddNode(managerAddr, 10_000_000_000)
 	c.Manager = NewManager(ManagerConfig{
-		Kernel: k, Endpoint: mgrEp, R: cfg.R, NumPart: cfg.NumPartitions,
+		Env: env, Endpoint: mgrEp, R: cfg.R, NumPart: cfg.NumPartitions,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 	}, initial)
 	for _, id := range c.NodeIDs {
@@ -177,7 +179,7 @@ func New(cfg Config) *Cluster {
 		addr := firstClientID + netsim.Addr(i)
 		ep := c.Fabric.AddNode(addr, 100_000_000_000)
 		cl := NewClient(ClientConfig{
-			Kernel: k, Tenant: uint16(i), Endpoint: ep,
+			Env: env, Tenant: uint16(i), Endpoint: ep,
 			FlowControl: cfg.FlowControl, CRRS: cfg.CRRS,
 			InitialTokens: cfg.TokensPerPartition,
 			Timeout:       cfg.ClientTimeout,
@@ -189,23 +191,62 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// Start launches every component and runs the kernel briefly so the initial
-// view reaches all nodes and clients.
+// Start schedules the launch of every component at the current time. The
+// launch itself runs in scheduler context (so it is safe to call Start from
+// outside the execution contract on either backend); the initial view then
+// propagates asynchronously. On the sim backend, run the kernel a few
+// virtual milliseconds to settle; on wallclock, a task should AwaitReady
+// before issuing operations.
 func (c *Cluster) Start() {
-	for _, id := range c.NodeIDs {
-		c.Nodes[id].Start()
-		c.Engines[id].Start()
-	}
-	for _, cl := range c.Clients {
-		cl.Start()
-	}
-	c.Manager.Start()
-	c.K.Run(c.K.Now() + 5*sim.Millisecond)
-	for _, cl := range c.Clients {
-		if cl.View() == nil {
-			panic("cluster: client did not receive the initial view")
+	c.Env.After(0, func() {
+		for _, id := range c.NodeIDs {
+			c.Nodes[id].Start()
+			c.Engines[id].Start()
 		}
+		for _, cl := range c.Clients {
+			cl.Start()
+		}
+		c.Manager.Start()
+	})
+}
+
+// AwaitReady blocks the task until every client holds a membership view (the
+// cluster is usable) or the timeout elapses.
+func (c *Cluster) AwaitReady(t runtime.Task, timeout runtime.Time) error {
+	deadline := t.Now() + timeout
+	for {
+		ready := true
+		for _, cl := range c.Clients {
+			if cl.View() == nil {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return nil
+		}
+		if t.Now() >= deadline {
+			return fmt.Errorf("cluster: not ready after %v", timeout)
+		}
+		t.Sleep(200 * runtime.Microsecond)
 	}
+}
+
+// Shutdown winds the deployment down: the manager, clients, and nodes stop
+// issuing work, engines halt their background procs, and a poison pill is
+// flooded through the fabric so every parked poller drains. After Shutdown
+// (plus in-flight timers expiring) a wallclock Env.Wait returns. Must run
+// in task or scheduler context.
+func (c *Cluster) Shutdown() {
+	c.Manager.Stop()
+	for _, cl := range c.Clients {
+		cl.Stop()
+	}
+	for _, id := range c.NodeIDs {
+		c.Nodes[id].Stop()
+		c.Engines[id].Stop()
+	}
+	c.Fabric.Flood(stopMsg{})
 }
 
 // Join admits spare node id into the cluster (Fig. 9's join phase).
@@ -234,7 +275,7 @@ func (c *Cluster) Crash(id NodeID) {
 // It is an error to restart a node the manager still considers a member:
 // failure detection hasn't fired yet, and chains would trust an amnesiac
 // replica. Wait for removal first.
-func (c *Cluster) Restart(id NodeID) (*sim.Event, error) {
+func (c *Cluster) Restart(id NodeID) (runtime.Event, error) {
 	if st, still := c.Manager.State(id); still {
 		return nil, fmt.Errorf("cluster: node %d still %v at the manager; wait for failure detection", id, st)
 	}
@@ -252,7 +293,7 @@ func (c *Cluster) Restart(id NodeID) (*sim.Event, error) {
 // bypassing the protocol. Drills use it to check replica agreement after
 // quiescence; it returns core.ErrNotFound when the node has no such key and
 // a false ok when it doesn't replicate the partition at all.
-func (c *Cluster) ReplicaGet(p *sim.Proc, id NodeID, part uint32, key []byte) ([]byte, bool, error) {
+func (c *Cluster) ReplicaGet(p runtime.Task, id NodeID, part uint32, key []byte) ([]byte, bool, error) {
 	n := c.Nodes[id]
 	pid, ok := n.local[part]
 	if !ok {

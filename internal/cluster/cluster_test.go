@@ -7,13 +7,22 @@ import (
 	"leed/internal/core"
 	"leed/internal/netsim"
 	"leed/internal/rpcproto"
+	"leed/internal/runtime"
 	"leed/internal/sim"
 )
 
-// newTestCluster assembles a small 3-JBOF cluster (plus optional spares).
-func newTestCluster(k *sim.Kernel, spares int, mutate func(*Config)) *Cluster {
+// simRunner is what the sim-backed tests need from the kernel: the runtime
+// seam plus the ability to push virtual time forward.
+type simRunner interface {
+	runtime.Env
+	Run(until ...runtime.Time) runtime.Time
+}
+
+// newTestCluster assembles and starts a small 3-JBOF cluster (plus optional
+// spares), then settles the launch so client views are in place.
+func newTestCluster(k simRunner, spares int, mutate func(*Config)) *Cluster {
 	cfg := Config{
-		Kernel:        k,
+		Env:           k,
 		NumJBOFs:      3,
 		SpareJBOFs:    spares,
 		SSDsPerJBOF:   4,
@@ -32,21 +41,22 @@ func newTestCluster(k *sim.Kernel, spares int, mutate func(*Config)) *Cluster {
 	}
 	c := New(cfg)
 	c.Start()
+	k.Run(k.Now() + 5*runtime.Millisecond)
 	return c
 }
 
-// drive runs fn on a proc and pushes the kernel forward until it finishes
+// drive runs fn on a task and pushes the kernel forward until it finishes
 // or the budget elapses.
-func drive(t *testing.T, k *sim.Kernel, budget sim.Time, fn func(p *sim.Proc)) {
+func drive(t *testing.T, k simRunner, budget runtime.Time, fn func(p runtime.Task)) {
 	t.Helper()
 	done := false
-	k.Go("driver", func(p *sim.Proc) {
+	k.Spawn("driver", func(p runtime.Task) {
 		fn(p)
 		done = true
 	})
 	deadline := k.Now() + budget
 	for !done && k.Now() < deadline {
-		k.Run(k.Now() + 10*sim.Millisecond)
+		k.Run(k.Now() + 10*runtime.Millisecond)
 	}
 	if !done {
 		t.Fatal("driver did not finish within the simulated budget")
@@ -57,7 +67,7 @@ func TestClusterPutGetDel(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 2*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 2*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		if _, err := cl.Put(p, []byte("alpha"), []byte("one")); err != nil {
 			t.Errorf("put: %v", err)
@@ -82,7 +92,7 @@ func TestClusterManyKeysAcrossPartitions(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 20*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 20*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		for i := 0; i < 200; i++ {
 			key := []byte(fmt.Sprintf("key-%04d", i))
@@ -106,7 +116,7 @@ func TestClusterWritesReplicateToAllChainMembers(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 5*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 5*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("replicated-key")
 		if _, err := cl.Put(p, key, []byte("v")); err != nil {
@@ -140,12 +150,12 @@ func TestCRRSReadFromNonTailReplica(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 10*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 10*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("crrs-key")
 		cl.Put(p, key, []byte("v"))
 		// Let the backward acks clear the dirty bits before reading.
-		p.Sleep(2 * sim.Millisecond)
+		p.Sleep(2 * runtime.Millisecond)
 		// Bias the client's token estimates so a non-tail replica wins.
 		part := PartitionOf(core.HashKey(key), cl.View().NumPart)
 		chain := cl.View().Chain(part)
@@ -168,7 +178,7 @@ func TestCRRSShipsDirtyReads(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 20*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 20*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("hot-key")
 		cl.Put(p, key, []byte("v0"))
@@ -180,8 +190,8 @@ func TestCRRSShipsDirtyReads(t *testing.T) {
 		cl.tokens[target{node: head, part: part}] = 1 << 20
 		writer := c.Clients[1]
 		stop := false
-		wdone := k.NewEvent()
-		k.Go("writer", func(wp *sim.Proc) {
+		wdone := k.MakeEvent()
+		k.Spawn("writer", func(wp runtime.Task) {
 			i := 0
 			for !stop {
 				writer.Put(wp, key, []byte(fmt.Sprintf("v%d", i)))
@@ -211,7 +221,7 @@ func TestCRRSConsistencyUnderConcurrentWrites(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 30*runtime.Second, func(p runtime.Task) {
 		key := []byte("mono-key")
 		writer, reader := c.Clients[0], c.Clients[1]
 		writer.Put(p, key, []byte("00000"))
@@ -219,8 +229,8 @@ func TestCRRSConsistencyUnderConcurrentWrites(t *testing.T) {
 		chain := reader.View().Chain(part)
 		lastCommitted := 0
 		stop := false
-		wdone := k.NewEvent()
-		k.Go("writer", func(wp *sim.Proc) {
+		wdone := k.MakeEvent()
+		k.Spawn("writer", func(wp runtime.Task) {
 			for i := 1; i <= 40 && !stop; i++ {
 				if _, err := writer.Put(wp, key, []byte(fmt.Sprintf("%05d", i))); err == nil {
 					lastCommitted = i
@@ -256,21 +266,21 @@ func TestFlowControlThrottlesUnderOverload(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, func(cfg *Config) { cfg.TokensPerPartition = 8 })
-	drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 60*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
-		done := make([]*sim.Event, 0, 64)
+		done := make([]runtime.Event, 0, 64)
 		for i := 0; i < 64; i++ {
 			i := i
-			ev := k.NewEvent()
+			ev := k.MakeEvent()
 			done = append(done, ev)
-			k.Go("burst", func(bp *sim.Proc) {
+			k.Spawn("burst", func(bp runtime.Task) {
 				key := []byte("same-partition-key") // one hot partition
 				cl.Do(bp, rpcproto.OpGet, key, nil)
 				_ = i
 				ev.Fire(nil)
 			})
 		}
-		p.WaitAll(done...)
+		runtime.WaitAll(p, done...)
 	})
 	if c.Clients[0].Stats().Throttled == 0 {
 		t.Fatal("flow control never throttled under a 64-deep burst at 8 tokens")
@@ -281,7 +291,7 @@ func TestNoFlowControlNeverThrottles(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, func(cfg *Config) { cfg.FlowControl = false })
-	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 30*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		for i := 0; i < 50; i++ {
 			cl.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
@@ -297,7 +307,7 @@ func TestNodeJoinPreservesData(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 1, nil)
 	spare := c.NodeIDs[3]
-	drive(t, k, 120*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 120*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		for i := 0; i < 120; i++ {
 			if _, err := cl.Put(p, []byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
@@ -311,7 +321,7 @@ func TestNodeJoinPreservesData(t *testing.T) {
 			if st, ok := c.Manager.State(spare); ok && st == StateRunning {
 				break
 			}
-			p.Sleep(sim.Millisecond)
+			p.Sleep(runtime.Millisecond)
 		}
 		if st, _ := c.Manager.State(spare); st != StateRunning {
 			t.Errorf("spare never reached RUNNING: %v", st)
@@ -337,14 +347,14 @@ func TestNodeLeavePreservesData(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 1, nil)
 	spare := c.NodeIDs[3]
-	drive(t, k, 240*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 240*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		c.Join(spare)
 		for i := 0; i < 2000; i++ {
 			if st, ok := c.Manager.State(spare); ok && st == StateRunning {
 				break
 			}
-			p.Sleep(sim.Millisecond)
+			p.Sleep(runtime.Millisecond)
 		}
 		for i := 0; i < 100; i++ {
 			if _, err := cl.Put(p, []byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
@@ -357,7 +367,7 @@ func TestNodeLeavePreservesData(t *testing.T) {
 			if _, ok := c.Manager.State(spare); !ok {
 				break
 			}
-			p.Sleep(sim.Millisecond)
+			p.Sleep(runtime.Millisecond)
 		}
 		if _, ok := c.Manager.State(spare); ok {
 			t.Error("node never finished leaving")
@@ -380,7 +390,7 @@ func TestFailureRecoversCommittedData(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 1, nil)
 	victim := c.NodeIDs[1]
-	drive(t, k, 300*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 300*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		committed := map[string]string{}
 		for i := 0; i < 100; i++ {
@@ -396,13 +406,13 @@ func TestFailureRecoversCommittedData(t *testing.T) {
 			if _, ok := c.Manager.State(victim); !ok {
 				break
 			}
-			p.Sleep(sim.Millisecond)
+			p.Sleep(runtime.Millisecond)
 		}
 		if _, ok := c.Manager.State(victim); ok {
 			t.Error("failed node never removed from membership")
 			return
 		}
-		p.Sleep(50 * sim.Millisecond)
+		p.Sleep(50 * runtime.Millisecond)
 		for key, want := range committed {
 			v, _, err := cl.Get(p, []byte(key))
 			if err != nil || string(v) != want {
@@ -418,7 +428,7 @@ func TestWritesContinueDuringFailover(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 1, nil)
 	victim := c.NodeIDs[2]
-	drive(t, k, 300*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 300*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		for i := 0; i < 30; i++ {
 			cl.Put(p, []byte(fmt.Sprintf("pre-%d", i)), []byte("v"))
@@ -441,13 +451,13 @@ func TestEpochMismatchNacks(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 5*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 5*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("nack-key")
 		part := PartitionOf(core.HashKey(key), cl.View().NumPart)
 		head := cl.View().Chain(part)[0]
 		// Hand-craft a stale-epoch request.
-		done := k.NewEvent()
+		done := k.MakeEvent()
 		req := &rpcproto.Request{ID: 1, Op: rpcproto.OpPut, Partition: part,
 			Epoch: cl.View().Epoch + 99, Key: key, Value: []byte("v")}
 		env := &reqEnvelope{req: req, clientAddr: cl.cfg.Endpoint.Addr(), complete: done}
@@ -464,14 +474,14 @@ func TestWrongHopNacks(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 5*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 5*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("hop-key")
 		v := cl.View()
 		part := PartitionOf(core.HashKey(key), v.NumPart)
 		tail := v.Chain(part)[len(v.Chain(part))-1]
 		// Send a PUT with Hop=0 to the tail: position mismatch -> NACK.
-		done := k.NewEvent()
+		done := k.MakeEvent()
 		req := &rpcproto.Request{ID: 1, Op: rpcproto.OpPut, Partition: part,
 			Epoch: v.Epoch, Hop: 0, Key: key, Value: []byte("v")}
 		env := &reqEnvelope{req: req, clientAddr: cl.cfg.Endpoint.Addr(), complete: done}
@@ -487,8 +497,8 @@ func TestWrongHopNacks(t *testing.T) {
 func TestClientTimesOutWhenChainDead(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
-	c := newTestCluster(k, 0, func(cfg *Config) { cfg.HeartbeatTimeout = 10 * sim.Second })
-	drive(t, k, 120*sim.Second, func(p *sim.Proc) {
+	c := newTestCluster(k, 0, func(cfg *Config) { cfg.HeartbeatTimeout = 10 * runtime.Second })
+	drive(t, k, 120*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		cl.Put(p, []byte("k"), []byte("v"))
 		// Kill every node; the slow failure detector will not save us, so
@@ -496,7 +506,7 @@ func TestClientTimesOutWhenChainDead(t *testing.T) {
 		for _, id := range c.NodeIDs {
 			c.Kill(id)
 		}
-		cl.cfg.Timeout = 5 * sim.Millisecond
+		cl.cfg.Timeout = 5 * runtime.Millisecond
 		cl.cfg.Retries = 3
 		if _, _, err := cl.Get(p, []byte("k")); err != ErrTimeout {
 			t.Errorf("err = %v, want ErrTimeout", err)
@@ -511,7 +521,7 @@ func TestClientStatsAccumulate(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 20*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 20*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		for i := 0; i < 20; i++ {
 			cl.Put(p, []byte(fmt.Sprintf("k%d", i)), []byte("v"))
@@ -547,7 +557,7 @@ func TestLocalPidEvictsStaleSlots(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
 	n := c.Nodes[c.NodeIDs[0]]
-	drive(t, k, 10*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 10*runtime.Second, func(p runtime.Task) {
 		// Allocate every free slot to synthetic partitions.
 		base := uint32(1000)
 		var got int
@@ -585,7 +595,7 @@ func TestEnsureFreshResetsRejoinedPartition(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
 	n := c.Nodes[c.NodeIDs[0]]
-	drive(t, k, 10*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 10*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("fresh-key")
 		cl.Put(p, key, []byte("v"))
@@ -624,7 +634,7 @@ func TestReplicaConvergenceAfterChurn(t *testing.T) {
 	defer k.Close()
 	c := newTestCluster(k, 2, nil)
 	spare1, spare2 := c.NodeIDs[3], c.NodeIDs[4]
-	drive(t, k, 600*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 600*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		committed := map[string]string{}
 		write := func(tag string, n int) {
@@ -645,7 +655,7 @@ func TestReplicaConvergenceAfterChurn(t *testing.T) {
 				if ok && st.String() == want {
 					return
 				}
-				p.Sleep(sim.Millisecond)
+				p.Sleep(runtime.Millisecond)
 			}
 			t.Errorf("node %d never reached %s", id, want)
 		}
@@ -660,7 +670,7 @@ func TestReplicaConvergenceAfterChurn(t *testing.T) {
 		write("post", 60)
 		c.Kill(c.NodeIDs[0])
 		waitState(c.NodeIDs[0], "gone")
-		p.Sleep(100 * sim.Millisecond)
+		p.Sleep(100 * runtime.Millisecond)
 
 		// Client-visible state: every committed write readable.
 		for key, want := range committed {
@@ -700,7 +710,7 @@ func TestDirtyBitsDrainAfterQuiescence(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, nil)
-	drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 60*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		for i := 0; i < 150; i++ {
 			if _, err := cl.Put(p, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
@@ -708,7 +718,7 @@ func TestDirtyBitsDrainAfterQuiescence(t *testing.T) {
 				return
 			}
 		}
-		p.Sleep(20 * sim.Millisecond) // let trailing acks propagate
+		p.Sleep(20 * runtime.Millisecond) // let trailing acks propagate
 		for _, id := range c.NodeIDs {
 			n := c.Nodes[id]
 			for part, dm := range n.dirty {

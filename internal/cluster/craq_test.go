@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"leed/internal/core"
+	"leed/internal/runtime"
 	"leed/internal/sim"
 )
 
@@ -12,7 +13,7 @@ func TestCRAQModeServesDirtyReadsViaVersionQuery(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, func(cfg *Config) { cfg.CRAQMode = true })
-	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 30*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		key := []byte("craq-key")
 		cl.Put(p, key, []byte("v0"))
@@ -22,8 +23,8 @@ func TestCRAQModeServesDirtyReadsViaVersionQuery(t *testing.T) {
 		// Keep the key dirty at the head with a write stream, and force
 		// reads toward the head.
 		stop := false
-		wdone := k.NewEvent()
-		k.Go("writer", func(wp *sim.Proc) {
+		wdone := k.MakeEvent()
+		k.Spawn("writer", func(wp runtime.Task) {
 			i := 0
 			for !stop {
 				c.Clients[1].Put(wp, key, []byte(fmt.Sprintf("v%d", i)))
@@ -58,15 +59,15 @@ func TestCRAQModeGeneratesMoreInternalTraffic(t *testing.T) {
 		defer k.Close()
 		c := newTestCluster(k, 0, func(cfg *Config) { cfg.CRAQMode = craq })
 		var served int64
-		drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+		drive(t, k, 60*runtime.Second, func(p runtime.Task) {
 			cl := c.Clients[0]
 			key := []byte("hot")
 			cl.Put(p, key, make([]byte, 512))
 			part := PartitionOf(core.HashKey(key), cl.View().NumPart)
 			head := cl.View().Chain(part)[0]
 			stop := false
-			wdone := k.NewEvent()
-			k.Go("writer", func(wp *sim.Proc) {
+			wdone := k.MakeEvent()
+			k.Spawn("writer", func(wp runtime.Task) {
 				for !stop {
 					c.Clients[1].Put(wp, key, make([]byte, 512))
 				}

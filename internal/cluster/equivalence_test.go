@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"leed/internal/core"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/sim"
+)
+
+// The equivalence test is the tentpole check for the cluster-on-runtime
+// seam: the same seeded YCSB-style operation sequence, pushed through a
+// 3-node CRRS chain, must leave identical final KV contents on the DES
+// kernel and on real goroutines — and on both backends every synced
+// replica must agree with the client-visible value.
+
+// eqOp is one scripted operation.
+type eqOp struct {
+	put      bool
+	key, val string
+}
+
+// eqOps derives a deterministic YCSB-B-flavored op sequence (95% of ops
+// touch a zipf-ish hot set, half of the writes overwrite) from seed.
+func eqOps(seed int64, n, keys int) []eqOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]eqOp, 0, n)
+	ver := make([]int, keys)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(keys)
+		if rng.Intn(10) < 3 { // 30% writes
+			ver[k]++
+			ops = append(ops, eqOp{put: true,
+				key: fmt.Sprintf("eq-%04d", k),
+				val: fmt.Sprintf("v%d-of-%04d", ver[k], k)})
+		} else {
+			ops = append(ops, eqOp{key: fmt.Sprintf("eq-%04d", k)})
+		}
+	}
+	return ops
+}
+
+// eqClusterConfig is the shared 3-node CRRS shape.
+func eqClusterConfig(env runtime.Env) Config {
+	return Config{
+		Env:           env,
+		NumJBOFs:      3,
+		SSDsPerJBOF:   2,
+		SSDCapacity:   32 << 20,
+		NumPartitions: 8,
+		R:             3,
+		KeyLen:        16,
+		ValLen:        64,
+		NumClients:    1,
+		CRRS:          true,
+		FlowControl:   true,
+		Swap:          true,
+	}
+}
+
+// eqResult is one backend's outcome: the final client-visible KV contents
+// plus a replica-agreement transcript (sorted, rendered canonically).
+type eqResult struct {
+	kv       map[string]string
+	replicas string
+	errs     []string
+}
+
+// runEqOps executes the scripted ops and snapshots the outcome. Runs inside
+// a task on either backend.
+func runEqOps(p runtime.Task, c *Cluster, ops []eqOp) *eqResult {
+	res := &eqResult{kv: make(map[string]string)}
+	cl := c.Clients[0]
+	for i, op := range ops {
+		if op.put {
+			if _, err := cl.Put(p, []byte(op.key), []byte(op.val)); err != nil {
+				res.errs = append(res.errs, fmt.Sprintf("op %d put %s: %v", i, op.key, err))
+			}
+			continue
+		}
+		if _, _, err := cl.Get(p, []byte(op.key)); err != nil && err != core.ErrNotFound {
+			res.errs = append(res.errs, fmt.Sprintf("op %d get %s: %v", i, op.key, err))
+		}
+	}
+	// Let trailing backward acks clear dirty bits before the audit.
+	p.Sleep(20 * runtime.Millisecond)
+
+	// Final contents, client-visible.
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if !op.put || seen[op.key] {
+			continue
+		}
+		seen[op.key] = true
+		v, _, err := cl.Get(p, []byte(op.key))
+		if err != nil {
+			res.errs = append(res.errs, fmt.Sprintf("final get %s: %v", op.key, err))
+			continue
+		}
+		res.kv[op.key] = string(v)
+	}
+
+	// Replica agreement: every synced chain member that is not mid-write
+	// must hold the committed value.
+	keys := make([]string, 0, len(res.kv))
+	for k := range res.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	view := c.Manager.View()
+	var b strings.Builder
+	for _, key := range keys {
+		part := PartitionOf(core.HashKey([]byte(key)), view.NumPart)
+		for _, id := range view.Chain(part) {
+			if !view.Synced(part, id) {
+				continue
+			}
+			got, have, err := c.ReplicaGet(p, id, part, []byte(key))
+			if err != nil || !have {
+				res.errs = append(res.errs, fmt.Sprintf("replica %d %s: have=%v err=%v", id, key, have, err))
+				continue
+			}
+			if string(got) != res.kv[key] {
+				res.errs = append(res.errs, fmt.Sprintf("replica %d diverges on %s: %q != %q",
+					id, key, got, res.kv[key]))
+				continue
+			}
+			fmt.Fprintf(&b, "%s@%d=%s\n", key, id, got)
+		}
+	}
+	res.replicas = b.String()
+	return res
+}
+
+// runEqSim executes the script on the DES kernel.
+func runEqSim(t *testing.T, ops []eqOp) *eqResult {
+	t.Helper()
+	k := sim.New()
+	defer k.Close()
+	c := New(eqClusterConfig(k))
+	c.Start()
+	k.Run(k.Now() + 5*runtime.Millisecond)
+	var res *eqResult
+	done := false
+	k.Spawn("eq-driver", func(p runtime.Task) {
+		res = runEqOps(p, c, ops)
+		done = true
+	})
+	deadline := k.Now() + 120*runtime.Second
+	for !done && k.Now() < deadline {
+		k.Run(k.Now() + 10*runtime.Millisecond)
+	}
+	if !done {
+		t.Fatal("sim equivalence driver did not finish")
+	}
+	return res
+}
+
+// runEqWallclock executes the same script on real goroutines.
+func runEqWallclock(t *testing.T, ops []eqOp) *eqResult {
+	t.Helper()
+	env := wallclock.New()
+	c := New(eqClusterConfig(env))
+	c.Start()
+	var res *eqResult
+	done := make(chan struct{})
+	env.Spawn("eq-driver", func(p runtime.Task) {
+		if err := c.AwaitReady(p, 10*runtime.Second); err != nil {
+			t.Errorf("wallclock cluster never ready: %v", err)
+		} else {
+			res = runEqOps(p, c, ops)
+		}
+		c.Shutdown()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("wallclock equivalence driver did not finish")
+	}
+	drained := make(chan struct{})
+	go func() { env.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+	}
+	return res
+}
+
+func TestSimWallclockClusterEquivalence(t *testing.T) {
+	ops := eqOps(42, 300, 32)
+	simRes := runEqSim(t, ops)
+	wcRes := runEqWallclock(t, ops)
+	if simRes == nil || wcRes == nil {
+		t.Fatal("missing result from one backend")
+	}
+	for _, e := range simRes.errs {
+		t.Errorf("sim: %s", e)
+	}
+	for _, e := range wcRes.errs {
+		t.Errorf("wallclock: %s", e)
+	}
+
+	// Identical final KV contents on both backends.
+	if len(simRes.kv) == 0 {
+		t.Fatal("sim backend committed nothing")
+	}
+	if len(simRes.kv) != len(wcRes.kv) {
+		t.Errorf("final KV sizes differ: sim=%d wallclock=%d", len(simRes.kv), len(wcRes.kv))
+	}
+	for k, v := range simRes.kv {
+		if wv, ok := wcRes.kv[k]; !ok {
+			t.Errorf("key %s present on sim, missing on wallclock", k)
+		} else if wv != v {
+			t.Errorf("key %s: sim=%q wallclock=%q", k, v, wv)
+		}
+	}
+
+	// Replica agreement transcripts match: same chains, same synced
+	// replicas, same committed bytes everywhere.
+	if simRes.replicas != wcRes.replicas {
+		t.Errorf("replica transcripts differ:\n--- sim\n%s--- wallclock\n%s",
+			simRes.replicas, wcRes.replicas)
+	}
+	if simRes.replicas == "" {
+		t.Error("empty replica transcript: the agreement audit checked nothing")
+	}
+}

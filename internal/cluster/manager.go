@@ -3,16 +3,17 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"leed/internal/netsim"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // ManagerConfig wires the control plane (the paper's etcd-backed manager,
 // §3.1.2): membership, heartbeat-based failure detection, and join/leave
 // orchestration through the COPY primitive.
 type ManagerConfig struct {
-	Kernel   *sim.Kernel
+	Env      runtime.Env
 	Endpoint *netsim.Endpoint
 
 	R       int // replication factor
@@ -20,9 +21,9 @@ type ManagerConfig struct {
 
 	// HeartbeatTimeout is how long a silent node lives before being
 	// declared failed. Default 20ms.
-	HeartbeatTimeout sim.Time
+	HeartbeatTimeout runtime.Time
 	// CheckEvery is the failure-detector period. Default 5ms.
-	CheckEvery sim.Time
+	CheckEvery runtime.Time
 }
 
 // ManagerStats are cumulative counters.
@@ -40,12 +41,12 @@ type ManagerStats struct {
 // Manager is the control plane.
 type Manager struct {
 	cfg   ManagerConfig
-	k     *sim.Kernel
+	env   runtime.Env
 	epoch uint64
 
 	states   map[NodeID]NodeState
 	unsynced map[uint32]map[NodeID]bool
-	lastHB   map[NodeID]sim.Time
+	lastHB   map[NodeID]runtime.Time
 	subs     []netsim.Addr
 
 	// pendingCopies tracks outstanding (partition, dest) migrations; when
@@ -54,8 +55,12 @@ type Manager struct {
 	pendingCopies map[copyKey]NodeID // -> node whose transition awaits this copy
 	pendingCount  map[NodeID]int
 
-	view  *View
-	stats ManagerStats
+	view    *View
+	stopped bool
+	stats   ManagerStats
+	// partitionsLost is kept as an atomic (assembled into Stats on read) so
+	// wallclock monitors and -race tests can poll it while drills run.
+	partitionsLost atomic.Int64
 }
 
 type copyKey struct {
@@ -66,23 +71,23 @@ type copyKey struct {
 // NewManager creates the control plane with an initial RUNNING member set.
 func NewManager(cfg ManagerConfig, initial []NodeID) *Manager {
 	if cfg.HeartbeatTimeout == 0 {
-		cfg.HeartbeatTimeout = 20 * sim.Millisecond
+		cfg.HeartbeatTimeout = 20 * runtime.Millisecond
 	}
 	if cfg.CheckEvery == 0 {
-		cfg.CheckEvery = 5 * sim.Millisecond
+		cfg.CheckEvery = 5 * runtime.Millisecond
 	}
 	m := &Manager{
 		cfg:           cfg,
-		k:             cfg.Kernel,
+		env:           cfg.Env,
 		states:        make(map[NodeID]NodeState),
 		unsynced:      make(map[uint32]map[NodeID]bool),
-		lastHB:        make(map[NodeID]sim.Time),
+		lastHB:        make(map[NodeID]runtime.Time),
 		pendingCopies: make(map[copyKey]NodeID),
 		pendingCount:  make(map[NodeID]int),
 	}
 	for _, n := range initial {
 		m.states[n] = StateRunning
-		m.lastHB[n] = cfg.Kernel.Now()
+		m.lastHB[n] = cfg.Env.Now()
 	}
 	return m
 }
@@ -100,7 +105,15 @@ func (m *Manager) View() *View {
 }
 
 // Stats returns cumulative counters.
-func (m *Manager) Stats() ManagerStats { return m.stats }
+func (m *Manager) Stats() ManagerStats {
+	s := m.stats
+	s.PartitionsLost = m.partitionsLost.Load()
+	return s
+}
+
+// PartitionsLost returns the lost-partition repair counter. Safe to call
+// from any goroutine, including while drills run on the wallclock backend.
+func (m *Manager) PartitionsLost() int64 { return m.partitionsLost.Load() }
 
 func (m *Manager) rebuildView() {
 	m.epoch++
@@ -132,13 +145,20 @@ func (m *Manager) publish() {
 }
 
 // Start launches the manager's receive loop and failure detector, and
-// publishes the initial view.
+// publishes the initial view. Must run in task or scheduler context.
 func (m *Manager) Start() {
 	m.publish()
-	m.k.Go("manager-rx", func(p *sim.Proc) {
+	m.env.Spawn("manager-rx", func(p runtime.Task) {
 		rx := m.cfg.Endpoint.RX()
 		for {
-			msg := rx.Get(p)
+			msg := rx.Get(p).(*netsim.Message)
+			if _, stop := msg.Payload.(stopMsg); stop {
+				rx.Put(msg)
+				return
+			}
+			if m.stopped {
+				return
+			}
 			switch pl := msg.Payload.(type) {
 			case *hbMsg:
 				m.lastHB[pl.node] = p.Now()
@@ -147,9 +167,12 @@ func (m *Manager) Start() {
 			}
 		}
 	})
-	m.k.Go("manager-fd", func(p *sim.Proc) {
-		for {
+	m.env.Spawn("manager-fd", func(p runtime.Task) {
+		for !m.stopped {
 			p.Sleep(m.cfg.CheckEvery)
+			if m.stopped {
+				return
+			}
 			now := p.Now()
 			ids := make([]NodeID, 0, len(m.states))
 			for n := range m.states {
@@ -169,6 +192,10 @@ func (m *Manager) Start() {
 		}
 	})
 }
+
+// Stop makes the manager cease detecting failures and processing messages;
+// its receive loop exits on the shutdown pill. Part of Cluster.Shutdown.
+func (m *Manager) Stop() { m.stopped = true }
 
 // chainsContaining returns partitions whose chain under v includes node.
 func chainsContaining(v *View, node NodeID) []uint32 {
@@ -205,7 +232,7 @@ func (m *Manager) Join(node NodeID) {
 	m.stats.Joins++
 	old := m.View()
 	m.states[node] = StateJoining
-	m.lastHB[node] = m.k.Now()
+	m.lastHB[node] = m.env.Now()
 	// Compute which partitions the node will replicate under the new ring.
 	m.rebuildView()
 	parts := chainsContaining(m.view, node)
@@ -276,7 +303,7 @@ func (m *Manager) removeNode(node NodeID, failed bool) {
 			} else {
 				// No synced survivor: committed data for this partition is
 				// unrecoverable (more simultaneous failures than R-1).
-				m.stats.PartitionsLost++
+				m.partitionsLost.Add(1)
 				delete(set, nn)
 			}
 		}
@@ -351,5 +378,5 @@ func (m *Manager) PendingCopies() int { return len(m.pendingCopies) }
 // String summarizes the membership for debugging.
 func (m *Manager) String() string {
 	return fmt.Sprintf("epoch=%d members=%d pendingCopies=%d partitionsLost=%d",
-		m.epoch, len(m.states), len(m.pendingCopies), m.stats.PartitionsLost)
+		m.epoch, len(m.states), len(m.pendingCopies), m.partitionsLost.Load())
 }

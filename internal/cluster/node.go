@@ -10,7 +10,7 @@ import (
 	"leed/internal/netsim"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // reqEnvelope carries a request through the fabric together with the
@@ -19,7 +19,7 @@ import (
 type reqEnvelope struct {
 	req        *rpcproto.Request
 	clientAddr netsim.Addr
-	complete   *sim.Event
+	complete   runtime.Event
 }
 
 // viewMsg distributes a membership view.
@@ -40,9 +40,15 @@ type copyDone struct {
 	dest      NodeID
 }
 
+// stopMsg is the shutdown poison pill: Cluster.Shutdown floods it through
+// the fabric so every parked poller (including ones orphaned on a crashed
+// node's abandoned RX queue) wakes up and exits. A receiver that sees it
+// puts it back for its sibling pollers before returning.
+type stopMsg struct{}
+
 // NodeConfig wires one storage node.
 type NodeConfig struct {
-	Kernel      *sim.Kernel
+	Env         runtime.Env
 	ID          NodeID
 	Engine      *engine.Engine
 	Endpoint    *netsim.Endpoint
@@ -62,7 +68,7 @@ type NodeConfig struct {
 	RxCycles int64 // polling-core cycles to receive one message
 	TxCycles int64 // polling-core cycles to send one message
 
-	HeartbeatEvery sim.Time
+	HeartbeatEvery runtime.Time
 	// CopyBatch is the number of outstanding COPY transfers during
 	// migration. Default 8.
 	CopyBatch int
@@ -90,7 +96,7 @@ type NodeStats struct {
 // view logic that runs on the SmartNIC's polling and control cores.
 type Node struct {
 	cfg  NodeConfig
-	k    *sim.Kernel
+	env  runtime.Env
 	view *View
 
 	local     map[uint32]int // global partition -> engine partition id
@@ -127,10 +133,10 @@ const partTagKey = "\x00leed:partition"
 // gate serializes compute onto one core.
 type gate struct {
 	core *platform.Core
-	res  *sim.Resource
+	res  runtime.Resource
 }
 
-func (g *gate) run(p *sim.Proc, cycles int64) {
+func (g *gate) run(p runtime.Task, cycles int64) {
 	g.res.Acquire(p, 1)
 	g.core.RunCycles(p, cycles)
 	g.res.Release(1)
@@ -145,7 +151,7 @@ func NewNode(cfg NodeConfig) *Node {
 		cfg.TxCycles = 1200
 	}
 	if cfg.HeartbeatEvery == 0 {
-		cfg.HeartbeatEvery = 5 * sim.Millisecond
+		cfg.HeartbeatEvery = 5 * runtime.Millisecond
 	}
 	if cfg.CopyBatch == 0 {
 		// Aggressive migration: the paper's COPY saturates spare bandwidth,
@@ -154,7 +160,7 @@ func NewNode(cfg NodeConfig) *Node {
 	}
 	n := &Node{
 		cfg:     cfg,
-		k:       cfg.Kernel,
+		env:     cfg.Env,
 		local:   make(map[uint32]int),
 		dirty:   make(map[uint32]map[string]int),
 		wasTail: make(map[uint32]bool),
@@ -191,7 +197,7 @@ func (n *Node) Start() {
 	}
 	// One shared gate models the polling cores' aggregate packet budget.
 	pollCore := plat.Cores[first]
-	n.pollGate = &gate{core: pollCore, res: sim.NewResource(n.k, 1)}
+	n.pollGate = &gate{core: pollCore, res: n.env.MakeResource(1)}
 	n.numPoll = 0
 	for i := first; i < last; i++ {
 		plat.Cores[i].PinPolling()
@@ -204,9 +210,9 @@ func (n *Node) Start() {
 func (n *Node) launch() {
 	gen := n.gen
 	for i := 0; i < n.numPoll; i++ {
-		n.k.Go(fmt.Sprintf("node%d-poll", n.cfg.ID), func(p *sim.Proc) { n.pollLoop(p, gen) })
+		n.env.Spawn(fmt.Sprintf("node%d-poll", n.cfg.ID), func(p runtime.Task) { n.pollLoop(p, gen) })
 	}
-	n.k.Go(fmt.Sprintf("node%d-hb", n.cfg.ID), func(p *sim.Proc) { n.heartbeatLoop(p, gen) })
+	n.env.Spawn(fmt.Sprintf("node%d-hb", n.cfg.ID), func(p runtime.Task) { n.heartbeatLoop(p, gen) })
 }
 
 // Stop makes the node fail-stop: its endpoint drops traffic and its loops
@@ -230,7 +236,7 @@ func (n *Node) Stop() {
 // Restart must not be called before the manager has detected the failure
 // and removed the node: a faster-than-detection restart would leave chains
 // pointing at an amnesiac replica the view machinery believes is current.
-func (n *Node) Restart() *sim.Event {
+func (n *Node) Restart() runtime.Event {
 	if !n.stopped {
 		panic(fmt.Sprintf("cluster: Restart of running node %d", n.cfg.ID))
 	}
@@ -245,8 +251,8 @@ func (n *Node) Restart() *sim.Event {
 	n.fresh = make(map[uint32]map[string]bool)
 	n.freeSlots = nil
 	n.stats.Restarts++
-	done := n.k.NewEvent()
-	n.k.Go(fmt.Sprintf("node%d-recover", n.cfg.ID), func(p *sim.Proc) {
+	done := n.env.MakeEvent()
+	n.env.Spawn(fmt.Sprintf("node%d-recover", n.cfg.ID), func(p runtime.Task) {
 		eng := n.cfg.Engine
 		var free []int
 		for pid := 0; pid < eng.NumPartitions(); pid++ {
@@ -285,17 +291,24 @@ func (n *Node) Restart() *sim.Event {
 	return done
 }
 
-func (n *Node) heartbeatLoop(p *sim.Proc, gen int) {
+func (n *Node) heartbeatLoop(p runtime.Task, gen int) {
 	for !n.stopped && n.gen == gen {
 		n.cfg.Endpoint.Send(n.cfg.ManagerAddr, 64, &hbMsg{node: n.cfg.ID})
 		p.Sleep(n.cfg.HeartbeatEvery)
 	}
 }
 
-func (n *Node) pollLoop(p *sim.Proc, gen int) {
+func (n *Node) pollLoop(p runtime.Task, gen int) {
 	rx := n.cfg.Endpoint.RX()
-	for !n.stopped && n.gen == gen {
-		m := rx.Get(p)
+	for {
+		m := rx.Get(p).(*netsim.Message)
+		// The poison check comes before the liveness check: a crashed node's
+		// pollers are parked with stale generations, and each must re-put the
+		// pill so its siblings on the same (possibly orphaned) queue wake too.
+		if _, stop := m.Payload.(stopMsg); stop {
+			rx.Put(m)
+			return
+		}
 		if n.stopped || n.gen != gen {
 			return
 		}
@@ -303,12 +316,12 @@ func (n *Node) pollLoop(p *sim.Proc, gen int) {
 		switch pl := m.Payload.(type) {
 		case *reqEnvelope:
 			env := pl
-			n.k.Go("handler", func(hp *sim.Proc) { n.handle(hp, env) })
+			n.env.Spawn("handler", func(hp runtime.Task) { n.handle(hp, env) })
 		case *viewMsg:
 			n.applyView(p, pl.view)
 		case *copyCmd:
 			cmd := pl
-			n.k.Go("copy", func(cp *sim.Proc) { n.runCopy(cp, cmd) })
+			n.env.Spawn("copy", func(cp runtime.Task) { n.runCopy(cp, cmd) })
 		}
 	}
 }
@@ -347,7 +360,7 @@ func (n *Node) localPid(part uint32) (int, bool) {
 
 // tagPartition persists the global partition number into the store so a
 // restarted node can re-map recovered data (see partTagKey).
-func (n *Node) tagPartition(p *sim.Proc, part uint32, pid int) {
+func (n *Node) tagPartition(p runtime.Task, part uint32, pid int) {
 	tag := make([]byte, 4)
 	binary.LittleEndian.PutUint32(tag, part)
 	n.cfg.Engine.Execute(p, pid, rpcproto.OpPut, []byte(partTagKey), tag)
@@ -355,7 +368,7 @@ func (n *Node) tagPartition(p *sim.Proc, part uint32, pid int) {
 
 // materializePid is localPid plus the durable partition tag: freshly
 // allocated slots are tagged before they absorb any data.
-func (n *Node) materializePid(p *sim.Proc, part uint32) (int, bool) {
+func (n *Node) materializePid(p runtime.Task, part uint32) (int, bool) {
 	if pid, ok := n.local[part]; ok {
 		return pid, true
 	}
@@ -369,7 +382,7 @@ func (n *Node) materializePid(p *sim.Proc, part uint32) (int, bool) {
 
 // ensureFresh resets a stale partition before it absorbs data for a new
 // chain membership, so resurrected slots never leak old objects.
-func (n *Node) ensureFresh(p *sim.Proc, part uint32) {
+func (n *Node) ensureFresh(p runtime.Task, part uint32) {
 	if !n.stale[part] {
 		return
 	}
@@ -387,7 +400,7 @@ func (n *Node) ensureFresh(p *sim.Proc, part uint32) {
 // replicates and commits pending dirty keys on partitions where this node
 // just became the tail (§3.8.2: the penultimate node keeps the dirty bit
 // until it becomes the tail, which then commits the write).
-func (n *Node) applyView(p *sim.Proc, v *View) {
+func (n *Node) applyView(p runtime.Task, v *View) {
 	if n.view != nil && v.Epoch <= n.view.Epoch {
 		return
 	}
@@ -488,7 +501,7 @@ func (n *Node) DirtyKeys() int {
 
 // reply delivers a response to the client by one-sided WRITE into its
 // pre-allocated completion slot, piggybacking available tokens (§3.5).
-func (n *Node) reply(p *sim.Proc, env *reqEnvelope, resp *rpcproto.Response) {
+func (n *Node) reply(p runtime.Task, env *reqEnvelope, resp *rpcproto.Response) {
 	if n.stopped {
 		return
 	}
@@ -504,7 +517,7 @@ func (n *Node) reply(p *sim.Proc, env *reqEnvelope, resp *rpcproto.Response) {
 	n.cfg.Endpoint.Write(env.clientAddr, resp.WireSize(), resp, env.complete)
 }
 
-func (n *Node) nack(p *sim.Proc, env *reqEnvelope) {
+func (n *Node) nack(p runtime.Task, env *reqEnvelope) {
 	n.stats.Nacks++
 	epoch := uint64(0)
 	if n.view != nil {
@@ -513,7 +526,7 @@ func (n *Node) nack(p *sim.Proc, env *reqEnvelope) {
 	n.reply(p, env, &rpcproto.Response{ID: env.req.ID, Status: rpcproto.StatusNack, Epoch: epoch})
 }
 
-func (n *Node) sendAck(p *sim.Proc, to NodeID, part uint32, key []byte) {
+func (n *Node) sendAck(p runtime.Task, to NodeID, part uint32, key []byte) {
 	if n.stopped {
 		return
 	}
@@ -524,7 +537,7 @@ func (n *Node) sendAck(p *sim.Proc, to NodeID, part uint32, key []byte) {
 }
 
 // handle processes one request end to end on a handler proc.
-func (n *Node) handle(p *sim.Proc, env *reqEnvelope) {
+func (n *Node) handle(p runtime.Task, env *reqEnvelope) {
 	if n.stopped {
 		return
 	}
@@ -548,7 +561,7 @@ func (n *Node) handle(p *sim.Proc, env *reqEnvelope) {
 	}
 }
 
-func (n *Node) handleAck(p *sim.Proc, req *rpcproto.Request) {
+func (n *Node) handleAck(p runtime.Task, req *rpcproto.Request) {
 	n.clearDirty(req.Partition, req.Key)
 	v := n.view
 	pos := v.ChainPos(req.Partition, n.cfg.ID)
@@ -557,7 +570,7 @@ func (n *Node) handleAck(p *sim.Proc, req *rpcproto.Request) {
 	}
 }
 
-func (n *Node) handleCopy(p *sim.Proc, env *reqEnvelope) {
+func (n *Node) handleCopy(p runtime.Task, env *reqEnvelope) {
 	req := env.req
 	n.ensureFresh(p, req.Partition)
 	pid, ok := n.materializePid(p, req.Partition)
@@ -582,7 +595,7 @@ func (n *Node) handleCopy(p *sim.Proc, env *reqEnvelope) {
 	n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: status})
 }
 
-func (n *Node) handleWrite(p *sim.Proc, env *reqEnvelope) {
+func (n *Node) handleWrite(p runtime.Task, env *reqEnvelope) {
 	req := env.req
 	v := n.view
 	if req.Epoch != v.Epoch {
@@ -649,7 +662,7 @@ func (n *Node) handleWrite(p *sim.Proc, env *reqEnvelope) {
 	}
 }
 
-func (n *Node) handleGet(p *sim.Proc, env *reqEnvelope) {
+func (n *Node) handleGet(p runtime.Task, env *reqEnvelope) {
 	req := env.req
 	v := n.view
 	if req.Epoch != v.Epoch {
@@ -678,11 +691,13 @@ func (n *Node) handleGet(p *sim.Proc, env *reqEnvelope) {
 				n.stats.VersionQueries++
 				fwd := *req
 				fwd.Shipped = true
-				done := n.k.NewEvent()
+				done := n.env.MakeEvent()
 				n.pollGate.run(p, n.cfg.TxCycles)
 				n.cfg.Endpoint.Send(netsim.Addr(chain[len(chain)-1]), fwd.WireSize(),
 					&reqEnvelope{req: &fwd, clientAddr: n.cfg.Endpoint.Addr(), complete: done})
-				idx := p.WaitAny(done, n.k.Timer(20*sim.Millisecond))
+				deadline, cancel := runtime.CancelableTimer(n.env, 20*runtime.Millisecond)
+				idx := runtime.WaitAny(p, done, deadline)
+				cancel()
 				if idx != 0 {
 					n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
 					return
@@ -721,7 +736,7 @@ func (n *Node) handleGet(p *sim.Proc, env *reqEnvelope) {
 
 // copyAckTimeout bounds how long a COPY sender waits for any one item's
 // acknowledgment before retrying or giving up on it for the round.
-const copyAckTimeout = 25 * sim.Millisecond
+const copyAckTimeout = 25 * runtime.Millisecond
 
 // copyRounds bounds COPY retry rounds; the final copyDone is sent even if
 // items remain unacked (e.g. the destination died), so the control plane is
@@ -733,7 +748,7 @@ const copyRounds = 5
 // COPY rides the same fabric as everything else, so requests and acks can be
 // lost; unacked items are resent in bounded retry rounds — a silently
 // dropped item would leave a permanent hole in the repaired replica.
-func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
+func (n *Node) runCopy(p runtime.Task, cmd *copyCmd) {
 	gen := n.gen
 	pid, ok := n.local[cmd.partition]
 	if !ok {
@@ -760,9 +775,9 @@ func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
 		if round > 0 {
 			n.stats.CopyRetries += int64(len(items))
 		}
-		window := sim.NewResource(n.k, int64(n.cfg.CopyBatch))
+		window := n.env.MakeResource(int64(n.cfg.CopyBatch))
 		acked := make([]bool, len(items))
-		var pending []*sim.Event
+		var pending []runtime.Event
 		for i, it := range items {
 			if n.stopped || n.gen != gen {
 				return
@@ -773,7 +788,7 @@ func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
 				ID: uint64(n.stats.CopiesSent), Op: rpcproto.OpCopy,
 				Partition: cmd.partition, Key: it.key, Value: it.val,
 			}
-			done := n.k.NewEvent()
+			done := n.env.MakeEvent()
 			i := i
 			released := false
 			releaseOnce := func() {
@@ -792,7 +807,7 @@ func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
 				}
 				releaseOnce()
 			})
-			n.k.After(copyAckTimeout, releaseOnce)
+			n.env.After(copyAckTimeout, releaseOnce)
 			pending = append(pending, done)
 			n.pollGate.run(p, n.cfg.TxCycles)
 			n.cfg.Endpoint.Send(netsim.Addr(cmd.dest), req.WireSize(),
@@ -801,7 +816,9 @@ func (n *Node) runCopy(p *sim.Proc, cmd *copyCmd) {
 		for _, ev := range pending {
 			if !ev.Fired() {
 				// Bound the wait: the destination may have failed mid-copy.
-				p.WaitAny(ev, n.k.Timer(copyAckTimeout))
+				deadline, cancel := runtime.CancelableTimer(n.env, copyAckTimeout)
+				runtime.WaitAny(p, ev, deadline)
+				cancel()
 			}
 		}
 		left := items[:0]

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+)
+
+// TestPartitionsLostRaceSafeOnWallclock is the -race regression for the
+// manager's lost-partition counter: a monitor goroutine polls
+// Manager.PartitionsLost while the control plane is mid-catastrophe on the
+// wallclock backend. The counter is an atomic precisely so wallclock
+// monitors (and this test) can watch repairs fail in real time.
+func TestPartitionsLostRaceSafeOnWallclock(t *testing.T) {
+	env := wallclock.New()
+	cfg := Config{
+		Env:           env,
+		NumJBOFs:      3,
+		SpareJBOFs:    3,
+		SSDsPerJBOF:   2,
+		SSDCapacity:   32 << 20,
+		NumPartitions: 8,
+		R:             3,
+		KeyLen:        16,
+		ValLen:        64,
+		NumClients:    1,
+		CRRS:          true,
+	}
+	c := New(cfg)
+	c.Start()
+
+	done := make(chan struct{})
+	env.Spawn("driver", func(p runtime.Task) {
+		defer func() {
+			c.Shutdown()
+			close(done)
+		}()
+		if err := c.AwaitReady(p, 10*runtime.Second); err != nil {
+			t.Errorf("cluster never ready: %v", err)
+			return
+		}
+		// Kill every original replica, then join spares whose re-sync has no
+		// synced source left: each affected chain charges PartitionsLost.
+		for _, id := range c.NodeIDs[:3] {
+			c.Kill(id)
+		}
+		for _, id := range c.NodeIDs[3:] {
+			c.Manager.Join(id)
+		}
+		if !waitFor(p, 10*runtime.Second, func() bool {
+			return c.Manager.PartitionsLost() > 0
+		}) {
+			t.Errorf("PartitionsLost stayed 0 after losing every synced replica: %s", c.Manager)
+		}
+	})
+
+	// Concurrent reads from a plain goroutine while the failure detector and
+	// join machinery bump the counter in task context.
+	var observed int64
+	deadline := time.After(60 * time.Second)
+	for {
+		select {
+		case <-done:
+			if got := c.Manager.PartitionsLost(); got == 0 {
+				t.Errorf("final PartitionsLost = 0 (observed %d mid-run)", observed)
+			}
+			drained := make(chan struct{})
+			go func() { env.Wait(); close(drained) }()
+			select {
+			case <-drained:
+			case <-time.After(10 * time.Second):
+			}
+			return
+		case <-deadline:
+			t.Fatal("driver did not finish")
+		default:
+			if v := c.Manager.PartitionsLost(); v > observed {
+				observed = v
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}

@@ -6,17 +6,18 @@ import (
 	"testing"
 
 	"leed/internal/rpcproto"
+	"leed/internal/runtime"
 	"leed/internal/sim"
 )
 
 // waitFor spins the driver until cond holds or ~budget elapses.
-func waitFor(p *sim.Proc, budget sim.Time, cond func() bool) bool {
+func waitFor(p runtime.Task, budget runtime.Time, cond func() bool) bool {
 	deadline := p.Now() + budget
 	for p.Now() < deadline {
 		if cond() {
 			return true
 		}
-		p.Sleep(sim.Millisecond)
+		p.Sleep(runtime.Millisecond)
 	}
 	return cond()
 }
@@ -25,10 +26,10 @@ func TestCrashRestartRejoinsAndKeepsAckedWrites(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 0, func(cfg *Config) {
-		cfg.FlushEvery = 2 * sim.Millisecond
+		cfg.FlushEvery = 2 * runtime.Millisecond
 	})
 	victim := c.NodeIDs[0]
-	drive(t, k, 120*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 120*runtime.Second, func(p runtime.Task) {
 		cl := c.Clients[0]
 		acked := map[string]string{}
 		for i := 0; i < 40; i++ {
@@ -44,14 +45,14 @@ func TestCrashRestartRejoinsAndKeepsAckedWrites(t *testing.T) {
 		}
 		// Let periodic flushes persist superblocks so the crashed node has
 		// something to replay.
-		p.Sleep(10 * sim.Millisecond)
+		p.Sleep(10 * runtime.Millisecond)
 
 		c.Crash(victim)
 		if _, err := c.Restart(victim); err == nil {
 			t.Error("Restart before failure detection should be refused")
 			return
 		}
-		if !waitFor(p, 2*sim.Second, func() bool {
+		if !waitFor(p, 2*runtime.Second, func() bool {
 			_, still := c.Manager.State(victim)
 			return !still
 		}) {
@@ -75,7 +76,7 @@ func TestCrashRestartRejoinsAndKeepsAckedWrites(t *testing.T) {
 		}
 		// The node rejoins via Manager.Join; wait until it is RUNNING and
 		// all re-sync copies have drained.
-		if !waitFor(p, 10*sim.Second, func() bool {
+		if !waitFor(p, 10*runtime.Second, func() bool {
 			s, ok := c.Manager.State(victim)
 			return ok && s == StateRunning && c.Manager.PendingCopies() == 0
 		}) {
@@ -111,14 +112,14 @@ func TestPartitionsLostWhenNoSyncedSurvivor(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	c := newTestCluster(k, 3, nil)
-	drive(t, k, 30*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 30*runtime.Second, func(p runtime.Task) {
 		for _, id := range c.NodeIDs[:3] {
 			c.Kill(id)
 		}
 		for _, id := range c.NodeIDs[3:] {
 			c.Manager.Join(id)
 		}
-		waitFor(p, 5*sim.Second, func() bool {
+		waitFor(p, 5*runtime.Second, func() bool {
 			return c.Manager.Stats().PartitionsLost > 0
 		})
 		if got := c.Manager.Stats().PartitionsLost; got == 0 {
@@ -134,7 +135,7 @@ func TestClientBackoffIsSeededAndCounted(t *testing.T) {
 	// Same seed, same jitter sequence; the delay stays within [base/2, max].
 	mk := func(seed int64) *Client {
 		return NewClient(ClientConfig{
-			Kernel: simKernelForBackoff, Tenant: 9, BackoffSeed: seed,
+			Env: simEnvForBackoff, Tenant: 9, BackoffSeed: seed,
 		})
 	}
 	a, b := mk(42), mk(42)
@@ -155,7 +156,7 @@ func TestClientBackoffIsSeededAndCounted(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	cl := newTestCluster(k, 0, nil)
-	drive(t, k, 60*sim.Second, func(p *sim.Proc) {
+	drive(t, k, 60*runtime.Second, func(p runtime.Task) {
 		client := cl.Clients[0]
 		cl.Kill(cl.NodeIDs[0])
 		for i := 0; i < 30; i++ {
@@ -168,6 +169,6 @@ func TestClientBackoffIsSeededAndCounted(t *testing.T) {
 	})
 }
 
-// simKernelForBackoff exists only so NewClient's config validates; the
+// simEnvForBackoff exists only so NewClient's config validates; the
 // jitter unit test never runs the kernel.
-var simKernelForBackoff = sim.New()
+var simEnvForBackoff runtime.Env = sim.New()

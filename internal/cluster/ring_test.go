@@ -1,6 +1,9 @@
 package cluster
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestChainDistinctNodes(t *testing.T) {
 	members := []NodeID{100, 101, 102, 103, 104}
@@ -76,6 +79,127 @@ func TestRingMinimalDisruption(t *testing.T) {
 	}
 	if moved == 0 {
 		t.Fatal("node 102 owned nothing")
+	}
+}
+
+// TestRingChurnProperties drives seeded random add/remove sequences and
+// checks, after every membership change, the two properties the cluster
+// layer leans on: placement stays balanced (no node owns a wildly
+// disproportionate share of partition heads) and movement is minimal
+// (a change only moves partitions touching the changed node — survivors
+// never trade partitions among themselves).
+func TestRingChurnProperties(t *testing.T) {
+	const parts = 1024
+	cases := []struct {
+		name    string
+		seed    int64
+		initial int
+		steps   int
+	}{
+		{"small-churn", 1, 3, 24},
+		{"mid-churn", 7, 5, 24},
+		{"grow-heavy", 42, 3, 32},
+		{"shrink-heavy", 99, 8, 32},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			members := []NodeID{}
+			next := NodeID(100)
+			for i := 0; i < tc.initial; i++ {
+				members = append(members, next)
+				next++
+			}
+			heads := func(r *ring) []NodeID {
+				out := make([]NodeID, parts)
+				for p := uint32(0); p < parts; p++ {
+					out[p] = r.chainFor(p, 1)[0]
+				}
+				return out
+			}
+			checkBalance := func(r *ring, members []NodeID) {
+				t.Helper()
+				counts := map[NodeID]int{}
+				for _, h := range heads(r) {
+					counts[h]++
+				}
+				n := len(members)
+				for _, m := range members {
+					frac := float64(counts[m]) / parts
+					// With 32 virtual points per node the spread is wide but
+					// bounded; a broken ring (constant hash, dropped points)
+					// lands far outside [1/(4n), 3/n].
+					if frac < 1.0/(4*float64(n)) || frac > 3.0/float64(n) {
+						t.Fatalf("%d members: node %d owns %.1f%% of heads", n, m, 100*frac)
+					}
+				}
+			}
+			checkChains := func(r *ring, members []NodeID) {
+				t.Helper()
+				want := 3
+				if len(members) < want {
+					want = len(members)
+				}
+				for p := uint32(0); p < 64; p++ {
+					chain := r.chainFor(p, 3)
+					if len(chain) != want {
+						t.Fatalf("part %d: chain %v, want %d distinct nodes", p, chain, want)
+					}
+					seen := map[NodeID]bool{}
+					for _, nd := range chain {
+						if seen[nd] {
+							t.Fatalf("part %d: duplicate in chain %v", p, chain)
+						}
+						seen[nd] = true
+					}
+				}
+			}
+			r := buildRing(members)
+			checkBalance(r, members)
+			checkChains(r, members)
+			for step := 0; step < tc.steps; step++ {
+				before := heads(r)
+				add := len(members) <= 3 || (rng.Intn(2) == 0 && len(members) < 12)
+				var changed NodeID
+				if add {
+					changed = next
+					next++
+					members = append(members, changed)
+				} else {
+					i := rng.Intn(len(members))
+					changed = members[i]
+					members = append(members[:i], members[i+1:]...)
+				}
+				r = buildRing(members)
+				after := heads(r)
+				moved := 0
+				for p := 0; p < parts; p++ {
+					if before[p] == after[p] {
+						continue
+					}
+					moved++
+					if add && after[p] != changed {
+						t.Fatalf("step %d: adding %d moved part %d from %d to %d (survivor reshuffle)",
+							step, changed, p, before[p], after[p])
+					}
+					if !add && before[p] != changed {
+						t.Fatalf("step %d: removing %d moved part %d from surviving %d to %d",
+							step, changed, p, before[p], after[p])
+					}
+				}
+				if moved == 0 {
+					t.Fatalf("step %d: membership change of node %d moved nothing", step, changed)
+				}
+				// Minimal movement: roughly the changed node's share, never a
+				// wholesale reshuffle.
+				if frac := float64(moved) / parts; frac > 3.0/float64(len(members)+1) {
+					t.Fatalf("step %d: %.1f%% of heads moved for one node among %d",
+						step, 100*frac, len(members))
+				}
+				checkBalance(r, members)
+				checkChains(r, members)
+			}
+		})
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 	"leed/internal/sim"
 )
 
-func newTestLog(k *sim.Kernel, size int64) *CircLog {
+func newTestLog(k sim.Runner, size int64) *CircLog {
 	dev := flashsim.NewMemDevice(k, size+1024)
 	return NewCircLog(k, dev, 512, size)
 }

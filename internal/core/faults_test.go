@@ -13,7 +13,7 @@ import (
 // Failure-injection tests: the store must surface device errors cleanly and
 // keep previously written data intact and readable once faults clear.
 
-func newFaultyStore(k *sim.Kernel) (*Store, *flashsim.FaultInjector) {
+func newFaultyStore(k sim.Runner) (*Store, *flashsim.FaultInjector) {
 	inner := flashsim.NewMemDevice(k, 8<<20)
 	fi := flashsim.NewFaultInjector(k, inner, 1)
 	s := NewStore(Config{

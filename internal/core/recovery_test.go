@@ -11,7 +11,7 @@ import (
 
 // storeOn builds a store with fixed geometry on the given device, so a
 // second instance can be pointed at the same bytes for recovery.
-func storeOn(k *sim.Kernel, dev flashsim.Device) *Store {
+func storeOn(k sim.Runner, dev flashsim.Device) *Store {
 	return NewStore(Config{
 		Env: k, Device: dev, DevID: 0, NumSegments: 32,
 		KeyLogBytes: 512 << 10, ValLogBytes: 1 << 20, SwapLogBytes: 128 << 10,

@@ -11,7 +11,7 @@ import (
 )
 
 // newTestStore builds a small store on a MemDevice.
-func newTestStore(k *sim.Kernel) *Store {
+func newTestStore(k sim.Runner) *Store {
 	dev := flashsim.NewMemDevice(k, 4<<20)
 	return NewStore(Config{
 		Env:          k,
@@ -25,7 +25,7 @@ func newTestStore(k *sim.Kernel) *Store {
 }
 
 // runStore runs fn in a proc and drives the kernel to completion.
-func runStore(k *sim.Kernel, fn func(p *sim.Proc)) {
+func runStore(k sim.Runner, fn func(p *sim.Proc)) {
 	k.Go("test", fn)
 	k.Run()
 }

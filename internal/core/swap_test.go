@@ -9,7 +9,7 @@ import (
 )
 
 // newPeerStores builds two stores on separate devices wired as swap peers.
-func newPeerStores(k *sim.Kernel) (home, helper *Store) {
+func newPeerStores(k sim.Runner) (home, helper *Store) {
 	mk := func(devID uint8) *Store {
 		dev := flashsim.NewMemDevice(k, 4<<20)
 		return NewStore(Config{

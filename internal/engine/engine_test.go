@@ -11,7 +11,7 @@ import (
 )
 
 // newTestEngine builds a Stingray engine with small partitions.
-func newTestEngine(k *sim.Kernel, swap bool) (*Engine, *platform.Node) {
+func newTestEngine(k sim.Runner, swap bool) (*Engine, *platform.Node) {
 	node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
 	g := core.Geometry{
 		NumSegments:  256,
@@ -272,7 +272,7 @@ func TestEngineRangeThroughStore(t *testing.T) {
 func TestEngineMemoryBandwidthModel(t *testing.T) {
 	// With the §4.8 memory-bus model enabled, a large burst of concurrent
 	// ops must queue behind the 4390MB/s pipe.
-	build := func(model bool) (*Engine, *sim.Kernel) {
+	build := func(model bool) (*Engine, sim.Runner) {
 		k := sim.New()
 		node := platform.NewNode(k, platform.Stingray(), 4, 64<<20, 1)
 		e := New(Config{

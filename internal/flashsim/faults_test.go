@@ -7,7 +7,7 @@ import (
 )
 
 // faultEnv wires a FaultInjector over a MemDevice on a fresh kernel.
-func faultEnv(seed int64) (*sim.Kernel, *FaultInjector) {
+func faultEnv(seed int64) (sim.Runner, *FaultInjector) {
 	k := sim.New()
 	f := NewFaultInjector(k, NewMemDevice(k, 1<<20), seed)
 	return k, f

@@ -2,8 +2,9 @@ package netsim
 
 import (
 	"math/rand"
+	"sync/atomic"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Faults is the fabric's fault-injection layer: per-directed-link message
@@ -12,19 +13,27 @@ import (
 // on the sim kernel — the substrate the chaos drills' determinism rests on.
 //
 // The layer also enforces per-link FIFO delivery. The base fabric is FIFO
-// already (egress and ingress serialization are monotone), but a delay fault
-// that shrinks mid-flight could reorder messages on a link; RDMA reliable
-// connections deliver in order per QP, so the clamp keeps the model honest
-// and spares the chain protocol from reorderings real NICs never produce.
+// already (egress and ingress serialization are monotone, and the fabric's
+// sequence gate holds on wallclock), but a delay fault that shrinks
+// mid-flight could reorder messages on a link; RDMA reliable connections
+// deliver in order per QP, so the clamp keeps the model honest and spares
+// the chain protocol from reorderings real NICs never produce.
+//
+// The maps and rng are protected by the runtime execution contract (apply
+// and the Set* methods run in task or scheduler context); the stats counters
+// are atomics so Stats can be read from any goroutine on the wallclock
+// backend, e.g. by a test or monitor polling while a drill runs.
 type Faults struct {
 	rng *rand.Rand
 
 	drop        map[link]float64
-	delay       map[link]sim.Time
+	delay       map[link]runtime.Time
 	partitioned map[pair]bool
-	lastArrive  map[link]sim.Time
+	lastArrive  map[link]runtime.Time
 
-	stats FaultStats
+	droppedByLoss      atomic.Int64
+	droppedByPartition atomic.Int64
+	delayed            atomic.Int64
 }
 
 // FaultStats count fault-layer decisions.
@@ -53,9 +62,9 @@ func (f *Fabric) InstallFaults(seed int64) *Faults {
 	f.faults = &Faults{
 		rng:         rand.New(rand.NewSource(seed)),
 		drop:        make(map[link]float64),
-		delay:       make(map[link]sim.Time),
+		delay:       make(map[link]runtime.Time),
 		partitioned: make(map[pair]bool),
-		lastArrive:  make(map[link]sim.Time),
+		lastArrive:  make(map[link]runtime.Time),
 	}
 	return f.faults
 }
@@ -63,8 +72,14 @@ func (f *Fabric) InstallFaults(seed int64) *Faults {
 // Faults returns the installed fault layer, or nil.
 func (f *Fabric) Faults() *Faults { return f.faults }
 
-// Stats returns cumulative fault counters.
-func (fl *Faults) Stats() FaultStats { return fl.stats }
+// Stats returns cumulative fault counters. Safe from any goroutine.
+func (fl *Faults) Stats() FaultStats {
+	return FaultStats{
+		DroppedByLoss:      fl.droppedByLoss.Load(),
+		DroppedByPartition: fl.droppedByPartition.Load(),
+		Delayed:            fl.delayed.Load(),
+	}
+}
 
 // SetDrop sets the loss probability for the directed link from -> to.
 // p = 0 clears the fault.
@@ -84,7 +99,7 @@ func (fl *Faults) SetDropBoth(a, b Addr, p float64) {
 
 // SetDelay adds d of extra one-way delay on the directed link from -> to.
 // d = 0 clears the fault.
-func (fl *Faults) SetDelay(from, to Addr, d sim.Time) {
+func (fl *Faults) SetDelay(from, to Addr, d runtime.Time) {
 	if d <= 0 {
 		delete(fl.delay, link{from, to})
 		return
@@ -116,28 +131,28 @@ func (fl *Faults) Isolate(a Addr, peers ...Addr) {
 func (fl *Faults) HealAll() {
 	fl.partitioned = make(map[pair]bool)
 	fl.drop = make(map[link]float64)
-	fl.delay = make(map[link]sim.Time)
+	fl.delay = make(map[link]runtime.Time)
 }
 
 // apply runs one message through the fault layer: it returns the (possibly
 // delayed, FIFO-clamped) arrival time, or drop=true if the message is lost.
 // The rng advances only for links with an active loss fault, so adding a
 // fault on one link never perturbs the schedule of the others.
-func (fl *Faults) apply(from, to Addr, arrive sim.Time) (sim.Time, bool) {
+func (fl *Faults) apply(from, to Addr, arrive runtime.Time) (runtime.Time, bool) {
 	if fl.partitioned[pairOf(from, to)] {
-		fl.stats.DroppedByPartition++
+		fl.droppedByPartition.Add(1)
 		return 0, true
 	}
 	l := link{from, to}
 	if p, ok := fl.drop[l]; ok {
 		if fl.rng.Float64() < p {
-			fl.stats.DroppedByLoss++
+			fl.droppedByLoss.Add(1)
 			return 0, true
 		}
 	}
 	if d, ok := fl.delay[l]; ok {
 		arrive += d
-		fl.stats.Delayed++
+		fl.delayed.Add(1)
 	}
 	if last := fl.lastArrive[l]; arrive < last {
 		arrive = last

@@ -3,14 +3,15 @@ package netsim
 import (
 	"testing"
 
+	"leed/internal/runtime"
 	"leed/internal/sim"
 )
 
-// drainInto keeps a proc pulling b's RX queue into got.
-func drainInto(k *sim.Kernel, b *Endpoint, got *[]any) {
-	k.Go("rx", func(p *sim.Proc) {
+// drainInto keeps a task pulling b's RX queue into got.
+func drainInto(env runtime.Env, b *Endpoint, got *[]any) {
+	env.Spawn("rx", func(p runtime.Task) {
 		for {
-			m := b.RX().Get(p)
+			m := b.RX().Get(p).(*Message)
 			*got = append(*got, m.Payload)
 		}
 	})
@@ -28,7 +29,7 @@ func TestPartitionDropsBothDirections(t *testing.T) {
 	drainInto(k, b, &gotB)
 	a.Send(2, 100, "a->b")
 	b.Send(1, 100, "b->a")
-	k.Run(sim.Millisecond)
+	k.Run(runtime.Millisecond)
 	if len(gotA) != 0 || len(gotB) != 0 {
 		t.Fatalf("partitioned link delivered: a=%v b=%v", gotA, gotB)
 	}
@@ -52,14 +53,14 @@ func TestPartitionThenHealDeliverySemantics(t *testing.T) {
 	drainInto(k, b, &got)
 
 	a.Send(2, 100, "before")
-	k.Run(k.Now() + sim.Millisecond)
+	k.Run(k.Now() + runtime.Millisecond)
 	fl.Partition(1, 2)
 	a.Send(2, 100, "during-1")
 	a.Send(2, 100, "during-2")
-	k.Run(k.Now() + sim.Millisecond)
+	k.Run(k.Now() + runtime.Millisecond)
 	fl.Heal(1, 2)
 	a.Send(2, 100, "after")
-	k.Run(k.Now() + sim.Millisecond)
+	k.Run(k.Now() + runtime.Millisecond)
 
 	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
 		t.Fatalf("delivered %v, want [before after]", got)
@@ -81,7 +82,7 @@ func TestDropProbabilityIsSeededAndDirected(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			a.Send(2, 100, i)
 		}
-		k.Run(k.Now() + sim.Second)
+		k.Run(k.Now() + runtime.Second)
 		return len(got), fl.Stats().DroppedByLoss
 	}
 	d1, l1 := run(7)
@@ -106,7 +107,7 @@ func TestDropProbabilityIsSeededAndDirected(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		b.Send(1, 100, i)
 	}
-	k.Run(k.Now() + sim.Second)
+	k.Run(k.Now() + runtime.Second)
 	if len(got) != 20 {
 		t.Fatalf("reverse direction lost messages: %d/20", len(got))
 	}
@@ -122,21 +123,21 @@ func TestExtraDelaySlowsButPreservesOrder(t *testing.T) {
 	fl := f.InstallFaults(1)
 
 	var got []any
-	var times []sim.Time
-	k.Go("rx", func(p *sim.Proc) {
+	var times []runtime.Time
+	k.Spawn("rx", func(p runtime.Task) {
 		for {
-			m := b.RX().Get(p)
+			m := b.RX().Get(p).(*Message)
 			got = append(got, m.Payload)
 			times = append(times, p.Now())
 		}
 	})
 
-	fl.SetDelay(1, 2, 5*sim.Millisecond)
+	fl.SetDelay(1, 2, 5*runtime.Millisecond)
 	a.Send(2, 100, "slow")
-	k.Run(k.Now() + 10*sim.Microsecond) // schedule, then clear the fault
+	k.Run(k.Now() + 10*runtime.Microsecond) // schedule, then clear the fault
 	fl.SetDelay(1, 2, 0)
 	a.Send(2, 100, "fast")
-	k.Run(k.Now() + 20*sim.Millisecond)
+	k.Run(k.Now() + 20*runtime.Millisecond)
 
 	if len(got) != 2 {
 		t.Fatalf("delivered %d messages", len(got))
@@ -144,7 +145,7 @@ func TestExtraDelaySlowsButPreservesOrder(t *testing.T) {
 	if got[0] != "slow" || got[1] != "fast" {
 		t.Fatalf("reordered delivery: %v", got)
 	}
-	if times[0] < 5*sim.Millisecond {
+	if times[0] < 5*runtime.Millisecond {
 		t.Fatalf("delay fault not applied: first delivery at %v", times[0])
 	}
 	if fl.Stats().Delayed != 1 {
@@ -159,13 +160,13 @@ func TestHealAllClearsEveryFault(t *testing.T) {
 	fl := f.InstallFaults(3)
 	fl.Partition(1, 2)
 	fl.SetDropBoth(1, 2, 1.0)
-	fl.SetDelay(1, 2, sim.Millisecond)
+	fl.SetDelay(1, 2, runtime.Millisecond)
 	fl.HealAll()
 
 	var got []any
 	drainInto(k, b, &got)
 	a.Send(2, 100, "ok")
-	k.Run(k.Now() + sim.Millisecond)
+	k.Run(k.Now() + runtime.Millisecond)
 	if len(got) != 1 {
 		t.Fatal("HealAll did not restore the link")
 	}
@@ -194,7 +195,7 @@ func TestResetRXDiscardsQueuedMessages(t *testing.T) {
 	defer k.Close()
 	_, a, b := newPair(k, 100_000_000_000)
 	a.Send(2, 100, "lost-with-dram")
-	k.Run(k.Now() + sim.Millisecond)
+	k.Run(k.Now() + runtime.Millisecond)
 	if b.RX().Len() != 1 {
 		t.Fatalf("queued %d", b.RX().Len())
 	}
@@ -204,7 +205,7 @@ func TestResetRXDiscardsQueuedMessages(t *testing.T) {
 	}
 	// New traffic lands in the fresh queue.
 	a.Send(2, 100, "post-restart")
-	k.Run(k.Now() + sim.Millisecond)
+	k.Run(k.Now() + runtime.Millisecond)
 	if b.RX().Len() != 1 {
 		t.Fatal("fresh queue not receiving")
 	}

@@ -5,12 +5,19 @@
 // poll queue (consuming receiver CPU to pick up), and Write is a one-sided
 // RDMA WRITE-with-IMM that completes directly into a completion event or
 // queue without receiver CPU involvement.
+//
+// The fabric runs on any runtime.Env. On the sim kernel the delays are
+// virtual and the schedule replays bit-identically; on the wallclock backend
+// the same propagation and serialization delays become real timers, and a
+// per-link sequence gate preserves FIFO delivery even when the OS fires two
+// close timers out of order.
 package netsim
 
 import (
 	"fmt"
+	"sort"
 
-	"leed/internal/sim"
+	"leed/internal/runtime"
 )
 
 // Addr identifies one endpoint on the fabric.
@@ -25,36 +32,63 @@ type Message struct {
 	// Complete, when non-nil, receives the message by event (one-sided
 	// WRITE into the sender-registered completion structure). Otherwise
 	// the message lands in the destination's RX queue.
-	Complete *sim.Event
-	Sent     sim.Time
+	Complete runtime.Event
+	Sent     runtime.Time
 }
 
 // Config tunes the fabric.
 type Config struct {
 	// Propagation is the one-way switch+wire delay. Default 1.5us.
-	Propagation sim.Time
+	Propagation runtime.Time
 	// MsgOverheadBytes is added to every message's wire size (headers).
 	// Default 64.
 	MsgOverheadBytes int64
 }
 
 // Fabric is the network. All endpoints share one non-blocking switch.
+// All fabric state is protected by the runtime execution contract: transmit
+// and delivery run in task or scheduler context only.
 type Fabric struct {
-	k      *sim.Kernel
+	env    runtime.Env
 	cfg    Config
 	nodes  map[Addr]*Endpoint
 	faults *Faults // nil unless InstallFaults was called
+
+	// Per-link FIFO delivery gate. The sim kernel delivers same-time events
+	// in schedule order, so per-link arrival monotonicity is enough there;
+	// wallclock timers carry no such guarantee, so each surviving message
+	// takes a sequence number at send time and delivery is released strictly
+	// in sequence order per directed link.
+	sendSeq     map[link]uint64
+	nextDeliver map[link]uint64
+	held        map[link]map[uint64]func()
 }
 
-// New creates a fabric on k.
-func New(k *sim.Kernel, cfg Config) *Fabric {
+// New creates a fabric on env.
+func New(env runtime.Env, cfg Config) *Fabric {
 	if cfg.Propagation == 0 {
-		cfg.Propagation = 1500 * sim.Nanosecond
+		cfg.Propagation = 1500 * runtime.Nanosecond
 	}
 	if cfg.MsgOverheadBytes == 0 {
 		cfg.MsgOverheadBytes = 64
 	}
-	return &Fabric{k: k, cfg: cfg, nodes: make(map[Addr]*Endpoint)}
+	return &Fabric{
+		env:         env,
+		cfg:         cfg,
+		nodes:       make(map[Addr]*Endpoint),
+		sendSeq:     make(map[link]uint64),
+		nextDeliver: make(map[link]uint64),
+		held:        make(map[link]map[uint64]func()),
+	}
+}
+
+// Env returns the runtime environment the fabric runs on.
+func (f *Fabric) Env() runtime.Env { return f.env }
+
+// at schedules fn at absolute time when (clamped to now), in scheduler
+// context.
+func (f *Fabric) at(when runtime.Time, fn func()) {
+	f.env.After(when-f.env.Now(), fn)
 }
 
 // Stats are per-endpoint counters.
@@ -69,9 +103,10 @@ type Endpoint struct {
 	addr        Addr
 	fab         *Fabric
 	bytesPerSec int64
-	txFree      sim.Time // egress link free-at time
-	rxFree      sim.Time // ingress link free-at time
-	rx          *sim.Queue[*Message]
+	txFree      runtime.Time // egress link free-at time
+	rxFree      runtime.Time // ingress link free-at time
+	rx          runtime.Queue
+	orphans     []runtime.Queue // queues abandoned by ResetRX, kept for Flood
 	down        bool
 	stats       Stats
 }
@@ -85,7 +120,7 @@ func (f *Fabric) AddNode(addr Addr, bitsPerS int64) *Endpoint {
 		addr:        addr,
 		fab:         f,
 		bytesPerSec: bitsPerS / 8,
-		rx:          sim.NewQueue[*Message](f.k),
+		rx:          f.env.MakeQueue(),
 	}
 	f.nodes[addr] = e
 	return e
@@ -94,13 +129,18 @@ func (f *Fabric) AddNode(addr Addr, bitsPerS int64) *Endpoint {
 // Addr returns the endpoint's address.
 func (e *Endpoint) Addr() Addr { return e.addr }
 
-// RX returns the two-sided receive queue that polling cores drain.
-func (e *Endpoint) RX() *sim.Queue[*Message] { return e.rx }
+// RX returns the two-sided receive queue that polling cores drain. Items are
+// *Message.
+func (e *Endpoint) RX() runtime.Queue { return e.rx }
 
 // ResetRX abandons the receive queue and installs a fresh empty one,
 // modeling DRAM loss on a crash: packets queued but not yet polled vanish,
-// and pollers parked on the old queue are orphaned with it.
-func (e *Endpoint) ResetRX() { e.rx = sim.NewQueue[*Message](e.fab.k) }
+// and pollers parked on the old queue are orphaned with it. The old queue is
+// remembered so Flood can still reach pollers parked on it.
+func (e *Endpoint) ResetRX() {
+	e.orphans = append(e.orphans, e.rx)
+	e.rx = e.fab.env.MakeQueue()
+}
 
 // Stats returns cumulative counters.
 func (e *Endpoint) Stats() Stats { return e.stats }
@@ -112,32 +152,81 @@ func (e *Endpoint) SetDown(down bool) { e.down = down }
 // Down reports the endpoint's fail-stop state.
 func (e *Endpoint) Down() bool { return e.down }
 
+// Flood puts a message carrying payload into every endpoint's RX queue —
+// live and orphaned alike, in address order. It is the shutdown broadcast:
+// a poison pill Flooded through the fabric reaches every parked poller, so a
+// wallclock deployment can be wound down without leaking blocked tasks.
+// Must run in task or scheduler context.
+func (f *Fabric) Flood(payload any) {
+	addrs := make([]Addr, 0, len(f.nodes))
+	for a := range f.nodes {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		e := f.nodes[a]
+		e.rx.Put(&Message{To: a, Payload: payload})
+		for _, q := range e.orphans {
+			q.Put(&Message{To: a, Payload: payload})
+		}
+	}
+}
+
+// deliver releases the delivery action for message seq on link l strictly in
+// sequence order. fn == nil consumes the sequence number without delivering
+// (the message died after taking its number, e.g. destination went down).
+func (f *Fabric) deliver(l link, seq uint64, fn func()) {
+	if seq != f.nextDeliver[l] {
+		h := f.held[l]
+		if h == nil {
+			h = make(map[uint64]func())
+			f.held[l] = h
+		}
+		h[seq] = fn
+		return
+	}
+	for {
+		if fn != nil {
+			fn()
+		}
+		f.nextDeliver[l]++
+		h := f.held[l]
+		next, ok := h[f.nextDeliver[l]]
+		if !ok {
+			return
+		}
+		delete(h, f.nextDeliver[l])
+		fn = next
+	}
+}
+
 // transmit models serialization on the sender egress, propagation, and
-// serialization on the receiver ingress, then delivers.
+// serialization on the receiver ingress, then delivers in per-link FIFO
+// order.
 func (e *Endpoint) transmit(m *Message) {
 	if e.down {
 		return
 	}
-	k := e.fab.k
-	m.Sent = k.Now()
-	size := m.Size + e.fab.cfg.MsgOverheadBytes
+	f := e.fab
+	m.Sent = f.env.Now()
+	size := m.Size + f.cfg.MsgOverheadBytes
 	e.stats.TxMsgs++
 	e.stats.TxBytes += size
 
-	txStart := k.Now()
+	txStart := f.env.Now()
 	if e.txFree > txStart {
 		txStart = e.txFree
 	}
-	txDur := sim.Time(size * int64(sim.Second) / e.bytesPerSec)
+	txDur := runtime.Time(size * int64(runtime.Second) / e.bytesPerSec)
 	e.txFree = txStart + txDur
 
-	dst, ok := e.fab.nodes[m.To]
+	dst, ok := f.nodes[m.To]
 	if !ok {
 		e.stats.Dropped++
 		return
 	}
-	arrive := e.txFree + e.fab.cfg.Propagation
-	if fl := e.fab.faults; fl != nil {
+	arrive := e.txFree + f.cfg.Propagation
+	if fl := f.faults; fl != nil {
 		var lost bool
 		arrive, lost = fl.apply(e.addr, m.To, arrive)
 		if lost {
@@ -145,29 +234,37 @@ func (e *Endpoint) transmit(m *Message) {
 			return
 		}
 	}
-	k.At(arrive, func() {
+	// Fault-dropped messages never take a sequence number, so the FIFO gate
+	// tracks only traffic that is actually in flight.
+	l := link{e.addr, m.To}
+	seq := f.sendSeq[l]
+	f.sendSeq[l]++
+	f.at(arrive, func() {
 		if dst.down {
 			dst.stats.Dropped++
+			f.deliver(l, seq, nil)
 			return
 		}
-		rxStart := k.Now()
+		rxStart := f.env.Now()
 		if dst.rxFree > rxStart {
 			rxStart = dst.rxFree
 		}
-		rxDur := sim.Time(size * int64(sim.Second) / dst.bytesPerSec)
+		rxDur := runtime.Time(size * int64(runtime.Second) / dst.bytesPerSec)
 		dst.rxFree = rxStart + rxDur
-		k.At(dst.rxFree, func() {
-			if dst.down {
-				dst.stats.Dropped++
-				return
-			}
-			dst.stats.RxMsgs++
-			dst.stats.RxBytes += size
-			if m.Complete != nil {
-				m.Complete.Fire(m)
-				return
-			}
-			dst.rx.Put(m)
+		f.at(dst.rxFree, func() {
+			f.deliver(l, seq, func() {
+				if dst.down {
+					dst.stats.Dropped++
+					return
+				}
+				dst.stats.RxMsgs++
+				dst.stats.RxBytes += size
+				if m.Complete != nil {
+					m.Complete.Fire(m)
+					return
+				}
+				dst.rx.Put(m)
+			})
 		})
 	})
 }
@@ -180,6 +277,6 @@ func (e *Endpoint) Send(to Addr, size int64, payload any) {
 
 // Write issues a one-sided WRITE with IMM: the message completes into the
 // given event at the destination, bypassing the destination's poll loop.
-func (e *Endpoint) Write(to Addr, size int64, payload any, complete *sim.Event) {
+func (e *Endpoint) Write(to Addr, size int64, payload any, complete runtime.Event) {
 	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload, Complete: complete})
 }

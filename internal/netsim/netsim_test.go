@@ -3,11 +3,12 @@ package netsim
 import (
 	"testing"
 
+	"leed/internal/runtime"
 	"leed/internal/sim"
 )
 
-func newPair(k *sim.Kernel, bps int64) (*Fabric, *Endpoint, *Endpoint) {
-	f := New(k, Config{})
+func newPair(env runtime.Env, bps int64) (*Fabric, *Endpoint, *Endpoint) {
+	f := New(env, Config{})
 	a := f.AddNode(1, bps)
 	b := f.AddNode(2, bps)
 	return f, a, b
@@ -18,7 +19,7 @@ func TestSendDelivers(t *testing.T) {
 	defer k.Close()
 	_, a, b := newPair(k, 100_000_000_000)
 	var got *Message
-	k.Go("rx", func(p *sim.Proc) { got = b.RX().Get(p) })
+	k.Spawn("rx", func(p runtime.Task) { got = b.RX().Get(p).(*Message) })
 	a.Send(2, 1024, "hello")
 	k.Run()
 	if got == nil || got.Payload != "hello" || got.From != 1 {
@@ -30,8 +31,8 @@ func TestLatencyModel(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	_, a, b := newPair(k, 100_000_000_000) // 100GbE
-	var at sim.Time
-	k.Go("rx", func(p *sim.Proc) {
+	var at runtime.Time
+	k.Spawn("rx", func(p runtime.Task) {
 		b.RX().Get(p)
 		at = p.Now()
 	})
@@ -49,7 +50,7 @@ func TestBandwidthSerialization(t *testing.T) {
 	defer k.Close()
 	_, a, b := newPair(k, 1_000_000_000)
 	n := 0
-	k.Go("rx", func(p *sim.Proc) {
+	k.Spawn("rx", func(p runtime.Task) {
 		for i := 0; i < 10; i++ {
 			b.RX().Get(p)
 			n++
@@ -62,7 +63,7 @@ func TestBandwidthSerialization(t *testing.T) {
 	if n != 10 {
 		t.Fatalf("delivered %d", n)
 	}
-	if end < 10*sim.Millisecond || end > 13*sim.Millisecond {
+	if end < 10*runtime.Millisecond || end > 13*runtime.Millisecond {
 		t.Fatalf("drain took %v, want ~10ms", end)
 	}
 }
@@ -79,7 +80,7 @@ func TestIncastQueuesAtReceiver(t *testing.T) {
 		src.Send(99, 125_000, i)
 	}
 	n := 0
-	k.Go("rx", func(p *sim.Proc) {
+	k.Spawn("rx", func(p runtime.Task) {
 		for i := 0; i < 8; i++ {
 			dst.RX().Get(p)
 			n++
@@ -89,7 +90,7 @@ func TestIncastQueuesAtReceiver(t *testing.T) {
 	if n != 8 {
 		t.Fatalf("delivered %d", n)
 	}
-	if end < 8*sim.Millisecond {
+	if end < 8*runtime.Millisecond {
 		t.Fatalf("incast drained in %v; receiver bandwidth not enforced", end)
 	}
 }
@@ -98,10 +99,10 @@ func TestOneSidedWriteBypassesRXQueue(t *testing.T) {
 	k := sim.New()
 	defer k.Close()
 	_, a, b := newPair(k, 100_000_000_000)
-	ev := k.NewEvent()
+	ev := k.MakeEvent()
 	a.Write(2, 256, "resp", ev)
 	var got any
-	k.Go("wait", func(p *sim.Proc) {
+	k.Spawn("wait", func(p runtime.Task) {
 		m := p.Wait(ev).(*Message)
 		got = m.Payload
 	})
@@ -152,7 +153,7 @@ func TestStatsCounted(t *testing.T) {
 	defer k.Close()
 	_, a, b := newPair(k, 100_000_000_000)
 	a.Send(2, 1000, nil)
-	k.Go("rx", func(p *sim.Proc) { b.RX().Get(p) })
+	k.Spawn("rx", func(p runtime.Task) { b.RX().Get(p) })
 	k.Run()
 	if a.Stats().TxBytes != 1064 || b.Stats().RxBytes != 1064 {
 		t.Fatalf("a=%+v b=%+v", a.Stats(), b.Stats())

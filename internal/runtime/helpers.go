@@ -1,0 +1,56 @@
+package runtime
+
+// Backend-neutral waiting helpers. These are plain compositions of the Env
+// and Task primitives, so they behave identically on the sim kernel and the
+// wallclock backend. Under the execution contract (at most one task runs at
+// any instant, and callbacks run in scheduler context) the check-then-register
+// sequences below are atomic: no event can fire between a Fired() check and
+// the OnFire registration that follows it.
+
+// Timer returns an event that fires with a nil payload d from now.
+func Timer(env Env, d Time) Event {
+	ev := env.MakeEvent()
+	env.After(d, func() { ev.Fire(nil) })
+	return ev
+}
+
+// CancelableTimer returns a timer event plus a cancel function. Cancel must
+// be called in task or scheduler context; after cancel the event never fires.
+// Canceling an already-fired timer is a no-op. This is the primitive for
+// failure-detection timeouts that are usually disarmed before they expire.
+func CancelableTimer(env Env, d Time) (Event, func()) {
+	ev := env.MakeEvent()
+	canceled := false
+	env.After(d, func() {
+		if !canceled && !ev.Fired() {
+			ev.Fire(nil)
+		}
+	})
+	return ev, func() { canceled = true }
+}
+
+// WaitAny blocks until at least one of evs has fired and returns the index of
+// the first fired event (lowest index among those fired at wakeup). Wakeups
+// registered on the losing events remain as stale tickets, which both
+// backends ignore.
+func WaitAny(t Task, evs ...Event) int {
+	for {
+		for i, ev := range evs {
+			if ev.Fired() {
+				return i
+			}
+		}
+		tk := t.Prepare()
+		for _, ev := range evs {
+			ev.OnFire(func(any) { tk.Wake() })
+		}
+		t.Park()
+	}
+}
+
+// WaitAll blocks until every event in evs has fired.
+func WaitAll(t Task, evs ...Event) {
+	for _, ev := range evs {
+		t.Wait(ev)
+	}
+}

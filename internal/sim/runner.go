@@ -1,0 +1,30 @@
+package sim
+
+import "leed/internal/runtime"
+
+// Runner is the capability surface that sim-only harnesses (bench, the
+// baseline systems, deterministic tests) program against: the portable
+// runtime.Env plus the kernel-specific controls — pumping virtual time,
+// scheduling bare callbacks, spawning procs, and observing quiescence.
+// *Kernel is the implementation; code outside this package depends on the
+// interface so the concrete kernel type stays an implementation detail of
+// the sim backend.
+type Runner interface {
+	runtime.Env
+
+	// Run executes events until the heap drains or virtual time reaches
+	// until, returning the kernel clock.
+	Run(until ...Time) Time
+	// At schedules fn at an absolute virtual time.
+	At(when Time, fn func())
+	// Go spawns a simulated process (the sim-native Spawn).
+	Go(name string, fn func(p *Proc)) *Proc
+	// Idle reports whether no events remain.
+	Idle() bool
+	// NewEvent creates a one-shot completion event.
+	NewEvent() *Event
+	// Timer creates an event that fires after d of virtual time.
+	Timer(d Time) *Event
+	// Close releases kernel resources; the kernel must not be used after.
+	Close()
+}

@@ -14,7 +14,9 @@
 //     Store runs unchanged on either backend.
 //   - Cluster: the full distributed system — token-based intra-JBOF
 //     execution, flow-control scheduling, CRRS chain replication, and the
-//     membership control plane (§3.4-§3.8). Sim-only for now.
+//     membership control plane (§3.4-§3.8). Runs on either backend: a
+//     deterministic deployment on the Kernel, real goroutines with modeled
+//     link delay as real sleeps on the wall clock.
 //   - Workloads: YCSB generators matching the paper's evaluation.
 //
 // See examples/ for runnable entry points, cmd/leed-bench for the harness
@@ -35,13 +37,14 @@ import (
 // Runtime substrate.
 type (
 	// Env is a runtime environment: clock, timers, task spawning, and sync
-	// primitive constructors. *Kernel and *WallClock both implement it.
+	// primitive constructors. A Kernel and a *WallClock both implement it.
 	Env = runtime.Env
 	// Task is one running task; blocking APIs take one. A sim *Proc and a
 	// wallclock task both implement it.
 	Task = runtime.Task
-	// Kernel is the deterministic discrete-event simulation engine.
-	Kernel = sim.Kernel
+	// Kernel is the deterministic discrete-event simulation engine: the
+	// runtime Env plus virtual-time controls (Run, At, Go, Idle, Close).
+	Kernel = sim.Runner
 	// Proc is a simulated process: the sim backend's Task.
 	Proc = sim.Proc
 	// WallClock is the real-time backend: tasks are goroutines and the
@@ -105,7 +108,7 @@ var (
 var ErrNotFound = core.ErrNotFound
 
 // NewKernel creates a simulation kernel at virtual time zero.
-func NewKernel() *Kernel { return sim.New() }
+func NewKernel() Kernel { return sim.New() }
 
 // NewWallClock creates a wall-clock runtime environment whose clock starts
 // at zero now. Spawn tasks with env.Spawn and call env.Wait after the last
@@ -115,13 +118,14 @@ func NewWallClock() *WallClock { return wallclock.New() }
 // NewHistogram creates an empty latency histogram.
 func NewHistogram() *Histogram { return sim.NewHistogram() }
 
-// NewCluster assembles a LEED cluster; call its Start method, then drive
-// the kernel (Cluster.K.Run) while issuing operations from procs.
+// NewCluster assembles a LEED cluster on cfg.Env; call its Start method,
+// then (on the Kernel) pump Run while issuing operations from procs, or
+// (on a WallClock) spawn a task and block on Cluster.AwaitReady first.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
 
 // NewMemStore creates a single store over a zero-latency in-memory device —
 // the quickest way to exercise the data-store API functionally. env may be
-// a sim *Kernel or a *WallClock.
+// a sim Kernel or a *WallClock.
 func NewMemStore(env Env, numSegments int, keyLogBytes, valLogBytes int64) *Store {
 	dev := flashsim.NewMemDevice(env, keyLogBytes+valLogBytes+(1<<20))
 	return core.NewStore(core.Config{
@@ -135,7 +139,7 @@ func NewMemStore(env Env, numSegments int, keyLogBytes, valLogBytes int64) *Stor
 
 // NewSSDStore creates a single store over a latency-modeled NVMe device
 // (the Samsung DCT983 profile from the paper's testbed). env may be a sim
-// *Kernel or a *WallClock; on the latter, modeled service times elapse in
+// Kernel or a *WallClock; on the latter, modeled service times elapse in
 // real time.
 func NewSSDStore(env Env, capacity int64, numSegments int, keyLogBytes, valLogBytes int64) *Store {
 	dev := flashsim.NewSSD(env, flashsim.SamsungDCT983(capacity))

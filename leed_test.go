@@ -52,11 +52,12 @@ func TestFacadeCluster(t *testing.T) {
 	k := NewKernel()
 	defer k.Close()
 	c := NewCluster(ClusterConfig{
-		Kernel: k, NumJBOFs: 3, SSDsPerJBOF: 4, SSDCapacity: 48 << 20,
+		Env: k, NumJBOFs: 3, SSDsPerJBOF: 4, SSDCapacity: 48 << 20,
 		NumPartitions: 8, R: 3, KeyLen: 16, ValLen: 64, NumClients: 1,
 		CRRS: true, FlowControl: true, Swap: true,
 	})
 	c.Start()
+	k.Run(k.Now() + 5*Millisecond) // settle: nodes up, views delivered
 	done := false
 	k.Go("t", func(p *Proc) {
 		defer func() { done = true }()
