@@ -48,6 +48,7 @@ import (
 	"leed/internal/cluster"
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/obs"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
@@ -67,6 +68,7 @@ func main() {
 	benchout := flag.String("benchout", "BENCH_wallclock.json", "wallclock bench: JSON output path")
 	clusterMode := flag.Bool("cluster", false, "soak/bench: drive a multi-JBOF cluster on the wall-clock backend instead of an image store")
 	scenario := flag.String("scenario", "all", "cluster soak: drill scenario (message-loss, partition-heal, crash-restart, device-faults, mixed, all)")
+	metricsAddr := flag.String("metrics-addr", "", "serve/soak/bench: HTTP address exposing /metrics (Prometheus text), /metrics.json, and /traces while the command runs (e.g. :9100)")
 	flag.Parse()
 	if flag.NArg() == 0 || (*image == "" && !*clusterMode) {
 		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] [-clients N] [-seed N] [-device sync|async] {put K V | get K | del K | keys | stats | compact | load N | bench [-wallclock] N | serve N | soak N}")
@@ -78,11 +80,11 @@ func main() {
 	if *clusterMode {
 		switch flag.Arg(0) {
 		case "soak":
-			if err := clusterSoak(*seed, *scenario, flag.Args()); err != nil {
+			if err := clusterSoak(*seed, *scenario, *metricsAddr, flag.Args()); err != nil {
 				fatal(err)
 			}
 		case "bench":
-			if err := clusterBench(*clients, *seed, flag.Args()); err != nil {
+			if err := clusterBench(*clients, *seed, *metricsAddr, flag.Args()); err != nil {
 				fatal(err)
 			}
 		default:
@@ -92,19 +94,19 @@ func main() {
 	}
 
 	if flag.Arg(0) == "serve" {
-		if err := serve(*image, *capacity, *clients, *device, *durable, flag.Args()); err != nil {
+		if err := serve(*image, *capacity, *clients, *device, *durable, *metricsAddr, flag.Args()); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if flag.Arg(0) == "soak" {
-		if err := soak(*image, *capacity, *seed, *device, *durable, flag.Args()); err != nil {
+		if err := soak(*image, *capacity, *seed, *device, *durable, *metricsAddr, flag.Args()); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if flag.Arg(0) == "bench" && *wcBench {
-		if err := benchWallclock(*image, *capacity, *clients, *rate, *benchout, flag.Args()); err != nil {
+		if err := benchWallclock(*image, *capacity, *clients, *rate, *benchout, *metricsAddr, flag.Args()); err != nil {
 			fatal(err)
 		}
 		return
@@ -121,6 +123,8 @@ func main() {
 	if *modelLatency {
 		dev = flashsim.NewLatencyShim(k, fileDev, flashsim.SamsungDCT983(*capacity))
 	}
+	reg := obs.NewRegistry()
+	flashsim.Observe(dev, reg, nil, "image")
 
 	// Geometry is a pure function of capacity, so every invocation
 	// reconstructs the same layout.
@@ -246,6 +250,7 @@ func main() {
 			}
 			elapsed := p.Now() - start
 			fmt.Printf("YCSB-B: %d ops, simulated %v, latency %v\n", n, elapsed, lat)
+			printSnapshot(reg)
 		default:
 			cmdErr = fmt.Errorf("unknown command %q", args[0])
 			return
@@ -290,21 +295,37 @@ func openWallclockDevice(env *wallclock.Env, kind, image string, capacity int64,
 	}
 }
 
-// printDeviceStats reports a device's cumulative counters: op and byte
-// totals, submit-to-complete latency percentiles, and the queue/batching
-// shape of the submission-queue path.
-func printDeviceStats(kind string, st flashsim.Stats) {
-	fmt.Printf("device (%s): reads=%d (%d bytes) writes=%d (%d bytes) flushes=%d\n",
-		kind, st.Reads, st.BytesRead, st.Writes, st.BytesWritten, st.Flushes)
-	fmt.Printf("  read lat:  %v\n", st.ReadLat)
-	fmt.Printf("  write lat: %v\n", st.WriteLat)
-	fmt.Printf("  maxQueue=%d batches=%d coalesced=%d\n", st.MaxQueue, st.Batches, st.Coalesced)
+// printSnapshot renders the registry's final state: the unified metrics
+// listing every subcommand ends with, instead of each hand-formatting its
+// own subset of device stats.
+func printSnapshot(reg *obs.Registry) {
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Hists) == 0 {
+		return
+	}
+	fmt.Println("-- final metrics snapshot --")
+	fmt.Print(snap)
+}
+
+// startMetrics serves /metrics, /metrics.json, and /traces on addr for the
+// duration of the command. A blank addr is a no-op; Close on the returned
+// server is nil-safe.
+func startMetrics(addr string, reg *obs.Registry, tr *obs.Tracer) (*obs.Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	srv, err := obs.ServeMetrics(addr, reg, tr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics endpoint: %w", err)
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", srv.Addr)
+	return srv, nil
 }
 
 // serve runs the store on the wall-clock backend: N client goroutines issue
 // a mixed PUT/GET/DEL stream against the image concurrently, then the store
 // is flushed so a later invocation (any command) recovers the result.
-func serve(image string, capacity int64, clients int, device string, durable bool, args []string) error {
+func serve(image string, capacity int64, clients int, device string, durable bool, metricsAddr string, args []string) error {
 	totalOps := int64(20000)
 	if len(args) > 1 {
 		fmt.Sscanf(args[1], "%d", &totalOps)
@@ -319,6 +340,14 @@ func serve(image string, capacity int64, clients int, device string, durable boo
 		return err
 	}
 	defer closeDev()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, 16, 256)
+	flashsim.Observe(dev, reg, tr, device)
+	srv, err := startMetrics(metricsAddr, reg, tr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 
 	geo := core.PlanPartition(capacity, 32, 1024, core.PlanOpts{})
 	store := core.NewStore(core.StoreConfigFor(geo, core.Config{
@@ -338,6 +367,8 @@ func serve(image string, capacity int64, clients int, device string, durable boo
 	// Latency histogram and error slot are shared without locks: the Env
 	// execution contract (one running task at a time) protects them.
 	lat := sim.NewHistogram()
+	opLat := reg.Hist("leed_serve_latency_ns")
+	ops := reg.Counter("leed_serve_ops_total")
 	var opErr error
 	perClient := totalOps / int64(clients)
 	start := env.Now()
@@ -365,6 +396,8 @@ func serve(image string, capacity int64, clients int, device string, durable boo
 					return
 				}
 				lat.Record(p.Now() - t0)
+				opLat.Record(p.Now() - t0)
+				ops.Inc()
 				if store.NeedsValueCompaction() {
 					store.CompactValueLog(p)
 				}
@@ -394,7 +427,7 @@ func serve(image string, capacity int64, clients int, device string, durable boo
 	fmt.Printf("throughput: %.0f ops/s\n", float64(done)/elapsed.Seconds())
 	fmt.Printf("latency:    %v\n", lat)
 	fmt.Printf("live objects: %d\n", store.Objects())
-	printDeviceStats(device, dev.Stats())
+	printSnapshot(reg)
 	return nil
 }
 
@@ -404,7 +437,7 @@ func serve(image string, capacity int64, clients int, device string, durable boo
 // acknowledged writes survive. A stale image cannot be reused — its old
 // high-sequence buckets would confuse the recovery scan — so the file is
 // recreated from scratch.
-func soak(image string, capacity int64, seed int64, device string, durable bool, args []string) error {
+func soak(image string, capacity int64, seed int64, device string, durable bool, metricsAddr string, args []string) error {
 	cycles := 0 // 0 = chaos default
 	if len(args) > 1 {
 		fmt.Sscanf(args[1], "%d", &cycles)
@@ -419,6 +452,12 @@ func soak(image string, capacity int64, seed int64, device string, durable bool,
 		return err
 	}
 	defer closeDev()
+	reg := obs.NewRegistry()
+	srv, err := startMetrics(metricsAddr, reg, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 
 	var rep *chaos.SoakReport
 	env.Spawn("soak", func(p runtime.Task) {
@@ -427,11 +466,12 @@ func soak(image string, capacity int64, seed int64, device string, durable bool,
 			Seed:   seed,
 			Cycles: cycles,
 			Device: dev,
+			Obs:    reg,
 		})
 	})
 	env.Wait()
 	fmt.Print(rep)
-	printDeviceStats(device, dev.Stats())
+	printSnapshot(reg)
 	if !rep.Pass {
 		return fmt.Errorf("soak failed with %d violation(s)", len(rep.Violations))
 	}
@@ -453,7 +493,7 @@ func soak(image string, capacity int64, seed int64, device string, durable bool,
 // than O_DSYNC keeps the measurement about the architecture: real-disk
 // durable-write latency on a shared machine varies by an order of magnitude
 // run to run, drowning the comparison in page-cache weather.
-func benchWallclock(image string, capacity int64, clients int, rate float64, outPath string, args []string) error {
+func benchWallclock(image string, capacity int64, clients int, rate float64, outPath, metricsAddr string, args []string) error {
 	ops := int64(20000)
 	if len(args) > 1 {
 		fmt.Sscanf(args[1], "%d", &ops)
@@ -482,17 +522,28 @@ func benchWallclock(image string, capacity int64, clients int, rate float64, out
 		Seed:      42,
 	}
 
-	runMode := func(kind string) (bench.RunResult, flashsim.Stats, error) {
+	runMode := func(kind string) (bench.RunResult, *obs.Registry, error) {
 		img := image + "." + kind
 		if err := os.Remove(img); err != nil && !os.IsNotExist(err) {
-			return bench.RunResult{}, flashsim.Stats{}, err
+			return bench.RunResult{}, nil, err
 		}
 		env := wallclock.New()
 		dev, closeDev, err := openWallclockDevice(env, kind, img, capacity, false, readTime, writeTime)
 		if err != nil {
-			return bench.RunResult{}, flashsim.Stats{}, err
+			return bench.RunResult{}, nil, err
 		}
 		defer closeDev()
+		// Each mode gets its own registry and tracer so the recorded
+		// attribution is one device path's, not a blend of both. The metrics
+		// endpoint (when requested) serves each mode for its duration.
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(reg, 16, 256)
+		flashsim.Observe(dev, reg, tr, kind)
+		srv, err := startMetrics(metricsAddr, reg, tr)
+		if err != nil {
+			return bench.RunResult{}, nil, err
+		}
+		defer srv.Close()
 		geo := core.PlanPartition(capacity, 32, valLen, core.PlanOpts{})
 		store := core.NewStore(core.StoreConfigFor(geo, core.Config{
 			Env:    env,
@@ -518,34 +569,40 @@ func benchWallclock(image string, capacity int64, clients int, rate float64, out
 			return err
 		}
 		bench.PreloadWallclock(env, do, records, valLen, 16)
-		res := bench.RunWallclock(env, do, ycsb.WorkloadA, records, valLen, rc)
-		return res, dev.Stats(), nil
+		mrc := rc
+		mrc.Tracer = tr
+		res := bench.RunWallclock(env, do, ycsb.WorkloadA, records, valLen, mrc)
+		return res, reg, nil
 	}
 
-	syncRes, syncSt, err := runMode("sync")
+	syncRes, syncReg, err := runMode("sync")
 	if err != nil {
 		return err
 	}
-	asyncRes, asyncSt, err := runMode("async")
+	asyncRes, asyncReg, err := runMode("async")
 	if err != nil {
 		return err
 	}
 
 	doc := bench.WallclockDoc{
-		Workload: "YCSB-A",
-		Clients:  clients,
-		Rate:     rate,
-		Records:  records,
-		ValLen:   valLen,
-		Sync:     bench.NewWallclockRes("sync", syncRes),
-		Async:    bench.NewWallclockRes("async", asyncRes),
+		Workload:    "YCSB-A",
+		Clients:     clients,
+		Rate:        rate,
+		Records:     records,
+		ValLen:      valLen,
+		Sync:        bench.NewWallclockRes("sync", syncRes),
+		Async:       bench.NewWallclockRes("async", asyncRes),
+		Attribution: asyncRes.Attr,
 	}
 	if syncRes.Thr > 0 {
 		doc.Speedup = asyncRes.Thr / syncRes.Thr
 	}
 	fmt.Print(doc.String())
-	printDeviceStats("sync", syncSt)
-	printDeviceStats("async", asyncSt)
+	if asyncRes.Attr != nil {
+		fmt.Print(asyncRes.Attr.String())
+	}
+	printSnapshot(syncReg)
+	printSnapshot(asyncReg)
 	if err := os.WriteFile(outPath, []byte(doc.JSON()), 0o644); err != nil {
 		return fmt.Errorf("write %s: %w", outPath, err)
 	}
@@ -557,7 +614,7 @@ func benchWallclock(image string, capacity int64, clients int, rate float64, out
 // on the wall-clock backend: the same seeded fault schedules the sim drills
 // replay deterministically, executed on real goroutines with real sleeps.
 // ROUNDS scales each scenario's fault/recovery cycles (0 = drill default).
-func clusterSoak(seed int64, scenario string, args []string) error {
+func clusterSoak(seed int64, scenario, metricsAddr string, args []string) error {
 	rounds := 0
 	if len(args) > 1 {
 		fmt.Sscanf(args[1], "%d", &rounds)
@@ -576,6 +633,14 @@ func clusterSoak(seed int64, scenario string, args []string) error {
 			return fmt.Errorf("unknown -scenario %q (want one of %v or all)", scenario, chaos.Scenarios())
 		}
 	}
+	// One registry across all scenarios: the endpoint (and the final
+	// snapshot) accumulates the whole soak.
+	reg := obs.NewRegistry()
+	srv, err := startMetrics(metricsAddr, reg, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 	failed := 0
 	for _, sc := range scs {
 		rep, err := chaos.RunDrill(chaos.Config{
@@ -583,6 +648,7 @@ func clusterSoak(seed int64, scenario string, args []string) error {
 			Scenario: sc,
 			Backend:  chaos.BackendWallclock,
 			Rounds:   rounds,
+			Obs:      reg,
 		})
 		if err != nil {
 			return fmt.Errorf("drill %s: %w", sc, err)
@@ -592,6 +658,7 @@ func clusterSoak(seed int64, scenario string, args []string) error {
 			failed++
 		}
 	}
+	printSnapshot(reg)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d cluster drill(s) failed", failed, len(scs))
 	}
@@ -603,7 +670,7 @@ func clusterSoak(seed int64, scenario string, args []string) error {
 // each with its own flow-controlled front-end, share OPS operations over a
 // preloaded keyspace. Throughput is real elapsed time; latencies are
 // client-observed (admission + chain + storage).
-func clusterBench(clients int, seed int64, args []string) error {
+func clusterBench(clients int, seed int64, metricsAddr string, args []string) error {
 	ops := int64(20000)
 	if len(args) > 1 {
 		fmt.Sscanf(args[1], "%d", &ops)
@@ -617,8 +684,17 @@ func clusterBench(clients int, seed int64, args []string) error {
 	)
 
 	env := wallclock.New()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, 16, 256)
+	srv, err := startMetrics(metricsAddr, reg, tr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 	c := cluster.New(cluster.Config{
 		Env:           env,
+		Obs:           reg,
+		Tracer:        tr,
 		NumJBOFs:      3,
 		SSDsPerJBOF:   2,
 		SSDCapacity:   64 << 20,
@@ -716,6 +792,11 @@ func clusterBench(clients int, seed int64, args []string) error {
 	fmt.Printf("throughput: %.0f ops/s\n", float64(total)/elapsed.Seconds())
 	fmt.Printf("latency:    %v\n", lat)
 	fmt.Printf("control plane: %s\n", c.Manager)
+	attr := tr.Attribution()
+	if len(attr.Stages) > 0 {
+		fmt.Print(attr.String())
+	}
+	printSnapshot(reg)
 	return nil
 }
 

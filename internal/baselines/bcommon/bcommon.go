@@ -11,6 +11,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
@@ -70,6 +71,10 @@ type ServerConfig struct {
 
 	RxCycles int64
 
+	// Obs receives the server's counter series (leed_baseline_*), so
+	// baseline runs report through the same registry as LEED. May be nil.
+	Obs *obs.Registry
+
 	cluster *Cluster
 }
 
@@ -85,6 +90,25 @@ type Server struct {
 	k      sim.Runner
 	queues []runtime.Queue
 	stats  ServerStats
+	o      *serverObs
+}
+
+// serverObs mirrors ServerStats into registry counters. Always constructed
+// (a nil registry hands back working unregistered counters).
+type serverObs struct {
+	gets, puts, dels *obs.Counter
+	forwards, errors *obs.Counter
+}
+
+func newServerObs(reg *obs.Registry, index int) *serverObs {
+	c := func(name string) *obs.Counter { return reg.Counter(name, "server", fmt.Sprintf("s%d", index)) }
+	return &serverObs{
+		gets:     c("leed_baseline_gets_total"),
+		puts:     c("leed_baseline_puts_total"),
+		dels:     c("leed_baseline_dels_total"),
+		forwards: c("leed_baseline_forwards_total"),
+		errors:   c("leed_baseline_errors_total"),
+	}
 }
 
 // NewServer creates a server; Start launches its procs.
@@ -95,7 +119,7 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Depth == 0 {
 		cfg.Depth = 16
 	}
-	s := &Server{cfg: cfg, k: cfg.Kernel}
+	s := &Server{cfg: cfg, k: cfg.Kernel, o: newServerObs(cfg.Obs, cfg.Index)}
 	for range cfg.Backends {
 		s.queues = append(s.queues, cfg.Kernel.MakeQueue())
 	}
@@ -144,12 +168,15 @@ func (s *Server) workerLoop(p *sim.Proc, w int) {
 		switch req.Op {
 		case rpcproto.OpGet:
 			s.stats.Gets++
+			s.o.gets.Inc()
 			val, err = be.Get(p, req.Key)
 		case rpcproto.OpPut:
 			s.stats.Puts++
+			s.o.puts.Inc()
 			err = be.Put(p, req.Key, req.Value)
 		case rpcproto.OpDel:
 			s.stats.Dels++
+			s.o.dels.Inc()
 			err = be.Del(p, req.Key)
 		default:
 			err = fmt.Errorf("bcommon: op %v", req.Op)
@@ -158,6 +185,7 @@ func (s *Server) workerLoop(p *sim.Proc, w int) {
 		notFound := err == core.ErrNotFound
 		if err != nil && !notFound {
 			s.stats.Errors++
+			s.o.errors.Inc()
 			s.reply(env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusErr})
 			continue
 		}
@@ -165,6 +193,7 @@ func (s *Server) workerLoop(p *sim.Proc, w int) {
 		if isWrite && int(req.Hop) < len(chain)-1 {
 			// Propagate down the chain before acking the client.
 			s.stats.Forwards++
+			s.o.forwards.Inc()
 			fwd := *req
 			fwd.Hop++
 			next := s.cfg.cluster.servers[chain[int(fwd.Hop)]]

@@ -14,6 +14,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/obs"
 	"leed/internal/sim"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	// DRAMBudget caps the index size; at 6 bytes per object this is what
 	// bounds FAWN's usable capacity on a JBOF (C1).
 	DRAMBudget int64
+
+	// Obs receives the store's counter series (leed_fawn_*), so baseline
+	// runs report through the same registry as LEED. May be nil.
+	Obs *obs.Registry
+	// ObsLabel distinguishes virtual-node stores in the registry.
+	ObsLabel string
 }
 
 // Stats are cumulative counters.
@@ -78,11 +85,35 @@ type DS struct {
 	// framework improves on.
 	mu    sim.Mutex
 	stats Stats
+	o     *dsObs
 }
 
 type indexEntry struct {
 	off  int64
 	size int64
+}
+
+// dsObs mirrors Stats into registry counters. Always constructed (a nil
+// registry hands back working unregistered counters).
+type dsObs struct {
+	gets, puts, dels *obs.Counter
+	notFounds        *obs.Counter
+	compactions      *obs.Counter
+	reclaimedBytes   *obs.Counter
+	indexRejects     *obs.Counter
+}
+
+func newDSObs(reg *obs.Registry, label string) *dsObs {
+	c := func(name string) *obs.Counter { return reg.Counter(name, "ds", label) }
+	return &dsObs{
+		gets:           c("leed_fawn_gets_total"),
+		puts:           c("leed_fawn_puts_total"),
+		dels:           c("leed_fawn_dels_total"),
+		notFounds:      c("leed_fawn_not_found_total"),
+		compactions:    c("leed_fawn_compactions_total"),
+		reclaimedBytes: c("leed_fawn_reclaimed_bytes_total"),
+		indexRejects:   c("leed_fawn_index_rejects_total"),
+	}
 }
 
 // New creates a datastore over its device region.
@@ -98,6 +129,7 @@ func New(cfg Config) *DS {
 		k:     cfg.Kernel,
 		log:   core.NewCircLog(cfg.Kernel, cfg.Device, cfg.RegionOff, cfg.LogBytes),
 		index: make(map[string]indexEntry),
+		o:     newDSObs(cfg.Obs, cfg.ObsLabel),
 	}
 }
 
@@ -153,10 +185,12 @@ func (d *DS) Get(p *sim.Proc, key []byte) ([]byte, error) {
 	d.mu.Lock(p)
 	defer d.mu.Unlock()
 	d.stats.Gets++
+	d.o.gets.Inc()
 	d.cpu(p, d.cfg.Costs.Lookup)
 	e, ok := d.index[string(key)]
 	if !ok {
 		d.stats.NotFounds++
+		d.o.notFounds.Inc()
 		return nil, core.ErrNotFound
 	}
 	buf := make([]byte, e.size)
@@ -175,9 +209,11 @@ func (d *DS) Put(p *sim.Proc, key, val []byte) error {
 	d.mu.Lock(p)
 	defer d.mu.Unlock()
 	d.stats.Puts++
+	d.o.puts.Inc()
 	d.cpu(p, d.cfg.Costs.Lookup+d.cfg.Costs.Append)
 	if _, exists := d.index[string(key)]; !exists && int64(len(d.index)) >= d.MaxObjects() {
 		d.stats.IndexRejects++
+		d.o.indexRejects.Inc()
 		return ErrFull
 	}
 	entry := marshalEntry(key, val, false)
@@ -198,10 +234,12 @@ func (d *DS) Del(p *sim.Proc, key []byte) error {
 	d.mu.Lock(p)
 	defer d.mu.Unlock()
 	d.stats.Dels++
+	d.o.dels.Inc()
 	d.cpu(p, d.cfg.Costs.Lookup+d.cfg.Costs.Append)
 	old, exists := d.index[string(key)]
 	if !exists {
 		d.stats.NotFounds++
+		d.o.notFounds.Inc()
 		return core.ErrNotFound
 	}
 	entry := marshalEntry(key, nil, true)
@@ -242,6 +280,7 @@ func (d *DS) Compact(p *sim.Proc) (int64, error) {
 
 func (d *DS) compactLocked(p *sim.Proc) (int64, error) {
 	d.stats.Compactions++
+	d.o.compactions.Inc()
 	const chunkSize = 256 << 10
 	want := int64(chunkSize)
 	if want > d.log.Used() {
@@ -278,6 +317,7 @@ func (d *DS) compactLocked(p *sim.Proc) (int64, error) {
 	if pos > 0 {
 		d.log.ReleaseTo(head + pos)
 		d.stats.ReclaimedBytes += pos
+		d.o.reclaimedBytes.Add(pos)
 	}
 	return pos, nil
 }

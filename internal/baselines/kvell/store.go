@@ -7,6 +7,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/obs"
 	"leed/internal/sim"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	// keeps a page cache alongside its index; under skewed reads the hot
 	// set is served from DRAM without device I/O. Zero disables caching.
 	CacheSlots int
+
+	// Obs receives the store's counter series (leed_kvell_*), so baseline
+	// runs report through the same registry as LEED. May be nil.
+	Obs *obs.Registry
+	// ObsLabel distinguishes worker stores in the registry.
+	ObsLabel string
 }
 
 // Stats are cumulative counters.
@@ -74,6 +81,28 @@ type Store struct {
 	// requests; device I/O runs outside the lock (KVell's batched I/O).
 	mu    sim.Mutex
 	stats Stats
+	o     *storeObs
+}
+
+// storeObs mirrors Stats into registry counters. Always constructed (a nil
+// registry hands back working unregistered counters).
+type storeObs struct {
+	gets, puts, dels *obs.Counter
+	notFounds        *obs.Counter
+	indexRejects     *obs.Counter
+	cacheHits        *obs.Counter
+}
+
+func newStoreObs(reg *obs.Registry, label string) *storeObs {
+	c := func(name string) *obs.Counter { return reg.Counter(name, "store", label) }
+	return &storeObs{
+		gets:         c("leed_kvell_gets_total"),
+		puts:         c("leed_kvell_puts_total"),
+		dels:         c("leed_kvell_dels_total"),
+		notFounds:    c("leed_kvell_not_found_total"),
+		indexRejects: c("leed_kvell_index_rejects_total"),
+		cacheHits:    c("leed_kvell_cache_hits_total"),
+	}
 }
 
 // New creates a store with all slots free.
@@ -84,7 +113,8 @@ func New(cfg Config) *Store {
 	if cfg.Costs == (Costs{}) {
 		cfg.Costs = DefaultCosts()
 	}
-	s := &Store{cfg: cfg, k: cfg.Kernel, index: NewBTree(), cache: newPageCache(cfg.CacheSlots)}
+	s := &Store{cfg: cfg, k: cfg.Kernel, index: NewBTree(), cache: newPageCache(cfg.CacheSlots),
+		o: newStoreObs(cfg.Obs, cfg.ObsLabel)}
 	for i := cfg.NumSlots - 1; i >= 0; i-- {
 		s.free = append(s.free, i)
 	}
@@ -113,18 +143,21 @@ func (s *Store) io(p *sim.Proc, kind flashsim.OpKind, slot int64, data []byte) e
 // Get performs one index walk and one slot read.
 func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, error) {
 	s.stats.Gets++
+	s.o.gets.Inc()
 	s.mu.Lock(p)
 	s.cpu(p, s.cfg.Costs.IndexCycles)
 	slot, ok := s.index.Get(string(key))
 	s.mu.Unlock()
 	if !ok {
 		s.stats.NotFounds++
+		s.o.notFounds.Inc()
 		return nil, core.ErrNotFound
 	}
 	var buf []byte
 	if cached, hit := s.cache.get(slot); hit {
 		// Served from the DRAM page cache: no device access.
 		s.stats.CacheHits++
+		s.o.cacheHits.Inc()
 		s.cpu(p, s.cfg.Costs.CacheCycles)
 		buf = cached
 	} else {
@@ -149,6 +182,7 @@ func (s *Store) Get(p *sim.Proc, key []byte) ([]byte, error) {
 // list, then updates the index — one device access either way.
 func (s *Store) Put(p *sim.Proc, key, val []byte) error {
 	s.stats.Puts++
+	s.o.puts.Inc()
 	if slotHdr+int64(len(key))+int64(len(val)) > s.cfg.SlotBytes {
 		return fmt.Errorf("kvell: object exceeds slot size %d", s.cfg.SlotBytes)
 	}
@@ -158,6 +192,7 @@ func (s *Store) Put(p *sim.Proc, key, val []byte) error {
 	if !exists {
 		if s.cfg.MaxObjects > 0 && s.Objects() >= s.cfg.MaxObjects {
 			s.stats.IndexRejects++
+			s.o.indexRejects.Inc()
 			s.mu.Unlock()
 			return ErrFull
 		}
@@ -180,11 +215,13 @@ func (s *Store) Put(p *sim.Proc, key, val []byte) error {
 // Del frees the slot and persists a cleared header (one device access).
 func (s *Store) Del(p *sim.Proc, key []byte) error {
 	s.stats.Dels++
+	s.o.dels.Inc()
 	s.mu.Lock(p)
 	s.cpu(p, s.cfg.Costs.IndexCycles)
 	slot, ok := s.index.Delete(string(key))
 	if !ok {
 		s.stats.NotFounds++
+		s.o.notFounds.Inc()
 		s.mu.Unlock()
 		return core.ErrNotFound
 	}

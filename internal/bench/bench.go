@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"leed/internal/obs"
 	"leed/internal/power"
 	"leed/internal/sim"
 	"leed/internal/ycsb"
@@ -37,6 +38,11 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+
+	// Attribution is the per-stage latency breakdown of the experiment's
+	// instrumented system (LEED), when it collected one. Included in the
+	// JSON rendering, omitted from the text table.
+	Attribution *obs.Attribution
 }
 
 // Add appends a row.
@@ -97,6 +103,10 @@ type RunConfig struct {
 	// MaxOutstanding caps open-loop in-flight ops (past saturation the
 	// queue would otherwise grow without bound). Default 4096.
 	MaxOutstanding int
+
+	// Tracer, when set, stamps the run's per-stage latency attribution into
+	// RunResult.Attr (cumulative over the tracer's lifetime).
+	Tracer *obs.Tracer
 }
 
 // RunResult is one measurement.
@@ -109,6 +119,10 @@ type RunResult struct {
 	Lat     *sim.Histogram
 	Joules  float64
 	QPerJ   float64 // ops per Joule (the paper's energy-efficiency metric)
+
+	// Attr is the per-stage latency attribution (set when RunConfig.Tracer
+	// was provided).
+	Attr *obs.Attribution
 }
 
 func (r RunResult) String() string {
@@ -261,6 +275,10 @@ func Run(k sim.Runner, do DoOp, w ycsb.Workload, records int64, valLen int, mete
 	if res.Joules > 0 {
 		res.QPerJ = float64(res.Ops) / res.Joules
 	}
+	if rc.Tracer != nil {
+		a := rc.Tracer.Attribution()
+		res.Attr = &a
+	}
 	return res
 }
 
@@ -304,15 +322,16 @@ func pct(v float64) string    { return fmt.Sprintf("%.1f%%", 100*v) }
 // machine consumption.
 func (t *Table) JSON() string {
 	type doc struct {
-		Title   string     `json:"title"`
-		Columns []string   `json:"columns"`
-		Rows    [][]string `json:"rows"`
+		Title       string           `json:"title"`
+		Columns     []string         `json:"columns"`
+		Rows        [][]string       `json:"rows"`
+		Attribution *obs.Attribution `json:"attribution,omitempty"`
 	}
 	rows := t.Rows
 	if rows == nil {
 		rows = [][]string{}
 	}
-	b, err := json.MarshalIndent(doc{t.Title, t.Columns, rows}, "", "  ")
+	b, err := json.MarshalIndent(doc{t.Title, t.Columns, rows, t.Attribution}, "", "  ")
 	if err != nil {
 		panic(err) // tables of strings always marshal
 	}

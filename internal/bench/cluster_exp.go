@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"leed/internal/obs"
 	"leed/internal/sim"
 	"leed/internal/ycsb"
 )
@@ -42,6 +43,7 @@ func Fig5(sc Scale, workloads []ycsb.Workload, sizes []int) ([]Fig5Row, *Table) 
 		sizes = []int{256, 1024}
 	}
 	var rows []Fig5Row
+	var attr *obs.Attribution
 	for _, valLen := range sizes {
 		for _, sysb := range fig5Systems(valLen, sc.Records) {
 			k := sim.New()
@@ -56,7 +58,11 @@ func Fig5(sc Scale, workloads []ycsb.Workload, sizes []int) ([]Fig5Row, *Table) 
 				}
 				res := Run(k, sys.Do, w, sc.Records, valLen, sys.Meters, RunConfig{
 					Clients: clients, Ops: ops, WarmupOps: ops / 8, Seed: int64(100 + wi),
+					Tracer: sys.Tracer,
 				})
+				if res.Attr != nil {
+					attr = res.Attr // LEED's breakdown, cumulative per cluster
+				}
 				watts := 0.0
 				if res.Elapsed > 0 {
 					watts = res.Joules / res.Elapsed.Seconds()
@@ -70,8 +76,9 @@ func Fig5(sc Scale, workloads []ycsb.Workload, sizes []int) ([]Fig5Row, *Table) 
 		}
 	}
 	t := &Table{
-		Title:   "Figure 5: energy efficiency (KQueries/Joule)",
-		Columns: []string{"workload", "system", "objsize", "KQ/J", "KQPS", "watts"},
+		Title:       "Figure 5: energy efficiency (KQueries/Joule)",
+		Columns:     []string{"workload", "system", "objsize", "KQ/J", "KQPS", "watts"},
+		Attribution: attr,
 	}
 	for _, r := range rows {
 		t.Add(r.Workload, r.System, fmt.Sprintf("%dB", r.ValLen), f2(r.KQPerJ), f2(r.KQPS), f2(r.AvgWatts))

@@ -7,6 +7,7 @@ import (
 	"leed/internal/baselines/fawn"
 	"leed/internal/baselines/kvell"
 	"leed/internal/core"
+	"leed/internal/obs"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
 	"leed/internal/sim"
@@ -30,6 +31,7 @@ func Tab3(sc Scale) ([]Tab3Row, *Table) {
 	flash := int64(4) * 960 << 30
 	dram := int64(8) << 30
 	var rows []Tab3Row
+	var attr *obs.Attribution
 	for _, valLen := range []int{1024, 256} {
 		systems := []struct {
 			name string
@@ -56,7 +58,10 @@ func Tab3(sc Scale) ([]Tab3Row, *Table) {
 			satr := Run(k, sys.Do, rd, sc.Records, valLen, sys.Meters,
 				RunConfig{Clients: sc.Clients * 6, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: 3})
 			satw := Run(k, sys.Do, wr, sc.Records, valLen, sys.Meters,
-				RunConfig{Clients: sc.Clients * 6, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: 4})
+				RunConfig{Clients: sc.Clients * 6, Ops: sc.Ops, WarmupOps: sc.Ops / 8, Seed: 4, Tracer: sys.Tracer})
+			if satw.Attr != nil {
+				attr = satw.Attr // LEED's breakdown, cumulative over all four runs
+			}
 			rows = append(rows, Tab3Row{
 				System: s.name, ValLen: valLen, MaxCapacity: s.cap_,
 				RdLatUs: float64(qd1r.Lat.Mean()) / 1000,
@@ -68,8 +73,9 @@ func Tab3(sc Scale) ([]Tab3Row, *Table) {
 		}
 	}
 	t := &Table{
-		Title:   "Table 3: single-node comparison on the Stingray",
-		Columns: []string{"system", "objsize", "max-capacity", "rd-lat(us)", "wr-lat(us)", "rd-thr(KQPS)", "wr-thr(KQPS)"},
+		Title:       "Table 3: single-node comparison on the Stingray",
+		Columns:     []string{"system", "objsize", "max-capacity", "rd-lat(us)", "wr-lat(us)", "rd-thr(KQPS)", "wr-thr(KQPS)"},
+		Attribution: attr,
 	}
 	for _, r := range rows {
 		t.Add(r.System, fmt.Sprintf("%dB", r.ValLen), pct(r.MaxCapacity),

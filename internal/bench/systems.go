@@ -1,13 +1,17 @@
 package bench
 
 import (
+	"fmt"
+
 	"leed/internal/baselines/bcommon"
 	"leed/internal/baselines/fawn"
 	"leed/internal/baselines/kvell"
 	"leed/internal/cluster"
 	"leed/internal/core"
 	"leed/internal/engine"
+	"leed/internal/flashsim"
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/platform"
 	"leed/internal/power"
 	"leed/internal/rpcproto"
@@ -30,6 +34,12 @@ type System struct {
 	K      sim.Runner
 	Do     DoOp
 	Meters []*power.Meter
+
+	// Obs is the system's metrics registry; every system gets one so
+	// baseline-vs-LEED tables use identical quantile math. Tracer is set for
+	// LEED systems (the instrumented request path) and nil for baselines.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
 
 	LEED   *cluster.Cluster // set for LEED cluster systems
 	Engine *engine.Engine   // set for single-node LEED
@@ -120,7 +130,7 @@ func NewLEEDCluster(k sim.Runner, o LEEDOptions) *System {
 		rr++
 		return cl.Put(p, key, val)
 	}
-	sys := &System{K: k, Do: rmw(get, put), LEED: c}
+	sys := &System{K: k, Do: rmw(get, put), LEED: c, Obs: c.Obs(), Tracer: c.Tracer()}
 	for _, id := range c.NodeIDs[:o.JBOFs] {
 		sys.Meters = append(sys.Meters, c.Platforms[id].Meter)
 	}
@@ -135,7 +145,9 @@ func slotFor(valLen int) int64 {
 // NewKVellCluster assembles Server-KVell: KVell on server JBOFs with chain
 // replication R=3 and every core pinned polling (SPDK).
 func NewKVellCluster(k sim.Runner, nodes, valLen int, records int64) *System {
+	reg := obs.NewRegistry()
 	fab := netsim.New(k, netsim.Config{})
+	fab.Observe(reg, nil)
 	spec := platform.ServerJBOF()
 	var servers []*bcommon.Server
 	var meters []*power.Meter
@@ -158,13 +170,18 @@ func NewKVellCluster(k sim.Runner, nodes, valLen int, records int64) *System {
 				RegionOff: int64(w/4) * slot * slotsPerWorker,
 				SlotBytes: slot, NumSlots: slotsPerWorker,
 				CacheSlots: cacheSlots,
+				Obs:        reg, ObsLabel: fmt.Sprintf("n%d.w%d", i, w),
 			})
 			backends = append(backends, kvStoreBackend{st})
+		}
+		for si, ssd := range plat.SSDs {
+			flashsim.Observe(ssd, reg, nil, fmt.Sprintf("n%d.ssd%d", i, si))
 		}
 		ep := fab.AddNode(netsim.Addr(100+i), spec.NICBitsPerS)
 		servers = append(servers, bcommon.NewServer(bcommon.ServerConfig{
 			Kernel: k, Index: i, Endpoint: ep, Platform: plat,
 			Backends: backends, Synchronous: false, Depth: 16,
+			Obs: reg,
 		}))
 		meters = append(meters, plat.Meter)
 	}
@@ -175,13 +192,15 @@ func NewKVellCluster(k sim.Runner, nodes, valLen int, records int64) *System {
 	cl := bcommon.NewClient(k, fab.AddNode(1000, 100_000_000_000), bc)
 	get := func(p *sim.Proc, key []byte) (sim.Time, error) { _, lat, err := cl.Get(p, key); return lat, err }
 	put := cl.Put
-	return &System{K: k, Do: rmw(get, put), Meters: meters}
+	return &System{K: k, Do: rmw(get, put), Meters: meters, Obs: reg}
 }
 
 // NewFAWNCluster assembles Embedded-FAWN: FAWN-DS on Raspberry Pi nodes
 // with chain replication R=3.
 func NewFAWNCluster(k sim.Runner, nodes, valLen int) *System {
+	reg := obs.NewRegistry()
 	fab := netsim.New(k, netsim.Config{})
+	fab.Observe(reg, nil)
 	spec := platform.RaspberryPi()
 	var servers []*bcommon.Server
 	var meters []*power.Meter
@@ -194,13 +213,16 @@ func NewFAWNCluster(k sim.Runner, nodes, valLen int) *System {
 			ds := fawn.New(fawn.Config{
 				Kernel: k, Device: plat.SSDs[0], Exec: gate,
 				RegionOff: int64(w) * (64 << 20), LogBytes: 48 << 20,
+				Obs: reg, ObsLabel: fmt.Sprintf("n%d.w%d", i, w),
 			})
 			backends = append(backends, fawnDSBackend{ds})
 		}
+		flashsim.Observe(plat.SSDs[0], reg, nil, fmt.Sprintf("n%d.ssd0", i))
 		ep := fab.AddNode(netsim.Addr(100+i), spec.NICBitsPerS)
 		servers = append(servers, bcommon.NewServer(bcommon.ServerConfig{
 			Kernel: k, Index: i, Endpoint: ep, Platform: plat,
 			Backends: backends, Synchronous: true,
+			Obs: reg,
 		}))
 		meters = append(meters, plat.Meter)
 	}
@@ -210,7 +232,7 @@ func NewFAWNCluster(k sim.Runner, nodes, valLen int) *System {
 	}
 	cl := bcommon.NewClient(k, fab.AddNode(1000, 100_000_000_000), bc)
 	get := func(p *sim.Proc, key []byte) (sim.Time, error) { _, lat, err := cl.Get(p, key); return lat, err }
-	return &System{K: k, Do: rmw(get, cl.Put), Meters: meters}
+	return &System{K: k, Do: rmw(get, cl.Put), Meters: meters, Obs: reg}
 }
 
 type fawnDSBackend struct{ ds *fawn.DS }
@@ -230,9 +252,14 @@ func (b kvStoreBackend) Del(p *sim.Proc, key []byte) error           { return b.
 // NewLEEDNode builds one LEED JBOF accessed locally (no network): the
 // configuration Table 3 measures.
 func NewLEEDNode(k sim.Runner, valLen int, opts ...func(*engine.Config)) *System {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, 16, 256)
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 1)
 	for _, c := range node.Cores {
 		c.PinPolling()
+	}
+	for si, ssd := range node.SSDs {
+		flashsim.Observe(ssd, reg, tr, fmt.Sprintf("n1.ssd%d", si))
 	}
 	partBytes := int64(128 << 20)
 	geo := core.PlanPartition(partBytes, KeyLen, valLen, core.PlanOpts{})
@@ -245,6 +272,9 @@ func NewLEEDNode(k sim.Runner, valLen int, opts ...func(*engine.Config)) *System
 		SwapEnabled:      true,
 		SubCompactions:   8,
 		Prefetch:         true,
+		Obs:              reg,
+		Tracer:           tr,
+		ObsNode:          "n1",
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -262,15 +292,20 @@ func NewLEEDNode(k sim.Runner, valLen int, opts ...func(*engine.Config)) *System
 		_, _, err := eng.Execute(p, int(core.HashKey(key)%nparts), rpcproto.OpPut, key, val)
 		return p.Now() - t0, err
 	}
-	return &System{K: k, Do: rmw(get, put), Meters: []*power.Meter{node.Meter}, Engine: eng, Node: node}
+	return &System{K: k, Do: rmw(get, put), Meters: []*power.Meter{node.Meter},
+		Obs: reg, Tracer: tr, Engine: eng, Node: node}
 }
 
 // NewFAWNJBOF builds FAWN-DS ported onto the Stingray: 8 single-threaded
 // virtual-node stores (2 per SSD), one device access per op.
 func NewFAWNJBOF(k sim.Runner, valLen int) *System {
+	reg := obs.NewRegistry()
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 2)
 	for _, c := range node.Cores {
 		c.PinPolling()
+	}
+	for si, ssd := range node.SSDs {
+		flashsim.Observe(ssd, reg, nil, fmt.Sprintf("n2.ssd%d", si))
 	}
 	var stores []*fawn.DS
 	for w := 0; w < 8; w++ {
@@ -278,6 +313,7 @@ func NewFAWNJBOF(k sim.Runner, valLen int) *System {
 		stores = append(stores, fawn.New(fawn.Config{
 			Kernel: k, Device: node.SSDs[w/2], Exec: gate,
 			RegionOff: int64(w%2) * (128 << 20), LogBytes: 100 << 20,
+			Obs: reg, ObsLabel: fmt.Sprintf("w%d", w),
 		}))
 	}
 	pick := func(key []byte) *fawn.DS { return stores[core.HashKey(key)%8] }
@@ -291,15 +327,19 @@ func NewFAWNJBOF(k sim.Runner, valLen int) *System {
 		err := pick(key).Put(p, key, val)
 		return p.Now() - t0, err
 	}
-	return &System{K: k, Do: rmw(get, put), Meters: []*power.Meter{node.Meter}, Node: node}
+	return &System{K: k, Do: rmw(get, put), Meters: []*power.Meter{node.Meter}, Obs: reg, Node: node}
 }
 
 // NewKVellJBOF builds KVell ported onto the Stingray: shared-nothing
 // workers whose B-tree walks pay the ARM penalty.
 func NewKVellJBOF(k sim.Runner, valLen int) *System {
+	reg := obs.NewRegistry()
 	node := platform.NewNode(k, platform.Stingray(), 4, 256<<20, 3)
 	for _, c := range node.Cores {
 		c.PinPolling()
+	}
+	for si, ssd := range node.SSDs {
+		flashsim.Observe(ssd, reg, nil, fmt.Sprintf("n3.ssd%d", si))
 	}
 	slot := slotFor(valLen)
 	costs := kvell.DefaultCosts()
@@ -311,6 +351,7 @@ func NewKVellJBOF(k sim.Runner, valLen int) *System {
 			Kernel: k, Device: node.SSDs[w/2], Exec: gate, Costs: costs,
 			RegionOff: int64(w%2) * (128 << 20),
 			SlotBytes: slot, NumSlots: (100 << 20) / slot,
+			Obs: reg, ObsLabel: fmt.Sprintf("w%d", w),
 		}))
 	}
 	pick := func(key []byte) *kvell.Store { return stores[core.HashKey(key)%8] }
@@ -324,5 +365,5 @@ func NewKVellJBOF(k sim.Runner, valLen int) *System {
 		err := pick(key).Put(p, key, val)
 		return p.Now() - t0, err
 	}
-	return &System{K: k, Do: rmw(get, put), Meters: []*power.Meter{node.Meter}, Node: node}
+	return &System{K: k, Do: rmw(get, put), Meters: []*power.Meter{node.Meter}, Obs: reg, Node: node}
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
@@ -143,6 +144,10 @@ func RunWallclock(env *wallclock.Env, do DoOpT, w ycsb.Workload, records int64, 
 	if res.Elapsed > 0 {
 		res.Thr = float64(res.Ops) / res.Elapsed.Seconds()
 	}
+	if rc.Tracer != nil {
+		a := rc.Tracer.Attribution()
+		res.Attr = &a
+	}
 	return res
 }
 
@@ -207,6 +212,10 @@ type WallclockDoc struct {
 	Sync     WallclockRes `json:"sync"`
 	Async    WallclockRes `json:"async"`
 	Speedup  float64      `json:"speedup"`
+
+	// Attribution is the async run's per-stage latency breakdown, when the
+	// run was traced.
+	Attribution *obs.Attribution `json:"attribution,omitempty"`
 }
 
 // JSON renders the doc, indented, with a trailing newline.

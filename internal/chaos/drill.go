@@ -30,6 +30,7 @@ import (
 	"leed/internal/core"
 	"leed/internal/flashsim"
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
@@ -97,6 +98,11 @@ type Config struct {
 	// Budget bounds the whole drill: virtual time on the sim backend, real
 	// time on wallclock. Default 120s.
 	Budget runtime.Time
+
+	// Obs, when set, is the registry the drill's cluster reports into (the
+	// cluster otherwise creates its own; either way Report.Metrics carries
+	// the final snapshot).
+	Obs *obs.Registry
 }
 
 func (cfg *Config) setDefaults() {
@@ -186,6 +192,7 @@ func newDrill(cfg Config, env runtime.Env) *drill {
 	}
 	d.c = cluster.New(cluster.Config{
 		Env:              env,
+		Obs:              cfg.Obs,
 		HeartbeatTimeout: hbTimeout,
 		NumJBOFs:         cfg.JBOFs,
 		SSDsPerJBOF:      cfg.SSDs,
@@ -619,4 +626,6 @@ func (d *drill) finishReport() {
 	rep.PartitionsLost = c.Manager.PartitionsLost()
 	rep.FinalEpoch = c.Manager.Epoch()
 	rep.Pass = len(rep.Violations) == 0
+	snap := c.Obs().Snapshot()
+	rep.Metrics = &snap
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -42,6 +43,11 @@ type Report struct {
 
 	FinalEpoch uint64
 	QuiescedAt runtime.Time // backend time at which the cluster converged
+
+	// Metrics is the cluster registry's final snapshot. It is excluded from
+	// String() so the byte-compared drill transcript stays as-is; under sim
+	// the snapshot itself is deterministic too.
+	Metrics *obs.Snapshot
 }
 
 // String renders the report with a fixed field order; drills compare these

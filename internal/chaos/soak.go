@@ -7,6 +7,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -42,6 +43,10 @@ type SoakConfig struct {
 	// device of Capacity bytes). The soak formats it from scratch —
 	// existing contents are overwritten.
 	Device flashsim.Device
+
+	// Obs, when set, receives the soak device's leed_dev_* series;
+	// SoakReport.Metrics carries its final snapshot.
+	Obs *obs.Registry
 }
 
 func (cfg *SoakConfig) setDefaults() {
@@ -86,6 +91,10 @@ type SoakReport struct {
 	RecoveredSegments         int64
 	LiveObjects               int64
 	Elapsed                   runtime.Time
+
+	// Metrics is the registry's final snapshot when SoakConfig.Obs was set.
+	// Excluded from String() (the byte-compared transcript).
+	Metrics *obs.Snapshot
 }
 
 // String renders the report with a fixed field order.
@@ -132,6 +141,9 @@ func RunSoak(p runtime.Task, cfg SoakConfig) *SoakReport {
 	dev := cfg.Device
 	if dev == nil {
 		dev = flashsim.NewMemDevice(cfg.Env, cfg.Capacity)
+	}
+	if cfg.Obs != nil {
+		flashsim.Observe(dev, cfg.Obs, nil, "soak")
 	}
 	fi := flashsim.NewFaultInjector(cfg.Env, dev, cfg.Seed+17)
 	fi.TornWriteRate = cfg.TornRate // only failing writes tear, so windows gate it
@@ -235,6 +247,10 @@ func RunSoak(p runtime.Task, cfg SoakConfig) *SoakReport {
 	rep.DeviceInjected = fi.Injected()
 	rep.Elapsed = cfg.Env.Now() - start
 	rep.Pass = len(rep.Violations) == 0
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot()
+		rep.Metrics = &snap
+	}
 	return rep
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
 )
@@ -51,6 +52,14 @@ type ClientConfig struct {
 	// BackoffSeed seeds the jitter stream. Default Tenant+1, so co-tenant
 	// clients desynchronize without any configuration.
 	BackoffSeed int64
+
+	// Obs receives the client's counter and latency series (leed_client_*).
+	// May be nil; the client then keeps unregistered instruments.
+	Obs *obs.Registry
+	// Tracer, when non-nil, starts one trace per attempt; the successful
+	// attempt's trace is finished with a "client" span covering admission
+	// wait and the residual round-trip time no downstream stage claimed.
+	Tracer *obs.Tracer
 }
 
 // ClientStats are cumulative counters.
@@ -76,6 +85,35 @@ type Client struct {
 
 	stopped bool
 	stats   ClientStats
+	o       *clientObs
+}
+
+// clientObs is the client's registry binding: one counter per ClientStats
+// field plus the end-to-end latency histogram, labeled by tenant. Always
+// constructed (a nil registry hands back working unregistered instruments).
+type clientObs struct {
+	tr *obs.Tracer
+
+	ops, retries, nacks *obs.Counter
+	timeouts            *obs.Counter
+	throttled           *obs.Counter
+	backoffs            *obs.Counter
+	latency             *obs.Hist
+}
+
+func newClientObs(reg *obs.Registry, tr *obs.Tracer, tenant uint16) *clientObs {
+	t := fmt.Sprint(tenant)
+	c := func(name string) *obs.Counter { return reg.Counter(name, "tenant", t) }
+	return &clientObs{
+		tr:        tr,
+		ops:       c("leed_client_ops_total"),
+		retries:   c("leed_client_retries_total"),
+		nacks:     c("leed_client_nacks_total"),
+		timeouts:  c("leed_client_timeouts_total"),
+		throttled: c("leed_client_throttled_total"),
+		backoffs:  c("leed_client_backoffs_total"),
+		latency:   reg.Hist("leed_client_latency_ns", "tenant", t),
+	}
 }
 
 // NewClient creates a client; Start launches its view/completion poller.
@@ -101,6 +139,7 @@ func NewClient(cfg ClientConfig) *Client {
 	c := &Client{
 		cfg:         cfg,
 		env:         cfg.Env,
+		o:           newClientObs(cfg.Obs, cfg.Tracer, cfg.Tenant),
 		tokens:      make(map[target]int64),
 		outstanding: make(map[target]int),
 		rng:         rand.New(rand.NewSource(cfg.BackoffSeed)),
@@ -226,8 +265,26 @@ func (c *Client) admit(p runtime.Task, t target, cost int64) {
 			return
 		}
 		c.stats.Throttled++
+		c.o.throttled.Inc()
 		p.Wait(c.wake)
 	}
+}
+
+// finishTrace closes the successful attempt's trace: the "client" span's
+// queue is the admission wait, and its service is the round-trip time no
+// downstream span accounts for (client-side marshaling, completion
+// dispatch). Downstream layers recorded directly into tr, so attribution
+// sums to the observed RTT without double counting.
+func (c *Client) finishTrace(tr *obs.Trace, admitWait, rtt runtime.Time) {
+	if tr == nil {
+		return
+	}
+	var known runtime.Time
+	for _, s := range tr.Spans {
+		known += s.Queue + s.Service
+	}
+	tr.Span("client", admitWait, rtt-known)
+	c.o.tr.End(tr)
 }
 
 // Do executes one operation end to end, handling flow control, NACK/view
@@ -250,7 +307,13 @@ func (c *Client) Do(p runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 		if err != nil {
 			return nil, 0, err
 		}
+		// Each attempt gets a fresh trace: a late response from an abandoned
+		// attempt may still append spans to its own trace, but only the
+		// successful attempt's trace is ever finished.
+		tr := c.o.tr.Begin(op.String(), p.Now())
+		a0 := p.Now()
 		c.admit(p, t, cost)
+		admitWait := p.Now() - a0
 		c.nextID++
 		req := &rpcproto.Request{
 			ID: c.nextID, Op: op, Tenant: c.cfg.Tenant,
@@ -258,9 +321,10 @@ func (c *Client) Do(p runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 			Key: key, Value: val,
 		}
 		done := c.env.MakeEvent()
-		env := &reqEnvelope{req: req, clientAddr: c.cfg.Endpoint.Addr(), complete: done}
+		env := &reqEnvelope{req: req, clientAddr: c.cfg.Endpoint.Addr(), complete: done, trace: tr}
 		c.outstanding[t]++
-		c.cfg.Endpoint.Send(netsim.Addr(t.node), req.WireSize(), env)
+		sent := p.Now()
+		c.cfg.Endpoint.SendTraced(netsim.Addr(t.node), req.WireSize(), env, tr)
 		deadline, cancel := runtime.CancelableTimer(c.env, c.cfg.Timeout)
 		idx := runtime.WaitAny(p, done, deadline)
 		cancel()
@@ -269,10 +333,13 @@ func (c *Client) Do(p runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 			// Timeout: the target may be dead; decay its token estimate so
 			// the scheduler stops preferring it, then back off and retry.
 			c.stats.Timeouts++
+			c.o.timeouts.Inc()
 			c.stats.Retries++
+			c.o.retries.Inc()
 			delete(c.tokens, t)
 			c.fireWake()
 			c.stats.Backoffs++
+			c.o.backoffs.Inc()
 			p.Sleep(c.backoffDur(attempt))
 			continue
 		}
@@ -282,11 +349,18 @@ func (c *Client) Do(p runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 		switch resp.Status {
 		case rpcproto.StatusOK, rpcproto.StatusNotFound:
 			c.stats.Ops++
-			return resp, p.Now() - start, nil
+			c.o.ops.Inc()
+			lat := p.Now() - start
+			c.o.latency.Record(lat)
+			c.finishTrace(tr, admitWait, p.Now()-sent)
+			return resp, lat, nil
 		case rpcproto.StatusNack:
 			c.stats.Nacks++
+			c.o.nacks.Inc()
 			c.stats.Retries++
+			c.o.retries.Inc()
 			c.stats.Backoffs++
+			c.o.backoffs.Inc()
 			// Back off before retrying; when the NACK advertises a newer
 			// epoch, the wait doubles as "view should arrive soon" and is
 			// cut short by the wake event the view update fires.
@@ -300,7 +374,9 @@ func (c *Client) Do(p runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 			lastErr = fmt.Errorf("cluster: nacked at epoch %d", resp.Epoch)
 		default:
 			c.stats.Retries++
+			c.o.retries.Inc()
 			c.stats.Backoffs++
+			c.o.backoffs.Inc()
 			p.Sleep(c.backoffDur(attempt))
 			lastErr = fmt.Errorf("cluster: status %v", resp.Status)
 		}

@@ -8,6 +8,7 @@ import (
 	"leed/internal/engine"
 	"leed/internal/flashsim"
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
@@ -67,6 +68,14 @@ type Config struct {
 	// deadline and attempt budget (0 = client defaults).
 	ClientTimeout runtime.Time
 	ClientRetries int
+
+	// Obs receives every component's metrics series. When nil, New creates
+	// a registry, so an assembled cluster is always observable via Obs().
+	Obs *obs.Registry
+	// Tracer aggregates per-request stage spans into the registry's
+	// leed_stage_* histograms. When nil, New creates one with a 1-in-16
+	// whole-trace sampling cadence.
+	Tracer *obs.Tracer
 }
 
 // Cluster holds every assembled component.
@@ -103,6 +112,12 @@ func New(cfg Config) *Cluster {
 	if cfg.TokensPerPartition == 0 {
 		cfg.TokensPerPartition = 48
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(cfg.Obs, 16, 256)
+	}
 	env := cfg.Env
 	c := &Cluster{
 		Env:       env,
@@ -112,6 +127,7 @@ func New(cfg Config) *Cluster {
 		Platforms: make(map[NodeID]*platform.Node),
 		cfg:       cfg,
 	}
+	c.Fabric.Observe(cfg.Obs, cfg.Tracer)
 
 	// Slot budget per node: worst-case replicated partitions with slack
 	// for consistent-hashing imbalance and membership churn.
@@ -132,6 +148,9 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < total; i++ {
 		id := firstNodeID + NodeID(i)
 		plat := platform.NewNode(env, cfg.Platform, cfg.SSDsPerJBOF, cfg.SSDCapacity, int64(id))
+		for si, ssd := range plat.SSDs {
+			flashsim.Observe(ssd, cfg.Obs, cfg.Tracer, fmt.Sprintf("n%d.ssd%d", id, si))
+		}
 		var devs []flashsim.Device
 		if cfg.WrapDevice != nil {
 			for si, ssd := range plat.SSDs {
@@ -142,6 +161,9 @@ func New(cfg Config) *Cluster {
 			Env:                env,
 			Node:               plat,
 			Devices:            devs,
+			Obs:                cfg.Obs,
+			Tracer:             cfg.Tracer,
+			ObsNode:            fmt.Sprintf("n%d", id),
 			FlushEvery:         cfg.FlushEvery,
 			PartitionsPerSSD:   partsPerSSD,
 			Geometry:           geo,
@@ -156,6 +178,7 @@ func New(cfg Config) *Cluster {
 			Env: env, ID: id, Engine: eng, Endpoint: ep,
 			Platform: plat, ManagerAddr: managerAddr,
 			CRRS: cfg.CRRS, CRAQMode: cfg.CRAQMode,
+			Obs: cfg.Obs, Tracer: cfg.Tracer,
 		})
 		c.Nodes[id] = node
 		c.Engines[id] = eng
@@ -170,6 +193,7 @@ func New(cfg Config) *Cluster {
 	c.Manager = NewManager(ManagerConfig{
 		Env: env, Endpoint: mgrEp, R: cfg.R, NumPart: cfg.NumPartitions,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Obs:              cfg.Obs,
 	}, initial)
 	for _, id := range c.NodeIDs {
 		c.Manager.Subscribe(netsim.Addr(id))
@@ -184,6 +208,8 @@ func New(cfg Config) *Cluster {
 			InitialTokens: cfg.TokensPerPartition,
 			Timeout:       cfg.ClientTimeout,
 			Retries:       cfg.ClientRetries,
+			Obs:           cfg.Obs,
+			Tracer:        cfg.Tracer,
 		})
 		c.Clients = append(c.Clients, cl)
 		c.Manager.Subscribe(addr)
@@ -330,6 +356,13 @@ func (c *Cluster) MemberIDs() []NodeID {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
+
+// Obs returns the cluster's metrics registry.
+func (c *Cluster) Obs() *obs.Registry { return c.cfg.Obs }
+
+// Tracer returns the cluster's request tracer; its Attribution method
+// yields the per-stage latency-attribution table.
+func (c *Cluster) Tracer() *obs.Tracer { return c.cfg.Tracer }
 
 // String summarizes the assembly.
 func (c *Cluster) String() string {

@@ -166,7 +166,13 @@ func runEqSim(t *testing.T, ops []eqOp) *eqResult {
 func runEqWallclock(t *testing.T, ops []eqOp) *eqResult {
 	t.Helper()
 	env := wallclock.New()
-	c := New(eqClusterConfig(env))
+	cfg := eqClusterConfig(env)
+	// Real scheduler jitter under load trips the sim-scale 20ms heartbeat
+	// default — the manager evicts every healthy node and publishes an empty
+	// view. Detection latency is a tunable, not what this test compares
+	// (DESIGN §9); raise it like the wallclock drills and leedctl do.
+	cfg.HeartbeatTimeout = 250 * runtime.Millisecond
+	c := New(cfg)
 	c.Start()
 	var res *eqResult
 	done := make(chan struct{})

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -24,6 +25,10 @@ type ManagerConfig struct {
 	HeartbeatTimeout runtime.Time
 	// CheckEvery is the failure-detector period. Default 5ms.
 	CheckEvery runtime.Time
+
+	// Obs receives the control plane's counter series (leed_mgr_*). May be
+	// nil; the manager then keeps unregistered instruments.
+	Obs *obs.Registry
 }
 
 // ManagerStats are cumulative counters.
@@ -58,6 +63,7 @@ type Manager struct {
 	view    *View
 	stopped bool
 	stats   ManagerStats
+	o       *mgrObs
 	// partitionsLost is kept as an atomic (assembled into Stats on read) so
 	// wallclock monitors and -race tests can poll it while drills run.
 	partitionsLost atomic.Int64
@@ -66,6 +72,27 @@ type Manager struct {
 type copyKey struct {
 	part uint32
 	dest NodeID
+}
+
+// mgrObs is the control plane's registry binding: one counter per
+// ManagerStats field. Always constructed (a nil registry hands back working
+// unregistered counters).
+type mgrObs struct {
+	joins, leaves, failures *obs.Counter
+	views                   *obs.Counter
+	copiesOrdered           *obs.Counter
+	partitionsLost          *obs.Counter
+}
+
+func newMgrObs(reg *obs.Registry) *mgrObs {
+	return &mgrObs{
+		joins:          reg.Counter("leed_mgr_joins_total"),
+		leaves:         reg.Counter("leed_mgr_leaves_total"),
+		failures:       reg.Counter("leed_mgr_failures_total"),
+		views:          reg.Counter("leed_mgr_views_published_total"),
+		copiesOrdered:  reg.Counter("leed_mgr_copies_ordered_total"),
+		partitionsLost: reg.Counter("leed_mgr_partitions_lost_total"),
+	}
 }
 
 // NewManager creates the control plane with an initial RUNNING member set.
@@ -79,6 +106,7 @@ func NewManager(cfg ManagerConfig, initial []NodeID) *Manager {
 	m := &Manager{
 		cfg:           cfg,
 		env:           cfg.Env,
+		o:             newMgrObs(cfg.Obs),
 		states:        make(map[NodeID]NodeState),
 		unsynced:      make(map[uint32]map[NodeID]bool),
 		lastHB:        make(map[NodeID]runtime.Time),
@@ -138,6 +166,7 @@ func (m *Manager) rebuildView() {
 func (m *Manager) publish() {
 	m.rebuildView()
 	m.stats.ViewsPublished++
+	m.o.views.Inc()
 	size := int64(128 + 16*len(m.states))
 	for _, addr := range m.subs {
 		m.cfg.Endpoint.Send(addr, size, &viewMsg{view: m.view})
@@ -186,6 +215,7 @@ func (m *Manager) Start() {
 				}
 				if now-m.lastHB[n] > m.cfg.HeartbeatTimeout {
 					m.stats.Failures++
+					m.o.failures.Inc()
 					m.removeNode(n, true)
 				}
 			}
@@ -230,6 +260,7 @@ func (m *Manager) Join(node NodeID) {
 		return
 	}
 	m.stats.Joins++
+	m.o.joins.Inc()
 	old := m.View()
 	m.states[node] = StateJoining
 	m.lastHB[node] = m.env.Now()
@@ -265,6 +296,7 @@ func (m *Manager) Leave(node NodeID) {
 		return
 	}
 	m.stats.Leaves++
+	m.o.leaves.Inc()
 	m.removeNode(node, false)
 }
 
@@ -304,6 +336,7 @@ func (m *Manager) removeNode(node NodeID, failed bool) {
 				// No synced survivor: committed data for this partition is
 				// unrecoverable (more simultaneous failures than R-1).
 				m.partitionsLost.Add(1)
+				m.o.partitionsLost.Inc()
 				delete(set, nn)
 			}
 		}
@@ -318,6 +351,7 @@ func (m *Manager) removeNode(node NodeID, failed bool) {
 
 func (m *Manager) orderCopy(part uint32, src, dst, transitioning NodeID) {
 	m.stats.CopiesOrdered++
+	m.o.copiesOrdered.Inc()
 	m.pendingCopies[copyKey{part: part, dest: dst}] = transitioning
 	m.pendingCount[transitioning]++
 	m.cfg.Endpoint.Send(netsim.Addr(src), 64, &copyCmd{partition: part, dest: dst})

@@ -8,6 +8,7 @@ import (
 	"leed/internal/core"
 	"leed/internal/engine"
 	"leed/internal/netsim"
+	"leed/internal/obs"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
@@ -15,11 +16,13 @@ import (
 
 // reqEnvelope carries a request through the fabric together with the
 // requester's completion slot (the pre-allocated RDMA WRITE target, §3.5)
-// and return address.
+// and return address. The trace, when non-nil, accumulates per-stage spans
+// as the request moves client -> net -> node -> engine -> device.
 type reqEnvelope struct {
 	req        *rpcproto.Request
 	clientAddr netsim.Addr
 	complete   runtime.Event
+	trace      *obs.Trace
 }
 
 // viewMsg distributes a membership view.
@@ -72,6 +75,12 @@ type NodeConfig struct {
 	// CopyBatch is the number of outstanding COPY transfers during
 	// migration. Default 8.
 	CopyBatch int
+
+	// Obs receives the node's counter series (leed_node_*). May be nil;
+	// the node then keeps unregistered instruments.
+	Obs *obs.Registry
+	// Tracer receives "node" stage observations for un-traced requests.
+	Tracer *obs.Tracer
 }
 
 // NodeStats are cumulative counters.
@@ -122,6 +131,7 @@ type Node struct {
 	gen     int
 	numPoll int
 	stats   NodeStats
+	o       *nodeObs
 }
 
 // partTagKey is a reserved per-partition key holding the global partition
@@ -130,16 +140,78 @@ type Node struct {
 // assignment lives in DRAM and dies with the crash.
 const partTagKey = "\x00leed:partition"
 
-// gate serializes compute onto one core.
+// gate serializes compute onto one core. run returns how long the task
+// waited for the core — the "node" stage's queue component.
 type gate struct {
 	core *platform.Core
 	res  runtime.Resource
 }
 
-func (g *gate) run(p runtime.Task, cycles int64) {
+func (g *gate) run(p runtime.Task, cycles int64) runtime.Time {
+	t0 := p.Now()
 	g.res.Acquire(p, 1)
+	wait := p.Now() - t0
 	g.core.RunCycles(p, cycles)
 	g.res.Release(1)
+	return wait
+}
+
+// nodeObs is the node's registry binding: one counter per NodeStats field,
+// labeled by node, plus the tracer for "node" stage observations. It is
+// always constructed (a nil registry hands back working unregistered
+// counters), so call sites need no nil checks.
+type nodeObs struct {
+	tr *obs.Tracer
+
+	gets, puts, dels *obs.Counter
+	shipped          *obs.Counter
+	versionQueries   *obs.Counter
+	nacks            *obs.Counter
+	forwards         *obs.Counter
+	acks             *obs.Counter
+	copiesSent       *obs.Counter
+	copiesReceived   *obs.Counter
+	dirtyCommits     *obs.Counter
+	copyRetries      *obs.Counter
+	shieldedCopies   *obs.Counter
+	restarts         *obs.Counter
+	recoveredParts   *obs.Counter
+	recoveredSegs    *obs.Counter
+}
+
+func newNodeObs(reg *obs.Registry, tr *obs.Tracer, id NodeID) *nodeObs {
+	node := fmt.Sprintf("n%d", id)
+	c := func(name string) *obs.Counter { return reg.Counter(name, "node", node) }
+	return &nodeObs{
+		tr:             tr,
+		gets:           c("leed_node_gets_total"),
+		puts:           c("leed_node_puts_total"),
+		dels:           c("leed_node_dels_total"),
+		shipped:        c("leed_node_shipped_total"),
+		versionQueries: c("leed_node_version_queries_total"),
+		nacks:          c("leed_node_nacks_total"),
+		forwards:       c("leed_node_forwards_total"),
+		acks:           c("leed_node_acks_total"),
+		copiesSent:     c("leed_node_copies_sent_total"),
+		copiesReceived: c("leed_node_copies_received_total"),
+		dirtyCommits:   c("leed_node_dirty_commits_total"),
+		copyRetries:    c("leed_node_copy_retries_total"),
+		shieldedCopies: c("leed_node_shielded_copies_total"),
+		restarts:       c("leed_node_restarts_total"),
+		recoveredParts: c("leed_node_recovered_partitions_total"),
+		recoveredSegs:  c("leed_node_recovered_segments_total"),
+	}
+}
+
+// span attributes one slice of polling-core work to the "node" stage: into
+// the request's trace when it carries one, directly into the tracer
+// otherwise — never both, so stage histograms count each slice once.
+func (o *nodeObs) span(tr *obs.Trace, queue, service runtime.Time) {
+	if tr != nil {
+		tr.Span("node", queue, service)
+		return
+	}
+	o.tr.Observe("node", queue, service)
 }
 
 // NewNode creates a node. Call Start to launch its procs.
@@ -161,6 +233,7 @@ func NewNode(cfg NodeConfig) *Node {
 	n := &Node{
 		cfg:     cfg,
 		env:     cfg.Env,
+		o:       newNodeObs(cfg.Obs, cfg.Tracer, cfg.ID),
 		local:   make(map[uint32]int),
 		dirty:   make(map[uint32]map[string]int),
 		wasTail: make(map[uint32]bool),
@@ -251,6 +324,7 @@ func (n *Node) Restart() runtime.Event {
 	n.fresh = make(map[uint32]map[string]bool)
 	n.freeSlots = nil
 	n.stats.Restarts++
+	n.o.restarts.Inc()
 	done := n.env.MakeEvent()
 	n.env.Spawn(fmt.Sprintf("node%d-recover", n.cfg.ID), func(p runtime.Task) {
 		eng := n.cfg.Engine
@@ -279,7 +353,9 @@ func (n *Node) Restart() runtime.Event {
 			n.local[part] = pid
 			n.stale[part] = true
 			n.stats.RecoveredParts++
+			n.o.recoveredParts.Inc()
 			n.stats.RecoveredSegments += int64(segs)
+			n.o.recoveredSegs.Add(int64(segs))
 		}
 		// Descending order so pops allocate the lowest pid first, matching a
 		// fresh node's behavior.
@@ -312,10 +388,12 @@ func (n *Node) pollLoop(p runtime.Task, gen int) {
 		if n.stopped || n.gen != gen {
 			return
 		}
-		n.pollGate.run(p, n.cfg.RxCycles)
+		rx0 := p.Now()
+		wait := n.pollGate.run(p, n.cfg.RxCycles)
 		switch pl := m.Payload.(type) {
 		case *reqEnvelope:
 			env := pl
+			n.o.span(env.trace, wait, p.Now()-rx0-wait)
 			n.env.Spawn("handler", func(hp runtime.Task) { n.handle(hp, env) })
 		case *viewMsg:
 			n.applyView(p, pl.view)
@@ -443,6 +521,7 @@ func (n *Node) applyView(p runtime.Task, v *View) {
 				sort.Strings(keys)
 				for _, key := range keys {
 					n.stats.DirtyCommitsAsNew++
+					n.o.dirtyCommits.Inc()
 					if len(chain) > 1 {
 						n.sendAck(p, chain[len(chain)-2], part, []byte(key))
 					}
@@ -513,12 +592,15 @@ func (n *Node) reply(p runtime.Task, env *reqEnvelope, resp *rpcproto.Response) 
 			resp.Tokens = int32(n.cfg.Engine.AvailableTokens(pid))
 		}
 	}
-	n.pollGate.run(p, n.cfg.TxCycles)
-	n.cfg.Endpoint.Write(env.clientAddr, resp.WireSize(), resp, env.complete)
+	tx0 := p.Now()
+	wait := n.pollGate.run(p, n.cfg.TxCycles)
+	n.o.span(env.trace, wait, p.Now()-tx0-wait)
+	n.cfg.Endpoint.WriteTraced(env.clientAddr, resp.WireSize(), resp, env.complete, env.trace)
 }
 
 func (n *Node) nack(p runtime.Task, env *reqEnvelope) {
 	n.stats.Nacks++
+	n.o.nacks.Inc()
 	epoch := uint64(0)
 	if n.view != nil {
 		epoch = n.view.Epoch
@@ -531,6 +613,7 @@ func (n *Node) sendAck(p runtime.Task, to NodeID, part uint32, key []byte) {
 		return
 	}
 	n.stats.Acks++
+	n.o.acks.Inc()
 	req := &rpcproto.Request{Op: rpcproto.OpAck, Partition: part, Key: key, Epoch: n.view.Epoch}
 	n.pollGate.run(p, n.cfg.TxCycles)
 	n.cfg.Endpoint.Send(netsim.Addr(to), req.WireSize(), &reqEnvelope{req: req})
@@ -583,11 +666,13 @@ func (n *Node) handleCopy(p runtime.Task, env *reqEnvelope) {
 		// the joining replica; the COPY carries the older migration snapshot.
 		// Ack without writing (§3.8.1's repair must not travel back in time).
 		n.stats.ShieldedCopies++
+		n.o.shieldedCopies.Inc()
 		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusOK})
 		return
 	}
 	n.stats.CopiesReceived++
-	_, _, err := n.cfg.Engine.Execute(p, pid, rpcproto.OpPut, req.Key, req.Value)
+	n.o.copiesReceived.Inc()
+	_, _, err := n.cfg.Engine.ExecuteTraced(p, pid, rpcproto.OpPut, req.Key, req.Value, env.trace)
 	status := rpcproto.StatusOK
 	if err != nil {
 		status = rpcproto.StatusErr
@@ -630,10 +715,12 @@ func (n *Node) handleWrite(p runtime.Task, env *reqEnvelope) {
 	}
 	if req.Op == rpcproto.OpPut {
 		n.stats.Puts++
+		n.o.puts.Inc()
 	} else {
 		n.stats.Dels++
+		n.o.dels.Inc()
 	}
-	_, _, err := n.cfg.Engine.Execute(p, pid, req.Op, req.Key, req.Value)
+	_, _, err := n.cfg.Engine.ExecuteTraced(p, pid, req.Op, req.Key, req.Value, env.trace)
 	if err != nil && err != core.ErrNotFound {
 		if !isTail {
 			n.clearDirty(req.Partition, req.Key)
@@ -648,11 +735,15 @@ func (n *Node) handleWrite(p runtime.Task, env *reqEnvelope) {
 	if !isTail {
 		// Forward along the chain (§3.7).
 		n.stats.Forwards++
+		n.o.forwards.Inc()
 		fwd := *req
 		fwd.Hop++
-		n.pollGate.run(p, n.cfg.TxCycles)
-		n.cfg.Endpoint.Send(netsim.Addr(chain[pos+1]), fwd.WireSize(),
-			&reqEnvelope{req: &fwd, clientAddr: env.clientAddr, complete: env.complete})
+		tx0 := p.Now()
+		wait := n.pollGate.run(p, n.cfg.TxCycles)
+		n.o.span(env.trace, wait, p.Now()-tx0-wait)
+		n.cfg.Endpoint.SendTraced(netsim.Addr(chain[pos+1]), fwd.WireSize(),
+			&reqEnvelope{req: &fwd, clientAddr: env.clientAddr, complete: env.complete, trace: env.trace},
+			env.trace)
 		return
 	}
 	// Tail: commitment point. Reply to the client and ack backward.
@@ -689,6 +780,7 @@ func (n *Node) handleGet(p runtime.Task, env *reqEnvelope) {
 				// value transfer per dirty read — the traffic the paper's
 				// shipping design avoids (§3.7).
 				n.stats.VersionQueries++
+				n.o.versionQueries.Inc()
 				fwd := *req
 				fwd.Shipped = true
 				done := n.env.MakeEvent()
@@ -709,11 +801,15 @@ func (n *Node) handleGet(p runtime.Task, env *reqEnvelope) {
 			// Uncommitted write in flight: ship the read to the tail,
 			// which always holds the latest committed value (§3.7).
 			n.stats.Shipped++
+			n.o.shipped.Inc()
 			fwd := *req
 			fwd.Shipped = true
-			n.pollGate.run(p, n.cfg.TxCycles)
-			n.cfg.Endpoint.Send(netsim.Addr(chain[len(chain)-1]), fwd.WireSize(),
-				&reqEnvelope{req: &fwd, clientAddr: env.clientAddr, complete: env.complete})
+			tx0 := p.Now()
+			wait := n.pollGate.run(p, n.cfg.TxCycles)
+			n.o.span(env.trace, wait, p.Now()-tx0-wait)
+			n.cfg.Endpoint.SendTraced(netsim.Addr(chain[len(chain)-1]), fwd.WireSize(),
+				&reqEnvelope{req: &fwd, clientAddr: env.clientAddr, complete: env.complete, trace: env.trace},
+				env.trace)
 			return
 		}
 	}
@@ -723,7 +819,8 @@ func (n *Node) handleGet(p runtime.Task, env *reqEnvelope) {
 		return
 	}
 	n.stats.Gets++
-	val, _, err := n.cfg.Engine.Execute(p, pid, rpcproto.OpGet, req.Key, nil)
+	n.o.gets.Inc()
+	val, _, err := n.cfg.Engine.ExecuteTraced(p, pid, rpcproto.OpGet, req.Key, nil, env.trace)
 	switch {
 	case err == core.ErrNotFound:
 		n.reply(p, env, &rpcproto.Response{ID: req.ID, Status: rpcproto.StatusNotFound})
@@ -774,6 +871,7 @@ func (n *Node) runCopy(p runtime.Task, cmd *copyCmd) {
 		}
 		if round > 0 {
 			n.stats.CopyRetries += int64(len(items))
+			n.o.copyRetries.Add(int64(len(items)))
 		}
 		window := n.env.MakeResource(int64(n.cfg.CopyBatch))
 		acked := make([]bool, len(items))
@@ -784,6 +882,7 @@ func (n *Node) runCopy(p runtime.Task, cmd *copyCmd) {
 			}
 			window.Acquire(p, 1)
 			n.stats.CopiesSent++
+			n.o.copiesSent.Inc()
 			req := &rpcproto.Request{
 				ID: uint64(n.stats.CopiesSent), Op: rpcproto.OpCopy,
 				Partition: cmd.partition, Key: it.key, Value: it.val,

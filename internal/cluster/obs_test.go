@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"leed/internal/runtime"
+	"leed/internal/sim"
+)
+
+// runObsWorkload drives one deterministic put/get workload against a fresh
+// sim cluster and returns the registry snapshot (JSON bytes), its listing,
+// and the attribution table — the three artifacts the observability layer
+// promises are byte-deterministic under sim.
+func runObsWorkload(t *testing.T) (string, string, string) {
+	t.Helper()
+	k := sim.New()
+	defer k.Close()
+	c := newTestCluster(k, 0, nil)
+	drive(t, k, 20*runtime.Second, func(p runtime.Task) {
+		cl := c.Clients[0]
+		for i := 0; i < 150; i++ {
+			key := []byte(fmt.Sprintf("obs-%04d", i))
+			if _, err := cl.Put(p, key, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		for i := 0; i < 150; i++ {
+			key := []byte(fmt.Sprintf("obs-%04d", i))
+			if _, _, err := cl.Get(p, key); err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+		}
+	})
+	var j bytes.Buffer
+	snap := c.Obs().Snapshot()
+	if err := snap.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j.String(), snap.String(), c.Tracer().Attribution().String()
+}
+
+// TestObsSnapshotDeterministic is the acceptance gate for the observability
+// layer under sim: the same seed must yield a byte-identical metrics
+// snapshot and latency-attribution table twice in a row. Any divergence
+// means an instrument leaked scheduler interaction (or real time) into the
+// simulation.
+func TestObsSnapshotDeterministic(t *testing.T) {
+	j1, s1, a1 := runObsWorkload(t)
+	j2, s2, a2 := runObsWorkload(t)
+	if j1 != j2 {
+		t.Errorf("snapshot JSON diverged across identical seeded runs:\n--- run1\n%s\n--- run2\n%s", j1, j2)
+	}
+	if s1 != s2 {
+		t.Errorf("snapshot listing diverged:\n--- run1\n%s\n--- run2\n%s", s1, s2)
+	}
+	if a1 != a2 {
+		t.Errorf("attribution table diverged:\n--- run1\n%s\n--- run2\n%s", a1, a2)
+	}
+	if a1 == "" {
+		t.Fatal("attribution table is empty; tracing is not wired through the cluster")
+	}
+	t.Logf("attribution:\n%s", a1)
+}
+
+// TestObsClusterSeriesPresent pins the series names the cluster stack is
+// expected to publish, so a refactor that silently drops instrumentation
+// fails loudly here (and the wallclock /metrics smoke in CI greps a matching
+// list).
+func TestObsClusterSeriesPresent(t *testing.T) {
+	_, listing, attr := runObsWorkload(t)
+	for _, series := range []string{
+		"leed_client_ops_total",
+		"leed_client_latency_ns",
+		"leed_node_gets_total",
+		"leed_node_puts_total",
+		"leed_net_tx_msgs_total",
+		"leed_net_rx_msgs_total",
+		"leed_device_reads_total",
+		"leed_device_writes_total",
+		"leed_stage_queue_ns",
+		"leed_stage_service_ns",
+	} {
+		if !contains(listing, series) {
+			t.Errorf("snapshot missing series family %q:\n%s", series, listing)
+		}
+	}
+	for _, stage := range []string{"client", "net", "node", "device"} {
+		if !contains(attr, stage) {
+			t.Errorf("attribution missing stage %q:\n%s", stage, attr)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -11,6 +11,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/flashsim"
+	"leed/internal/obs"
 	"leed/internal/platform"
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
@@ -63,6 +64,15 @@ type Config struct {
 	// identifies this 4390MB/s bus as the Stingray's other hard ceiling:
 	// it "bounds the max number of concurrent operations" (§4.8).
 	ModelMemBW bool
+
+	// Obs and Tracer, when set, bind the engine to a metrics registry and
+	// attribute each executed command to the engine/cpu/ssd trace stages
+	// (token admission wait vs store execution, with the store's CPU/SSD
+	// split from core.OpStats). Both optional.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+	// ObsNode labels this engine's series (e.g. the node address).
+	ObsNode string
 }
 
 // memBus models the onboard DRAM bandwidth as a serialization pipe: each
@@ -123,6 +133,62 @@ type Engine struct {
 	gen atomic.Int64
 
 	stats EngineStats
+	o     *engObs
+}
+
+// engObs is the engine's registry binding. Nil receiver methods no-op.
+type engObs struct {
+	tr                             *obs.Tracer
+	executed, swapped, compactions *obs.Counter
+}
+
+func newEngObs(reg *obs.Registry, tr *obs.Tracer, node string) *engObs {
+	l := []string{"node", node}
+	return &engObs{
+		tr:          tr,
+		executed:    reg.Counter("leed_engine_executed_total", l...),
+		swapped:     reg.Counter("leed_engine_swapped_total", l...),
+		compactions: reg.Counter("leed_engine_compactions_total", l...),
+	}
+}
+
+func (o *engObs) exec() {
+	if o == nil {
+		return
+	}
+	o.executed.Inc()
+}
+
+func (o *engObs) swap() {
+	if o == nil {
+		return
+	}
+	o.swapped.Inc()
+}
+
+func (o *engObs) compact() {
+	if o == nil {
+		return
+	}
+	o.compactions.Inc()
+}
+
+// observeExec attributes one executed command: the engine span (admission
+// queue vs store execution) plus the store's CPU/SSD split. A command that
+// carries a trace records into it (the trace's End aggregates); an
+// untraced command aggregates directly.
+func (e *Engine) observeExec(tr *obs.Trace, queue, service runtime.Time, st core.OpStats) {
+	if tr != nil {
+		tr.Span("engine", queue, service)
+		tr.Span("cpu", 0, st.CPU)
+		tr.Span("ssd", 0, st.SSD)
+		return
+	}
+	if e.o != nil {
+		e.o.tr.Observe("engine", queue, service)
+		e.o.tr.Observe("cpu", 0, st.CPU)
+		e.o.tr.Observe("ssd", 0, st.SSD)
+	}
 }
 
 // EngineStats are cumulative counters.
@@ -161,6 +227,9 @@ func New(cfg Config) *Engine {
 		cfg.CompactEvery = runtime.Millisecond
 	}
 	e := &Engine{cfg: cfg, env: cfg.Env}
+	if cfg.Obs != nil || cfg.Tracer != nil {
+		e.o = newEngObs(cfg.Obs, cfg.Tracer, cfg.ObsNode)
+	}
 	n := cfg.Node
 	if cfg.ModelMemBW && n.Spec.MemBWBytesPS > 0 {
 		e.membus = &memBus{bytesPS: n.Spec.MemBWBytesPS}
@@ -327,11 +396,19 @@ func (e *Engine) pickSwapHelper(home *Partition) *Partition {
 // admission (token acquisition), execution, and completion. It returns the
 // value for GETs.
 func (e *Engine) Execute(p runtime.Task, pid int, op rpcproto.Op, key, val []byte) ([]byte, core.OpStats, error) {
+	return e.ExecuteTraced(p, pid, op, key, val, nil)
+}
+
+// ExecuteTraced is Execute carrying the request's trace: the engine span
+// (admission wait vs store execution) plus the store's CPU/SSD split are
+// attributed to it.
+func (e *Engine) ExecuteTraced(p runtime.Task, pid int, op rpcproto.Op, key, val []byte, tr *obs.Trace) ([]byte, core.OpStats, error) {
 	if pid < 0 || pid >= len(e.parts) {
 		return nil, core.OpStats{}, fmt.Errorf("engine: no partition %d", pid)
 	}
 	pt := e.parts[pid]
 	cost := TokenCost(op)
+	t0 := p.Now()
 
 	// Write-imbalance handling: a PUT facing a long home waiting queue is
 	// redirected to an unloaded co-located SSD (§3.6). The home still pays
@@ -353,8 +430,12 @@ func (e *Engine) Execute(p runtime.Task, pid int, op rpcproto.Op, key, val []byt
 			defer second.tokens.Release(sCost)
 			e.stats.Swapped++
 			e.stats.Executed++
+			e.o.swap()
+			e.o.exec()
+			admitted := p.Now()
 			e.memTransfer(p, 1024+int64(len(key))+int64(len(val)))
 			st, err := pt.Store.PutSwapped(p, key, val, helper.Store)
+			e.observeExec(tr, admitted-t0, p.Now()-admitted, st)
 			return nil, st, err
 		}
 	}
@@ -362,21 +443,26 @@ func (e *Engine) Execute(p runtime.Task, pid int, op rpcproto.Op, key, val []byt
 	pt.tokens.Acquire(p, cost)
 	defer pt.tokens.Release(cost)
 	e.stats.Executed++
+	e.o.exec()
+	admitted := p.Now()
 	// Each command moves roughly a segment array plus the value through
 	// DRAM (RX buffer -> store buffers -> DMA) — charge the memory pipe.
 	e.memTransfer(p, 1024+int64(len(key))+int64(len(val)))
+	var st core.OpStats
+	var v []byte
+	var err error
 	switch op {
 	case rpcproto.OpGet:
-		v, st, err := pt.Store.Get(p, key)
-		return v, st, err
+		v, st, err = pt.Store.Get(p, key)
 	case rpcproto.OpPut, rpcproto.OpCopy:
-		st, err := pt.Store.Put(p, key, val)
-		return nil, st, err
+		st, err = pt.Store.Put(p, key, val)
 	case rpcproto.OpDel:
-		st, err := pt.Store.Del(p, key)
-		return nil, st, err
+		st, err = pt.Store.Del(p, key)
+	default:
+		return nil, core.OpStats{}, fmt.Errorf("engine: unsupported op %v", op)
 	}
-	return nil, core.OpStats{}, fmt.Errorf("engine: unsupported op %v", op)
+	e.observeExec(tr, admitted-t0, p.Now()-admitted, st)
+	return v, st, err
 }
 
 // memTransfer charges n bytes of data movement against the onboard memory
@@ -416,10 +502,12 @@ func (e *Engine) Start() {
 				if pt.Store.NeedsValueCompaction() {
 					pt.Store.CompactValueLog(p)
 					e.stats.Compactions++
+					e.o.compact()
 				}
 				if pt.Store.NeedsKeyCompaction() {
 					pt.Store.CompactKeyLog(p)
 					e.stats.Compactions++
+					e.o.compact()
 				}
 				if fe := e.cfg.FlushEvery; fe > 0 && p.Now()-lastFlush >= fe {
 					lastFlush = p.Now()

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -84,7 +85,7 @@ type AsyncFileDevice struct {
 	f        *os.File
 	capacity int64
 	opt      AsyncOptions
-	stats    Stats
+	stats    devStats
 
 	pending     []*Op         // ordered submission queue, FIFO
 	reads       []*Op         // read fast lane, FIFO among reads
@@ -118,7 +119,12 @@ func OpenAsyncFileDevice(env runtime.Env, path string, capacity int64, opt Async
 func (d *AsyncFileDevice) Capacity() int64 { return d.capacity }
 
 // Stats returns cumulative counters.
-func (d *AsyncFileDevice) Stats() Stats { return d.stats }
+func (d *AsyncFileDevice) Stats() Stats { return d.stats.Stats }
+
+// Observe binds the device to a metrics registry and tracer.
+func (d *AsyncFileDevice) Observe(reg *obs.Registry, tr *obs.Tracer, dev string) {
+	d.stats.o = newDevObs(reg, tr, dev)
+}
 
 // QueueDepth returns queued plus in-flight operations.
 func (d *AsyncFileDevice) QueueDepth() int { return len(d.pending) + len(d.reads) + d.inflightOps }
@@ -201,7 +207,11 @@ func (d *AsyncFileDevice) dispatch() {
 		d.workers++
 		d.inflight = append(d.inflight, b)
 		d.inflightOps += len(b.ops)
-		d.stats.Batches++
+		d.stats.noteBatch()
+		started := d.env.Now()
+		for _, op := range b.ops {
+			op.started = started
+		}
 		d.env.Offload(
 			func() any { d.runBatch(b); return nil },
 			func(any) { d.finishBatch(b) },
@@ -362,14 +372,14 @@ func (d *AsyncFileDevice) finishBatch(b *asyncBatch) {
 			break
 		}
 	}
-	d.stats.Coalesced += int64(b.merged)
+	d.stats.noteCoalesced(int64(b.merged))
 	now := d.env.Now()
 	for i, op := range b.ops {
 		if err := b.errs[i]; err != nil {
 			op.Done.Fire(err)
 			continue
 		}
-		d.stats.record(op.Kind, len(op.Data), now-op.submitted)
+		d.stats.record(op.Kind, len(op.Data), op.started-op.submitted, now-op.started)
 		op.Done.Fire(nil)
 	}
 	d.dispatch()

@@ -7,6 +7,7 @@ import (
 	"syscall"
 	"time"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -67,7 +68,7 @@ type FileDevice struct {
 	f        *os.File
 	capacity int64
 	opt      FileOptions
-	stats    Stats
+	stats    devStats
 	queued   int // ops submitted but not yet completed
 }
 
@@ -96,7 +97,12 @@ func OpenFileDeviceOpts(env runtime.Env, path string, capacity int64, opt FileOp
 func (d *FileDevice) Capacity() int64 { return d.capacity }
 
 // Stats returns cumulative counters.
-func (d *FileDevice) Stats() Stats { return d.stats }
+func (d *FileDevice) Stats() Stats { return d.stats.Stats }
+
+// Observe binds the device to a metrics registry and tracer.
+func (d *FileDevice) Observe(reg *obs.Registry, tr *obs.Tracer, dev string) {
+	d.stats.o = newDevObs(reg, tr, dev)
+}
 
 // Close syncs and closes the image file.
 func (d *FileDevice) Close() error {
@@ -122,6 +128,7 @@ func (d *FileDevice) Submit(op *Op) {
 	d.stats.noteQueued(d.queued)
 	d.env.After(0, func() {
 		d.queued--
+		op.started = d.env.Now()
 		switch op.Kind {
 		case OpRead:
 			n, err := d.f.ReadAt(op.Data, op.Offset)
@@ -146,7 +153,7 @@ func (d *FileDevice) Submit(op *Op) {
 				return
 			}
 		}
-		d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted)
+		d.stats.record(op.Kind, len(op.Data), op.started-op.submitted, d.env.Now()-op.started)
 		op.Done.Fire(nil)
 	})
 }

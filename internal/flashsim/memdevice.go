@@ -1,6 +1,9 @@
 package flashsim
 
-import "leed/internal/runtime"
+import (
+	"leed/internal/obs"
+	"leed/internal/runtime"
+)
 
 // MemDevice is a functional device with no modeled latency: operations
 // complete at the current time (asynchronously, so under the sim backend
@@ -10,7 +13,7 @@ import "leed/internal/runtime"
 type MemDevice struct {
 	env   runtime.Env
 	store *pageStore
-	stats Stats
+	stats devStats
 }
 
 // NewMemDevice creates a zero-latency device of the given capacity.
@@ -22,7 +25,12 @@ func NewMemDevice(env runtime.Env, capacity int64) *MemDevice {
 func (d *MemDevice) Capacity() int64 { return d.store.capacity }
 
 // Stats returns cumulative counters.
-func (d *MemDevice) Stats() Stats { return d.stats }
+func (d *MemDevice) Stats() Stats { return d.stats.Stats }
+
+// Observe binds the device to a metrics registry and tracer.
+func (d *MemDevice) Observe(reg *obs.Registry, tr *obs.Tracer, dev string) {
+	d.stats.o = newDevObs(reg, tr, dev)
+}
 
 // Submit completes op at the current time.
 func (d *MemDevice) Submit(op *Op) {
@@ -38,7 +46,7 @@ func (d *MemDevice) Submit(op *Op) {
 		case OpWrite:
 			d.store.writeAt(op.Data, op.Offset)
 		}
-		d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted)
+		d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted, 0)
 		op.Done.Fire(nil)
 	})
 }

@@ -3,6 +3,7 @@ package flashsim
 import (
 	"math/rand"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -34,6 +35,11 @@ func (d *LatencyShim) Capacity() int64 { return d.inner.Capacity() }
 
 // Stats returns the inner device's counters.
 func (d *LatencyShim) Stats() Stats { return d.inner.Stats() }
+
+// Observe forwards the registry binding to the inner device.
+func (d *LatencyShim) Observe(reg *obs.Registry, tr *obs.Tracer, dev string) {
+	Observe(d.inner, reg, tr, dev)
+}
 
 func (d *LatencyShim) serviceTime(op *Op) runtime.Time {
 	base := d.spec.ReadBase

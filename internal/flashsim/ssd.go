@@ -3,6 +3,7 @@ package flashsim
 import (
 	"math/rand"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -69,7 +70,7 @@ type SSD struct {
 
 	busy    int
 	waiting []*Op
-	stats   Stats
+	stats   devStats
 
 	// busy-time integral for utilization reporting
 	busySince runtime.Time
@@ -97,7 +98,12 @@ func (d *SSD) Capacity() int64 { return d.spec.Capacity }
 func (d *SSD) Spec() Spec { return d.spec }
 
 // Stats returns cumulative counters.
-func (d *SSD) Stats() Stats { return d.stats }
+func (d *SSD) Stats() Stats { return d.stats.Stats }
+
+// Observe binds the drive to a metrics registry and tracer.
+func (d *SSD) Observe(reg *obs.Registry, tr *obs.Tracer, dev string) {
+	d.stats.o = newDevObs(reg, tr, dev)
+}
 
 // QueueDepth returns queued plus in-flight operations.
 func (d *SSD) QueueDepth() int { return len(d.waiting) + d.busy }
@@ -160,6 +166,7 @@ func (d *SSD) serviceTime(op *Op) runtime.Time {
 func (d *SSD) start(op *Op) {
 	d.account()
 	d.busy++
+	op.started = d.env.Now()
 	d.env.After(d.serviceTime(op), func() { d.complete(op) })
 }
 
@@ -170,7 +177,7 @@ func (d *SSD) complete(op *Op) {
 	case OpWrite:
 		d.store.writeAt(op.Data, op.Offset)
 	}
-	d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted)
+	d.stats.record(op.Kind, len(op.Data), op.started-op.submitted, d.env.Now()-op.started)
 	d.account()
 	d.busy--
 	op.Done.Fire(nil)

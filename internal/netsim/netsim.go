@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"leed/internal/obs"
 	"leed/internal/runtime"
 )
 
@@ -34,6 +35,10 @@ type Message struct {
 	// the message lands in the destination's RX queue.
 	Complete runtime.Event
 	Sent     runtime.Time
+	// Trace, when non-nil, accumulates this message's "net" span (NIC
+	// serialization waits vs wire time) as it crosses the fabric. The
+	// trace rides the message the way a carried correlation ID would.
+	Trace *obs.Trace
 }
 
 // Config tunes the fabric.
@@ -62,6 +67,68 @@ type Fabric struct {
 	sendSeq     map[link]uint64
 	nextDeliver map[link]uint64
 	held        map[link]map[uint64]func()
+
+	o *fabObs // nil unless Observe was called
+}
+
+// fabObs is the fabric's registry binding: fabric-wide traffic counters and
+// per-message "net" stage observations. Nil receiver methods no-op.
+type fabObs struct {
+	tr               *obs.Tracer
+	txMsgs, rxMsgs   *obs.Counter
+	txBytes, rxBytes *obs.Counter
+	dropped          *obs.Counter
+}
+
+func (o *fabObs) tx(size int64) {
+	if o == nil {
+		return
+	}
+	o.txMsgs.Inc()
+	o.txBytes.Add(size)
+}
+
+func (o *fabObs) rx(size int64) {
+	if o == nil {
+		return
+	}
+	o.rxMsgs.Inc()
+	o.rxBytes.Add(size)
+}
+
+func (o *fabObs) drop() {
+	if o == nil {
+		return
+	}
+	o.dropped.Inc()
+}
+
+// span attributes one delivery to the "net" stage: into the message's trace
+// when it carries one (the trace's End aggregates it), directly into the
+// tracer otherwise — never both, so stage histograms count each message
+// once.
+func (o *fabObs) span(m *Message, queue, service runtime.Time) {
+	if m.Trace != nil {
+		m.Trace.Span("net", queue, service)
+		return
+	}
+	if o != nil {
+		o.tr.Observe("net", queue, service)
+	}
+}
+
+// Observe binds the fabric to a metrics registry and tracer: traffic
+// counters land in leed_net_* series and every delivered message
+// contributes a "net" stage observation. Call before traffic starts.
+func (f *Fabric) Observe(reg *obs.Registry, tr *obs.Tracer) {
+	f.o = &fabObs{
+		tr:      tr,
+		txMsgs:  reg.Counter("leed_net_tx_msgs_total"),
+		rxMsgs:  reg.Counter("leed_net_rx_msgs_total"),
+		txBytes: reg.Counter("leed_net_tx_bytes_total"),
+		rxBytes: reg.Counter("leed_net_rx_bytes_total"),
+		dropped: reg.Counter("leed_net_dropped_total"),
+	}
 }
 
 // New creates a fabric on env.
@@ -212,17 +279,20 @@ func (e *Endpoint) transmit(m *Message) {
 	size := m.Size + f.cfg.MsgOverheadBytes
 	e.stats.TxMsgs++
 	e.stats.TxBytes += size
+	f.o.tx(size)
 
 	txStart := f.env.Now()
 	if e.txFree > txStart {
 		txStart = e.txFree
 	}
+	txWait := txStart - m.Sent // egress serialization queue
 	txDur := runtime.Time(size * int64(runtime.Second) / e.bytesPerSec)
 	e.txFree = txStart + txDur
 
 	dst, ok := f.nodes[m.To]
 	if !ok {
 		e.stats.Dropped++
+		f.o.drop()
 		return
 	}
 	arrive := e.txFree + f.cfg.Propagation
@@ -231,6 +301,7 @@ func (e *Endpoint) transmit(m *Message) {
 		arrive, lost = fl.apply(e.addr, m.To, arrive)
 		if lost {
 			e.stats.Dropped++
+			f.o.drop()
 			return
 		}
 	}
@@ -242,23 +313,33 @@ func (e *Endpoint) transmit(m *Message) {
 	f.at(arrive, func() {
 		if dst.down {
 			dst.stats.Dropped++
+			f.o.drop()
 			f.deliver(l, seq, nil)
 			return
 		}
-		rxStart := f.env.Now()
+		arrived := f.env.Now()
+		rxStart := arrived
 		if dst.rxFree > rxStart {
 			rxStart = dst.rxFree
 		}
+		rxWait := rxStart - arrived // ingress serialization queue
 		rxDur := runtime.Time(size * int64(runtime.Second) / dst.bytesPerSec)
 		dst.rxFree = rxStart + rxDur
 		f.at(dst.rxFree, func() {
 			f.deliver(l, seq, func() {
 				if dst.down {
 					dst.stats.Dropped++
+					f.o.drop()
 					return
 				}
 				dst.stats.RxMsgs++
 				dst.stats.RxBytes += size
+				f.o.rx(size)
+				// Queue = time spent waiting for a NIC slot on either end;
+				// service = everything else on the wire (serialization,
+				// propagation, any fault-injected delay).
+				queue := txWait + rxWait
+				f.o.span(m, queue, f.env.Now()-m.Sent-queue)
 				if m.Complete != nil {
 					m.Complete.Fire(m)
 					return
@@ -275,8 +356,20 @@ func (e *Endpoint) Send(to Addr, size int64, payload any) {
 	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload})
 }
 
+// SendTraced is Send with a trace riding the message: the fabric appends
+// the "net" span to tr at delivery.
+func (e *Endpoint) SendTraced(to Addr, size int64, payload any, tr *obs.Trace) {
+	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload, Trace: tr})
+}
+
 // Write issues a one-sided WRITE with IMM: the message completes into the
 // given event at the destination, bypassing the destination's poll loop.
 func (e *Endpoint) Write(to Addr, size int64, payload any, complete runtime.Event) {
 	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload, Complete: complete})
+}
+
+// WriteTraced is Write with a trace riding the message, used for the
+// response leg of a traced request.
+func (e *Endpoint) WriteTraced(to Addr, size int64, payload any, complete runtime.Event, tr *obs.Trace) {
+	e.transmit(&Message{From: e.addr, To: to, Size: size, Payload: payload, Complete: complete, Trace: tr})
 }

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// histSubBits is the number of sub-bucket bits per power-of-two major
+// bucket. 5 bits gives <= ~3% relative quantile error, plenty for latency
+// reporting.
+const histSubBits = 5
+
+// Histogram is a log-linear latency histogram: values are bucketed by the
+// position of their highest set bit (major bucket) and the next histSubBits
+// bits (sub bucket), like HdrHistogram. Recording is O(1) and allocation
+// free after construction.
+//
+// A Histogram is not internally synchronized: it relies on the Env execution
+// contract (one task at a time) like every other structure in the stack.
+// When a histogram must be readable from outside task context — an HTTP
+// metrics scrape on the wallclock backend — wrap it in a Registry Hist,
+// which adds a mutex.
+type Histogram struct {
+	counts [64 << histSubBits]int64
+	n      int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{min: int64(^uint64(0) >> 1)} }
+
+func histBucket(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	hi := 63 - bits.LeadingZeros64(uint64(v))
+	if hi <= histSubBits {
+		return int(v)
+	}
+	sub := (v >> (uint(hi) - histSubBits)) & ((1 << histSubBits) - 1)
+	return ((hi - histSubBits + 1) << histSubBits) + int(sub)
+}
+
+func histBucketLow(b int) int64 {
+	if b < (1 << (histSubBits + 1)) {
+		return int64(b)
+	}
+	major := (b >> histSubBits) + histSubBits - 1
+	sub := int64(b & ((1 << histSubBits) - 1))
+	return (1 << uint(major)) | (sub << (uint(major) - histSubBits))
+}
+
+// Record adds one observation of duration d.
+func (h *Histogram) Record(d Time) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucket(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the sum of all observations, in nanoseconds.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() Time {
+	if h.n == 0 {
+		return 0
+	}
+	return Time(h.sum / h.n)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *Histogram) Min() Time {
+	if h.n == 0 {
+		return 0
+	}
+	return Time(h.min)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() Time {
+	if h.n == 0 {
+		return 0
+	}
+	return Time(h.max)
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) Time {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > h.n {
+		target = h.n
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := histBucketLow(b)
+			if Time(v) > Time(h.max) {
+				return Time(h.max)
+			}
+			return Time(v)
+		}
+	}
+	return Time(h.max)
+}
+
+// P50, P99, P999 are convenience quantile accessors.
+func (h *Histogram) P50() Time { return h.Quantile(0.50) }
+
+// P99 returns the 99th percentile estimate.
+func (h *Histogram) P99() Time { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile estimate.
+func (h *Histogram) P999() Time { return h.Quantile(0.999) }
+
+// Merge adds all of o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.n > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() {
+	*h = Histogram{min: int64(^uint64(0) >> 1)}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v p99.9=%v max=%v",
+		h.n, h.Mean(), h.P50(), h.P99(), h.P999(), h.Max())
+}
+
+// HistSnap is a point-in-time summary of a histogram, used in registry
+// snapshots. All times are nanoseconds so the JSON form is backend-stable.
+type HistSnap struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Mean  int64 `json:"mean"`
+	P50   int64 `json:"p50"`
+	P99   int64 `json:"p99"`
+	P999  int64 `json:"p999"`
+	Max   int64 `json:"max"`
+}
+
+// Snap summarizes the histogram.
+func (h *Histogram) Snap() HistSnap {
+	return HistSnap{
+		Count: h.n,
+		Sum:   h.sum,
+		Mean:  int64(h.Mean()),
+		P50:   int64(h.P50()),
+		P99:   int64(h.P99()),
+		P999:  int64(h.P999()),
+		Max:   int64(h.Max()),
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Server is a metrics endpoint bound to one registry and (optionally) one
+// tracer. It exists on the wallclock backend only — under sim there is no
+// wire, callers snapshot the registry directly.
+type Server struct {
+	Addr string // actual listen address (useful when the caller passed :0)
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// ServeMetrics starts an HTTP server on addr exposing:
+//
+//	/metrics      Prometheus text exposition of every registry series
+//	/metrics.json the deterministic JSON snapshot
+//	/traces       the tracer's sampled whole traces (JSON array)
+//
+// The server runs on its own goroutines; instruments are atomic or
+// mutex-guarded precisely so these handlers can read them mid-run.
+func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		samples := tr.Samples()
+		if samples == nil {
+			samples = []Trace{}
+		}
+		_ = enc.Encode(struct {
+			Traces      []Trace     `json:"traces"`
+			Attribution Attribution `json:"attribution"`
+		}{samples, tr.Attribution()})
+	})
+	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close shuts the listener down.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Counters are atomic so they
+// can be incremented from task context and read from an HTTP scrape
+// goroutine on the wallclock backend without races. All methods are safe on
+// a nil receiver (no-op / zero), so components can hold counters from an
+// optional registry without guarding every increment.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Hist is a registry-owned histogram: the shared log-linear Histogram under
+// a mutex so it can be recorded from task context and snapshotted from a
+// scrape goroutine concurrently.
+type Hist struct {
+	mu sync.Mutex
+	h  Histogram
+}
+
+// NewHist returns an empty standalone Hist (not registered anywhere).
+func NewHist() *Hist { return &Hist{h: Histogram{min: int64(^uint64(0) >> 1)}} }
+
+// Record adds one observation.
+func (x *Hist) Record(d Time) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	x.h.Record(d)
+	x.mu.Unlock()
+}
+
+// Merge adds all of o's observations.
+func (x *Hist) Merge(o *Histogram) {
+	if x == nil || o == nil {
+		return
+	}
+	x.mu.Lock()
+	x.h.Merge(o)
+	x.mu.Unlock()
+}
+
+// Snap summarizes the histogram.
+func (x *Hist) Snap() HistSnap {
+	if x == nil {
+		return HistSnap{}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.h.Snap()
+}
+
+// Clone returns a copy of the underlying histogram.
+func (x *Hist) Clone() *Histogram {
+	if x == nil {
+		return NewHistogram()
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	c := x.h
+	return &c
+}
+
+// Count returns the number of recorded observations.
+func (x *Hist) Count() int64 {
+	if x == nil {
+		return 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.h.Count()
+}
+
+type seriesKind int
+
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindHist
+)
+
+type series struct {
+	name   string // base metric name, e.g. leed_node_gets_total
+	labels string // rendered label set, e.g. `node="101"` ("" if none)
+	kind   seriesKind
+	c      *Counter
+	g      *Gauge
+	h      *Hist
+}
+
+// key is the full series identity, e.g. `leed_node_gets_total{node="101"}`.
+func (s *series) key() string {
+	if s.labels == "" {
+		return s.name
+	}
+	return s.name + "{" + s.labels + "}"
+}
+
+// Registry holds a set of named metric series. Lookups are idempotent: the
+// same (name, labels) always returns the same instrument, so two components
+// naming the same series share a counter. All methods are safe on a nil
+// receiver — they hand back working but unregistered instruments — which
+// lets every component treat its registry as optional.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{series: make(map[string]*series)}
+}
+
+// renderLabels turns variadic k1,v1,k2,v2 pairs into a canonical (sorted)
+// label string. Odd trailing elements are ignored.
+func renderLabels(labels []string) string {
+	if len(labels) < 2 {
+		return ""
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", labels[i], labels[i+1]))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+// lookup finds or publishes the series. The instrument is allocated before
+// the series becomes visible to other goroutines — publishing first and
+// filling in the instrument lazily would race two first-users of a series.
+func (r *Registry) lookup(name string, kind seriesKind, labels []string) *series {
+	s := &series{name: name, labels: renderLabels(labels), kind: kind}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHist:
+		s.h = NewHist()
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.series[s.key()]; ok && got.kind == kind {
+		return got
+	}
+	r.series[s.key()] = s
+	return s
+}
+
+// Counter returns the counter named name with the given label pairs,
+// creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	return r.lookup(name, kindCounter, labels).c
+}
+
+// Gauge returns the gauge named name with the given label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	return r.lookup(name, kindGauge, labels).g
+}
+
+// Hist returns the histogram named name with the given label pairs.
+func (r *Registry) Hist(name string, labels ...string) *Hist {
+	return r.lookup(name, kindHist, labels).h
+}
+
+// Snapshot is a point-in-time copy of every series in a registry. Encoded
+// as JSON it is deterministic: map keys sort, values are plain integers
+// (nanoseconds for histogram summaries), so two seeded sim runs produce
+// byte-identical snapshots.
+type Snapshot struct {
+	Counters map[string]int64    `json:"counters"`
+	Gauges   map[string]int64    `json:"gauges"`
+	Hists    map[string]HistSnap `json:"hists"`
+}
+
+// Snapshot copies out every series.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistSnap{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	for _, s := range all {
+		switch s.kind {
+		case kindCounter:
+			snap.Counters[s.key()] = s.c.Load()
+		case kindGauge:
+			snap.Gauges[s.key()] = s.g.Load()
+		case kindHist:
+			snap.Hists[s.key()] = s.h.Snap()
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// String renders the snapshot as a sorted human-readable listing: one line
+// per counter/gauge, one summary line per histogram. The output is
+// deterministic for a deterministic snapshot.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	keys := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v, ok := s.Counters[k]; ok {
+			fmt.Fprintf(&b, "%-52s %d\n", k, v)
+		} else {
+			fmt.Fprintf(&b, "%-52s %d\n", k, s.Gauges[k])
+		}
+	}
+	hkeys := make([]string, 0, len(s.Hists))
+	for k := range s.Hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Strings(hkeys)
+	for _, k := range hkeys {
+		h := s.Hists[k]
+		fmt.Fprintf(&b, "%-52s n=%d mean=%v p50=%v p99=%v max=%v\n",
+			k, h.Count, Time(h.Mean), Time(h.P50), Time(h.P99), Time(h.Max))
+	}
+	return b.String()
+}
+
+// promKey merges extra label pairs (e.g. quantile="0.5") into a rendered
+// series key.
+func promKey(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+// WritePrometheus writes every series in Prometheus text exposition format.
+// Counters and gauges emit one sample; histograms emit a summary (quantile
+// samples plus _sum and _count). Output is sorted, so identical registries
+// produce identical pages.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].name != all[j].name {
+			return all[i].name < all[j].name
+		}
+		return all[i].labels < all[j].labels
+	})
+	lastType := ""
+	for _, s := range all {
+		switch s.kind {
+		case kindCounter:
+			if s.name != lastType {
+				fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
+				lastType = s.name
+			}
+			fmt.Fprintf(w, "%s %d\n", s.key(), s.c.Load())
+		case kindGauge:
+			if s.name != lastType {
+				fmt.Fprintf(w, "# TYPE %s gauge\n", s.name)
+				lastType = s.name
+			}
+			fmt.Fprintf(w, "%s %d\n", s.key(), s.g.Load())
+		case kindHist:
+			if s.name != lastType {
+				fmt.Fprintf(w, "# TYPE %s summary\n", s.name)
+				lastType = s.name
+			}
+			h := s.h.Snap()
+			for _, q := range [...]struct {
+				l string
+				v int64
+			}{{"0.5", h.P50}, {"0.99", h.P99}, {"0.999", h.P999}} {
+				fmt.Fprintf(w, "%s %d\n", promKey(s.name, s.labels, `quantile=`+fmt.Sprintf("%q", q.l)), q.v)
+			}
+			fmt.Fprintf(w, "%s %d\n", promKey(s.name+"_sum", s.labels, ""), h.Sum)
+			fmt.Fprintf(w, "%s %d\n", promKey(s.name+"_count", s.labels, ""), h.Count)
+		}
+	}
+}

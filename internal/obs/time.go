@@ -1,0 +1,44 @@
+// Package obs is the observability substrate shared by every layer of the
+// stack and by both runtime backends: the canonical Time type, the
+// log-linear latency Histogram, a metrics Registry (counters, gauges,
+// histograms) that snapshots deterministically under sim and serves
+// Prometheus text on wallclock, and per-request trace spans that attribute
+// latency to pipeline stages (queue wait vs service time).
+//
+// obs is the lowest internal layer: it imports nothing from the rest of the
+// repo, so runtime, flashsim, core, engine, cluster, netsim, chaos, bench
+// and the baselines can all depend on it without cycles.
+package obs
+
+import "fmt"
+
+// Time is a point in time, in nanoseconds: virtual nanoseconds since the
+// start of the simulation on the sim backend, nanoseconds since Env creation
+// on the wallclock backend. It doubles as a duration; arithmetic on Time
+// values is plain integer arithmetic.
+type Time int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with an adaptive unit, e.g. "12.5us" or "3.2ms".
+func (t Time) String() string {
+	switch {
+	case t < 2*Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < 2*Millisecond:
+		return fmt.Sprintf("%.1fus", float64(t)/float64(Microsecond))
+	case t < 2*Second:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }

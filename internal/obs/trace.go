@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one stage of a request's journey through the stack, split into
+// the time the work sat queued (waiting for a NIC slot, a token, a device
+// channel) and the time it was actually being serviced. This is the same
+// decomposition LEED's evaluation uses to explain where each request's
+// microseconds go.
+type Span struct {
+	Stage   string `json:"stage"`
+	Queue   Time   `json:"queue"`
+	Service Time   `json:"service"`
+}
+
+// Trace is the ordered list of spans one request accumulated. Traces are
+// created by Tracer.Begin on the issuing task and handed from layer to
+// layer; each layer appends its span with Trace.Span. Methods are nil-safe
+// so un-traced paths (nil tracer, or a non-sampled request) cost one nil
+// check per layer.
+type Trace struct {
+	Op    string `json:"op"`
+	Start Time   `json:"start"`
+	Spans []Span `json:"spans"`
+}
+
+// Span appends one stage record.
+func (tr *Trace) Span(stage string, queue, service Time) {
+	if tr == nil {
+		return
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if service < 0 {
+		service = 0
+	}
+	tr.Spans = append(tr.Spans, Span{Stage: stage, Queue: queue, Service: service})
+}
+
+// stageOrder fixes the pipeline order stages appear in attribution tables:
+// the request path from the paper's Figure — client admission, network,
+// node RPC handling, engine admission, store CPU, store SSD wait, device.
+// Unknown stages sort alphabetically after the known ones.
+var stageOrder = map[string]int{
+	"client": 0,
+	"net":    1,
+	"node":   2,
+	"engine": 3,
+	"cpu":    4,
+	"ssd":    5,
+	"device": 6,
+}
+
+type stageHists struct {
+	queue   *Hist
+	service *Hist
+}
+
+// Tracer aggregates spans per stage (into registry histograms named
+// leed_stage_queue_ns{stage=...} / leed_stage_service_ns{stage=...}) and
+// keeps a bounded ring of sampled full traces for the /traces endpoint.
+// Every finished span is aggregated; only every sampleEvery-th trace is
+// retained whole. All methods are safe on a nil receiver.
+type Tracer struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	stages  map[string]stageHists
+	n       int64
+	every   int64
+	ring    []Trace
+	ringCap int
+}
+
+// NewTracer returns a tracer aggregating into reg (which may be nil: the
+// tracer still aggregates, just into unregistered histograms). Every
+// sampleEvery-th trace is kept whole, up to ringCap retained traces
+// (oldest evicted first). sampleEvery <= 0 disables whole-trace sampling.
+func NewTracer(reg *Registry, sampleEvery, ringCap int) *Tracer {
+	if ringCap <= 0 {
+		ringCap = 64
+	}
+	return &Tracer{
+		reg:     reg,
+		stages:  make(map[string]stageHists),
+		every:   int64(sampleEvery),
+		ringCap: ringCap,
+	}
+}
+
+// Begin starts a trace for one request. Returns nil on a nil tracer.
+func (t *Tracer) Begin(op string, now Time) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{Op: op, Start: now}
+}
+
+func (t *Tracer) stage(name string) stageHists {
+	if sh, ok := t.stages[name]; ok {
+		return sh
+	}
+	// A nil registry hands back working unregistered hists; the map pins
+	// them so repeat observations accumulate either way.
+	sh := stageHists{
+		queue:   t.reg.Hist("leed_stage_queue_ns", "stage", name),
+		service: t.reg.Hist("leed_stage_service_ns", "stage", name),
+	}
+	t.stages[name] = sh
+	return sh
+}
+
+// Observe aggregates one stage observation directly, without a full trace.
+// Device-level code uses this: every completed op contributes its queue
+// wait and service time even when the op wasn't part of a traced request.
+func (t *Tracer) Observe(stage string, queue, service Time) {
+	if t == nil {
+		return
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if service < 0 {
+		service = 0
+	}
+	t.mu.Lock()
+	sh := t.stage(stage)
+	t.mu.Unlock()
+	sh.queue.Record(queue)
+	sh.service.Record(service)
+}
+
+// End finishes a trace: every span is aggregated into the per-stage
+// histograms, and the whole trace is retained if it falls on the sampling
+// cadence.
+func (t *Tracer) End(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, sp := range tr.Spans {
+		sh := t.stage(sp.Stage)
+		sh.queue.Record(sp.Queue)
+		sh.service.Record(sp.Service)
+	}
+	t.n++
+	if t.every > 0 && t.n%t.every == 0 {
+		if len(t.ring) >= t.ringCap {
+			t.ring = t.ring[1:]
+		}
+		t.ring = append(t.ring, *tr)
+	}
+	t.mu.Unlock()
+}
+
+// Samples returns a copy of the retained traces, oldest first.
+func (t *Tracer) Samples() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, len(t.ring))
+	copy(out, t.ring)
+	return out
+}
+
+// StageLat is one row of the latency-attribution table. Times are
+// nanoseconds in the JSON form; the String form uses adaptive units.
+type StageLat struct {
+	Stage      string `json:"stage"`
+	Count      int64  `json:"count"`
+	QueueP50   int64  `json:"queue_p50"`
+	QueueP99   int64  `json:"queue_p99"`
+	ServiceP50 int64  `json:"service_p50"`
+	ServiceP99 int64  `json:"service_p99"`
+	QueueMean  int64  `json:"queue_mean"`
+	SvcMean    int64  `json:"service_mean"`
+}
+
+// Attribution is the paper-style latency-attribution table: per pipeline
+// stage, queue-wait vs service-time quantiles. Rows follow the pipeline
+// order (client, net, node, engine, cpu, ssd, device), then any extra
+// stages alphabetically.
+type Attribution struct {
+	Stages []StageLat `json:"stages"`
+}
+
+// Attribution summarizes the per-stage histograms collected so far.
+func (t *Tracer) Attribution() Attribution {
+	var a Attribution
+	if t == nil {
+		return a
+	}
+	t.mu.Lock()
+	names := make([]string, 0, len(t.stages))
+	for name := range t.stages {
+		names = append(names, name)
+	}
+	hists := make(map[string]stageHists, len(t.stages))
+	for name, sh := range t.stages {
+		hists[name] = sh
+	}
+	t.mu.Unlock()
+	sort.Slice(names, func(i, j int) bool {
+		oi, iok := stageOrder[names[i]]
+		oj, jok := stageOrder[names[j]]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+	for _, name := range names {
+		q := hists[name].queue.Snap()
+		s := hists[name].service.Snap()
+		a.Stages = append(a.Stages, StageLat{
+			Stage:      name,
+			Count:      s.Count,
+			QueueP50:   q.P50,
+			QueueP99:   q.P99,
+			ServiceP50: s.P50,
+			ServiceP99: s.P99,
+			QueueMean:  q.Mean,
+			SvcMean:    s.Mean,
+		})
+	}
+	return a
+}
+
+// String renders the attribution as a fixed-width table. Deterministic for
+// deterministic inputs (sim virtual time), so seeded runs can be compared
+// byte-for-byte.
+func (a Attribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %12s %12s %12s %12s\n",
+		"stage", "count", "queue.p50", "queue.p99", "svc.p50", "svc.p99")
+	for _, s := range a.Stages {
+		fmt.Fprintf(&b, "%-8s %10d %12v %12v %12v %12v\n",
+			s.Stage, s.Count, Time(s.QueueP50), Time(s.QueueP99),
+			Time(s.ServiceP50), Time(s.ServiceP99))
+	}
+	return b.String()
+}
+
+// MarshalJSON keeps the table a plain stage array.
+func (a Attribution) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.Stages)
+}

@@ -1,34 +1,21 @@
 package runtime
 
-import "fmt"
+import "leed/internal/obs"
 
 // Time is a point in time, in nanoseconds: virtual nanoseconds since the
 // start of the simulation on the sim backend, nanoseconds since Env creation
 // on the wallclock backend. It doubles as a duration; arithmetic on Time
 // values is plain integer arithmetic.
-type Time int64
+//
+// The canonical definition lives in internal/obs (the lowest layer, so the
+// observability types can use it without an import cycle); runtime keeps
+// the historical spelling as an alias.
+type Time = obs.Time
 
 // Convenient duration units.
 const (
-	Nanosecond  Time = 1
-	Microsecond Time = 1000 * Nanosecond
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Nanosecond  = obs.Nanosecond
+	Microsecond = obs.Microsecond
+	Millisecond = obs.Millisecond
+	Second      = obs.Second
 )
-
-// String formats the time with an adaptive unit, e.g. "12.5us" or "3.2ms".
-func (t Time) String() string {
-	switch {
-	case t < 2*Microsecond:
-		return fmt.Sprintf("%dns", int64(t))
-	case t < 2*Millisecond:
-		return fmt.Sprintf("%.1fus", float64(t)/float64(Microsecond))
-	case t < 2*Second:
-		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
-	default:
-		return fmt.Sprintf("%.2fs", float64(t)/float64(Second))
-	}
-}
-
-// Seconds returns the time as a floating-point number of seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
