@@ -11,6 +11,8 @@
 //	leedctl -image /tmp/store.img load 10000        # bulk-load objects
 //	leedctl -image /tmp/store.img bench 20000       # YCSB-B benchmark
 //	leedctl -image /tmp/store.img serve 20000       # wall-clock concurrent serving
+//	leedctl -image /tmp/store.img -listen :7070 serve   # TCP server (drain on SIGINT)
+//	leedctl -addr 127.0.0.1:7070 loadgen            # drive a served instance over TCP
 //	leedctl -image /tmp/store.img soak 5            # wall-clock fault/crash soak
 //	leedctl -cluster soak 2                         # wall-clock cluster fault drills
 //	leedctl -cluster bench 20000                    # wall-clock cluster YCSB-B bench
@@ -35,23 +37,38 @@
 // (§3.8.1). bench -cluster drives a closed-loop YCSB-B mix from concurrent
 // client tasks through CRRS chains and reports real-time throughput and
 // client-observed latency.
+//
+// serve -listen mounts the image behind a real TCP server (internal/server
+// over the transport seam): the engine's partitions are ring-routed, requests
+// pipeline per connection, and SIGINT/SIGTERM triggers a graceful drain that
+// completes in-flight requests and flushes the store. loadgen is the matching
+// driver: run it from a separate process against -addr with N connections ×
+// a pipeline window of outstanding requests each, a YCSB mix, and a warmup
+// before the measured window; it prints the client-observed throughput,
+// latency, and stage attribution, and records them as BENCH_server.json.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"leed/internal/bench"
 	"leed/internal/chaos"
 	"leed/internal/cluster"
 	"leed/internal/core"
+	"leed/internal/engine"
 	"leed/internal/flashsim"
 	"leed/internal/obs"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
+	"leed/internal/server"
 	"leed/internal/sim"
+	"leed/internal/transport"
 	"leed/internal/ycsb"
 )
 
@@ -65,16 +82,31 @@ func main() {
 	durable := flag.Bool("durable", false, "serve/soak: open the image O_DSYNC so every write completes at real device latency")
 	wcBench := flag.Bool("wallclock", false, "bench only: run the wall-clock sync-vs-async device comparison instead of the sim benchmark")
 	rate := flag.Float64("rate", 0, "wallclock bench open-loop arrivals/sec (0 = closed loop over -clients)")
-	benchout := flag.String("benchout", "BENCH_wallclock.json", "wallclock bench: JSON output path")
+	benchout := flag.String("benchout", "", "wallclock bench / loadgen: JSON output path (default BENCH_wallclock.json / BENCH_server.json)")
 	clusterMode := flag.Bool("cluster", false, "soak/bench: drive a multi-JBOF cluster on the wall-clock backend instead of an image store")
 	scenario := flag.String("scenario", "all", "cluster soak: drill scenario (message-loss, partition-heal, crash-restart, device-faults, mixed, all)")
-	metricsAddr := flag.String("metrics-addr", "", "serve/soak/bench: HTTP address exposing /metrics (Prometheus text), /metrics.json, and /traces while the command runs (e.g. :9100)")
+	metricsAddr := flag.String("metrics-addr", "", "serve/soak/bench/loadgen: HTTP address exposing /metrics (Prometheus text), /metrics.json, and /traces while the command runs (e.g. :9100)")
+	listen := flag.String("listen", "", "serve: TCP address to serve rpcproto clients on (e.g. :7070); the process runs until SIGINT/SIGTERM, then drains")
+	partitions := flag.Int("partitions", 4, "serve -listen: engine partitions carved out of the image")
+	addr := flag.String("addr", "", "loadgen: TCP address of a running leedctl serve -listen (required)")
+	pipeline := flag.Int64("pipeline", 16, "loadgen: outstanding-request window per connection")
+	workload := flag.String("workload", "b", "loadgen: YCSB mix (a, b, c, d, f, wr)")
+	records := flag.Int64("records", 2000, "loadgen: keyspace size (preloaded before the measured window)")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: measured window")
+	warmup := flag.Duration("warmup", 0, "loadgen: warmup before the measured window (default duration/4)")
+	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() == 0 || (*image == "" && !*clusterMode) {
-		fmt.Fprintln(os.Stderr, "usage: leedctl -image FILE [-capacity N] [-clients N] [-seed N] [-device sync|async] {put K V | get K | del K | keys | stats | compact | load N | bench [-wallclock] N | serve N | soak N}")
-		fmt.Fprintln(os.Stderr, "       leedctl -cluster [-seed N] [-scenario S] soak [ROUNDS]")
-		fmt.Fprintln(os.Stderr, "       leedctl -cluster [-clients N] [-seed N] bench [OPS]")
+	if flag.NArg() == 0 || (*image == "" && !*clusterMode && flag.Arg(0) != "loadgen") {
+		usage()
 		os.Exit(2)
+	}
+
+	if flag.Arg(0) == "loadgen" {
+		if err := loadgen(*addr, *clients, *pipeline, *workload, *records, *seed,
+			*warmup, *duration, *benchout, *metricsAddr); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *clusterMode {
@@ -94,6 +126,12 @@ func main() {
 	}
 
 	if flag.Arg(0) == "serve" {
+		if *listen != "" {
+			if err := serveListen(*image, *capacity, *listen, *partitions, *device, *durable, *metricsAddr); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := serve(*image, *capacity, *clients, *device, *durable, *metricsAddr, flag.Args()); err != nil {
 			fatal(err)
 		}
@@ -265,6 +303,52 @@ func main() {
 	}
 }
 
+// usage enumerates every subcommand with the flags that apply to it, then
+// the full flag reference.
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  single-store commands (sim kernel, require -image):
+    leedctl -image FILE [-capacity N] [-latency] {put K V | get K | del K | keys | stats | compact}
+    leedctl -image FILE load [N]                       bulk-load N objects (default 10000)
+    leedctl -image FILE bench [N]                      YCSB-B sim benchmark (load first)
+
+  wall-clock commands (require -image; flags go before the subcommand):
+    leedctl -image FILE -wallclock [-clients N] [-rate R] [-benchout PATH] bench [N]
+                                                       sync-vs-async device comparison
+    leedctl -image FILE [-clients N] [-device sync|async] [-durable] serve [N]
+                                                       in-process concurrent serving
+    leedctl -image FILE -listen ADDR [-partitions N] [-device sync|async] [-durable] serve
+                                                       TCP server; SIGINT/SIGTERM drains
+    leedctl -image FILE [-seed N] [-device sync|async] [-durable] soak [CYCLES]
+                                                       crash-recovery durability soak
+
+  client commands (no -image; flags go before the subcommand):
+    leedctl -addr ADDR [-clients N] [-pipeline N] [-workload a|b|c|d|f|wr]
+            [-records N] [-duration D] [-warmup D] [-benchout PATH] loadgen
+                                                       drive a served instance over TCP
+
+  cluster commands (no -image):
+    leedctl -cluster soak [-seed N] [-scenario S] [ROUNDS]
+    leedctl -cluster bench [-clients N] [-seed N] [OPS]
+
+  -metrics-addr ADDR serves /metrics, /metrics.json, and /traces during any
+  wall-clock command.
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+// workloadByName resolves a -workload letter to its YCSB mix.
+func workloadByName(name string) (ycsb.Workload, error) {
+	for _, w := range ycsb.Workloads {
+		if strings.EqualFold(w.Name, "YCSB-"+name) {
+			return w, nil
+		}
+	}
+	return ycsb.Workload{}, fmt.Errorf("unknown -workload %q (want a, b, c, d, f, or wr)", name)
+}
+
 // openWallclockDevice opens the image through the requested device path:
 // "sync" is the synchronous FileDevice (one in-context syscall per op),
 // "async" the submission-queue AsyncFileDevice. durable opens the image
@@ -431,6 +515,153 @@ func serve(image string, capacity int64, clients int, device string, durable boo
 	return nil
 }
 
+// serveListen mounts the image behind a TCP server: the engine carves the
+// image into -partitions ring-routed partitions, recovers each from flash,
+// and internal/server serves rpcproto clients on listen until SIGINT or
+// SIGTERM starts a graceful drain. In-flight requests complete, connections
+// close, and every partition's superblock is flushed so the next invocation
+// recovers the served state.
+func serveListen(image string, capacity int64, listen string, partitions int, device string, durable bool, metricsAddr string) error {
+	if partitions < 1 {
+		return fmt.Errorf("serve -listen needs -partitions >= 1")
+	}
+	env := wallclock.New()
+	dev, closeDev, err := openWallclockDevice(env, device, image, capacity, durable, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer closeDev()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, 16, 256)
+	flashsim.Observe(dev, reg, tr, device)
+	msrv, err := startMetrics(metricsAddr, reg, tr)
+	if err != nil {
+		return err
+	}
+	defer msrv.Close()
+
+	partBytes := capacity / int64(partitions)
+	eng := engine.New(engine.Config{
+		Env:              env,
+		Devices:          []flashsim.Device{dev},
+		PartitionsPerSSD: partitions,
+		Geometry:         core.PlanPartition(partBytes, 32, 1024, core.PlanOpts{}),
+		PartitionBytes:   partBytes,
+		FlushEvery:       100 * runtime.Millisecond,
+		Obs:              reg,
+		Tracer:           tr,
+		ObsNode:          "serve",
+	})
+	var recErr error
+	recovered := 0
+	env.Spawn("recover", func(p runtime.Task) {
+		for pid := 0; pid < eng.NumPartitions(); pid++ {
+			n, err := eng.RecoverPartition(p, pid)
+			if err != nil {
+				recErr = fmt.Errorf("recover partition %d: %w", pid, err)
+				return
+			}
+			recovered += n
+		}
+	})
+	env.Wait()
+	if recErr != nil {
+		return recErr
+	}
+	eng.Start()
+
+	srv := server.New(server.Config{Env: env, Engine: eng, Obs: reg, Tracer: tr})
+	l, err := transport.ListenTCP(env, listen)
+	if err != nil {
+		return err
+	}
+	srv.Serve(l)
+	fmt.Printf("serving %s on %s: %d partitions, %d segments recovered (SIGINT drains)\n",
+		image, l.Addr(), eng.NumPartitions(), recovered)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	srv.Close()
+	eng.Stop()
+	env.Wait()
+
+	var flushErr error
+	env.Spawn("flush", func(p runtime.Task) {
+		for pid := 0; pid < eng.NumPartitions(); pid++ {
+			if err := eng.Partition(pid).Store.Flush(p); err != nil && flushErr == nil {
+				flushErr = fmt.Errorf("flush partition %d: %w", pid, err)
+			}
+		}
+	})
+	env.Wait()
+	if flushErr != nil {
+		return flushErr
+	}
+	printSnapshot(reg)
+	return nil
+}
+
+// loadgen drives a running serve -listen instance from this process: conns
+// TCP connections with a pipeline window of outstanding requests each, a
+// preloaded keyspace, a YCSB mix, and a warmup before the measured window.
+// The client-observed measurement (throughput, latency percentiles, stage
+// attribution) is printed and recorded as JSON.
+func loadgen(addr string, conns int, pipeline int64, workload string, records, seed int64,
+	warmup, duration time.Duration, outPath, metricsAddr string) error {
+	if addr == "" {
+		return fmt.Errorf("loadgen needs -addr (the server's host:port)")
+	}
+	w, err := workloadByName(workload)
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		outPath = "BENCH_server.json"
+	}
+	if warmup <= 0 {
+		warmup = duration / 4
+	}
+	env := wallclock.New()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, 16, 256)
+	msrv, err := startMetrics(metricsAddr, reg, tr)
+	if err != nil {
+		return err
+	}
+	defer msrv.Close()
+
+	cfg := bench.LoadgenConfig{
+		Addr:        addr,
+		Connections: conns,
+		Pipeline:    pipeline,
+		Workload:    w,
+		Records:     records,
+		ValLen:      256,
+		Seed:        seed,
+		Preload:     true,
+		Warmup:      runtime.Time(warmup),
+		Duration:    runtime.Time(duration),
+		Tracer:      tr,
+	}
+	res, err := bench.RunLoadgen(env, cfg)
+	if err != nil {
+		return err
+	}
+	doc := bench.NewServerDoc(cfg, res)
+	fmt.Print(doc.String())
+	printSnapshot(reg)
+	if err := os.WriteFile(outPath, []byte(doc.JSON()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Printf("recorded %s\n", outPath)
+	if res.Errs > 0 {
+		return fmt.Errorf("loadgen saw %d errored operations", res.Errs)
+	}
+	return nil
+}
+
 // soak reformats the image and runs the chaos durability soak on the
 // wall-clock backend: N crash-recovery cycles of seeded writes with a
 // device-fault window in each, verifying after every recovery that all
@@ -494,6 +725,9 @@ func soak(image string, capacity int64, seed int64, device string, durable bool,
 // durable-write latency on a shared machine varies by an order of magnitude
 // run to run, drowning the comparison in page-cache weather.
 func benchWallclock(image string, capacity int64, clients int, rate float64, outPath, metricsAddr string, args []string) error {
+	if outPath == "" {
+		outPath = "BENCH_wallclock.json"
+	}
 	ops := int64(20000)
 	if len(args) > 1 {
 		fmt.Sscanf(args[1], "%d", &ops)

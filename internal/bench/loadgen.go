@@ -1,0 +1,273 @@
+// Loadgen: a wall-clock workload driver for a *remote* server. Where
+// RunWallclock measures an engine embedded in this process, RunLoadgen
+// dials a leed server over TCP and measures it from the outside — the
+// client's view of the paper's testbed methodology (§4): N connections,
+// a pipeline window per connection, a YCSB mix, a warmup, and a measured
+// window. Run it from a separate process than the server so the numbers
+// include real sockets, real syscalls, and real scheduling interference.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"leed/internal/core"
+	"leed/internal/obs"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/server"
+	"leed/internal/sim"
+	"leed/internal/transport"
+	"leed/internal/ycsb"
+)
+
+// LoadgenConfig describes one loadgen run against a serving address.
+type LoadgenConfig struct {
+	// Addr is the server's TCP address (host:port).
+	Addr string
+
+	// Connections is how many TCP connections to open. Default 4.
+	Connections int
+	// Pipeline is each connection's outstanding-request window; the run
+	// drives Pipeline synchronous issuer tasks per connection, so the
+	// window stays full whenever the server is the bottleneck. Default 16.
+	Pipeline int64
+
+	Workload ycsb.Workload
+	Records  int64
+	ValLen   int
+	Seed     int64
+
+	// Preload inserts the Records keys before the measured run (through the
+	// same connections), so a read-heavy mix doesn't miss.
+	Preload bool
+
+	// Warmup precedes the measured window; completions inside it are
+	// discarded. Default Duration/4.
+	Warmup runtime.Time
+	// Duration is the measured window. Default 5s.
+	Duration runtime.Time
+
+	// Tracer, when set, collects client-side stage attribution (pipeline
+	// slot wait as "client", wire round-trip as "net") and stamps the
+	// run's attribution table into the result.
+	Tracer *obs.Tracer
+}
+
+// RunLoadgen dials cfg.Addr, optionally preloads the keyspace, then drives
+// the mix closed-loop for Warmup+Duration and reports the measured window.
+// Call it from the goroutine that owns env: it spawns tasks and blocks in
+// env.Wait until every connection has wound down.
+func RunLoadgen(env *wallclock.Env, cfg LoadgenConfig) (RunResult, error) {
+	if cfg.Connections <= 0 {
+		cfg.Connections = 4
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 16
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * runtime.Second
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Duration / 4
+	}
+
+	clients := make([]*server.Client, cfg.Connections)
+	for i := range clients {
+		conn, err := transport.DialTCP(env, cfg.Addr)
+		if err != nil {
+			for _, cl := range clients[:i] {
+				cl.Close()
+			}
+			env.Wait() // drain the receiver tasks of the closed clients
+			return RunResult{}, fmt.Errorf("loadgen: dial %s: %w", cfg.Addr, err)
+		}
+		clients[i] = server.NewClientTraced(env, conn, cfg.Pipeline, cfg.Tracer)
+	}
+
+	res := RunResult{Lat: sim.NewHistogram()}
+
+	// One op against the server. A read finding nothing is not a failure:
+	// with Preload off (or an insert-bearing mix) misses are part of the
+	// workload, not of the system under test.
+	oneOp := func(q runtime.Task, cl *server.Client, op ycsb.Op) error {
+		switch op.Type {
+		case ycsb.OpRead:
+			_, err := cl.Get(q, op.Key)
+			if err == core.ErrNotFound {
+				err = nil
+			}
+			return err
+		default:
+			return cl.Put(q, op.Key, op.Value)
+		}
+	}
+
+	var runErr error
+	env.Spawn("loadgen", func(p runtime.Task) {
+		// Close from in here so env.Wait below has a reason to return: each
+		// client's receiver task exits only when its connection closes.
+		defer func() {
+			for _, cl := range clients {
+				cl.Close()
+			}
+		}()
+		if cfg.Preload && cfg.Records > 0 {
+			if err := preloadClients(env, p, clients, cfg); err != nil {
+				runErr = err
+				return
+			}
+		}
+
+		start := p.Now()
+		measureAt := start + cfg.Warmup
+		stopAt := measureAt + cfg.Duration
+
+		evs := make([]runtime.Event, 0, cfg.Connections*int(cfg.Pipeline))
+		for ci, cl := range clients {
+			for w := int64(0); w < cfg.Pipeline; w++ {
+				cl := cl
+				idx := int64(ci)*cfg.Pipeline + w
+				ev := env.MakeEvent()
+				evs = append(evs, ev)
+				env.Spawn("issuer", func(q runtime.Task) {
+					defer ev.Fire(nil)
+					gen := ycsb.NewGenerator(cfg.Workload, cfg.Records, cfg.ValLen, cfg.Seed+idx+1)
+					for q.Now() < stopAt {
+						op := gen.Next()
+						op.Key = append([]byte(nil), op.Key...)
+						op.Value = append([]byte(nil), op.Value...)
+						t0 := q.Now()
+						err := oneOp(q, cl, op)
+						t1 := q.Now()
+						// Count completions that land inside the window; the
+						// sticky-error check keeps a dead connection from
+						// spinning through a million instant failures.
+						if t1 >= measureAt && t1 <= stopAt {
+							res.Ops++
+							res.Lat.Record(t1 - t0)
+							if err != nil {
+								res.Errs++
+							}
+						}
+						if err == transport.ErrClosed {
+							return
+						}
+					}
+				})
+			}
+		}
+		runtime.WaitAll(p, evs...)
+	})
+	env.Wait()
+
+	if runErr != nil {
+		return RunResult{}, runErr
+	}
+	res.Elapsed = cfg.Duration
+	if res.Elapsed > 0 {
+		res.Thr = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	if cfg.Tracer != nil {
+		a := cfg.Tracer.Attribution()
+		res.Attr = &a
+	}
+	return res, nil
+}
+
+// preloadClients inserts the Records keys through the run's connections,
+// one issuer task per pipeline slot, from inside the root task.
+func preloadClients(env *wallclock.Env, p runtime.Task, clients []*server.Client, cfg LoadgenConfig) error {
+	val := make([]byte, cfg.ValLen)
+	for i := range val {
+		val[i] = byte(i * 7)
+	}
+	var next int64
+	var firstErr error
+	evs := make([]runtime.Event, 0, len(clients)*int(cfg.Pipeline))
+	for _, cl := range clients {
+		for w := int64(0); w < cfg.Pipeline; w++ {
+			cl := cl
+			ev := env.MakeEvent()
+			evs = append(evs, ev)
+			env.Spawn("preload", func(q runtime.Task) {
+				defer ev.Fire(nil)
+				for next < cfg.Records && firstErr == nil {
+					i := next
+					next++
+					if err := cl.Put(q, ycsb.KeyAt(i), val); err != nil {
+						firstErr = err
+					}
+				}
+			})
+		}
+	}
+	runtime.WaitAll(p, evs...)
+	if firstErr != nil {
+		return fmt.Errorf("loadgen: preload: %w", firstErr)
+	}
+	return nil
+}
+
+// ServerDoc is the recorded output of a loadgen run (leedctl loadgen
+// -benchout): the client-observed measurement of a served leed instance,
+// written as BENCH_server.json by the CI smoke job.
+type ServerDoc struct {
+	Addr        string `json:"addr"`
+	Workload    string `json:"workload"`
+	Connections int    `json:"connections"`
+	Pipeline    int64  `json:"pipeline"`
+	Records     int64  `json:"records"`
+	ValLen      int    `json:"val_len"`
+	WarmupNS    int64  `json:"warmup_ns"`
+	DurationNS  int64  `json:"duration_ns"`
+
+	Res WallclockRes `json:"result"`
+
+	// Attribution is the client-side per-stage latency breakdown ("client"
+	// = pipeline slot wait, "net" = wire round-trip including all server
+	// time), when the run was traced.
+	Attribution *obs.Attribution `json:"attribution,omitempty"`
+}
+
+// NewServerDoc flattens a loadgen run for the JSON doc.
+func NewServerDoc(cfg LoadgenConfig, r RunResult) *ServerDoc {
+	return &ServerDoc{
+		Addr:        cfg.Addr,
+		Workload:    cfg.Workload.Name,
+		Connections: cfg.Connections,
+		Pipeline:    cfg.Pipeline,
+		Records:     cfg.Records,
+		ValLen:      cfg.ValLen,
+		WarmupNS:    int64(cfg.Warmup),
+		DurationNS:  int64(cfg.Duration),
+		Res:         NewWallclockRes("tcp", r),
+		Attribution: r.Attr,
+	}
+}
+
+// JSON renders the doc, indented, with a trailing newline.
+func (d *ServerDoc) JSON() string {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		panic(err) // plain struct of scalars always marshals
+	}
+	return string(b) + "\n"
+}
+
+// String renders the measurement as a one-row table plus the attribution.
+func (d *ServerDoc) String() string {
+	t := &Table{
+		Title: fmt.Sprintf("loadgen %s @ %s: %d conns × pipeline %d",
+			d.Workload, d.Addr, d.Connections, d.Pipeline),
+		Columns: []string{"transport", "kqps", "p50us", "p99us", "ops", "errs"},
+	}
+	r := d.Res
+	t.Add(r.Device, kqps(r.Thr), fmt.Sprintf("%.1f", r.P50US), fmt.Sprintf("%.1f", r.P99US),
+		fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.Errs))
+	out := t.String()
+	if d.Attribution != nil {
+		out += d.Attribution.String()
+	}
+	return out
+}

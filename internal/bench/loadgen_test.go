@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"leed/internal/core"
+	"leed/internal/engine"
+	"leed/internal/flashsim"
+	"leed/internal/obs"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/server"
+	"leed/internal/transport"
+	"leed/internal/ycsb"
+)
+
+// TestRunLoadgen drives a real served instance end to end: the server runs
+// on its own wallclock env behind a TCP listener, the loadgen dials it from
+// a second env — the in-process twin of the two-process deployment.
+func TestRunLoadgen(t *testing.T) {
+	srvEnv := wallclock.New()
+	eng := engine.New(engine.Config{
+		Env: srvEnv,
+		Devices: []flashsim.Device{
+			flashsim.NewMemDevice(srvEnv, 8<<20),
+			flashsim.NewMemDevice(srvEnv, 8<<20),
+		},
+		PartitionsPerSSD: 2,
+		Geometry:         core.PlanPartition(2<<20, 16, 256, core.PlanOpts{}),
+		PartitionBytes:   2 << 20,
+	})
+	srv := server.New(server.Config{Env: srvEnv, Engine: eng})
+	l, err := transport.ListenTCP(srvEnv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv.Serve(l)
+
+	cliEnv := wallclock.New()
+	tr := obs.NewTracer(obs.NewRegistry(), 1, 64)
+	cfg := LoadgenConfig{
+		Addr:        l.Addr(),
+		Connections: 2,
+		Pipeline:    4,
+		Workload:    ycsb.WorkloadB,
+		Records:     200,
+		ValLen:      64,
+		Preload:     true,
+		Warmup:      20 * runtime.Millisecond,
+		Duration:    100 * runtime.Millisecond,
+		Tracer:      tr,
+	}
+	res, err := RunLoadgen(cliEnv, cfg)
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.Ops == 0 {
+		t.Error("measured window recorded no operations")
+	}
+	if res.Errs != 0 {
+		t.Errorf("loadgen saw %d errors", res.Errs)
+	}
+	if res.Thr <= 0 {
+		t.Errorf("throughput not computed: %v", res.Thr)
+	}
+	if res.Attr == nil {
+		t.Fatal("traced run has no attribution")
+	}
+
+	doc := NewServerDoc(cfg, res)
+	if !strings.Contains(doc.JSON(), "\"result\"") {
+		t.Error("doc JSON missing result")
+	}
+	if !strings.Contains(doc.String(), "tcp") {
+		t.Error("doc table missing transport row")
+	}
+
+	srv.Close()
+	srvEnv.Wait()
+
+	// With the server gone, a fresh run must fail to dial, not hang.
+	if _, err := RunLoadgen(wallclock.New(), LoadgenConfig{
+		Addr: l.Addr(), Connections: 1, Pipeline: 1,
+		Workload: ycsb.WorkloadB, Records: 10, ValLen: 16,
+		Duration: 10 * runtime.Millisecond,
+	}); err == nil {
+		t.Error("loadgen against a closed server: want dial error")
+	}
+}

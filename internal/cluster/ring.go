@@ -64,6 +64,38 @@ func buildRing(members []NodeID) *ring {
 	return r
 }
 
+// Ring is the exported consistent-hash ring: the same virtual-node
+// placement the simulated cluster uses, reusable outside it. The server
+// front-end routes keys over a Ring whose members are its local engine
+// partitions, so a single-process server and a multi-JBOF deployment
+// place any given key identically — adding real nodes later only changes
+// who the members are, never the hash walk.
+type Ring struct {
+	rg      *ring
+	members []NodeID
+}
+
+// NewRing builds a ring over the given members.
+func NewRing(members []NodeID) *Ring {
+	ms := make([]NodeID, len(members))
+	copy(ms, members)
+	return &Ring{rg: buildRing(ms), members: ms}
+}
+
+// Members returns the member set the ring was built over.
+func (r *Ring) Members() []NodeID { return r.members }
+
+// OwnerOf returns the member owning the partition: the chain head.
+func (r *Ring) OwnerOf(partition uint32) NodeID {
+	return r.rg.chainFor(partition, 1)[0]
+}
+
+// ChainFor returns the partition's replication chain, head first: the
+// first n distinct members clockwise from the partition's ring position.
+func (r *Ring) ChainFor(partition uint32, n int) []NodeID {
+	return r.rg.chainFor(partition, n)
+}
+
 // chainFor walks clockwise from the partition's ring position collecting
 // the first r distinct nodes: the replication chain, head first (§3.7).
 func (rg *ring) chainFor(partition uint32, r int) []NodeID {

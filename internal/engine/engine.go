@@ -19,13 +19,20 @@ import (
 
 // Config describes one engine instance over a platform node.
 type Config struct {
-	Env  runtime.Env
+	Env runtime.Env
+	// Node is the platform model the engine charges compute and memory
+	// movement against. Optional: with a nil Node the engine runs in
+	// pure-device mode — Devices alone define the drive set, no core gates
+	// or memory bus are modeled, and store compute is uncharged (NopExec).
+	// The server front-end uses this mode: on real hardware the host CPU
+	// is real, so only the device path needs modeling.
 	Node *platform.Node
 
 	// Devices, when non-nil, overrides Node.SSDs as the backing device per
 	// drive index (len must equal len(Node.SSDs)). Chaos harnesses use it to
 	// interpose flashsim.FaultInjector wrappers; the SSDs still provide the
-	// timing/capacity model that sizes the engine.
+	// timing/capacity model that sizes the engine. With a nil Node, Devices
+	// is required and is the drive set.
 	Devices []flashsim.Device
 
 	// PartitionsPerSSD is the number of virtual nodes per drive (the
@@ -231,29 +238,51 @@ func New(cfg Config) *Engine {
 		e.o = newEngObs(cfg.Obs, cfg.Tracer, cfg.ObsNode)
 	}
 	n := cfg.Node
-	if cfg.ModelMemBW && n.Spec.MemBWBytesPS > 0 {
+	if n == nil && len(cfg.Devices) == 0 {
+		panic("engine: Config needs a Node or Devices")
+	}
+	if n != nil && cfg.ModelMemBW && n.Spec.MemBWBytesPS > 0 {
 		e.membus = &memBus{bytesPS: n.Spec.MemBWBytesPS}
 	}
-	numSSD := len(n.SSDs)
+	numSSD := len(cfg.Devices)
+	if n != nil {
+		numSSD = len(n.SSDs)
+	}
 	g := cfg.Geometry
 	needed := g.KeyLogBytes + g.ValLogBytes + g.SwapLogBytes + 4096
 	if needed > cfg.PartitionBytes {
 		panic(fmt.Sprintf("engine: geometry (%d bytes) exceeds partition size %d", needed, cfg.PartitionBytes))
 	}
-	if int64(cfg.PartitionsPerSSD)*cfg.PartitionBytes > n.SSDs[0].Capacity() {
+	cap0 := int64(0)
+	if n != nil {
+		cap0 = n.SSDs[0].Capacity()
+	} else {
+		cap0 = cfg.Devices[0].Capacity()
+	}
+	if int64(cfg.PartitionsPerSSD)*cfg.PartitionBytes > cap0 {
 		panic(fmt.Sprintf("engine: %d partitions of %d bytes exceed SSD capacity %d",
-			cfg.PartitionsPerSSD, cfg.PartitionBytes, n.SSDs[0].Capacity()))
+			cfg.PartitionsPerSSD, cfg.PartitionBytes, cap0))
 	}
 	// Static core mapping (§3.4): the first min(numSSD, cores) cores drive
 	// storage; remaining cores are left to the caller for polling/control.
-	for i := 0; i < numSSD; i++ {
-		c := n.Cores[i%len(n.Cores)]
-		e.execs = append(e.execs, &coreGate{core: c, res: cfg.Env.MakeResource(1)})
+	// Pure-device mode has no modeled cores: execs stays empty and each
+	// store's Exec defaults to NopExec.
+	if n != nil {
+		for i := 0; i < numSSD; i++ {
+			c := n.Cores[i%len(n.Cores)]
+			e.execs = append(e.execs, &coreGate{core: c, res: cfg.Env.MakeResource(1)})
+		}
 	}
 	for ssd := 0; ssd < numSSD; ssd++ {
-		var dev flashsim.Device = n.SSDs[ssd]
+		var dev flashsim.Device
 		if cfg.Devices != nil {
 			dev = cfg.Devices[ssd]
+		} else {
+			dev = n.SSDs[ssd]
+		}
+		var exec core.Exec
+		if e.execs != nil {
+			exec = e.execs[ssd]
 		}
 		for slot := 0; slot < cfg.PartitionsPerSSD; slot++ {
 			pid := len(e.parts)
@@ -261,7 +290,7 @@ func New(cfg Config) *Engine {
 				Env:            cfg.Env,
 				Device:         dev,
 				DevID:          uint8(ssd),
-				Exec:           e.execs[ssd],
+				Exec:           exec,
 				Costs:          cfg.Costs,
 				RegionOff:      int64(slot) * cfg.PartitionBytes,
 				SubCompactions: cfg.SubCompactions,

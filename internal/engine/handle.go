@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"leed/internal/core"
+	"leed/internal/obs"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+)
+
+// Handle is a borrowed reference to one partition: the unit the server
+// front-end routes to. A Handle carries everything the serve path needs —
+// execution, admission introspection — without exposing Engine internals,
+// so routing code holds a flat []Handle instead of (engine, pid) pairs and
+// a future multi-engine server can mix handles from several JBOFs.
+type Handle struct {
+	e   *Engine
+	pid int
+}
+
+// HandleOf returns a handle to partition pid.
+func (e *Engine) HandleOf(pid int) Handle { return Handle{e: e, pid: pid} }
+
+// Handles returns handles to all partitions, in pid order.
+func (e *Engine) Handles() []Handle {
+	hs := make([]Handle, len(e.parts))
+	for i := range hs {
+		hs[i] = Handle{e: e, pid: i}
+	}
+	return hs
+}
+
+// ID returns the partition id the handle refers to.
+func (h Handle) ID() int { return h.pid }
+
+// SSD returns the drive the partition lives on.
+func (h Handle) SSD() int { return h.e.parts[h.pid].SSD }
+
+// Execute runs one storage command against the partition, blocking through
+// admission, execution, and completion.
+func (h Handle) Execute(p runtime.Task, op rpcproto.Op, key, val []byte) ([]byte, core.OpStats, error) {
+	return h.e.ExecuteTraced(p, h.pid, op, key, val, nil)
+}
+
+// ExecuteTraced is Execute carrying the request's trace.
+func (h Handle) ExecuteTraced(p runtime.Task, op rpcproto.Op, key, val []byte, tr *obs.Trace) ([]byte, core.OpStats, error) {
+	return h.e.ExecuteTraced(p, h.pid, op, key, val, tr)
+}
+
+// AvailableTokens returns the partition's current admission tokens.
+func (h Handle) AvailableTokens() int64 { return h.e.AvailableTokens(h.pid) }
+
+// WaitingDepth returns the partition's waiting-queue occupancy.
+func (h Handle) WaitingDepth() int { return h.e.WaitingDepth(h.pid) }

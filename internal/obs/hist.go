@@ -134,6 +134,53 @@ func (h *Histogram) P99() Time { return h.Quantile(0.99) }
 // P999 returns the 99.9th percentile estimate.
 func (h *Histogram) P999() Time { return h.Quantile(0.999) }
 
+// HistPromEdges are the fixed upper bounds, in nanoseconds, of the
+// cumulative bucket exposition (the Prometheus `le` values): powers of two
+// from 1us to ~8.6s. A fixed edge set keeps the bucket layout identical
+// across scrapes, which is what makes histogram_quantile aggregable.
+var HistPromEdges = func() []int64 {
+	e := make([]int64, 0, 24)
+	for k := uint(10); k <= 33; k++ {
+		e = append(e, 1<<k)
+	}
+	return e
+}()
+
+// histBucketUp is the exclusive upper bound of bucket b, saturating at
+// MaxInt64 where the next bound would overflow.
+func histBucketUp(b int) int64 {
+	if ((b+1)>>histSubBits)+histSubBits-1 >= 62 {
+		return int64(^uint64(0) >> 1)
+	}
+	return histBucketLow(b + 1)
+}
+
+// CumBuckets returns the cumulative observation counts at HistPromEdges:
+// result[i] counts observations whose bucket lies entirely at or below
+// HistPromEdges[i]. The edges are aligned with the log-linear bucket
+// boundaries, so the only approximation is observations exactly on an edge
+// (counted one edge up). The implicit +Inf bucket is Count().
+func (h *Histogram) CumBuckets() []int64 {
+	out := make([]int64, len(HistPromEdges))
+	var cum int64
+	i := 0
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		up := histBucketUp(b)
+		for i < len(out) && HistPromEdges[i] < up-1 {
+			out[i] = cum
+			i++
+		}
+		cum += c
+	}
+	for ; i < len(out); i++ {
+		out[i] = cum
+	}
+	return out
+}
+
 // Merge adds all of o's observations into h.
 func (h *Histogram) Merge(o *Histogram) {
 	for i, c := range o.counts {

@@ -129,6 +129,17 @@ func (x *Hist) Count() int64 {
 	return x.h.Count()
 }
 
+// CumBuckets returns the cumulative counts at HistPromEdges plus the total
+// count, taken under one lock so the pair is self-consistent.
+func (x *Hist) CumBuckets() ([]int64, int64) {
+	if x == nil {
+		return make([]int64, len(HistPromEdges)), 0
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.h.CumBuckets(), x.h.Count()
+}
+
 type seriesKind int
 
 const (
@@ -320,8 +331,12 @@ func promKey(name, labels, extra string) string {
 
 // WritePrometheus writes every series in Prometheus text exposition format.
 // Counters and gauges emit one sample; histograms emit a summary (quantile
-// samples plus _sum and _count). Output is sorted, so identical registries
-// produce identical pages.
+// samples plus _sum and _count) followed by cumulative _bucket samples at
+// the fixed HistPromEdges bounds with an explicit le="+Inf" — the histogram
+// form histogram_quantile can aggregate across instances, which the
+// pre-computed quantiles cannot. le values are nanoseconds, matching every
+// other time on the page. Output is sorted, so identical registries produce
+// identical pages.
 func (r *Registry) WritePrometheus(w io.Writer) {
 	if r == nil {
 		return
@@ -367,6 +382,11 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			}
 			fmt.Fprintf(w, "%s %d\n", promKey(s.name+"_sum", s.labels, ""), h.Sum)
 			fmt.Fprintf(w, "%s %d\n", promKey(s.name+"_count", s.labels, ""), h.Count)
+			cum, total := s.h.CumBuckets()
+			for i, e := range HistPromEdges {
+				fmt.Fprintf(w, "%s %d\n", promKey(s.name+"_bucket", s.labels, fmt.Sprintf(`le="%d"`, e)), cum[i])
+			}
+			fmt.Fprintf(w, "%s %d\n", promKey(s.name+"_bucket", s.labels, `le="+Inf"`), total)
 		}
 	}
 }

@@ -1,0 +1,180 @@
+package rpcproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Frame layer: the stream framing the transport seam speaks. A request or
+// response struct is self-describing once its header is in hand, but a byte
+// stream (a TCP connection, a fabric payload) needs an outer envelope that
+// says how long the next message is and what kind it is before any of it is
+// parsed. Each frame is
+//
+//	[4B little-endian length n][1B kind][n-1 bytes payload]
+//
+// where the length counts the kind byte plus the payload, so a reader can
+// take exactly 4+n bytes off the stream and hand the rest to the kind's
+// decoder. The length is validated against MaxFrameBytes BEFORE any buffer
+// is sized from it: a garbage or hostile prefix can never cause a large
+// allocation, only an error.
+
+// FrameKind discriminates what a frame carries.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	FrameRequest FrameKind = iota + 1
+	FrameResponse
+	// FrameError carries an ErrorFrame: a transport- or server-level
+	// failure (undecodable request, unknown op, draining server) reported
+	// back to the issuer instead of silently dropping the request.
+	FrameError
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameRequest:
+		return "REQUEST"
+	case FrameResponse:
+		return "RESPONSE"
+	case FrameError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("FrameKind(%d)", uint8(k))
+}
+
+// MaxFrameBytes bounds one frame's length field (kind byte + payload). It
+// comfortably fits the largest legitimate value the stack ships (values are
+// KBs) while keeping a corrupted length prefix from provoking a huge read
+// buffer.
+const MaxFrameBytes = 1 << 24
+
+// frameHdrSize is the length prefix size.
+const frameHdrSize = 4
+
+// Frame decoding errors.
+var (
+	ErrFrameTooLarge = errors.New("rpcproto: frame exceeds MaxFrameBytes")
+	ErrBadFrame      = errors.New("rpcproto: malformed frame")
+)
+
+// appendFrameHdr reserves the length prefix and kind byte, returning the
+// offset of the prefix so finishFrame can patch it once the payload is in.
+func appendFrameHdr(dst []byte, kind FrameKind) ([]byte, int) {
+	off := len(dst)
+	return append(dst, 0, 0, 0, 0, byte(kind)), off
+}
+
+func finishFrame(dst []byte, off int) []byte {
+	binary.LittleEndian.PutUint32(dst[off:], uint32(len(dst)-off-frameHdrSize))
+	return dst
+}
+
+// AppendRequestFrame appends r as a complete request frame.
+func AppendRequestFrame(dst []byte, r *Request) []byte {
+	dst, off := appendFrameHdr(dst, FrameRequest)
+	dst = EncodeRequest(dst, r)
+	return finishFrame(dst, off)
+}
+
+// AppendResponseFrame appends r as a complete response frame.
+func AppendResponseFrame(dst []byte, r *Response) []byte {
+	dst, off := appendFrameHdr(dst, FrameResponse)
+	dst = EncodeResponse(dst, r)
+	return finishFrame(dst, off)
+}
+
+// AppendErrorFrame appends e as a complete error frame.
+func AppendErrorFrame(dst []byte, e *ErrorFrame) []byte {
+	dst, off := appendFrameHdr(dst, FrameError)
+	dst = EncodeError(dst, e)
+	return finishFrame(dst, off)
+}
+
+// FrameLen inspects a length prefix and reports the total byte size of the
+// frame it announces (prefix included), without touching the payload. It
+// returns ErrShortBuffer when src holds less than a prefix, and rejects
+// zero-length and oversized announcements so a stream reader can size its
+// next read from untrusted bytes safely.
+func FrameLen(src []byte) (int, error) {
+	if len(src) < frameHdrSize {
+		return 0, ErrShortBuffer
+	}
+	n := int64(binary.LittleEndian.Uint32(src))
+	if n < 1 {
+		return 0, ErrBadFrame
+	}
+	if n > MaxFrameBytes {
+		return 0, ErrFrameTooLarge
+	}
+	return frameHdrSize + int(n), nil
+}
+
+// DecodeFrame parses one frame from src, returning its kind, its payload
+// (a sub-slice of src, not a copy), and the bytes consumed. The payload is
+// still encoded; hand it to DecodeRequest/DecodeResponse/DecodeError per the
+// kind. An unknown kind is ErrBadFrame — the frame length is still
+// validated first, so a reader that wants to skip unknown kinds can.
+func DecodeFrame(src []byte) (FrameKind, []byte, int, error) {
+	total, err := FrameLen(src)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(src) < total {
+		return 0, nil, 0, ErrShortBuffer
+	}
+	kind := FrameKind(src[frameHdrSize])
+	if kind < FrameRequest || kind > FrameError {
+		return 0, nil, 0, ErrBadFrame
+	}
+	return kind, src[frameHdrSize+1 : total], total, nil
+}
+
+// ErrorFrame reports a request-level failure the server could not express
+// as a normal Response: the request never reached a store (undecodable
+// frame, unknown op, server draining). ID echoes the failed request's ID
+// when the server got far enough to learn it; 0 means the failure poisons
+// the connection (the frame itself was unparseable).
+type ErrorFrame struct {
+	ID   uint64
+	Code Status
+	Msg  string
+}
+
+// Error implements error, so a decoded error frame can surface directly.
+func (e *ErrorFrame) Error() string {
+	return fmt.Sprintf("rpcproto: remote error (id=%d, %v): %s", e.ID, e.Code, e.Msg)
+}
+
+const errHdrSize = 8 + 1 + 4
+
+// EncodeError appends the error frame's wire form to dst.
+func EncodeError(dst []byte, e *ErrorFrame) []byte {
+	var hdr [errHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], e.ID)
+	hdr[8] = uint8(e.Code)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(e.Msg)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, e.Msg...)
+}
+
+// DecodeError parses one error-frame payload from src, returning the frame
+// and the bytes consumed.
+func DecodeError(src []byte) (*ErrorFrame, int, error) {
+	if len(src) < errHdrSize {
+		return nil, 0, ErrShortBuffer
+	}
+	ml := int64(binary.LittleEndian.Uint32(src[9:]))
+	total := errHdrSize + int(ml)
+	if ml > MaxFrameBytes || len(src) < total {
+		return nil, 0, ErrShortBuffer
+	}
+	e := &ErrorFrame{
+		ID:   binary.LittleEndian.Uint64(src[0:]),
+		Code: Status(src[8]),
+		Msg:  string(src[errHdrSize:total]),
+	}
+	return e, total, nil
+}

@@ -1,0 +1,115 @@
+package rpcproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	req := &Request{ID: 7, Op: OpPut, Tenant: 3, Partition: 11, Epoch: 9,
+		Hop: 2, Shipped: true, Key: []byte("user1"), Value: []byte("hello")}
+	resp := &Response{ID: 7, Status: StatusOK, Value: []byte("world"), Tokens: 12, Epoch: 9}
+	ef := &ErrorFrame{ID: 7, Code: StatusErr, Msg: "engine: no partition 99"}
+
+	// Three frames back to back on one "stream": each decodes in order and
+	// consumes exactly its announced bytes.
+	var stream []byte
+	stream = AppendRequestFrame(stream, req)
+	stream = AppendResponseFrame(stream, resp)
+	stream = AppendErrorFrame(stream, ef)
+
+	kind, payload, n, err := DecodeFrame(stream)
+	if err != nil || kind != FrameRequest {
+		t.Fatalf("frame 1: kind=%v err=%v", kind, err)
+	}
+	gotReq, _, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatalf("decode request: %v", err)
+	}
+	if gotReq.ID != req.ID || gotReq.Op != req.Op || !bytes.Equal(gotReq.Key, req.Key) ||
+		!bytes.Equal(gotReq.Value, req.Value) || !gotReq.Shipped {
+		t.Fatalf("request round trip mismatch: %+v", gotReq)
+	}
+	stream = stream[n:]
+
+	kind, payload, n, err = DecodeFrame(stream)
+	if err != nil || kind != FrameResponse {
+		t.Fatalf("frame 2: kind=%v err=%v", kind, err)
+	}
+	gotResp, _, err := DecodeResponse(payload)
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	if gotResp.ID != resp.ID || gotResp.Status != resp.Status ||
+		!bytes.Equal(gotResp.Value, resp.Value) || gotResp.Tokens != resp.Tokens {
+		t.Fatalf("response round trip mismatch: %+v", gotResp)
+	}
+	stream = stream[n:]
+
+	kind, payload, n, err = DecodeFrame(stream)
+	if err != nil || kind != FrameError {
+		t.Fatalf("frame 3: kind=%v err=%v", kind, err)
+	}
+	gotErr, _, err := DecodeError(payload)
+	if err != nil {
+		t.Fatalf("decode error frame: %v", err)
+	}
+	if gotErr.ID != ef.ID || gotErr.Code != ef.Code || gotErr.Msg != ef.Msg {
+		t.Fatalf("error frame round trip mismatch: %+v", gotErr)
+	}
+	if len(stream[n:]) != 0 {
+		t.Fatalf("stream not fully consumed: %d bytes left", len(stream[n:]))
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	full := AppendRequestFrame(nil, &Request{ID: 1, Op: OpGet, Key: []byte("k")})
+	// Every strict prefix must report ErrShortBuffer (or, for prefixes that
+	// cut into the length field, never succeed).
+	for i := 0; i < len(full); i++ {
+		if _, _, _, err := DecodeFrame(full[:i]); !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("prefix %d: want ErrShortBuffer, got %v", i, err)
+		}
+	}
+	if _, _, _, err := DecodeFrame(full); err != nil {
+		t.Fatalf("full frame: %v", err)
+	}
+}
+
+func TestFrameOversizedLength(t *testing.T) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:], MaxFrameBytes+1)
+	hdr[4] = byte(FrameRequest)
+	if _, _, _, err := DecodeFrame(hdr[:]); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// FrameLen must reject it too, before any caller sizes a read buffer.
+	if _, err := FrameLen(hdr[:4]); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("FrameLen: want ErrFrameTooLarge, got %v", err)
+	}
+	// Zero-length frames are malformed, not empty successes.
+	binary.LittleEndian.PutUint32(hdr[:], 0)
+	if _, _, _, err := DecodeFrame(hdr[:]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("zero length: want ErrBadFrame, got %v", err)
+	}
+}
+
+func TestFrameUnknownKind(t *testing.T) {
+	frame := AppendResponseFrame(nil, &Response{ID: 1, Status: StatusOK})
+	frame[4] = 0xEE // corrupt the kind byte
+	if _, _, _, err := DecodeFrame(frame); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame, got %v", err)
+	}
+}
+
+func TestErrorFrameAsError(t *testing.T) {
+	ef := &ErrorFrame{ID: 42, Code: StatusOverload, Msg: "draining"}
+	var e error = ef
+	for _, want := range []string{"42", "OVERLOAD", "draining"} {
+		if !bytes.Contains([]byte(e.Error()), []byte(want)) {
+			t.Fatalf("error string %q missing %q", e.Error(), want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package rpcproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The decode paths parse bytes straight off the network. The fuzz targets
+// below pin the safety contract every decoder must keep on arbitrary input:
+// return an error or a value — never panic, and never size an allocation
+// from an unvalidated length field (truncated frames, oversized length
+// prefixes, and garbage must all be cheap rejections). `go test` runs the
+// seeded corpus on every CI run; `go test -fuzz=FuzzDecodeFrame` explores.
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(EncodeRequest(nil, &Request{ID: 1, Op: OpGet, Key: []byte("k")}))
+	f.Add(EncodeRequest(nil, &Request{ID: 2, Op: OpPut, Key: []byte("key"), Value: bytes.Repeat([]byte("v"), 300)}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, reqHdrSize)) // max key/value lengths, no body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeRequest(data)
+		if err != nil {
+			if r != nil || n != 0 {
+				t.Fatalf("error return leaked partial result: r=%v n=%d", r, n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// A successful decode must survive a re-encode/re-decode cycle with
+		// identical fields. (Byte equality is too strict: a non-canonical
+		// Shipped byte decodes to a bool and re-encodes canonically.)
+		r2, n2, err := DecodeRequest(EncodeRequest(nil, r))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != int(r.WireSize()) || r2.ID != r.ID || r2.Op != r.Op || r2.Tenant != r.Tenant ||
+			r2.Partition != r.Partition || r2.Epoch != r.Epoch || r2.Hop != r.Hop ||
+			r2.Shipped != r.Shipped || !bytes.Equal(r2.Key, r.Key) || !bytes.Equal(r2.Value, r.Value) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r2, r)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(EncodeResponse(nil, &Response{ID: 1, Status: StatusOK, Value: []byte("v")}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, respHdrSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, n, err := DecodeResponse(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if got := EncodeResponse(nil, r); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
+		}
+	})
+}
+
+func FuzzDecodeError(f *testing.F) {
+	f.Add(EncodeError(nil, &ErrorFrame{ID: 9, Code: StatusErr, Msg: "boom"}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, errHdrSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := DecodeError(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if got := EncodeError(nil, e); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
+		}
+	})
+}
+
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(AppendRequestFrame(nil, &Request{ID: 1, Op: OpPut, Key: []byte("k"), Value: []byte("v")}))
+	f.Add(AppendResponseFrame(nil, &Response{ID: 1, Status: StatusNotFound}))
+	f.Add(AppendErrorFrame(nil, &ErrorFrame{ID: 1, Code: StatusNack, Msg: "stale view"}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1}) // oversized length prefix
+	f.Add([]byte{0, 0, 0, 0})                // zero-length frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < frameHdrSize+1 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if len(payload) != n-frameHdrSize-1 {
+			t.Fatalf("payload %d bytes for frame of %d", len(payload), n)
+		}
+		// The inner decoders must hold the same no-panic contract on the
+		// sliced payload, whatever it contains.
+		switch kind {
+		case FrameRequest:
+			DecodeRequest(payload)
+		case FrameResponse:
+			DecodeResponse(payload)
+		case FrameError:
+			DecodeError(payload)
+		default:
+			t.Fatalf("DecodeFrame accepted unknown kind %v", kind)
+		}
+	})
+}

@@ -28,8 +28,16 @@ import (
 type Env struct {
 	mu    sync.Mutex // the big runtime lock; see the package comment
 	start time.Time
-	wg    sync.WaitGroup // tracks spawned tasks, pending timers, and offloads
-	ntask atomic.Int64   // task name counter
+	ntask atomic.Int64 // task name counter
+
+	// Inflight work counter: spawned tasks, pending timers, and offloads.
+	// A plain mutex-guarded counter instead of sync.WaitGroup because
+	// transports inject work via After from raw goroutines (socket readers)
+	// that may race with Wait — WaitGroup forbids Add concurrent with Wait
+	// at counter zero, a counter with a condvar does not.
+	wgmu     sync.Mutex
+	wgcond   *sync.Cond // lazily initialized under wgmu
+	inflight int
 
 	// The offload pool. offmu is a leaf lock ordered after mu: Offload is
 	// called with mu held, workers take mu only while not holding offmu.
@@ -71,15 +79,32 @@ func New() *Env {
 // Now returns the time elapsed since New, in nanoseconds.
 func (e *Env) Now() runtime.Time { return runtime.Time(time.Since(e.start)) }
 
+// track registers one unit of inflight work; untrack retires it and wakes
+// Wait when the count reaches zero. Safe from any goroutine.
+func (e *Env) track() {
+	e.wgmu.Lock()
+	e.inflight++
+	e.wgmu.Unlock()
+}
+
+func (e *Env) untrack() {
+	e.wgmu.Lock()
+	e.inflight--
+	if e.inflight == 0 && e.wgcond != nil {
+		e.wgcond.Broadcast()
+	}
+	e.wgmu.Unlock()
+}
+
 // After schedules fn to run d from now in scheduler context (holding the
 // runtime lock). Wait blocks until all pending timers have run.
 func (e *Env) After(d runtime.Time, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.wg.Add(1)
+	e.track()
 	time.AfterFunc(time.Duration(d), func() {
-		defer e.wg.Done()
+		defer e.untrack()
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		fn()
@@ -94,9 +119,9 @@ func (e *Env) Spawn(name string, fn func(t runtime.Task)) {
 		name: fmt.Sprintf("%s#%d", name, e.ntask.Add(1)),
 		park: make(chan struct{}, 1),
 	}
-	e.wg.Add(1)
+	e.track()
 	go func() {
-		defer e.wg.Done()
+		defer e.untrack()
 		e.mu.Lock()
 		defer e.mu.Unlock()
 		fn(t)
@@ -107,14 +132,23 @@ func (e *Env) Spawn(name string, fn func(t runtime.Task)) {
 // has run, and every offloaded job has completed. Call it from the owning
 // goroutine (not from a task) after the last Spawn; it is the wall-clock
 // analogue of Kernel.Run draining the heap.
-func (e *Env) Wait() { e.wg.Wait() }
+func (e *Env) Wait() {
+	e.wgmu.Lock()
+	if e.wgcond == nil {
+		e.wgcond = sync.NewCond(&e.wgmu)
+	}
+	for e.inflight > 0 {
+		e.wgcond.Wait()
+	}
+	e.wgmu.Unlock()
+}
 
 // Offload implements runtime.Env: fn runs on a pool goroutine WITHOUT the
 // runtime lock — this is the only place in the backend where user-supplied
 // code executes outside the execution contract — and done(v) then runs
 // holding the lock, like a timer callback. Jobs are served FIFO.
 func (e *Env) Offload(fn func() any, done func(v any)) {
-	e.wg.Add(1)
+	e.track()
 	e.offmu.Lock()
 	if e.offcond == nil {
 		e.offcond = sync.NewCond(&e.offmu)
@@ -146,7 +180,7 @@ func (e *Env) offloadWorker() {
 		e.mu.Lock()
 		job.done(v)
 		e.mu.Unlock()
-		e.wg.Done()
+		e.untrack()
 	}
 }
 

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"fmt"
+
+	"leed/internal/core"
+	"leed/internal/obs"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/transport"
+)
+
+// Client is a pipelined KV client over one transport.Conn. Up to depth
+// requests are outstanding at once; a dedicated receiver task matches
+// responses (which arrive in completion order, not issue order) back to
+// their callers by request ID. All state is mutated only in task context,
+// so the execution contract is the lock.
+type Client struct {
+	env  runtime.Env
+	conn transport.Conn
+	pipe runtime.Resource
+
+	nextID  uint64
+	pending map[uint64]runtime.Event
+	err     error // sticky; set when the connection dies
+
+	// tr, when set, attributes each call's pipeline-slot wait to the
+	// "client" stage and its wire round-trip to the "net" stage — the
+	// client-side half of the paper-style attribution table; the server
+	// owns node/engine/cpu/ssd/device.
+	tr *obs.Tracer
+}
+
+// NewClient wraps an established connection. depth bounds outstanding
+// requests (the pipeline window); 0 means 16. Call from task context or
+// before the environment starts running tasks.
+func NewClient(env runtime.Env, conn transport.Conn, depth int64) *Client {
+	return NewClientTraced(env, conn, depth, nil)
+}
+
+// NewClientTraced is NewClient with per-call stage attribution into tr.
+func NewClientTraced(env runtime.Env, conn transport.Conn, depth int64, tr *obs.Tracer) *Client {
+	if depth <= 0 {
+		depth = 16
+	}
+	c := &Client{
+		tr:      tr,
+		env:     env,
+		conn:    conn,
+		pipe:    env.MakeResource(depth),
+		pending: make(map[uint64]runtime.Event),
+	}
+	env.Spawn("client-recv", c.recvLoop)
+	return c
+}
+
+// recvLoop demultiplexes inbound frames to waiting callers.
+func (c *Client) recvLoop(t runtime.Task) {
+	for {
+		frame, err := c.conn.Recv(t)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		kind, payload, _, err := rpcproto.DecodeFrame(frame)
+		if err != nil {
+			c.fail(fmt.Errorf("client: bad frame from server: %w", err))
+			c.conn.Close()
+			return
+		}
+		switch kind {
+		case rpcproto.FrameResponse:
+			resp, _, err := rpcproto.DecodeResponse(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("client: bad response: %w", err))
+				c.conn.Close()
+				return
+			}
+			c.complete(resp.ID, resp)
+		case rpcproto.FrameError:
+			ef, _, err := rpcproto.DecodeError(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("client: bad error frame: %w", err))
+				c.conn.Close()
+				return
+			}
+			if ef.ID == 0 {
+				// The server could not attribute the failure to a request:
+				// the stream is poisoned.
+				c.fail(ef)
+				c.conn.Close()
+				return
+			}
+			c.complete(ef.ID, ef)
+		}
+	}
+}
+
+// complete hands v (a *rpcproto.Response or an error) to the caller
+// waiting on id. Unknown ids are ignored (a late response after fail).
+func (c *Client) complete(id uint64, v any) {
+	if ev, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		ev.Fire(v)
+	}
+}
+
+// fail poisons the client: every waiter and all future calls see err.
+func (c *Client) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ev := range c.pending {
+		delete(c.pending, id)
+		ev.Fire(c.err)
+	}
+}
+
+// Do sends one request and blocks until its response arrives. The
+// request's ID is assigned by the client. A *rpcproto.ErrorFrame from the
+// server is returned as the error.
+func (c *Client) Do(t runtime.Task, req *rpcproto.Request) (*rpcproto.Response, error) {
+	t0 := t.Now()
+	c.pipe.Acquire(t, 1)
+	defer c.pipe.Release(1)
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ev := c.env.MakeEvent()
+	c.pending[req.ID] = ev
+	sent := t.Now()
+	if err := c.conn.Send(t, rpcproto.AppendRequestFrame(nil, req)); err != nil {
+		delete(c.pending, req.ID)
+		return nil, err
+	}
+	if c.tr != nil {
+		defer func() {
+			c.tr.Observe("client", sent-t0, 0)
+			c.tr.Observe("net", 0, t.Now()-sent)
+		}()
+	}
+	switch v := t.Wait(ev).(type) {
+	case *rpcproto.Response:
+		return v, nil
+	case error:
+		return nil, v
+	}
+	return nil, transport.ErrClosed
+}
+
+// Get fetches key. A missing key is core.ErrNotFound.
+func (c *Client) Get(t runtime.Task, key []byte) ([]byte, error) {
+	resp, err := c.Do(t, &rpcproto.Request{Op: rpcproto.OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Status {
+	case rpcproto.StatusOK:
+		return resp.Value, nil
+	case rpcproto.StatusNotFound:
+		return nil, core.ErrNotFound
+	}
+	return nil, fmt.Errorf("client: GET %s", resp.Status)
+}
+
+// Put stores key=val.
+func (c *Client) Put(t runtime.Task, key, val []byte) error {
+	resp, err := c.Do(t, &rpcproto.Request{Op: rpcproto.OpPut, Key: key, Value: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != rpcproto.StatusOK {
+		return fmt.Errorf("client: PUT %s", resp.Status)
+	}
+	return nil
+}
+
+// Del removes key. Deleting a missing key is core.ErrNotFound.
+func (c *Client) Del(t runtime.Task, key []byte) error {
+	resp, err := c.Do(t, &rpcproto.Request{Op: rpcproto.OpDel, Key: key})
+	if err != nil {
+		return err
+	}
+	switch resp.Status {
+	case rpcproto.StatusOK:
+		return nil
+	case rpcproto.StatusNotFound:
+		return core.ErrNotFound
+	}
+	return fmt.Errorf("client: DEL %s", resp.Status)
+}
+
+// Close tears the connection down; outstanding calls fail with ErrClosed
+// once the receiver drains. Follow the conn's Close context rules.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,351 @@
+// Package server is LEED's request front-end: the piece that turns an
+// engine full of partitions into a network service. It owns what `leedctl
+// serve` used to hard-code — partition routing, admission, execution,
+// response generation, drain — behind the transport seam, so the same
+// server stack serves a goroutine client over an in-process queue pair and
+// a separate process over a TCP socket (§3.5, §3.8.1's client-visible
+// surface).
+//
+// Request path: a frame arrives on a transport.Conn, is decoded, routed by
+// consistent hash over the engine's partitions (the same ring placement
+// internal/cluster uses, so a one-process server and a multi-JBOF
+// deployment agree on where any key lives), admitted through a
+// per-connection pipeline window plus the engine's per-partition tokens,
+// executed, and answered with a response frame carrying the partition's
+// remaining tokens (§3.5's piggybacked flow control). Requests on one
+// connection pipeline freely: each runs as its own task, so responses
+// return in completion order and the client matches them by ID.
+//
+// Shutdown is a graceful drain: new connections are refused, requests
+// already in flight complete and their responses flush, late requests on
+// open connections are answered with an ErrorFrame (StatusNack) rather
+// than silently dropped, and every connection then closes.
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"leed/internal/cluster"
+	"leed/internal/core"
+	"leed/internal/engine"
+	"leed/internal/obs"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/transport"
+)
+
+// Config describes one server.
+type Config struct {
+	Env    runtime.Env
+	Engine *engine.Engine
+
+	// VPartitions is the number of virtual partitions keys hash onto before
+	// the ring maps them to engine partitions; it is the unit of future
+	// rebalancing, so it should exceed the partition count. Default 64.
+	VPartitions int
+	// MaxInflightPerConn bounds how many requests from one connection may
+	// be executing at once: the pipeline admission window. A connection
+	// that fills its window is simply not read from until a slot frees —
+	// TCP backpressure does the rest. Default 64.
+	MaxInflightPerConn int64
+
+	// Obs and Tracer bind the server to a metrics registry and the request
+	// tracer. Both optional.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+	// SamplePeriod is the queue-depth sampling cadence. Default 10ms.
+	SamplePeriod runtime.Time
+}
+
+// Server serves rpcproto frames from transport listeners against an engine.
+type Server struct {
+	cfg     Config
+	env     runtime.Env
+	handles []engine.Handle
+	ring    *cluster.Ring
+
+	// State below is mutated only in task or scheduler context: the
+	// execution contract is the lock.
+	listeners []transport.Listener
+	conns     map[*serverConn]struct{}
+	draining  bool
+
+	// closed makes Close idempotent and callable from any goroutine (a
+	// signal handler, a test's raw goroutine).
+	closed atomic.Bool
+
+	o *srvObs
+}
+
+// serverConn is the server side of one accepted connection.
+type serverConn struct {
+	conn     transport.Conn
+	pipe     runtime.Resource // pipeline admission window
+	inflight int              // requests executing right now
+	closed   bool
+	lat      *obs.Hist
+}
+
+type srvObs struct {
+	reg      *obs.Registry
+	requests map[rpcproto.Op]*obs.Counter
+	errors   *obs.Counter
+	badFrame *obs.Counter
+	refused  *obs.Counter
+	connsNow *obs.Gauge
+	connsTot *obs.Counter
+	inflight *obs.Gauge
+	partLat  []*obs.Hist
+	depth    []*obs.Gauge
+}
+
+func newSrvObs(reg *obs.Registry, nparts int) *srvObs {
+	o := &srvObs{
+		reg:      reg,
+		requests: make(map[rpcproto.Op]*obs.Counter),
+		errors:   reg.Counter("leed_server_errors_total"),
+		badFrame: reg.Counter("leed_server_bad_frames_total"),
+		refused:  reg.Counter("leed_server_refused_total"),
+		connsNow: reg.Gauge("leed_server_conns"),
+		connsTot: reg.Counter("leed_server_conns_total"),
+		inflight: reg.Gauge("leed_server_inflight"),
+	}
+	for _, op := range []rpcproto.Op{rpcproto.OpGet, rpcproto.OpPut, rpcproto.OpDel} {
+		o.requests[op] = reg.Counter("leed_server_requests_total", "op", op.String())
+	}
+	for pid := 0; pid < nparts; pid++ {
+		l := []string{"partition", fmt.Sprintf("%d", pid)}
+		o.partLat = append(o.partLat, reg.Hist("leed_server_partition_latency_ns", l...))
+		o.depth = append(o.depth, reg.Gauge("leed_server_queue_depth", l...))
+	}
+	return o
+}
+
+// New builds a server over the engine's partitions. The engine should
+// already be recovered/started; the server does not own its lifecycle.
+func New(cfg Config) *Server {
+	if cfg.VPartitions == 0 {
+		cfg.VPartitions = 64
+	}
+	if cfg.MaxInflightPerConn == 0 {
+		cfg.MaxInflightPerConn = 64
+	}
+	if cfg.SamplePeriod == 0 {
+		cfg.SamplePeriod = 10 * runtime.Millisecond
+	}
+	handles := cfg.Engine.Handles()
+	members := make([]cluster.NodeID, len(handles))
+	for i := range handles {
+		members[i] = cluster.NodeID(i)
+	}
+	s := &Server{
+		cfg:     cfg,
+		env:     cfg.Env,
+		handles: handles,
+		ring:    cluster.NewRing(members),
+		conns:   make(map[*serverConn]struct{}),
+		o:       newSrvObs(cfg.Obs, len(handles)),
+	}
+	if cfg.Obs != nil {
+		s.env.Spawn("server-sampler", s.sample)
+	}
+	return s
+}
+
+// route maps a key to the engine partition that owns it: key hash →
+// virtual partition → ring walk. Deterministic across processes and
+// transports.
+func (s *Server) route(key []byte) int {
+	vp := cluster.PartitionOf(core.HashKey(key), s.cfg.VPartitions)
+	return int(s.ring.OwnerOf(vp))
+}
+
+// sample periodically publishes per-partition waiting-queue depths; it
+// exits once the server drains.
+func (s *Server) sample(t runtime.Task) {
+	for !s.draining {
+		t.Sleep(s.cfg.SamplePeriod)
+		for pid, h := range s.handles {
+			s.o.depth[pid].Set(int64(h.WaitingDepth()))
+		}
+	}
+}
+
+// Serve mounts the server on a listener and returns immediately; accepted
+// connections are served until the listener fails or the server drains.
+// A server may Serve any number of listeners (e.g. inproc and TCP at
+// once). Safe to call from any goroutine.
+func (s *Server) Serve(l transport.Listener) {
+	s.env.Spawn("server-accept", func(t runtime.Task) {
+		if s.draining {
+			l.Close()
+			return
+		}
+		s.listeners = append(s.listeners, l)
+		for {
+			c, err := l.Accept(t)
+			if err != nil {
+				return
+			}
+			if s.draining {
+				c.Close()
+				continue
+			}
+			s.startConn(c)
+		}
+	})
+}
+
+// startConn registers one accepted connection and spawns its reader. Task
+// context.
+func (s *Server) startConn(c transport.Conn) {
+	sc := &serverConn{
+		conn: c,
+		pipe: s.env.MakeResource(s.cfg.MaxInflightPerConn),
+		lat:  s.cfg.Obs.Hist("leed_server_conn_latency_ns", "conn", c.String()),
+	}
+	s.conns[sc] = struct{}{}
+	s.o.connsTot.Inc()
+	s.o.connsNow.Set(int64(len(s.conns)))
+	s.env.Spawn("server-conn", func(t runtime.Task) { s.serveConn(t, sc) })
+}
+
+// serveConn is one connection's reader loop: decode, admit, dispatch.
+func (s *Server) serveConn(t runtime.Task, sc *serverConn) {
+	for {
+		frame, err := sc.conn.Recv(t)
+		if err != nil {
+			break
+		}
+		arrived := t.Now()
+		kind, payload, _, err := rpcproto.DecodeFrame(frame)
+		if err != nil || kind != rpcproto.FrameRequest {
+			// Undecodable bytes poison the stream — there is no resync
+			// point past a bad frame. Report and hang up.
+			s.o.badFrame.Inc()
+			s.sendError(t, sc, &rpcproto.ErrorFrame{Code: rpcproto.StatusErr, Msg: "undecodable frame"})
+			break
+		}
+		req, _, err := rpcproto.DecodeRequest(payload)
+		if err != nil {
+			s.o.badFrame.Inc()
+			s.sendError(t, sc, &rpcproto.ErrorFrame{Code: rpcproto.StatusErr, Msg: "undecodable request"})
+			break
+		}
+		// Pipeline admission: block the reader (and thus the stream) while
+		// the connection's window is full.
+		sc.pipe.Acquire(t, 1)
+		if s.draining {
+			// The drain completes requests that were in flight when it
+			// began; this one arrived after. Refuse it explicitly.
+			sc.pipe.Release(1)
+			s.o.refused.Inc()
+			s.sendError(t, sc, &rpcproto.ErrorFrame{ID: req.ID, Code: rpcproto.StatusNack, Msg: "server draining"})
+			continue
+		}
+		sc.inflight++
+		s.o.inflight.Add(1)
+		s.env.Spawn("server-req", func(q runtime.Task) {
+			s.handle(q, sc, req, arrived)
+			sc.pipe.Release(1)
+			sc.inflight--
+			s.o.inflight.Add(-1)
+			if s.draining && sc.inflight == 0 {
+				s.closeConn(sc)
+			}
+		})
+	}
+	// Reader exit: if the drain hasn't already retired the connection,
+	// in-flight requests may still be executing — leave the conn to them
+	// (their completions will find draining set if a drain is on), but
+	// deregister an idle one.
+	if !sc.closed && sc.inflight == 0 {
+		s.closeConn(sc)
+	}
+}
+
+// handle executes one request and sends its response. Task context.
+func (s *Server) handle(t runtime.Task, sc *serverConn, req *rpcproto.Request, arrived runtime.Time) {
+	tr := s.cfg.Tracer.Begin(req.Op.String(), arrived)
+	// The node span: dispatch wait (admission window) vs everything the
+	// server itself does around engine execution.
+	dispatched := t.Now()
+
+	resp := &rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
+	var pid int
+	switch req.Op {
+	case rpcproto.OpGet, rpcproto.OpPut, rpcproto.OpDel:
+		pid = s.route(req.Key)
+		val, _, err := s.handles[pid].ExecuteTraced(t, req.Op, req.Key, req.Value, tr)
+		switch {
+		case err == core.ErrNotFound:
+			resp.Status = rpcproto.StatusNotFound
+		case err != nil:
+			s.o.errors.Inc()
+			resp.Status = rpcproto.StatusErr
+		default:
+			resp.Status = rpcproto.StatusOK
+			resp.Value = val
+		}
+		resp.Tokens = int32(s.handles[pid].AvailableTokens())
+		s.o.requests[req.Op].Inc()
+	default:
+		s.o.errors.Inc()
+		resp.Status = rpcproto.StatusErr
+	}
+
+	done := t.Now()
+	sc.conn.Send(t, rpcproto.AppendResponseFrame(nil, resp))
+	tr.Span("node", dispatched-arrived, t.Now()-done)
+	s.cfg.Tracer.End(tr)
+	sc.lat.Record(t.Now() - arrived)
+	if pid < len(s.o.partLat) {
+		s.o.partLat[pid].Record(t.Now() - arrived)
+	}
+}
+
+// sendError reports a request-level failure as an ErrorFrame.
+func (s *Server) sendError(t runtime.Task, sc *serverConn, e *rpcproto.ErrorFrame) {
+	sc.conn.Send(t, rpcproto.AppendErrorFrame(nil, e))
+}
+
+// closeConn retires one connection. Task or scheduler context.
+func (s *Server) closeConn(sc *serverConn) {
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	delete(s.conns, sc)
+	s.o.connsNow.Set(int64(len(s.conns)))
+	sc.conn.Close()
+}
+
+// Close starts a graceful drain and returns immediately: listeners stop
+// accepting, in-flight requests complete and flush, idle connections
+// close now and busy ones close as their last response lands. Safe from
+// any goroutine; idempotent. On the wallclock backend, Env.Wait() returns
+// once the drain (and everything else) has finished.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.env.After(0, s.drain)
+	return nil
+}
+
+// drain runs in scheduler context.
+func (s *Server) drain() {
+	s.draining = true
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	for sc := range s.conns {
+		if sc.inflight == 0 {
+			s.closeConn(sc)
+		}
+	}
+}
+
+// NumPartitions returns how many engine partitions the server routes over.
+func (s *Server) NumPartitions() int { return len(s.handles) }

@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+)
+
+// The TCP backend carries frames over real sockets. Socket syscalls cannot
+// run under the execution contract (a blocked read would stall every task),
+// so each connection owns two plain goroutines — a reader and a writer —
+// and bridges into the runtime world through env.After(0, ...), which both
+// backends define as "run this in scheduler context". In practice TCP is
+// used with the wallclock backend: under sim there is no real wire, and the
+// sim kernel's virtual clock has no relation to socket readiness.
+//
+// Pipelining and coalescing: the reader delivers frames as fast as the
+// stream yields them, so any number of requests from one client can be in
+// flight; Send appends to a per-connection buffer that the writer drains
+// with single large writes, so a burst of pipelined responses costs one
+// syscall, not one per response.
+
+// inbox orders deliveries from a raw goroutine into a runtime queue.
+// Multiple After(0) callbacks carry no ordering guarantee on the wallclock
+// backend (each is its own timer goroutine racing for the runtime lock), so
+// the reader appends to a mutex-guarded slice and schedules a single drain;
+// the drain moves everything in arrival order.
+type inbox struct {
+	env runtime.Env
+	q   runtime.Queue
+
+	mu        sync.Mutex
+	pending   []any
+	scheduled bool
+}
+
+func newInbox(env runtime.Env) *inbox {
+	return &inbox{env: env, q: env.MakeQueue()}
+}
+
+// put delivers v; safe from any goroutine.
+func (b *inbox) put(v any) {
+	b.mu.Lock()
+	b.pending = append(b.pending, v)
+	sched := b.scheduled
+	b.scheduled = true
+	b.mu.Unlock()
+	if !sched {
+		b.env.After(0, b.drain)
+	}
+}
+
+// drain runs in scheduler context.
+func (b *inbox) drain() {
+	b.mu.Lock()
+	items := b.pending
+	b.pending = nil
+	b.scheduled = false
+	b.mu.Unlock()
+	for _, v := range items {
+		b.q.Put(v)
+	}
+}
+
+// TCPListener is the TCP transport's Listener.
+type TCPListener struct {
+	env     runtime.Env
+	ln      net.Listener
+	inbox   *inbox
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// ListenTCP binds addr (e.g. ":9090" or "127.0.0.1:0") and starts
+// accepting. Wallclock backend only; see the package comment.
+func ListenTCP(env runtime.Env, addr string) (*TCPListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	l := &TCPListener{env: env, ln: ln, inbox: newInbox(env)}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				l.inbox.put(eofItem{err: err})
+				return
+			}
+			l.inbox.put(newTCPConn(env, c))
+		}
+	}()
+	return l, nil
+}
+
+// Accept implements Listener.
+func (l *TCPListener) Accept(t runtime.Task) (Conn, error) {
+	v := l.inbox.q.Get(t)
+	if _, eof := v.(eofItem); eof {
+		l.inbox.q.Put(eofItem{})
+		return nil, ErrClosed
+	}
+	return v.(Conn), nil
+}
+
+// Addr implements Listener: the bound host:port, useful with ":0".
+func (l *TCPListener) Addr() string { return l.ln.Addr().String() }
+
+// Close implements Listener; safe from any goroutine, idempotent.
+func (l *TCPListener) Close() error {
+	l.closeMu.Lock()
+	defer l.closeMu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.ln.Close() // accept goroutine injects the eofItem
+}
+
+// TCPConn is one TCP connection speaking length-prefixed rpcproto frames.
+type TCPConn struct {
+	env  runtime.Env
+	c    net.Conn
+	name string
+	rx   *inbox
+
+	wmu     sync.Mutex
+	wcond   *sync.Cond
+	wbuf    []byte
+	werr    error
+	wclosed bool
+
+	closeOnce sync.Once
+}
+
+// DialTCP connects to a LEED server at addr. Wallclock backend only.
+func DialTCP(env runtime.Env, addr string) (*TCPConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(env, c), nil
+}
+
+func newTCPConn(env runtime.Env, c net.Conn) *TCPConn {
+	tc := &TCPConn{
+		env:  env,
+		c:    c,
+		name: fmt.Sprintf("tcp-%s", c.RemoteAddr()),
+		rx:   newInbox(env),
+	}
+	tc.wcond = sync.NewCond(&tc.wmu)
+	go tc.readLoop()
+	go tc.writeLoop()
+	return tc
+}
+
+// readLoop reads one frame at a time off the stream and delivers it. The
+// length prefix is validated (rpcproto.FrameLen) before the frame buffer is
+// sized, so a garbage prefix costs an error, never an allocation.
+func (tc *TCPConn) readLoop() {
+	br := bufio.NewReaderSize(tc.c, 64<<10)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			tc.rx.put(eofItem{err: err})
+			return
+		}
+		total, err := rpcproto.FrameLen(hdr[:])
+		if err != nil {
+			tc.rx.put(eofItem{err: err})
+			tc.c.Close() // poisoned stream: no resync point past a bad prefix
+			return
+		}
+		frame := make([]byte, total)
+		copy(frame, hdr[:])
+		if _, err := io.ReadFull(br, frame[4:]); err != nil {
+			tc.rx.put(eofItem{err: err})
+			return
+		}
+		tc.rx.put(frame)
+	}
+}
+
+// writeLoop drains the coalescing buffer: everything Send accumulated since
+// the last wakeup goes out in one Write call.
+func (tc *TCPConn) writeLoop() {
+	tc.wmu.Lock()
+	for {
+		for len(tc.wbuf) == 0 && !tc.wclosed && tc.werr == nil {
+			tc.wcond.Wait()
+		}
+		if tc.werr != nil || (tc.wclosed && len(tc.wbuf) == 0) {
+			break
+		}
+		buf := tc.wbuf
+		tc.wbuf = nil
+		tc.wmu.Unlock()
+		_, err := tc.c.Write(buf)
+		tc.wmu.Lock()
+		if err != nil && tc.werr == nil {
+			tc.werr = err
+		}
+	}
+	tc.wmu.Unlock()
+	// The writer owns the socket teardown so queued responses flush before
+	// FIN; this is what lets a draining server close cleanly.
+	tc.c.Close()
+}
+
+// Send implements Conn: append to the coalescing buffer and wake the
+// writer. Never blocks on the socket.
+func (tc *TCPConn) Send(t runtime.Task, frame []byte) error {
+	tc.wmu.Lock()
+	defer tc.wmu.Unlock()
+	if tc.wclosed {
+		return ErrClosed
+	}
+	if tc.werr != nil {
+		return tc.werr
+	}
+	tc.wbuf = append(tc.wbuf, frame...)
+	tc.wcond.Signal()
+	return nil
+}
+
+// Recv implements Conn.
+func (tc *TCPConn) Recv(t runtime.Task) ([]byte, error) {
+	v := tc.rx.q.Get(t)
+	if eof, isEOF := v.(eofItem); isEOF {
+		tc.rx.q.Put(eofItem{err: eof.err})
+		if eof.err != nil && eof.err != io.EOF {
+			return nil, eof.err
+		}
+		return nil, ErrClosed
+	}
+	return v.([]byte), nil
+}
+
+// Close implements Conn: queued outbound frames flush, then the socket
+// closes, which unblocks the peer and the local reader. Safe from any
+// goroutine; idempotent.
+func (tc *TCPConn) Close() error {
+	tc.closeOnce.Do(func() {
+		tc.wmu.Lock()
+		tc.wclosed = true
+		tc.wcond.Signal()
+		tc.wmu.Unlock()
+	})
+	return nil
+}
+
+func (tc *TCPConn) String() string { return tc.name }
+
+var (
+	_ Listener = (*TCPListener)(nil)
+	_ Conn     = (*TCPConn)(nil)
+)

@@ -1,0 +1,74 @@
+// Package transport is the seam between LEED's request path and the wire.
+// A server accepts Conns from a Listener and exchanges rpcproto frames over
+// them; everything above this interface (routing, admission, execution,
+// response generation) is identical whether the peer is a goroutine in the
+// same process or a remote process on a TCP socket.
+//
+// Two backends implement the seam:
+//
+//   - inproc: channel-style queue pairs on the runtime seam. Runs under both
+//     the sim kernel and the wallclock backend, and can be routed through a
+//     netsim.Fabric so the chaos fault layer (delay, jitter, partitions)
+//     applies to served traffic.
+//   - tcp: a real net.Listener. Frames are length-prefixed on the stream
+//     (rpcproto's frame layer), requests pipeline freely per connection, and
+//     responses are coalesced into batched writes.
+//
+// All Conn and Listener methods that can block take a runtime.Task and
+// follow the execution contract, so server code stays backend-agnostic.
+// Frames passed through Send/Recv are complete encoded frames, length
+// prefix included — exactly what rpcproto.DecodeFrame consumes.
+package transport
+
+import (
+	"errors"
+
+	"leed/internal/runtime"
+)
+
+// ErrClosed reports an operation on a closed Conn or Listener, including a
+// Recv that drained the peer's final frame and found the stream ended.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is one bidirectional frame stream between a client and a server.
+type Conn interface {
+	// Send queues one encoded frame for the peer and returns without
+	// waiting for delivery. The frame must be a complete rpcproto frame
+	// (length prefix included); the transport may batch queued frames into
+	// one wire write. Send must be called in task context; the transport
+	// does not retain the slice after Send returns on the inproc backend,
+	// but the TCP backend hands it to a writer goroutine, so callers must
+	// not reuse the buffer.
+	Send(t Task, frame []byte) error
+	// Recv blocks until the next frame arrives and returns it. It returns
+	// ErrClosed when the connection is closed (locally or by the peer) and
+	// no frames remain.
+	Recv(t Task) ([]byte, error)
+	// Close tears the connection down; pending Recvs unblock with
+	// ErrClosed once queued frames drain. Close must be called in task or
+	// scheduler context on the inproc backend; the TCP backend accepts it
+	// from any goroutine. Close is idempotent.
+	Close() error
+	// String names the connection for logs and metric labels.
+	String() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks until a new connection arrives. It returns ErrClosed
+	// once the listener is closed.
+	Accept(t Task) (Conn, error)
+	// Addr returns the bound address ("inproc" for the in-process backend,
+	// host:port for TCP).
+	Addr() string
+	// Close stops accepting. Established connections are unaffected.
+	// Same context rules as Conn.Close. Idempotent.
+	Close() error
+}
+
+// Task aliases runtime.Task: every blocking transport method runs in task
+// context under the execution contract.
+type Task = runtime.Task
+
+// eofItem is the in-queue sentinel marking end of stream.
+type eofItem struct{ err error }

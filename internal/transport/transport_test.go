@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"leed/internal/netsim"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/sim"
+)
+
+// echoServe accepts connections until the listener closes, echoing every
+// request frame back as a response frame with the same ID and the request
+// key as the value.
+func echoServe(env runtime.Env, l Listener) {
+	env.Spawn("accept", func(t runtime.Task) {
+		for {
+			conn, err := l.Accept(t)
+			if err != nil {
+				return
+			}
+			env.Spawn("serve", func(t runtime.Task) {
+				for {
+					frame, err := conn.Recv(t)
+					if err != nil {
+						return
+					}
+					kind, payload, _, err := rpcproto.DecodeFrame(frame)
+					if err != nil || kind != rpcproto.FrameRequest {
+						conn.Send(t, rpcproto.AppendErrorFrame(nil, &rpcproto.ErrorFrame{
+							Code: rpcproto.StatusErr, Msg: "bad frame"}))
+						continue
+					}
+					req, _, err := rpcproto.DecodeRequest(payload)
+					if err != nil {
+						continue
+					}
+					conn.Send(t, rpcproto.AppendResponseFrame(nil, &rpcproto.Response{
+						ID: req.ID, Status: rpcproto.StatusOK, Value: req.Key}))
+				}
+			})
+		}
+	})
+}
+
+// driveEcho sends n pipelined requests on the conn, then matches all n
+// responses by ID and verifies the echoed values.
+func driveEcho(t *testing.T, env runtime.Env, conn Conn, n int, done *atomic.Int64) {
+	env.Spawn("client", func(p runtime.Task) {
+		for i := 0; i < n; i++ {
+			key := []byte(fmt.Sprintf("key-%04d", i))
+			frame := rpcproto.AppendRequestFrame(nil, &rpcproto.Request{
+				ID: uint64(i + 1), Op: rpcproto.OpGet, Key: key})
+			if err := conn.Send(p, frame); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+		seen := make(map[uint64]bool)
+		for len(seen) < n {
+			frame, err := conn.Recv(p)
+			if err != nil {
+				t.Errorf("recv after %d responses: %v", len(seen), err)
+				return
+			}
+			kind, payload, _, err := rpcproto.DecodeFrame(frame)
+			if err != nil || kind != rpcproto.FrameResponse {
+				t.Errorf("bad response frame: kind=%v err=%v", kind, err)
+				return
+			}
+			resp, _, err := rpcproto.DecodeResponse(payload)
+			if err != nil {
+				t.Errorf("decode response: %v", err)
+				return
+			}
+			if seen[resp.ID] {
+				t.Errorf("duplicate response id %d", resp.ID)
+				return
+			}
+			seen[resp.ID] = true
+			want := fmt.Sprintf("key-%04d", resp.ID-1)
+			if string(resp.Value) != want {
+				t.Errorf("response %d: value %q, want %q", resp.ID, resp.Value, want)
+				return
+			}
+		}
+		done.Add(int64(len(seen)))
+		conn.Close()
+	})
+}
+
+func TestInprocEchoSim(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	n := NewInproc(k, InprocOptions{})
+	echoServe(k, n)
+	var done atomic.Int64
+	k.Go("dial", func(p *sim.Proc) {
+		conn, err := n.Dial(p)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		driveEcho(t, k, conn, 50, &done)
+	})
+	k.Go("closer", func(p *sim.Proc) {
+		p.Sleep(runtime.Second) // after the workload quiesces
+		n.Close()
+	})
+	k.Run()
+	if done.Load() != 50 {
+		t.Fatalf("completed %d of 50", done.Load())
+	}
+}
+
+func TestInprocEchoWallclock(t *testing.T) {
+	env := wallclock.New()
+	n := NewInproc(env, InprocOptions{})
+	echoServe(env, n)
+	var done atomic.Int64
+	env.Spawn("dial", func(p runtime.Task) {
+		conn, err := n.Dial(p)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		driveEcho(t, env, conn, 50, &done)
+		// Unblock the accept task once the client is finished so Wait can
+		// drain; driveEcho spawned the client task, so delay the close
+		// until it reports completion.
+		env.Spawn("closer", func(q runtime.Task) {
+			for done.Load() < 50 {
+				q.Sleep(runtime.Millisecond)
+			}
+			n.Close()
+		})
+	})
+	env.Wait()
+	if done.Load() != 50 {
+		t.Fatalf("completed %d of 50", done.Load())
+	}
+}
+
+// TestInprocFabric routes the inproc transport through a netsim fabric with
+// an installed delay fault: frames pay modeled propagation plus the fault's
+// extra delay, and the transcript still completes exactly — the transport
+// seam composes with the chaos layer.
+func TestInprocFabric(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	fab := netsim.New(k, netsim.Config{})
+	fl := fab.InstallFaults(7)
+	fl.SetDelay(1, 2, 200*runtime.Microsecond)
+	fl.SetDelay(2, 1, 200*runtime.Microsecond)
+	n := NewInproc(k, InprocOptions{Fabric: fab, ClientAddr: 1, ServerAddr: 2})
+	echoServe(k, n)
+	var done atomic.Int64
+	start := k.Now()
+	k.Go("dial", func(p *sim.Proc) {
+		conn, err := n.Dial(p)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		driveEcho(t, k, conn, 30, &done)
+	})
+	k.Go("closer", func(p *sim.Proc) {
+		p.Sleep(10 * runtime.Second)
+		n.Close()
+	})
+	k.Run()
+	if done.Load() != 30 {
+		t.Fatalf("completed %d of 30", done.Load())
+	}
+	if k.Now()-start < 400*runtime.Microsecond {
+		t.Fatalf("fabric delays not applied: run took %v", k.Now()-start)
+	}
+}
+
+func TestTCPEcho(t *testing.T) {
+	env := wallclock.New()
+	l, err := ListenTCP(env, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	echoServe(env, l)
+	var done atomic.Int64
+	env.Spawn("dial", func(p runtime.Task) {
+		conn, err := DialTCP(env, l.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		// 200 pipelined sends stress the write-coalescing path: most of
+		// them land in the writer's buffer while a write syscall is in
+		// flight and go out in merged batches.
+		driveEcho(t, env, conn, 200, &done)
+		env.Spawn("closer", func(q runtime.Task) {
+			for done.Load() < 200 {
+				q.Sleep(runtime.Millisecond)
+			}
+			l.Close()
+		})
+	})
+	env.Wait()
+	if done.Load() != 200 {
+		t.Fatalf("completed %d of 200", done.Load())
+	}
+}
+
+func TestTCPPeerClose(t *testing.T) {
+	env := wallclock.New()
+	l, err := ListenTCP(env, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	result := make(chan error, 1)
+	env.Spawn("server", func(p runtime.Task) {
+		conn, err := l.Accept(p)
+		if err != nil {
+			result <- fmt.Errorf("accept: %v", err)
+			return
+		}
+		_, err = conn.Recv(p) // blocks until the client closes
+		result <- err
+		l.Close()
+	})
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, l.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		conn.Close()
+	})
+	env.Wait()
+	if err := <-result; err != ErrClosed {
+		t.Fatalf("server Recv after peer close: got %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPListenerClosedAccept(t *testing.T) {
+	env := wallclock.New()
+	l, err := ListenTCP(env, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	l.Close()
+	l.Close() // idempotent
+	env.Spawn("accept", func(p runtime.Task) {
+		if _, err := l.Accept(p); err != ErrClosed {
+			t.Errorf("accept on closed listener: got %v, want ErrClosed", err)
+		}
+	})
+	env.Wait()
+}
+
+// TestTCPGarbagePrefix writes a hostile length prefix at a raw socket and
+// checks the server side surfaces an error instead of allocating or
+// hanging.
+func TestTCPGarbagePrefix(t *testing.T) {
+	env := wallclock.New()
+	l, err := ListenTCP(env, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	result := make(chan error, 1)
+	env.Spawn("server", func(p runtime.Task) {
+		conn, err := l.Accept(p)
+		if err != nil {
+			result <- fmt.Errorf("accept: %v", err)
+			return
+		}
+		_, err = conn.Recv(p)
+		result <- err
+		l.Close()
+	})
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, l.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		conn.Send(p, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02}) // 4GB claimed length
+	})
+	env.Wait()
+	if err := <-result; err != rpcproto.ErrFrameTooLarge {
+		t.Fatalf("server Recv of garbage prefix: got %v, want ErrFrameTooLarge", err)
+	}
+}
