@@ -14,6 +14,7 @@
 //	leedctl -image /tmp/store.img -listen :7070 serve   # TCP server (drain on SIGINT)
 //	leedctl -addr 127.0.0.1:7070 loadgen            # drive a served instance over TCP
 //	leedctl -image /tmp/store.img soak 5            # wall-clock fault/crash soak
+//	leedctl -image /tmp/store.img chaos             # served-path chaos drills + kill -9 drill
 //	leedctl -cluster soak 2                         # wall-clock cluster fault drills
 //	leedctl -cluster bench 20000                    # wall-clock cluster YCSB-B bench
 //
@@ -96,9 +97,17 @@ func main() {
 	warmup := flag.Duration("warmup", 0, "loadgen: warmup before the measured window (default duration/4)")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() == 0 || (*image == "" && !*clusterMode && flag.Arg(0) != "loadgen") {
+	if flag.NArg() == 0 || (*image == "" && !*clusterMode && flag.Arg(0) != "loadgen" && flag.Arg(0) != "chaos") {
 		usage()
 		os.Exit(2)
+	}
+
+	if flag.Arg(0) == "chaos" {
+		if err := chaosCmd(*image, *capacity, *partitions, *device, *durable,
+			*seed, *scenario, *metricsAddr); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if flag.Arg(0) == "loadgen" {
@@ -330,6 +339,13 @@ func usage() {
   cluster commands (no -image):
     leedctl -cluster soak [-seed N] [-scenario S] [ROUNDS]
     leedctl -cluster bench [-clients N] [-seed N] [OPS]
+
+  served-path chaos drills (flags go before the subcommand):
+    leedctl -scenario proxy-drop|proxy-partition [-seed N] chaos
+                                                       fault-proxy drills over real TCP
+    leedctl -image FILE -scenario kill [-seed N] chaos  kill -9 a serve child mid-load,
+                                                       restart, verify zero acked-write loss
+    leedctl -image FILE [-seed N] chaos                 all of the above (-scenario all)
 
   -metrics-addr ADDR serves /metrics, /metrics.json, and /traces during any
   wall-clock command.

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"leed/internal/runtime"
+)
+
+// servedConfig shrinks a served drill to a test-friendly size. Real sockets
+// and real sleeps mean counters vary run to run; tests assert invariants
+// and fault engagement, never exact values.
+func servedConfig(sc ServedScenario, seed int64) ServedConfig {
+	return ServedConfig{
+		Seed:         seed,
+		Scenario:     sc,
+		Keys:         24,
+		Rounds:       2,
+		Clients:      2,
+		Deadline:     100 * runtime.Millisecond,
+		PartitionFor: 400 * time.Millisecond,
+		Budget:       60 * time.Second,
+	}
+}
+
+func runServedScenario(t *testing.T, sc ServedScenario, seed int64) *ServedReport {
+	t.Helper()
+	rep, err := RunServedDrill(servedConfig(sc, seed))
+	if err != nil {
+		t.Fatalf("%s served drill: %v", sc, err)
+	}
+	t.Logf("\n%s", rep)
+	if !rep.Pass {
+		t.Errorf("%s served drill failed:\n%s", sc, rep)
+	}
+	return rep
+}
+
+// TestServedDrillDrop: the proxy abruptly kills connections mid-stream;
+// clients must reconnect and retry through it with zero acked-write loss.
+func TestServedDrillDrop(t *testing.T) {
+	rep := runServedScenario(t, ServedProxyDrop, 1)
+	if rep.WritesAcked == 0 {
+		t.Error("no writes were acknowledged under connection drops")
+	}
+	if rep.Proxy.KilledByDrop == 0 {
+		t.Error("drop drill killed no connections; the fault never engaged")
+	}
+}
+
+// TestServedDrillPartition: the wire blackholes, requests stall into their
+// deadlines, the breaker opens and bounds the tail, the heal restores
+// service and the working set reads back intact.
+func TestServedDrillPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode runs the drop scenario only")
+	}
+	rep := runServedScenario(t, ServedProxyPartition, 1)
+	if !rep.BreakerOpened {
+		t.Error("partition drill never opened a client breaker")
+	}
+	if rep.Timeouts == 0 {
+		t.Error("partition drill produced no client timeouts")
+	}
+	if rep.WritesAcked == 0 {
+		t.Error("no writes were acknowledged across the partition drill")
+	}
+}

@@ -31,6 +31,12 @@ const (
 	// failure (undecodable request, unknown op, draining server) reported
 	// back to the issuer instead of silently dropping the request.
 	FrameError
+	// FrameOverload carries an OverloadFrame: the server's admission layer
+	// refused the request before execution (bounded in-flight cap hit).
+	// Distinct from FrameError because it is a *safe* rejection — the
+	// request provably never touched a store, so even a non-idempotent
+	// write may be retried after backing off.
+	FrameOverload
 )
 
 func (k FrameKind) String() string {
@@ -41,6 +47,8 @@ func (k FrameKind) String() string {
 		return "RESPONSE"
 	case FrameError:
 		return "ERROR"
+	case FrameOverload:
+		return "OVERLOAD"
 	}
 	return fmt.Sprintf("FrameKind(%d)", uint8(k))
 }
@@ -93,6 +101,13 @@ func AppendErrorFrame(dst []byte, e *ErrorFrame) []byte {
 	return finishFrame(dst, off)
 }
 
+// AppendOverloadFrame appends o as a complete overload frame.
+func AppendOverloadFrame(dst []byte, o *OverloadFrame) []byte {
+	dst, off := appendFrameHdr(dst, FrameOverload)
+	dst = EncodeOverload(dst, o)
+	return finishFrame(dst, off)
+}
+
 // FrameLen inspects a length prefix and reports the total byte size of the
 // frame it announces (prefix included), without touching the payload. It
 // returns ErrShortBuffer when src holds less than a prefix, and rejects
@@ -114,8 +129,8 @@ func FrameLen(src []byte) (int, error) {
 
 // DecodeFrame parses one frame from src, returning its kind, its payload
 // (a sub-slice of src, not a copy), and the bytes consumed. The payload is
-// still encoded; hand it to DecodeRequest/DecodeResponse/DecodeError per the
-// kind. An unknown kind is ErrBadFrame — the frame length is still
+// still encoded; hand it to DecodeRequest/DecodeResponse/DecodeError/
+// DecodeOverload per the kind. An unknown kind is ErrBadFrame — the frame length is still
 // validated first, so a reader that wants to skip unknown kinds can.
 func DecodeFrame(src []byte) (FrameKind, []byte, int, error) {
 	total, err := FrameLen(src)
@@ -126,7 +141,7 @@ func DecodeFrame(src []byte) (FrameKind, []byte, int, error) {
 		return 0, nil, 0, ErrShortBuffer
 	}
 	kind := FrameKind(src[frameHdrSize])
-	if kind < FrameRequest || kind > FrameError {
+	if kind < FrameRequest || kind > FrameOverload {
 		return 0, nil, 0, ErrBadFrame
 	}
 	return kind, src[frameHdrSize+1 : total], total, nil
@@ -167,8 +182,11 @@ func DecodeError(src []byte) (*ErrorFrame, int, error) {
 		return nil, 0, ErrShortBuffer
 	}
 	ml := int64(binary.LittleEndian.Uint32(src[9:]))
+	if ml > MaxFrameBytes {
+		return nil, 0, ErrFrameTooLarge
+	}
 	total := errHdrSize + int(ml)
-	if ml > MaxFrameBytes || len(src) < total {
+	if len(src) < total {
 		return nil, 0, ErrShortBuffer
 	}
 	e := &ErrorFrame{
@@ -177,4 +195,48 @@ func DecodeError(src []byte) (*ErrorFrame, int, error) {
 		Msg:  string(src[errHdrSize:total]),
 	}
 	return e, total, nil
+}
+
+// OverloadFrame is the server's explicit overload NACK: the bounded
+// in-flight admission layer rejected request ID before it was routed or
+// executed. Tokens is the target partition's admission-token count at
+// rejection time (0 when routing never ran); RetryAfterNS is the server's
+// backoff hint. Because the rejection provably precedes execution, a client
+// may retry ANY op — including a PUT — after honoring the hint.
+type OverloadFrame struct {
+	ID           uint64
+	Tokens       int32
+	RetryAfterNS int64
+}
+
+// Error implements error, so an overload NACK can surface directly from a
+// client call and be classified by the retry policy.
+func (o *OverloadFrame) Error() string {
+	return fmt.Sprintf("rpcproto: server overloaded (id=%d, tokens=%d, retry after %dns)",
+		o.ID, o.Tokens, o.RetryAfterNS)
+}
+
+const overloadSize = 8 + 4 + 8
+
+// EncodeOverload appends the overload frame's wire form to dst.
+func EncodeOverload(dst []byte, o *OverloadFrame) []byte {
+	var b [overloadSize]byte
+	binary.LittleEndian.PutUint64(b[0:], o.ID)
+	binary.LittleEndian.PutUint32(b[8:], uint32(o.Tokens))
+	binary.LittleEndian.PutUint64(b[12:], uint64(o.RetryAfterNS))
+	return append(dst, b[:]...)
+}
+
+// DecodeOverload parses one overload-frame payload from src, returning the
+// frame and the bytes consumed.
+func DecodeOverload(src []byte) (*OverloadFrame, int, error) {
+	if len(src) < overloadSize {
+		return nil, 0, ErrShortBuffer
+	}
+	o := &OverloadFrame{
+		ID:           binary.LittleEndian.Uint64(src[0:]),
+		Tokens:       int32(binary.LittleEndian.Uint32(src[8:])),
+		RetryAfterNS: int64(binary.LittleEndian.Uint64(src[12:])),
+	}
+	return o, overloadSize, nil
 }

@@ -104,6 +104,57 @@ func TestFrameUnknownKind(t *testing.T) {
 	}
 }
 
+func TestOverloadFrameRoundTrip(t *testing.T) {
+	o := &OverloadFrame{ID: 99, Tokens: -3, RetryAfterNS: 2_500_000}
+	frame := AppendOverloadFrame(nil, o)
+	kind, payload, n, err := DecodeFrame(frame)
+	if err != nil || kind != FrameOverload {
+		t.Fatalf("kind=%v err=%v", kind, err)
+	}
+	if n != len(frame) {
+		t.Fatalf("consumed %d of %d", n, len(frame))
+	}
+	got, _, err := DecodeOverload(payload)
+	if err != nil {
+		t.Fatalf("decode overload: %v", err)
+	}
+	if got.ID != o.ID || got.Tokens != o.Tokens || got.RetryAfterNS != o.RetryAfterNS {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	var e error = got
+	for _, want := range []string{"99", "overloaded"} {
+		if !bytes.Contains([]byte(e.Error()), []byte(want)) {
+			t.Fatalf("error string %q missing %q", e.Error(), want)
+		}
+	}
+}
+
+// TestHostileInnerLengths pins the decode hard cap: length fields inside a
+// request/response/error payload that announce more than MaxFrameBytes are
+// rejected with ErrFrameTooLarge before any buffer is sized from them.
+func TestHostileInnerLengths(t *testing.T) {
+	req := make([]byte, reqHdrSize)
+	binary.LittleEndian.PutUint32(req[25:], MaxFrameBytes+1) // key length
+	if _, _, err := DecodeRequest(req); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("request key cap: want ErrFrameTooLarge, got %v", err)
+	}
+	binary.LittleEndian.PutUint32(req[25:], 1<<31) // would wrap a 32-bit int
+	binary.LittleEndian.PutUint32(req[29:], 1<<31)
+	if _, _, err := DecodeRequest(req); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("request sum cap: want ErrFrameTooLarge, got %v", err)
+	}
+	resp := make([]byte, respHdrSize)
+	binary.LittleEndian.PutUint32(resp[21:], MaxFrameBytes+1)
+	if _, _, err := DecodeResponse(resp); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("response cap: want ErrFrameTooLarge, got %v", err)
+	}
+	ef := make([]byte, errHdrSize)
+	binary.LittleEndian.PutUint32(ef[9:], MaxFrameBytes+1)
+	if _, _, err := DecodeError(ef); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("error cap: want ErrFrameTooLarge, got %v", err)
+	}
+}
+
 func TestErrorFrameAsError(t *testing.T) {
 	ef := &ErrorFrame{ID: 42, Code: StatusOverload, Msg: "draining"}
 	var e error = ef

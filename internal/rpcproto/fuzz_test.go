@@ -2,8 +2,19 @@ package rpcproto
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
+
+// hostileLengthRequest builds a request header whose key/value length fields
+// announce more bytes than MaxFrameBytes allows — the shape a corrupted or
+// adversarial peer would use to provoke a huge allocation.
+func hostileLengthRequest(kl, vl uint32) []byte {
+	hdr := make([]byte, reqHdrSize)
+	binary.LittleEndian.PutUint32(hdr[25:], kl)
+	binary.LittleEndian.PutUint32(hdr[29:], vl)
+	return hdr
+}
 
 // The decode paths parse bytes straight off the network. The fuzz targets
 // below pin the safety contract every decoder must keep on arbitrary input:
@@ -16,7 +27,11 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(EncodeRequest(nil, &Request{ID: 1, Op: OpGet, Key: []byte("k")}))
 	f.Add(EncodeRequest(nil, &Request{ID: 2, Op: OpPut, Key: []byte("key"), Value: bytes.Repeat([]byte("v"), 300)}))
 	f.Add([]byte{})
-	f.Add(bytes.Repeat([]byte{0xFF}, reqHdrSize)) // max key/value lengths, no body
+	f.Add(bytes.Repeat([]byte{0xFF}, reqHdrSize))   // max key/value lengths, no body
+	f.Add(hostileLengthRequest(MaxFrameBytes+1, 0)) // oversized key length
+	f.Add(hostileLengthRequest(0, MaxFrameBytes+1)) // oversized value length
+	f.Add(hostileLengthRequest(MaxFrameBytes-1, 2)) // sum overflows the cap
+	f.Add(hostileLengthRequest(1<<31, 1<<31))       // 32-bit int wraparound bait
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, n, err := DecodeRequest(data)
 		if err != nil {
@@ -83,8 +98,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendRequestFrame(nil, &Request{ID: 1, Op: OpPut, Key: []byte("k"), Value: []byte("v")}))
 	f.Add(AppendResponseFrame(nil, &Response{ID: 1, Status: StatusNotFound}))
 	f.Add(AppendErrorFrame(nil, &ErrorFrame{ID: 1, Code: StatusNack, Msg: "stale view"}))
+	f.Add(AppendOverloadFrame(nil, &OverloadFrame{ID: 3, Tokens: 0, RetryAfterNS: 1e6}))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1}) // oversized length prefix
 	f.Add([]byte{0, 0, 0, 0})                // zero-length frame
+	// A well-framed request whose inner key length is hostile: the frame
+	// layer accepts it, the request decoder must reject it allocation-free.
+	hostile := append([]byte{0, 0, 0, 0, byte(FrameRequest)}, hostileLengthRequest(MaxFrameBytes+1, 0)...)
+	binary.LittleEndian.PutUint32(hostile, uint32(len(hostile)-frameHdrSize))
+	f.Add(hostile)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kind, payload, n, err := DecodeFrame(data)
 		if err != nil {
@@ -105,8 +126,28 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeResponse(payload)
 		case FrameError:
 			DecodeError(payload)
+		case FrameOverload:
+			DecodeOverload(payload)
 		default:
 			t.Fatalf("DecodeFrame accepted unknown kind %v", kind)
+		}
+	})
+}
+
+func FuzzDecodeOverload(f *testing.F) {
+	f.Add(EncodeOverload(nil, &OverloadFrame{ID: 1, Tokens: 7, RetryAfterNS: 5e5}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, overloadSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, n, err := DecodeOverload(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if got := EncodeOverload(nil, o); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
 		}
 	})
 }

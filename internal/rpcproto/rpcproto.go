@@ -147,8 +147,15 @@ func DecodeRequest(src []byte) (*Request, int, error) {
 	if len(src) < reqHdrSize {
 		return nil, 0, ErrShortBuffer
 	}
-	kl := int(binary.LittleEndian.Uint32(src[25:]))
-	vl := int(binary.LittleEndian.Uint32(src[29:]))
+	// The key/value lengths come straight off the wire; cap them (in 64-bit
+	// arithmetic, so a 4GB-1 length can't wrap a 32-bit int into a negative
+	// slice bound) before any of them sizes an allocation or an index.
+	kl64 := int64(binary.LittleEndian.Uint32(src[25:]))
+	vl64 := int64(binary.LittleEndian.Uint32(src[29:]))
+	if kl64 > MaxFrameBytes || vl64 > MaxFrameBytes || kl64+vl64 > MaxFrameBytes {
+		return nil, 0, ErrFrameTooLarge
+	}
+	kl, vl := int(kl64), int(vl64)
 	total := reqHdrSize + kl + vl
 	if len(src) < total {
 		return nil, 0, ErrShortBuffer
@@ -190,7 +197,11 @@ func DecodeResponse(src []byte) (*Response, int, error) {
 	if len(src) < respHdrSize {
 		return nil, 0, ErrShortBuffer
 	}
-	vl := int(binary.LittleEndian.Uint32(src[21:]))
+	vl64 := int64(binary.LittleEndian.Uint32(src[21:]))
+	if vl64 > MaxFrameBytes {
+		return nil, 0, ErrFrameTooLarge
+	}
+	vl := int(vl64)
 	total := respHdrSize + vl
 	if len(src) < total {
 		return nil, 0, ErrShortBuffer

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 
 	"leed/internal/core"
@@ -9,6 +10,12 @@ import (
 	"leed/internal/runtime"
 	"leed/internal/transport"
 )
+
+// ErrDeadlineExceeded reports a request that outlived its caller-imposed
+// deadline. The request may still execute on the server — the deadline
+// bounds the caller's wait, not the server's work — so the outcome is
+// ambiguous and the retry policy must not blindly reissue writes.
+var ErrDeadlineExceeded = errors.New("client: request deadline exceeded")
 
 // Client is a pipelined KV client over one transport.Conn. Up to depth
 // requests are outstanding at once; a dedicated receiver task matches
@@ -92,6 +99,14 @@ func (c *Client) recvLoop(t runtime.Task) {
 				return
 			}
 			c.complete(ef.ID, ef)
+		case rpcproto.FrameOverload:
+			of, _, err := rpcproto.DecodeOverload(payload)
+			if err != nil {
+				c.fail(fmt.Errorf("client: bad overload frame: %w", err))
+				c.conn.Close()
+				return
+			}
+			c.complete(of.ID, of)
 		}
 	}
 }
@@ -117,14 +132,37 @@ func (c *Client) fail(err error) {
 }
 
 // Do sends one request and blocks until its response arrives. The
-// request's ID is assigned by the client. A *rpcproto.ErrorFrame from the
-// server is returned as the error.
+// request's ID is assigned by the client. A *rpcproto.ErrorFrame or
+// *rpcproto.OverloadFrame from the server is returned as the error.
 func (c *Client) Do(t runtime.Task, req *rpcproto.Request) (*rpcproto.Response, error) {
+	return c.DoDeadline(t, req, 0)
+}
+
+// DoDeadline is Do with a per-request deadline (0 = wait forever). The
+// deadline covers the wait for a pipeline slot plus the round trip; when it
+// expires the call returns ErrDeadlineExceeded, the request's ID is
+// forgotten, and the response — should it arrive later — is discarded by
+// the receiver's unknown-ID path rather than delivered to a caller that has
+// moved on. The server may still have executed the request: a deadline
+// bounds the caller's wait, not the remote work, so the outcome is
+// ambiguous (see ErrDeadlineExceeded).
+func (c *Client) DoDeadline(t runtime.Task, req *rpcproto.Request, d runtime.Time) (*rpcproto.Response, error) {
 	t0 := t.Now()
+	var timer runtime.Event
+	var cancelTimer func()
+	if d > 0 {
+		timer, cancelTimer = runtime.CancelableTimer(c.env, d)
+		defer cancelTimer()
+	}
 	c.pipe.Acquire(t, 1)
 	defer c.pipe.Release(1)
 	if c.err != nil {
 		return nil, c.err
+	}
+	if timer != nil && timer.Fired() {
+		// The deadline burned away while queued for a pipeline slot; the
+		// request was never sent, so this failure is unambiguous.
+		return nil, ErrDeadlineExceeded
 	}
 	c.nextID++
 	req.ID = c.nextID
@@ -141,7 +179,17 @@ func (c *Client) Do(t runtime.Task, req *rpcproto.Request) (*rpcproto.Response, 
 			c.tr.Observe("net", 0, t.Now()-sent)
 		}()
 	}
-	switch v := t.Wait(ev).(type) {
+	var v any
+	if timer != nil {
+		if runtime.WaitAny(t, ev, timer) != 0 && !ev.Fired() {
+			delete(c.pending, req.ID)
+			return nil, ErrDeadlineExceeded
+		}
+		v = ev.Value()
+	} else {
+		v = t.Wait(ev)
+	}
+	switch v := v.(type) {
 	case *rpcproto.Response:
 		return v, nil
 	case error:
@@ -191,6 +239,11 @@ func (c *Client) Del(t runtime.Task, key []byte) error {
 	}
 	return fmt.Errorf("client: DEL %s", resp.Status)
 }
+
+// Err reports the sticky connection error: nil while the connection is
+// healthy, the terminal failure after it dies. Task context (the execution
+// contract is the lock).
+func (c *Client) Err() error { return c.err }
 
 // Close tears the connection down; outstanding calls fail with ErrClosed
 // once the receiver drains. Follow the conn's Close context rules.

@@ -1,0 +1,7 @@
+package server
+
+import "leed/internal/rpcproto"
+
+// SetTestHook installs a per-request hook on cfg (tests only); a hook that
+// panics exercises the handler's panic isolation.
+func SetTestHook(cfg *Config, hook func(*rpcproto.Request)) { cfg.testHook = hook }

@@ -49,6 +49,21 @@ type Config struct {
 	// that fills its window is simply not read from until a slot frees —
 	// TCP backpressure does the rest. Default 64.
 	MaxInflightPerConn int64
+	// MaxInflightTotal bounds requests executing across ALL connections:
+	// the overload-shedding line. Past it the server answers with an
+	// explicit OverloadFrame NACK instead of queueing — the request
+	// provably never executed, so the client may safely retry anything,
+	// even a PUT, after the frame's backoff hint. 0 disables (per-conn
+	// windows remain the only admission).
+	MaxInflightTotal int64
+	// OverloadRetryHint is the backoff hint carried in overload NACKs.
+	// Default 1ms.
+	OverloadRetryHint runtime.Time
+	// IdleTimeout reaps connections that have had no request in flight or
+	// arriving for this long. This is the server-policy layer of idle
+	// reaping; the transport's TCPOptions.ReadIdleTimeout is the socket
+	// layer that also catches peers that vanished mid-frame. 0 disables.
+	IdleTimeout runtime.Time
 
 	// Obs and Tracer bind the server to a metrics registry and the request
 	// tracer. Both optional.
@@ -56,6 +71,11 @@ type Config struct {
 	Tracer *obs.Tracer
 	// SamplePeriod is the queue-depth sampling cadence. Default 10ms.
 	SamplePeriod runtime.Time
+
+	// testHook, when set (tests only — unexported, so only this package can
+	// install it), runs at the top of every handled request; a hook that
+	// panics exercises the handler's panic isolation.
+	testHook func(*rpcproto.Request)
 }
 
 // Server serves rpcproto frames from transport listeners against an engine.
@@ -67,9 +87,10 @@ type Server struct {
 
 	// State below is mutated only in task or scheduler context: the
 	// execution contract is the lock.
-	listeners []transport.Listener
-	conns     map[*serverConn]struct{}
-	draining  bool
+	listeners     []transport.Listener
+	conns         map[*serverConn]struct{}
+	draining      bool
+	inflightTotal int64
 
 	// closed makes Close idempotent and callable from any goroutine (a
 	// signal handler, a test's raw goroutine).
@@ -80,36 +101,43 @@ type Server struct {
 
 // serverConn is the server side of one accepted connection.
 type serverConn struct {
-	conn     transport.Conn
-	pipe     runtime.Resource // pipeline admission window
-	inflight int              // requests executing right now
-	closed   bool
-	lat      *obs.Hist
+	conn       transport.Conn
+	pipe       runtime.Resource // pipeline admission window
+	inflight   int              // requests executing right now
+	closed     bool
+	lastActive runtime.Time // last request arrival, for idle reaping
+	lat        *obs.Hist
 }
 
 type srvObs struct {
-	reg      *obs.Registry
-	requests map[rpcproto.Op]*obs.Counter
-	errors   *obs.Counter
-	badFrame *obs.Counter
-	refused  *obs.Counter
-	connsNow *obs.Gauge
-	connsTot *obs.Counter
-	inflight *obs.Gauge
-	partLat  []*obs.Hist
-	depth    []*obs.Gauge
+	reg       *obs.Registry
+	requests  map[rpcproto.Op]*obs.Counter
+	errors    *obs.Counter
+	badFrame  *obs.Counter
+	refused   *obs.Counter
+	overloads *obs.Counter
+	panics    *obs.Counter
+	reaped    *obs.Counter
+	connsNow  *obs.Gauge
+	connsTot  *obs.Counter
+	inflight  *obs.Gauge
+	partLat   []*obs.Hist
+	depth     []*obs.Gauge
 }
 
 func newSrvObs(reg *obs.Registry, nparts int) *srvObs {
 	o := &srvObs{
-		reg:      reg,
-		requests: make(map[rpcproto.Op]*obs.Counter),
-		errors:   reg.Counter("leed_server_errors_total"),
-		badFrame: reg.Counter("leed_server_bad_frames_total"),
-		refused:  reg.Counter("leed_server_refused_total"),
-		connsNow: reg.Gauge("leed_server_conns"),
-		connsTot: reg.Counter("leed_server_conns_total"),
-		inflight: reg.Gauge("leed_server_inflight"),
+		reg:       reg,
+		requests:  make(map[rpcproto.Op]*obs.Counter),
+		errors:    reg.Counter("leed_server_errors_total"),
+		badFrame:  reg.Counter("leed_server_bad_frames_total"),
+		refused:   reg.Counter("leed_server_refused_total"),
+		overloads: reg.Counter("leed_server_overloads_total"),
+		panics:    reg.Counter("leed_server_panics_total"),
+		reaped:    reg.Counter("leed_server_reaped_total"),
+		connsNow:  reg.Gauge("leed_server_conns"),
+		connsTot:  reg.Counter("leed_server_conns_total"),
+		inflight:  reg.Gauge("leed_server_inflight"),
 	}
 	for _, op := range []rpcproto.Op{rpcproto.OpGet, rpcproto.OpPut, rpcproto.OpDel} {
 		o.requests[op] = reg.Counter("leed_server_requests_total", "op", op.String())
@@ -134,6 +162,9 @@ func New(cfg Config) *Server {
 	if cfg.SamplePeriod == 0 {
 		cfg.SamplePeriod = 10 * runtime.Millisecond
 	}
+	if cfg.OverloadRetryHint == 0 {
+		cfg.OverloadRetryHint = runtime.Millisecond
+	}
 	handles := cfg.Engine.Handles()
 	members := make([]cluster.NodeID, len(handles))
 	for i := range handles {
@@ -149,6 +180,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Obs != nil {
 		s.env.Spawn("server-sampler", s.sample)
+	}
+	if cfg.IdleTimeout > 0 {
+		s.env.Spawn("server-reaper", s.reap)
 	}
 	return s
 }
@@ -168,6 +202,28 @@ func (s *Server) sample(t runtime.Task) {
 		t.Sleep(s.cfg.SamplePeriod)
 		for pid, h := range s.handles {
 			s.o.depth[pid].Set(int64(h.WaitingDepth()))
+		}
+	}
+}
+
+// reap closes connections that have sat idle past Config.IdleTimeout: no
+// request executing and none arrived recently. Closing wakes the conn's
+// reader with ErrClosed, which deregisters it; a request racing the reaper
+// at the transport layer loses the connection, which is exactly what the
+// same request would see against a ReadIdleTimeout — clients own retry.
+func (s *Server) reap(t runtime.Task) {
+	period := s.cfg.IdleTimeout / 4
+	if period <= 0 {
+		period = runtime.Millisecond
+	}
+	for !s.draining {
+		t.Sleep(period)
+		now := t.Now()
+		for sc := range s.conns {
+			if sc.inflight == 0 && now-sc.lastActive > s.cfg.IdleTimeout {
+				s.o.reaped.Inc()
+				s.closeConn(sc)
+			}
 		}
 	}
 }
@@ -192,18 +248,19 @@ func (s *Server) Serve(l transport.Listener) {
 				c.Close()
 				continue
 			}
-			s.startConn(c)
+			s.startConn(t, c)
 		}
 	})
 }
 
 // startConn registers one accepted connection and spawns its reader. Task
 // context.
-func (s *Server) startConn(c transport.Conn) {
+func (s *Server) startConn(t runtime.Task, c transport.Conn) {
 	sc := &serverConn{
-		conn: c,
-		pipe: s.env.MakeResource(s.cfg.MaxInflightPerConn),
-		lat:  s.cfg.Obs.Hist("leed_server_conn_latency_ns", "conn", c.String()),
+		conn:       c,
+		pipe:       s.env.MakeResource(s.cfg.MaxInflightPerConn),
+		lastActive: t.Now(),
+		lat:        s.cfg.Obs.Hist("leed_server_conn_latency_ns", "conn", c.String()),
 	}
 	s.conns[sc] = struct{}{}
 	s.o.connsTot.Inc()
@@ -219,6 +276,7 @@ func (s *Server) serveConn(t runtime.Task, sc *serverConn) {
 			break
 		}
 		arrived := t.Now()
+		sc.lastActive = arrived
 		kind, payload, _, err := rpcproto.DecodeFrame(frame)
 		if err != nil || kind != rpcproto.FrameRequest {
 			// Undecodable bytes poison the stream — there is no resync
@@ -244,16 +302,50 @@ func (s *Server) serveConn(t runtime.Task, sc *serverConn) {
 			s.sendError(t, sc, &rpcproto.ErrorFrame{ID: req.ID, Code: rpcproto.StatusNack, Msg: "server draining"})
 			continue
 		}
+		if s.cfg.MaxInflightTotal > 0 && s.inflightTotal >= s.cfg.MaxInflightTotal {
+			// Overload shedding: the global execution budget is spent, so
+			// NACK immediately instead of queueing. The per-conn window slot
+			// is returned — this reader keeps draining its stream (a shed
+			// request must not wedge the connection behind it).
+			sc.pipe.Release(1)
+			s.o.overloads.Inc()
+			sc.conn.Send(t, rpcproto.AppendOverloadFrame(nil, &rpcproto.OverloadFrame{
+				ID:           req.ID,
+				Tokens:       int32(s.handles[s.route(req.Key)].AvailableTokens()),
+				RetryAfterNS: int64(s.cfg.OverloadRetryHint),
+			}))
+			continue
+		}
 		sc.inflight++
+		s.inflightTotal++
 		s.o.inflight.Add(1)
 		s.env.Spawn("server-req", func(q runtime.Task) {
+			// Admission bookkeeping must survive a panicking handler, so it
+			// is deferred; the recover below it (LIFO: runs first) keeps one
+			// poisoned request from killing the whole process.
+			defer func() {
+				sc.pipe.Release(1)
+				sc.inflight--
+				s.inflightTotal--
+				s.o.inflight.Add(-1)
+				if s.draining && sc.inflight == 0 {
+					s.closeConn(sc)
+				}
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					// The request died mid-execution; its effects on the
+					// engine are unknown, so answer with an ErrorFrame the
+					// retry policy treats as ambiguous (no blind PUT retry)
+					// and hang up — per-conn state is no longer trusted.
+					s.o.panics.Inc()
+					s.sendError(q, sc,
+						&rpcproto.ErrorFrame{ID: req.ID, Code: rpcproto.StatusErr,
+							Msg: fmt.Sprintf("panic in handler: %v", r)})
+					s.closeConn(sc)
+				}
+			}()
 			s.handle(q, sc, req, arrived)
-			sc.pipe.Release(1)
-			sc.inflight--
-			s.o.inflight.Add(-1)
-			if s.draining && sc.inflight == 0 {
-				s.closeConn(sc)
-			}
 		})
 	}
 	// Reader exit: if the drain hasn't already retired the connection,
@@ -271,6 +363,9 @@ func (s *Server) handle(t runtime.Task, sc *serverConn, req *rpcproto.Request, a
 	// The node span: dispatch wait (admission window) vs everything the
 	// server itself does around engine execution.
 	dispatched := t.Now()
+	if s.cfg.testHook != nil {
+		s.cfg.testHook(req)
+	}
 
 	resp := &rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
 	var pid int

@@ -9,6 +9,7 @@ import (
 	"leed/internal/engine"
 	"leed/internal/flashsim"
 	"leed/internal/obs"
+	"leed/internal/rpcproto"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 	"leed/internal/server"
@@ -123,6 +124,7 @@ func TestServerGracefulDrain(t *testing.T) {
 	const puts = 16
 	inflight := reg.Gauge("leed_server_inflight")
 	var okPuts, lateErrs atomic.Int64
+	var lateErr atomic.Value
 
 	env.Spawn("driver", func(p runtime.Task) {
 		connA, err := inp.Dial(p)
@@ -164,6 +166,7 @@ func TestServerGracefulDrain(t *testing.T) {
 			q.Sleep(10 * runtime.Millisecond)
 			if _, err := clA.Get(q, testKey(0)); err != nil {
 				lateErrs.Add(1)
+				lateErr.Store(err)
 			}
 		})
 		runtime.WaitAll(p, evs...)
@@ -175,6 +178,14 @@ func TestServerGracefulDrain(t *testing.T) {
 	}
 	if lateErrs.Load() != 1 {
 		t.Errorf("request issued mid-drain was not refused")
+	} else {
+		// The refusal must be the explicit drain NACK, typed so a retry
+		// policy can classify it as safe-to-retry — not a generic
+		// connection error.
+		ef, ok := lateErr.Load().(*rpcproto.ErrorFrame)
+		if !ok || ef.Code != rpcproto.StatusNack {
+			t.Errorf("mid-drain refusal: want *rpcproto.ErrorFrame(StatusNack), got %v", lateErr.Load())
+		}
 	}
 
 	var dialErr error

@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leed/internal/netsim"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/sim"
+)
+
+// proxyHarness stands up echo-server <- proxy <- client plumbing.
+func proxyHarness(t *testing.T, env runtime.Env, seed int64) (*FaultProxy, *TCPListener) {
+	t.Helper()
+	l, err := ListenTCP(env, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	echoServe(env, l)
+	proxy, err := NewFaultProxy("127.0.0.1:0", l.Addr(), seed)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	return proxy, l
+}
+
+// oneEcho round-trips a single request with the given ID through conn.
+func oneEcho(p runtime.Task, conn Conn, id uint64) error {
+	frame := rpcproto.AppendRequestFrame(nil, &rpcproto.Request{
+		ID: id, Op: rpcproto.OpGet, Key: []byte("key")})
+	if err := conn.Send(p, frame); err != nil {
+		return err
+	}
+	_, err := conn.Recv(p)
+	return err
+}
+
+// TestFaultProxyPassthrough: with no faults installed the proxy is invisible
+// — the full pipelined echo workload completes through it.
+func TestFaultProxyPassthrough(t *testing.T) {
+	env := wallclock.New()
+	proxy, l := proxyHarness(t, env, 1)
+	defer proxy.Close()
+	var done atomic.Int64
+	env.Spawn("dial", func(p runtime.Task) {
+		conn, err := DialTCP(env, proxy.Addr())
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			return
+		}
+		driveEcho(t, env, conn, 100, &done)
+		env.Spawn("closer", func(q runtime.Task) {
+			for done.Load() < 100 {
+				q.Sleep(runtime.Millisecond)
+			}
+			l.Close()
+		})
+	})
+	env.Wait()
+	if done.Load() != 100 {
+		t.Fatalf("completed %d of 100", done.Load())
+	}
+	st := proxy.Stats()
+	if st.Bridged < 1 || st.Bytes == 0 || st.Chunks == 0 {
+		t.Fatalf("proxy saw no traffic: %+v", st)
+	}
+}
+
+// TestFaultProxyDropKillsConnection: with Drop=1 the first forwarded chunk
+// kills the connection abruptly; the client sees a connection error, never a
+// clean response.
+func TestFaultProxyDropKillsConnection(t *testing.T) {
+	env := wallclock.New()
+	proxy, l := proxyHarness(t, env, 42)
+	proxy.SetDrop(1.0)
+	result := make(chan error, 1)
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, proxy.Addr())
+		if err != nil {
+			result <- err
+			return
+		}
+		defer conn.Close()
+		result <- oneEcho(p, conn, 1)
+	})
+	err := <-result
+	// The echo accept task parks in Accept until its listener closes, and
+	// Wait counts parked tasks — tear the stack down before draining.
+	proxy.Close()
+	l.Close()
+	env.Wait()
+	if err == nil {
+		t.Fatal("echo through a Drop=1 link succeeded")
+	}
+	if st := proxy.Stats(); st.KilledByDrop == 0 {
+		t.Fatalf("drop kill not counted: %+v", st)
+	}
+}
+
+// TestFaultProxyDelay: a per-chunk delay is paid in wall time.
+func TestFaultProxyDelay(t *testing.T) {
+	env := wallclock.New()
+	proxy, l := proxyHarness(t, env, 7)
+	proxy.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	result := make(chan error, 1)
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, proxy.Addr())
+		if err != nil {
+			result <- err
+			return
+		}
+		err = oneEcho(p, conn, 1)
+		conn.Close()
+		result <- err
+	})
+	err := <-result
+	proxy.Close()
+	l.Close()
+	env.Wait()
+	if err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	// Request and response directions each pay >= 30ms.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("delay not applied: round trip took %v", elapsed)
+	}
+	if st := proxy.Stats(); st.DelayedChunks < 2 {
+		t.Fatalf("delayed chunks not counted: %+v", st)
+	}
+}
+
+// TestFaultProxyPartitionHeal: a partition blackholes in-flight traffic (the
+// client just stalls — no error), and healing releases it; the stalled
+// request then completes.
+func TestFaultProxyPartitionHeal(t *testing.T) {
+	env := wallclock.New()
+	proxy, l := proxyHarness(t, env, 3)
+	result := make(chan error, 2)
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, proxy.Addr())
+		if err != nil {
+			result <- err
+			return
+		}
+		// Warm the bridge with a clean round trip, then partition.
+		if err := oneEcho(p, conn, 1); err != nil {
+			result <- err
+			return
+		}
+		proxy.Partition()
+		time.AfterFunc(80*time.Millisecond, proxy.Heal)
+		start := time.Now()
+		err = oneEcho(p, conn, 2)
+		if err == nil && time.Since(start) < 50*time.Millisecond {
+			t.Errorf("request crossed a partitioned link in %v", time.Since(start))
+		}
+		conn.Close()
+		result <- err
+	})
+	err := <-result
+	proxy.Close()
+	l.Close()
+	env.Wait()
+	if err != nil {
+		t.Fatalf("echo across heal: %v", err)
+	}
+	if st := proxy.Stats(); st.PartitionedStalls == 0 {
+		t.Fatalf("partition stall not counted: %+v", st)
+	}
+}
+
+// TestFaultProxyKillAll: killing active connections surfaces as an abrupt
+// error on the client.
+func TestFaultProxyKillAll(t *testing.T) {
+	env := wallclock.New()
+	proxy, l := proxyHarness(t, env, 9)
+	result := make(chan error, 1)
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, proxy.Addr())
+		if err != nil {
+			result <- err
+			return
+		}
+		defer conn.Close()
+		if err := oneEcho(p, conn, 1); err != nil {
+			result <- err
+			return
+		}
+		proxy.KillAll()
+		result <- oneEcho(p, conn, 2)
+	})
+	err := <-result
+	proxy.Close()
+	l.Close()
+	env.Wait()
+	if err == nil {
+		t.Fatal("echo after KillAll succeeded")
+	}
+	if st := proxy.Stats(); st.Killed == 0 {
+		t.Fatalf("kill not counted: %+v", st)
+	}
+}
+
+// TestLinkFaultsApplyTo: the portable config lands on a sim fault layer with
+// the same semantics — the parity bridge between proxy and fabric.
+func TestLinkFaultsApplyTo(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	fab := netsim.New(k, netsim.Config{})
+	fl := fab.InstallFaults(1)
+	LinkFaults{Drop: 0.5, Delay: time.Millisecond, Partitioned: true}.ApplyTo(fl, 1, 2)
+	if !fl.Partitioned(1, 2) {
+		t.Fatal("partition not applied to fabric")
+	}
+	LinkFaults{}.ApplyTo(fl, 1, 2)
+	if fl.Partitioned(1, 2) {
+		t.Fatal("heal not applied to fabric")
+	}
+}

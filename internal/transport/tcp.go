@@ -2,10 +2,12 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"leed/internal/rpcproto"
 	"leed/internal/runtime"
@@ -67,6 +69,29 @@ func (b *inbox) drain() {
 	}
 }
 
+// ErrIdleTimeout reports a connection torn down by its read-idle deadline:
+// no bytes arrived (or a frame stalled mid-read) for longer than the
+// configured TCPOptions.ReadIdleTimeout. For a server this is the idle-reap
+// signal; for a client it means the peer silently disappeared.
+var ErrIdleTimeout = errors.New("transport: connection idle timeout")
+
+// TCPOptions bounds a TCP connection's patience. The zero value preserves
+// the historical behavior (block forever), but production servers should
+// set both: without a read deadline a peer that vanishes mid-frame — a
+// kill -9'd client, a blackholed route — parks the reader goroutine on that
+// socket forever, and without a write deadline a peer that stops reading
+// can park the writer the same way.
+type TCPOptions struct {
+	// ReadIdleTimeout tears the connection down when no bytes arrive for
+	// this long, whether between frames (idle reaping) or mid-frame (a
+	// half-dead peer). Recv then reports ErrIdleTimeout. 0 = never.
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each coalesced socket write. A peer that stops
+	// draining its receive window fails the write instead of wedging the
+	// writer goroutine. 0 = never.
+	WriteTimeout time.Duration
+}
+
 // TCPListener is the TCP transport's Listener.
 type TCPListener struct {
 	env     runtime.Env
@@ -79,6 +104,12 @@ type TCPListener struct {
 // ListenTCP binds addr (e.g. ":9090" or "127.0.0.1:0") and starts
 // accepting. Wallclock backend only; see the package comment.
 func ListenTCP(env runtime.Env, addr string) (*TCPListener, error) {
+	return ListenTCPOpts(env, addr, TCPOptions{})
+}
+
+// ListenTCPOpts is ListenTCP with connection options applied to every
+// accepted connection.
+func ListenTCPOpts(env runtime.Env, addr string, opts TCPOptions) (*TCPListener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -91,7 +122,7 @@ func ListenTCP(env runtime.Env, addr string) (*TCPListener, error) {
 				l.inbox.put(eofItem{err: err})
 				return
 			}
-			l.inbox.put(newTCPConn(env, c))
+			l.inbox.put(newTCPConn(env, c, opts))
 		}
 	}()
 	return l, nil
@@ -127,6 +158,7 @@ type TCPConn struct {
 	c    net.Conn
 	name string
 	rx   *inbox
+	opts TCPOptions
 
 	wmu     sync.Mutex
 	wcond   *sync.Cond
@@ -139,19 +171,25 @@ type TCPConn struct {
 
 // DialTCP connects to a LEED server at addr. Wallclock backend only.
 func DialTCP(env runtime.Env, addr string) (*TCPConn, error) {
+	return DialTCPOpts(env, addr, TCPOptions{})
+}
+
+// DialTCPOpts is DialTCP with connection options.
+func DialTCPOpts(env runtime.Env, addr string, opts TCPOptions) (*TCPConn, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(env, c), nil
+	return newTCPConn(env, c, opts), nil
 }
 
-func newTCPConn(env runtime.Env, c net.Conn) *TCPConn {
+func newTCPConn(env runtime.Env, c net.Conn, opts TCPOptions) *TCPConn {
 	tc := &TCPConn{
 		env:  env,
 		c:    c,
 		name: fmt.Sprintf("tcp-%s", c.RemoteAddr()),
 		rx:   newInbox(env),
+		opts: opts,
 	}
 	tc.wcond = sync.NewCond(&tc.wmu)
 	go tc.readLoop()
@@ -161,13 +199,17 @@ func newTCPConn(env runtime.Env, c net.Conn) *TCPConn {
 
 // readLoop reads one frame at a time off the stream and delivers it. The
 // length prefix is validated (rpcproto.FrameLen) before the frame buffer is
-// sized, so a garbage prefix costs an error, never an allocation.
+// sized, so a garbage prefix costs an error, never an allocation. With a
+// ReadIdleTimeout configured the deadline is re-armed before every read, so
+// a peer that vanishes mid-frame (no FIN, no RST — just silence) bounds this
+// goroutine's lifetime instead of leaking it.
 func (tc *TCPConn) readLoop() {
 	br := bufio.NewReaderSize(tc.c, 64<<10)
 	var hdr [4]byte
 	for {
+		tc.armReadDeadline()
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			tc.rx.put(eofItem{err: err})
+			tc.readFailed(err)
 			return
 		}
 		total, err := rpcproto.FrameLen(hdr[:])
@@ -178,12 +220,33 @@ func (tc *TCPConn) readLoop() {
 		}
 		frame := make([]byte, total)
 		copy(frame, hdr[:])
+		tc.armReadDeadline()
 		if _, err := io.ReadFull(br, frame[4:]); err != nil {
-			tc.rx.put(eofItem{err: err})
+			tc.readFailed(err)
 			return
 		}
 		tc.rx.put(frame)
 	}
+}
+
+func (tc *TCPConn) armReadDeadline() {
+	if tc.opts.ReadIdleTimeout > 0 {
+		tc.c.SetReadDeadline(time.Now().Add(tc.opts.ReadIdleTimeout))
+	}
+}
+
+// readFailed delivers the reader's terminal error. A deadline expiry is
+// translated to ErrIdleTimeout and — unlike a clean peer FIN, where queued
+// responses may still be deliverable — tears the whole connection down:
+// the peer is presumed dead, so parking the writer to flush to it would
+// just trade a reader leak for a writer leak.
+func (tc *TCPConn) readFailed(err error) {
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		err = ErrIdleTimeout
+		tc.Close()
+	}
+	tc.rx.put(eofItem{err: err})
 }
 
 // writeLoop drains the coalescing buffer: everything Send accumulated since
@@ -200,6 +263,9 @@ func (tc *TCPConn) writeLoop() {
 		buf := tc.wbuf
 		tc.wbuf = nil
 		tc.wmu.Unlock()
+		if tc.opts.WriteTimeout > 0 {
+			tc.c.SetWriteDeadline(time.Now().Add(tc.opts.WriteTimeout))
+		}
 		_, err := tc.c.Write(buf)
 		tc.wmu.Lock()
 		if err != nil && tc.werr == nil {

@@ -1,0 +1,112 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+)
+
+// waitGoroutines polls until the process goroutine count falls back to the
+// limit, dumping stacks on failure — the leak audit for connection teardown.
+func waitGoroutines(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if goruntime.NumGoroutine() <= limit {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := goruntime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > %d\n%s", goruntime.NumGoroutine(), limit, buf[:n])
+}
+
+// TestTCPReadIdleTimeoutMidFrame pins the reader-leak fix: a peer that sends
+// a frame header and then goes silent (no FIN, no RST — the kill -9 shape)
+// used to park the reader goroutine in ReadFull forever. With a
+// ReadIdleTimeout the reader gives up, Recv surfaces ErrIdleTimeout, and
+// both connection goroutines exit.
+func TestTCPReadIdleTimeoutMidFrame(t *testing.T) {
+	rawLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("raw listen: %v", err)
+	}
+	defer rawLn.Close()
+	peerDone := make(chan struct{})
+	go func() {
+		defer close(peerDone)
+		c, err := rawLn.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		// Announce a 64-byte frame, deliver only the kind byte, go silent.
+		c.Write([]byte{64, 0, 0, 0, byte(rpcproto.FrameRequest)})
+		// Hold the socket open until the client's reader times out.
+		buf := make([]byte, 1)
+		c.Read(buf) // returns when the client tears down
+	}()
+
+	before := goruntime.NumGoroutine()
+	env := wallclock.New()
+	result := make(chan error, 1)
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCPOpts(env, rawLn.Addr().String(),
+			TCPOptions{ReadIdleTimeout: 50 * time.Millisecond})
+		if err != nil {
+			result <- err
+			return
+		}
+		_, err = conn.Recv(p)
+		result <- err
+	})
+	env.Wait()
+	if err := <-result; !errors.Is(err, ErrIdleTimeout) {
+		t.Fatalf("Recv from silent peer: got %v, want ErrIdleTimeout", err)
+	}
+	<-peerDone
+	// +1 slack: wallclock timer goroutines from After(0) may still be parked.
+	waitGoroutines(t, before+1)
+}
+
+// TestTCPNoTimeoutByDefault: the zero-options path must not impose any
+// deadline — an idle but healthy connection stays usable indefinitely
+// (bounded here by a round trip after a quiet period).
+func TestTCPNoTimeoutByDefault(t *testing.T) {
+	env := wallclock.New()
+	l, err := ListenTCP(env, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	echoServe(env, l)
+	result := make(chan error, 1)
+	env.Spawn("client", func(p runtime.Task) {
+		conn, err := DialTCP(env, l.Addr())
+		if err != nil {
+			result <- err
+			return
+		}
+		p.Sleep(120 * runtime.Millisecond) // longer than the other test's timeout
+		frame := rpcproto.AppendRequestFrame(nil, &rpcproto.Request{
+			ID: 1, Op: rpcproto.OpGet, Key: []byte("k")})
+		if err := conn.Send(p, frame); err != nil {
+			result <- err
+			return
+		}
+		_, err = conn.Recv(p)
+		result <- err
+		conn.Close()
+		l.Close()
+	})
+	env.Wait()
+	if err := <-result; err != nil {
+		t.Fatalf("round trip after idle period: %v", err)
+	}
+}
