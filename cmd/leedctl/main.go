@@ -93,11 +93,13 @@ func main() {
 	pipeline := flag.Int64("pipeline", 16, "loadgen: outstanding-request window per connection")
 	workload := flag.String("workload", "b", "loadgen: YCSB mix (a, b, c, d, f, wr)")
 	records := flag.Int64("records", 2000, "loadgen: keyspace size (preloaded before the measured window)")
+	batch := flag.Int("batch", 0, "loadgen: issue ops as MultiGet/MultiPut frames of this many sub-ops (0/1 = single-op RPCs)")
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: measured window")
 	warmup := flag.Duration("warmup", 0, "loadgen: warmup before the measured window (default duration/4)")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() == 0 || (*image == "" && !*clusterMode && flag.Arg(0) != "loadgen" && flag.Arg(0) != "chaos") {
+	if flag.NArg() == 0 || (*image == "" && !*clusterMode &&
+		flag.Arg(0) != "loadgen" && flag.Arg(0) != "chaos" && flag.Arg(0) != "hotpath") {
 		usage()
 		os.Exit(2)
 	}
@@ -111,8 +113,15 @@ func main() {
 	}
 
 	if flag.Arg(0) == "loadgen" {
-		if err := loadgen(*addr, *clients, *pipeline, *workload, *records, *seed,
+		if err := loadgen(*addr, *clients, *pipeline, *workload, *records, *seed, *batch,
 			*warmup, *duration, *benchout, *metricsAddr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if flag.Arg(0) == "hotpath" {
+		if err := hotpath(*benchout); err != nil {
 			fatal(err)
 		}
 		return
@@ -333,8 +342,15 @@ func usage() {
 
   client commands (no -image; flags go before the subcommand):
     leedctl -addr ADDR [-clients N] [-pipeline N] [-workload a|b|c|d|f|wr]
-            [-records N] [-duration D] [-warmup D] [-benchout PATH] loadgen
+            [-records N] [-duration D] [-warmup D] [-batch N] [-benchout PATH] loadgen
                                                        drive a served instance over TCP
+                                                       (-batch N > 1 uses MultiGet/MultiPut)
+
+  hot-path allocation gate (no -image):
+    leedctl [-benchout PATH] hotpath                   benchmark the serve path with
+                                                       -benchmem semantics, write
+                                                       BENCH_hotpath.json, exit non-zero
+                                                       if GET allocs/op exceeds the budget
 
   cluster commands (no -image):
     leedctl -cluster soak [-seed N] [-scenario S] [ROUNDS]
@@ -381,12 +397,18 @@ func openWallclockDevice(env *wallclock.Env, kind, image string, capacity int64,
 		if err != nil {
 			return nil, nil, err
 		}
+		if err := d.SetSyncReads(true); err != nil {
+			return nil, nil, err
+		}
 		return d, d.Close, nil
 	case "async":
 		d, err := flashsim.OpenAsyncFileDevice(env, image, capacity, flashsim.AsyncOptions{
 			Workers: 8, Durable: durable, ReadTime: readTime, WriteTime: writeTime,
 		})
 		if err != nil {
+			return nil, nil, err
+		}
+		if err := d.SetSyncReads(true); err != nil {
 			return nil, nil, err
 		}
 		return d, d.Close, nil
@@ -624,7 +646,7 @@ func serveListen(image string, capacity int64, listen string, partitions int, de
 // preloaded keyspace, a YCSB mix, and a warmup before the measured window.
 // The client-observed measurement (throughput, latency percentiles, stage
 // attribution) is printed and recorded as JSON.
-func loadgen(addr string, conns int, pipeline int64, workload string, records, seed int64,
+func loadgen(addr string, conns int, pipeline int64, workload string, records, seed int64, batch int,
 	warmup, duration time.Duration, outPath, metricsAddr string) error {
 	if addr == "" {
 		return fmt.Errorf("loadgen needs -addr (the server's host:port)")
@@ -656,6 +678,7 @@ func loadgen(addr string, conns int, pipeline int64, workload string, records, s
 		Records:     records,
 		ValLen:      256,
 		Seed:        seed,
+		Batch:       batch,
 		Preload:     true,
 		Warmup:      runtime.Time(warmup),
 		Duration:    runtime.Time(duration),
@@ -676,6 +699,23 @@ func loadgen(addr string, conns int, pipeline int64, workload string, records, s
 		return fmt.Errorf("loadgen saw %d errored operations", res.Errs)
 	}
 	return nil
+}
+
+// hotpath runs the serve-path allocation benchmarks (the same ones `go test
+// -bench=Serve -benchmem ./internal/server/` runs), records the numbers as
+// JSON, and exits non-zero if the GET path exceeds its pinned allocs/op
+// budget — the CI gate for hot-path memory discipline (DESIGN.md §13).
+func hotpath(outPath string) error {
+	if outPath == "" {
+		outPath = "BENCH_hotpath.json"
+	}
+	doc := bench.MeasureHotpath()
+	fmt.Print(doc.String())
+	if err := os.WriteFile(outPath, []byte(doc.JSON()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Printf("recorded %s\n", outPath)
+	return doc.Gate()
 }
 
 // soak reformats the image and runs the chaos durability soak on the

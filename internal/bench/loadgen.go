@@ -13,6 +13,7 @@ import (
 
 	"leed/internal/core"
 	"leed/internal/obs"
+	"leed/internal/rpcproto"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 	"leed/internal/server"
@@ -37,6 +38,14 @@ type LoadgenConfig struct {
 	Records  int64
 	ValLen   int
 	Seed     int64
+
+	// Batch, when > 1, issues operations as MultiGet/MultiPut frames of
+	// this many sub-ops instead of single-op RPCs: each issuer collects a
+	// window of generated ops, sends the reads as one MultiGet and the
+	// writes as one MultiPut, and counts every sub-op as one completed op.
+	// Latency is recorded once per batch (the client-observed time to
+	// finish the whole window). 0 or 1 means single-op RPCs.
+	Batch int
 
 	// Preload inserts the Records keys before the measured run (through the
 	// same connections), so a read-heavy mix doesn't miss.
@@ -133,6 +142,10 @@ func RunLoadgen(env *wallclock.Env, cfg LoadgenConfig) (RunResult, error) {
 				env.Spawn("issuer", func(q runtime.Task) {
 					defer ev.Fire(nil)
 					gen := ycsb.NewGenerator(cfg.Workload, cfg.Records, cfg.ValLen, cfg.Seed+idx+1)
+					if cfg.Batch > 1 {
+						runBatchIssuer(q, cl, gen, cfg.Batch, measureAt, stopAt, &res)
+						return
+					}
 					for q.Now() < stopAt {
 						op := gen.Next()
 						op.Key = append([]byte(nil), op.Key...)
@@ -173,6 +186,49 @@ func RunLoadgen(env *wallclock.Env, cfg LoadgenConfig) (RunResult, error) {
 		res.Attr = &a
 	}
 	return res, nil
+}
+
+// runBatchIssuer is one issuer task's loop in batched mode: collect a
+// window of Batch generated ops, ship the reads as one MultiGet and the
+// writes as one MultiPut, and account the window as Batch completed ops
+// with one recorded (whole-batch) latency sample.
+func runBatchIssuer(q runtime.Task, cl *server.Client, gen *ycsb.Generator,
+	batch int, measureAt, stopAt runtime.Time, res *RunResult) {
+	getKeys := make([][]byte, 0, batch)
+	putKeys := make([][]byte, 0, batch)
+	putVals := make([][]byte, 0, batch)
+	var out []rpcproto.BatchRespItem
+	for q.Now() < stopAt {
+		getKeys, putKeys, putVals = getKeys[:0], putKeys[:0], putVals[:0]
+		for i := 0; i < batch; i++ {
+			op := gen.Next()
+			if op.Type == ycsb.OpRead {
+				getKeys = append(getKeys, append([]byte(nil), op.Key...))
+			} else {
+				putKeys = append(putKeys, append([]byte(nil), op.Key...))
+				putVals = append(putVals, append([]byte(nil), op.Value...))
+			}
+		}
+		t0 := q.Now()
+		var err error
+		if len(getKeys) > 0 {
+			out, err = cl.MultiGet(q, getKeys, out[:0])
+		}
+		if err == nil && len(putKeys) > 0 {
+			out, err = cl.MultiPut(q, putKeys, putVals, out[:0])
+		}
+		t1 := q.Now()
+		if t1 >= measureAt && t1 <= stopAt {
+			res.Ops += int64(len(getKeys) + len(putKeys))
+			res.Lat.Record(t1 - t0)
+			if err != nil {
+				res.Errs++
+			}
+		}
+		if err == transport.ErrClosed {
+			return
+		}
+	}
 }
 
 // preloadClients inserts the Records keys through the run's connections,
@@ -219,6 +275,7 @@ type ServerDoc struct {
 	Pipeline    int64  `json:"pipeline"`
 	Records     int64  `json:"records"`
 	ValLen      int    `json:"val_len"`
+	Batch       int    `json:"batch,omitempty"`
 	WarmupNS    int64  `json:"warmup_ns"`
 	DurationNS  int64  `json:"duration_ns"`
 
@@ -239,6 +296,7 @@ func NewServerDoc(cfg LoadgenConfig, r RunResult) *ServerDoc {
 		Pipeline:    cfg.Pipeline,
 		Records:     cfg.Records,
 		ValLen:      cfg.ValLen,
+		Batch:       cfg.Batch,
 		WarmupNS:    int64(cfg.Warmup),
 		DurationNS:  int64(cfg.Duration),
 		Res:         NewWallclockRes("tcp", r),

@@ -36,6 +36,7 @@ type CircLog struct {
 	stagedBytes int64
 	flushArmed  bool
 	inFlight    int
+	flushFn     func() // bound once; After(0, l.flushAppends) would allocate per arm
 
 	appends      int64
 	reads        int64
@@ -73,7 +74,9 @@ func NewCircLog(env runtime.Env, dev flashsim.Device, off, size int64) *CircLog 
 	if size <= 0 || off < 0 || off+size > dev.Capacity() {
 		panic(fmt.Sprintf("core: bad circular log region [%d,+%d) on device of %d", off, size, dev.Capacity()))
 	}
-	return &CircLog{env: env, dev: dev, off: off, size: size}
+	l := &CircLog{env: env, dev: dev, off: off, size: size}
+	l.flushFn = l.flushAppends
+	return l
 }
 
 // Size returns the region size in bytes.
@@ -157,7 +160,7 @@ func (l *CircLog) Append(data []byte) (logical int64, done runtime.Event, err er
 	if !l.flushArmed && l.inFlight < maxGroupWrites &&
 		(l.inFlight == 0 || len(l.staged) >= minPipelineGroup || l.stagedBytes >= maxGroupBytes) {
 		l.flushArmed = true
-		l.env.After(0, l.flushAppends)
+		l.env.After(0, l.flushFn)
 	}
 	return logical, done, nil
 }
@@ -203,7 +206,7 @@ func (l *CircLog) flushAppends() {
 	// chase this write down the pipeline immediately.
 	if len(l.staged) > 0 && l.inFlight < maxGroupWrites && !l.flushArmed {
 		l.flushArmed = true
-		l.env.After(0, l.flushAppends)
+		l.env.After(0, l.flushFn)
 	}
 	ev.OnFire(func(v any) {
 		l.inFlight--
@@ -213,7 +216,7 @@ func (l *CircLog) flushAppends() {
 		// Appends staged while the pipeline was full form the next group.
 		if len(l.staged) > 0 && !l.flushArmed {
 			l.flushArmed = true
-			l.env.After(0, l.flushAppends)
+			l.env.After(0, l.flushFn)
 		}
 	})
 }
@@ -241,6 +244,40 @@ func (l *CircLog) ReadAsync(logical int64, buf []byte) (runtime.Event, error) {
 	}
 	l.reads++
 	return l.submitWrap(flashsim.OpRead, logical, buf), nil
+}
+
+// ReadNow attempts the read synchronously via the device's optional
+// SyncReader capability (a wrap-straddling read becomes two inline device
+// reads, mirroring submitWrap's two ops). done=false means the device
+// declined — not enabled, or no capability — and the caller should fall
+// back to ReadAsync; on that path no state has changed and nothing was
+// counted. This is the allocation-free leg of the GET hot path: the async
+// route costs an event, a submit closure, and a timer per read.
+func (l *CircLog) ReadNow(logical int64, buf []byte) (done bool, err error) {
+	sr, ok := l.dev.(flashsim.SyncReader)
+	if !ok {
+		return false, nil
+	}
+	n := int64(len(buf))
+	if !l.Contains(logical, n) {
+		return false, nil // ReadAsync reports the range error
+	}
+	p0 := l.phys(logical)
+	first := l.off + l.size - p0
+	if n <= first {
+		if !sr.TryReadAt(buf, p0) {
+			return false, nil
+		}
+	} else {
+		if !sr.TryReadAt(buf[:first], p0) {
+			return false, nil
+		}
+		if !sr.TryReadAt(buf[first:], l.off) {
+			return false, nil
+		}
+	}
+	l.reads++
+	return true, nil
 }
 
 // Read performs a blocking read from a proc.

@@ -29,6 +29,11 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// zeroCRCField stands in for a bucket header's zeroed CRC field when
+// verifying in place; package-level so taking a slice of it never escapes
+// a stack temporary into the per-GET path.
+var zeroCRCField [4]byte
+
 // Item is one key entry inside a bucket. ValLen == 0 marks a deletion
 // (§3.3: DEL sets the value length to zero as the deletion marker).
 type Item struct {
@@ -160,6 +165,67 @@ func UnmarshalBucket(src []byte) (*Bucket, error) {
 		o += it.Size()
 	}
 	return b, nil
+}
+
+// VerifyBucketBlock validates one serialized bucket block — magic and CRC —
+// without copying it: the stored CRC was computed with its own field zeroed,
+// so the check runs the CRC over the three spans around it instead of
+// zeroing a temporary copy.
+func VerifyBucketBlock(src []byte) error {
+	if len(src) < bucketHdrSize {
+		return fmt.Errorf("%w: short bucket block", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint16(src[0:]) != bucketMagic {
+		return fmt.Errorf("%w: bad bucket magic", ErrCorrupt)
+	}
+	crc := crc32.Update(0, castagnoli, src[:8])
+	crc = crc32.Update(crc, castagnoli, zeroCRCField[:])
+	crc = crc32.Update(crc, castagnoli, src[12:])
+	if crc != binary.LittleEndian.Uint32(src[8:]) {
+		return fmt.Errorf("%w: bucket crc mismatch", ErrCorrupt)
+	}
+	return nil
+}
+
+// RawItem is an item decoded in place from a serialized bucket block: the
+// fields a GET needs, without copying the key out. The allocation-free read
+// path scans blocks with ScanBucketBlock instead of materializing Buckets.
+type RawItem struct {
+	ValLen uint32
+	ValOff int64
+	SSDID  uint8
+}
+
+// Deleted reports whether the item is a deletion marker.
+func (it *RawItem) Deleted() bool { return it.ValLen == 0 }
+
+// ScanBucketBlock searches one serialized bucket block (call
+// VerifyBucketBlock first) for key, walking the item layout in place.
+// scanned reports how many items were inspected — the same count findItem
+// charges — so callers bill identical CPU cycles to either path.
+func ScanBucketBlock(src, key []byte) (it RawItem, scanned int, found bool, err error) {
+	n := int(binary.LittleEndian.Uint16(src[12:]))
+	o := bucketHdrSize
+	for i := 0; i < n; i++ {
+		if o+itemHdrSize > len(src) {
+			return RawItem{}, scanned, false, fmt.Errorf("%w: truncated item header", ErrCorrupt)
+		}
+		kl := int(src[o])
+		if o+itemHdrSize+kl > len(src) {
+			return RawItem{}, scanned, false, fmt.Errorf("%w: truncated item key", ErrCorrupt)
+		}
+		scanned++
+		if kl == len(key) && string(src[o+itemHdrSize:o+itemHdrSize+kl]) == string(key) {
+			it = RawItem{
+				SSDID:  src[o+1],
+				ValLen: binary.LittleEndian.Uint32(src[o+2:]),
+				ValOff: int64(binary.LittleEndian.Uint64(src[o+6:])),
+			}
+			return it, scanned, true, nil
+		}
+		o += itemHdrSize + kl
+	}
+	return RawItem{}, scanned, false, nil
 }
 
 // ProbeBucket cheaply checks whether a block looks like a valid bucket

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"leed/internal/flashsim"
+	"leed/internal/sim"
+)
+
+// TestHashKeyMatchesFnv pins the inlined FNV-1a loop to hash/fnv's output:
+// hashes are durably encoded in segment assignment, so the two must never
+// diverge.
+func TestHashKeyMatchesFnv(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := [][]byte{nil, {}, []byte("a"), []byte("key1"), bytes.Repeat([]byte{0xff}, 255)}
+	for i := 0; i < 200; i++ {
+		k := make([]byte, rng.Intn(64))
+		rng.Read(k)
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		h := fnv.New64a()
+		h.Write(k)
+		if want, got := h.Sum64(), HashKey(k); got != want {
+			t.Fatalf("HashKey(%q) = %#x, hash/fnv says %#x", k, got, want)
+		}
+	}
+}
+
+// TestGetIntoMatchesGet drives both read paths over the same populated
+// store — including deletes, overwrites, and misses — and demands identical
+// values, errors, and cost accounting.
+func TestGetIntoMatchesGet(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	s := newTestStore(k)
+	rng := rand.New(rand.NewSource(7))
+	runStore(k, func(p *sim.Proc) {
+		vals := map[string][]byte{}
+		for i := 0; i < 300; i++ {
+			key := []byte(fmt.Sprintf("key-%d", rng.Intn(120)))
+			val := make([]byte, 1+rng.Intn(200))
+			rng.Read(val)
+			if rng.Intn(6) == 0 {
+				s.Del(p, key)
+				delete(vals, string(key))
+				continue
+			}
+			if _, err := s.Put(p, key, val); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			vals[string(key)] = val
+		}
+		for i := 0; i < 140; i++ {
+			key := []byte(fmt.Sprintf("key-%d", i))
+			v1, st1, err1 := s.Get(p, key)
+			v2, st2, err2 := s.GetInto(p, key, nil)
+			if (err1 == nil) != (err2 == nil) || (err1 != nil && err1 != err2) {
+				t.Fatalf("key %q: Get err %v, GetInto err %v", key, err1, err2)
+			}
+			if !bytes.Equal(v1, v2) {
+				t.Fatalf("key %q: Get %q, GetInto %q", key, v1, v2)
+			}
+			if st1 != st2 {
+				t.Fatalf("key %q: Get stats %+v, GetInto stats %+v", key, st1, st2)
+			}
+			if err1 == nil && !bytes.Equal(v1, vals[string(key)]) {
+				t.Fatalf("key %q: wrong value", key)
+			}
+		}
+		// Appending into a caller buffer extends rather than clobbers.
+		key := []byte("key-0")
+		if _, ok := vals["key-0"]; !ok {
+			if _, err := s.Put(p, key, []byte("zz")); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+			vals["key-0"] = []byte("zz")
+		}
+		dst := append([]byte(nil), "prefix:"...)
+		out, _, err := s.GetInto(p, key, dst)
+		if err != nil {
+			t.Fatalf("GetInto with dst: %v", err)
+		}
+		if want := "prefix:" + string(vals["key-0"]); string(out) != want {
+			t.Fatalf("GetInto append = %q, want %q", out, want)
+		}
+	})
+}
+
+// TestGetIntoSyncReads exercises the SyncReader fast path: with inline
+// reads enabled on the MemDevice, GetInto must return the same data and
+// count the same device reads, without touching the event machinery.
+func TestGetIntoSyncReads(t *testing.T) {
+	k := sim.New()
+	defer k.Close()
+	dev := flashsim.NewMemDevice(k, 4<<20)
+	s := NewStore(Config{
+		Env: k, Device: dev, DevID: 0, NumSegments: 16,
+		KeyLogBytes: 1 << 20, ValLogBytes: 2 << 20, SwapLogBytes: 256 << 10,
+	})
+	runStore(k, func(p *sim.Proc) {
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("k%d", i))
+			if _, err := s.Put(p, key, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+		dev.SetSyncReads(true)
+		readsBefore := dev.Stats().Reads
+		for i := 0; i < 40; i++ {
+			key := []byte(fmt.Sprintf("k%d", i))
+			got, st, err := s.GetInto(p, key, nil)
+			if err != nil {
+				t.Fatalf("get %q: %v", key, err)
+			}
+			if !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 32)) {
+				t.Fatalf("get %q: wrong value", key)
+			}
+			if st.Reads != 2 {
+				t.Fatalf("get %q: %d reads, want 2 (segment + value)", key, st.Reads)
+			}
+		}
+		if got := dev.Stats().Reads - readsBefore; got != 80 {
+			t.Fatalf("device reads = %d, want 80", got)
+		}
+		dev.SetSyncReads(false)
+		if _, _, err := s.GetInto(p, []byte("k0"), nil); err != nil {
+			t.Fatalf("async fallback: %v", err)
+		}
+	})
+}
+
+// TestVerifyBucketBlockMatchesUnmarshal checks the copy-free CRC
+// verification agrees with UnmarshalBucket on both valid and corrupt
+// blocks.
+func TestVerifyBucketBlockMatchesUnmarshal(t *testing.T) {
+	b := &Bucket{SegID: 3, ChainLen: 1, Seq: 9}
+	for i := 0; i < 5; i++ {
+		b.Items = append(b.Items, Item{
+			Key: []byte(fmt.Sprintf("key-%d", i)), ValLen: 10, ValOff: int64(i * 64), SSDID: 1,
+		})
+	}
+	blk := make([]byte, 512)
+	if err := b.Marshal(blk); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := VerifyBucketBlock(blk); err != nil {
+		t.Fatalf("verify valid block: %v", err)
+	}
+	it, scanned, found, err := ScanBucketBlock(blk, []byte("key-3"))
+	if err != nil || !found || scanned != 4 || it.ValOff != 3*64 {
+		t.Fatalf("scan: it=%+v scanned=%d found=%v err=%v", it, scanned, found, err)
+	}
+	if _, scanned, found, _ := ScanBucketBlock(blk, []byte("nope")); found || scanned != 5 {
+		t.Fatalf("scan miss: scanned=%d found=%v", scanned, found)
+	}
+	for _, flip := range []int{0, 9, 50, 200} {
+		bad := append([]byte(nil), blk...)
+		bad[flip] ^= 0x40
+		vErr := VerifyBucketBlock(bad)
+		_, uErr := UnmarshalBucket(bad)
+		if (vErr == nil) != (uErr == nil) {
+			t.Fatalf("flip byte %d: VerifyBucketBlock %v, UnmarshalBucket %v", flip, vErr, uErr)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"hash/fnv"
-
 	"leed/internal/runtime"
 )
 
@@ -193,11 +191,24 @@ func (t *SegTbl) RUnlock(seg uint32) {
 	e.grant()
 }
 
-// HashKey maps a key to its 64-bit hash (FNV-1a).
+// FNV-1a 64-bit constants; must stay in lockstep with hash/fnv so every
+// hash ever written to flash keeps mapping to the same segment.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// HashKey maps a key to its 64-bit hash (FNV-1a). Inlined rather than
+// hash/fnv because fnv.New64a escapes through the hash.Hash64 interface —
+// one heap allocation per lookup on the hot path. A parity test pins the
+// inline loop to hash/fnv's output.
 func HashKey(key []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(key)
-	return h.Sum64()
+	h := fnvOffset64
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // SegmentOf maps a key hash onto one of n segments.

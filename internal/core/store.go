@@ -107,6 +107,12 @@ type Store struct {
 
 	compacting bool // guards against overlapping whole-log compactions
 
+	// bufFree recycles GetInto's segment and value-entry buffers. It is
+	// task-context state: the execution contract serializes every store
+	// caller, and a buffer is popped before use, so a task parking mid-GET
+	// simply holds its buffers outside the list until putBuf returns them.
+	bufFree [][]byte
+
 	stats Stats
 }
 
@@ -349,6 +355,150 @@ func (s *Store) Get(p runtime.Task, key []byte) ([]byte, OpStats, error) {
 		return nil, st, fmt.Errorf("%w: value entry key mismatch", ErrCorrupt)
 	}
 	return append([]byte(nil), eval...), st, nil
+}
+
+// getBuf rents an n-byte buffer from the store's free list (single-owner:
+// the returned buffer is out of the list until putBuf).
+func (s *Store) getBuf(n int) []byte {
+	for i := len(s.bufFree) - 1; i >= 0; i-- {
+		if cap(s.bufFree[i]) >= n {
+			b := s.bufFree[i]
+			last := len(s.bufFree) - 1
+			s.bufFree[i] = s.bufFree[last]
+			s.bufFree[last] = nil
+			s.bufFree = s.bufFree[:last]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a rented buffer. Oversized buffers and overflow beyond a
+// small list are dropped to the GC — the list only needs to cover the
+// handful of buffers live at the hot path's steady-state concurrency.
+func (s *Store) putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > 64<<10 || len(s.bufFree) >= 16 {
+		return
+	}
+	s.bufFree = append(s.bufFree, b[:0])
+}
+
+// readSegmentInto reads a segment's array into buf from wherever it lives
+// (home key log or a peer's swap region), preferring the device's
+// synchronous read path and falling back to the event-based one.
+func (s *Store) readSegmentInto(p runtime.Task, st *OpStats, seg uint32, off int64, buf []byte) error {
+	log := s.keyLog
+	if devID, remote := s.segs.Location(seg); remote {
+		peer, found := s.peers[devID]
+		if !found || peer.swapLog == nil {
+			return fmt.Errorf("%w: swapped segment on unknown peer %d", ErrCorrupt, devID)
+		}
+		log = peer.swapLog
+	}
+	if done, err := log.ReadNow(off, buf); done {
+		st.Reads++
+		return err
+	}
+	ev, err := log.ReadAsync(off, buf)
+	if err != nil {
+		return err
+	}
+	st.Reads++
+	return s.ssdWait(p, st, ev)
+}
+
+// readValueInto reads the value entry for it into entry, from the home
+// value log or the owning peer's swap region.
+func (s *Store) readValueInto(p runtime.Task, st *OpStats, it *RawItem, entry []byte) error {
+	log := s.valLog
+	if it.SSDID != s.cfg.DevID {
+		peer, found := s.peers[it.SSDID]
+		if !found {
+			return fmt.Errorf("%w: unknown swap peer %d", ErrCorrupt, it.SSDID)
+		}
+		log = peer.swapLog
+	}
+	if done, err := log.ReadNow(it.ValOff, entry); done {
+		st.Reads++
+		return err
+	}
+	ev, err := log.ReadAsync(it.ValOff, entry)
+	if err != nil {
+		return err
+	}
+	st.Reads++
+	return s.ssdWait(p, st, ev)
+}
+
+// GetInto is the allocation-free Get: it looks up key and appends the value
+// to dst, returning the extended slice. Where Get materializes every bucket
+// (UnmarshalBucket copies each key and the CRC check copies each block),
+// GetInto scans the serialized segment array in place from a recycled
+// buffer, verifying block CRCs without a copy, and reads the value entry
+// into a second recycled buffer. Costs are charged identically to Get —
+// same hash/scan/parse cycles, same device reads in the same order — so the
+// two paths are interchangeable to the simulator's accounting; the only
+// behavioral difference is that blocks past the matching one are not
+// CRC-verified. The returned slice never aliases store-owned memory.
+func (s *Store) GetInto(p runtime.Task, key, dst []byte) ([]byte, OpStats, error) {
+	var st OpStats
+	s.stats.Gets++
+	h := HashKey(key)
+	seg := SegmentOf(h, s.cfg.NumSegments)
+	s.cpu(p, &st, s.cfg.Costs.HashLookup)
+	s.segs.RLock(p, seg)
+	defer s.segs.RUnlock(seg)
+
+	off, chainLen, ok := s.segs.Lookup(seg)
+	if !ok {
+		s.stats.NotFounds++
+		return dst, st, ErrNotFound
+	}
+	segBuf := s.getBuf(int(s.segBytes(chainLen)))
+	defer s.putBuf(segBuf)
+	if err := s.readSegmentInto(p, &st, seg, off, segBuf); err != nil {
+		return dst, st, err
+	}
+
+	bs := s.cfg.BlockSize
+	var (
+		it      RawItem
+		scanned int64
+		found   bool
+	)
+	for i := 0; i < chainLen && !found; i++ {
+		blk := segBuf[i*bs : (i+1)*bs]
+		if err := VerifyBucketBlock(blk); err != nil {
+			return dst, st, err
+		}
+		var n int
+		var err error
+		it, n, found, err = ScanBucketBlock(blk, key)
+		scanned += int64(n)
+		if err != nil {
+			return dst, st, err
+		}
+	}
+	s.cpu(p, &st, scanned*s.cfg.Costs.ItemScan)
+	if !found || it.Deleted() {
+		s.stats.NotFounds++
+		return dst, st, ErrNotFound
+	}
+
+	entry := s.getBuf(ValueEntrySize(len(key), int(it.ValLen)))
+	defer s.putBuf(entry)
+	if err := s.readValueInto(p, &st, &it, entry); err != nil {
+		return dst, st, err
+	}
+	s.cpu(p, &st, s.cfg.Costs.ValueParse)
+	ekey, eval, _, err := ParseValueEntry(entry)
+	if err != nil {
+		return dst, st, err
+	}
+	if string(ekey) != string(key) {
+		return dst, st, fmt.Errorf("%w: value entry key mismatch", ErrCorrupt)
+	}
+	return append(dst, eval...), st, nil
 }
 
 // Put inserts or overwrites key with val (§3.3: segment read overlapped

@@ -46,6 +46,12 @@ func (h Handle) ExecuteTraced(p runtime.Task, op rpcproto.Op, key, val []byte, t
 	return h.e.ExecuteTraced(p, h.pid, op, key, val, tr)
 }
 
+// ExecuteTracedInto is ExecuteTraced with a GET's value appended to dst;
+// see Engine.ExecuteTracedInto.
+func (h Handle) ExecuteTracedInto(p runtime.Task, op rpcproto.Op, key, val, dst []byte, tr *obs.Trace) ([]byte, core.OpStats, error) {
+	return h.e.ExecuteTracedInto(p, h.pid, op, key, val, dst, tr)
+}
+
 // AvailableTokens returns the partition's current admission tokens.
 func (h Handle) AvailableTokens() int64 { return h.e.AvailableTokens(h.pid) }
 

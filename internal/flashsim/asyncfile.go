@@ -94,6 +94,9 @@ type AsyncFileDevice struct {
 	workers     int
 	seq         int64 // submit-order stamp
 	flushQueued int   // OpFlush ops sitting in pending
+
+	mmap      []byte // read-only view of the image (see mmapread.go)
+	syncReads bool
 }
 
 // asyncBatch is one dispatch's worth of ops, executed sequentially by one
@@ -133,6 +136,8 @@ func (d *AsyncFileDevice) QueueDepth() int { return len(d.pending) + len(d.reads
 // has drained (env.Wait on the wallclock backend): queued ops still in the
 // submission queue are not flushed by Close.
 func (d *AsyncFileDevice) Close() error {
+	munmapImage(d.mmap)
+	d.mmap = nil
 	if err := d.f.Sync(); err != nil {
 		return err
 	}

@@ -67,6 +67,18 @@ type Device interface {
 	Stats() Stats
 }
 
+// SyncReader is an optional Device capability: serve a read synchronously,
+// in the caller's task context, with no event machinery. The async Submit
+// path costs several allocations per op (events, closures, timers), which
+// is the right price for modeled latency but pure overhead on a
+// zero-latency device. TryReadAt returns false when the device cannot (or
+// is not configured to) serve the read inline; the caller then falls back
+// to Submit. A true return means dst is filled and the read has been
+// counted in Stats exactly as a submitted read would be.
+type SyncReader interface {
+	TryReadAt(dst []byte, off int64) bool
+}
+
 // Stats are cumulative device counters.
 type Stats struct {
 	Reads, Writes           int64

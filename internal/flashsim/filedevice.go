@@ -70,6 +70,10 @@ type FileDevice struct {
 	opt      FileOptions
 	stats    devStats
 	queued   int // ops submitted but not yet completed
+
+	queuedWrites int    // writes/flushes among queued (guards inline reads)
+	mmap         []byte // read-only view of the image (see mmapread.go)
+	syncReads    bool
 }
 
 // OpenFileDevice opens (or creates) the image file at path with the given
@@ -106,6 +110,8 @@ func (d *FileDevice) Observe(reg *obs.Registry, tr *obs.Tracer, dev string) {
 
 // Close syncs and closes the image file.
 func (d *FileDevice) Close() error {
+	munmapImage(d.mmap)
+	d.mmap = nil
 	if err := d.f.Sync(); err != nil {
 		return err
 	}
@@ -125,9 +131,15 @@ func (d *FileDevice) Submit(op *Op) {
 	}
 	op.submitted = d.env.Now()
 	d.queued++
+	if op.Kind != OpRead {
+		d.queuedWrites++
+	}
 	d.stats.noteQueued(d.queued)
 	d.env.After(0, func() {
 		d.queued--
+		if op.Kind != OpRead {
+			d.queuedWrites--
+		}
 		op.started = d.env.Now()
 		switch op.Kind {
 		case OpRead:

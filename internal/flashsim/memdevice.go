@@ -11,9 +11,10 @@ import (
 // deterministic). It is the substrate for unit and property tests of the
 // data store, where only correctness matters.
 type MemDevice struct {
-	env   runtime.Env
-	store *pageStore
-	stats devStats
+	env       runtime.Env
+	store     *pageStore
+	stats     devStats
+	syncReads bool
 }
 
 // NewMemDevice creates a zero-latency device of the given capacity.
@@ -49,6 +50,26 @@ func (d *MemDevice) Submit(op *Op) {
 		d.stats.record(op.Kind, len(op.Data), d.env.Now()-op.submitted, 0)
 		op.Done.Fire(nil)
 	})
+}
+
+// SetSyncReads toggles the SyncReader fast path. Off by default: the sim
+// backend's golden tests depend on every completion being an event at a
+// deterministic instant, so inline reads are strictly opt-in — the
+// wallclock hot-path benchmark and server enable them, sims never do.
+func (d *MemDevice) SetSyncReads(on bool) { d.syncReads = on }
+
+// TryReadAt implements SyncReader: when enabled, the read completes inline
+// in the caller's context and is recorded in Stats like any submitted read.
+func (d *MemDevice) TryReadAt(dst []byte, off int64) bool {
+	if !d.syncReads {
+		return false
+	}
+	if off < 0 || off+int64(len(dst)) > d.store.capacity {
+		return false // let Submit produce the range error
+	}
+	d.store.readAt(dst, off)
+	d.stats.record(OpRead, len(dst), 0, 0)
+	return true
 }
 
 // SyncRead reads synchronously, bypassing the simulation. Test helper.

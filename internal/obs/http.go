@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Server is a metrics endpoint bound to one registry and (optionally) one
@@ -20,6 +21,9 @@ type Server struct {
 //	/metrics      Prometheus text exposition of every registry series
 //	/metrics.json the deterministic JSON snapshot
 //	/traces       the tracer's sampled whole traces (JSON array)
+//	/debug/pprof  the standard Go profiling endpoints (heap, cpu, allocs…),
+//	              registered explicitly so the hot path's allocation budget
+//	              can be audited against a live server
 //
 // The server runs on its own goroutines; instruments are atomic or
 // mutex-guarded precisely so these handlers can read them mid-run.
@@ -50,6 +54,13 @@ func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
 			Attribution Attribution `json:"attribution"`
 		}{samples, tr.Attribution()})
 	})
+	// Explicit registration: importing net/http/pprof only touches
+	// http.DefaultServeMux, which this server deliberately does not use.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

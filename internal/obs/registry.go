@@ -67,25 +67,70 @@ func (g *Gauge) Load() int64 {
 	return g.v.Load()
 }
 
-// Hist is a registry-owned histogram: the shared log-linear Histogram under
-// a mutex so it can be recorded from task context and snapshotted from a
-// scrape goroutine concurrently.
+// histShards is the overflow-stripe count for Hist. Small and fixed: a
+// stripe only absorbs the samples that arrive while the primary mutex is
+// held, so a handful is enough to keep writers from convoying.
+const histShards = 8
+
+// histShard is one lazily-materialized overflow stripe.
+type histShard struct {
+	mu sync.Mutex
+	h  *Histogram
+}
+
+// Hist is a registry-owned histogram. The common case is one uncontended
+// mutex around the primary Histogram; when Record finds that mutex held
+// (wallclock scrape in flight, or a parallel recorder on another OS
+// thread), the sample lands in one of a few overflow stripes instead of
+// queueing on the lock. Readers merge primary and stripes under the primary
+// mutex, so every snapshot is complete and self-consistent. Under the sim
+// backend execution is serial, TryLock always succeeds, and the stripes
+// stay nil — merged output is byte-identical to the unstriped histogram,
+// which the golden-snapshot tests rely on.
 type Hist struct {
 	mu sync.Mutex
 	h  Histogram
+
+	next   atomic.Uint32 // round-robin stripe pick under contention
+	shards [histShards]histShard
 }
 
 // NewHist returns an empty standalone Hist (not registered anywhere).
 func NewHist() *Hist { return &Hist{h: Histogram{min: int64(^uint64(0) >> 1)}} }
 
-// Record adds one observation.
+// Record adds one observation. Never blocks behind a reader: contended
+// samples divert to an overflow stripe.
 func (x *Hist) Record(d Time) {
 	if x == nil {
 		return
 	}
-	x.mu.Lock()
-	x.h.Record(d)
-	x.mu.Unlock()
+	if x.mu.TryLock() {
+		x.h.Record(d)
+		x.mu.Unlock()
+		return
+	}
+	sh := &x.shards[x.next.Add(1)%histShards]
+	sh.mu.Lock()
+	if sh.h == nil {
+		sh.h = NewHistogram()
+	}
+	sh.h.Record(d)
+	sh.mu.Unlock()
+}
+
+// mergedLocked folds the overflow stripes into a copy of the primary
+// histogram. Caller holds x.mu.
+func (x *Hist) mergedLocked() Histogram {
+	m := x.h
+	for i := range x.shards {
+		sh := &x.shards[i]
+		sh.mu.Lock()
+		if sh.h != nil {
+			m.Merge(sh.h)
+		}
+		sh.mu.Unlock()
+	}
+	return m
 }
 
 // Merge adds all of o's observations.
@@ -98,24 +143,25 @@ func (x *Hist) Merge(o *Histogram) {
 	x.mu.Unlock()
 }
 
-// Snap summarizes the histogram.
+// Snap summarizes the histogram (primary plus overflow stripes).
 func (x *Hist) Snap() HistSnap {
 	if x == nil {
 		return HistSnap{}
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.h.Snap()
+	m := x.mergedLocked()
+	return m.Snap()
 }
 
-// Clone returns a copy of the underlying histogram.
+// Clone returns a copy of the underlying histogram, stripes folded in.
 func (x *Hist) Clone() *Histogram {
 	if x == nil {
 		return NewHistogram()
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	c := x.h
+	c := x.mergedLocked()
 	return &c
 }
 
@@ -126,7 +172,16 @@ func (x *Hist) Count() int64 {
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.h.Count()
+	n := x.h.Count()
+	for i := range x.shards {
+		sh := &x.shards[i]
+		sh.mu.Lock()
+		if sh.h != nil {
+			n += sh.h.Count()
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // CumBuckets returns the cumulative counts at HistPromEdges plus the total
@@ -137,7 +192,8 @@ func (x *Hist) CumBuckets() ([]int64, int64) {
 	}
 	x.mu.Lock()
 	defer x.mu.Unlock()
-	return x.h.CumBuckets(), x.h.Count()
+	m := x.mergedLocked()
+	return m.CumBuckets(), m.Count()
 }
 
 type seriesKind int

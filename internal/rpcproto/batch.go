@@ -1,0 +1,187 @@
+package rpcproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Batch frames: one frame carrying many sub-operations of the same kind
+// (MultiGet, MultiPut), so the per-frame network cost — syscalls, framing,
+// demux, admission — amortizes across the batch the way the device path's
+// group commit already amortizes the flash cost. §3.5's front-end scheduler
+// shape is preserved: the server splits a batch into per-partition
+// sub-batches and runs them through the same token admission as single ops.
+//
+// Wire layout (after the standard [len][kind] envelope):
+//
+//	batch request  payload: [ID u64][op u8][count u32]
+//	                        then per item [klen u32][vlen u32][key][val]
+//	batch response payload: [ID u64][count u32]
+//	                        then per item [status u8][vlen u32][val]
+//
+// GET items carry vlen=0; response items for PUT/DEL carry vlen=0. All
+// lengths are validated in 64-bit arithmetic against MaxFrameBytes before
+// sizing anything, and count is validated against both MaxBatchItems and
+// the bytes actually present, so a hostile count can neither provoke a
+// large allocation nor a long loop.
+
+// MaxBatchItems bounds the sub-operations one batch frame may carry.
+const MaxBatchItems = 1 << 16
+
+const (
+	batchReqHdrSize  = 8 + 1 + 4
+	batchReqItemHdr  = 4 + 4
+	batchRespHdrSize = 8 + 4
+	batchRespItemHdr = 1 + 4
+)
+
+// ErrBatchTooLarge reports a batch whose item count exceeds MaxBatchItems
+// or overruns the frame it arrived in.
+var ErrBatchTooLarge = fmt.Errorf("rpcproto: batch exceeds %d items", MaxBatchItems)
+
+// BatchItem is one borrowed sub-operation of a decoded batch request. Key
+// and Value alias the source buffer (see the package ownership contract).
+type BatchItem struct {
+	Key   []byte
+	Value []byte
+}
+
+// BatchRespItem is one borrowed sub-result of a decoded batch response.
+type BatchRespItem struct {
+	Status Status
+	Value  []byte
+}
+
+// AppendBatchReqFrame appends a complete batch-request frame carrying op
+// over keys (and, for writes, vals — nil or shorter-than-keys vals encode
+// as empty values). len(keys) must be ≤ MaxBatchItems.
+func AppendBatchReqFrame(dst []byte, id uint64, op Op, keys, vals [][]byte) []byte {
+	dst, off := appendFrameHdr(dst, FrameBatchReq)
+	var hdr [batchReqHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], id)
+	hdr[8] = uint8(op)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(keys)))
+	dst = append(dst, hdr[:]...)
+	for i, k := range keys {
+		var v []byte
+		if i < len(vals) {
+			v = vals[i]
+		}
+		var ih [batchReqItemHdr]byte
+		binary.LittleEndian.PutUint32(ih[0:], uint32(len(k)))
+		binary.LittleEndian.PutUint32(ih[4:], uint32(len(v)))
+		dst = append(dst, ih[:]...)
+		dst = append(dst, k...)
+		dst = append(dst, v...)
+	}
+	return finishFrame(dst, off)
+}
+
+// AppendBatchRespFrame appends a complete batch-response frame. vals may be
+// nil or shorter than statuses; missing entries encode as empty values.
+func AppendBatchRespFrame(dst []byte, id uint64, statuses []Status, vals [][]byte) []byte {
+	dst, off := appendFrameHdr(dst, FrameBatchResp)
+	var hdr [batchRespHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], id)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(statuses)))
+	dst = append(dst, hdr[:]...)
+	for i, st := range statuses {
+		var v []byte
+		if i < len(vals) {
+			v = vals[i]
+		}
+		var ih [batchRespItemHdr]byte
+		ih[0] = uint8(st)
+		binary.LittleEndian.PutUint32(ih[1:], uint32(len(v)))
+		dst = append(dst, ih[:]...)
+		dst = append(dst, v...)
+	}
+	return finishFrame(dst, off)
+}
+
+// BatchID returns the request ID leading a batch request or response
+// payload without decoding the items — the client's receive loop uses it to
+// find the owning call before borrow-decoding into that call's scratch.
+func BatchID(src []byte) (uint64, error) {
+	if len(src) < 8 {
+		return 0, ErrShortBuffer
+	}
+	return binary.LittleEndian.Uint64(src), nil
+}
+
+// DecodeBatchReq parses a batch-request payload, appending one BatchItem
+// per sub-operation into items (pass a reused items[:0] for an
+// allocation-free steady state). The returned items ALIAS src.
+func DecodeBatchReq(src []byte, items []BatchItem) (id uint64, op Op, out []BatchItem, err error) {
+	if len(src) < batchReqHdrSize {
+		return 0, 0, items, ErrShortBuffer
+	}
+	id = binary.LittleEndian.Uint64(src[0:])
+	op = Op(src[8])
+	count := int64(binary.LittleEndian.Uint32(src[9:]))
+	rest := src[batchReqHdrSize:]
+	if count > MaxBatchItems || count*batchReqItemHdr > int64(len(rest)) {
+		return 0, 0, items, ErrBatchTooLarge
+	}
+	off := int64(0)
+	for i := int64(0); i < count; i++ {
+		if off+batchReqItemHdr > int64(len(rest)) {
+			return 0, 0, items, ErrShortBuffer
+		}
+		kl := int64(binary.LittleEndian.Uint32(rest[off:]))
+		vl := int64(binary.LittleEndian.Uint32(rest[off+4:]))
+		if kl > MaxFrameBytes || vl > MaxFrameBytes {
+			return 0, 0, items, ErrFrameTooLarge
+		}
+		off += batchReqItemHdr
+		if off+kl+vl > int64(len(rest)) {
+			return 0, 0, items, ErrShortBuffer
+		}
+		var it BatchItem
+		if kl > 0 {
+			it.Key = rest[off : off+kl : off+kl]
+		}
+		if vl > 0 {
+			it.Value = rest[off+kl : off+kl+vl : off+kl+vl]
+		}
+		items = append(items, it)
+		off += kl + vl
+	}
+	return id, op, items, nil
+}
+
+// DecodeBatchResp parses a batch-response payload, appending one
+// BatchRespItem per sub-result into items. The returned items ALIAS src.
+func DecodeBatchResp(src []byte, items []BatchRespItem) (id uint64, out []BatchRespItem, err error) {
+	if len(src) < batchRespHdrSize {
+		return 0, items, ErrShortBuffer
+	}
+	id = binary.LittleEndian.Uint64(src[0:])
+	count := int64(binary.LittleEndian.Uint32(src[8:]))
+	rest := src[batchRespHdrSize:]
+	if count > MaxBatchItems || count*batchRespItemHdr > int64(len(rest)) {
+		return 0, items, ErrBatchTooLarge
+	}
+	off := int64(0)
+	for i := int64(0); i < count; i++ {
+		if off+batchRespItemHdr > int64(len(rest)) {
+			return 0, items, ErrShortBuffer
+		}
+		st := Status(rest[off])
+		vl := int64(binary.LittleEndian.Uint32(rest[off+1:]))
+		if vl > MaxFrameBytes {
+			return 0, items, ErrFrameTooLarge
+		}
+		off += batchRespItemHdr
+		if off+vl > int64(len(rest)) {
+			return 0, items, ErrShortBuffer
+		}
+		it := BatchRespItem{Status: st}
+		if vl > 0 {
+			it.Value = rest[off : off+vl : off+vl]
+		}
+		items = append(items, it)
+		off += vl
+	}
+	return id, items, nil
+}

@@ -37,6 +37,12 @@ const (
 	// request provably never touched a store, so even a non-idempotent
 	// write may be retried after backing off.
 	FrameOverload
+	// FrameBatchReq carries one MultiGet/MultiPut batch request: many
+	// same-op sub-operations amortizing the per-frame network cost. See
+	// batch.go for the inner layout.
+	FrameBatchReq
+	// FrameBatchResp carries the per-item results of a FrameBatchReq.
+	FrameBatchResp
 )
 
 func (k FrameKind) String() string {
@@ -49,6 +55,10 @@ func (k FrameKind) String() string {
 		return "ERROR"
 	case FrameOverload:
 		return "OVERLOAD"
+	case FrameBatchReq:
+		return "BATCH_REQUEST"
+	case FrameBatchResp:
+		return "BATCH_RESPONSE"
 	}
 	return fmt.Sprintf("FrameKind(%d)", uint8(k))
 }
@@ -141,7 +151,7 @@ func DecodeFrame(src []byte) (FrameKind, []byte, int, error) {
 		return 0, nil, 0, ErrShortBuffer
 	}
 	kind := FrameKind(src[frameHdrSize])
-	if kind < FrameRequest || kind > FrameOverload {
+	if kind < FrameRequest || kind > FrameBatchResp {
 		return 0, nil, 0, ErrBadFrame
 	}
 	return kind, src[frameHdrSize+1 : total], total, nil

@@ -128,8 +128,109 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeError(payload)
 		case FrameOverload:
 			DecodeOverload(payload)
+		case FrameBatchReq:
+			DecodeBatchReq(payload, nil)
+		case FrameBatchResp:
+			DecodeBatchResp(payload, nil)
 		default:
 			t.Fatalf("DecodeFrame accepted unknown kind %v", kind)
+		}
+	})
+}
+
+// hostileBatchReq builds a batch-request header announcing count items with
+// no bodies behind them — the shape that must be rejected before any loop
+// or allocation is sized from it.
+func hostileBatchReq(count uint32, itemHdrs int) []byte {
+	b := make([]byte, batchReqHdrSize+itemHdrs*batchReqItemHdr)
+	b[8] = uint8(OpGet)
+	binary.LittleEndian.PutUint32(b[9:], count)
+	return b
+}
+
+func FuzzDecodeBatchReq(f *testing.F) {
+	keys := [][]byte{[]byte("a"), []byte("bb"), nil}
+	vals := [][]byte{[]byte("v1"), nil, []byte("v3")}
+	frame := AppendBatchReqFrame(nil, 7, OpPut, keys, vals)
+	_, payload, _, _ := DecodeFrame(frame)
+	f.Add(append([]byte(nil), payload...))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, batchReqHdrSize)) // max count, no items
+	f.Add(hostileBatchReq(MaxBatchItems+1, 0))         // count over the cap
+	f.Add(hostileBatchReq(MaxBatchItems, 1))           // capped count, one header's bytes
+	f.Add(hostileBatchReq(1<<31, 0))                   // 32-bit wraparound bait
+	f.Add(hostileBatchReq(2, 2))                       // two zero-length items: valid
+	hostileItem := hostileBatchReq(1, 1)               // one item whose klen is hostile
+	binary.LittleEndian.PutUint32(hostileItem[batchReqHdrSize:], MaxFrameBytes+1)
+	f.Add(hostileItem)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, op, items, err := DecodeBatchReq(data, nil)
+		if err != nil {
+			return
+		}
+		if len(items) > MaxBatchItems {
+			t.Fatalf("accepted %d items past the cap", len(items))
+		}
+		// A successful decode must survive a re-encode/re-decode cycle.
+		keys := make([][]byte, len(items))
+		vals := make([][]byte, len(items))
+		for i, it := range items {
+			keys[i], vals[i] = it.Key, it.Value
+		}
+		frame := AppendBatchReqFrame(nil, id, op, keys, vals)
+		_, payload, _, ferr := DecodeFrame(frame)
+		if ferr != nil {
+			t.Fatalf("re-framed batch rejected: %v", ferr)
+		}
+		id2, op2, items2, err := DecodeBatchReq(payload, nil)
+		if err != nil || id2 != id || op2 != op || len(items2) != len(items) {
+			t.Fatalf("round trip mismatch: id %d/%d op %v/%v n %d/%d err %v",
+				id2, id, op2, op, len(items2), len(items), err)
+		}
+		for i := range items {
+			if !bytes.Equal(items2[i].Key, items[i].Key) || !bytes.Equal(items2[i].Value, items[i].Value) {
+				t.Fatalf("item %d mismatch", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeBatchResp(f *testing.F) {
+	frame := AppendBatchRespFrame(nil, 9, []Status{StatusOK, StatusNotFound}, [][]byte{[]byte("val"), nil})
+	_, payload, _, _ := DecodeFrame(frame)
+	f.Add(append([]byte(nil), payload...))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, batchRespHdrSize)) // max count, no items
+	hostile := make([]byte, batchRespHdrSize+batchRespItemHdr)
+	binary.LittleEndian.PutUint32(hostile[8:], 1)
+	binary.LittleEndian.PutUint32(hostile[batchRespHdrSize+1:], MaxFrameBytes+1) // hostile vlen
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, items, err := DecodeBatchResp(data, nil)
+		if err != nil {
+			return
+		}
+		if len(items) > MaxBatchItems {
+			t.Fatalf("accepted %d items past the cap", len(items))
+		}
+		sts := make([]Status, len(items))
+		vals := make([][]byte, len(items))
+		for i, it := range items {
+			sts[i], vals[i] = it.Status, it.Value
+		}
+		frame := AppendBatchRespFrame(nil, id, sts, vals)
+		_, payload, _, ferr := DecodeFrame(frame)
+		if ferr != nil {
+			t.Fatalf("re-framed batch rejected: %v", ferr)
+		}
+		id2, items2, err := DecodeBatchResp(payload, nil)
+		if err != nil || id2 != id || len(items2) != len(items) {
+			t.Fatalf("round trip mismatch: id %d/%d n %d/%d err %v", id2, id, len(items2), len(items), err)
+		}
+		for i := range items {
+			if items2[i].Status != items[i].Status || !bytes.Equal(items2[i].Value, items[i].Value) {
+				t.Fatalf("item %d mismatch", i)
+			}
 		}
 	})
 }

@@ -1,0 +1,67 @@
+package rpcproto
+
+import "sync"
+
+// Frame buffer pool. Every frame the hot path sends or receives is rented
+// here and returned when its single owner is done with it (see the package
+// comment for the ownership contract). A mutex-guarded free list instead of
+// sync.Pool: Put of a []byte into a sync.Pool boxes the slice header (one
+// allocation per return), which would defeat the point; pushing onto a
+// retained [][]byte does not.
+//
+// The pool is best-effort. Losing a buffer (a frame dropped by a faulty
+// fabric, an error path that forgets to release) leaks nothing — the buffer
+// falls back to the garbage collector — and releasing a buffer that never
+// came from the pool is fine. The only hard rule is single ownership:
+// releasing the same buffer twice while someone still uses it corrupts
+// whatever they were reading.
+
+// maxPooledBuf bounds the capacity the pool retains. Oversized buffers
+// (a huge value in flight) are dropped to the GC rather than pinning
+// worst-case capacity forever.
+const maxPooledBuf = 64 << 10
+
+var framePool struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+// GetBuf rents a zero-length buffer from the pool (allocating a fresh one
+// when the pool is empty). Append into it, hand it off, and the final owner
+// returns it with PutBuf.
+func GetBuf() []byte {
+	framePool.mu.Lock()
+	if n := len(framePool.free); n > 0 {
+		b := framePool.free[n-1]
+		framePool.free[n-1] = nil
+		framePool.free = framePool.free[:n-1]
+		framePool.mu.Unlock()
+		return b
+	}
+	framePool.mu.Unlock()
+	return make([]byte, 0, 512)
+}
+
+// GetBufLen rents a buffer of length n (contents undefined). Used by stream
+// readers that know the next frame's size up front.
+func GetBufLen(n int) []byte {
+	b := GetBuf()
+	if cap(b) < n {
+		PutBuf(b)
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// PutBuf returns a buffer to the pool. Only the buffer's single owner may
+// call this, exactly once; the buffer must not be touched afterwards.
+// nil and oversized buffers are dropped.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	b = b[:0]
+	framePool.mu.Lock()
+	framePool.free = append(framePool.free, b)
+	framePool.mu.Unlock()
+}

@@ -5,6 +5,26 @@
 // decoded structs through the fabric and charges the encoded size as wire
 // bytes; Encode/Decode implement the actual format and are exercised by
 // tests so the protocol is real, not notional.
+//
+// # Buffer ownership and the borrow-vs-copy decode contract
+//
+// The hot serve path is allocation-free, which requires explicit buffer
+// ownership rules:
+//
+//   - Frame buffers come from the package-level pool (GetBuf/PutBuf). A
+//     buffer has exactly one owner at a time; only the owner may PutBuf it,
+//     exactly once. transport.Conn.Send takes ownership of the frame it is
+//     handed; Recv's caller takes ownership of the frame it receives and
+//     releases it (directly or via PutBuf) when done.
+//   - DecodeBorrow methods (Request.DecodeBorrow, Response.DecodeBorrow,
+//     DecodeBatchReq, DecodeBatchResp) alias the source buffer: the decoded
+//     Key/Value slices point INTO src and are valid only until the owner
+//     releases src. Callers that need the bytes past that point must copy
+//     them out first. The engine honors this on PUT ingest by copying the
+//     key and value into its own log buffers before the request completes.
+//   - DecodeRequest/DecodeResponse are the copying variants: the result owns
+//     its bytes and survives the source buffer. They exist for cold paths
+//     and external callers; the server and client never use them per-op.
 package rpcproto
 
 import (
@@ -141,11 +161,13 @@ func EncodeRequest(dst []byte, r *Request) []byte {
 	return dst
 }
 
-// DecodeRequest parses one request frame from src, returning the request
-// and the bytes consumed.
-func DecodeRequest(src []byte) (*Request, int, error) {
+// DecodeBorrow parses one request from src into r, ALIASING src: r.Key and
+// r.Value point into src and are valid only while src's owner keeps it
+// alive. It returns the bytes consumed. This is the zero-copy, zero-alloc
+// server-side decode; see the package comment for the ownership contract.
+func (r *Request) DecodeBorrow(src []byte) (int, error) {
 	if len(src) < reqHdrSize {
-		return nil, 0, ErrShortBuffer
+		return 0, ErrShortBuffer
 	}
 	// The key/value lengths come straight off the wire; cap them (in 64-bit
 	// arithmetic, so a 4GB-1 length can't wrap a 32-bit int into a negative
@@ -153,27 +175,44 @@ func DecodeRequest(src []byte) (*Request, int, error) {
 	kl64 := int64(binary.LittleEndian.Uint32(src[25:]))
 	vl64 := int64(binary.LittleEndian.Uint32(src[29:]))
 	if kl64 > MaxFrameBytes || vl64 > MaxFrameBytes || kl64+vl64 > MaxFrameBytes {
-		return nil, 0, ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	kl, vl := int(kl64), int(vl64)
 	total := reqHdrSize + kl + vl
 	if len(src) < total {
-		return nil, 0, ErrShortBuffer
+		return 0, ErrShortBuffer
 	}
-	r := &Request{
-		ID:        binary.LittleEndian.Uint64(src[0:]),
-		Op:        Op(src[8]),
-		Tenant:    binary.LittleEndian.Uint16(src[9:]),
-		Partition: binary.LittleEndian.Uint32(src[11:]),
-		Epoch:     binary.LittleEndian.Uint64(src[15:]),
-		Hop:       src[23],
-		Shipped:   src[24] == 1,
-	}
+	r.ID = binary.LittleEndian.Uint64(src[0:])
+	r.Op = Op(src[8])
+	r.Tenant = binary.LittleEndian.Uint16(src[9:])
+	r.Partition = binary.LittleEndian.Uint32(src[11:])
+	r.Epoch = binary.LittleEndian.Uint64(src[15:])
+	r.Hop = src[23]
+	r.Shipped = src[24] == 1
+	r.Key = nil
+	r.Value = nil
 	if kl > 0 {
-		r.Key = append([]byte(nil), src[reqHdrSize:reqHdrSize+kl]...)
+		r.Key = src[reqHdrSize : reqHdrSize+kl : reqHdrSize+kl]
 	}
 	if vl > 0 {
-		r.Value = append([]byte(nil), src[reqHdrSize+kl:total]...)
+		r.Value = src[reqHdrSize+kl : total : total]
+	}
+	return total, nil
+}
+
+// DecodeRequest parses one request frame from src, returning the request
+// and the bytes consumed. The result owns its bytes (copying decode).
+func DecodeRequest(src []byte) (*Request, int, error) {
+	r := &Request{}
+	total, err := r.DecodeBorrow(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(r.Key) > 0 {
+		r.Key = append([]byte(nil), r.Key...)
+	}
+	if len(r.Value) > 0 {
+		r.Value = append([]byte(nil), r.Value...)
 	}
 	return r, total, nil
 }
@@ -191,29 +230,43 @@ func EncodeResponse(dst []byte, r *Response) []byte {
 	return dst
 }
 
-// DecodeResponse parses one response frame from src, returning the response
-// and the bytes consumed.
-func DecodeResponse(src []byte) (*Response, int, error) {
+// DecodeBorrow parses one response from src into r, ALIASING src: r.Value
+// points into src and is valid only while src's owner keeps it alive. It
+// returns the bytes consumed. See the package comment for the contract.
+func (r *Response) DecodeBorrow(src []byte) (int, error) {
 	if len(src) < respHdrSize {
-		return nil, 0, ErrShortBuffer
+		return 0, ErrShortBuffer
 	}
 	vl64 := int64(binary.LittleEndian.Uint32(src[21:]))
 	if vl64 > MaxFrameBytes {
-		return nil, 0, ErrFrameTooLarge
+		return 0, ErrFrameTooLarge
 	}
 	vl := int(vl64)
 	total := respHdrSize + vl
 	if len(src) < total {
-		return nil, 0, ErrShortBuffer
+		return 0, ErrShortBuffer
 	}
-	r := &Response{
-		ID:     binary.LittleEndian.Uint64(src[0:]),
-		Status: Status(src[8]),
-		Tokens: int32(binary.LittleEndian.Uint32(src[9:])),
-		Epoch:  binary.LittleEndian.Uint64(src[13:]),
-	}
+	r.ID = binary.LittleEndian.Uint64(src[0:])
+	r.Status = Status(src[8])
+	r.Tokens = int32(binary.LittleEndian.Uint32(src[9:]))
+	r.Epoch = binary.LittleEndian.Uint64(src[13:])
+	r.Value = nil
 	if vl > 0 {
-		r.Value = append([]byte(nil), src[respHdrSize:total]...)
+		r.Value = src[respHdrSize:total:total]
+	}
+	return total, nil
+}
+
+// DecodeResponse parses one response frame from src, returning the response
+// and the bytes consumed. The result owns its bytes (copying decode).
+func DecodeResponse(src []byte) (*Response, int, error) {
+	r := &Response{}
+	total, err := r.DecodeBorrow(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(r.Value) > 0 {
+		r.Value = append([]byte(nil), r.Value...)
 	}
 	return r, total, nil
 }

@@ -119,6 +119,7 @@ func (e *Env) Spawn(name string, fn func(t runtime.Task)) {
 		name: fmt.Sprintf("%s#%d", name, e.ntask.Add(1)),
 		park: make(chan struct{}, 1),
 	}
+	t.tk.t = t
 	e.track()
 	go func() {
 		defer e.untrack()
@@ -201,12 +202,21 @@ func (e *Env) MakeHistogram() *runtime.Histogram { return runtime.NewHistogram()
 // task is one running goroutine. parked/seq are guarded by env.mu; the park
 // channel (capacity 1) carries the wakeup token so a Wake landing between
 // lock release and channel receive is never lost.
+//
+// tk is the task's single reusable ticket: Prepare bumps seq and hands out
+// &t.tk instead of allocating, so the hot park/wake path is allocation-free.
+// The cost of sharing one ticket is that a holder of an *old* ticket can no
+// longer be distinguished by pointer identity — its Wake sees the current
+// seq and wakes the task. That is exactly a spurious wakeup, which the
+// runtime.Task contract already requires every caller to tolerate by
+// re-checking its condition in a loop.
 type task struct {
 	env    *Env
 	name   string
 	park   chan struct{}
 	seq    uint64
 	parked bool
+	tk     ticket
 }
 
 // Name returns the task's debug name.
@@ -225,10 +235,13 @@ func (t *task) Sleep(d runtime.Time) {
 	t.env.mu.Lock()
 }
 
-// Prepare issues a one-shot wakeup ticket for the task's next Park.
+// Prepare issues a wakeup ticket for the task's next Park. The returned
+// ticket is the task's embedded one (no allocation); see the task comment
+// for why stale holders degrade to spurious wakeups rather than bugs.
 func (t *task) Prepare() runtime.Ticket {
 	t.seq++
-	return &ticket{t: t, seq: t.seq}
+	t.tk.seq = t.seq
+	return &t.tk
 }
 
 // Park blocks until the current ticket is woken, releasing the runtime lock
@@ -340,9 +353,14 @@ func (q *queue) Put(v any) {
 	if n := q.Len(); n > q.maxLen {
 		q.maxLen = n
 	}
-	if len(q.getters) > 0 {
+	if n := len(q.getters); n > 0 {
 		tk := q.getters[0]
-		q.getters = q.getters[1:]
+		// Shift down instead of reslicing forward: q.getters[1:] would walk
+		// the slice base off its backing array, so the next append allocates
+		// a fresh one — once per blocking Get, on the serve hot path.
+		copy(q.getters, q.getters[1:])
+		q.getters[n-1] = nil
+		q.getters = q.getters[:n-1]
 		tk.Wake()
 	}
 }
@@ -482,7 +500,12 @@ func (r *resource) Release(n int64) {
 	}
 	for len(r.waiters) > 0 && r.waiters[0].n <= r.avail {
 		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+		// Shift down, as in queue.Put: reslicing forward would make every
+		// future append reallocate the waiter list.
+		n := len(r.waiters)
+		copy(r.waiters, r.waiters[1:])
+		r.waiters[n-1] = resWaiter{}
+		r.waiters = r.waiters[:n-1]
 		r.avail -= w.n
 		*w.granted = true
 		w.tk.Wake()

@@ -1,0 +1,82 @@
+package server_test
+
+import (
+	"testing"
+
+	"leed/internal/bench"
+	"leed/internal/core"
+	"leed/internal/engine"
+	"leed/internal/flashsim"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/server"
+	"leed/internal/transport"
+)
+
+// TestServeGetAllocBudget pins the end-to-end per-request allocation budget
+// at the unit-test level (the benchmark + `leedctl hotpath` CI gate measure
+// the same path with more samples): a steady-state served GET over the
+// inproc transport must stay within bench.GetAllocBudget allocations,
+// counted across every goroutine involved — client, transport, server
+// workers, engine, store, device.
+func TestServeGetAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the serve path")
+	}
+	env := wallclock.New()
+	const devCap = 8 << 20
+	mk := func() flashsim.Device {
+		d := flashsim.NewMemDevice(env, devCap)
+		d.SetSyncReads(true)
+		return d
+	}
+	eng := engine.New(engine.Config{
+		Env:              env,
+		Devices:          []flashsim.Device{mk(), mk()},
+		PartitionsPerSSD: 2,
+		Geometry:         core.PlanPartition(2<<20, 16, 256, core.PlanOpts{}),
+		PartitionBytes:   2 << 20,
+	})
+	srv := server.New(server.Config{Env: env, Engine: eng})
+	inp := transport.NewInproc(env, transport.InprocOptions{})
+	srv.Serve(inp)
+
+	env.Spawn("alloc-driver", func(p runtime.Task) {
+		conn, err := inp.Dial(p)
+		if err != nil {
+			t.Errorf("dial: %v", err)
+			srv.Close()
+			return
+		}
+		cl := server.NewClient(env, conn, 16)
+		defer func() {
+			cl.Close()
+			srv.Close()
+		}()
+		for i := 0; i < 8; i++ {
+			if err := cl.Put(p, testKey(i), testVal(i)); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+		}
+		dst := make([]byte, 0, 256)
+		for i := 0; i < 500; i++ { // warm every pool and free list
+			if dst, err = cl.GetInto(p, testKey(i%8), dst[:0]); err != nil {
+				t.Errorf("warmup get: %v", err)
+				return
+			}
+		}
+		i := 0
+		got := testing.AllocsPerRun(300, func() {
+			var err error
+			if dst, err = cl.GetInto(p, testKey(i%8), dst[:0]); err != nil {
+				t.Errorf("get: %v", err)
+			}
+			i++
+		})
+		if got > bench.GetAllocBudget {
+			t.Errorf("served GET = %.1f allocs/op, budget %d", got, bench.GetAllocBudget)
+		}
+	})
+	env.Wait()
+}

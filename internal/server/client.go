@@ -17,6 +17,25 @@ import (
 // ambiguous and the retry policy must not blindly reissue writes.
 var ErrDeadlineExceeded = errors.New("client: request deadline exceeded")
 
+// call is one in-flight request's state, pooled on the client. The receive
+// loop delivers the response frame into the call (resp/items alias frame),
+// and the calling task consumes and releases it — single owner at every
+// step. The steady-state path (GetInto/Put/Del) waits on the task's
+// reusable Prepare/Park ticket; only the deadline path pays for an Event.
+type call struct {
+	id   uint64
+	tk   runtime.Ticket // park-path wakeup; nil when ev is used
+	ev   runtime.Event  // deadline-path wakeup; nil on the hot path
+	done bool
+	err  error
+
+	frame []byte                   // borrowed response frame
+	resp  rpcproto.Response        // single-op result; Value aliases frame
+	items []rpcproto.BatchRespItem // batch result; Values alias frame
+
+	req rpcproto.Request // request scratch, avoids an escaping literal per op
+}
+
 // Client is a pipelined KV client over one transport.Conn. Up to depth
 // requests are outstanding at once; a dedicated receiver task matches
 // responses (which arrive in completion order, not issue order) back to
@@ -28,8 +47,10 @@ type Client struct {
 	pipe runtime.Resource
 
 	nextID  uint64
-	pending map[uint64]runtime.Event
-	err     error // sticky; set when the connection dies
+	pending map[uint64]*call
+	free    []*call
+	scratch rpcproto.Response // recv-loop decode scratch, moved into a call
+	err     error             // sticky; set when the connection dies
 
 	// tr, when set, attributes each call's pipeline-slot wait to the
 	// "client" stage and its wire round-trip to the "net" stage — the
@@ -55,13 +76,52 @@ func NewClientTraced(env runtime.Env, conn transport.Conn, depth int64, tr *obs.
 		env:     env,
 		conn:    conn,
 		pipe:    env.MakeResource(depth),
-		pending: make(map[uint64]runtime.Event),
+		pending: make(map[uint64]*call),
 	}
 	env.Spawn("client-recv", c.recvLoop)
 	return c
 }
 
-// recvLoop demultiplexes inbound frames to waiting callers.
+func (c *Client) getCall() *call {
+	if n := len(c.free); n > 0 {
+		cl := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return cl
+	}
+	return &call{}
+}
+
+func (c *Client) putCall(cl *call) {
+	cl.tk, cl.ev = nil, nil
+	cl.done = false
+	cl.err = nil
+	cl.frame = nil
+	cl.resp = rpcproto.Response{}
+	cl.req = rpcproto.Request{}
+	for i := range cl.items {
+		cl.items[i] = rpcproto.BatchRespItem{}
+	}
+	cl.items = cl.items[:0]
+	if len(c.free) < 64 {
+		c.free = append(c.free, cl)
+	}
+}
+
+// release returns the call's borrowed frame to the pool and recycles the
+// call. After release the call's resp/items must not be touched.
+func (c *Client) release(cl *call) {
+	if cl.frame != nil {
+		rpcproto.PutBuf(cl.frame)
+		cl.frame = nil
+	}
+	c.putCall(cl)
+}
+
+// recvLoop demultiplexes inbound frames to waiting callers. Response and
+// batch-response frames are handed to the owning call still borrowed (no
+// copy); error and overload frames are decoded here and their frames
+// released immediately.
 func (c *Client) recvLoop(t runtime.Task) {
 	for {
 		frame, err := c.conn.Recv(t)
@@ -71,21 +131,55 @@ func (c *Client) recvLoop(t runtime.Task) {
 		}
 		kind, payload, _, err := rpcproto.DecodeFrame(frame)
 		if err != nil {
+			rpcproto.PutBuf(frame)
 			c.fail(fmt.Errorf("client: bad frame from server: %w", err))
 			c.conn.Close()
 			return
 		}
 		switch kind {
 		case rpcproto.FrameResponse:
-			resp, _, err := rpcproto.DecodeResponse(payload)
-			if err != nil {
+			if _, err := c.scratch.DecodeBorrow(payload); err != nil {
+				rpcproto.PutBuf(frame)
 				c.fail(fmt.Errorf("client: bad response: %w", err))
 				c.conn.Close()
 				return
 			}
-			c.complete(resp.ID, resp)
+			cl, ok := c.pending[c.scratch.ID]
+			if !ok {
+				rpcproto.PutBuf(frame) // late response after a deadline; drop
+				continue
+			}
+			delete(c.pending, cl.id)
+			cl.resp = c.scratch
+			cl.frame = frame
+			c.deliver(cl)
+		case rpcproto.FrameBatchResp:
+			id, err := rpcproto.BatchID(payload)
+			if err != nil {
+				rpcproto.PutBuf(frame)
+				c.fail(fmt.Errorf("client: bad batch response: %w", err))
+				c.conn.Close()
+				return
+			}
+			cl, ok := c.pending[id]
+			if !ok {
+				rpcproto.PutBuf(frame)
+				continue
+			}
+			_, items, derr := rpcproto.DecodeBatchResp(payload, cl.items[:0])
+			if derr != nil {
+				rpcproto.PutBuf(frame)
+				c.fail(fmt.Errorf("client: bad batch response: %w", derr))
+				c.conn.Close()
+				return
+			}
+			delete(c.pending, id)
+			cl.items = items
+			cl.frame = frame
+			c.deliver(cl)
 		case rpcproto.FrameError:
 			ef, _, err := rpcproto.DecodeError(payload)
+			rpcproto.PutBuf(frame)
 			if err != nil {
 				c.fail(fmt.Errorf("client: bad error frame: %w", err))
 				c.conn.Close()
@@ -98,25 +192,41 @@ func (c *Client) recvLoop(t runtime.Task) {
 				c.conn.Close()
 				return
 			}
-			c.complete(ef.ID, ef)
+			c.completeErr(ef.ID, ef)
 		case rpcproto.FrameOverload:
 			of, _, err := rpcproto.DecodeOverload(payload)
+			rpcproto.PutBuf(frame)
 			if err != nil {
 				c.fail(fmt.Errorf("client: bad overload frame: %w", err))
 				c.conn.Close()
 				return
 			}
-			c.complete(of.ID, of)
+			c.completeErr(of.ID, of)
+		default:
+			rpcproto.PutBuf(frame)
 		}
 	}
 }
 
-// complete hands v (a *rpcproto.Response or an error) to the caller
-// waiting on id. Unknown ids are ignored (a late response after fail).
-func (c *Client) complete(id uint64, v any) {
-	if ev, ok := c.pending[id]; ok {
+// deliver wakes the caller waiting on cl. The call (and its borrowed
+// frame) now belongs to that caller.
+func (c *Client) deliver(cl *call) {
+	cl.done = true
+	if cl.ev != nil {
+		cl.ev.Fire(nil)
+	} else if cl.tk != nil {
+		cl.tk.Wake()
+	}
+	// A caller that has sent but not yet parked finds done already set.
+}
+
+// completeErr resolves the call waiting on id with err. Unknown ids are
+// ignored (a late response after a deadline or fail).
+func (c *Client) completeErr(id uint64, err error) {
+	if cl, ok := c.pending[id]; ok {
 		delete(c.pending, id)
-		ev.Fire(v)
+		cl.err = err
+		c.deliver(cl)
 	}
 }
 
@@ -125,15 +235,64 @@ func (c *Client) fail(err error) {
 	if c.err == nil {
 		c.err = err
 	}
-	for id, ev := range c.pending {
+	for id, cl := range c.pending {
 		delete(c.pending, id)
-		ev.Fire(c.err)
+		cl.err = c.err
+		c.deliver(cl)
 	}
+}
+
+// await parks the task until the receiver delivers the call. Wakeups may
+// be spurious, so it loops on the call's done flag.
+func (c *Client) await(t runtime.Task, cl *call) {
+	for !cl.done {
+		cl.tk = t.Prepare()
+		t.Park()
+	}
+	cl.tk = nil
+}
+
+// roundTrip runs one single-op request through admission, the wire, and
+// the park-based wait. On success the returned call holds the borrowed
+// response; the caller consumes it and must release it. On error the call
+// has already been recycled.
+func (c *Client) roundTrip(t runtime.Task, op rpcproto.Op, key, val []byte) (*call, error) {
+	t0 := t.Now()
+	c.pipe.Acquire(t, 1)
+	defer c.pipe.Release(1)
+	if c.err != nil {
+		return nil, c.err
+	}
+	cl := c.getCall()
+	c.nextID++
+	cl.id = c.nextID
+	cl.req = rpcproto.Request{ID: cl.id, Op: op, Key: key, Value: val}
+	c.pending[cl.id] = cl
+	sent := t.Now()
+	if err := c.conn.Send(t, rpcproto.AppendRequestFrame(rpcproto.GetBuf(), &cl.req)); err != nil {
+		delete(c.pending, cl.id)
+		c.putCall(cl)
+		return nil, err
+	}
+	c.await(t, cl)
+	if c.tr != nil {
+		c.tr.Observe("client", sent-t0, 0)
+		c.tr.Observe("net", 0, t.Now()-sent)
+	}
+	if cl.err != nil {
+		err := cl.err
+		c.release(cl)
+		return nil, err
+	}
+	return cl, nil
 }
 
 // Do sends one request and blocks until its response arrives. The
 // request's ID is assigned by the client. A *rpcproto.ErrorFrame or
-// *rpcproto.OverloadFrame from the server is returned as the error.
+// *rpcproto.OverloadFrame from the server is returned as the error. The
+// returned response owns its bytes (this is the copying, allocation-paying
+// surface ReliableClient builds on; the typed helpers below are the
+// allocation-free path).
 func (c *Client) Do(t runtime.Task, req *rpcproto.Request) (*rpcproto.Response, error) {
 	return c.DoDeadline(t, req, 0)
 }
@@ -164,13 +323,16 @@ func (c *Client) DoDeadline(t runtime.Task, req *rpcproto.Request, d runtime.Tim
 		// request was never sent, so this failure is unambiguous.
 		return nil, ErrDeadlineExceeded
 	}
+	cl := c.getCall()
 	c.nextID++
-	req.ID = c.nextID
-	ev := c.env.MakeEvent()
-	c.pending[req.ID] = ev
+	cl.id = c.nextID
+	req.ID = cl.id
+	cl.ev = c.env.MakeEvent()
+	c.pending[cl.id] = cl
 	sent := t.Now()
-	if err := c.conn.Send(t, rpcproto.AppendRequestFrame(nil, req)); err != nil {
-		delete(c.pending, req.ID)
+	if err := c.conn.Send(t, rpcproto.AppendRequestFrame(rpcproto.GetBuf(), req)); err != nil {
+		delete(c.pending, cl.id)
+		c.putCall(cl)
 		return nil, err
 	}
 	if c.tr != nil {
@@ -179,65 +341,155 @@ func (c *Client) DoDeadline(t runtime.Task, req *rpcproto.Request, d runtime.Tim
 			c.tr.Observe("net", 0, t.Now()-sent)
 		}()
 	}
-	var v any
 	if timer != nil {
-		if runtime.WaitAny(t, ev, timer) != 0 && !ev.Fired() {
-			delete(c.pending, req.ID)
+		if runtime.WaitAny(t, cl.ev, timer) != 0 && !cl.ev.Fired() {
+			delete(c.pending, cl.id)
+			c.putCall(cl)
 			return nil, ErrDeadlineExceeded
 		}
-		v = ev.Value()
 	} else {
-		v = t.Wait(ev)
+		t.Wait(cl.ev)
 	}
-	switch v := v.(type) {
-	case *rpcproto.Response:
-		return v, nil
-	case error:
-		return nil, v
+	if cl.err != nil {
+		err := cl.err
+		c.release(cl)
+		return nil, err
 	}
-	return nil, transport.ErrClosed
+	resp := &rpcproto.Response{
+		ID:     cl.resp.ID,
+		Status: cl.resp.Status,
+		Tokens: cl.resp.Tokens,
+		Epoch:  cl.resp.Epoch,
+	}
+	if len(cl.resp.Value) > 0 {
+		resp.Value = append([]byte(nil), cl.resp.Value...)
+	}
+	c.release(cl)
+	return resp, nil
 }
 
-// Get fetches key. A missing key is core.ErrNotFound.
+// Get fetches key. A missing key is core.ErrNotFound. The returned value
+// owns its bytes; use GetInto to reuse a buffer across calls.
 func (c *Client) Get(t runtime.Task, key []byte) ([]byte, error) {
-	resp, err := c.Do(t, &rpcproto.Request{Op: rpcproto.OpGet, Key: key})
+	return c.GetInto(t, key, nil)
+}
+
+// GetInto fetches key, appending the value to dst and returning the
+// extended slice — the allocation-free read: with a reused dst of
+// sufficient capacity, the whole round trip allocates nothing. A missing
+// key is core.ErrNotFound.
+func (c *Client) GetInto(t runtime.Task, key, dst []byte) ([]byte, error) {
+	cl, err := c.roundTrip(t, rpcproto.OpGet, key, nil)
 	if err != nil {
 		return nil, err
 	}
-	switch resp.Status {
-	case rpcproto.StatusOK:
-		return resp.Value, nil
-	case rpcproto.StatusNotFound:
+	st := cl.resp.Status
+	if st == rpcproto.StatusOK {
+		dst = append(dst, cl.resp.Value...)
+		c.release(cl)
+		return dst, nil
+	}
+	c.release(cl)
+	if st == rpcproto.StatusNotFound {
 		return nil, core.ErrNotFound
 	}
-	return nil, fmt.Errorf("client: GET %s", resp.Status)
+	return nil, fmt.Errorf("client: GET %s", st)
 }
 
 // Put stores key=val.
 func (c *Client) Put(t runtime.Task, key, val []byte) error {
-	resp, err := c.Do(t, &rpcproto.Request{Op: rpcproto.OpPut, Key: key, Value: val})
+	cl, err := c.roundTrip(t, rpcproto.OpPut, key, val)
 	if err != nil {
 		return err
 	}
-	if resp.Status != rpcproto.StatusOK {
-		return fmt.Errorf("client: PUT %s", resp.Status)
+	st := cl.resp.Status
+	c.release(cl)
+	if st != rpcproto.StatusOK {
+		return fmt.Errorf("client: PUT %s", st)
 	}
 	return nil
 }
 
 // Del removes key. Deleting a missing key is core.ErrNotFound.
 func (c *Client) Del(t runtime.Task, key []byte) error {
-	resp, err := c.Do(t, &rpcproto.Request{Op: rpcproto.OpDel, Key: key})
+	cl, err := c.roundTrip(t, rpcproto.OpDel, key, nil)
 	if err != nil {
 		return err
 	}
-	switch resp.Status {
+	st := cl.resp.Status
+	c.release(cl)
+	switch st {
 	case rpcproto.StatusOK:
 		return nil
 	case rpcproto.StatusNotFound:
 		return core.ErrNotFound
 	}
-	return fmt.Errorf("client: DEL %s", resp.Status)
+	return fmt.Errorf("client: DEL %s", st)
+}
+
+// doBatch runs one batch frame round trip and copies the per-item results
+// into out (reused across calls; values own their bytes). The batch path
+// trades a few per-batch allocations for amortizing framing and admission
+// over the whole batch.
+func (c *Client) doBatch(t runtime.Task, op rpcproto.Op, keys, vals [][]byte, out []rpcproto.BatchRespItem) ([]rpcproto.BatchRespItem, error) {
+	out = out[:0]
+	if len(keys) == 0 {
+		return out, nil
+	}
+	if len(keys) > rpcproto.MaxBatchItems {
+		return out, rpcproto.ErrBatchTooLarge
+	}
+	t0 := t.Now()
+	c.pipe.Acquire(t, 1)
+	defer c.pipe.Release(1)
+	if c.err != nil {
+		return out, c.err
+	}
+	cl := c.getCall()
+	c.nextID++
+	cl.id = c.nextID
+	c.pending[cl.id] = cl
+	sent := t.Now()
+	if err := c.conn.Send(t, rpcproto.AppendBatchReqFrame(rpcproto.GetBuf(), cl.id, op, keys, vals)); err != nil {
+		delete(c.pending, cl.id)
+		c.putCall(cl)
+		return out, err
+	}
+	c.await(t, cl)
+	if c.tr != nil {
+		c.tr.Observe("client", sent-t0, 0)
+		c.tr.Observe("net", 0, t.Now()-sent)
+	}
+	if cl.err != nil {
+		err := cl.err
+		c.release(cl)
+		return out, err
+	}
+	for _, it := range cl.items {
+		ri := rpcproto.BatchRespItem{Status: it.Status}
+		if len(it.Value) > 0 {
+			ri.Value = append([]byte(nil), it.Value...)
+		}
+		out = append(out, ri)
+	}
+	c.release(cl)
+	return out, nil
+}
+
+// MultiGet fetches many keys in one frame. The result has one item per
+// key, in key order: StatusOK items carry the value, StatusNotFound items
+// report a missing key. Pass a reused out slice to amortize the result
+// across calls. The server executes the batch across partitions in
+// parallel, so a MultiGet of n keys costs roughly one slow partition, not
+// n round trips.
+func (c *Client) MultiGet(t runtime.Task, keys [][]byte, out []rpcproto.BatchRespItem) ([]rpcproto.BatchRespItem, error) {
+	return c.doBatch(t, rpcproto.OpGet, keys, nil, out)
+}
+
+// MultiPut stores many key=value pairs in one frame; vals[i] goes with
+// keys[i]. The result has one item per key reporting that item's status.
+func (c *Client) MultiPut(t runtime.Task, keys, vals [][]byte, out []rpcproto.BatchRespItem) ([]rpcproto.BatchRespItem, error) {
+	return c.doBatch(t, rpcproto.OpPut, keys, vals, out)
 }
 
 // Err reports the sticky connection error: nil while the connection is

@@ -1,0 +1,19 @@
+package server_test
+
+import (
+	"testing"
+
+	"leed/internal/bench"
+	"leed/internal/rpcproto"
+)
+
+// The serve-path allocation benchmarks: the full stack (client, inproc
+// transport, rpcproto, server, engine, store, in-memory device with sync
+// reads) measured end to end. CI runs these with -benchmem and separately
+// enforces the GET allocs/op budget via `leedctl hotpath`, which shares
+// bench.BenchServe; see DESIGN.md §13 for the budget and the pooling
+// contract behind it.
+
+func BenchmarkServeGet(b *testing.B) { bench.BenchServe(b, rpcproto.OpGet) }
+
+func BenchmarkServePut(b *testing.B) { bench.BenchServe(b, rpcproto.OpPut) }

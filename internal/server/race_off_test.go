@@ -1,0 +1,8 @@
+//go:build !race
+
+package server_test
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates on the serve path, so allocation-budget
+// assertions only run without it.
+const raceEnabled = false

@@ -2,10 +2,20 @@ package transport
 
 import (
 	"fmt"
+	"sync"
 
 	"leed/internal/netsim"
 	"leed/internal/runtime"
 )
+
+// frameBox wraps a frame for the trip through a runtime.Queue. Boxing a
+// []byte into an `any` queue slot copies the three-word slice header to the
+// heap — one allocation per frame — while boxing a pointer is free. The
+// boxes are pooled; Recv unwraps and returns the box immediately, so each
+// box lives only for the queue hop.
+type frameBox struct{ data []byte }
+
+var boxPool = sync.Pool{New: func() any { return new(frameBox) }}
 
 // Inproc is the in-process transport backend: a Listener whose Conns are
 // queue pairs on the runtime seam. It runs under both runtime backends (the
@@ -212,7 +222,9 @@ func (c *inprocConn) Send(t runtime.Task, frame []byte) error {
 	if c.peer.closed {
 		return ErrClosed
 	}
-	c.peer.rxq.Put(frame)
+	fb := boxPool.Get().(*frameBox)
+	fb.data = frame
+	c.peer.rxq.Put(fb)
 	return nil
 }
 
@@ -222,11 +234,17 @@ func (c *inprocConn) Recv(t runtime.Task) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	v := c.rxq.Get(t)
-	if _, eof := v.(eofItem); eof {
-		c.rxq.Put(eofItem{}) // later Recvs see it too
-		return nil, ErrClosed
+	switch v := v.(type) {
+	case *frameBox:
+		data := v.data
+		v.data = nil
+		boxPool.Put(v)
+		return data, nil
+	case []byte: // fabric-routed envelope payload
+		return v, nil
 	}
-	return v.([]byte), nil
+	c.rxq.Put(eofItem{}) // later Recvs see the eof too
+	return nil, ErrClosed
 }
 
 // Close implements Conn: the local side stops immediately; the peer's Recv

@@ -33,16 +33,20 @@ import (
 // the reader appends to a mutex-guarded slice and schedules a single drain;
 // the drain moves everything in arrival order.
 type inbox struct {
-	env runtime.Env
-	q   runtime.Queue
+	env     runtime.Env
+	q       runtime.Queue
+	drainFn func() // bound once; After(0, b.drain) would allocate per call
 
 	mu        sync.Mutex
 	pending   []any
+	spare     []any // previous drained slice, recycled to keep put alloc-free
 	scheduled bool
 }
 
 func newInbox(env runtime.Env) *inbox {
-	return &inbox{env: env, q: env.MakeQueue()}
+	b := &inbox{env: env, q: env.MakeQueue()}
+	b.drainFn = b.drain
+	return b
 }
 
 // put delivers v; safe from any goroutine.
@@ -53,7 +57,7 @@ func (b *inbox) put(v any) {
 	b.scheduled = true
 	b.mu.Unlock()
 	if !sched {
-		b.env.After(0, b.drain)
+		b.env.After(0, b.drainFn)
 	}
 }
 
@@ -61,12 +65,19 @@ func (b *inbox) put(v any) {
 func (b *inbox) drain() {
 	b.mu.Lock()
 	items := b.pending
-	b.pending = nil
+	b.pending = b.spare
+	b.spare = nil
 	b.scheduled = false
 	b.mu.Unlock()
-	for _, v := range items {
+	for i, v := range items {
 		b.q.Put(v)
+		items[i] = nil
 	}
+	b.mu.Lock()
+	if b.spare == nil {
+		b.spare = items[:0]
+	}
+	b.mu.Unlock()
 }
 
 // ErrIdleTimeout reports a connection torn down by its read-idle deadline:
@@ -163,6 +174,7 @@ type TCPConn struct {
 	wmu     sync.Mutex
 	wcond   *sync.Cond
 	wbuf    []byte
+	wspare  []byte // last written buffer, recycled so Send stays alloc-free
 	werr    error
 	wclosed bool
 
@@ -218,14 +230,19 @@ func (tc *TCPConn) readLoop() {
 			tc.c.Close() // poisoned stream: no resync point past a bad prefix
 			return
 		}
-		frame := make([]byte, total)
+		// Rent the frame from the pool; its eventual Recv caller owns and
+		// releases it. Box the slice so the queue hop carries a pointer.
+		frame := rpcproto.GetBufLen(total)
 		copy(frame, hdr[:])
 		tc.armReadDeadline()
 		if _, err := io.ReadFull(br, frame[4:]); err != nil {
+			rpcproto.PutBuf(frame)
 			tc.readFailed(err)
 			return
 		}
-		tc.rx.put(frame)
+		fb := boxPool.Get().(*frameBox)
+		fb.data = frame
+		tc.rx.put(fb)
 	}
 }
 
@@ -261,7 +278,8 @@ func (tc *TCPConn) writeLoop() {
 			break
 		}
 		buf := tc.wbuf
-		tc.wbuf = nil
+		tc.wbuf = tc.wspare[:0]
+		tc.wspare = nil
 		tc.wmu.Unlock()
 		if tc.opts.WriteTimeout > 0 {
 			tc.c.SetWriteDeadline(time.Now().Add(tc.opts.WriteTimeout))
@@ -270,6 +288,11 @@ func (tc *TCPConn) writeLoop() {
 		tc.wmu.Lock()
 		if err != nil && tc.werr == nil {
 			tc.werr = err
+		}
+		// Recycle the written buffer (capacity-bounded) so the two buffers
+		// ping-pong between Send and the writer without reallocating.
+		if cap(buf) <= 1<<20 {
+			tc.wspare = buf[:0]
 		}
 	}
 	tc.wmu.Unlock()
@@ -291,20 +314,27 @@ func (tc *TCPConn) Send(t runtime.Task, frame []byte) error {
 	}
 	tc.wbuf = append(tc.wbuf, frame...)
 	tc.wcond.Signal()
+	// The frame is fully copied into the coalescing buffer; this conn's
+	// ownership ends here and the buffer goes back to the pool.
+	rpcproto.PutBuf(frame)
 	return nil
 }
 
-// Recv implements Conn.
+// Recv implements Conn. The caller owns the returned frame buffer.
 func (tc *TCPConn) Recv(t runtime.Task) ([]byte, error) {
 	v := tc.rx.q.Get(t)
-	if eof, isEOF := v.(eofItem); isEOF {
-		tc.rx.q.Put(eofItem{err: eof.err})
-		if eof.err != nil && eof.err != io.EOF {
-			return nil, eof.err
-		}
-		return nil, ErrClosed
+	if fb, ok := v.(*frameBox); ok {
+		data := fb.data
+		fb.data = nil
+		boxPool.Put(fb)
+		return data, nil
 	}
-	return v.([]byte), nil
+	eof := v.(eofItem)
+	tc.rx.q.Put(eofItem{err: eof.err})
+	if eof.err != nil && eof.err != io.EOF {
+		return nil, eof.err
+	}
+	return nil, ErrClosed
 }
 
 // Close implements Conn: queued outbound frames flush, then the socket

@@ -18,6 +18,15 @@
 // follow the execution contract, so server code stays backend-agnostic.
 // Frames passed through Send/Recv are complete encoded frames, length
 // prefix included — exactly what rpcproto.DecodeFrame consumes.
+//
+// Frame buffers follow rpcproto's single-owner pool contract: Send takes
+// ownership of the frame it is handed (the caller must not touch it after
+// Send returns), and the caller of Recv owns the returned frame — it should
+// rpcproto.PutBuf it once decoded values are no longer needed. The TCP
+// backend copies outbound frames into its coalescing write buffer and
+// releases them immediately; the inproc backend passes the buffer itself to
+// the peer, whose Recv caller releases it. Fabric-routed frames are held by
+// the modeled network and simply fall to the GC (the pool is best-effort).
 package transport
 
 import (
@@ -35,14 +44,14 @@ type Conn interface {
 	// Send queues one encoded frame for the peer and returns without
 	// waiting for delivery. The frame must be a complete rpcproto frame
 	// (length prefix included); the transport may batch queued frames into
-	// one wire write. Send must be called in task context; the transport
-	// does not retain the slice after Send returns on the inproc backend,
-	// but the TCP backend hands it to a writer goroutine, so callers must
-	// not reuse the buffer.
+	// one wire write. Send must be called in task context. Send takes
+	// OWNERSHIP of the frame buffer: the caller must not read, reuse, or
+	// release it after Send returns (see the package comment).
 	Send(t Task, frame []byte) error
 	// Recv blocks until the next frame arrives and returns it. It returns
 	// ErrClosed when the connection is closed (locally or by the peer) and
-	// no frames remain.
+	// no frames remain. The caller owns the returned frame and should
+	// release it with rpcproto.PutBuf when done with its bytes.
 	Recv(t Task) ([]byte, error)
 	// Close tears the connection down; pending Recvs unblock with
 	// ErrClosed once queued frames drain. Close must be called in task or
