@@ -52,8 +52,15 @@ func chaosCmd(image string, capacity int64, partitions int, device string, durab
 		steps = append(steps, served(chaos.ServedScenario(scenario)))
 	case "kill":
 		steps = append(steps, kill)
+	case string(chaos.ProcKillTail), string(chaos.ProcKillHead), string(chaos.ProcPartition):
+		// Multi-process cluster drills: spawn real manager/node children, no
+		// image needed. Not part of "all" — they stand up a whole cluster and
+		// have their own CI step.
+		sc := chaos.ProcScenario(scenario)
+		steps = append(steps, step{scenario, func() error { return procDrill(sc, seed) }})
 	default:
-		return fmt.Errorf("unknown chaos -scenario %q (want proxy-drop, proxy-partition, kill, or all)",
+		return fmt.Errorf("unknown chaos -scenario %q (want proxy-drop, proxy-partition, kill, "+
+			"proc-kill-tail, proc-kill-head, proc-partition, or all)",
 			scenario)
 	}
 	if scenario == "all" || scenario == "kill" {
@@ -82,6 +89,42 @@ func servedDrill(sc chaos.ServedScenario, seed int64, reg *obs.Registry) error {
 		Seed:     seed,
 		Scenario: sc,
 		Obs:      reg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	for _, v := range rep.Violations {
+		fmt.Printf("  violation: %s\n", v)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("drill failed with %d violation(s)", len(rep.Violations))
+	}
+	return nil
+}
+
+// procDrill runs one multi-process cluster scenario: this binary re-execed
+// as `leedctl manager` and `leedctl node` children, a fault injected into a
+// live chain, and zero acked-write loss demanded through the manager's
+// reconfiguration.
+func procDrill(sc chaos.ProcScenario, seed int64) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	rep, err := chaos.RunProcDrill(chaos.ProcConfig{
+		Seed:     seed,
+		Scenario: sc,
+		Spawn: func(spec chaos.ProcSpec) (*exec.Cmd, error) {
+			cmd := exec.Command(exe, spec.Args()...)
+			var out bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			if err := cmd.Start(); err != nil {
+				return nil, err
+			}
+			return cmd, nil
+		},
 	})
 	if err != nil {
 		return err

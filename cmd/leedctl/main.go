@@ -61,6 +61,7 @@ import (
 	"leed/internal/bench"
 	"leed/internal/chaos"
 	"leed/internal/cluster"
+	"leed/internal/cluster/proc"
 	"leed/internal/core"
 	"leed/internal/engine"
 	"leed/internal/flashsim"
@@ -74,6 +75,12 @@ import (
 )
 
 func main() {
+	// The cluster roles take the subcommand first (leedctl manager -listen
+	// ... / leedctl node -id ...): each role owns its flag set, so the
+	// single-store flag soup stays out of multi-process deployments.
+	if len(os.Args) > 1 && (os.Args[1] == "manager" || os.Args[1] == "node") {
+		os.Exit(proc.Main(os.Args[1:]))
+	}
 	image := flag.String("image", "", "store image file (required)")
 	capacity := flag.Int64("capacity", 64<<20, "image capacity in bytes (fixed at init)")
 	modelLatency := flag.Bool("latency", false, "model DCT983 NVMe latencies on top of the image (for bench)")
@@ -90,6 +97,7 @@ func main() {
 	listen := flag.String("listen", "", "serve: TCP address to serve rpcproto clients on (e.g. :7070); the process runs until SIGINT/SIGTERM, then drains")
 	partitions := flag.Int("partitions", 4, "serve -listen: engine partitions carved out of the image")
 	addr := flag.String("addr", "", "loadgen: TCP address of a running leedctl serve -listen (required)")
+	manager := flag.String("manager", "", "loadgen: heartbeat address of a running leedctl manager — drive the whole multi-process cluster instead of one server")
 	pipeline := flag.Int64("pipeline", 16, "loadgen: outstanding-request window per connection")
 	workload := flag.String("workload", "b", "loadgen: YCSB mix (a, b, c, d, f, wr)")
 	records := flag.Int64("records", 2000, "loadgen: keyspace size (preloaded before the measured window)")
@@ -113,6 +121,13 @@ func main() {
 	}
 
 	if flag.Arg(0) == "loadgen" {
+		if *manager != "" {
+			if err := clusterLoadgen(*manager, *clients, *workload, *records, *seed,
+				*warmup, *duration, *benchout, *metricsAddr); err != nil {
+				fatal(err)
+			}
+			return
+		}
 		if err := loadgen(*addr, *clients, *pipeline, *workload, *records, *seed, *batch,
 			*warmup, *duration, *benchout, *metricsAddr); err != nil {
 			fatal(err)
@@ -356,12 +371,30 @@ func usage() {
     leedctl -cluster soak [-seed N] [-scenario S] [ROUNDS]
     leedctl -cluster bench [-clients N] [-seed N] [OPS]
 
+  multi-process cluster (subcommand first; each role owns its flags):
+    leedctl manager [-listen ADDR] [-r N] [-numpart N] [-hb-timeout D]
+            [-metrics-addr ADDR]                       control plane: membership, failure
+                                                       detection, CRRS chain views
+    leedctl node -id N -manager ADDR [-listen ADDR] [-advertise ADDR]
+            [-numpart N] [-ssds N] [-capacity N] [-hb-interval D] [-metrics-addr ADDR]
+                                                       one JBOF: engine + RPC + heartbeats;
+                                                       joins the cluster on its first beat
+    leedctl -manager ADDR [-clients N] [-workload a|b|c|d|f|wr] [-records N]
+            [-duration D] [-benchout PATH] loadgen     drive the whole cluster through the
+                                                       view-routing client; exit non-zero
+                                                       if any acked write is lost
+
   served-path chaos drills (flags go before the subcommand):
     leedctl -scenario proxy-drop|proxy-partition [-seed N] chaos
                                                        fault-proxy drills over real TCP
     leedctl -image FILE -scenario kill [-seed N] chaos  kill -9 a serve child mid-load,
                                                        restart, verify zero acked-write loss
     leedctl -image FILE [-seed N] chaos                 all of the above (-scenario all)
+    leedctl -scenario proc-kill-tail|proc-kill-head|proc-partition [-seed N] chaos
+                                                       multi-process cluster drills: SIGKILL
+                                                       or partition a live chain member,
+                                                       verify zero acked-write loss through
+                                                       the manager's reconfiguration
 
   -metrics-addr ADDR serves /metrics, /metrics.json, and /traces during any
   wall-clock command.
@@ -697,6 +730,52 @@ func loadgen(addr string, conns int, pipeline int64, workload string, records, s
 	fmt.Printf("recorded %s\n", outPath)
 	if res.Errs > 0 {
 		return fmt.Errorf("loadgen saw %d errored operations", res.Errs)
+	}
+	return nil
+}
+
+// clusterLoadgen drives a running multi-process cluster through the
+// view-routing client: views pulled from the manager, writes to chain heads,
+// reads to read replicas. Beyond the throughput measurement it gates on the
+// loss ledger — every preloaded (acked) key must still read back, which is
+// the invariant the CI smoke job checks after SIGKILLing a node mid-run.
+func clusterLoadgen(manager string, clients int, workload string, records, seed int64,
+	warmup, duration time.Duration, outPath, metricsAddr string) error {
+	w, err := workloadByName(workload)
+	if err != nil {
+		return err
+	}
+	if outPath == "" {
+		outPath = "BENCH_cluster.json"
+	}
+	reg := obs.NewRegistry()
+	msrv, err := startMetrics(metricsAddr, reg, nil)
+	if err != nil {
+		return err
+	}
+	defer msrv.Close()
+
+	env := wallclock.New()
+	doc, err := bench.RunClusterLoadgen(env, bench.ClusterLoadgenConfig{
+		Manager:  manager,
+		Clients:  clients,
+		Workload: w,
+		Records:  records,
+		ValLen:   100,
+		Seed:     seed,
+		Warmup:   runtime.Time(warmup),
+		Duration: runtime.Time(duration),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(doc.String())
+	if err := os.WriteFile(outPath, []byte(doc.JSON()), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", outPath, err)
+	}
+	fmt.Printf("recorded %s\n", outPath)
+	if doc.LostWrites > 0 {
+		return fmt.Errorf("cluster loadgen lost %d acked writes", doc.LostWrites)
 	}
 	return nil
 }

@@ -1,0 +1,249 @@
+// Cluster loadgen: the multi-process complement of RunLoadgen. Where
+// RunLoadgen dials one served instance, RunClusterLoadgen pulls a view from
+// a cluster manager and drives the whole CRRS fabric through the
+// view-routing client — writes to chain heads, reads to read replicas,
+// NACK-refresh-retry across reconfigurations. Beyond throughput it keeps a
+// loss ledger: every key it preloaded (and therefore had acked) must still
+// be readable at the end, whatever the cluster went through in between —
+// that LostWrites field is what the CI smoke job gates on after SIGKILLing
+// a node mid-run.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"leed/internal/cluster"
+	"leed/internal/cluster/proc"
+	"leed/internal/core"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/sim"
+	"leed/internal/ycsb"
+)
+
+// ClusterLoadgenConfig describes one run against a cluster manager.
+type ClusterLoadgenConfig struct {
+	// Manager is the control plane's heartbeat address.
+	Manager string
+
+	// Clients is how many concurrent driver tasks run. Default 4.
+	Clients int
+
+	Workload ycsb.Workload
+	Records  int64
+	ValLen   int
+	Seed     int64
+
+	// Warmup precedes the measured window; completions inside it are
+	// discarded. Default Duration/4.
+	Warmup runtime.Time
+	// Duration is the measured window. Default 5s.
+	Duration runtime.Time
+}
+
+// ClusterDoc is the recorded output of a cluster loadgen run (leedctl
+// loadgen -manager), written as BENCH_cluster.json by the CI smoke job.
+type ClusterDoc struct {
+	Manager    string `json:"manager"`
+	Workload   string `json:"workload"`
+	Clients    int    `json:"clients"`
+	Records    int64  `json:"records"`
+	ValLen     int    `json:"val_len"`
+	WarmupNS   int64  `json:"warmup_ns"`
+	DurationNS int64  `json:"duration_ns"`
+
+	// EpochStart/EpochEnd bracket the run; a kill mid-run shows up as
+	// EpochEnd > EpochStart.
+	EpochStart uint64 `json:"epoch_start"`
+	EpochEnd   uint64 `json:"epoch_end"`
+
+	Res WallclockRes `json:"result"`
+
+	WritesAcked  int64 `json:"writes_acked"`
+	WritesFailed int64 `json:"writes_failed"`
+
+	// Verified is how many preloaded keys the final sweep read back;
+	// LostWrites is how many of them came back NotFound or unreadable. The
+	// durability gate: acked implies readable, so this must be zero.
+	Verified   int64 `json:"verified"`
+	LostWrites int64 `json:"lost_writes"`
+}
+
+// JSON renders the doc, indented, with a trailing newline.
+func (d *ClusterDoc) JSON() string {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		panic(err) // plain struct of scalars always marshals
+	}
+	return string(b) + "\n"
+}
+
+// String renders the measurement as a one-row table plus the loss ledger.
+func (d *ClusterDoc) String() string {
+	t := &Table{
+		Title: fmt.Sprintf("cluster loadgen %s via manager %s: %d clients, epoch %d→%d",
+			d.Workload, d.Manager, d.Clients, d.EpochStart, d.EpochEnd),
+		Columns: []string{"transport", "kqps", "p50us", "p99us", "ops", "errs"},
+	}
+	r := d.Res
+	t.Add(r.Device, kqps(r.Thr), fmt.Sprintf("%.1f", r.P50US), fmt.Sprintf("%.1f", r.P99US),
+		fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.Errs))
+	return t.String() + fmt.Sprintf("writes acked=%d failed=%d; read-back verified=%d lost=%d\n",
+		d.WritesAcked, d.WritesFailed, d.Verified, d.LostWrites)
+}
+
+// RunClusterLoadgen refreshes a view from cfg.Manager, preloads the
+// keyspace, drives the mix closed-loop for Warmup+Duration, and read-backs
+// every preloaded key. Call it from the goroutine that owns env: it spawns
+// tasks and blocks in env.Wait until the run winds down.
+func RunClusterLoadgen(env *wallclock.Env, cfg ClusterLoadgenConfig) (*ClusterDoc, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Records <= 0 {
+		cfg.Records = 2000
+	}
+	if cfg.ValLen <= 0 {
+		cfg.ValLen = 100
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * runtime.Second
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = cfg.Duration / 4
+	}
+	doc := &ClusterDoc{
+		Manager:    cfg.Manager,
+		Workload:   cfg.Workload.Name,
+		Clients:    cfg.Clients,
+		Records:    cfg.Records,
+		ValLen:     cfg.ValLen,
+		WarmupNS:   int64(cfg.Warmup),
+		DurationNS: int64(cfg.Duration),
+	}
+	cl := proc.NewClient(proc.ClientConfig{
+		Env:     env,
+		Manager: cfg.Manager,
+		// Enough retries for one op to ride out a failure-detection window.
+		Retries: 60,
+	})
+
+	res := RunResult{Lat: sim.NewHistogram()}
+	var runErr error
+	env.Spawn("cluster-loadgen", func(p runtime.Task) {
+		defer cl.Close()
+		// A usable view: every partition routes both a write (chain head)
+		// and a read (synced replica).
+		if !awaitRoutableView(p, cl, 30*time.Second) {
+			runErr = fmt.Errorf("cluster loadgen: no routable view from %s", cfg.Manager)
+			return
+		}
+		doc.EpochStart = cl.View().Epoch
+
+		// Preload through the same client so every record is acked before
+		// the measured window — the loss ledger's baseline.
+		val := make([]byte, cfg.ValLen)
+		for i := range val {
+			val[i] = byte(i * 7)
+		}
+		for i := int64(0); i < cfg.Records; i++ {
+			if err := cl.Put(p, ycsb.KeyAt(i), val); err != nil {
+				runErr = fmt.Errorf("cluster loadgen: preload key %d: %w", i, err)
+				return
+			}
+		}
+		doc.WritesAcked += cfg.Records
+
+		start := p.Now()
+		measureAt := start + cfg.Warmup
+		stopAt := measureAt + cfg.Duration
+		evs := make([]runtime.Event, 0, cfg.Clients)
+		for c := 0; c < cfg.Clients; c++ {
+			idx := int64(c)
+			ev := env.MakeEvent()
+			evs = append(evs, ev)
+			env.Spawn("cluster-issuer", func(q runtime.Task) {
+				defer ev.Fire(nil)
+				gen := ycsb.NewGenerator(cfg.Workload, cfg.Records, cfg.ValLen, cfg.Seed+idx+1)
+				for q.Now() < stopAt {
+					op := gen.Next()
+					key := append([]byte(nil), op.Key...)
+					t0 := q.Now()
+					var err error
+					if op.Type == ycsb.OpRead {
+						_, err = cl.Get(q, key)
+						if err == core.ErrNotFound {
+							err = nil
+						}
+					} else {
+						err = cl.Put(q, key, append([]byte(nil), op.Value...))
+						if err == nil {
+							doc.WritesAcked++
+						} else {
+							doc.WritesFailed++
+						}
+					}
+					t1 := q.Now()
+					if t1 >= measureAt && t1 <= stopAt {
+						res.Ops++
+						res.Lat.Record(t1 - t0)
+						if err != nil {
+							res.Errs++
+						}
+					}
+				}
+			})
+		}
+		runtime.WaitAll(p, evs...)
+
+		// The loss ledger: every preloaded (acked) key must still read back.
+		for i := int64(0); i < cfg.Records; i++ {
+			doc.Verified++
+			if _, err := cl.Get(p, ycsb.KeyAt(i)); err != nil {
+				doc.LostWrites++
+			}
+		}
+		if v := cl.View(); v != nil {
+			doc.EpochEnd = v.Epoch
+		}
+	})
+	env.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	res.Elapsed = cfg.Duration
+	if res.Elapsed > 0 {
+		res.Thr = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	doc.Res = NewWallclockRes("cluster", res)
+	return doc, nil
+}
+
+// awaitRoutableView refreshes until the view can route every partition.
+func awaitRoutableView(p runtime.Task, cl *proc.Client, budget time.Duration) bool {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if err := cl.Refresh(p); err == nil {
+			v := cl.View()
+			if v != nil && routable(v) {
+				return true
+			}
+		}
+		p.Sleep(50 * runtime.Millisecond)
+	}
+	return false
+}
+
+func routable(v *cluster.View) bool {
+	for part := uint32(0); part < uint32(v.NumPart); part++ {
+		if len(v.Chain(part)) == 0 {
+			return false
+		}
+		if _, ok := proc.ReadReplica(v, part); !ok {
+			return false
+		}
+	}
+	return true
+}

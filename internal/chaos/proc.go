@@ -1,0 +1,637 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"leed/internal/cluster"
+	"leed/internal/cluster/proc"
+	"leed/internal/core"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/transport"
+)
+
+// Proc drills are the multi-process complement of the served drills: instead
+// of one server behind a fault proxy they stand up a real cluster — a
+// manager process and several node processes on loopback — and attack a
+// process, not a connection. The contract under test is CRRS's (§3.7): a
+// write is acked only after the whole chain has absorbed it, so SIGKILLing
+// any single chain member must lose nothing the client was told succeeded,
+// and the manager must detect the death, cut a new view, and keep the
+// cluster serving.
+//
+// The drill does not fork processes itself; the caller supplies Spawn, which
+// maps a ProcSpec to a running *exec.Cmd. Tests re-exec the test binary
+// through an env-var dispatcher; leedctl re-execs itself with the manager /
+// node subcommands. Everything else — readiness, load, the kill, the
+// convergence wait, verification, graceful shutdown — is the drill's.
+
+// ProcScenario names one multi-process fault schedule.
+type ProcScenario string
+
+const (
+	// ProcKillTail SIGKILLs partition 0's chain tail mid-load. The tail is
+	// the read replica, so reads must fail over once the manager cuts the
+	// new view; acked writes live on the surviving upstream replicas.
+	ProcKillTail ProcScenario = "proc-kill-tail"
+	// ProcKillHead SIGKILLs partition 0's chain head mid-load. Writes lose
+	// their entry point until the view moves the head; the synchronous
+	// downstream ack means everything acked already reached the survivors.
+	ProcKillHead ProcScenario = "proc-kill-head"
+	// ProcPartition blackholes one node's heartbeat link through a
+	// transport.FaultProxy: the node stays alive but falls silent, the
+	// manager must declare it dead and cut it from the view, and after the
+	// heal the node must re-join, re-sync via COPY, and return to RUNNING.
+	ProcPartition ProcScenario = "proc-partition"
+)
+
+// ProcScenarios lists the multi-process scenarios in a fixed order.
+func ProcScenarios() []ProcScenario {
+	return []ProcScenario{ProcKillTail, ProcKillHead, ProcPartition}
+}
+
+// ProcSpec describes one cluster process for Spawn to start. Role is
+// "manager" or "node"; node specs carry the ID and the manager address to
+// heartbeat (which the partition scenario routes through a fault proxy).
+type ProcSpec struct {
+	Role       string // "manager" | "node"
+	ID         cluster.NodeID
+	Listen     string
+	Manager    string
+	NumPart    int
+	R          int
+	HBInterval time.Duration
+	HBTimeout  time.Duration
+}
+
+// Args renders the spec as the `leedctl manager` / `leedctl node` argument
+// vector — the shared vocabulary between the drill and every spawner that
+// re-execs a binary embedding proc.Main. Zero-valued fields are omitted so
+// the subcommand's own defaults apply.
+func (s ProcSpec) Args() []string {
+	var args []string
+	switch s.Role {
+	case "manager":
+		args = []string{"manager", "-listen", s.Listen}
+		if s.R != 0 {
+			args = append(args, "-r", fmt.Sprint(s.R))
+		}
+		if s.HBTimeout != 0 {
+			args = append(args, "-hb-timeout", s.HBTimeout.String())
+		}
+	case "node":
+		args = []string{"node",
+			"-id", fmt.Sprint(uint64(s.ID)),
+			"-listen", s.Listen,
+			"-manager", s.Manager,
+		}
+		if s.HBInterval != 0 {
+			args = append(args, "-hb-interval", s.HBInterval.String())
+		}
+	default:
+		return nil
+	}
+	if s.NumPart != 0 {
+		args = append(args, "-numpart", fmt.Sprint(s.NumPart))
+	}
+	return args
+}
+
+// ProcConfig shapes one multi-process drill.
+type ProcConfig struct {
+	Seed     int64
+	Scenario ProcScenario
+
+	// Spawn starts one cluster process from its spec. Required. If the
+	// returned command's Stdout is a *bytes.Buffer the drill additionally
+	// asserts the "drained" line on graceful shutdown.
+	Spawn func(ProcSpec) (*exec.Cmd, error)
+
+	// Keys is the tracked working set. Default 32.
+	Keys int
+	// Nodes is the cluster size. Default 3 (the minimum that leaves a full
+	// R=3 chain one death away from quorum data).
+	Nodes int
+	// NumPart and R shape the ring. Defaults 8 and 3.
+	NumPart int
+	R       int
+
+	// HBInterval is the node heartbeat cadence, HBTimeout the manager's
+	// silent-node failure timeout. Defaults 50ms / 600ms.
+	HBInterval time.Duration
+	HBTimeout  time.Duration
+
+	// KillAfter is how far into the loaded window the fault lands.
+	// Default 400ms.
+	KillAfter time.Duration
+
+	// Budget bounds the whole drill in real time. Default 120s.
+	Budget time.Duration
+}
+
+func (cfg *ProcConfig) setProcDefaults() {
+	if cfg.Scenario == "" {
+		cfg.Scenario = ProcKillTail
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 32
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.NumPart == 0 {
+		cfg.NumPart = 8
+	}
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.HBInterval == 0 {
+		cfg.HBInterval = 50 * time.Millisecond
+	}
+	if cfg.HBTimeout == 0 {
+		cfg.HBTimeout = 600 * time.Millisecond
+	}
+	if cfg.KillAfter == 0 {
+		cfg.KillAfter = 400 * time.Millisecond
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 120 * time.Second
+	}
+}
+
+// ProcReport is a multi-process drill's outcome.
+type ProcReport struct {
+	Scenario ProcScenario
+	Seed     int64
+
+	// Victim is the node the fault hit (killed or partitioned).
+	Victim cluster.NodeID
+	// EpochBefore/EpochAfter bracket the reconfiguration: After must exceed
+	// Before or the manager never reacted.
+	EpochBefore, EpochAfter uint64
+
+	WritesAcked  int64
+	WritesFailed int64
+	// AckedAfterFault counts writes acknowledged after the fault landed —
+	// the liveness half of the verdict (the cluster kept serving).
+	AckedAfterFault int64
+	Reads           int64
+	ReadErrors      int64
+	Poisoned        int // keys whose final version is ambiguous
+
+	Violations []string
+	Pass       bool
+}
+
+func (r *ProcReport) violate(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// String renders a compact single-drill summary.
+func (r *ProcReport) String() string {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	return fmt.Sprintf(
+		"proc %s seed=%d: %s victim=%d epoch %d→%d acked=%d failed=%d ackedAfterFault=%d "+
+			"poisoned=%d reads=%d readErrs=%d violations=%d",
+		r.Scenario, r.Seed, verdict, r.Victim, r.EpochBefore, r.EpochAfter,
+		r.WritesAcked, r.WritesFailed, r.AckedAfterFault, r.Poisoned,
+		r.Reads, r.ReadErrors, len(r.Violations))
+}
+
+// procDrill carries one run's moving parts.
+type procDrill struct {
+	cfg    ProcConfig
+	env    *wallclock.Env
+	cl     *proc.Client
+	mgr    *exec.Cmd
+	nodes  map[cluster.NodeID]*exec.Cmd
+	proxy  *transport.FaultProxy
+	keys   []keyState
+	rep    *ProcReport
+	stop   bool          // set in task context; writers poll it
+	faultC chan struct{} // closed (from a raw goroutine) when the fault lands
+}
+
+// RunProcDrill executes one multi-process scenario end to end. The report's
+// Pass field is the verdict; err is reserved for harness failures (a child
+// that never came up, a missing Spawn).
+func RunProcDrill(cfg ProcConfig) (*ProcReport, error) {
+	cfg.setProcDefaults()
+	d := &procDrill{
+		cfg:    cfg,
+		nodes:  make(map[cluster.NodeID]*exec.Cmd),
+		keys:   make([]keyState, cfg.Keys),
+		rep:    &ProcReport{Scenario: cfg.Scenario, Seed: cfg.Seed},
+		faultC: make(chan struct{}),
+	}
+	if cfg.Spawn == nil {
+		return d.rep, errors.New("chaos: proc drill needs a Spawn function")
+	}
+	defer d.reapAll()
+
+	mgrAddr, err := freeLocalAddr()
+	if err != nil {
+		return d.rep, err
+	}
+	d.mgr, err = cfg.Spawn(ProcSpec{
+		Role: "manager", Listen: mgrAddr,
+		NumPart: cfg.NumPart, R: cfg.R, HBTimeout: cfg.HBTimeout,
+	})
+	if err != nil {
+		return d.rep, fmt.Errorf("spawn manager: %w", err)
+	}
+	if err := awaitListener(mgrAddr, 15*time.Second); err != nil {
+		return d.rep, fmt.Errorf("manager never came up: %w", err)
+	}
+
+	// The partition scenario interposes a fault proxy on ONE node's
+	// heartbeat link; everything else talks to the manager directly.
+	if cfg.Scenario == ProcPartition {
+		d.proxy, err = transport.NewFaultProxy("127.0.0.1:0", mgrAddr, cfg.Seed)
+		if err != nil {
+			return d.rep, err
+		}
+		defer d.proxy.Close()
+	}
+	for i := 1; i <= cfg.Nodes; i++ {
+		id := cluster.NodeID(i)
+		addr, err := freeLocalAddr()
+		if err != nil {
+			return d.rep, err
+		}
+		hbTarget := mgrAddr
+		if d.proxy != nil && i == cfg.Nodes {
+			hbTarget = d.proxy.Addr()
+		}
+		d.nodes[id], err = cfg.Spawn(ProcSpec{
+			Role: "node", ID: id, Listen: addr, Manager: hbTarget,
+			NumPart: cfg.NumPart, HBInterval: cfg.HBInterval,
+		})
+		if err != nil {
+			return d.rep, fmt.Errorf("spawn node %d: %w", id, err)
+		}
+	}
+
+	d.env = wallclock.New()
+	d.cl = proc.NewClient(proc.ClientConfig{
+		Env:     d.env,
+		Manager: mgrAddr,
+		// Generous retries: one op must be able to ride out the detection
+		// window (HBTimeout plus a couple of heartbeat cadences) on NACKs.
+		Retries:    60,
+		RetrySleep: 25 * runtime.Millisecond,
+	})
+
+	done := make(chan struct{})
+	var harnessErr error
+	d.env.Spawn("proc-drill", func(t runtime.Task) {
+		harnessErr = d.run(t)
+		d.finish()
+		d.cl.Close()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(cfg.Budget):
+		harnessErr = errors.New("chaos: proc drill did not finish within its budget")
+	}
+	waitBoundedEnv(d.env, 15*time.Second)
+	return d.rep, harnessErr
+}
+
+// run drives the drill inside the scheduler: readiness, clean preload,
+// fault, convergence, verification, graceful shutdown.
+func (d *procDrill) run(t runtime.Task) error {
+	if !d.awaitMembers(t, 30*time.Second) {
+		return errors.New("chaos: cluster never assembled (not all nodes RUNNING)")
+	}
+	d.sweep(t, 0, 1, false) // version 1 of every key, fault-free
+	v := d.cl.View()
+	d.rep.EpochBefore = v.Epoch
+
+	// The victim: partition 0's chain tail or head for the kill scenarios,
+	// the proxied node for the partition scenario.
+	chain := v.Chain(0)
+	if len(chain) == 0 {
+		return errors.New("chaos: partition 0 has no chain")
+	}
+	switch d.cfg.Scenario {
+	case ProcKillTail:
+		d.rep.Victim = chain[len(chain)-1]
+	case ProcKillHead:
+		d.rep.Victim = chain[0]
+	case ProcPartition:
+		d.rep.Victim = cluster.NodeID(d.cfg.Nodes)
+	default:
+		return fmt.Errorf("chaos: unknown proc scenario %q", d.cfg.Scenario)
+	}
+
+	// The fault lands from a raw goroutine mid-load, like a real crash.
+	victim := d.rep.Victim
+	timer := time.AfterFunc(d.cfg.KillAfter, func() {
+		switch d.cfg.Scenario {
+		case ProcPartition:
+			d.proxy.Partition()
+			d.proxy.KillAll() // sever the in-flight heartbeat conn too
+		default:
+			syscall.Kill(d.nodes[victim].Process.Pid, syscall.SIGKILL)
+		}
+		close(d.faultC)
+	})
+	defer timer.Stop()
+
+	// Writers hammer versioned writes in disjoint key stripes until the
+	// drill releases them; they ride through the reconfiguration on the
+	// client's NACK-refresh-retry loop.
+	const nWriters = 2
+	evs := make([]runtime.Event, 0, nWriters)
+	for w := 0; w < nWriters; w++ {
+		w := w
+		ev := d.env.MakeEvent()
+		evs = append(evs, ev)
+		d.env.Spawn("proc-writer", func(q runtime.Task) {
+			defer ev.Fire(nil)
+			for !d.stop {
+				d.sweep(q, w, nWriters, true)
+				q.Sleep(2 * runtime.Millisecond)
+			}
+		})
+	}
+
+	// Convergence: the manager must cut the victim from the view.
+	if !d.awaitEpoch(t, 30*time.Second, func(v *cluster.View) bool {
+		_, present := v.States[victim]
+		return v.Epoch > d.rep.EpochBefore && !present
+	}) {
+		d.rep.violate("manager never removed node %d from the view", victim)
+	}
+
+	// The partition scenario heals and demands the full round trip: the
+	// silenced node re-joins, re-syncs via COPY, and returns to RUNNING.
+	if d.cfg.Scenario == ProcPartition {
+		d.proxy.Heal()
+		if !d.awaitEpoch(t, 45*time.Second, func(v *cluster.View) bool {
+			return len(v.States) == d.cfg.Nodes && v.States[victim] == cluster.StateRunning
+		}) {
+			d.rep.violate("node %d never re-joined and re-synced after the heal", victim)
+		}
+	}
+
+	d.stop = true
+	runtime.WaitAll(t, evs...)
+	if v := d.cl.View(); v != nil {
+		d.rep.EpochAfter = v.Epoch
+	}
+	d.verify(t)
+	d.shutdown()
+	return nil
+}
+
+// sweep writes the next version of every key in the writer's stripe and
+// interleaves invariant-checked reads, with the same acked/poisoned
+// bookkeeping as the served drills. Key state is only touched in task
+// context — the execution contract is the lock.
+func (d *procDrill) sweep(t runtime.Task, off, stride int, faulty bool) {
+	for i := off; i < len(d.keys); i += stride {
+		ks := &d.keys[i]
+		if !ks.poisoned {
+			ver := ks.maxIssued + 1
+			ks.maxIssued = ver
+			err := d.cl.Put(t, keyName(i), valFor(i, ver))
+			if err != nil {
+				d.rep.WritesFailed++
+				if !proc.WriteNotExecuted(err) {
+					ks.poisoned = true
+				}
+			} else {
+				ks.lastAcked = ver
+				d.rep.WritesAcked++
+				select {
+				case <-d.faultC:
+					d.rep.AckedAfterFault++
+				default:
+				}
+			}
+		}
+		d.checkProcRead(t, (i+len(d.keys)/2)%len(d.keys), faulty)
+	}
+}
+
+// checkProcRead fetches key j under the cluster read invariants. Chains mean
+// a non-acked write can still surface (a NACKed write may have reached a
+// chain prefix that survives reconfiguration), so the invariant is the
+// one-sided CRRS contract: never below the acked floor, never beyond the
+// issued ceiling.
+func (d *procDrill) checkProcRead(t runtime.Task, j int, faulty bool) {
+	ks := &d.keys[j]
+	ackedBefore := ks.lastAcked
+	d.rep.Reads++
+	val, err := d.cl.Get(t, keyName(j))
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		if ackedBefore > 0 {
+			d.rep.violate("lost acked write: key %04d read NotFound with lastAcked=%d", j, ackedBefore)
+		}
+	case err != nil:
+		d.rep.ReadErrors++
+		if !faulty {
+			d.rep.violate("read of key %04d failed outside any fault window: %v", j, err)
+		}
+	default:
+		ver, ok := parseVer(val)
+		if !ok {
+			d.rep.violate("unparseable value for key %04d: %q", j, val)
+			return
+		}
+		if ver > ks.maxIssued {
+			d.rep.violate("phantom version: key %04d read v%d, max issued v%d", j, ver, ks.maxIssued)
+		}
+		if ver < ackedBefore {
+			d.rep.violate("stale read: key %04d read v%d, lastAcked v%d", j, ver, ackedBefore)
+		}
+	}
+}
+
+// awaitMembers polls the manager until every node is present and RUNNING.
+func (d *procDrill) awaitMembers(t runtime.Task, budget time.Duration) bool {
+	return d.awaitEpoch(t, budget, func(v *cluster.View) bool {
+		if len(v.States) != d.cfg.Nodes {
+			return false
+		}
+		for i := 1; i <= d.cfg.Nodes; i++ {
+			if v.States[cluster.NodeID(i)] != cluster.StateRunning {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// awaitEpoch refreshes the client's view until cond holds or the budget
+// runs out. Refresh errors are retried — the manager may be mid-kill.
+func (d *procDrill) awaitEpoch(t runtime.Task, budget time.Duration, cond func(*cluster.View) bool) bool {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if err := d.cl.Refresh(t); err == nil {
+			if v := d.cl.View(); v != nil && cond(v) {
+				return true
+			}
+		}
+		t.Sleep(runtime.Time(d.cfg.HBInterval))
+	}
+	return false
+}
+
+// verify is the post-convergence pass: every key re-read against the final
+// view; no error is tolerable now.
+func (d *procDrill) verify(t runtime.Task) {
+	for i := range d.keys {
+		ks := &d.keys[i]
+		d.rep.Reads++
+		val, err := d.cl.Get(t, keyName(i))
+		switch {
+		case errors.Is(err, core.ErrNotFound):
+			if ks.lastAcked > 0 {
+				d.rep.violate("lost acked write: key %04d NotFound after convergence, lastAcked=%d", i, ks.lastAcked)
+			}
+		case err != nil:
+			d.rep.ReadErrors++
+			d.rep.violate("key %04d unreadable after convergence: %v", i, err)
+		default:
+			ver, ok := parseVer(val)
+			switch {
+			case !ok:
+				d.rep.violate("unparseable value for key %04d after convergence: %q", i, val)
+			case ver > ks.maxIssued:
+				d.rep.violate("phantom version after convergence: key %04d v%d > issued v%d", i, ver, ks.maxIssued)
+			case ver < ks.lastAcked:
+				d.rep.violate("lost acked write: key %04d read v%d < acked v%d", i, ver, ks.lastAcked)
+			}
+		}
+	}
+}
+
+// shutdown SIGTERMs every surviving process and verifies the graceful-drain
+// contract: exit code 0 and (when the spawner captured stdout into a
+// bytes.Buffer) the "drained" line.
+func (d *procDrill) shutdown() {
+	killed := cluster.NodeID(0)
+	if d.cfg.Scenario == ProcKillTail || d.cfg.Scenario == ProcKillHead {
+		killed = d.rep.Victim
+	}
+	for id, cmd := range d.nodes {
+		if id == killed {
+			continue
+		}
+		d.drainChild(fmt.Sprintf("node %d", id), cmd)
+	}
+	d.drainChild("manager", d.mgr)
+}
+
+// drainChild SIGTERMs one child and waits, bounded, for a clean exit.
+func (d *procDrill) drainChild(name string, cmd *exec.Cmd) {
+	if cmd == nil || cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(syscall.SIGTERM)
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			d.rep.violate("%s exited dirty on SIGTERM: %v", name, err)
+		}
+	case <-time.After(15 * time.Second):
+		d.rep.violate("%s did not drain within 15s of SIGTERM", name)
+		syscall.Kill(cmd.Process.Pid, syscall.SIGKILL)
+		<-waited
+	}
+	if buf, ok := cmd.Stdout.(*bytes.Buffer); ok {
+		if !bytes.Contains(buf.Bytes(), []byte("drained")) {
+			d.rep.violate("%s never printed \"drained\" on SIGTERM", name)
+		}
+	}
+}
+
+// finish folds counters into the report and applies scenario expectations:
+// the view must have moved, and the cluster must have kept acking writes
+// after the fault.
+func (d *procDrill) finish() {
+	for i := range d.keys {
+		if d.keys[i].poisoned {
+			d.rep.Poisoned++
+		}
+	}
+	if d.rep.EpochAfter <= d.rep.EpochBefore {
+		d.rep.violate("view epoch never advanced past the fault (%d → %d)",
+			d.rep.EpochBefore, d.rep.EpochAfter)
+	}
+	if d.rep.AckedAfterFault == 0 {
+		d.rep.violate("no write was acked after the fault — the cluster stopped serving")
+	}
+	d.rep.Pass = len(d.rep.Violations) == 0
+}
+
+// reapAll makes sure no child outlives the drill, whatever path exited.
+func (d *procDrill) reapAll() {
+	reap := func(cmd *exec.Cmd) {
+		if cmd == nil || cmd.Process == nil {
+			return
+		}
+		if cmd.ProcessState == nil {
+			syscall.Kill(cmd.Process.Pid, syscall.SIGKILL)
+			cmd.Wait()
+		}
+	}
+	for _, cmd := range d.nodes {
+		reap(cmd)
+	}
+	reap(d.mgr)
+}
+
+// freeLocalAddr reserves an ephemeral loopback port and releases it for a
+// child to bind. The tiny race window is acceptable for a drill.
+func freeLocalAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// awaitListener polls until addr accepts a TCP connection; both roles bind
+// their listeners before printing their ready line, so connect == ready.
+func awaitListener(addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("no listener on %s within %v", addr, budget)
+}
+
+// waitBoundedEnv drains env.Wait with a hard timeout so a wedged task
+// cannot hang the drill process.
+func waitBoundedEnv(env *wallclock.Env, budget time.Duration) {
+	done := make(chan struct{})
+	go func() { env.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(budget):
+	}
+}

@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"leed/internal/cluster/proc"
+)
+
+// The proc drill tests re-exec this test binary as the cluster's manager and
+// node processes, exactly like the proc package's own integration battery:
+// TestMain diverts to the subcommand dispatcher when LEED_PROC_ROLE is set.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("LEED_PROC_ROLE") != "" {
+		os.Exit(proc.Main(strings.Fields(os.Getenv("LEED_PROC_ARGS"))))
+	}
+	os.Exit(m.Run())
+}
+
+// testSpawner maps a ProcSpec onto a re-exec of the test binary, capturing
+// output so the drill can assert the "drained" line.
+func testSpawner(t *testing.T) func(ProcSpec) (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	var spawned []*exec.Cmd
+	t.Cleanup(func() {
+		for _, cmd := range spawned {
+			if cmd.Process != nil && cmd.ProcessState == nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		}
+	})
+	return func(spec ProcSpec) (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"LEED_PROC_ROLE=1",
+			"LEED_PROC_ARGS="+strings.Join(spec.Args(), " "))
+		out := &bytes.Buffer{}
+		cmd.Stdout = out
+		cmd.Stderr = out
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		spawned = append(spawned, cmd)
+		return cmd, nil
+	}
+}
+
+func runProcScenario(t *testing.T, sc ProcScenario) {
+	if testing.Short() {
+		t.Skipf("proc drill %s skipped in -short mode", sc)
+	}
+	rep, err := RunProcDrill(ProcConfig{
+		Seed:     7,
+		Scenario: sc,
+		Spawn:    testSpawner(t),
+	})
+	if err != nil {
+		t.Fatalf("drill harness: %v", err)
+	}
+	t.Log(rep)
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if !rep.Pass {
+		t.Errorf("drill %s failed", sc)
+	}
+}
+
+// TestProcDrillKillTail SIGKILLs partition 0's chain tail — the read
+// replica — mid-load and demands zero acked-write loss plus a manager-cut
+// view that keeps serving.
+func TestProcDrillKillTail(t *testing.T) { runProcScenario(t, ProcKillTail) }
+
+// TestProcDrillKillHead SIGKILLs partition 0's chain head mid-load; the
+// synchronous downstream ack means everything acked already reached the
+// survivors.
+func TestProcDrillKillHead(t *testing.T) { runProcScenario(t, ProcKillHead) }
+
+// TestProcDrillPartition silences one node's heartbeat link through a fault
+// proxy: the manager must detect and evict it, and after the heal the node
+// must re-join, re-sync via COPY, and return to RUNNING.
+func TestProcDrillPartition(t *testing.T) { runProcScenario(t, ProcPartition) }

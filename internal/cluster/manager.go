@@ -52,7 +52,13 @@ type Manager struct {
 	states   map[NodeID]NodeState
 	unsynced map[uint32]map[NodeID]bool
 	lastHB   map[NodeID]runtime.Time
-	subs     []netsim.Addr
+	// subs receive every view broadcast, in subscription order; peers
+	// additionally receive node-addressed COPY commands. Both sides of the
+	// Peer seam: the goroutine cluster registers netsimPeer bindings via
+	// Subscribe, the multi-process cluster registers its own via
+	// SubscribeNode/SubscribePeer.
+	subs  []Peer
+	peers map[NodeID]Peer
 
 	// pendingCopies tracks outstanding (partition, dest) migrations; when
 	// a JOINING node's count drains it becomes RUNNING, and when a
@@ -110,6 +116,7 @@ func NewManager(cfg ManagerConfig, initial []NodeID) *Manager {
 		states:        make(map[NodeID]NodeState),
 		unsynced:      make(map[uint32]map[NodeID]bool),
 		lastHB:        make(map[NodeID]runtime.Time),
+		peers:         make(map[NodeID]Peer),
 		pendingCopies: make(map[copyKey]NodeID),
 		pendingCount:  make(map[NodeID]int),
 	}
@@ -120,9 +127,25 @@ func NewManager(cfg ManagerConfig, initial []NodeID) *Manager {
 	return m
 }
 
-// Subscribe registers an address to receive view broadcasts (nodes and
-// clients alike).
-func (m *Manager) Subscribe(addr netsim.Addr) { m.subs = append(m.subs, addr) }
+// Subscribe registers a netsim address to receive view broadcasts (nodes
+// and clients alike) over the simulated fabric. Node addresses and node IDs
+// coincide on the fabric, so the same binding receives that node's COPY
+// commands; client addresses live in a disjoint range and never collide.
+func (m *Manager) Subscribe(addr netsim.Addr) {
+	p := netsimPeer{ep: m.cfg.Endpoint, addr: addr}
+	m.subs = append(m.subs, p)
+	m.peers[NodeID(addr)] = p
+}
+
+// SubscribeNode registers a node's Peer binding: it receives every view
+// broadcast plus the COPY commands addressed to it as a migration source.
+func (m *Manager) SubscribeNode(id NodeID, p Peer) {
+	m.subs = append(m.subs, p)
+	m.peers[id] = p
+}
+
+// SubscribePeer registers a view observer (a client): broadcasts only.
+func (m *Manager) SubscribePeer(p Peer) { m.subs = append(m.subs, p) }
 
 // View returns the manager's current view (publishing it first if needed).
 func (m *Manager) View() *View {
@@ -167,35 +190,53 @@ func (m *Manager) publish() {
 	m.rebuildView()
 	m.stats.ViewsPublished++
 	m.o.views.Inc()
-	size := int64(128 + 16*len(m.states))
-	for _, addr := range m.subs {
-		m.cfg.Endpoint.Send(addr, size, &viewMsg{view: m.view})
+	for _, p := range m.subs {
+		p.SendView(m.view)
 	}
 }
 
-// Start launches the manager's receive loop and failure detector, and
-// publishes the initial view. Must run in task or scheduler context.
+// OnHeartbeat records one liveness beacon from node. The netsim receive
+// loop calls it for fabric hbMsg payloads; the multi-process manager calls
+// it per decoded FrameHeartbeat. Task or scheduler context.
+func (m *Manager) OnHeartbeat(node NodeID, now runtime.Time) {
+	m.lastHB[node] = now
+}
+
+// OnCopyDone records one completed (partition, dest) migration: the pending
+// transition it belongs to advances, the unsynced mark clears, and a new
+// view publishes. Task or scheduler context.
+func (m *Manager) OnCopyDone(part uint32, dest NodeID) {
+	m.onCopyDone(&copyDone{partition: part, dest: dest})
+}
+
+// Start launches the manager's failure detector — and, when bound to a
+// netsim endpoint, its fabric receive loop — then publishes the initial
+// view. Must run in task or scheduler context. A manager without an
+// endpoint (the multi-process binding) is fed through OnHeartbeat/
+// OnCopyDone by its transport layer instead.
 func (m *Manager) Start() {
 	m.publish()
-	m.env.Spawn("manager-rx", func(p runtime.Task) {
-		rx := m.cfg.Endpoint.RX()
-		for {
-			msg := rx.Get(p).(*netsim.Message)
-			if _, stop := msg.Payload.(stopMsg); stop {
-				rx.Put(msg)
-				return
+	if m.cfg.Endpoint != nil {
+		m.env.Spawn("manager-rx", func(p runtime.Task) {
+			rx := m.cfg.Endpoint.RX()
+			for {
+				msg := rx.Get(p).(*netsim.Message)
+				if _, stop := msg.Payload.(stopMsg); stop {
+					rx.Put(msg)
+					return
+				}
+				if m.stopped {
+					return
+				}
+				switch pl := msg.Payload.(type) {
+				case *hbMsg:
+					m.OnHeartbeat(pl.node, p.Now())
+				case *copyDone:
+					m.onCopyDone(pl)
+				}
 			}
-			if m.stopped {
-				return
-			}
-			switch pl := msg.Payload.(type) {
-			case *hbMsg:
-				m.lastHB[pl.node] = p.Now()
-			case *copyDone:
-				m.onCopyDone(pl)
-			}
-		}
-	})
+		})
+	}
 	m.env.Spawn("manager-fd", func(p runtime.Task) {
 		for !m.stopped {
 			p.Sleep(m.cfg.CheckEvery)
@@ -354,7 +395,9 @@ func (m *Manager) orderCopy(part uint32, src, dst, transitioning NodeID) {
 	m.o.copiesOrdered.Inc()
 	m.pendingCopies[copyKey{part: part, dest: dst}] = transitioning
 	m.pendingCount[transitioning]++
-	m.cfg.Endpoint.Send(netsim.Addr(src), 64, &copyCmd{partition: part, dest: dst})
+	if p := m.peers[src]; p != nil {
+		p.SendCopyCmd(part, dst)
+	}
 }
 
 func (m *Manager) clearUnsynced(part uint32, node NodeID) {

@@ -1,0 +1,39 @@
+package cluster
+
+import "leed/internal/netsim"
+
+// Peer is the manager's outbound seam to one cluster participant: how view
+// snapshots and COPY commands leave the control plane. The in-process
+// goroutine cluster binds it to the simulated fabric (netsimPeer below); the
+// multi-process cluster binds it to heartbeat-reply mailboxes delivered over
+// TCP (internal/cluster/proc). The manager's membership state machine —
+// failure detection, join/leave orchestration, view epochs, COPY ordering —
+// is identical across both bindings; only delivery differs.
+//
+// Both methods are called in task or scheduler context (the execution
+// contract is the lock) and must not block: delivery is asynchronous by
+// design, which is exactly why views carry epochs and nodes validate hops.
+type Peer interface {
+	// SendView delivers one immutable view snapshot.
+	SendView(v *View)
+	// SendCopyCmd directs the receiving node (as source) to copy one
+	// partition's contents to dest.
+	SendCopyCmd(partition uint32, dest NodeID)
+}
+
+// netsimPeer binds Peer to the simulated fabric: messages are the same
+// payload structs, sizes, and ordering the goroutine cluster always used,
+// so sim transcripts stay byte-identical across the seam introduction.
+type netsimPeer struct {
+	ep   *netsim.Endpoint
+	addr netsim.Addr
+}
+
+func (p netsimPeer) SendView(v *View) {
+	size := int64(128 + 16*len(v.States))
+	p.ep.Send(p.addr, size, &viewMsg{view: v})
+}
+
+func (p netsimPeer) SendCopyCmd(partition uint32, dest NodeID) {
+	p.ep.Send(p.addr, 64, &copyCmd{partition: partition, dest: dest})
+}

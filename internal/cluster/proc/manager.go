@@ -1,0 +1,232 @@
+package proc
+
+import (
+	"fmt"
+	"time"
+
+	"leed/internal/cluster"
+	"leed/internal/obs"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/runtime/wallclock"
+	"leed/internal/transport"
+)
+
+// ManagerConfig describes the control-plane process.
+type ManagerConfig struct {
+	Env    *wallclock.Env
+	Listen string // TCP address for heartbeat traffic (host:port, :0 ok)
+
+	R       int // replication factor (default 3)
+	NumPart int // global partitions (default 8)
+
+	// HeartbeatTimeout is how long a silent node lives before the failure
+	// detector removes it. Wallclock default 750ms — real scheduler jitter
+	// makes the simulator's 20ms default evict healthy nodes.
+	HeartbeatTimeout runtime.Time
+	// CheckEvery is the failure-detector period. Default HeartbeatTimeout/4.
+	CheckEvery runtime.Time
+
+	// Obs receives the control plane's series (leed_mgr_* plus
+	// leed_cluster_view_epoch). May be nil.
+	Obs *obs.Registry
+}
+
+// copyKey names one outstanding (partition, dest) migration in a mailbox.
+type copyKey struct {
+	part uint32
+	dest cluster.NodeID
+}
+
+// Manager is the multi-process control plane: a cluster.Manager fed over
+// TCP. All state below is mutated only in task or scheduler context — the
+// wallclock Env's execution contract is the lock, exactly as in-process.
+type Manager struct {
+	cfg ManagerConfig
+	env *wallclock.Env
+	mgr *cluster.Manager
+	ln  *transport.TCPListener
+
+	// addrs is the address book: each member's advertised RPC address,
+	// learned (and kept current) from its heartbeats.
+	addrs map[cluster.NodeID]string
+	// mailbox holds COPY commands per source node, redelivered in every
+	// view push to that node until its heartbeat reports them Done.
+	mailbox map[cluster.NodeID]map[copyKey]bool
+
+	epochG *obs.Gauge
+	closed bool
+}
+
+// mailboxPeer is the manager's Peer binding for one node: views are pulled
+// per heartbeat (SendView is a no-op), COPY commands land in the node's
+// mailbox for redelivery.
+type mailboxPeer struct {
+	m  *Manager
+	id cluster.NodeID
+}
+
+func (p mailboxPeer) SendView(*cluster.View) {}
+
+func (p mailboxPeer) SendCopyCmd(part uint32, dest cluster.NodeID) {
+	box := p.m.mailbox[p.id]
+	if box == nil {
+		box = make(map[copyKey]bool)
+		p.m.mailbox[p.id] = box
+	}
+	box[copyKey{part: part, dest: dest}] = true
+}
+
+// StartManager binds the listener and launches the control plane: the
+// membership state machine starts with no members (nodes auto-Join on their
+// first heartbeat), the failure detector runs at wallclock cadence, and
+// every accepted connection is served until it closes. Returns once the
+// listener is bound; Addr() then reports the bound address.
+func StartManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.R == 0 {
+		cfg.R = 3
+	}
+	if cfg.NumPart == 0 {
+		cfg.NumPart = 8
+	}
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 750 * runtime.Millisecond
+	}
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = cfg.HeartbeatTimeout / 4
+	}
+	// Heartbeat connections idle a full beat interval between frames, so the
+	// read-idle reaper must be far above any sane cadence; it exists only to
+	// collect conns whose peer died without a FIN.
+	ln, err := transport.ListenTCPOpts(cfg.Env, cfg.Listen, transport.TCPOptions{
+		ReadIdleTimeout: 30 * time.Second,
+		WriteTimeout:    5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		env:     cfg.Env,
+		ln:      ln,
+		addrs:   make(map[cluster.NodeID]string),
+		mailbox: make(map[cluster.NodeID]map[copyKey]bool),
+		epochG:  cfg.Obs.Gauge("leed_cluster_view_epoch"),
+	}
+	m.mgr = cluster.NewManager(cluster.ManagerConfig{
+		Env:              cfg.Env,
+		R:                cfg.R,
+		NumPart:          cfg.NumPart,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		CheckEvery:       cfg.CheckEvery,
+		Obs:              cfg.Obs,
+	}, nil)
+	m.env.After(0, func() {
+		m.mgr.Start()
+		m.epochG.Set(int64(m.mgr.Epoch()))
+	})
+	m.env.Spawn("mgr-accept", func(t runtime.Task) {
+		for {
+			c, err := ln.Accept(t)
+			if err != nil {
+				return
+			}
+			if m.closed {
+				c.Close()
+				continue
+			}
+			m.env.Spawn("mgr-conn", func(t runtime.Task) { m.serveConn(t, c) })
+		}
+	})
+	return m, nil
+}
+
+// Addr returns the bound heartbeat address.
+func (m *Manager) Addr() string { return m.ln.Addr() }
+
+// Epoch returns the current view epoch. Task or scheduler context.
+func (m *Manager) Epoch() uint64 { return m.mgr.Epoch() }
+
+// Stats returns the control plane's cumulative counters. Task or scheduler
+// context.
+func (m *Manager) Stats() cluster.ManagerStats { return m.mgr.Stats() }
+
+// Close stops accepting, halts the failure detector, and drops the state
+// machine. Safe from any goroutine.
+func (m *Manager) Close() error {
+	m.ln.Close()
+	m.env.After(0, func() {
+		m.closed = true
+		m.mgr.Stop()
+	})
+	return nil
+}
+
+// serveConn answers heartbeats on one connection until it dies. Everything
+// here runs in task context, serialized with every other manager task by
+// the execution contract.
+func (m *Manager) serveConn(t runtime.Task, c transport.Conn) {
+	defer c.Close()
+	for {
+		frame, err := c.Recv(t)
+		if err != nil {
+			return
+		}
+		kind, payload, _, err := rpcproto.DecodeFrame(frame)
+		if err != nil || kind != rpcproto.FrameHeartbeat {
+			// Undecodable or off-protocol bytes poison the stream: there is
+			// no resync point past a bad frame. Hang up.
+			rpcproto.PutBuf(frame)
+			return
+		}
+		hb, _, err := rpcproto.DecodeHeartbeat(payload)
+		rpcproto.PutBuf(frame)
+		if err != nil {
+			return
+		}
+		if m.closed {
+			return
+		}
+		vp := m.handleHeartbeat(t, hb)
+		if err := c.Send(t, rpcproto.AppendViewPushFrame(rpcproto.GetBuf(), vp)); err != nil {
+			return
+		}
+	}
+}
+
+// handleHeartbeat feeds one beat through the membership machine and builds
+// its view-push reply.
+func (m *Manager) handleHeartbeat(t runtime.Task, hb *rpcproto.Heartbeat) *rpcproto.ViewPush {
+	node := cluster.NodeID(hb.Node)
+	var copies []rpcproto.CopyRef
+	if hb.Node != 0 { // 0 = observer (a client fetching views)
+		if hb.Addr != "" {
+			m.addrs[node] = hb.Addr
+		}
+		if _, known := m.mgr.State(node); !known {
+			// First contact (or first after a failure removal): register the
+			// mailbox peer before Join so COPY orders find it.
+			m.mgr.SubscribeNode(node, mailboxPeer{m: m, id: node})
+			m.mgr.Join(node)
+		}
+		m.mgr.OnHeartbeat(node, t.Now())
+		for _, d := range hb.Done {
+			key := copyKey{part: d.Partition, dest: cluster.NodeID(d.Dest)}
+			if box := m.mailbox[node]; box[key] {
+				delete(box, key)
+				m.mgr.OnCopyDone(d.Partition, cluster.NodeID(d.Dest))
+			}
+		}
+		for key := range m.mailbox[node] {
+			copies = append(copies, rpcproto.CopyRef{Partition: key.part, Dest: uint64(key.dest)})
+		}
+	}
+	v := m.mgr.View()
+	m.epochG.Set(int64(v.Epoch))
+	return pushFromView(v, m.addrs, copies)
+}
+
+// String summarizes the control plane for logs.
+func (m *Manager) String() string {
+	return fmt.Sprintf("proc-manager %s: %s", m.Addr(), m.mgr)
+}

@@ -1,0 +1,144 @@
+// Package proc is the multi-process binding of the LEED cluster: the same
+// node and manager logic the in-process goroutine cluster runs over the
+// simulated fabric, split across real OS processes talking rpcproto frames
+// over TCP.
+//
+// Topology: `leedctl manager` runs the control plane — the cluster.Manager
+// membership state machine behind a TCP listener — and `leedctl node` runs
+// one JBOF: engine partitions over in-memory simulated SSDs, a handler-mode
+// server for client and peer traffic, and a heartbeat loop to the manager.
+//
+// Protocol: heartbeats are request-response on one connection. A node (or a
+// view observer such as a client, using the Node-0 convention) sends
+// FrameHeartbeat{Node, Epoch, Addr, Done}; the manager answers with
+// FrameViewPush carrying the membership snapshot plus the COPY commands
+// outstanding for that node. Views are therefore *pulled* at heartbeat
+// cadence rather than pushed — the manager's Peer seam binds SendView to a
+// no-op and SendCopyCmd to a per-node mailbox redelivered every push until
+// the node reports it Done. Nodes auto-Join on their first beat, so a
+// cluster assembles from nothing but processes pointed at the manager.
+//
+// Writes travel head→tail as FrameChainFwd peer frames with synchronous
+// downstream acks: a node acks its upstream (ultimately the client) only
+// after the rest of the chain has durably absorbed the write, so an acked
+// write lives on every chain replica and survives any single SIGKILL — the
+// invariant the chaos proc drills pin. Reads are served by the partition's
+// read replica (the most-downstream synced chain member). Epoch and hop
+// validation NACK stale traffic exactly as in the simulated cluster
+// (§3.8.1); clients refresh their view on NACK and retry.
+package proc
+
+import (
+	"errors"
+	"sort"
+
+	"leed/internal/cluster"
+	"leed/internal/rpcproto"
+	"leed/internal/runtime"
+	"leed/internal/transport"
+)
+
+// hbExchange runs one heartbeat round trip on conn: send the beat, block
+// for the manager's view-push reply. Both nodes and view observers
+// (clients) use it. Task context.
+func hbExchange(t runtime.Task, conn transport.Conn, hb *rpcproto.Heartbeat) (*rpcproto.ViewPush, error) {
+	if err := conn.Send(t, rpcproto.AppendHeartbeatFrame(rpcproto.GetBuf(), hb)); err != nil {
+		return nil, err
+	}
+	frame, err := conn.Recv(t)
+	if err != nil {
+		return nil, err
+	}
+	defer rpcproto.PutBuf(frame)
+	kind, payload, _, err := rpcproto.DecodeFrame(frame)
+	if err != nil {
+		return nil, err
+	}
+	if kind != rpcproto.FrameViewPush {
+		return nil, errors.New("proc: heartbeat reply is not a view push")
+	}
+	vp, _, err := rpcproto.DecodeViewPush(payload)
+	return vp, err
+}
+
+// pushFromView flattens a view into its wire form. addrs supplies each
+// member's advertised RPC address (the manager's registry); members with no
+// known address yet are carried with an empty string and skipped by peers.
+func pushFromView(v *cluster.View, addrs map[cluster.NodeID]string, copies []rpcproto.CopyRef) *rpcproto.ViewPush {
+	vp := &rpcproto.ViewPush{
+		Epoch:   v.Epoch,
+		R:       uint8(v.R),
+		NumPart: uint32(v.NumPart),
+		Copies:  copies,
+	}
+	ids := make([]cluster.NodeID, 0, len(v.States))
+	for id := range v.States {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		vp.Nodes = append(vp.Nodes, rpcproto.ViewNode{
+			ID:    uint64(id),
+			State: uint8(v.States[id]),
+			Addr:  addrs[id],
+		})
+	}
+	parts := make([]uint32, 0, len(v.Unsynced))
+	for part := range v.Unsynced {
+		parts = append(parts, part)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	for _, part := range parts {
+		set := v.Unsynced[part]
+		nodes := make([]cluster.NodeID, 0, len(set))
+		for id := range set {
+			nodes = append(nodes, id)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for _, id := range nodes {
+			vp.Unsynced = append(vp.Unsynced, rpcproto.UnsyncedRef{Partition: part, Node: uint64(id)})
+		}
+	}
+	return vp
+}
+
+// viewFromPush rehydrates a decoded push into a cluster.View plus the
+// address book it carried. The view's ring, chains, and read-replica logic
+// are then byte-for-byte the same code the in-process cluster runs.
+func viewFromPush(vp *rpcproto.ViewPush) (*cluster.View, map[cluster.NodeID]string) {
+	states := make(map[cluster.NodeID]cluster.NodeState, len(vp.Nodes))
+	addrs := make(map[cluster.NodeID]string, len(vp.Nodes))
+	for _, n := range vp.Nodes {
+		states[cluster.NodeID(n.ID)] = cluster.NodeState(n.State)
+		if n.Addr != "" {
+			addrs[cluster.NodeID(n.ID)] = n.Addr
+		}
+	}
+	var unsynced map[uint32]map[cluster.NodeID]bool
+	if len(vp.Unsynced) > 0 {
+		unsynced = make(map[uint32]map[cluster.NodeID]bool)
+		for _, u := range vp.Unsynced {
+			set := unsynced[u.Partition]
+			if set == nil {
+				set = make(map[cluster.NodeID]bool)
+				unsynced[u.Partition] = set
+			}
+			set[cluster.NodeID(u.Node)] = true
+		}
+	}
+	return cluster.NewView(vp.Epoch, states, int(vp.R), int(vp.NumPart), unsynced), addrs
+}
+
+// ReadReplica returns the partition's read-serving member: the most
+// downstream synced node of its chain (the tail when no migration is in
+// flight). Both nodes and clients compute it from the same view, so reads
+// land where §3.7's CRRS serves them.
+func ReadReplica(v *cluster.View, part uint32) (cluster.NodeID, bool) {
+	chain := v.Chain(part)
+	for i := len(chain) - 1; i >= 0; i-- {
+		if v.Synced(part, chain[i]) {
+			return chain[i], true
+		}
+	}
+	return 0, false
+}

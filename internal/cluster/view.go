@@ -40,6 +40,14 @@ type View struct {
 	ring *ring
 }
 
+// NewView assembles a view from explicit parts. The manager builds its own
+// views; this constructor exists for the multi-process binding, which
+// rehydrates a view from a decoded rpcproto.ViewPush on the node and client
+// side of the wire (internal/cluster/proc).
+func NewView(epoch uint64, states map[NodeID]NodeState, r, numPart int, unsynced map[uint32]map[NodeID]bool) *View {
+	return newView(epoch, states, r, numPart, unsynced)
+}
+
 // newView builds a view; chainMembers are nodes in states that participate
 // in chains (JOINING and RUNNING — LEAVING nodes are already excluded).
 func newView(epoch uint64, states map[NodeID]NodeState, r, numPart int, unsynced map[uint32]map[NodeID]bool) *View {

@@ -1,0 +1,263 @@
+package rpcproto
+
+import "encoding/binary"
+
+// Control frames: the node <-> manager protocol the multi-process cluster
+// speaks over the same framing as the KV path. A node (or a view observer
+// such as a client) periodically sends a Heartbeat; the manager answers each
+// one with a ViewPush carrying the current membership snapshot plus any COPY
+// commands outstanding for that node. Both sides decode these off a raw
+// socket, so every length and count field is validated against MaxFrameBytes
+// (and its own cap) BEFORE it sizes an allocation or a loop — the same
+// hostile-input contract the request/batch decoders keep.
+
+// Caps on control-frame repetition counts. Far above any legitimate
+// deployment, low enough that a corrupted count cannot provoke a huge
+// allocation on its own; the per-item bounds checks below do the rest.
+const (
+	// MaxViewNodes bounds the members one ViewPush may carry.
+	MaxViewNodes = 1 << 12
+	// MaxViewUnsynced bounds the (partition, node) unsynced marks.
+	MaxViewUnsynced = 1 << 16
+	// MaxCopyCmds bounds the COPY commands piggybacked per push, and the
+	// completions piggybacked per heartbeat.
+	MaxCopyCmds = 1 << 16
+	// MaxAddrLen bounds one advertised host:port string.
+	MaxAddrLen = 1 << 8
+)
+
+// CopyRef names one (partition, destination) migration: a command in a
+// ViewPush (ordered by the manager, executed by the receiving node as the
+// source), a completion in a Heartbeat.
+type CopyRef struct {
+	Partition uint32
+	Dest      uint64 // destination node ID
+}
+
+// Heartbeat is one liveness beacon. Node 0 is the observer convention: the
+// manager answers with the view but does not admit the sender to membership
+// (clients use this to fetch views). Addr is the sender's advertised peer
+// address, re-sent every beat so the manager learns it at registration and
+// keeps it current. Done lists COPY migrations this node completed as the
+// source since the last beat.
+type Heartbeat struct {
+	Node  uint64
+	Epoch uint64 // sender's current view epoch (0 = none yet)
+	Addr  string
+	Done  []CopyRef
+}
+
+const hbHdrSize = 8 + 8 + 2 + 2 // node, epoch, addr len, done count
+
+// EncodeHeartbeat appends the heartbeat's wire form to dst.
+func EncodeHeartbeat(dst []byte, h *Heartbeat) []byte {
+	var hdr [hbHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], h.Node)
+	binary.LittleEndian.PutUint64(hdr[8:], h.Epoch)
+	binary.LittleEndian.PutUint16(hdr[16:], uint16(len(h.Addr)))
+	binary.LittleEndian.PutUint16(hdr[18:], uint16(len(h.Done)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, h.Addr...)
+	for _, d := range h.Done {
+		dst = appendCopyRef(dst, d)
+	}
+	return dst
+}
+
+// DecodeHeartbeat parses one heartbeat payload from src, returning the
+// heartbeat and the bytes consumed. The result owns its bytes.
+func DecodeHeartbeat(src []byte) (*Heartbeat, int, error) {
+	if len(src) < hbHdrSize {
+		return nil, 0, ErrShortBuffer
+	}
+	al := int(binary.LittleEndian.Uint16(src[16:]))
+	nd := int(binary.LittleEndian.Uint16(src[18:]))
+	if al > MaxAddrLen || nd > MaxCopyCmds {
+		return nil, 0, ErrBadFrame
+	}
+	total := hbHdrSize + al + nd*copyRefSize
+	if len(src) < total {
+		return nil, 0, ErrShortBuffer
+	}
+	h := &Heartbeat{
+		Node:  binary.LittleEndian.Uint64(src[0:]),
+		Epoch: binary.LittleEndian.Uint64(src[8:]),
+		Addr:  string(src[hbHdrSize : hbHdrSize+al]),
+	}
+	off := hbHdrSize + al
+	if nd > 0 {
+		h.Done = make([]CopyRef, nd)
+		for i := range h.Done {
+			h.Done[i] = decodeCopyRef(src[off:])
+			off += copyRefSize
+		}
+	}
+	return h, total, nil
+}
+
+// AppendHeartbeatFrame appends h as a complete heartbeat frame.
+func AppendHeartbeatFrame(dst []byte, h *Heartbeat) []byte {
+	dst, off := appendFrameHdr(dst, FrameHeartbeat)
+	dst = EncodeHeartbeat(dst, h)
+	return finishFrame(dst, off)
+}
+
+// ViewNode is one member in a pushed view.
+type ViewNode struct {
+	ID    uint64
+	State uint8 // cluster.NodeState value
+	Addr  string
+}
+
+// UnsyncedRef marks one (partition, node) replica still receiving COPY
+// traffic: it participates in write chains but must not serve reads.
+type UnsyncedRef struct {
+	Partition uint32
+	Node      uint64
+}
+
+// ViewPush is one membership snapshot plus the COPY commands outstanding
+// for the heartbeating node (redelivered every push until the node reports
+// them Done — commands are idempotent, nodes dedup in-flight copies).
+type ViewPush struct {
+	Epoch    uint64
+	R        uint8
+	NumPart  uint32
+	Nodes    []ViewNode
+	Unsynced []UnsyncedRef
+	Copies   []CopyRef
+}
+
+const (
+	vpHdrSize     = 8 + 1 + 4 + 2 + 4 + 2 // epoch, r, numpart, node count, unsynced count, copy count
+	vpNodeHdrSize = 8 + 1 + 2             // id, state, addr len
+	copyRefSize   = 4 + 8
+	unsyncedSize  = 4 + 8
+)
+
+func appendCopyRef(dst []byte, c CopyRef) []byte {
+	var b [copyRefSize]byte
+	binary.LittleEndian.PutUint32(b[0:], c.Partition)
+	binary.LittleEndian.PutUint64(b[4:], c.Dest)
+	return append(dst, b[:]...)
+}
+
+func decodeCopyRef(src []byte) CopyRef {
+	return CopyRef{
+		Partition: binary.LittleEndian.Uint32(src[0:]),
+		Dest:      binary.LittleEndian.Uint64(src[4:]),
+	}
+}
+
+// EncodeViewPush appends the push's wire form to dst.
+func EncodeViewPush(dst []byte, v *ViewPush) []byte {
+	var hdr [vpHdrSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], v.Epoch)
+	hdr[8] = v.R
+	binary.LittleEndian.PutUint32(hdr[9:], v.NumPart)
+	binary.LittleEndian.PutUint16(hdr[13:], uint16(len(v.Nodes)))
+	binary.LittleEndian.PutUint32(hdr[15:], uint32(len(v.Unsynced)))
+	binary.LittleEndian.PutUint16(hdr[19:], uint16(len(v.Copies)))
+	dst = append(dst, hdr[:]...)
+	for _, n := range v.Nodes {
+		var nh [vpNodeHdrSize]byte
+		binary.LittleEndian.PutUint64(nh[0:], n.ID)
+		nh[8] = n.State
+		binary.LittleEndian.PutUint16(nh[9:], uint16(len(n.Addr)))
+		dst = append(dst, nh[:]...)
+		dst = append(dst, n.Addr...)
+	}
+	for _, u := range v.Unsynced {
+		var ub [unsyncedSize]byte
+		binary.LittleEndian.PutUint32(ub[0:], u.Partition)
+		binary.LittleEndian.PutUint64(ub[4:], u.Node)
+		dst = append(dst, ub[:]...)
+	}
+	for _, c := range v.Copies {
+		dst = appendCopyRef(dst, c)
+	}
+	return dst
+}
+
+// DecodeViewPush parses one view-push payload from src, returning the push
+// and the bytes consumed. The result owns its bytes. Every count is capped
+// and every item bounds-checked before it is read, so truncated or hostile
+// payloads are cheap rejections.
+func DecodeViewPush(src []byte) (*ViewPush, int, error) {
+	if len(src) < vpHdrSize {
+		return nil, 0, ErrShortBuffer
+	}
+	nn := int(binary.LittleEndian.Uint16(src[13:]))
+	nu := int64(binary.LittleEndian.Uint32(src[15:]))
+	nc := int(binary.LittleEndian.Uint16(src[19:]))
+	if nn > MaxViewNodes || nu > MaxViewUnsynced || nc > MaxCopyCmds {
+		return nil, 0, ErrBadFrame
+	}
+	v := &ViewPush{
+		Epoch:   binary.LittleEndian.Uint64(src[0:]),
+		R:       src[8],
+		NumPart: binary.LittleEndian.Uint32(src[9:]),
+	}
+	off := vpHdrSize
+	if nn > 0 {
+		v.Nodes = make([]ViewNode, nn)
+		for i := range v.Nodes {
+			if len(src) < off+vpNodeHdrSize {
+				return nil, 0, ErrShortBuffer
+			}
+			al := int(binary.LittleEndian.Uint16(src[off+9:]))
+			if al > MaxAddrLen {
+				return nil, 0, ErrBadFrame
+			}
+			if len(src) < off+vpNodeHdrSize+al {
+				return nil, 0, ErrShortBuffer
+			}
+			v.Nodes[i] = ViewNode{
+				ID:    binary.LittleEndian.Uint64(src[off:]),
+				State: src[off+8],
+				Addr:  string(src[off+vpNodeHdrSize : off+vpNodeHdrSize+al]),
+			}
+			off += vpNodeHdrSize + al
+		}
+	}
+	if nu > 0 {
+		if int64(len(src)-off) < nu*unsyncedSize {
+			return nil, 0, ErrShortBuffer
+		}
+		v.Unsynced = make([]UnsyncedRef, nu)
+		for i := range v.Unsynced {
+			v.Unsynced[i] = UnsyncedRef{
+				Partition: binary.LittleEndian.Uint32(src[off:]),
+				Node:      binary.LittleEndian.Uint64(src[off+4:]),
+			}
+			off += unsyncedSize
+		}
+	}
+	if nc > 0 {
+		if len(src)-off < nc*copyRefSize {
+			return nil, 0, ErrShortBuffer
+		}
+		v.Copies = make([]CopyRef, nc)
+		for i := range v.Copies {
+			v.Copies[i] = decodeCopyRef(src[off:])
+			off += copyRefSize
+		}
+	}
+	return v, off, nil
+}
+
+// AppendViewPushFrame appends v as a complete view-push frame.
+func AppendViewPushFrame(dst []byte, v *ViewPush) []byte {
+	dst, off := appendFrameHdr(dst, FrameViewPush)
+	dst = EncodeViewPush(dst, v)
+	return finishFrame(dst, off)
+}
+
+// AppendChainFwdFrame appends r as a complete chain-forward frame: the
+// request wire form under the peer-traffic kind. Decode the payload with
+// Request.DecodeBorrow, exactly like a FrameRequest.
+func AppendChainFwdFrame(dst []byte, r *Request) []byte {
+	dst, off := appendFrameHdr(dst, FrameChainFwd)
+	dst = EncodeRequest(dst, r)
+	return finishFrame(dst, off)
+}

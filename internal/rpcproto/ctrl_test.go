@@ -1,0 +1,211 @@
+package rpcproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	cases := []*Heartbeat{
+		{},
+		{Node: 101, Epoch: 7, Addr: "127.0.0.1:9001"},
+		{Node: 0, Epoch: 0, Addr: ""}, // observer beat
+		{Node: 3, Epoch: 12, Addr: "[::1]:80", Done: []CopyRef{
+			{Partition: 0, Dest: 102},
+			{Partition: 7, Dest: 101},
+		}},
+	}
+	for _, h := range cases {
+		enc := EncodeHeartbeat(nil, h)
+		got, n, err := DecodeHeartbeat(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", h, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if got.Node != h.Node || got.Epoch != h.Epoch || got.Addr != h.Addr ||
+			!reflect.DeepEqual(got.Done, h.Done) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, h)
+		}
+	}
+}
+
+func TestViewPushRoundTrip(t *testing.T) {
+	cases := []*ViewPush{
+		{},
+		{Epoch: 3, R: 3, NumPart: 8, Nodes: []ViewNode{
+			{ID: 101, State: 2, Addr: "127.0.0.1:9001"},
+			{ID: 102, State: 1, Addr: "127.0.0.1:9002"},
+			{ID: 103, State: 2, Addr: ""},
+		}},
+		{Epoch: 9, R: 2, NumPart: 16,
+			Nodes:    []ViewNode{{ID: 101, State: 2, Addr: "h:1"}},
+			Unsynced: []UnsyncedRef{{Partition: 3, Node: 102}, {Partition: 5, Node: 102}},
+			Copies:   []CopyRef{{Partition: 3, Dest: 102}},
+		},
+	}
+	for _, v := range cases {
+		enc := EncodeViewPush(nil, v)
+		got, n, err := DecodeViewPush(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", v, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if got.Epoch != v.Epoch || got.R != v.R || got.NumPart != v.NumPart ||
+			!reflect.DeepEqual(got.Nodes, v.Nodes) ||
+			!reflect.DeepEqual(got.Unsynced, v.Unsynced) ||
+			!reflect.DeepEqual(got.Copies, v.Copies) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, v)
+		}
+	}
+}
+
+// TestCtrlHostileCounts pins the validation order: a count or length field
+// announcing more than the payload holds (or more than the cap allows) is a
+// cheap error, never a large allocation or a panic.
+func TestCtrlHostileCounts(t *testing.T) {
+	// Heartbeat announcing a giant done count with no bodies.
+	hb := make([]byte, hbHdrSize)
+	binary.LittleEndian.PutUint16(hb[18:], 1<<15)
+	if _, _, err := DecodeHeartbeat(hb); err == nil {
+		t.Fatal("hostile done count accepted")
+	}
+	// Heartbeat with an addr length past the cap.
+	hb2 := make([]byte, hbHdrSize)
+	binary.LittleEndian.PutUint16(hb2[16:], MaxAddrLen+1)
+	if _, _, err := DecodeHeartbeat(hb2); err == nil {
+		t.Fatal("hostile addr length accepted")
+	}
+	// ViewPush announcing max counts with no bodies.
+	vp := make([]byte, vpHdrSize)
+	binary.LittleEndian.PutUint16(vp[13:], 1<<12)
+	if _, _, err := DecodeViewPush(vp); err == nil {
+		t.Fatal("hostile node count accepted")
+	}
+	vp2 := make([]byte, vpHdrSize)
+	binary.LittleEndian.PutUint32(vp2[15:], 1<<31) // unsynced count wraparound bait
+	if _, _, err := DecodeViewPush(vp2); err == nil {
+		t.Fatal("hostile unsynced count accepted")
+	}
+	// A node entry whose addr length overruns the buffer.
+	vp3 := make([]byte, vpHdrSize+vpNodeHdrSize)
+	binary.LittleEndian.PutUint16(vp3[13:], 1)
+	binary.LittleEndian.PutUint16(vp3[vpHdrSize+9:], 200)
+	if _, _, err := DecodeViewPush(vp3); err == nil {
+		t.Fatal("overrunning addr accepted")
+	}
+}
+
+func TestCtrlFrames(t *testing.T) {
+	hb := &Heartbeat{Node: 101, Epoch: 4, Addr: "127.0.0.1:9001",
+		Done: []CopyRef{{Partition: 1, Dest: 103}}}
+	frame := AppendHeartbeatFrame(nil, hb)
+	kind, payload, n, err := DecodeFrame(frame)
+	if err != nil || kind != FrameHeartbeat || n != len(frame) {
+		t.Fatalf("heartbeat frame: kind=%v n=%d err=%v", kind, n, err)
+	}
+	if got, _, err := DecodeHeartbeat(payload); err != nil || got.Node != 101 {
+		t.Fatalf("heartbeat payload: %+v err=%v", got, err)
+	}
+
+	vp := &ViewPush{Epoch: 2, R: 3, NumPart: 8,
+		Nodes: []ViewNode{{ID: 101, State: 2, Addr: "a:1"}}}
+	frame = AppendViewPushFrame(nil, vp)
+	kind, payload, _, err = DecodeFrame(frame)
+	if err != nil || kind != FrameViewPush {
+		t.Fatalf("view-push frame: kind=%v err=%v", kind, err)
+	}
+	if got, _, err := DecodeViewPush(payload); err != nil || got.Epoch != 2 {
+		t.Fatalf("view-push payload: %+v err=%v", got, err)
+	}
+
+	// A chain-forward frame is a request under the peer kind: same payload
+	// bytes, distinct discriminator.
+	req := &Request{ID: 9, Op: OpPut, Partition: 3, Epoch: 2, Hop: 1,
+		Key: []byte("k"), Value: []byte("v")}
+	fwd := AppendChainFwdFrame(nil, req)
+	plain := AppendRequestFrame(nil, req)
+	if !bytes.Equal(fwd[frameHdrSize+1:], plain[frameHdrSize+1:]) {
+		t.Fatal("chain-forward payload diverged from request payload")
+	}
+	kind, payload, _, err = DecodeFrame(fwd)
+	if err != nil || kind != FrameChainFwd {
+		t.Fatalf("chain-fwd frame: kind=%v err=%v", kind, err)
+	}
+	var r2 Request
+	if _, err := r2.DecodeBorrow(payload); err != nil || r2.ID != 9 || r2.Hop != 1 {
+		t.Fatalf("chain-fwd payload: %+v err=%v", r2, err)
+	}
+
+	for _, k := range []FrameKind{FrameHeartbeat, FrameViewPush, FrameChainFwd} {
+		if strings.HasPrefix(k.String(), "FrameKind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}
+
+// TestChainFwdEncodeAllocs pins that framing a chain-forward into a pooled
+// buffer allocates nothing: the per-hop forward on the serve path reuses the
+// request encoder, which appends into caller-owned capacity.
+func TestChainFwdEncodeAllocs(t *testing.T) {
+	req := &Request{ID: 1, Op: OpPut, Partition: 3, Epoch: 2, Hop: 1,
+		Key: bytes.Repeat([]byte("k"), 16), Value: bytes.Repeat([]byte("v"), 256)}
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendChainFwdFrame(buf[:0], req)
+	})
+	if allocs > 0 {
+		t.Fatalf("AppendChainFwdFrame allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add(EncodeHeartbeat(nil, &Heartbeat{Node: 101, Epoch: 3, Addr: "127.0.0.1:9001"}))
+	f.Add(EncodeHeartbeat(nil, &Heartbeat{Node: 1, Done: []CopyRef{{Partition: 2, Dest: 103}}}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, hbHdrSize)) // max addr len + done count, no bodies
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, n, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if got := EncodeHeartbeat(nil, h); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
+		}
+	})
+}
+
+func FuzzDecodeViewPush(f *testing.F) {
+	f.Add(EncodeViewPush(nil, &ViewPush{Epoch: 1, R: 3, NumPart: 8,
+		Nodes:    []ViewNode{{ID: 101, State: 2, Addr: "h:1"}, {ID: 102, State: 1, Addr: "h:2"}},
+		Unsynced: []UnsyncedRef{{Partition: 1, Node: 102}},
+		Copies:   []CopyRef{{Partition: 1, Dest: 102}},
+	}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, vpHdrSize)) // hostile counts, no bodies
+	hostileAddr := make([]byte, vpHdrSize+vpNodeHdrSize)
+	binary.LittleEndian.PutUint16(hostileAddr[13:], 1)
+	binary.LittleEndian.PutUint16(hostileAddr[vpHdrSize+9:], MaxAddrLen) // announced, absent
+	f.Add(hostileAddr)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := DecodeViewPush(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if got := EncodeViewPush(nil, v); !bytes.Equal(got, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
+		}
+	})
+}

@@ -43,6 +43,20 @@ const (
 	FrameBatchReq
 	// FrameBatchResp carries the per-item results of a FrameBatchReq.
 	FrameBatchResp
+	// FrameHeartbeat carries a Heartbeat: a node's (or view observer's)
+	// periodic liveness beacon to the control plane, piggybacking completed
+	// COPY migrations. The manager answers every heartbeat with a
+	// FrameViewPush on the same connection. See ctrl.go.
+	FrameHeartbeat
+	// FrameViewPush carries a ViewPush: one membership-view snapshot plus
+	// the COPY commands outstanding for the heartbeating node. See ctrl.go.
+	FrameViewPush
+	// FrameChainFwd carries a Request traveling node -> node down a CRRS
+	// replication chain (or an OpCopy migration write). The payload layout
+	// is identical to FrameRequest; the distinct kind keeps peer traffic
+	// recognizable so a plain KV server can refuse it and a cluster node can
+	// trust Hop/Epoch validation applies.
+	FrameChainFwd
 )
 
 func (k FrameKind) String() string {
@@ -59,6 +73,12 @@ func (k FrameKind) String() string {
 		return "BATCH_REQUEST"
 	case FrameBatchResp:
 		return "BATCH_RESPONSE"
+	case FrameHeartbeat:
+		return "HEARTBEAT"
+	case FrameViewPush:
+		return "VIEW_PUSH"
+	case FrameChainFwd:
+		return "CHAIN_FWD"
 	}
 	return fmt.Sprintf("FrameKind(%d)", uint8(k))
 }
@@ -151,7 +171,7 @@ func DecodeFrame(src []byte) (FrameKind, []byte, int, error) {
 		return 0, nil, 0, ErrShortBuffer
 	}
 	kind := FrameKind(src[frameHdrSize])
-	if kind < FrameRequest || kind > FrameBatchResp {
+	if kind < FrameRequest || kind > FrameChainFwd {
 		return 0, nil, 0, ErrBadFrame
 	}
 	return kind, src[frameHdrSize+1 : total], total, nil

@@ -132,6 +132,12 @@ func FuzzDecodeFrame(f *testing.F) {
 			DecodeBatchReq(payload, nil)
 		case FrameBatchResp:
 			DecodeBatchResp(payload, nil)
+		case FrameHeartbeat:
+			DecodeHeartbeat(payload)
+		case FrameViewPush:
+			DecodeViewPush(payload)
+		case FrameChainFwd:
+			DecodeRequest(payload)
 		default:
 			t.Fatalf("DecodeFrame accepted unknown kind %v", kind)
 		}

@@ -57,6 +57,25 @@ type Client struct {
 	// client-side half of the paper-style attribution table; the server
 	// owns node/engine/cpu/ssd/device.
 	tr *obs.Tracer
+
+	// chainFwd frames single-op requests as FrameChainFwd peer traffic
+	// instead of FrameRequest. See SetChainFwd.
+	chainFwd bool
+}
+
+// SetChainFwd makes every single-op request leave as a FrameChainFwd peer
+// frame instead of a client FrameRequest: same payload bytes, the peer
+// discriminator. Cluster nodes set it on the connections that carry
+// hop-to-hop chain forwards — servers accept the peer kind only when a
+// Handler is installed. Set it right after construction, from task context.
+func (c *Client) SetChainFwd(on bool) { c.chainFwd = on }
+
+// appendReqFrame frames one single-op request under the client's kind.
+func (c *Client) appendReqFrame(dst []byte, r *rpcproto.Request) []byte {
+	if c.chainFwd {
+		return rpcproto.AppendChainFwdFrame(dst, r)
+	}
+	return rpcproto.AppendRequestFrame(dst, r)
 }
 
 // NewClient wraps an established connection. depth bounds outstanding
@@ -269,7 +288,7 @@ func (c *Client) roundTrip(t runtime.Task, op rpcproto.Op, key, val []byte) (*ca
 	cl.req = rpcproto.Request{ID: cl.id, Op: op, Key: key, Value: val}
 	c.pending[cl.id] = cl
 	sent := t.Now()
-	if err := c.conn.Send(t, rpcproto.AppendRequestFrame(rpcproto.GetBuf(), &cl.req)); err != nil {
+	if err := c.conn.Send(t, c.appendReqFrame(rpcproto.GetBuf(), &cl.req)); err != nil {
 		delete(c.pending, cl.id)
 		c.putCall(cl)
 		return nil, err
@@ -330,7 +349,7 @@ func (c *Client) DoDeadline(t runtime.Task, req *rpcproto.Request, d runtime.Tim
 	cl.ev = c.env.MakeEvent()
 	c.pending[cl.id] = cl
 	sent := t.Now()
-	if err := c.conn.Send(t, rpcproto.AppendRequestFrame(rpcproto.GetBuf(), req)); err != nil {
+	if err := c.conn.Send(t, c.appendReqFrame(rpcproto.GetBuf(), req)); err != nil {
 		delete(c.pending, cl.id)
 		c.putCall(cl)
 		return nil, err

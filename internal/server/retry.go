@@ -50,6 +50,12 @@ type ReliableConfig struct {
 	BreakerThreshold int
 	BreakerCooloff   runtime.Time
 
+	// ChainFwd frames every request as FrameChainFwd peer traffic instead
+	// of a client FrameRequest. Cluster nodes set it on the per-peer
+	// clients that carry hop-to-hop chain forwards; plain KV servers refuse
+	// the peer kind, handler-mode servers accept it.
+	ChainFwd bool
+
 	// Obs and Tracer are optional.
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
@@ -177,8 +183,25 @@ func retrySafe(op rpcproto.Op, err error) bool {
 }
 
 // Do issues req with deadlines, retries, and reconnects per the config.
-// Task context.
+// Task context. Do owns req.Epoch: it stamps the connection epoch into it
+// and rejects responses whose echo mismatches (a reply crossing a reconnect
+// boundary). Callers that carry a cluster view epoch in req.Epoch must use
+// DoView instead.
 func (rc *ReliableClient) Do(t runtime.Task, req *rpcproto.Request) (*rpcproto.Response, error) {
+	return rc.do(t, req, true)
+}
+
+// DoView issues req like Do but leaves req.Epoch untouched: the field
+// carries the caller's cluster view epoch end to end (nodes validate it and
+// NACK with their newer epoch on mismatch, §3.8.1), so the connection-epoch
+// stamp and stale-echo check are skipped. Cross-reconnect confusion is
+// already impossible at this layer — each reconnect builds a fresh pipelined
+// Client with its own ID demux. Task context.
+func (rc *ReliableClient) DoView(t runtime.Task, req *rpcproto.Request) (*rpcproto.Response, error) {
+	return rc.do(t, req, false)
+}
+
+func (rc *ReliableClient) do(t runtime.Task, req *rpcproto.Request, stampEpoch bool) (*rpcproto.Response, error) {
 	var lastErr error
 	var hint runtime.Time
 	for attempt := 1; attempt <= rc.cfg.MaxAttempts; attempt++ {
@@ -200,10 +223,12 @@ func (rc *ReliableClient) Do(t runtime.Task, req *rpcproto.Request) (*rpcproto.R
 			lastErr = err
 			continue // dial failed: nothing sent, always safe to retry
 		}
-		req.Epoch = epoch
+		if stampEpoch {
+			req.Epoch = epoch
+		}
 		resp, err := cl.DoDeadline(t, req, rc.cfg.Deadline)
 		if err == nil {
-			if resp.Epoch != epoch {
+			if stampEpoch && resp.Epoch != epoch {
 				lastErr = errStaleEpoch
 				if !retrySafe(req.Op, lastErr) {
 					return nil, lastErr
@@ -317,6 +342,7 @@ func (rc *ReliableClient) ensureConn(t runtime.Task) (*Client, uint64, error) {
 			rc.o.reconnects.Inc()
 		}
 		rc.cl = NewClientTraced(rc.env, conn, rc.cfg.Depth, rc.cfg.Tracer)
+		rc.cl.SetChainFwd(rc.cfg.ChainFwd)
 		ev.Fire(nil)
 		return rc.cl, rc.epoch, nil
 	}

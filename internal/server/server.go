@@ -72,6 +72,17 @@ type Config struct {
 	// layer that also catches peers that vanished mid-frame. 0 disables.
 	IdleTimeout runtime.Time
 
+	// Handler, when set, replaces the default route-and-execute step for
+	// single-op requests: the server keeps owning framing, admission,
+	// pooling, drain, and metrics, while the handler owns what happens
+	// between decode and response — a cluster node installs one to validate
+	// the request against its membership view, execute locally, and forward
+	// down the CRRS chain before acking. With a handler installed the
+	// server also accepts FrameChainFwd peer traffic (refused otherwise)
+	// and refuses batch frames (chain routing is per-key). Nil = plain
+	// single-store serving.
+	Handler Handler
+
 	// Obs and Tracer bind the server to a metrics registry and the request
 	// tracer. Both optional.
 	Obs    *obs.Registry
@@ -110,6 +121,19 @@ type Server struct {
 	o *srvObs
 }
 
+// Handler executes one admitted single-op request. fwd reports the frame
+// kind: false for a client FrameRequest, true for peer FrameChainFwd
+// traffic. req is borrow-decoded (Key/Value alias the frame, which stays
+// alive for the whole call); the handler fills resp (already zeroed with
+// ID and Epoch echoed) and returns its value scratch buffer — grown
+// capacity is kept across requests, so a handler that reads into scratch
+// keeps the serve path allocation-free. resp.Value may alias the returned
+// scratch or the request frame. Runs in task context; blocking (e.g. a
+// chain forward's round trip) is fine, it occupies one pipeline slot.
+type Handler interface {
+	Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte) []byte
+}
+
 // workerStop is the sentinel closeConn injects to retire a connection's
 // workers. Zero-size, so boxing it into the queue never allocates.
 type workerStop struct{}
@@ -124,6 +148,7 @@ type workerStop struct{}
 type reqWork struct {
 	frame   []byte
 	arrived runtime.Time
+	fwd     bool              // frame kind was FrameChainFwd (peer traffic)
 	req     rpcproto.Request  // borrow-decoded; Key/Value alias frame
 	resp    rpcproto.Response // response scratch
 	val     []byte            // GET value scratch, reused across requests
@@ -166,6 +191,7 @@ func (sc *serverConn) getWork() *reqWork {
 // while keeping scratch capacity.
 func (sc *serverConn) putWork(w *reqWork) {
 	w.frame = nil
+	w.fwd = false
 	w.req = rpcproto.Request{}
 	w.resp = rpcproto.Response{}
 	w.batch = false
@@ -365,9 +391,14 @@ func (s *Server) serveConn(t runtime.Task, sc *serverConn) {
 		arrived := t.Now()
 		sc.lastActive = arrived
 		kind, payload, _, err := rpcproto.DecodeFrame(frame)
-		if err != nil || (kind != rpcproto.FrameRequest && kind != rpcproto.FrameBatchReq) {
+		okKind := kind == rpcproto.FrameRequest ||
+			(kind == rpcproto.FrameBatchReq && s.cfg.Handler == nil) ||
+			(kind == rpcproto.FrameChainFwd && s.cfg.Handler != nil)
+		if err != nil || !okKind {
 			// Undecodable bytes poison the stream — there is no resync
-			// point past a bad frame. Report and hang up.
+			// point past a bad frame. Report and hang up. (Peer-only and
+			// handler-incompatible kinds land here too: a plain KV server
+			// refuses FrameChainFwd, a cluster node refuses batches.)
 			rpcproto.PutBuf(frame)
 			s.o.badFrame.Inc()
 			s.sendError(t, sc, &rpcproto.ErrorFrame{Code: rpcproto.StatusErr, Msg: "undecodable frame"})
@@ -376,6 +407,7 @@ func (s *Server) serveConn(t runtime.Task, sc *serverConn) {
 		w := sc.getWork()
 		w.frame = frame
 		w.arrived = arrived
+		w.fwd = kind == rpcproto.FrameChainFwd
 		var reqID uint64
 		if kind == rpcproto.FrameBatchReq {
 			id, op, items, derr := rpcproto.DecodeBatchReq(payload, w.items[:0])
@@ -521,6 +553,18 @@ func (s *Server) handle(t runtime.Task, sc *serverConn, w *reqWork) {
 
 	resp := &w.resp
 	*resp = rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
+	if s.cfg.Handler != nil {
+		// Cluster mode: the handler owns validation, execution, and chain
+		// forwarding; the server keeps the framing and latency accounting.
+		w.val = s.cfg.Handler.Handle(t, w.fwd, req, resp, w.val[:0])
+		s.o.reqInc(req.Op)
+		done := t.Now()
+		sc.conn.Send(t, rpcproto.AppendResponseFrame(rpcproto.GetBuf(), resp))
+		tr.Span("node", dispatched-arrived, t.Now()-done)
+		s.cfg.Tracer.End(tr)
+		sc.lat.Record(t.Now() - arrived)
+		return
+	}
 	var pid int
 	switch req.Op {
 	case rpcproto.OpGet, rpcproto.OpPut, rpcproto.OpDel:
