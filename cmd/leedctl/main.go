@@ -98,6 +98,7 @@ func main() {
 	partitions := flag.Int("partitions", 4, "serve -listen: engine partitions carved out of the image")
 	addr := flag.String("addr", "", "loadgen: TCP address of a running leedctl serve -listen (required)")
 	manager := flag.String("manager", "", "loadgen: heartbeat address of a running leedctl manager — drive the whole multi-process cluster instead of one server")
+	managerMetrics := flag.String("manager-metrics", "", "loadgen -manager: the manager's aggregated metrics address (its -metrics-addr); scraped at the measured window's edges to report cluster-wide Joules and requests/Joule")
 	pipeline := flag.Int64("pipeline", 16, "loadgen: outstanding-request window per connection")
 	workload := flag.String("workload", "b", "loadgen: YCSB mix (a, b, c, d, f, wr)")
 	records := flag.Int64("records", 2000, "loadgen: keyspace size (preloaded before the measured window)")
@@ -123,7 +124,7 @@ func main() {
 	if flag.Arg(0) == "loadgen" {
 		if *manager != "" {
 			if err := clusterLoadgen(*manager, *clients, *workload, *records, *seed,
-				*warmup, *duration, *benchout, *metricsAddr); err != nil {
+				*warmup, *duration, *benchout, *metricsAddr, *managerMetrics); err != nil {
 				fatal(err)
 			}
 			return
@@ -373,16 +374,23 @@ func usage() {
 
   multi-process cluster (subcommand first; each role owns its flags):
     leedctl manager [-listen ADDR] [-r N] [-numpart N] [-hb-timeout D]
-            [-metrics-addr ADDR]                       control plane: membership, failure
-                                                       detection, CRRS chain views
+            [-metrics-addr ADDR] [-metrics-poll D]     control plane: membership, failure
+                                                       detection, CRRS chain views; its
+                                                       /metrics is the fleet-aggregated view
+                                                       (members scraped via heartbeat-
+                                                       advertised addresses), /attribution
+                                                       the cross-process latency table
     leedctl node -id N -manager ADDR [-listen ADDR] [-advertise ADDR]
             [-numpart N] [-ssds N] [-capacity N] [-hb-interval D] [-metrics-addr ADDR]
                                                        one JBOF: engine + RPC + heartbeats;
                                                        joins the cluster on its first beat
     leedctl -manager ADDR [-clients N] [-workload a|b|c|d|f|wr] [-records N]
-            [-duration D] [-benchout PATH] loadgen     drive the whole cluster through the
+            [-duration D] [-benchout PATH]
+            [-manager-metrics ADDR] loadgen            drive the whole cluster through the
                                                        view-routing client; exit non-zero
-                                                       if any acked write is lost
+                                                       if any acked write is lost; with
+                                                       -manager-metrics, report cluster-wide
+                                                       Joules and requests/Joule
 
   served-path chaos drills (flags go before the subcommand):
     leedctl -scenario proxy-drop|proxy-partition [-seed N] chaos
@@ -740,7 +748,7 @@ func loadgen(addr string, conns int, pipeline int64, workload string, records, s
 // loss ledger — every preloaded (acked) key must still read back, which is
 // the invariant the CI smoke job checks after SIGKILLing a node mid-run.
 func clusterLoadgen(manager string, clients int, workload string, records, seed int64,
-	warmup, duration time.Duration, outPath, metricsAddr string) error {
+	warmup, duration time.Duration, outPath, metricsAddr, managerMetrics string) error {
 	w, err := workloadByName(workload)
 	if err != nil {
 		return err
@@ -749,7 +757,12 @@ func clusterLoadgen(manager string, clients int, workload string, records, seed 
 		outPath = "BENCH_cluster.json"
 	}
 	reg := obs.NewRegistry()
-	msrv, err := startMetrics(metricsAddr, reg, nil)
+	// Sample aggressively (every 8th op, whole-trace, deep ring) — the doc
+	// embeds a handful of reassembled cross-process traces for harnesses to
+	// assert on, and the ring must be deep enough that a read-heavy mix still
+	// retains several multi-hop PUT traces.
+	tr := obs.NewTracer(reg, 8, 256)
+	msrv, err := startMetrics(metricsAddr, reg, tr)
 	if err != nil {
 		return err
 	}
@@ -757,14 +770,16 @@ func clusterLoadgen(manager string, clients int, workload string, records, seed 
 
 	env := wallclock.New()
 	doc, err := bench.RunClusterLoadgen(env, bench.ClusterLoadgenConfig{
-		Manager:  manager,
-		Clients:  clients,
-		Workload: w,
-		Records:  records,
-		ValLen:   100,
-		Seed:     seed,
-		Warmup:   runtime.Time(warmup),
-		Duration: runtime.Time(duration),
+		Manager:        manager,
+		Clients:        clients,
+		Workload:       w,
+		Records:        records,
+		ValLen:         100,
+		Seed:           seed,
+		Warmup:         runtime.Time(warmup),
+		Duration:       runtime.Time(duration),
+		Tracer:         tr,
+		ManagerMetrics: managerMetrics,
 	})
 	if err != nil {
 		return err

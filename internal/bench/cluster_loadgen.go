@@ -12,11 +12,14 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 
 	"leed/internal/cluster"
 	"leed/internal/cluster/proc"
 	"leed/internal/core"
+	"leed/internal/obs"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 	"leed/internal/sim"
@@ -41,6 +44,17 @@ type ClusterLoadgenConfig struct {
 	Warmup runtime.Time
 	// Duration is the measured window. Default 5s.
 	Duration runtime.Time
+
+	// Tracer, when set, traces every operation end to end through the
+	// view-routing client (cross-process span reassembly); the doc then
+	// carries the attribution table, its cover ratio, and a handful of
+	// sampled whole traces.
+	Tracer *obs.Tracer
+
+	// ManagerMetrics, when set, is the manager's aggregated metrics address
+	// (host:port). The run scrapes its raw snapshot at the measured window's
+	// edges and turns the cluster-wide energy delta into requests-per-Joule.
+	ManagerMetrics string
 }
 
 // ClusterDoc is the recorded output of a cluster loadgen run (leedctl
@@ -69,6 +83,27 @@ type ClusterDoc struct {
 	// durability gate: acked implies readable, so this must be zero.
 	Verified   int64 `json:"verified"`
 	LostWrites int64 `json:"lost_writes"`
+
+	// Energy accounting (requires ManagerMetrics): Joules is the
+	// cluster-wide energy the measured window consumed (every process's
+	// leed_power_millijoules_total, summed by the manager's fleet merge),
+	// and RequestsPerJoule the paper's headline efficiency metric.
+	Joules           float64 `json:"joules,omitempty"`
+	RequestsPerJoule float64 `json:"requests_per_joule,omitempty"`
+
+	// Attribution is the end-to-end latency decomposition reassembled from
+	// cross-process trace propagation: client and net stages measured here,
+	// node/engine/cpu/ssd/fwd piggybacked back from every process the
+	// requests crossed. AttributionCover is the mean disjoint span sum over
+	// the mean measured latency — ~1.0 when the decomposition accounts for
+	// the whole request path.
+	Attribution      obs.Attribution `json:"attribution,omitempty"`
+	AttributionCover float64         `json:"attribution_cover,omitempty"`
+
+	// Traces is a handful of sampled reassembled traces (multi-hop ones
+	// preferred), embedded so harnesses can assert cross-process reassembly
+	// without racing a /traces scrape.
+	Traces []obs.Trace `json:"traces,omitempty"`
 }
 
 // JSON renders the doc, indented, with a trailing newline.
@@ -90,8 +125,17 @@ func (d *ClusterDoc) String() string {
 	r := d.Res
 	t.Add(r.Device, kqps(r.Thr), fmt.Sprintf("%.1f", r.P50US), fmt.Sprintf("%.1f", r.P99US),
 		fmt.Sprintf("%d", r.Ops), fmt.Sprintf("%d", r.Errs))
-	return t.String() + fmt.Sprintf("writes acked=%d failed=%d; read-back verified=%d lost=%d\n",
+	s := t.String() + fmt.Sprintf("writes acked=%d failed=%d; read-back verified=%d lost=%d\n",
 		d.WritesAcked, d.WritesFailed, d.Verified, d.LostWrites)
+	if d.Joules > 0 {
+		s += fmt.Sprintf("energy: %.2f J over the measured window, %.0f requests/Joule\n",
+			d.Joules, d.RequestsPerJoule)
+	}
+	if len(d.Attribution.Stages) > 0 {
+		s += fmt.Sprintf("latency attribution (cover %.2f):\n%s",
+			d.AttributionCover, d.Attribution.String())
+	}
+	return s
 }
 
 // RunClusterLoadgen refreshes a view from cfg.Manager, preloads the
@@ -128,12 +172,65 @@ func RunClusterLoadgen(env *wallclock.Env, cfg ClusterLoadgenConfig) (*ClusterDo
 		Manager: cfg.Manager,
 		// Enough retries for one op to ride out a failure-detection window.
 		Retries: 60,
+		Tracer:  cfg.Tracer,
 	})
 
+	// Energy bracket: a raw goroutine scrapes the manager's fleet-merged raw
+	// snapshot at the measured window's edges (FetchRaw blocks on HTTP, so it
+	// must not run in task context); the window-marker task below fires the
+	// edges on the run's virtual timeline.
+	var (
+		joules    float64
+		powerErr  error
+		powerWG   sync.WaitGroup
+		markStart = make(chan struct{})
+		markStop  = make(chan struct{})
+	)
+	if cfg.ManagerMetrics != "" {
+		url := "http://" + cfg.ManagerMetrics + "/metrics.raw.json"
+		powerWG.Add(1)
+		go func() {
+			defer powerWG.Done()
+			<-markStart
+			before, err := obs.FetchRaw(url)
+			if err != nil {
+				powerErr = fmt.Errorf("cluster loadgen: energy scrape: %w", err)
+				<-markStop
+				return
+			}
+			<-markStop
+			after, err := obs.FetchRaw(url)
+			if err != nil {
+				powerErr = fmt.Errorf("cluster loadgen: energy scrape: %w", err)
+				return
+			}
+			dmj := rawCounterSum(after, "leed_power_millijoules_total") -
+				rawCounterSum(before, "leed_power_millijoules_total")
+			joules = float64(dmj) / 1e3
+		}()
+	}
+
 	res := RunResult{Lat: sim.NewHistogram()}
+	// okOps/okNS measure every successful op's wall time (preload, mix, and
+	// read-back alike) — the same population the tracer sees, which is what
+	// makes AttributionCover an honest check rather than a tautology.
+	var okOps, okNS int64
 	var runErr error
 	env.Spawn("cluster-loadgen", func(p runtime.Task) {
 		defer cl.Close()
+		defer func() {
+			// Unblock the energy goroutine on every exit path.
+			select {
+			case <-markStart:
+			default:
+				close(markStart)
+			}
+			select {
+			case <-markStop:
+			default:
+				close(markStop)
+			}
+		}()
 		// A usable view: every partition routes both a write (chain head)
 		// and a read (synced replica).
 		if !awaitRoutableView(p, cl, 30*time.Second) {
@@ -149,16 +246,27 @@ func RunClusterLoadgen(env *wallclock.Env, cfg ClusterLoadgenConfig) (*ClusterDo
 			val[i] = byte(i * 7)
 		}
 		for i := int64(0); i < cfg.Records; i++ {
+			t0 := p.Now()
 			if err := cl.Put(p, ycsb.KeyAt(i), val); err != nil {
 				runErr = fmt.Errorf("cluster loadgen: preload key %d: %w", i, err)
 				return
 			}
+			okOps++
+			okNS += int64(p.Now() - t0)
 		}
 		doc.WritesAcked += cfg.Records
 
 		start := p.Now()
 		measureAt := start + cfg.Warmup
 		stopAt := measureAt + cfg.Duration
+		if cfg.ManagerMetrics != "" {
+			env.Spawn("cluster-power-mark", func(q runtime.Task) {
+				q.Sleep(cfg.Warmup)
+				close(markStart)
+				q.Sleep(cfg.Duration)
+				close(markStop)
+			})
+		}
 		evs := make([]runtime.Event, 0, cfg.Clients)
 		for c := 0; c < cfg.Clients; c++ {
 			idx := int64(c)
@@ -186,6 +294,10 @@ func RunClusterLoadgen(env *wallclock.Env, cfg ClusterLoadgenConfig) (*ClusterDo
 						}
 					}
 					t1 := q.Now()
+					if err == nil {
+						okOps++
+						okNS += int64(t1 - t0)
+					}
 					if t1 >= measureAt && t1 <= stopAt {
 						res.Ops++
 						res.Lat.Record(t1 - t0)
@@ -198,11 +310,21 @@ func RunClusterLoadgen(env *wallclock.Env, cfg ClusterLoadgenConfig) (*ClusterDo
 		}
 		runtime.WaitAll(p, evs...)
 
+		// Grab trace samples now: the read-back sweep below is a GET flood
+		// that would rotate the multi-hop PUT traces out of the sample ring.
+		if cfg.Tracer != nil {
+			doc.Traces = pickTraces(cfg.Tracer.Samples(), 8)
+		}
+
 		// The loss ledger: every preloaded (acked) key must still read back.
 		for i := int64(0); i < cfg.Records; i++ {
 			doc.Verified++
+			t0 := p.Now()
 			if _, err := cl.Get(p, ycsb.KeyAt(i)); err != nil {
 				doc.LostWrites++
+			} else {
+				okOps++
+				okNS += int64(p.Now() - t0)
 			}
 		}
 		if v := cl.View(); v != nil {
@@ -210,15 +332,92 @@ func RunClusterLoadgen(env *wallclock.Env, cfg ClusterLoadgenConfig) (*ClusterDo
 		}
 	})
 	env.Wait()
+	powerWG.Wait()
 	if runErr != nil {
 		return nil, runErr
+	}
+	if powerErr != nil {
+		return nil, powerErr
 	}
 	res.Elapsed = cfg.Duration
 	if res.Elapsed > 0 {
 		res.Thr = float64(res.Ops) / res.Elapsed.Seconds()
 	}
 	doc.Res = NewWallclockRes("cluster", res)
+	doc.Joules = joules
+	if joules > 0 {
+		doc.RequestsPerJoule = float64(res.Ops) / joules
+	}
+	if cfg.Tracer != nil && okOps > 0 {
+		a := cfg.Tracer.Attribution()
+		doc.Attribution = a
+		// Cover ratio: mean disjoint span sum per trace over mean measured
+		// latency. Nested stages (cpu/ssd/device live inside engine) are
+		// skipped; every successful op records exactly one net span, so the
+		// net row's count is the traced-op count.
+		var disjoint float64
+		var traced int64
+		for _, s := range a.Stages {
+			switch s.Stage {
+			case "cpu", "ssd", "device":
+				continue
+			}
+			disjoint += float64(s.QueueMean+s.SvcMean) * float64(s.Count)
+			if s.Stage == "net" {
+				traced = s.Count
+			}
+		}
+		if traced > 0 {
+			doc.AttributionCover = (disjoint / float64(traced)) /
+				(float64(okNS) / float64(okOps))
+		}
+	}
 	return doc, nil
+}
+
+// pickTraces selects up to max sampled traces for embedding in the doc,
+// preferring ones that crossed at least two server processes (some span at
+// hop ≥ 2: client is hop 0, the first server hop 1, chain forwards beyond).
+func pickTraces(all []obs.Trace, max int) []obs.Trace {
+	var multi, rest []obs.Trace
+	for _, tr := range all {
+		deep := false
+		for _, sp := range tr.Spans {
+			if sp.Hop >= 2 {
+				deep = true
+				break
+			}
+		}
+		if deep {
+			multi = append(multi, tr)
+		} else {
+			rest = append(rest, tr)
+		}
+	}
+	out := multi
+	if len(out) > max {
+		out = out[len(out)-max:] // newest multi-hop traces win
+	}
+	for _, tr := range rest {
+		if len(out) >= max {
+			break
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// rawCounterSum totals a counter family in a raw snapshot: the bare name
+// plus every labeled `name{...}` variant (the fleet merge has already summed
+// each key across instances).
+func rawCounterSum(snap obs.RawSnapshot, name string) int64 {
+	var total int64
+	for k, v := range snap.Counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
 }
 
 // awaitRoutableView refreshes until the view can route every partition.

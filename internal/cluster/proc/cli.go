@@ -1,8 +1,10 @@
 package proc
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -10,6 +12,7 @@ import (
 
 	"leed/internal/cluster"
 	"leed/internal/obs"
+	"leed/internal/power"
 	"leed/internal/runtime"
 	"leed/internal/runtime/wallclock"
 )
@@ -61,6 +64,10 @@ func drainWait(env *wallclock.Env, bound time.Duration) {
 	}
 }
 
+// traceSampleEvery is the whole-trace sampling cadence for proc roles: every
+// N-th traced request is retained whole for /traces.
+const traceSampleEvery = 32
+
 func managerMain(args []string) error {
 	fs := flag.NewFlagSet("manager", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:0", "heartbeat listen address")
@@ -68,12 +75,20 @@ func managerMain(args []string) error {
 	numpart := fs.Int("numpart", 8, "global partition count (must match nodes)")
 	hbTimeout := fs.Duration("hb-timeout", 750*time.Millisecond, "silent-node failure timeout")
 	checkEvery := fs.Duration("check-every", 0, "failure-detector period (default hb-timeout/4)")
-	metricsAddr := fs.String("metrics-addr", "", "HTTP address exposing /metrics while running")
+	metricsAddr := fs.String("metrics-addr", "", "HTTP address exposing the fleet-aggregated /metrics while running")
+	metricsPoll := fs.Duration("metrics-poll", 250*time.Millisecond, "member metrics scrape cadence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	env := wallclock.New()
 	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, traceSampleEvery, 256)
+	var fleet *obs.Fleet
+	if *metricsAddr != "" {
+		fleet = obs.NewFleet(reg)
+	}
+	pm := power.NewProcessMeter(reg, power.ProcessConfig{})
+	defer pm.Close()
 	m, err := StartManager(ManagerConfig{
 		Env:              env,
 		Listen:           *listen,
@@ -82,12 +97,38 @@ func managerMain(args []string) error {
 		HeartbeatTimeout: runtime.Time(*hbTimeout),
 		CheckEvery:       runtime.Time(*checkEvery),
 		Obs:              reg,
+		Fleet:            fleet,
+		MetricsPoll:      *metricsPoll,
 	})
 	if err != nil {
 		return err
 	}
 	if *metricsAddr != "" {
-		msrv, err := obs.ServeMetrics(*metricsAddr, reg, nil)
+		// The manager's metrics page is the cluster-wide one: /metrics and
+		// friends serve the fleet-merged registry (counters summed,
+		// histograms merged, gauges instance-labeled), /attribution the
+		// cross-process latency table. The default mux (pprof, /traces)
+		// rides along unchanged.
+		msrv, err := obs.ServeMetricsWith(*metricsAddr, reg, tr, map[string]http.HandlerFunc{
+			"/metrics": func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+				fleet.Merged().WritePrometheus(w)
+			},
+			"/metrics.json": func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				_ = fleet.Merged().Snapshot().WriteJSON(w)
+			},
+			"/metrics.raw.json": func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(fleet.Merged().Raw())
+			},
+			"/attribution": func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(fleet.Attribution())
+			},
+		})
 		if err != nil {
 			return err
 		}
@@ -118,27 +159,37 @@ func nodeMain(args []string) error {
 	}
 	env := wallclock.New()
 	reg := obs.NewRegistry()
+	tr := obs.NewTracer(reg, traceSampleEvery, 256)
+	pm := power.NewProcessMeter(reg, power.ProcessConfig{})
+	defer pm.Close()
+	// The metrics server comes up before the node so its bound address (the
+	// caller may have passed :0) can ride the node's heartbeats — that is
+	// how the manager's fleet aggregator discovers scrape targets.
+	var scrapeAddr string
+	if *metricsAddr != "" {
+		msrv, err := obs.ServeMetrics(*metricsAddr, reg, tr)
+		if err != nil {
+			return err
+		}
+		defer msrv.Close()
+		scrapeAddr = msrv.Addr
+	}
 	n, err := StartNode(NodeConfig{
 		Env:         env,
 		ID:          cluster.NodeID(*id),
 		Listen:      *listen,
 		Advertise:   *advertise,
 		Manager:     *manager,
+		MetricsAddr: scrapeAddr,
 		NumPart:     *numpart,
 		SSDs:        *ssds,
 		SSDCapacity: *capacity,
 		HBInterval:  runtime.Time(*hbInterval),
 		Obs:         reg,
+		Tracer:      tr,
 	})
 	if err != nil {
 		return err
-	}
-	if *metricsAddr != "" {
-		msrv, err := obs.ServeMetrics(*metricsAddr, reg, nil)
-		if err != nil {
-			return err
-		}
-		defer msrv.Close()
 	}
 	fmt.Printf("leed node %d serving on %s\n", *id, n.Addr())
 	awaitSignal()

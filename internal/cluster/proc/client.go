@@ -59,6 +59,12 @@ type ClientConfig struct {
 
 	// Obs is optional.
 	Obs *obs.Registry
+	// Tracer, when set, traces every operation end to end: the request
+	// carries a sampled trace context across process boundaries, every node
+	// it touches piggybacks its span summaries on the response, and the
+	// client replays them (hop-tagged) into one reassembled trace alongside
+	// its own client/net spans.
+	Tracer *obs.Tracer
 }
 
 // Client routes operations against a multi-process cluster: writes to the
@@ -179,6 +185,11 @@ func (c *Client) peer(addr string) *server.ReliableClient {
 func (c *Client) do(t runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.Response, error) {
 	isWrite := op == rpcproto.OpPut || op == rpcproto.OpDel
 	lastErr := error(ErrNoView)
+	start := t.Now()
+	tr := c.cfg.Tracer.Begin(op.String(), start)
+	// End aggregates whatever spans the attempts recorded — on failure the
+	// trace still contributes its client time. Nil-safe throughout.
+	defer c.cfg.Tracer.End(tr)
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			t.Sleep(c.cfg.RetrySleep)
@@ -224,6 +235,13 @@ func (c *Client) do(t runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 			Partition: part, Epoch: v.Epoch, Hop: 0,
 			Key: key, Value: val,
 		}
+		if tr != nil {
+			// Propagate the trace across the process boundary: the sampled
+			// context makes every node on the route piggyback its spans.
+			req.TraceID = c.nextID
+			req.TraceFlags = rpcproto.TraceSampled
+		}
+		sent := t.Now()
 		resp, err := c.peer(addr).DoView(t, req)
 		if err != nil {
 			if isWrite && !server.WriteNotExecuted(err) {
@@ -234,6 +252,23 @@ func (c *Client) do(t runtime.Task, op rpcproto.Op, key, val []byte) (*rpcproto.
 		}
 		switch resp.Status {
 		case rpcproto.StatusOK, rpcproto.StatusNotFound:
+			if tr != nil {
+				// Reassemble the end-to-end trace: the client span is the
+				// routing/retry overhead before the wire, the net span is the
+				// round trip minus everything the remote spans account for,
+				// and the piggybacked spans replay hop-tagged so the whole
+				// chain (head → … → tail) shows up in one trace.
+				rtt := t.Now() - sent
+				tr.SpanHop("client", 0, sent-start, 0)
+				remote := rpcproto.DisjointTotalNS(resp.Spans)
+				tr.SpanHop("net", 0, 0, rtt-runtime.Time(remote))
+				for _, sp := range resp.Spans {
+					if name := sp.Stage.Name(); name != "" {
+						tr.SpanHop(name, int(sp.Hop),
+							runtime.Time(sp.QueueNS), runtime.Time(sp.ServiceNS))
+					}
+				}
+			}
 			return resp, nil
 		case rpcproto.StatusNack:
 			// Stale view (or the target is not yet serving); refresh and

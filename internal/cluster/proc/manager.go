@@ -2,6 +2,7 @@ package proc
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"leed/internal/cluster"
@@ -30,6 +31,15 @@ type ManagerConfig struct {
 	// Obs receives the control plane's series (leed_mgr_* plus
 	// leed_cluster_view_epoch). May be nil.
 	Obs *obs.Registry
+
+	// Fleet, when set, turns the manager into the cluster's metrics
+	// aggregator: every member that advertises a metrics address in its
+	// heartbeats is scraped on a poll loop and folded into the fleet's
+	// merged registry (counters sum, histograms merge, gauges re-keyed per
+	// instance). Nil disables aggregation.
+	Fleet *obs.Fleet
+	// MetricsPoll is the member-scrape cadence. Default 250ms.
+	MetricsPoll time.Duration
 }
 
 // copyKey names one outstanding (partition, dest) migration in a mailbox.
@@ -53,6 +63,18 @@ type Manager struct {
 	// mailbox holds COPY commands per source node, redelivered in every
 	// view push to that node until its heartbeat reports them Done.
 	mailbox map[cluster.NodeID]map[copyKey]bool
+
+	// metricsAddrs maps fleet instance names ("n3") to the metrics endpoint
+	// each member advertised in its heartbeats. Written in task context,
+	// read by the raw-goroutine scrape loop — hence the plain mutex rather
+	// than the execution contract (the loop does blocking HTTP I/O and must
+	// not occupy a task).
+	metricsMu    sync.Mutex
+	metricsAddrs map[string]string
+
+	scrapeDone chan struct{}
+	scrapeStop sync.Once
+	scrapeWG   sync.WaitGroup
 
 	epochG *obs.Gauge
 	closed bool
@@ -105,13 +127,18 @@ func StartManager(cfg ManagerConfig) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.MetricsPoll == 0 {
+		cfg.MetricsPoll = 250 * time.Millisecond
+	}
 	m := &Manager{
-		cfg:     cfg,
-		env:     cfg.Env,
-		ln:      ln,
-		addrs:   make(map[cluster.NodeID]string),
-		mailbox: make(map[cluster.NodeID]map[copyKey]bool),
-		epochG:  cfg.Obs.Gauge("leed_cluster_view_epoch"),
+		cfg:          cfg,
+		env:          cfg.Env,
+		ln:           ln,
+		addrs:        make(map[cluster.NodeID]string),
+		mailbox:      make(map[cluster.NodeID]map[copyKey]bool),
+		metricsAddrs: make(map[string]string),
+		scrapeDone:   make(chan struct{}),
+		epochG:       cfg.Obs.Gauge("leed_cluster_view_epoch"),
 	}
 	m.mgr = cluster.NewManager(cluster.ManagerConfig{
 		Env:              cfg.Env,
@@ -138,7 +165,46 @@ func StartManager(cfg ManagerConfig) (*Manager, error) {
 			m.env.Spawn("mgr-conn", func(t runtime.Task) { m.serveConn(t, c) })
 		}
 	})
+	if cfg.Fleet != nil {
+		m.scrapeWG.Add(1)
+		go m.scrapeLoop()
+	}
 	return m, nil
+}
+
+// scrapeLoop polls every advertised member metrics endpoint and feeds the
+// snapshots into the fleet. Runs on a raw goroutine (not the Env): each
+// scrape is blocking HTTP I/O against another process, which must not
+// occupy a task slot or wedge the heartbeat path.
+func (m *Manager) scrapeLoop() {
+	defer m.scrapeWG.Done()
+	tick := time.NewTicker(m.cfg.MetricsPoll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.scrapeDone:
+			return
+		case <-tick.C:
+		}
+		m.metricsMu.Lock()
+		targets := make(map[string]string, len(m.metricsAddrs))
+		for inst, addr := range m.metricsAddrs {
+			targets[inst] = addr
+		}
+		m.metricsMu.Unlock()
+		for inst, addr := range targets {
+			snap, err := obs.FetchRaw("http://" + addr + "/metrics.raw.json")
+			if err != nil {
+				// Keep the target (it may be restarting) but drop its stale
+				// snapshot: a dead member's last counters must not linger in
+				// the merged view forever.
+				m.cfg.Fleet.ScrapeError()
+				m.cfg.Fleet.Remove(inst)
+				continue
+			}
+			m.cfg.Fleet.Update(inst, snap)
+		}
+	}
 }
 
 // Addr returns the bound heartbeat address.
@@ -151,9 +217,11 @@ func (m *Manager) Epoch() uint64 { return m.mgr.Epoch() }
 // context.
 func (m *Manager) Stats() cluster.ManagerStats { return m.mgr.Stats() }
 
-// Close stops accepting, halts the failure detector, and drops the state
-// machine. Safe from any goroutine.
+// Close stops accepting, halts the failure detector and the metrics scrape
+// loop, and drops the state machine. Safe from any goroutine.
 func (m *Manager) Close() error {
+	m.scrapeStop.Do(func() { close(m.scrapeDone) })
+	m.scrapeWG.Wait()
 	m.ln.Close()
 	m.env.After(0, func() {
 		m.closed = true
@@ -202,6 +270,11 @@ func (m *Manager) handleHeartbeat(t runtime.Task, hb *rpcproto.Heartbeat) *rpcpr
 	if hb.Node != 0 { // 0 = observer (a client fetching views)
 		if hb.Addr != "" {
 			m.addrs[node] = hb.Addr
+		}
+		if hb.MetricsAddr != "" {
+			m.metricsMu.Lock()
+			m.metricsAddrs[fmt.Sprintf("n%d", hb.Node)] = hb.MetricsAddr
+			m.metricsMu.Unlock()
 		}
 		if _, known := m.mgr.State(node); !known {
 			// First contact (or first after a failure removal): register the

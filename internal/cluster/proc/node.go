@@ -26,6 +26,12 @@ type NodeConfig struct {
 	Advertise string // address peers dial; defaults to the bound Listen addr
 	Manager   string // the control plane's heartbeat address
 
+	// MetricsAddr is the node's metrics endpoint as scraped from outside
+	// (host:port serving /metrics.raw.json). Carried in every heartbeat so
+	// the manager's fleet aggregator discovers members without separate
+	// configuration. Empty = the node is not scrapeable.
+	MetricsAddr string
+
 	// NumPart is the global partition count; must match the manager's.
 	// Default 8. Engine partition ids equal global partition numbers, so
 	// every node can host every partition (the slot budget a JBOF-scale
@@ -371,9 +377,10 @@ func (n *Node) heartbeatLoop(t runtime.Task) {
 			n.hbConn = c
 		}
 		hb := &rpcproto.Heartbeat{
-			Node:  uint64(n.cfg.ID),
-			Epoch: n.Epoch(),
-			Addr:  n.cfg.Advertise,
+			Node:        uint64(n.cfg.ID),
+			Epoch:       n.Epoch(),
+			Addr:        n.cfg.Advertise,
+			MetricsAddr: n.cfg.MetricsAddr,
 		}
 		for key, st := range n.copies {
 			if st == copyDone {
@@ -466,8 +473,11 @@ func (n *Node) nack(resp *rpcproto.Response) {
 // Handle implements server.Handler: validation, engine execution, and chain
 // forwarding for one admitted request. Task context; a chain forward's
 // round trip blocks one pipeline slot, which is the backpressure that keeps
-// an overloaded downstream from being buried.
-func (n *Node) Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte) []byte {
+// an overloaded downstream from being buried. tr is the request's trace
+// (nil untraced): engine execution and the forward's wire time are
+// attributed to it, and a sampled request's downstream piggyback spans are
+// merged into resp.Spans for the server to relay upstream.
+func (n *Node) Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte, tr *obs.Trace) []byte {
 	v := n.view
 	if v == nil || int64(req.Partition) >= int64(n.cfg.NumPart) {
 		n.nack(resp)
@@ -482,7 +492,7 @@ func (n *Node) Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpc
 		}
 		return n.handleCopy(t, req, resp, scratch)
 	case rpcproto.OpGet:
-		return n.handleGet(t, req, resp, scratch)
+		return n.handleGet(t, req, resp, scratch, tr)
 	case rpcproto.OpPut, rpcproto.OpDel:
 		if !fwd && req.Hop != 0 {
 			// Client traffic enters chains only at the head: a hop-spoofed
@@ -490,7 +500,7 @@ func (n *Node) Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpc
 			n.nack(resp)
 			return scratch
 		}
-		return n.handleWrite(t, req, resp, scratch)
+		return n.handleWrite(t, req, resp, scratch, tr)
 	default:
 		resp.Status = rpcproto.StatusErr
 		return scratch
@@ -520,7 +530,7 @@ func (n *Node) handleCopy(t runtime.Task, req *rpcproto.Request, resp *rpcproto.
 	return scratch
 }
 
-func (n *Node) handleGet(t runtime.Task, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte) []byte {
+func (n *Node) handleGet(t runtime.Task, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte, tr *obs.Trace) []byte {
 	v := n.view
 	if req.Epoch != v.Epoch {
 		n.nack(resp)
@@ -537,7 +547,7 @@ func (n *Node) handleGet(t runtime.Task, req *rpcproto.Request, resp *rpcproto.R
 	}
 	n.stats.Gets++
 	n.o.gets.Inc()
-	val, _, err := n.eng.ExecuteTracedInto(t, part, rpcproto.OpGet, req.Key, nil, scratch[:0], nil)
+	val, _, err := n.eng.ExecuteTracedInto(t, part, rpcproto.OpGet, req.Key, nil, scratch[:0], tr)
 	switch {
 	case err == core.ErrNotFound:
 		resp.Status = rpcproto.StatusNotFound
@@ -553,7 +563,7 @@ func (n *Node) handleGet(t runtime.Task, req *rpcproto.Request, resp *rpcproto.R
 	return scratch
 }
 
-func (n *Node) handleWrite(t runtime.Task, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte) []byte {
+func (n *Node) handleWrite(t runtime.Task, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte, tr *obs.Trace) []byte {
 	v := n.view
 	if req.Epoch != v.Epoch {
 		n.nack(resp)
@@ -584,7 +594,7 @@ func (n *Node) handleWrite(t runtime.Task, req *rpcproto.Request, resp *rpcproto
 		n.stats.Dels++
 		n.o.dels.Inc()
 	}
-	_, _, err := n.eng.Execute(t, part, req.Op, req.Key, req.Value)
+	_, _, err := n.eng.ExecuteTraced(t, part, req.Op, req.Key, req.Value, tr)
 	if err != nil && err != core.ErrNotFound {
 		resp.Status = rpcproto.StatusErr
 		return scratch
@@ -611,13 +621,24 @@ func (n *Node) handleWrite(t runtime.Task, req *rpcproto.Request, resp *rpcproto
 		resp.Status = rpcproto.StatusErr
 		return scratch
 	}
+	// The struct copy carries the trace context (TraceID/TraceFlags) along
+	// with the payload, so the whole chain executes under one trace.
 	fwdReq := *req
 	fwdReq.Hop++
+	fstart := t.Now()
 	dresp, derr := n.peer(addr).DoView(t, &fwdReq)
 	if derr != nil {
 		resp.Status = rpcproto.StatusErr
 		return scratch
 	}
+	// Attribute the forward: the downstream response's spans already account
+	// for the time the remote side spent, so the fwd span is the round trip
+	// minus that — the node-to-node wire and scheduling cost. The remote
+	// spans themselves ride resp.Spans upstream, which is how the issuing
+	// client sees the whole chain in one trace.
+	rtt := t.Now() - fstart
+	tr.Span("fwd", 0, rtt-runtime.Time(rpcproto.DisjointTotalNS(dresp.Spans)))
+	resp.Spans = append(resp.Spans, dresp.Spans...)
 	// The most-downstream outcome is authoritative (the tail decides
 	// NotFound for a DEL of a missing key, exactly as in-process).
 	resp.Status = dresp.Status

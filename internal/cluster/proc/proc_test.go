@@ -444,14 +444,14 @@ func TestHandleGetAllocs(t *testing.T) {
 		scratch := make([]byte, 0, 4096)
 		// Warm the path once (lazy engine buffers), then measure.
 		resp := rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
-		scratch = n.Handle(p, false, req, &resp, scratch)
+		scratch = n.Handle(p, false, req, &resp, scratch, nil)
 		if resp.Status != rpcproto.StatusOK || !bytes.Equal(resp.Value, val) {
 			setupErr = fmt.Errorf("warmup GET: status %v", resp.Status)
 			return
 		}
 		allocs = testing.AllocsPerRun(200, func() {
 			r := rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
-			scratch = n.Handle(p, false, req, &r, scratch)
+			scratch = n.Handle(p, false, req, &r, scratch, nil)
 			if r.Status != rpcproto.StatusOK {
 				setupErr = fmt.Errorf("measured GET: status %v", r.Status)
 			}
@@ -496,14 +496,14 @@ func TestHandleRejectsSpoofedHop(t *testing.T) {
 		part := cluster.PartitionOf(core.HashKey(key), 4)
 		req := &rpcproto.Request{ID: 1, Op: rpcproto.OpPut, Partition: part, Epoch: 1, Hop: 1, Key: key, Value: []byte("evil")}
 		resp := rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
-		n.Handle(p, false, req, &resp, nil)
+		n.Handle(p, false, req, &resp, nil, nil)
 		if resp.Status != rpcproto.StatusNack {
 			failures = append(failures, fmt.Sprintf("spoofed-hop client write: status %v, want NACK", resp.Status))
 		}
 		// A client-framed COPY is hostile too: peer-only traffic.
 		creq := &rpcproto.Request{ID: 2, Op: rpcproto.OpCopy, Partition: part, Epoch: 1, Key: key, Value: []byte("evil")}
 		cresp := rpcproto.Response{ID: creq.ID, Epoch: creq.Epoch}
-		n.Handle(p, false, creq, &cresp, nil)
+		n.Handle(p, false, creq, &cresp, nil, nil)
 		if cresp.Status != rpcproto.StatusErr {
 			failures = append(failures, fmt.Sprintf("client-framed COPY: status %v, want Err", cresp.Status))
 		}

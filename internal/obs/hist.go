@@ -233,3 +233,71 @@ func (h *Histogram) Snap() HistSnap {
 		Max:   int64(h.Max()),
 	}
 }
+
+// HistDump is the raw, mergeable form of a histogram: the sparse non-zero
+// buckets plus the scalar state. Unlike HistSnap — whose quantile summaries
+// cannot be combined across instances — two dumps merge exactly, which is
+// what fleet aggregation needs: each process exports dumps, the manager
+// rebuilds histograms and merges them with the same deterministic Merge the
+// in-process path uses.
+type HistDump struct {
+	N   int64 `json:"n"`
+	Sum int64 `json:"sum"`
+	Min int64 `json:"min"` // 0 when empty
+	Max int64 `json:"max"`
+	// Buckets holds [bucket index, count] pairs, ascending by index,
+	// non-zero counts only.
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// Dump exports the histogram's raw state.
+func (h *Histogram) Dump() HistDump {
+	d := HistDump{N: h.n, Sum: h.sum, Max: h.max}
+	if h.n > 0 {
+		d.Min = h.min
+	} else {
+		d.Max = 0
+	}
+	for b, c := range h.counts {
+		if c != 0 {
+			d.Buckets = append(d.Buckets, [2]int64{int64(b), c})
+		}
+	}
+	return d
+}
+
+// HistFromDump rebuilds a histogram from a dump. Dumps cross process
+// boundaries (a scraped /metrics.raw.json), so every field is validated:
+// bucket indexes must be in range and ascending, counts positive, and the
+// bucket total must equal N — a corrupted dump is an error, never a panic
+// or a silently wrong merge.
+func HistFromDump(d HistDump) (*Histogram, error) {
+	h := NewHistogram()
+	if d.N < 0 {
+		return nil, fmt.Errorf("obs: hist dump: negative count %d", d.N)
+	}
+	var total int64
+	last := int64(-1)
+	for _, b := range d.Buckets {
+		idx, c := b[0], b[1]
+		if idx <= last || idx >= int64(len(h.counts)) {
+			return nil, fmt.Errorf("obs: hist dump: bad bucket index %d", idx)
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("obs: hist dump: bad bucket count %d", c)
+		}
+		h.counts[idx] = c
+		total += c
+		last = idx
+	}
+	if total != d.N {
+		return nil, fmt.Errorf("obs: hist dump: bucket total %d != n %d", total, d.N)
+	}
+	h.n = d.N
+	h.sum = d.Sum
+	if d.N > 0 {
+		h.min = d.Min
+		h.max = d.Max
+	}
+	return h, nil
+}

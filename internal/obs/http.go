@@ -18,49 +18,71 @@ type Server struct {
 
 // ServeMetrics starts an HTTP server on addr exposing:
 //
-//	/metrics      Prometheus text exposition of every registry series
-//	/metrics.json the deterministic JSON snapshot
-//	/traces       the tracer's sampled whole traces (JSON array)
-//	/debug/pprof  the standard Go profiling endpoints (heap, cpu, allocs…),
-//	              registered explicitly so the hot path's allocation budget
-//	              can be audited against a live server
+//	/metrics          Prometheus text exposition of every registry series
+//	/metrics.json     the deterministic JSON snapshot
+//	/metrics.raw.json the raw mergeable snapshot (what fleet aggregation
+//	                  scrapes; histograms as bucket dumps, not summaries)
+//	/traces           the tracer's sampled whole traces (JSON array)
+//	/debug/pprof      the standard Go profiling endpoints (heap, cpu,
+//	                  allocs…), registered explicitly so the hot path's
+//	                  allocation budget can be audited against a live server
 //
 // The server runs on its own goroutines; instruments are atomic or
 // mutex-guarded precisely so these handlers can read them mid-run.
 func ServeMetrics(addr string, reg *Registry, tr *Tracer) (*Server, error) {
+	return ServeMetricsWith(addr, reg, tr, nil)
+}
+
+// ServeMetricsWith is ServeMetrics plus caller-supplied handlers. An extra
+// handler whose pattern collides with a default endpoint replaces it — the
+// manager uses this to serve the fleet-aggregated view on /metrics while
+// keeping its own raw snapshot scrapeable.
+func ServeMetricsWith(addr string, reg *Registry, tr *Tracer, extra map[string]http.HandlerFunc) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	handlers := map[string]http.HandlerFunc{
+		"/metrics": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		},
+		"/metrics.json": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.Snapshot().WriteJSON(w)
+		},
+		"/metrics.raw.json": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(reg.Raw())
+		},
+		"/traces": func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			samples := tr.Samples()
+			if samples == nil {
+				samples = []Trace{}
+			}
+			_ = enc.Encode(struct {
+				Traces      []Trace     `json:"traces"`
+				Attribution Attribution `json:"attribution"`
+			}{samples, tr.Attribution()})
+		},
+		// Explicit registration: importing net/http/pprof only touches
+		// http.DefaultServeMux, which this server deliberately does not use.
+		"/debug/pprof/":        pprof.Index,
+		"/debug/pprof/cmdline": pprof.Cmdline,
+		"/debug/pprof/profile": pprof.Profile,
+		"/debug/pprof/symbol":  pprof.Symbol,
+		"/debug/pprof/trace":   pprof.Trace,
+	}
+	for pattern, h := range extra {
+		handlers[pattern] = h
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		reg.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = reg.Snapshot().WriteJSON(w)
-	})
-	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		samples := tr.Samples()
-		if samples == nil {
-			samples = []Trace{}
-		}
-		_ = enc.Encode(struct {
-			Traces      []Trace     `json:"traces"`
-			Attribution Attribution `json:"attribution"`
-		}{samples, tr.Attribution()})
-	})
-	// Explicit registration: importing net/http/pprof only touches
-	// http.DefaultServeMux, which this server deliberately does not use.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for pattern, h := range handlers {
+		mux.HandleFunc(pattern, h)
+	}
 	s := &Server{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil

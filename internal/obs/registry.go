@@ -165,6 +165,17 @@ func (x *Hist) Clone() *Histogram {
 	return &c
 }
 
+// Dump exports the raw mergeable form (primary plus overflow stripes).
+func (x *Hist) Dump() HistDump {
+	if x == nil {
+		return HistDump{}
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	m := x.mergedLocked()
+	return m.Dump()
+}
+
 // Count returns the number of recorded observations.
 func (x *Hist) Count() int64 {
 	if x == nil {
@@ -275,6 +286,31 @@ func (r *Registry) lookup(name string, kind seriesKind, labels []string) *series
 	return s
 }
 
+// lookupRendered is lookup for an already-rendered label string — the fleet
+// merge path rebuilds series from scraped snapshot keys, whose labels are
+// canonical (sorted) by construction.
+func (r *Registry) lookupRendered(name, labels string, kind seriesKind) *series {
+	s := &series{name: name, labels: labels, kind: kind}
+	switch kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHist:
+		s.h = NewHist()
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.series[s.key()]; ok && got.kind == kind {
+		return got
+	}
+	r.series[s.key()] = s
+	return s
+}
+
 // Counter returns the counter named name with the given label pairs,
 // creating it on first use.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
@@ -328,6 +364,46 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 	}
 	return snap
+}
+
+// RawSnapshot is the mergeable counterpart of Snapshot: histograms appear as
+// raw bucket dumps instead of quantile summaries, so snapshots from many
+// processes can be combined exactly. This is what /metrics.raw.json serves
+// and what the manager's fleet aggregation scrapes. Keys are the rendered
+// series identities (`name{label="v",...}`), identical to Snapshot's.
+type RawSnapshot struct {
+	Counters map[string]int64    `json:"counters"`
+	Gauges   map[string]int64    `json:"gauges"`
+	Hists    map[string]HistDump `json:"hists"`
+}
+
+// Raw copies out every series in mergeable form.
+func (r *Registry) Raw() RawSnapshot {
+	raw := RawSnapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]HistDump{},
+	}
+	if r == nil {
+		return raw
+	}
+	r.mu.Lock()
+	all := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		all = append(all, s)
+	}
+	r.mu.Unlock()
+	for _, s := range all {
+		switch s.kind {
+		case kindCounter:
+			raw.Counters[s.key()] = s.c.Load()
+		case kindGauge:
+			raw.Gauges[s.key()] = s.g.Load()
+		case kindHist:
+			raw.Hists[s.key()] = s.h.Dump()
+		}
+	}
+	return raw
 }
 
 // WriteJSON writes the snapshot as indented JSON.

@@ -17,6 +17,11 @@ type Span struct {
 	Stage   string `json:"stage"`
 	Queue   Time   `json:"queue"`
 	Service Time   `json:"service"`
+	// Hop is the chain position the span was recorded on for traces that
+	// cross process boundaries: 0 = the issuing client, 1 = the head node,
+	// rising along the chain. Single-process spans leave it 0, and the JSON
+	// form omits it, so pre-cluster traces are unchanged.
+	Hop int `json:"hop,omitempty"`
 }
 
 // Trace is the ordered list of spans one request accumulated. Traces are
@@ -44,6 +49,22 @@ func (tr *Trace) Span(stage string, queue, service Time) {
 	tr.Spans = append(tr.Spans, Span{Stage: stage, Queue: queue, Service: service})
 }
 
+// SpanHop appends one stage record tagged with its chain hop — the form
+// cross-process trace reassembly uses when replaying piggybacked remote
+// spans into the issuer's trace.
+func (tr *Trace) SpanHop(stage string, hop int, queue, service Time) {
+	if tr == nil {
+		return
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	if service < 0 {
+		service = 0
+	}
+	tr.Spans = append(tr.Spans, Span{Stage: stage, Queue: queue, Service: service, Hop: hop})
+}
+
 // stageOrder fixes the pipeline order stages appear in attribution tables:
 // the request path from the paper's Figure — client admission, network,
 // node RPC handling, engine admission, store CPU, store SSD wait, device.
@@ -56,6 +77,7 @@ var stageOrder = map[string]int{
 	"cpu":    4,
 	"ssd":    5,
 	"device": 6,
+	"fwd":    7,
 }
 
 type stageHists struct {

@@ -101,6 +101,56 @@ func TestBatchRoundTripAllocFree(t *testing.T) {
 	}
 }
 
+func TestTracedRequestRoundTripAllocFree(t *testing.T) {
+	// The trace-context section must add zero allocations on the borrow-
+	// decode path: the context is fixed-size fields, no slices.
+	req := &Request{ID: 7, Op: OpGet, Epoch: 3, Key: []byte("traced-key"),
+		TraceID: 0xfeedbeef, TraceFlags: TraceSampled}
+	frame := AppendRequestFrame(nil, req)
+	buf := make([]byte, 0, len(frame))
+	var dec Request
+	assertZeroAllocs(t, "traced request encode+borrow-decode", func() {
+		buf = AppendRequestFrame(buf[:0], req)
+		_, payload, _, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.DecodeBorrow(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if dec.TraceID != 0xfeedbeef || dec.TraceFlags != TraceSampled || string(dec.Key) != "traced-key" {
+		t.Fatalf("decode corrupted: %+v", dec)
+	}
+}
+
+func TestSpanPiggybackRoundTripAllocFree(t *testing.T) {
+	// The span section must decode allocation-free once the destination
+	// response's Spans slice is warm (pooled call objects keep capacity).
+	resp := &Response{ID: 9, Status: StatusOK, Value: []byte("v"), Spans: []PSpan{
+		{Stage: StageNode, Hop: 1, QueueNS: 100, ServiceNS: 200},
+		{Stage: StageEngine, Hop: 1, ServiceNS: 300},
+		{Stage: StageFwd, Hop: 1, ServiceNS: 50},
+		{Stage: StageNode, Hop: 2, QueueNS: 10, ServiceNS: 20},
+	}}
+	frame := AppendResponseFrame(nil, resp)
+	buf := make([]byte, 0, len(frame))
+	dec := Response{Spans: make([]PSpan, 0, len(resp.Spans))}
+	assertZeroAllocs(t, "span piggyback encode+borrow-decode", func() {
+		buf = AppendResponseFrame(buf[:0], resp)
+		_, payload, _, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.DecodeBorrow(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(dec.Spans) != 4 || dec.Spans[3] != resp.Spans[3] || string(dec.Value) != "v" {
+		t.Fatalf("decode corrupted: %+v", dec)
+	}
+}
+
 func TestBufPoolAllocFree(t *testing.T) {
 	// Warm one buffer into the pool, then rent/return must never allocate.
 	PutBuf(make([]byte, 0, 1024))

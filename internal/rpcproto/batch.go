@@ -15,10 +15,14 @@ import (
 // Wire layout (after the standard [len][kind] envelope):
 //
 //	batch request  payload: [ID u64][op u8][count u32]
+//	                        then, when op bit 7 is set, one trace-context
+//	                        section (see trace.go),
 //	                        then per item [klen u32][vlen u32][key][val]
 //	batch response payload: [ID u64][count u32]
 //	                        then per item [status u8][vlen u32][val]
 //
+// The op byte's low 7 bits are the Op; bit 7 flags a propagated trace
+// context, so an untraced batch is byte-identical to the pre-trace format.
 // GET items carry vlen=0; response items for PUT/DEL carry vlen=0. All
 // lengths are validated in 64-bit arithmetic against MaxFrameBytes before
 // sizing anything, and count is validated against both MaxBatchItems and
@@ -52,16 +56,33 @@ type BatchRespItem struct {
 	Value  []byte
 }
 
+// batchFlagTraceCtx (op byte bit 7) marks a trace-context section between
+// the batch header and the first item.
+const batchFlagTraceCtx = 1 << 7
+
 // AppendBatchReqFrame appends a complete batch-request frame carrying op
 // over keys (and, for writes, vals — nil or shorter-than-keys vals encode
 // as empty values). len(keys) must be ≤ MaxBatchItems.
 func AppendBatchReqFrame(dst []byte, id uint64, op Op, keys, vals [][]byte) []byte {
+	return AppendBatchReqFrameCtx(dst, id, op, keys, vals, 0, 0)
+}
+
+// AppendBatchReqFrameCtx is AppendBatchReqFrame with a propagated trace
+// context (traceID 0 omits the section and the flag bit entirely).
+func AppendBatchReqFrameCtx(dst []byte, id uint64, op Op, keys, vals [][]byte, traceID uint64, traceFlags uint8) []byte {
 	dst, off := appendFrameHdr(dst, FrameBatchReq)
 	var hdr [batchReqHdrSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:], id)
-	hdr[8] = uint8(op)
+	opb := uint8(op) &^ byte(batchFlagTraceCtx)
+	if traceID != 0 {
+		opb |= batchFlagTraceCtx
+	}
+	hdr[8] = opb
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(keys)))
 	dst = append(dst, hdr[:]...)
+	if traceID != 0 {
+		dst = appendTraceCtx(dst, traceID, traceFlags)
+	}
 	for i, k := range keys {
 		var v []byte
 		if i < len(vals) {
@@ -111,31 +132,49 @@ func BatchID(src []byte) (uint64, error) {
 
 // DecodeBatchReq parses a batch-request payload, appending one BatchItem
 // per sub-operation into items (pass a reused items[:0] for an
-// allocation-free steady state). The returned items ALIAS src.
+// allocation-free steady state). The returned items ALIAS src. Any trace
+// context is validated but discarded; trace-aware servers use
+// DecodeBatchReqCtx.
 func DecodeBatchReq(src []byte, items []BatchItem) (id uint64, op Op, out []BatchItem, err error) {
+	id, op, _, _, out, err = DecodeBatchReqCtx(src, items)
+	return id, op, out, err
+}
+
+// DecodeBatchReqCtx is DecodeBatchReq plus the propagated trace context
+// (traceID 0 when the frame carries none).
+func DecodeBatchReqCtx(src []byte, items []BatchItem) (id uint64, op Op, traceID uint64, traceFlags uint8, out []BatchItem, err error) {
 	if len(src) < batchReqHdrSize {
-		return 0, 0, items, ErrShortBuffer
+		return 0, 0, 0, 0, items, ErrShortBuffer
 	}
 	id = binary.LittleEndian.Uint64(src[0:])
-	op = Op(src[8])
+	opb := src[8]
+	op = Op(opb &^ byte(batchFlagTraceCtx))
 	count := int64(binary.LittleEndian.Uint32(src[9:]))
 	rest := src[batchReqHdrSize:]
+	if opb&batchFlagTraceCtx != 0 {
+		tid, tf, n, terr := decodeTraceCtx(rest)
+		if terr != nil {
+			return 0, 0, 0, 0, items, terr
+		}
+		traceID, traceFlags = tid, tf
+		rest = rest[n:]
+	}
 	if count > MaxBatchItems || count*batchReqItemHdr > int64(len(rest)) {
-		return 0, 0, items, ErrBatchTooLarge
+		return 0, 0, 0, 0, items, ErrBatchTooLarge
 	}
 	off := int64(0)
 	for i := int64(0); i < count; i++ {
 		if off+batchReqItemHdr > int64(len(rest)) {
-			return 0, 0, items, ErrShortBuffer
+			return 0, 0, 0, 0, items, ErrShortBuffer
 		}
 		kl := int64(binary.LittleEndian.Uint32(rest[off:]))
 		vl := int64(binary.LittleEndian.Uint32(rest[off+4:]))
 		if kl > MaxFrameBytes || vl > MaxFrameBytes {
-			return 0, 0, items, ErrFrameTooLarge
+			return 0, 0, 0, 0, items, ErrFrameTooLarge
 		}
 		off += batchReqItemHdr
 		if off+kl+vl > int64(len(rest)) {
-			return 0, 0, items, ErrShortBuffer
+			return 0, 0, 0, 0, items, ErrShortBuffer
 		}
 		var it BatchItem
 		if kl > 0 {
@@ -147,7 +186,7 @@ func DecodeBatchReq(src []byte, items []BatchItem) (id uint64, op Op, out []Batc
 		items = append(items, it)
 		off += kl + vl
 	}
-	return id, op, items, nil
+	return id, op, traceID, traceFlags, items, nil
 }
 
 // DecodeBatchResp parses a batch-response payload, appending one

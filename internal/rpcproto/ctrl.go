@@ -45,6 +45,12 @@ type Heartbeat struct {
 	Epoch uint64 // sender's current view epoch (0 = none yet)
 	Addr  string
 	Done  []CopyRef
+	// MetricsAddr is the sender's observability endpoint (the host:port its
+	// /metrics HTTP server listens on), "" when it serves none. The manager
+	// uses it to scrape members for fleet aggregation. Encoded as a trailing
+	// length-prefixed extension: decoders that predate it (which ignored
+	// trailing heartbeat bytes) skip it, and an absent section decodes as "".
+	MetricsAddr string
 }
 
 const hbHdrSize = 8 + 8 + 2 + 2 // node, epoch, addr len, done count
@@ -60,6 +66,12 @@ func EncodeHeartbeat(dst []byte, h *Heartbeat) []byte {
 	dst = append(dst, h.Addr...)
 	for _, d := range h.Done {
 		dst = appendCopyRef(dst, d)
+	}
+	if h.MetricsAddr != "" {
+		var ml [2]byte
+		binary.LittleEndian.PutUint16(ml[:], uint16(len(h.MetricsAddr)))
+		dst = append(dst, ml[:]...)
+		dst = append(dst, h.MetricsAddr...)
 	}
 	return dst
 }
@@ -91,6 +103,23 @@ func DecodeHeartbeat(src []byte) (*Heartbeat, int, error) {
 			h.Done[i] = decodeCopyRef(src[off:])
 			off += copyRefSize
 		}
+	}
+	// Trailing extension: the metrics address. Absent on older (and
+	// metrics-less) senders; bytes past it are in turn ignored, keeping the
+	// same room for future extensions this one used.
+	if len(src) > total {
+		if len(src) < total+2 {
+			return nil, 0, ErrShortBuffer
+		}
+		ml := int(binary.LittleEndian.Uint16(src[total:]))
+		if ml > MaxAddrLen {
+			return nil, 0, ErrBadFrame
+		}
+		if len(src) < total+2+ml {
+			return nil, 0, ErrShortBuffer
+		}
+		h.MetricsAddr = string(src[total+2 : total+2+ml])
+		total += 2 + ml
 	}
 	return h, total, nil
 }

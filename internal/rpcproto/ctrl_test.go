@@ -168,8 +168,15 @@ func TestChainFwdEncodeAllocs(t *testing.T) {
 func FuzzDecodeHeartbeat(f *testing.F) {
 	f.Add(EncodeHeartbeat(nil, &Heartbeat{Node: 101, Epoch: 3, Addr: "127.0.0.1:9001"}))
 	f.Add(EncodeHeartbeat(nil, &Heartbeat{Node: 1, Done: []CopyRef{{Partition: 2, Dest: 103}}}))
+	f.Add(EncodeHeartbeat(nil, &Heartbeat{Node: 2, Addr: "a", MetricsAddr: "127.0.0.1:9151"}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, hbHdrSize)) // max addr len + done count, no bodies
+	// Hostile metrics-addr extensions: a lone trailing byte (no room for the
+	// length prefix), a truncated declared address, an oversized length.
+	base := EncodeHeartbeat(nil, &Heartbeat{Node: 7, Addr: "x"})
+	f.Add(append(append([]byte(nil), base...), 0x01))
+	f.Add(append(append([]byte(nil), base...), 9, 0, 'a'))
+	f.Add(append(append([]byte(nil), base...), 0xFF, 0xFF))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, n, err := DecodeHeartbeat(data)
 		if err != nil {
@@ -178,8 +185,15 @@ func FuzzDecodeHeartbeat(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("consumed %d of %d bytes", n, len(data))
 		}
-		if got := EncodeHeartbeat(nil, h); !bytes.Equal(got, data[:n]) {
-			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
+		// Field equality, not byte equality: an empty trailing extension
+		// decodes to "" and re-encodes as absent.
+		h2, n2, err := DecodeHeartbeat(EncodeHeartbeat(nil, h))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if h2.Node != h.Node || h2.Epoch != h.Epoch || h2.Addr != h.Addr ||
+			h2.MetricsAddr != h.MetricsAddr || len(h2.Done) != len(h.Done) || n2 <= 0 {
+			t.Fatalf("round trip mismatch: %+v vs %+v", h2, h)
 		}
 	})
 }

@@ -16,6 +16,24 @@ func hostileLengthRequest(kl, vl uint32) []byte {
 	return hdr
 }
 
+// tracedRequestCtx builds an empty-key request whose flags announce a trace
+// context, followed by the given raw context-section bytes — the knob for
+// truncated, oversized, and padded context encodings.
+func tracedRequestCtx(ctx []byte) []byte {
+	hdr := make([]byte, reqHdrSize)
+	hdr[8] = uint8(OpGet)
+	hdr[24] = reqFlagTraceCtx
+	return append(hdr, ctx...)
+}
+
+// tracedResponseSpans builds a value-less response whose status byte
+// announces a span section, followed by the given raw section bytes.
+func tracedResponseSpans(sec []byte) []byte {
+	hdr := make([]byte, respHdrSize)
+	hdr[8] = uint8(StatusOK) | respFlagSpans
+	return append(hdr, sec...)
+}
+
 // The decode paths parse bytes straight off the network. The fuzz targets
 // below pin the safety contract every decoder must keep on arbitrary input:
 // return an error or a value — never panic, and never size an allocation
@@ -32,6 +50,19 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(hostileLengthRequest(0, MaxFrameBytes+1)) // oversized value length
 	f.Add(hostileLengthRequest(MaxFrameBytes-1, 2)) // sum overflows the cap
 	f.Add(hostileLengthRequest(1<<31, 1<<31))       // 32-bit int wraparound bait
+	// Trace-context corpus: the canonical form, then the hostile shapes the
+	// decoder must reject without panicking or allocating.
+	f.Add(EncodeRequest(nil, &Request{ID: 3, Op: OpGet, Key: []byte("k"), TraceID: 77, TraceFlags: TraceSampled}))
+	f.Add(tracedRequestCtx(nil))                                     // flag set, section missing
+	f.Add(tracedRequestCtx([]byte{9}))                               // declared length, truncated body
+	f.Add(tracedRequestCtx([]byte{8, 0, 0, 0, 0, 0, 0, 0, 0}))       // length below the v1 minimum
+	f.Add(tracedRequestCtx([]byte{255}))                             // length above MaxTraceCtxLen
+	f.Add(tracedRequestCtx(append([]byte{12}, make([]byte, 12)...))) // padded: v1 fields + ignored tail
+	f.Add(func() []byte {                                            // unknown header flag bits must be rejected
+		b := EncodeRequest(nil, &Request{ID: 4, Op: OpGet, Key: []byte("k")})
+		b[24] = 0xF0
+		return b
+	}())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, n, err := DecodeRequest(data)
 		if err != nil {
@@ -52,8 +83,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if n2 != int(r.WireSize()) || r2.ID != r.ID || r2.Op != r.Op || r2.Tenant != r.Tenant ||
 			r2.Partition != r.Partition || r2.Epoch != r.Epoch || r2.Hop != r.Hop ||
-			r2.Shipped != r.Shipped || !bytes.Equal(r2.Key, r.Key) || !bytes.Equal(r2.Value, r.Value) {
+			r2.Shipped != r.Shipped || r2.TraceID != r.TraceID ||
+			!bytes.Equal(r2.Key, r.Key) || !bytes.Equal(r2.Value, r.Value) {
 			t.Fatalf("round trip mismatch: %+v vs %+v", r2, r)
+		}
+		if r.TraceID != 0 && r2.TraceFlags != r.TraceFlags {
+			t.Fatalf("trace flags lost: %d vs %d", r2.TraceFlags, r.TraceFlags)
 		}
 	})
 }
@@ -62,6 +97,21 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(EncodeResponse(nil, &Response{ID: 1, Status: StatusOK, Value: []byte("v")}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, respHdrSize))
+	// Span-section corpus: a canonical piggyback, then the hostile shapes.
+	f.Add(EncodeResponse(nil, &Response{ID: 2, Status: StatusOK, Spans: []PSpan{
+		{Stage: StageNode, Hop: 1, QueueNS: 10, ServiceNS: 20},
+		{Stage: StageEngine, Hop: 1, ServiceNS: 30},
+	}}))
+	f.Add(tracedResponseSpans(nil))               // flag set, section missing
+	f.Add(tracedResponseSpans([]byte{0, 0, 0}))   // zero section length
+	f.Add(tracedResponseSpans([]byte{200, 0, 5})) // declared spans, truncated body
+	f.Add(tracedResponseSpans([]byte{1, 0, 255})) // count over MaxPiggySpans
+	f.Add(tracedResponseSpans(func() []byte {     // count larger than the declared length holds
+		sec := make([]byte, spanSecHdr+pspanSize)
+		binary.LittleEndian.PutUint16(sec, uint16(1+pspanSize))
+		sec[2] = 2
+		return sec
+	}()))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, n, err := DecodeResponse(data)
 		if err != nil {
@@ -70,8 +120,22 @@ func FuzzDecodeResponse(f *testing.F) {
 		if n <= 0 || n > len(data) {
 			t.Fatalf("consumed %d of %d bytes", n, len(data))
 		}
-		if got := EncodeResponse(nil, r); !bytes.Equal(got, data[:n]) {
-			t.Fatalf("re-encode mismatch: %x vs %x", got, data[:n])
+		// A successful decode must survive a re-encode/re-decode cycle with
+		// identical fields. (Byte equality is too strict: a span or context
+		// section may carry non-canonical padding that re-encodes minimal.)
+		r2, n2, err := DecodeResponse(EncodeResponse(nil, r))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != int(r.WireSize()) || r2.ID != r.ID || r2.Status != r.Status ||
+			r2.Tokens != r.Tokens || r2.Epoch != r.Epoch || !bytes.Equal(r2.Value, r.Value) ||
+			len(r2.Spans) != len(r.Spans) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", r2, r)
+		}
+		for i := range r.Spans {
+			if r2.Spans[i] != r.Spans[i] {
+				t.Fatalf("span %d mismatch: %+v vs %+v", i, r2.Spans[i], r.Spans[i])
+			}
 		}
 	})
 }
@@ -169,8 +233,21 @@ func FuzzDecodeBatchReq(f *testing.F) {
 	hostileItem := hostileBatchReq(1, 1)               // one item whose klen is hostile
 	binary.LittleEndian.PutUint32(hostileItem[batchReqHdrSize:], MaxFrameBytes+1)
 	f.Add(hostileItem)
+	// Trace-context corpus: a canonical traced batch, then hostile contexts
+	// behind the flag bit.
+	tframe := AppendBatchReqFrameCtx(nil, 8, OpGet, keys, nil, 99, TraceSampled)
+	_, tpayload, _, _ := DecodeFrame(tframe)
+	f.Add(append([]byte(nil), tpayload...))
+	tracedHdr := func(ctx []byte) []byte {
+		b := hostileBatchReq(0, 0)
+		b[8] = uint8(OpGet) | batchFlagTraceCtx
+		return append(b, ctx...)
+	}
+	f.Add(tracedHdr(nil))          // flag set, section missing
+	f.Add(tracedHdr([]byte{9}))    // declared length, truncated body
+	f.Add(tracedHdr([]byte{0xFF})) // length above MaxTraceCtxLen
 	f.Fuzz(func(t *testing.T, data []byte) {
-		id, op, items, err := DecodeBatchReq(data, nil)
+		id, op, traceID, traceFlags, items, err := DecodeBatchReqCtx(data, nil)
 		if err != nil {
 			return
 		}
@@ -183,15 +260,18 @@ func FuzzDecodeBatchReq(f *testing.F) {
 		for i, it := range items {
 			keys[i], vals[i] = it.Key, it.Value
 		}
-		frame := AppendBatchReqFrame(nil, id, op, keys, vals)
+		frame := AppendBatchReqFrameCtx(nil, id, op, keys, vals, traceID, traceFlags)
 		_, payload, _, ferr := DecodeFrame(frame)
 		if ferr != nil {
 			t.Fatalf("re-framed batch rejected: %v", ferr)
 		}
-		id2, op2, items2, err := DecodeBatchReq(payload, nil)
-		if err != nil || id2 != id || op2 != op || len(items2) != len(items) {
-			t.Fatalf("round trip mismatch: id %d/%d op %v/%v n %d/%d err %v",
-				id2, id, op2, op, len(items2), len(items), err)
+		id2, op2, traceID2, traceFlags2, items2, err := DecodeBatchReqCtx(payload, nil)
+		if err != nil || id2 != id || op2 != op || traceID2 != traceID || len(items2) != len(items) {
+			t.Fatalf("round trip mismatch: id %d/%d op %v/%v trace %d/%d n %d/%d err %v",
+				id2, id, op2, op, traceID2, traceID, len(items2), len(items), err)
+		}
+		if traceID != 0 && traceFlags2 != traceFlags {
+			t.Fatalf("trace flags lost: %d vs %d", traceFlags2, traceFlags)
 		}
 		for i := range items {
 			if !bytes.Equal(items2[i].Key, items[i].Key) || !bytes.Equal(items2[i].Value, items[i].Value) {

@@ -110,9 +110,27 @@ type Request struct {
 	Epoch     uint64 // sender's membership view epoch
 	Hop       uint8  // position along the chain, incremented per forward
 	Shipped   bool   // CRRS: true once a replica shipped this GET to the tail
-	Key       []byte
-	Value     []byte
+	// TraceID propagates the issuer's trace identity across process
+	// boundaries (0 = untraced; the context section is then omitted).
+	TraceID uint64
+	// TraceFlags carries the trace flag bits (TraceSampled); meaningful only
+	// when TraceID is non-zero.
+	TraceFlags uint8
+	Key        []byte
+	Value      []byte
 }
+
+// Request flag bits (header byte 24). Unknown bits are rejected on decode so
+// they stay available for future, semantics-changing extensions; optional
+// growth belongs in the length-prefixed trace-context section instead.
+const (
+	reqFlagShipped  = 1 << 0
+	reqFlagTraceCtx = 1 << 1 // a trace-context section follows the value
+)
+
+// respFlagSpans (status byte bit 7) marks a span section after the value.
+// Status values occupy the low 7 bits.
+const respFlagSpans = 1 << 7
 
 // Response is the reply, delivered by one-sided WRITE into the client's
 // pre-allocated completion slot.
@@ -125,6 +143,11 @@ type Response struct {
 	Tokens int32
 	// Epoch lets clients learn a newer view on NACK.
 	Epoch uint64
+	// Spans piggybacks the span summaries the responder (and everything
+	// downstream of it) recorded for a sampled trace, so the issuer can
+	// reassemble one end-to-end trace. Empty on untraced requests. Decode
+	// appends into the existing capacity (allocation-free once warm).
+	Spans []PSpan
 }
 
 const (
@@ -133,10 +156,22 @@ const (
 )
 
 // WireSize returns the request's encoded size in bytes.
-func (r *Request) WireSize() int64 { return int64(reqHdrSize + len(r.Key) + len(r.Value)) }
+func (r *Request) WireSize() int64 {
+	n := int64(reqHdrSize + len(r.Key) + len(r.Value))
+	if r.TraceID != 0 {
+		n += traceCtxWireSize
+	}
+	return n
+}
 
 // WireSize returns the response's encoded size in bytes.
-func (r *Response) WireSize() int64 { return int64(respHdrSize + len(r.Value)) }
+func (r *Response) WireSize() int64 {
+	n := int64(respHdrSize + len(r.Value))
+	if len(r.Spans) > 0 {
+		n += int64(spansWireSize(len(r.Spans)))
+	}
+	return n
+}
 
 // ErrShortBuffer reports a truncated frame.
 var ErrShortBuffer = errors.New("rpcproto: short buffer")
@@ -150,14 +185,22 @@ func EncodeRequest(dst []byte, r *Request) []byte {
 	binary.LittleEndian.PutUint32(hdr[11:], r.Partition)
 	binary.LittleEndian.PutUint64(hdr[15:], r.Epoch)
 	hdr[23] = r.Hop
+	var flags byte
 	if r.Shipped {
-		hdr[24] = 1
+		flags |= reqFlagShipped
 	}
+	if r.TraceID != 0 {
+		flags |= reqFlagTraceCtx
+	}
+	hdr[24] = flags
 	binary.LittleEndian.PutUint32(hdr[25:], uint32(len(r.Key)))
 	binary.LittleEndian.PutUint32(hdr[29:], uint32(len(r.Value)))
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, r.Key...)
 	dst = append(dst, r.Value...)
+	if r.TraceID != 0 {
+		dst = appendTraceCtx(dst, r.TraceID, r.TraceFlags)
+	}
 	return dst
 }
 
@@ -182,13 +225,19 @@ func (r *Request) DecodeBorrow(src []byte) (int, error) {
 	if len(src) < total {
 		return 0, ErrShortBuffer
 	}
+	flags := src[24]
+	if flags&^byte(reqFlagShipped|reqFlagTraceCtx) != 0 {
+		return 0, ErrBadFrame
+	}
 	r.ID = binary.LittleEndian.Uint64(src[0:])
 	r.Op = Op(src[8])
 	r.Tenant = binary.LittleEndian.Uint16(src[9:])
 	r.Partition = binary.LittleEndian.Uint32(src[11:])
 	r.Epoch = binary.LittleEndian.Uint64(src[15:])
 	r.Hop = src[23]
-	r.Shipped = src[24] == 1
+	r.Shipped = flags&reqFlagShipped != 0
+	r.TraceID = 0
+	r.TraceFlags = 0
 	r.Key = nil
 	r.Value = nil
 	if kl > 0 {
@@ -196,6 +245,14 @@ func (r *Request) DecodeBorrow(src []byte) (int, error) {
 	}
 	if vl > 0 {
 		r.Value = src[reqHdrSize+kl : total : total]
+	}
+	if flags&reqFlagTraceCtx != 0 {
+		id, tf, n, err := decodeTraceCtx(src[total:])
+		if err != nil {
+			return 0, err
+		}
+		r.TraceID, r.TraceFlags = id, tf
+		total += n
 	}
 	return total, nil
 }
@@ -221,12 +278,19 @@ func DecodeRequest(src []byte) (*Request, int, error) {
 func EncodeResponse(dst []byte, r *Response) []byte {
 	var hdr [respHdrSize]byte
 	binary.LittleEndian.PutUint64(hdr[0:], r.ID)
-	hdr[8] = uint8(r.Status)
+	st := uint8(r.Status) &^ byte(respFlagSpans)
+	if len(r.Spans) > 0 {
+		st |= respFlagSpans
+	}
+	hdr[8] = st
 	binary.LittleEndian.PutUint32(hdr[9:], uint32(r.Tokens))
 	binary.LittleEndian.PutUint64(hdr[13:], r.Epoch)
 	binary.LittleEndian.PutUint32(hdr[21:], uint32(len(r.Value)))
 	dst = append(dst, hdr[:]...)
 	dst = append(dst, r.Value...)
+	if len(r.Spans) > 0 {
+		dst = appendSpans(dst, r.Spans)
+	}
 	return dst
 }
 
@@ -246,13 +310,23 @@ func (r *Response) DecodeBorrow(src []byte) (int, error) {
 	if len(src) < total {
 		return 0, ErrShortBuffer
 	}
+	sb := src[8]
 	r.ID = binary.LittleEndian.Uint64(src[0:])
-	r.Status = Status(src[8])
+	r.Status = Status(sb &^ byte(respFlagSpans))
 	r.Tokens = int32(binary.LittleEndian.Uint32(src[9:]))
 	r.Epoch = binary.LittleEndian.Uint64(src[13:])
 	r.Value = nil
+	r.Spans = r.Spans[:0]
 	if vl > 0 {
 		r.Value = src[respHdrSize:total:total]
+	}
+	if sb&respFlagSpans != 0 {
+		spans, n, err := decodeSpans(src[total:], r.Spans)
+		if err != nil {
+			return 0, err
+		}
+		r.Spans = spans
+		total += n
 	}
 	return total, nil
 }

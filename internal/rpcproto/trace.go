@@ -1,0 +1,234 @@
+package rpcproto
+
+import "encoding/binary"
+
+// Trace propagation on the wire. A traced request carries a compact trace
+// context (identity + flags) so every process it touches can open child
+// spans under the same trace; a response piggybacks the spans the remote
+// side recorded (stage, hop, queue-wait, service time) so the issuing client
+// can reassemble one end-to-end trace across process boundaries without a
+// collector. Both sections are length-prefixed and version-tolerant: a v1
+// decoder skips bytes a future version appends inside the declared length,
+// and every length is validated before it sizes a loop or an index — the
+// same hostile-input contract the rest of the package keeps.
+//
+// Wire layout:
+//
+//	trace context section: [1B len L][8B trace ID LE][1B trace flags]
+//	                       L in [9, MaxTraceCtxLen]; bytes past the first 9
+//	                       are ignored (future extension space).
+//	span section:          [2B len L LE][1B count][count × 18B span]
+//	                       each span: [1B stage][1B hop][8B queue ns][8B svc ns]
+//	                       L counts the bytes after the length field; bytes
+//	                       past the declared spans are ignored.
+//
+// Where the sections attach is the carrying frame's business: requests and
+// batch requests flag the context in a header bit and append the section
+// after their payload; responses flag the span section in the status byte.
+
+// Trace-context flag bits (Request.TraceFlags).
+const (
+	// TraceSampled marks a trace whose whole-trace record is being kept;
+	// nodes piggyback span summaries only for sampled traces, so the
+	// steady-state response stays minimal.
+	TraceSampled uint8 = 1 << 0
+)
+
+// Sampled reports whether the request carries a sampled trace context —
+// the condition under which servers piggyback span summaries on the
+// response.
+func (r *Request) Sampled() bool {
+	return r.TraceID != 0 && r.TraceFlags&TraceSampled != 0
+}
+
+const (
+	// traceCtxV1Len is the canonical v1 context body length.
+	traceCtxV1Len = 9
+	// MaxTraceCtxLen bounds a context section body, leaving future versions
+	// room to grow without breaking v1 decoders.
+	MaxTraceCtxLen = 64
+	// MaxPiggySpans bounds the spans one response may piggyback. A chain of
+	// realistic depth produces well under ten; the cap keeps a hostile count
+	// from provoking a long loop.
+	MaxPiggySpans = 32
+	// pspanSize is one encoded span summary.
+	pspanSize = 1 + 1 + 8 + 8
+	// spanSecHdr is the span section's length prefix plus count byte.
+	spanSecHdr = 2 + 1
+)
+
+// StageID names one pipeline stage in a piggybacked span. The values are
+// wire format; names match the obs tracer's stage strings.
+type StageID uint8
+
+// Pipeline stages, in attribution-table order.
+const (
+	StageClient StageID = iota + 1
+	StageNet
+	StageNode
+	StageEngine
+	StageCPU
+	StageSSD
+	StageDevice
+	// StageFwd is the chain-forward hop: the time a node spent waiting on
+	// its downstream replica beyond what that replica itself accounted for
+	// (i.e. the node-to-node wire and scheduling cost).
+	StageFwd
+)
+
+var stageNames = [...]string{
+	StageClient: "client",
+	StageNet:    "net",
+	StageNode:   "node",
+	StageEngine: "engine",
+	StageCPU:    "cpu",
+	StageSSD:    "ssd",
+	StageDevice: "device",
+	StageFwd:    "fwd",
+}
+
+// Name returns the obs stage string for s ("" for unknown IDs).
+func (s StageID) Name() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return ""
+}
+
+// StageIDOf maps an obs stage string to its wire ID (0 when unknown —
+// unknown stages are simply not piggybacked).
+func StageIDOf(name string) StageID {
+	for id, n := range stageNames {
+		if n == name && n != "" {
+			return StageID(id)
+		}
+	}
+	return 0
+}
+
+// Nested reports whether the stage is a nested breakdown of another span
+// (cpu, ssd, and device time all happen inside the engine span) rather than
+// a disjoint segment of the request's wall-clock path. Attribution sums that
+// want to add up to the end-to-end latency skip nested stages.
+func (s StageID) Nested() bool {
+	return s == StageCPU || s == StageSSD || s == StageDevice
+}
+
+// PSpan is one piggybacked span summary: what one stage on one chain hop
+// cost, split into queue wait and service time like obs.Span.
+type PSpan struct {
+	Stage     StageID
+	Hop       uint8
+	QueueNS   int64
+	ServiceNS int64
+}
+
+// DisjointTotalNS sums queue+service over the non-nested spans: the remote
+// wall-clock time the span set accounts for. The issuer subtracts this from
+// its measured round trip to attribute the remainder to the wire.
+func DisjointTotalNS(spans []PSpan) int64 {
+	var total int64
+	for _, sp := range spans {
+		if sp.Stage.Nested() {
+			continue
+		}
+		total += sp.QueueNS + sp.ServiceNS
+	}
+	return total
+}
+
+// traceCtxWireSize is the encoded size of one canonical context section.
+const traceCtxWireSize = 1 + traceCtxV1Len
+
+// appendTraceCtx appends one canonical v1 trace-context section.
+func appendTraceCtx(dst []byte, id uint64, flags uint8) []byte {
+	var b [traceCtxWireSize]byte
+	b[0] = traceCtxV1Len
+	binary.LittleEndian.PutUint64(b[1:], id)
+	b[9] = flags
+	return append(dst, b[:]...)
+}
+
+// decodeTraceCtx parses one trace-context section at the head of src,
+// returning the identity, flags, and bytes consumed. Bytes inside the
+// declared length past the v1 fields are skipped (version tolerance).
+func decodeTraceCtx(src []byte) (id uint64, flags uint8, n int, err error) {
+	if len(src) < 1 {
+		return 0, 0, 0, ErrShortBuffer
+	}
+	l := int(src[0])
+	if l < traceCtxV1Len || l > MaxTraceCtxLen {
+		return 0, 0, 0, ErrBadFrame
+	}
+	if len(src) < 1+l {
+		return 0, 0, 0, ErrShortBuffer
+	}
+	id = binary.LittleEndian.Uint64(src[1:])
+	flags = src[9]
+	return id, flags, 1 + l, nil
+}
+
+// spansWireSize is the encoded size of a span section carrying n spans
+// (after the encoder's MaxPiggySpans clamp).
+func spansWireSize(n int) int {
+	if n > MaxPiggySpans {
+		n = MaxPiggySpans
+	}
+	return spanSecHdr + n*pspanSize
+}
+
+// appendSpans appends one canonical span section. Spans past MaxPiggySpans
+// are dropped (oldest kept — the early hops are the ones the issuer cannot
+// reconstruct any other way).
+func appendSpans(dst []byte, spans []PSpan) []byte {
+	n := len(spans)
+	if n > MaxPiggySpans {
+		n = MaxPiggySpans
+	}
+	var h [spanSecHdr]byte
+	binary.LittleEndian.PutUint16(h[0:], uint16(1+n*pspanSize))
+	h[2] = byte(n)
+	dst = append(dst, h[:]...)
+	for _, sp := range spans[:n] {
+		var b [pspanSize]byte
+		b[0] = byte(sp.Stage)
+		b[1] = sp.Hop
+		binary.LittleEndian.PutUint64(b[2:], uint64(sp.QueueNS))
+		binary.LittleEndian.PutUint64(b[10:], uint64(sp.ServiceNS))
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
+// decodeSpans parses one span section at the head of src, appending each
+// span into spans (pass a reused spans[:0] for an allocation-free steady
+// state). Returns the grown slice and bytes consumed. The count is validated
+// against both MaxPiggySpans and the declared section length before the loop
+// runs; bytes inside the section past the declared spans are skipped.
+func decodeSpans(src []byte, spans []PSpan) (out []PSpan, n int, err error) {
+	if len(src) < spanSecHdr {
+		return spans, 0, ErrShortBuffer
+	}
+	l := int(binary.LittleEndian.Uint16(src[0:]))
+	if l < 1 {
+		return spans, 0, ErrBadFrame
+	}
+	if len(src) < 2+l {
+		return spans, 0, ErrShortBuffer
+	}
+	cnt := int(src[2])
+	if cnt > MaxPiggySpans || 1+cnt*pspanSize > l {
+		return spans, 0, ErrBadFrame
+	}
+	off := spanSecHdr
+	for i := 0; i < cnt; i++ {
+		spans = append(spans, PSpan{
+			Stage:     StageID(src[off]),
+			Hop:       src[off+1],
+			QueueNS:   int64(binary.LittleEndian.Uint64(src[off+2:])),
+			ServiceNS: int64(binary.LittleEndian.Uint64(src[off+10:])),
+		})
+		off += pspanSize
+	}
+	return spans, 2 + l, nil
+}

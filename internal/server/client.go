@@ -33,6 +33,12 @@ type call struct {
 	resp  rpcproto.Response        // single-op result; Value aliases frame
 	items []rpcproto.BatchRespItem // batch result; Values alias frame
 
+	// spans is the call-owned buffer behind resp.Spans: piggybacked spans
+	// are copied out of the shared decode scratch at delivery (the scratch
+	// is clobbered by the next inbound frame, which may land before this
+	// call's owner consumes the response). Capacity survives recycling.
+	spans []rpcproto.PSpan
+
 	req rpcproto.Request // request scratch, avoids an escaping literal per op
 }
 
@@ -117,6 +123,7 @@ func (c *Client) putCall(cl *call) {
 	cl.err = nil
 	cl.frame = nil
 	cl.resp = rpcproto.Response{}
+	cl.spans = cl.spans[:0]
 	cl.req = rpcproto.Request{}
 	for i := range cl.items {
 		cl.items[i] = rpcproto.BatchRespItem{}
@@ -170,6 +177,13 @@ func (c *Client) recvLoop(t runtime.Task) {
 			}
 			delete(c.pending, cl.id)
 			cl.resp = c.scratch
+			if len(c.scratch.Spans) > 0 {
+				// Move the piggybacked spans into the call's own buffer: the
+				// scratch's span slice is reused by the next decode, which
+				// may run before this call's owner reads the response.
+				cl.spans = append(cl.spans[:0], c.scratch.Spans...)
+			}
+			cl.resp.Spans = cl.spans
 			cl.frame = frame
 			c.deliver(cl)
 		case rpcproto.FrameBatchResp:
@@ -382,6 +396,9 @@ func (c *Client) DoDeadline(t runtime.Task, req *rpcproto.Request, d runtime.Tim
 	}
 	if len(cl.resp.Value) > 0 {
 		resp.Value = append([]byte(nil), cl.resp.Value...)
+	}
+	if len(cl.resp.Spans) > 0 {
+		resp.Spans = append([]rpcproto.PSpan(nil), cl.resp.Spans...)
 	}
 	c.release(cl)
 	return resp, nil

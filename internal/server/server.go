@@ -128,10 +128,16 @@ type Server struct {
 // ID and Epoch echoed) and returns its value scratch buffer — grown
 // capacity is kept across requests, so a handler that reads into scratch
 // keeps the serve path allocation-free. resp.Value may alias the returned
-// scratch or the request frame. Runs in task context; blocking (e.g. a
-// chain forward's round trip) is fine, it occupies one pipeline slot.
+// scratch or the request frame. tr is the request's trace (nil when the
+// server has no tracer): the handler attributes engine execution and chain
+// forwards to it, and — for requests carrying a sampled trace context — a
+// handler that relays downstream may append the downstream response's
+// piggybacked spans to resp.Spans; the server adds the handler's own spans
+// and the node span before the response leaves. Runs in task context;
+// blocking (e.g. a chain forward's round trip) is fine, it occupies one
+// pipeline slot.
 type Handler interface {
-	Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte) []byte
+	Handle(t runtime.Task, fwd bool, req *rpcproto.Request, resp *rpcproto.Response, scratch []byte, tr *obs.Trace) []byte
 }
 
 // workerStop is the sentinel closeConn injects to retire a connection's
@@ -193,7 +199,10 @@ func (sc *serverConn) putWork(w *reqWork) {
 	w.frame = nil
 	w.fwd = false
 	w.req = rpcproto.Request{}
-	w.resp = rpcproto.Response{}
+	// The response's span scratch is work-item-owned (piggyback spans are
+	// value types, never aliases into the frame); keep its capacity so a
+	// traced steady state allocates nothing.
+	w.resp = rpcproto.Response{Spans: w.resp.Spans[:0]}
 	w.batch = false
 	w.items = w.items[:0]
 	for i := range w.resps {
@@ -552,13 +561,16 @@ func (s *Server) handle(t runtime.Task, sc *serverConn, w *reqWork) {
 	}
 
 	resp := &w.resp
-	*resp = rpcproto.Response{ID: req.ID, Epoch: req.Epoch}
+	*resp = rpcproto.Response{ID: req.ID, Epoch: req.Epoch, Spans: resp.Spans[:0]}
 	if s.cfg.Handler != nil {
 		// Cluster mode: the handler owns validation, execution, and chain
 		// forwarding; the server keeps the framing and latency accounting.
-		w.val = s.cfg.Handler.Handle(t, w.fwd, req, resp, w.val[:0])
+		w.val = s.cfg.Handler.Handle(t, w.fwd, req, resp, w.val[:0], tr)
 		s.o.reqInc(req.Op)
 		done := t.Now()
+		if req.Sampled() {
+			appendPiggySpans(resp, req, tr, dispatched-arrived, done-dispatched)
+		}
 		sc.conn.Send(t, rpcproto.AppendResponseFrame(rpcproto.GetBuf(), resp))
 		tr.Span("node", dispatched-arrived, t.Now()-done)
 		s.cfg.Tracer.End(tr)
@@ -591,6 +603,9 @@ func (s *Server) handle(t runtime.Task, sc *serverConn, w *reqWork) {
 	}
 
 	done := t.Now()
+	if req.Sampled() {
+		appendPiggySpans(resp, req, tr, dispatched-arrived, done-dispatched)
+	}
 	sc.conn.Send(t, rpcproto.AppendResponseFrame(rpcproto.GetBuf(), resp))
 	tr.Span("node", dispatched-arrived, t.Now()-done)
 	s.cfg.Tracer.End(tr)
@@ -598,6 +613,46 @@ func (s *Server) handle(t runtime.Task, sc *serverConn, w *reqWork) {
 	if pid < len(s.o.partLat) {
 		s.o.partLat[pid].Record(t.Now() - arrived)
 	}
+}
+
+// appendPiggySpans builds the span section a sampled request's response
+// carries back upstream: every stage the local trace recorded during
+// execution, tagged with this server's chain hop, plus the node span — the
+// handler window not already covered by a local stage or by the downstream
+// spans a relaying handler merged into resp.Spans. Summing the resulting
+// disjoint (non-nested) spans therefore reproduces the server-side elapsed
+// time, which is what lets the issuing client decompose its measured round
+// trip without a shared clock. Appends reuse resp.Spans capacity, so the
+// traced steady state stays allocation-free.
+func appendPiggySpans(resp *rpcproto.Response, req *rpcproto.Request, tr *obs.Trace, queue, total runtime.Time) {
+	hop := req.Hop + 1
+	// Time already attributed: downstream piggyback spans (the forward's
+	// remote side) plus the local disjoint stages. Nested stages (cpu, ssd,
+	// device) break down the engine span and must not be double-counted.
+	covered := rpcproto.DisjointTotalNS(resp.Spans)
+	if tr != nil {
+		for _, sp := range tr.Spans {
+			sid := rpcproto.StageIDOf(sp.Stage)
+			if sid == 0 {
+				continue
+			}
+			resp.Spans = append(resp.Spans, rpcproto.PSpan{
+				Stage: sid, Hop: hop,
+				QueueNS: int64(sp.Queue), ServiceNS: int64(sp.Service),
+			})
+			if !sid.Nested() {
+				covered += int64(sp.Queue) + int64(sp.Service)
+			}
+		}
+	}
+	svc := int64(total) - covered
+	if svc < 0 {
+		svc = 0
+	}
+	resp.Spans = append(resp.Spans, rpcproto.PSpan{
+		Stage: rpcproto.StageNode, Hop: hop,
+		QueueNS: int64(queue), ServiceNS: svc,
+	})
 }
 
 // handleBatch executes one MultiGet/MultiPut/MultiDel: items grouped by
